@@ -1,0 +1,82 @@
+// Reproduces Figure 1: the idealized scenario in which any server-side
+// on/off batching decision can be suboptimal depending on the client's
+// per-response processing cost c. With n = 3 requests queued at time 0,
+// per-request cost α = 2 and per-batch cost β = 4, sweeping c yields:
+//   c = 1 -> batching improves latency and throughput (Figure 1a)
+//   c = 5 -> batching degrades both                   (Figure 1b)
+//   c = 3 -> improved throughput, degraded latency    (Figure 1c)
+
+#include <cstdio>
+
+#include "src/model/batch_model.h"
+#include "src/testbed/report.h"
+
+namespace e2e {
+namespace {
+
+const char* Verdict(bool better) { return better ? "better" : "worse"; }
+
+int Main() {
+  PrintBanner("Figure 1: idealized on/off batching, n=3, alpha=2, beta=4, c swept");
+
+  Table table({"c", "batch:avg_lat", "nobatch:avg_lat", "batch:tput", "nobatch:tput",
+               "latency", "throughput", "paper_panel"});
+  for (int c = 1; c <= 5; ++c) {
+    BatchModelParams params;
+    params.c = c;
+    const BatchComparison cmp = CompareBatching(params);
+    const char* panel = "-";
+    if (c == 1) {
+      panel = "1a: both better";
+    } else if (c == 3) {
+      panel = "1c: mixed";
+    } else if (c == 5) {
+      panel = "1b: both worse";
+    }
+    table.Row()
+        .Int(c)
+        .Num(cmp.batched.avg_latency, 2)
+        .Num(cmp.unbatched.avg_latency, 2)
+        .Num(cmp.batched.throughput, 3)
+        .Num(cmp.unbatched.throughput, 3)
+        .Cell(Verdict(cmp.BatchingImprovesLatency()))
+        .Cell(Verdict(cmp.BatchingImprovesThroughput()))
+        .Cell(panel);
+  }
+  table.Print();
+
+  PrintBanner("Per-request completion timelines (c = 1, 3, 5)");
+  for (int c : {1, 3, 5}) {
+    BatchModelParams params;
+    params.c = c;
+    const BatchComparison cmp = CompareBatching(params);
+    std::printf("c=%d   batched completions:   ", c);
+    for (double t : cmp.batched.completion_times) {
+      std::printf("%5.1f ", t);
+    }
+    std::printf("\n      unbatched completions: ");
+    for (double t : cmp.unbatched.completion_times) {
+      std::printf("%5.1f ", t);
+    }
+    std::printf("\n");
+  }
+
+  // The server-side view is identical in every panel — the point of the
+  // figure: the server alone cannot know whether batching helps.
+  PrintBanner("Server-side emission times (identical across all c)");
+  BatchModelParams params;
+  const BatchComparison cmp = CompareBatching(params);
+  std::printf("batched:   all %d responses emitted at t=%.0f (n*alpha+beta)\n", params.n,
+              cmp.batched.emit_times.back());
+  std::printf("unbatched: response i emitted at i*(alpha+beta): ");
+  for (double t : cmp.unbatched.emit_times) {
+    std::printf("%.0f ", t);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace e2e
+
+int main() { return e2e::Main(); }

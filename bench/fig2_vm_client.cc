@@ -1,0 +1,85 @@
+// Reproduces Figure 2: moving the Redis client into a VM multiplies its CPU
+// cost per operation (a), leaves the server's CPU unchanged under the same
+// fixed 20 kRPS load (b), and *flips the outcome of Nagle batching* (c) —
+// the real-world analog of Figure 1's c parameter.
+//
+// Calibration note: the paper does not specify Figure 2's value size; we use
+// 48 KiB values so that, at the figure's fixed 20 kRPS, the server is
+// moderately loaded — the regime where server-side batching pays for a fast
+// client while a slow (VM) client's own queueing dominates and batching
+// bursts hurt it. See EXPERIMENTS.md.
+
+#include <cstdio>
+
+#include "src/testbed/experiment.h"
+#include "src/testbed/report.h"
+
+namespace e2e {
+namespace {
+
+RedisExperimentResult Run(double vm_multiplier, BatchMode mode) {
+  RedisExperimentConfig config;
+  config.rate_rps = 20000;
+  config.batch_mode = mode;
+  config.mix = WorkloadMix::SetOnly16K();
+  config.mix.set_value_len = 48 * 1024;
+  config.client_costs = BareMetalClientCosts().Scaled(vm_multiplier);
+  config.seed = 5;
+  return RunRedisExperiment(config);
+}
+
+int Main() {
+  const double kVmMultiplier = 5.5;
+
+  PrintBanner("Figure 2: bare-metal vs VM client at fixed 20 kRPS (48 KiB SETs)");
+  struct Cell {
+    const char* client;
+    double vm;
+    BatchMode mode;
+  };
+  const Cell cells[] = {
+      {"bare-metal", 1.0, BatchMode::kStaticOff},
+      {"bare-metal", 1.0, BatchMode::kStaticOn},
+      {"vm", kVmMultiplier, BatchMode::kStaticOff},
+      {"vm", kVmMultiplier, BatchMode::kStaticOn},
+  };
+  RedisExperimentResult results[4];
+  Table table({"client", "nagle", "lat_mean_us", "lat_p99_us", "client_cpu%", "server_cpu%",
+               "achieved_krps"});
+  for (int i = 0; i < 4; ++i) {
+    results[i] = Run(cells[i].vm, cells[i].mode);
+    table.Row()
+        .Cell(cells[i].client)
+        .Cell(cells[i].mode == BatchMode::kStaticOn ? "on" : "off")
+        .Num(results[i].measured_mean_us, 1)
+        .Num(results[i].measured_p99_us, 1)
+        .Num(100 * (results[i].client_app_util + results[i].client_softirq_util), 1)
+        .Num(100 * (results[i].server_app_util + results[i].server_softirq_util), 1)
+        .Num(results[i].achieved_krps, 1);
+  }
+  table.Print();
+
+  PrintBanner("Panel summaries (paper vs this reproduction)");
+  const double bare_cpu = results[0].client_app_util + results[0].client_softirq_util;
+  const double vm_cpu = results[2].client_app_util + results[2].client_softirq_util;
+  std::printf("(a) client CPU, VM vs bare-metal  : %s more (paper: 'significantly more')\n",
+              FormatFactor(vm_cpu / bare_cpu).c_str());
+  const double bare_srv = results[0].server_app_util + results[0].server_softirq_util;
+  const double vm_srv = results[2].server_app_util + results[2].server_softirq_util;
+  std::printf("(b) server CPU, VM vs bare-metal  : %s (paper: 'about the same')\n",
+              FormatFactor(vm_srv / bare_srv).c_str());
+  const bool bare_nagle_wins = results[1].measured_mean_us < results[0].measured_mean_us;
+  const bool vm_nagle_wins = results[3].measured_mean_us < results[2].measured_mean_us;
+  std::printf("(c) Nagle for bare-metal client   : %s (paper: advantageous)\n",
+              bare_nagle_wins ? "advantageous" : "harmful");
+  std::printf("    Nagle for VM client           : %s (paper: harmful)\n",
+              vm_nagle_wins ? "advantageous" : "harmful");
+  std::printf("    outcome flips with client cost: %s (the paper's point)\n",
+              bare_nagle_wins != vm_nagle_wins ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+}  // namespace e2e
+
+int main() { return e2e::Main(); }

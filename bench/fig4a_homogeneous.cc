@@ -1,0 +1,134 @@
+// Reproduces Figure 4a: Redis under a homogeneous 16 KiB SET workload,
+// swept over offered load with Nagle disabled (Redis's default) and enabled.
+// For each point we report the measured (ground-truth) mean latency and the
+// byte-unit offline estimate from the paper's prototype methodology, then
+// derive the paper's headline numbers: the cutoff load where batching
+// becomes worthwhile, the SLO-range extension factor (paper: 1.93x,
+// 37.5 -> 72.5 kRPS under a 500 us SLO), and the latency gain at the last
+// load both modes sustain (paper: 2.80x at 37.5 kRPS).
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "src/testbed/experiment.h"
+#include "src/testbed/report.h"
+
+namespace e2e {
+namespace {
+
+struct Point {
+  double krps;
+  RedisExperimentResult off;  // nodelay
+  RedisExperimentResult on;   // nagle
+};
+
+RedisExperimentResult RunPoint(double krps, BatchMode mode, uint64_t seed) {
+  RedisExperimentConfig config;
+  config.rate_rps = krps * 1e3;
+  config.batch_mode = mode;
+  config.mix = WorkloadMix::SetOnly16K();
+  config.seed = seed;
+  return RunRedisExperiment(config);
+}
+
+// Highest load whose measured mean latency meets the SLO, by linear scan.
+std::optional<double> MaxSustainable(const std::vector<Point>& points, bool nagle_on,
+                                     double slo_us) {
+  std::optional<double> best;
+  for (const Point& p : points) {
+    const RedisExperimentResult& r = nagle_on ? p.on : p.off;
+    if (r.measured_mean_us > 0 && r.measured_mean_us <= slo_us) {
+      best = p.krps;
+    }
+  }
+  return best;
+}
+
+// First load where Nagle's measured latency beats nodelay's (the "cutoff").
+std::optional<double> Cutoff(const std::vector<Point>& points, bool use_estimates) {
+  for (const Point& p : points) {
+    const double off = use_estimates ? p.off.est_bytes_us.value_or(0) : p.off.measured_mean_us;
+    const double on = use_estimates ? p.on.est_bytes_us.value_or(0) : p.on.measured_mean_us;
+    if (off > 0 && on > 0 && on < off) {
+      return p.krps;
+    }
+  }
+  return std::nullopt;
+}
+
+int Main() {
+  PrintBanner("Figure 4a: 16 KiB SET workload, Nagle off vs on (measured + estimated)");
+
+  const std::vector<double> loads = {5,  10, 15, 20, 25, 30, 35, 37.5, 40, 45,
+                                     50, 55, 60, 65, 70, 72.5, 75, 80};
+  std::vector<Point> points;
+  Table table({"kRPS", "off:ach", "off:meas_us", "off:est_us", "off:err%", "on:ach", "on:meas_us",
+               "on:est_us", "on:err%", "off:srv_app", "on:srv_app", "on:resp/pkt"});
+  for (double krps : loads) {
+    Point p;
+    p.krps = krps;
+    p.off = RunPoint(krps, BatchMode::kStaticOff, 11);
+    p.on = RunPoint(krps, BatchMode::kStaticOn, 11);
+    auto err = [](const RedisExperimentResult& r) {
+      if (!r.est_bytes_us.has_value() || r.measured_mean_us <= 0) {
+        return 0.0;
+      }
+      return 100.0 * (*r.est_bytes_us - r.measured_mean_us) / r.measured_mean_us;
+    };
+    table.Row()
+        .Num(krps, 1)
+        .Num(p.off.achieved_krps, 1)
+        .Num(p.off.measured_mean_us, 1)
+        .Num(p.off.est_bytes_us.value_or(0), 1)
+        .Num(err(p.off), 1)
+        .Num(p.on.achieved_krps, 1)
+        .Num(p.on.measured_mean_us, 1)
+        .Num(p.on.est_bytes_us.value_or(0), 1)
+        .Num(err(p.on), 1)
+        .Num(p.off.server_app_util * 100, 0)
+        .Num(p.on.server_app_util * 100, 0)
+        .Num(p.on.responses_per_packet, 2);
+    points.push_back(std::move(p));
+  }
+  table.Print();
+
+  PrintBanner("Headline numbers (paper vs this reproduction)");
+  const double slo_us = 500.0;
+  const std::optional<double> max_off = MaxSustainable(points, false, slo_us);
+  const std::optional<double> max_on = MaxSustainable(points, true, slo_us);
+  const std::optional<double> cutoff_measured = Cutoff(points, false);
+  const std::optional<double> cutoff_estimated = Cutoff(points, true);
+
+  std::printf("SLO (mean latency)                  : %.0f us\n", slo_us);
+  std::printf("Max sustainable load, Nagle off     : %.1f kRPS (paper: 37.5)\n",
+              max_off.value_or(0));
+  std::printf("Max sustainable load, Nagle on      : %.1f kRPS (paper: 72.5)\n",
+              max_on.value_or(0));
+  if (max_off && max_on && *max_off > 0) {
+    std::printf("SLO-range extension from batching   : %s (paper: 1.93x)\n",
+                FormatFactor(*max_on / *max_off).c_str());
+  }
+  if (max_off.has_value()) {
+    // Latency gain at the highest load the no-batching default sustains.
+    for (const Point& p : points) {
+      if (p.krps == *max_off && p.on.measured_mean_us > 0) {
+        std::printf("Latency gain at %.1f kRPS           : %s (paper: 2.80x at 37.5 kRPS)\n",
+                    p.krps, FormatFactor(p.off.measured_mean_us / p.on.measured_mean_us).c_str());
+      }
+    }
+  }
+  std::printf("Cutoff load (batching starts to win), measured  : %.1f kRPS\n",
+              cutoff_measured.value_or(0));
+  std::printf("Cutoff load (batching starts to win), estimated : %.1f kRPS\n",
+              cutoff_estimated.value_or(0));
+  std::printf("Cutoffs coincide (paper: yes for homogeneous)   : %s\n",
+              (cutoff_measured.has_value() && cutoff_measured == cutoff_estimated) ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+}  // namespace e2e
+
+int main() { return e2e::Main(); }

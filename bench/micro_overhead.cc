@@ -1,0 +1,140 @@
+// Microbenchmarks for the paper's §3.1 claim that the counters are "easily
+// maintained": the hot-path cost of TRACK, GETAVGS, wire encode/decode, the
+// estimator's per-exchange work, the hint API, and controller ticks.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/controller.h"
+#include "src/core/estimator.h"
+#include "src/core/hints.h"
+#include "src/core/policy.h"
+#include "src/core/queue_state.h"
+#include "src/core/wire_format.h"
+#include "src/sim/ewma.h"
+
+namespace e2e {
+namespace {
+
+void BM_Track(benchmark::State& state) {
+  QueueState qs;
+  int64_t t = 0;
+  int64_t delta = 1;
+  for (auto _ : state) {
+    t += 100;
+    qs.Track(TimePoint::FromNanos(t), delta);
+    delta = -delta;
+  }
+  benchmark::DoNotOptimize(qs);
+}
+BENCHMARK(BM_Track);
+
+void BM_GetAvgs(benchmark::State& state) {
+  const QueueSnapshot prev{TimePoint::FromNanos(1000), 100, 500000};
+  const QueueSnapshot cur{TimePoint::FromNanos(2001000), 1100, 90500000};
+  for (auto _ : state) {
+    QueueAverages avgs = GetAvgs(prev, cur);
+    benchmark::DoNotOptimize(avgs);
+  }
+}
+BENCHMARK(BM_GetAvgs);
+
+void BM_WireGetAvgs(benchmark::State& state) {
+  const WireCounters prev{1000, 100, 500};
+  const WireCounters cur{3000, 1100, 90500};
+  for (auto _ : state) {
+    QueueAverages avgs = WireGetAvgs(prev, cur);
+    benchmark::DoNotOptimize(avgs);
+  }
+}
+BENCHMARK(BM_WireGetAvgs);
+
+void BM_EncodePayload(benchmark::State& state) {
+  WirePayload payload;
+  payload.mode = UnitMode::kBytes;
+  payload.unacked = {1, 2, 3};
+  payload.unread = {4, 5, 6};
+  payload.ackdelay = {7, 8, 9};
+  payload.hint = WireCounters{10, 11, 12};
+  uint8_t buf[kWirePayloadMaxSize];
+  for (auto _ : state) {
+    size_t n = EncodePayload(payload, buf, sizeof(buf));
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_EncodePayload);
+
+void BM_DecodePayload(benchmark::State& state) {
+  WirePayload payload;
+  payload.hint = WireCounters{10, 11, 12};
+  uint8_t buf[kWirePayloadMaxSize];
+  const size_t n = EncodePayload(payload, buf, sizeof(buf));
+  for (auto _ : state) {
+    auto decoded = DecodePayload(buf, n);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecodePayload);
+
+void BM_EstimatorExchange(benchmark::State& state) {
+  ConnectionEstimator estimator(UnitMode::kBytes);
+  EndpointQueues queues;
+  WirePayload remote;
+  int64_t t = 0;
+  for (auto _ : state) {
+    t += 1000000;
+    const TimePoint now = TimePoint::FromNanos(t);
+    queues.Track(QueueKind::kUnacked, UnitMode::kBytes, now, 100);
+    remote.unacked.time_us += 1000;
+    remote.unacked.total += 50;
+    remote.unacked.integral_us += 5000;
+    estimator.OnRemotePayload(remote, queues, nullptr, now);
+  }
+  benchmark::DoNotOptimize(estimator);
+}
+BENCHMARK(BM_EstimatorExchange);
+
+void BM_HintCreateComplete(benchmark::State& state) {
+  HintTracker hints;
+  int64_t t = 0;
+  for (auto _ : state) {
+    t += 1000;
+    hints.Create(TimePoint::FromNanos(t));
+    t += 1000;
+    hints.Complete(TimePoint::FromNanos(t));
+  }
+  benchmark::DoNotOptimize(hints);
+}
+BENCHMARK(BM_HintCreateComplete);
+
+void BM_EwmaAdd(benchmark::State& state) {
+  IrregularEwma ewma(Duration::Millis(10));
+  int64_t t = 0;
+  double x = 100;
+  for (auto _ : state) {
+    t += 1000000;
+    x = x < 200 ? x + 1 : 100;
+    ewma.Add(TimePoint::FromNanos(t), x);
+  }
+  benchmark::DoNotOptimize(ewma);
+}
+BENCHMARK(BM_EwmaAdd);
+
+void BM_ControllerTick(benchmark::State& state) {
+  SloThroughputPolicy policy;
+  ControllerConfig config;
+  ToggleController controller(config, &policy, Rng(1));
+  int64_t t = 0;
+  const PerfSample sample{Duration::Micros(200), 40000};
+  for (auto _ : state) {
+    t += 1000000;
+    bool on = controller.OnTick(TimePoint::FromNanos(t), sample);
+    benchmark::DoNotOptimize(on);
+  }
+}
+BENCHMARK(BM_ControllerTick);
+
+}  // namespace
+}  // namespace e2e
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// The paper's §4 offline methodology, replayed explicitly: log per-tick
+// estimates from two static runs (Nagle off / on) and analyze what a
+// dynamic toggler would have done with them at each load — which arm the
+// policy picks per tick, how often that agrees with the measured winner,
+// and the would-have-been latency ("had they been used to dynamically
+// toggle Nagle batching, they could have...").
+
+#include <cstdio>
+
+#include "src/testbed/experiment.h"
+#include "src/testbed/offline_analysis.h"
+#include "src/testbed/report.h"
+
+namespace e2e {
+namespace {
+
+RedisExperimentResult Run(double krps, BatchMode mode) {
+  RedisExperimentConfig config;
+  config.rate_rps = krps * 1e3;
+  config.batch_mode = mode;
+  config.seed = 19;
+  config.keep_series = true;
+  return RunRedisExperiment(config);
+}
+
+int Main() {
+  PrintBanner("Offline would-have-been toggle analysis (paper §3.4/§4 methodology)");
+  SloThroughputPolicy policy(Duration::Micros(500));
+
+  Table table({"kRPS", "off:meas_us", "on:meas_us", "truth", "pick_on%", "agree",
+               "wouldbe_est_us", "switches/s"});
+  int agreements = 0;
+  int points = 0;
+  for (double krps : {5.0, 10.0, 20.0, 30.0, 35.0, 40.0, 50.0, 60.0, 70.0}) {
+    const RedisExperimentResult off = Run(krps, BatchMode::kStaticOff);
+    const RedisExperimentResult on = Run(krps, BatchMode::kStaticOn);
+    const WouldBeToggleResult analysis =
+        AnalyzeWouldBeToggle(off.series_bytes, on.series_bytes, policy);
+    const bool truth_on = on.measured_mean_us < off.measured_mean_us;
+    const bool majority_on = analysis.OnFraction() > 0.5;
+    const bool agree = truth_on == majority_on;
+    agreements += agree ? 1 : 0;
+    ++points;
+    table.Row()
+        .Num(krps, 1)
+        .Num(off.measured_mean_us, 1)
+        .Num(on.measured_mean_us, 1)
+        .Cell(truth_on ? "on" : "off")
+        .Num(100 * analysis.OnFraction(), 0)
+        .Cell(agree ? "yes" : "NO")
+        .Num(analysis.mean_chosen_est_us, 1)
+        .Num(static_cast<double>(analysis.switches) / 0.6, 1);
+  }
+  table.Print();
+  std::printf(
+      "\nPer-tick estimate-driven choices picked the measured-better arm at %d/%d loads.\n"
+      "This is the exact analysis behind the paper's claim that the estimates 'correctly\n"
+      "identify the cutoff point where batching becomes worthwhile'.\n",
+      agreements, points);
+  return 0;
+}
+
+}  // namespace
+}  // namespace e2e
+
+int main() { return e2e::Main(); }

@@ -1,0 +1,110 @@
+// Quickstart: the estimation machinery end to end in ~100 lines.
+//
+//  1. Algorithm 1/2 directly: track a queue, compute Q, λ and the
+//     Little's-law delay from two snapshots.
+//  2. A full simulated connection: client sends requests, server echoes
+//     responses, both ends exchange 36-byte metadata payloads in TCP
+//     options, and each side's ConnectionEstimator reports end-to-end
+//     latency without either application being instrumented.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/queue_state.h"
+#include "src/sim/stats.h"
+#include "src/testbed/topology.h"
+
+using namespace e2e;
+
+static void Part1QueueState() {
+  std::printf("-- Part 1: Algorithm 1 (TRACK) + Algorithm 2 (GETAVGS) --\n");
+  QueueState queue(TimePoint::Zero());
+
+  // The paper's worked example: one item for 10 us, then four for 20 us.
+  queue.Track(TimePoint::Zero(), +1);
+  queue.Track(TimePoint::FromNanos(10000), +3);           // 1 item for 10 us.
+  const QueueSnapshot before = queue.Snapshot();          // (time, total, integral)
+  queue.Track(TimePoint::FromNanos(30000), -4);           // 4 items for 20 us.
+  const QueueSnapshot after = queue.Snapshot();
+
+  const QueueAverages avgs = GetAvgs(QueueSnapshot{}, after);
+  std::printf("  avg occupancy Q        = %.2f items (expected 3: (1*10+4*20)/30)\n",
+              avgs.avg_occupancy);
+  std::printf("  departure rate lambda  = %.0f items/s\n", avgs.throughput);
+  std::printf("  Little's-law delay Q/l = %.2f us\n\n", avgs.delay->ToMicros());
+  (void)before;
+}
+
+static void Part2FullStack() {
+  std::printf("-- Part 2: live estimation over a simulated TCP connection --\n");
+  TwoHostTopology topo;  // client host <-> 100 Gbps link <-> server host
+
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  tcp.e2e_exchange_interval = Duration::Millis(1);  // Metadata every 1 ms.
+  ConnectedPair conn = topo.Connect(/*conn_id=*/1, tcp, tcp);
+
+  // Server: read each request, reply with 32 bytes after 5 us of "work".
+  conn.b->SetReadableCallback([&] {
+    topo.server_host().app_core().Submit(
+        [&]() -> Duration {
+          return Duration::Micros(5) * static_cast<int64_t>(conn.b->ReadableMessages());
+        },
+        [&] {
+          auto in = conn.b->Recv();
+          for (auto& msg : in.messages) {
+            MessageRecord reply;
+            reply.id = msg.id;
+            conn.b->Send(32, std::move(reply));
+          }
+        });
+  });
+
+  // Client: issue a 256-byte request every 50 us, read replies.
+  uint64_t next_id = 1;
+  std::function<void()> issue = [&] {
+    MessageRecord req;
+    req.id = next_id++;
+    conn.a->Send(256, std::move(req));
+    if (next_id <= 2000) {
+      topo.sim().Schedule(Duration::Micros(50), issue);
+    }
+  };
+  conn.a->SetReadableCallback([&] {
+    topo.client_host().app_core().SubmitFixed(Duration::Micros(1), [&] { conn.a->Recv(); });
+  });
+  topo.sim().Schedule(Duration::Micros(10), issue);
+
+  // Each estimate refresh (one per metadata exchange) fires this callback.
+  RunningStats estimate_us[2];
+  conn.a->SetEstimateCallback([&](const ConnectionEstimator& est) {
+    if (est.has_estimate()) {
+      estimate_us[0].Add(est.estimate().latency->ToMicros());
+    }
+  });
+  conn.b->SetEstimateCallback([&](const ConnectionEstimator& est) {
+    if (est.has_estimate()) {
+      estimate_us[1].Add(est.estimate().latency->ToMicros());
+    }
+  });
+
+  topo.sim().RunFor(Duration::Millis(120));
+
+  // Both sides computed estimates purely from the exchanged counters.
+  for (TcpEndpoint* side : {conn.a, conn.b}) {
+    const RunningStats& stats = estimate_us[side->is_a() ? 0 : 1];
+    std::printf("  %s view: end-to-end latency ~ %.1f us over %lld exchange intervals\n",
+                side->is_a() ? "client" : "server", stats.mean(),
+                static_cast<long long>(stats.count()));
+  }
+  std::printf("  (request rate 20 kRPS, 5 us service -> stack latency dominated by\n"
+              "   wire + wakeups; both views should roughly agree)\n");
+}
+
+int main() {
+  Part1QueueState();
+  Part2FullStack();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Application CPU cost profiles — the calibration knobs standing in for the
+// paper's testbed hardware (two Xeon E5-2660 servers; client run bare-metal
+// or inside a VM). See DESIGN.md §5 for the calibration rationale.
+
+#ifndef SRC_APPS_COST_PROFILE_H_
+#define SRC_APPS_COST_PROFILE_H_
+
+#include "src/sim/time.h"
+
+namespace e2e {
+
+struct AppCosts {
+  // Event-loop wakeup (epoll_wait return) when work arrives.
+  Duration wakeup = Duration::Nanos(800);
+  // Per send()/recv() syscall.
+  Duration syscall = Duration::Nanos(500);
+  // Per request/response handled, excluding payload-size-dependent work.
+  Duration per_message = Duration::MicrosF(1.5);
+  // Per payload byte (parse/memcpy); ~0.06 ns/B ≈ 16 GB/s effective.
+  Duration per_kilobyte = Duration::Nanos(60);
+
+  // Scales every cost; the VM client profile uses this to model
+  // virtualization overhead (vmexits, softirq steal — paper Figure 2a).
+  AppCosts Scaled(double factor) const {
+    AppCosts scaled = *this;
+    scaled.wakeup = scaled.wakeup * factor;
+    scaled.syscall = scaled.syscall * factor;
+    scaled.per_message = scaled.per_message * factor;
+    scaled.per_kilobyte = scaled.per_kilobyte * factor;
+    return scaled;
+  }
+
+  // Total cost of handling one message of `payload_bytes`.
+  Duration MessageCost(size_t payload_bytes) const {
+    return per_message + per_kilobyte * (static_cast<int64_t>(payload_bytes) / 1024);
+  }
+};
+
+// The Redis server profile: SET-heavy work (parse + hash insert + reply).
+inline AppCosts RedisServerCosts() {
+  AppCosts costs;
+  costs.per_message = Duration::MicrosF(2.0);
+  costs.per_kilobyte = Duration::Nanos(560);  // Parse + copy of the value.
+  return costs;
+}
+
+// A bare-metal Lancet-like client: cheap response handling.
+inline AppCosts BareMetalClientCosts() {
+  AppCosts costs;
+  costs.per_message = Duration::MicrosF(1.0);
+  costs.per_kilobyte = Duration::Nanos(120);
+  return costs;
+}
+
+// The same client inside a VM: every operation costs several times more
+// (Figure 2a shows the client CPU multiplying while the server's stays put).
+inline AppCosts VmClientCosts() { return BareMetalClientCosts().Scaled(6.0); }
+
+}  // namespace e2e
+
+#endif  // SRC_APPS_COST_PROFILE_H_

@@ -1,0 +1,27 @@
+#include "src/apps/kv_store.h"
+
+namespace e2e {
+
+void KvStore::Set(std::string_view key, std::string value) {
+  ++stats_.sets;
+  map_[std::string(key)] = std::move(value);
+}
+
+std::optional<std::string_view> KvStore::Get(std::string_view key) const {
+  ++stats_.gets;
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return std::string_view(it->second);
+}
+
+bool KvStore::Del(std::string_view key) {
+  ++stats_.dels;
+  return map_.erase(std::string(key)) > 0;
+}
+
+bool KvStore::Exists(std::string_view key) const { return map_.contains(std::string(key)); }
+
+}  // namespace e2e

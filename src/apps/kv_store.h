@@ -1,0 +1,65 @@
+// An in-memory key-value store with Redis-like semantics (string keys and
+// values, SET/GET/DEL/EXISTS). Examples and tests run it against real
+// payloads; the simulated server uses the size-only fast path so multi-
+// gigabyte workloads do not copy real bytes.
+
+#ifndef SRC_APPS_KV_STORE_H_
+#define SRC_APPS_KV_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace e2e {
+
+class KvStore {
+ public:
+  void Set(std::string_view key, std::string value);
+  std::optional<std::string_view> Get(std::string_view key) const;
+  bool Del(std::string_view key);
+  bool Exists(std::string_view key) const;
+  size_t size() const { return map_.size(); }
+
+  struct Stats {
+    uint64_t sets = 0;
+    uint64_t gets = 0;
+    uint64_t hits = 0;
+    uint64_t dels = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<std::string, std::string> map_;
+  mutable Stats stats_;
+};
+
+// Size-only variant used by the simulated server: stores value lengths
+// keyed by key id, so a GET can answer "found, N bytes" without materials.
+class VirtualKvStore {
+ public:
+  void Set(uint64_t key_id, uint32_t value_len) {
+    ++stats_.sets;
+    sizes_[key_id] = value_len;
+  }
+  std::optional<uint32_t> Get(uint64_t key_id) const {
+    ++stats_.gets;
+    auto it = sizes_.find(key_id);
+    if (it == sizes_.end()) {
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second;
+  }
+  size_t size() const { return sizes_.size(); }
+  const KvStore::Stats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> sizes_;
+  mutable KvStore::Stats stats_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_APPS_KV_STORE_H_

@@ -1,0 +1,105 @@
+// A Lancet-like open-loop load generator with exact latency measurement.
+//
+// Requests arrive as a Poisson process at a configured rate regardless of
+// completions (open loop — queueing delays are visible, not masked). Every
+// response records its ground-truth latency on the virtual clock; results
+// are filtered to a measurement window after warmup. The client maintains
+// an application HintTracker (create() at request creation, complete() when
+// the response has been processed) that the stack shares with the server —
+// the paper's §3.3 cooperative path.
+
+#ifndef SRC_APPS_LANCET_H_
+#define SRC_APPS_LANCET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/apps/cost_profile.h"
+#include "src/apps/messages.h"
+#include "src/apps/workload.h"
+#include "src/core/hints.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/tcp/endpoint.h"
+
+namespace e2e {
+
+class LancetClient {
+ public:
+  struct Config {
+    double rate_rps = 10000;
+    WorkloadMix mix = WorkloadMix::SetOnly16K();
+    AppCosts costs = BareMetalClientCosts();
+    Duration warmup = Duration::Millis(200);
+    Duration measure = Duration::Millis(800);
+    uint64_t seed = 1;
+    bool use_hints = true;
+    // Syscall batching (paper §3.3's caveat): coalesce up to this many
+    // requests into one send() call; a partial batch flushes after
+    // `pipeline_flush`. Depth 1 = one syscall per request.
+    int pipeline_depth = 1;
+    Duration pipeline_flush = Duration::Micros(100);
+  };
+
+  LancetClient(Simulator* sim, TcpEndpoint* socket, const Config& config);
+
+  // Begins generating load at the current virtual time. Arrivals stop after
+  // warmup + measure; run the simulator a bit longer to drain responses.
+  void Start();
+
+  struct Results {
+    RunningStats latency_us;     // send() -> response read (ground truth).
+    LogHistogram latency_hist{0.1, 1e9, 100};  // In microseconds.
+    RunningStats sojourn_us;     // arrival -> response fully processed.
+    // Component decomposition of the measured latency (all µs):
+    RunningStats request_leg_us;   // send() -> server starts processing.
+    RunningStats server_us;        // server processing incl. send syscall.
+    RunningStats response_leg_us;  // server send() -> response read.
+    uint64_t sent = 0;           // All requests sent (incl. outside window).
+    uint64_t dropped = 0;        // Sends refused by a full socket buffer.
+    uint64_t completed = 0;      // All responses processed.
+    uint64_t measured = 0;       // Responses counted in the window.
+    double offered_rps = 0;
+    double achieved_rps = 0;     // Measured completions / window.
+  };
+  const Results& results() const { return results_; }
+
+  HintTracker& hints() { return hints_; }
+  uint64_t in_flight() const { return in_flight_; }
+
+ private:
+  void ScheduleNextArrival();
+  void OnArrival();
+  void FlushPipeline();
+  void ScheduleReceiveWork();
+  bool InMeasureWindow(TimePoint created) const;
+
+  Simulator* sim_;
+  TcpEndpoint* socket_;
+  Config config_;
+  WorkloadGenerator workload_;
+  Rng rng_;
+  HintTracker hints_;
+
+  TimePoint start_time_;
+  TimePoint arrivals_end_;
+  TimePoint measure_start_;
+  TimePoint measure_end_;
+  bool started_ = false;
+
+  bool recv_pending_ = false;
+  std::vector<AppResponsePtr> recv_batch_;
+  TimePoint recv_syscall_time_;
+
+  std::vector<AppRequestPtr> pipeline_;  // Requests awaiting one send().
+  EventId pipeline_timer_ = kInvalidEventId;
+
+  uint64_t in_flight_ = 0;
+  Results results_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_APPS_LANCET_H_

@@ -1,0 +1,56 @@
+// Application-level request/response descriptors that ride the simulated
+// byte streams (as MessageRecord payloads) between the load generator and
+// the key-value server.
+
+#ifndef SRC_APPS_MESSAGES_H_
+#define SRC_APPS_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/apps/resp.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+enum class OpType { kSet, kGet };
+
+struct AppRequest {
+  uint64_t id = 0;
+  OpType op = OpType::kSet;
+  uint64_t key_id = 0;     // Which key in the workload's key space.
+  uint32_t key_len = 16;
+  uint32_t value_len = 0;  // SET payload size; 0 for GET.
+  TimePoint created_at;    // Load-generator arrival (intended send time).
+  TimePoint sent_at;       // send() issued at the client.
+
+  size_t WireSize() const {
+    return op == OpType::kSet ? RespSetCommandSize(key_len, value_len)
+                              : RespGetCommandSize(key_len);
+  }
+};
+
+struct AppResponse {
+  uint64_t request_id = 0;
+  OpType op = OpType::kSet;
+  uint32_t value_len = 0;  // GET reply payload; 0 for SET ("+OK").
+  bool found = true;
+  TimePoint request_created_at;
+  TimePoint request_sent_at;     // Client issued send().
+  TimePoint server_received_at;  // Server began processing the request.
+  TimePoint response_sent_at;    // Server issued send() for this reply.
+
+  size_t WireSize() const {
+    if (op == OpType::kSet) {
+      return kRespOkSize;
+    }
+    return found ? RespBulkReplySize(value_len) : kRespNullBulkSize;
+  }
+};
+
+using AppRequestPtr = std::shared_ptr<AppRequest>;
+using AppResponsePtr = std::shared_ptr<AppResponse>;
+
+}  // namespace e2e
+
+#endif  // SRC_APPS_MESSAGES_H_

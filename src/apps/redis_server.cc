@@ -1,0 +1,118 @@
+#include "src/apps/redis_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace e2e {
+
+RedisServerApp::RedisServerApp(Simulator* sim, TcpEndpoint* socket, const Config& config)
+    : sim_(sim), socket_(socket), config_(config) {
+  assert(sim_ != nullptr && socket_ != nullptr);
+  socket_->SetReadableCallback([this] { ScheduleWork(); });
+}
+
+// One event-loop iteration: epoll wakeup + one bounded recv(). Complete
+// requests found in the chunk are handed to per-request work items, which
+// serialize on the app core — each pays its processing cost and issues its
+// own send(), exactly Redis's command-loop pattern. (This per-request
+// serialization is what exposes the per-response transmit cost that Nagle
+// amortizes; a batch of sends issued at one instant would coalesce even
+// with TCP_NODELAY.)
+void RedisServerApp::ScheduleWork() {
+  // No read-ahead: while commands from the previous chunk are still being
+  // processed, arriving bytes stay in the kernel receive queue (the pump
+  // reschedules the read when it drains). The readable callback may fire at
+  // any arrival, so the gate lives here.
+  if (work_pending_ || request_work_active_ || !pending_requests_.empty()) {
+    return;
+  }
+  work_pending_ = true;
+  socket_->host()->app_core().Submit(
+      [this]() -> Duration {
+        ++stats_.wakeups;
+        TcpEndpoint::RecvResult received = socket_->Recv(config_.recv_chunk_bytes);
+        batch_.clear();
+        for (MessageRecord& record : received.messages) {
+          batch_.push_back(std::static_pointer_cast<AppRequest>(std::move(record.data)));
+        }
+        return config_.costs.wakeup + config_.costs.syscall;
+      },
+      [this] {
+        stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch_.size());
+        for (AppRequestPtr& request : batch_) {
+          pending_requests_.push_back(std::move(request));
+        }
+        batch_.clear();
+        work_pending_ = false;
+        if (pending_requests_.empty()) {
+          // The chunk held no complete request (mid-message); keep reading.
+          if (socket_->ReadableBytes() > 0) {
+            ScheduleWork();
+          }
+        } else {
+          PumpRequests();
+        }
+      });
+}
+
+// Processes pending requests strictly one at a time: each request's send()
+// (and, with TCP_NODELAY, its inline transmit work) finishes before the next
+// request is picked up — Redis's command loop. Pre-queuing all requests
+// would let their responses coalesce behind the first push even with Nagle
+// disabled.
+void RedisServerApp::PumpRequests() {
+  if (request_work_active_ || pending_requests_.empty()) {
+    return;
+  }
+  request_work_active_ = true;
+  AppRequestPtr request = std::move(pending_requests_.front());
+  pending_requests_.pop_front();
+  // The command executes at work start (so the processing cost can reflect
+  // the *response* payload — a GET's cost is dominated by serializing the
+  // value it returns); the reply is sent when the cost has elapsed.
+  auto response = std::make_shared<AppResponse>();
+  socket_->host()->app_core().Submit(
+      [this, request, response]() -> Duration {
+        ++stats_.requests;
+        response->request_id = request->id;
+        response->op = request->op;
+        response->request_created_at = request->created_at;
+        response->request_sent_at = request->sent_at;
+        response->server_received_at = sim_->Now();
+        if (request->op == OpType::kSet) {
+          ++stats_.sets;
+          store_.Set(request->key_id, request->value_len);
+        } else {
+          ++stats_.gets;
+          const std::optional<uint32_t> value_len = store_.Get(request->key_id);
+          response->found = value_len.has_value();
+          response->value_len = value_len.value_or(0);
+        }
+        // Parse + execute + reply build (request and reply payload bytes),
+        // plus the send() syscall.
+        return config_.costs.per_message +
+               config_.costs.per_kilobyte *
+                   static_cast<int64_t>((request->WireSize() + response->WireSize()) / 1024) +
+               config_.costs.syscall;
+      },
+      [this, response] {
+        response->response_sent_at = sim_->Now();
+        MessageRecord record;
+        record.id = response->request_id;
+        record.data = response;
+        socket_->Send(response->WireSize(), std::move(record));
+        ++stats_.responses;
+        request_work_active_ = false;
+        if (!pending_requests_.empty()) {
+          PumpRequests();
+        } else if (socket_->ReadableBytes() > 0 || socket_->ReadableMessages() > 0) {
+          // Event-loop style: the next read happens only after this chunk's
+          // commands finished, so backlog stays in the kernel receive queue
+          // (visible to the unread-queue instrumentation), not in app memory.
+          ScheduleWork();
+        }
+      });
+}
+
+}  // namespace e2e

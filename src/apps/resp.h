@@ -1,0 +1,87 @@
+// A RESP (REdis Serialization Protocol) codec.
+//
+// Used two ways: examples and unit tests encode/decode real byte buffers;
+// the simulated Redis workload uses the *size calculators* so that the
+// virtual byte streams carry protocol-exact byte counts (16 KiB SET values
+// produce 16430-byte commands and 5-byte "+OK" replies, GETs produce
+// 16394-byte bulk replies — the 34x ratio behind the paper's Figure 4b).
+
+#ifndef SRC_APPS_RESP_H_
+#define SRC_APPS_RESP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace e2e {
+
+// ---- Size calculators (no allocation; used by the simulator) ----
+
+// Bytes of a bulk-string element: $<len>\r\n<payload>\r\n.
+size_t RespBulkSize(size_t payload_len);
+
+// Bytes of an n-element array header: *<n>\r\n.
+size_t RespArrayHeaderSize(size_t n);
+
+// Full SET command: *3 ["SET", key, value].
+size_t RespSetCommandSize(size_t key_len, size_t value_len);
+
+// Full GET command: *2 ["GET", key].
+size_t RespGetCommandSize(size_t key_len);
+
+// "+OK\r\n".
+inline constexpr size_t kRespOkSize = 5;
+
+// Bulk reply carrying a value (GET hit), or $-1\r\n for a miss.
+size_t RespBulkReplySize(size_t value_len);
+inline constexpr size_t kRespNullBulkSize = 5;
+
+// ---- Real encoder/decoder (examples & tests) ----
+
+struct RespValue {
+  enum class Kind { kSimpleString, kError, kInteger, kBulkString, kNullBulk, kArray };
+  Kind kind = Kind::kNullBulk;
+  std::string str;               // Simple/error/bulk payload.
+  int64_t integer = 0;
+  std::vector<RespValue> array;
+
+  bool operator==(const RespValue&) const = default;
+};
+
+// Encodes a command (array of bulk strings) such as {"SET", key, value}.
+std::string RespEncodeCommand(const std::vector<std::string_view>& args);
+
+std::string RespEncodeSimpleString(std::string_view s);
+std::string RespEncodeError(std::string_view msg);
+std::string RespEncodeInteger(int64_t v);
+std::string RespEncodeBulk(std::string_view payload);
+std::string RespEncodeNullBulk();
+
+// Incremental parser over a byte stream; supports partial input.
+class RespParser {
+ public:
+  // Appends bytes to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  // Attempts to parse one complete value from the front of the buffer.
+  // Returns nullopt when more bytes are needed. Malformed input throws
+  // std::runtime_error.
+  std::optional<RespValue> TryParse();
+
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  // Parses a value at `pos`; returns nullopt if incomplete.
+  std::optional<RespValue> ParseAt(size_t& pos) const;
+  std::optional<std::string_view> LineAt(size_t& pos) const;
+  void Compact();
+
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_APPS_RESP_H_

@@ -1,0 +1,74 @@
+// Workload mixes for the Redis benchmark (paper §4): fixed-size SETs of
+// 16 KiB values to 16 B keys, optionally mixed with GETs (Figure 4b uses a
+// 95:5 SET:GET ratio, making 5% of responses ~34x heavier than the rest).
+
+#ifndef SRC_APPS_WORKLOAD_H_
+#define SRC_APPS_WORKLOAD_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/apps/messages.h"
+#include "src/sim/random.h"
+
+namespace e2e {
+
+struct WorkloadMix {
+  double set_ratio = 1.0;         // Fraction of requests that are SETs.
+  uint32_t key_len = 16;
+  uint32_t set_value_len = 16384;
+  uint32_t get_value_len = 16384;  // Size of values GETs find.
+  // Coefficient of variation of SET value sizes (lognormal around
+  // set_value_len; 0 = fixed sizes). Probes the paper's §3.4 limitation:
+  // byte-unit estimation assumes similarly sized messages.
+  double set_value_cv = 0.0;
+  uint64_t key_space = 1024;       // Distinct keys.
+
+  static WorkloadMix SetOnly16K() { return WorkloadMix{}; }
+  static WorkloadMix SetGet16K(double set_ratio) {
+    WorkloadMix mix;
+    mix.set_ratio = set_ratio;
+    return mix;
+  }
+};
+
+// Draws request parameters from a mix.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadMix& mix, Rng rng) : mix_(mix), rng_(rng) {}
+
+  AppRequest Next() {
+    AppRequest req;
+    req.id = next_id_++;
+    req.key_len = mix_.key_len;
+    if (rng_.Bernoulli(mix_.set_ratio)) {
+      req.op = OpType::kSet;
+      if (mix_.set_value_cv > 0) {
+        const double drawn =
+            rng_.LogNormalMeanCv(static_cast<double>(mix_.set_value_len), mix_.set_value_cv);
+        req.value_len = static_cast<uint32_t>(
+            std::clamp(drawn, 64.0, 4.0 * 1024 * 1024));
+      } else {
+        req.value_len = mix_.set_value_len;
+      }
+    } else {
+      req.op = OpType::kGet;
+      req.value_len = 0;
+    }
+    return req;
+  }
+
+  // Key id for a request (uniform over the key space).
+  uint64_t NextKeyId() { return static_cast<uint64_t>(rng_.UniformInt(0, mix_.key_space - 1)); }
+
+  const WorkloadMix& mix() const { return mix_; }
+
+ private:
+  WorkloadMix mix_;
+  Rng rng_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_APPS_WORKLOAD_H_

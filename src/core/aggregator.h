@@ -1,0 +1,53 @@
+// Multi-connection aggregation (paper §3.2): when one batching policy
+// affects several connections — e.g. a server toggling Nagle for all its
+// clients — their per-connection estimates are averaged into a single
+// operating point for the controller.
+
+#ifndef SRC_CORE_AGGREGATOR_H_
+#define SRC_CORE_AGGREGATOR_H_
+
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/core/latency_combiner.h"
+
+namespace e2e {
+
+class EstimateAggregator {
+ public:
+  // Registers a source; the pointer must outlive the aggregator.
+  void AddSource(const ConnectionEstimator* estimator) { sources_.push_back(estimator); }
+
+  size_t size() const { return sources_.size(); }
+
+  // Averages the sources' *current* estimates (stale/idle connections
+  // contribute throughput but no latency, exactly like AverageEstimates).
+  E2eEstimate Aggregate() const {
+    std::vector<E2eEstimate> estimates;
+    estimates.reserve(sources_.size());
+    for (const ConnectionEstimator* source : sources_) {
+      estimates.push_back(source->estimate());
+    }
+    return AverageEstimates(estimates.data(), estimates.size());
+  }
+
+  // As Aggregate(), but uses each connection's last *valid* estimate so a
+  // briefly idle connection does not drop out of the average.
+  E2eEstimate AggregateLastValid() const {
+    std::vector<E2eEstimate> estimates;
+    estimates.reserve(sources_.size());
+    for (const ConnectionEstimator* source : sources_) {
+      if (source->last_valid_estimate().has_value()) {
+        estimates.push_back(*source->last_valid_estimate());
+      }
+    }
+    return AverageEstimates(estimates.data(), estimates.size());
+  }
+
+ private:
+  std::vector<const ConnectionEstimator*> sources_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_AGGREGATOR_H_

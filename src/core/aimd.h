@@ -1,0 +1,100 @@
+// AIMD-adapted batch limits (paper §5, "Better Batching Heuristics"): instead
+// of toggling a heuristic on/off, gradually adjust a batching *limit* (e.g.
+// the number of bytes Nagle may hold back) with additive-increase /
+// multiplicative-decrease, the classic stable control rule from congestion
+// avoidance.
+
+#ifndef SRC_CORE_AIMD_H_
+#define SRC_CORE_AIMD_H_
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/policy.h"
+#include "src/sim/ewma.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// Pure AIMD mechanics over a bounded scalar limit.
+class AimdLimit {
+ public:
+  struct Config {
+    double min_limit = 0.0;
+    double max_limit = 65536.0;
+    double add_step = 512.0;        // Additive increase per good signal.
+    double decrease_factor = 0.5;   // Multiplicative decrease per bad signal.
+    double initial = 0.0;
+  };
+
+  explicit AimdLimit(const Config& config) : config_(config), limit_(config.initial) {
+    assert(config.min_limit <= config.initial && config.initial <= config.max_limit);
+    assert(config.decrease_factor > 0 && config.decrease_factor < 1);
+    assert(config.add_step > 0);
+  }
+
+  double limit() const { return limit_; }
+
+  // Additive increase (performance is good — batch more aggressively).
+  void Increase() { limit_ = std::min(limit_ + config_.add_step, config_.max_limit); }
+
+  // Multiplicative decrease (performance degraded — back off batching).
+  void Decrease() { limit_ = std::max(limit_ * config_.decrease_factor, config_.min_limit); }
+
+ private:
+  Config config_;
+  double limit_;
+};
+
+// Drives a cork-byte limit from end-to-end estimates. The direction matters:
+// under this system's operating curve (Figure 4a), *more* batching is the
+// safe setting under pressure and *less* batching is the latency-optimal
+// setting when there is headroom. The controller therefore applies AIMD to
+// the *headroom* below the maximum limit: while the latency SLO holds it
+// additively grows headroom (gently probing toward TCP_NODELAY-like
+// behavior), and on a violation it multiplicatively collapses headroom
+// (jumping back toward full batching before the backlog becomes
+// self-sustaining). A limit of 0 bytes means "never delay"; the TCP stack
+// holds small segments only while fewer than `limit` bytes are pending.
+class AimdBatchController {
+ public:
+  struct Config {
+    Duration tick = Duration::Millis(1);
+    Duration slo = Duration::Micros(500);
+    // AIMD mechanics applied to headroom = max_limit - cork_limit. The
+    // initial headroom of 0 starts the system at full batching (safe side).
+    AimdLimit::Config aimd;
+    Duration ewma_tau = Duration::Millis(5);
+  };
+
+  explicit AimdBatchController(const Config& config)
+      : config_(config), headroom_(config.aimd), latency_us_(config.ewma_tau) {}
+
+  // Current cork limit in bytes.
+  double limit_bytes() const { return config_.aimd.max_limit - headroom_.limit(); }
+
+  // Feeds one estimate; adjusts the limit. Returns the new limit.
+  double OnTick(TimePoint now, const std::optional<PerfSample>& sample) {
+    if (sample.has_value()) {
+      latency_us_.Add(now, sample->latency.ToMicros());
+    }
+    if (!latency_us_.initialized()) {
+      return limit_bytes();
+    }
+    if (latency_us_.value() <= config_.slo.ToMicros()) {
+      headroom_.Increase();  // Additive: probe toward less batching.
+    } else {
+      headroom_.Decrease();  // Multiplicative: retreat to batching fast.
+    }
+    return limit_bytes();
+  }
+
+ private:
+  Config config_;
+  AimdLimit headroom_;
+  IrregularEwma latency_us_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_AIMD_H_

@@ -1,0 +1,82 @@
+#include "src/core/controller.h"
+
+#include <cassert>
+
+namespace e2e {
+
+ToggleController::ToggleController(const ControllerConfig& config, const BatchPolicy* policy,
+                                   Rng rng, bool initial_on)
+    : config_(config),
+      policy_(policy),
+      rng_(rng),
+      arms_{Arm(config.ewma_tau), Arm(config.ewma_tau)},
+      on_(initial_on) {
+  assert(policy_ != nullptr);
+  assert(config_.epsilon >= 0 && config_.epsilon <= 1);
+}
+
+std::optional<PerfSample> ToggleController::ArmEstimate(bool on) const {
+  const Arm& arm = ArmFor(on);
+  if (!arm.observed) {
+    return std::nullopt;
+  }
+  return PerfSample{Duration::MicrosF(arm.latency_us.value()), arm.throughput.value()};
+}
+
+void ToggleController::SwitchTo(bool on, TimePoint now) {
+  if (on == on_) {
+    return;
+  }
+  on_ = on;
+  last_switch_ = now;
+  ++switches_;
+}
+
+bool ToggleController::OnTick(TimePoint now, const std::optional<PerfSample>& sample) {
+  // Discard samples taken right after a switch: they reflect backlog
+  // inherited from the previous setting, not this arm's behavior.
+  if (sample.has_value() && now - last_switch_ >= config_.settle) {
+    Arm& arm = ArmFor(on_);
+    arm.latency_us.Add(now, sample->latency.ToMicros());
+    arm.throughput.Add(now, sample->throughput);
+    arm.last_update = now;
+    arm.observed = true;
+  }
+
+  // Honor the dwell time so every trial produces at least one estimate.
+  if (now - last_switch_ < config_.min_dwell) {
+    return on_;
+  }
+
+  const Arm& other = ArmFor(!on_);
+  // Exploration veto: an arm recently seen with runaway latency is not
+  // worth re-trying yet — probing an unstable setting leaves a backlog that
+  // outlives the probe.
+  const bool vetoed = config_.explore_latency_veto.has_value() && other.observed &&
+                      now - other.last_update <= config_.veto_memory &&
+                      other.latency_us.value() > config_.explore_latency_veto->ToMicros();
+
+  // Forced exploration: the other arm has never been tried, or its data has
+  // gone stale.
+  if (!other.observed || (!vetoed && now - other.last_update > config_.stale_after)) {
+    ++explorations_;
+    SwitchTo(!on_, now);
+    return on_;
+  }
+
+  // ε-greedy: occasionally re-try the other arm regardless of scores.
+  if (!vetoed && rng_.Bernoulli(config_.epsilon)) {
+    ++explorations_;
+    SwitchTo(!on_, now);
+    return on_;
+  }
+
+  const std::optional<PerfSample> mine = ArmEstimate(on_);
+  const std::optional<PerfSample> theirs = ArmEstimate(!on_);
+  if (mine && theirs && policy_->Prefers(*theirs, *mine)) {
+    SwitchTo(!on_, now);
+  }
+  return on_;
+}
+
+}  // namespace e2e

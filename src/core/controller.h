@@ -1,0 +1,90 @@
+// Dynamic on/off batching controller (paper §5).
+//
+// The effect of toggling batching is unknown until tried — a classic
+// exploration/exploitation tradeoff — so the controller runs ε-greedy over
+// the two arms {batching on, batching off}. Per-arm observations are
+// EWMA-smoothed (the paper suggests exponentially weighted moving averages
+// to tame noise) and decisions happen at a fixed tick granularity (the paper
+// suggests a kernel tick).
+
+#ifndef SRC_CORE_CONTROLLER_H_
+#define SRC_CORE_CONTROLLER_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/core/policy.h"
+#include "src/sim/ewma.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+struct ControllerConfig {
+  // Decision granularity; the paper's initial results suggest a kernel tick.
+  Duration tick = Duration::Millis(1);
+  // Exploration probability per decision.
+  double epsilon = 0.05;
+  // Smoothing time constant for per-arm observations.
+  Duration ewma_tau = Duration::Millis(10);
+  // Minimum time to stay on an arm after a switch, so each trial gathers at
+  // least one meaningful estimate.
+  Duration min_dwell = Duration::Millis(3);
+  // Samples arriving within this long of a switch are discarded: they still
+  // reflect backlog inherited from the previous setting and would otherwise
+  // poison the new arm's average (a switch-thrash death spiral).
+  Duration settle = Duration::Millis(2);
+  // Arms with no observation newer than this are re-explored eagerly.
+  Duration stale_after = Duration::Millis(100);
+  // Exploration veto: skip ε/staleness exploration of an arm whose last
+  // observation (within veto_memory) showed latency above this threshold —
+  // trying a known-unstable setting has a lasting backlog cost. Unset
+  // disables the veto.
+  std::optional<Duration> explore_latency_veto = Duration::Millis(1);
+  Duration veto_memory = Duration::Millis(200);
+};
+
+class ToggleController {
+ public:
+  ToggleController(const ControllerConfig& config, const BatchPolicy* policy, Rng rng,
+                   bool initial_on = false);
+
+  bool batching_on() const { return on_; }
+
+  // Feeds one end-to-end estimate observed *under the current setting* and
+  // makes a (possibly unchanged) decision. Returns the new setting.
+  bool OnTick(TimePoint now, const std::optional<PerfSample>& sample);
+
+  uint64_t switches() const { return switches_; }
+  uint64_t explorations() const { return explorations_; }
+
+  // Smoothed view of one arm, if it has been observed.
+  std::optional<PerfSample> ArmEstimate(bool on) const;
+
+ private:
+  struct Arm {
+    IrregularEwma latency_us;
+    IrregularEwma throughput;
+    TimePoint last_update;
+    bool observed = false;
+    explicit Arm(Duration tau) : latency_us(tau), throughput(tau) {}
+  };
+
+  void SwitchTo(bool on, TimePoint now);
+  Arm& ArmFor(bool on) { return arms_[on ? 1 : 0]; }
+  const Arm& ArmFor(bool on) const { return arms_[on ? 1 : 0]; }
+
+  ControllerConfig config_;
+  const BatchPolicy* policy_;
+  Rng rng_;
+  std::array<Arm, 2> arms_;
+  bool on_;
+  TimePoint last_switch_;
+  uint64_t switches_ = 0;
+  uint64_t explorations_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_CONTROLLER_H_

@@ -1,0 +1,76 @@
+// Per-endpoint instrumentation: one QueueState per (monitored queue, unit
+// mode). The TCP stack calls `Track` whenever a queue's size changes; the
+// estimator snapshots all states at exchange points.
+
+#ifndef SRC_CORE_ENDPOINT_QUEUES_H_
+#define SRC_CORE_ENDPOINT_QUEUES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/queue_state.h"
+#include "src/core/units.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// Snapshots of the three queues in a single unit mode, as exchanged with the
+// peer (three 3-tuples = the paper's 36-byte payload).
+struct EndpointSnapshot {
+  QueueSnapshot unacked;
+  QueueSnapshot unread;
+  QueueSnapshot ackdelay;
+
+  const QueueSnapshot& Get(QueueKind kind) const {
+    switch (kind) {
+      case QueueKind::kUnacked:
+        return unacked;
+      case QueueKind::kUnread:
+        return unread;
+      case QueueKind::kAckDelay:
+        return ackdelay;
+    }
+    return unacked;
+  }
+};
+
+class EndpointQueues {
+ public:
+  explicit EndpointQueues(TimePoint now = TimePoint::Zero()) {
+    for (auto& per_mode : states_) {
+      for (auto& state : per_mode) {
+        state = QueueState(now);
+      }
+    }
+  }
+
+  QueueState& Get(QueueKind kind, UnitMode mode) {
+    return states_[static_cast<size_t>(mode)][static_cast<size_t>(kind)];
+  }
+  const QueueState& Get(QueueKind kind, UnitMode mode) const {
+    return states_[static_cast<size_t>(mode)][static_cast<size_t>(kind)];
+  }
+
+  void Track(QueueKind kind, UnitMode mode, TimePoint now, int64_t nitems) {
+    Get(kind, mode).Track(now, nitems);
+  }
+
+  // Snapshot of all three queues in `mode`, advanced to `now`.
+  EndpointSnapshot SnapshotAll(UnitMode mode, TimePoint now) {
+    auto snap_of = [&](QueueKind kind) {
+      QueueState& state = Get(kind, mode);
+      state.AdvanceTo(now);
+      return state.Snapshot();
+    };
+    return EndpointSnapshot{snap_of(QueueKind::kUnacked), snap_of(QueueKind::kUnread),
+                            snap_of(QueueKind::kAckDelay)};
+  }
+
+ private:
+  // [unit mode][queue kind]; only the three kernel-trackable modes.
+  std::array<std::array<QueueState, 3>, kNumKernelUnitModes> states_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_ENDPOINT_QUEUES_H_

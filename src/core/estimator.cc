@@ -1,0 +1,66 @@
+#include "src/core/estimator.h"
+
+namespace e2e {
+namespace {
+
+EndpointAverages AvgsOf(const WirePayload& prev, const WirePayload& cur) {
+  return EndpointAverages{
+      WireGetAvgs(prev.unacked, cur.unacked),
+      WireGetAvgs(prev.unread, cur.unread),
+      WireGetAvgs(prev.ackdelay, cur.ackdelay),
+  };
+}
+
+}  // namespace
+
+WirePayload ConnectionEstimator::BuildLocalPayload(EndpointQueues& queues, HintTracker* hint,
+                                                   TimePoint now) {
+  const EndpointSnapshot snap = queues.SnapshotAll(mode_, now);
+  WirePayload payload;
+  payload.mode = mode_;
+  payload.unacked = CompressSnapshot(snap.unacked);
+  payload.unread = CompressSnapshot(snap.unread);
+  payload.ackdelay = CompressSnapshot(snap.ackdelay);
+  if (hint != nullptr) {
+    payload.hint = hint->WireSnapshot(now);
+  }
+  return payload;
+}
+
+void ConnectionEstimator::OnRemotePayload(const WirePayload& remote, EndpointQueues& queues,
+                                          HintTracker* hint, TimePoint now) {
+  ++exchanges_;
+  local_prev_ = local_cur_;
+  local_cur_ = BuildLocalPayload(queues, hint, now);
+  remote_prev_ = remote_cur_;
+  remote_cur_ = remote;
+  if (!local_prev_ || !remote_prev_) {
+    return;
+  }
+  const EndpointAverages local_avgs = AvgsOf(*local_prev_, *local_cur_);
+  const EndpointAverages remote_avgs = AvgsOf(*remote_prev_, *remote_cur_);
+  estimate_ = EstimateEndToEnd(local_avgs, remote_avgs);
+  if (estimate_.latency.has_value()) {
+    last_valid_ = estimate_;
+  }
+  if (remote_prev_->hint && remote_cur_->hint) {
+    const QueueAverages hint_avgs = WireGetAvgs(*remote_prev_->hint, *remote_cur_->hint);
+    if (hint_avgs.delay.has_value()) {
+      hint_latency_ = hint_avgs.delay;
+      hint_throughput_ = hint_avgs.throughput;
+    }
+  }
+}
+
+void ConnectionEstimator::Reset() {
+  local_prev_.reset();
+  local_cur_.reset();
+  remote_prev_.reset();
+  remote_cur_.reset();
+  estimate_ = E2eEstimate{};
+  last_valid_.reset();
+  hint_latency_.reset();
+  hint_throughput_ = 0.0;
+}
+
+}  // namespace e2e

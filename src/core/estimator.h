@@ -1,0 +1,77 @@
+// Per-connection end-to-end performance estimator (paper §3).
+//
+// Each endpoint occasionally sends its wire-compressed queue counters to the
+// peer inside a TCP option. On every received payload, the estimator also
+// snapshots the *local* counters so the two intervals line up (within one
+// one-way delay), then evaluates the combination formula over the deltas of
+// the previous and current payload pairs.
+
+#ifndef SRC_CORE_ESTIMATOR_H_
+#define SRC_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/endpoint_queues.h"
+#include "src/core/hints.h"
+#include "src/core/latency_combiner.h"
+#include "src/core/units.h"
+#include "src/core/wire_format.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+class ConnectionEstimator {
+ public:
+  // `mode` selects the unit mode carried on the wire (bytes in the paper's
+  // prototype; syscalls for the hypothesized kernel patch).
+  explicit ConnectionEstimator(UnitMode mode = UnitMode::kBytes) : mode_(mode) {}
+
+  UnitMode mode() const { return mode_; }
+
+  // Builds this endpoint's payload for transmission: snapshots the three
+  // local queues (and the hint queue when an application provided one).
+  WirePayload BuildLocalPayload(EndpointQueues& queues, HintTracker* hint, TimePoint now);
+
+  // Ingests the peer's payload and refreshes the estimate. `queues` are the
+  // local queues (snapshotted now to align intervals).
+  void OnRemotePayload(const WirePayload& remote, EndpointQueues& queues, HintTracker* hint,
+                       TimePoint now);
+
+  // The latest kernel-queue estimate; invalid until two exchanges completed
+  // (and whenever the last interval saw no departures).
+  const E2eEstimate& estimate() const { return estimate_; }
+  bool has_estimate() const { return estimate_.latency.has_value(); }
+
+  // The most recent *valid* estimate, surviving idle intervals. Empty only
+  // before the first valid estimate.
+  const std::optional<E2eEstimate>& last_valid_estimate() const { return last_valid_; }
+
+  // Hint-based estimate from the peer's application hint queue (valid only
+  // when the peer supplies hints). Latency is the create->complete delay.
+  // Like last_valid_estimate(), this survives idle intervals.
+  std::optional<Duration> hint_latency() const { return hint_latency_; }
+  double hint_throughput() const { return hint_throughput_; }
+
+  // Number of remote payloads ingested.
+  uint64_t exchanges() const { return exchanges_; }
+
+  // Drops history (e.g. after an idle period that would straddle wraps).
+  void Reset();
+
+ private:
+  UnitMode mode_;
+  std::optional<WirePayload> local_prev_;
+  std::optional<WirePayload> local_cur_;
+  std::optional<WirePayload> remote_prev_;
+  std::optional<WirePayload> remote_cur_;
+  E2eEstimate estimate_;
+  std::optional<E2eEstimate> last_valid_;
+  std::optional<Duration> hint_latency_;
+  double hint_throughput_ = 0.0;
+  uint64_t exchanges_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_ESTIMATOR_H_

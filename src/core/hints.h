@@ -1,0 +1,53 @@
+// The application hint API (paper §3.3).
+//
+// Cooperative applications eliminate the semantic gap by maintaining a
+// userspace 4-tuple queue state for their *logical* request queue: they call
+// `Create(n)` when issuing n requests and `Complete(n)` when the matching
+// responses have been received. The state is handed to the stack via send()
+// ancillary data and shared with the peer, which applies Little's law to
+// this single queue — no kernel queue monitoring needed, and the estimate
+// reflects exactly what the application perceives.
+
+#ifndef SRC_CORE_HINTS_H_
+#define SRC_CORE_HINTS_H_
+
+#include <cstdint>
+
+#include "src/core/queue_state.h"
+#include "src/core/wire_format.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+class HintTracker {
+ public:
+  explicit HintTracker(TimePoint now = TimePoint::Zero()) : state_(now) {}
+
+  // Marks `n` requests as issued at `now` (the paper's create(n)).
+  void Create(TimePoint now, int64_t n = 1) { state_.Track(now, n); }
+
+  // Marks `n` requests as completed at `now` (the paper's complete(n)).
+  void Complete(TimePoint now, int64_t n = 1) { state_.Track(now, -n); }
+
+  // Requests issued but not yet completed.
+  int64_t outstanding() const { return state_.size(); }
+
+  // Total requests completed so far.
+  int64_t completed() const { return state_.total(); }
+
+  // Full-resolution snapshot advanced to `now`.
+  QueueSnapshot Snapshot(TimePoint now) {
+    state_.AdvanceTo(now);
+    return state_.Snapshot();
+  }
+
+  // Wire-compressed snapshot for the ancillary-data channel.
+  WireCounters WireSnapshot(TimePoint now) { return CompressSnapshot(Snapshot(now)); }
+
+ private:
+  QueueState state_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_HINTS_H_

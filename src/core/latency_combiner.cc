@@ -1,0 +1,60 @@
+#include "src/core/latency_combiner.h"
+
+#include <algorithm>
+
+namespace e2e {
+
+EndpointAverages GetEndpointAvgs(const EndpointSnapshot& prev, const EndpointSnapshot& cur) {
+  return EndpointAverages{
+      GetAvgs(prev.unacked, cur.unacked),
+      GetAvgs(prev.unread, cur.unread),
+      GetAvgs(prev.ackdelay, cur.ackdelay),
+  };
+}
+
+std::optional<Duration> CombineLatency(const EndpointAverages& local,
+                                       const EndpointAverages& remote) {
+  if (!local.unacked.delay.has_value()) {
+    return std::nullopt;
+  }
+  const Duration zero = Duration::Zero();
+  Duration latency = *local.unacked.delay - remote.ackdelay.DelayOr(zero) +
+                     local.unread.DelayOr(zero) + remote.unread.DelayOr(zero);
+  return std::max(latency, zero);
+}
+
+E2eEstimate EstimateEndToEnd(const EndpointAverages& a, const EndpointAverages& b) {
+  E2eEstimate est;
+  est.a_send_throughput = a.unacked.throughput;
+  est.b_send_throughput = b.unacked.throughput;
+  const std::optional<Duration> from_a = CombineLatency(a, b);
+  const std::optional<Duration> from_b = CombineLatency(b, a);
+  if (from_a && from_b) {
+    est.latency = std::max(*from_a, *from_b);
+  } else if (from_a) {
+    est.latency = from_a;
+  } else {
+    est.latency = from_b;
+  }
+  return est;
+}
+
+E2eEstimate AverageEstimates(const E2eEstimate* estimates, size_t count) {
+  E2eEstimate avg;
+  int64_t valid = 0;
+  int64_t latency_ns = 0;
+  for (size_t i = 0; i < count; ++i) {
+    avg.a_send_throughput += estimates[i].a_send_throughput;
+    avg.b_send_throughput += estimates[i].b_send_throughput;
+    if (estimates[i].latency.has_value()) {
+      latency_ns += estimates[i].latency->nanos();
+      ++valid;
+    }
+  }
+  if (valid > 0) {
+    avg.latency = Duration::Nanos(latency_ns / valid);
+  }
+  return avg;
+}
+
+}  // namespace e2e

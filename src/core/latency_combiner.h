@@ -1,0 +1,62 @@
+// Combining per-queue Little's-law delays into the end-to-end latency L
+// (paper §3.2 and Figure 3):
+//
+//   L ≈ L_unacked^local − L_ackdelay^remote + L_unread^local + L_unread^remote
+//
+// Both parties share their three queue states, so each can evaluate the
+// formula from either orientation; the maximum of the two is used to guard
+// against underestimation.
+
+#ifndef SRC_CORE_LATENCY_COMBINER_H_
+#define SRC_CORE_LATENCY_COMBINER_H_
+
+#include <optional>
+
+#include "src/core/endpoint_queues.h"
+#include "src/core/queue_state.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// Algorithm-2 averages for all three queues of one endpoint.
+struct EndpointAverages {
+  QueueAverages unacked;
+  QueueAverages unread;
+  QueueAverages ackdelay;
+};
+
+// Applies GetAvgs to each of the three queues between two endpoint
+// snapshots taken at different times.
+EndpointAverages GetEndpointAvgs(const EndpointSnapshot& prev, const EndpointSnapshot& cur);
+
+// Evaluates the combination formula with `local` as the side whose sends
+// start the measured interval. Returns nullopt when the local unacked queue
+// saw no departures (no traffic — latency undefined). Missing terms from
+// idle queues contribute zero delay; the result is clamped to >= 0.
+std::optional<Duration> CombineLatency(const EndpointAverages& local,
+                                       const EndpointAverages& remote);
+
+// An end-to-end estimate combining both orientations.
+struct E2eEstimate {
+  // max(CombineLatency(a, b), CombineLatency(b, a)); empty if neither side
+  // had traffic.
+  std::optional<Duration> latency;
+  // Departure rates of each side's unacked queue (items/second): side A's
+  // rate counts A->B messages and vice versa.
+  double a_send_throughput = 0.0;
+  double b_send_throughput = 0.0;
+
+  bool valid() const { return latency.has_value(); }
+};
+
+E2eEstimate EstimateEndToEnd(const EndpointAverages& a, const EndpointAverages& b);
+
+// Averages several per-connection estimates (paper §3.2: per-connection
+// estimates "can be averaged if a batching policy simultaneously affects
+// multiple connections"). Invalid estimates are skipped; the result is
+// invalid when all inputs are.
+E2eEstimate AverageEstimates(const E2eEstimate* estimates, size_t count);
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_LATENCY_COMBINER_H_

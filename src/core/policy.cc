@@ -1,0 +1,26 @@
+#include "src/core/policy.h"
+
+namespace e2e {
+
+double MinLatencyPolicy::Score(const PerfSample& sample) const {
+  return -sample.latency.ToMicros();
+}
+
+double SloThroughputPolicy::Score(const PerfSample& sample) const {
+  if (sample.latency <= slo_) {
+    // Compliant: rank by throughput, strictly above every violator. The
+    // small latency-margin bonus breaks ties between settings that carry
+    // the same offered load (open-loop throughput is setting-independent
+    // below saturation), preferring the lower-latency one.
+    const double margin = 1.0 - sample.latency.Ratio(slo_);
+    return sample.throughput * (1.0 + 0.3 * margin);
+  }
+  // Violators rank negative, least-bad (lowest latency) first.
+  return -sample.latency.ToMicros();
+}
+
+double WeightedPolicy::Score(const PerfSample& sample) const {
+  return tput_w_ * sample.throughput / 1e3 - lat_w_ * sample.latency.ToMicros();
+}
+
+}  // namespace e2e

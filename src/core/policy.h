@@ -1,0 +1,73 @@
+// Batching objectives (paper §5, "Dynamic Toggling"): because throughput and
+// latency may conflict, toggling follows a system- or user-defined policy
+// that scores an observed (latency, throughput) operating point.
+
+#ifndef SRC_CORE_POLICY_H_
+#define SRC_CORE_POLICY_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// One observed end-to-end operating point (typically EWMA-smoothed).
+struct PerfSample {
+  Duration latency;
+  double throughput = 0.0;  // Requests (or unit-mode items) per second.
+
+  bool operator==(const PerfSample&) const = default;
+};
+
+// Scores operating points; higher is better. Implementations must be
+// scale-monotone in the obvious directions (lower latency and higher
+// throughput never decrease the score of an otherwise-equal sample).
+class BatchPolicy {
+ public:
+  virtual ~BatchPolicy() = default;
+  virtual double Score(const PerfSample& sample) const = 0;
+  virtual const char* name() const = 0;
+
+  // True when `a` is strictly preferable to `b`.
+  bool Prefers(const PerfSample& a, const PerfSample& b) const { return Score(a) > Score(b); }
+};
+
+// Minimize average latency, ignoring throughput.
+class MinLatencyPolicy : public BatchPolicy {
+ public:
+  double Score(const PerfSample& sample) const override;
+  const char* name() const override { return "min-latency"; }
+};
+
+// Maximize throughput provided latency stays under an SLO (the paper's
+// motivating policy, with the commonly used 500us SLO as default). Points
+// violating the SLO rank below all compliant points and among themselves by
+// (lower) latency.
+class SloThroughputPolicy : public BatchPolicy {
+ public:
+  explicit SloThroughputPolicy(Duration slo = Duration::Micros(500)) : slo_(slo) {}
+  double Score(const PerfSample& sample) const override;
+  const char* name() const override { return "tput-under-slo"; }
+  Duration slo() const { return slo_; }
+
+ private:
+  Duration slo_;
+};
+
+// Linear tradeoff: score = throughput_weight * kRPS - latency_weight * us.
+class WeightedPolicy : public BatchPolicy {
+ public:
+  WeightedPolicy(double throughput_weight, double latency_weight)
+      : tput_w_(throughput_weight), lat_w_(latency_weight) {}
+  double Score(const PerfSample& sample) const override;
+  const char* name() const override { return "weighted"; }
+
+ private:
+  double tput_w_;
+  double lat_w_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_POLICY_H_

@@ -1,0 +1,44 @@
+#include "src/core/queue_state.h"
+
+#include <cassert>
+
+namespace e2e {
+
+void QueueState::Track(TimePoint now, int64_t nitems) {
+  assert(now >= time_);
+  const int64_t dt = (now - time_).nanos();
+  time_ = now;
+  integral_ += size_ * dt;
+  size_ += nitems;
+  assert(size_ >= 0);
+  if (nitems < 0) {
+    total_ += -nitems;
+  }
+}
+
+void QueueState::Reset(TimePoint now) {
+  time_ = now;
+  size_ = 0;
+  total_ = 0;
+  integral_ = 0;
+}
+
+QueueAverages GetAvgs(const QueueSnapshot& prev, const QueueSnapshot& cur) {
+  assert(cur.time >= prev.time);
+  QueueAverages avgs;
+  const double dt_sec = (cur.time - prev.time).ToSeconds();
+  if (dt_sec <= 0) {
+    return avgs;
+  }
+  const double d_integral = static_cast<double>(cur.integral - prev.integral);  // item-ns
+  const double d_total = static_cast<double>(cur.total - prev.total);
+  avgs.avg_occupancy = d_integral / 1e9 / dt_sec;
+  avgs.throughput = d_total / dt_sec;
+  if (d_total > 0) {
+    // Q / λ = (d_integral / dt) / (d_total / dt) = d_integral / d_total.
+    avgs.delay = Duration::Nanos(static_cast<int64_t>(d_integral / d_total));
+  }
+  return avgs;
+}
+
+}  // namespace e2e

@@ -1,0 +1,79 @@
+// Queue-state tracking per the paper's Algorithm 1 and Algorithm 2.
+//
+// A `QueueState` is the 4-tuple (time, size, total, integral) maintained for
+// each monitored queue. `Track(now, nitems)` implements Algorithm 1: it
+// accrues `size * dt` into the integral, applies the size change, and counts
+// departures in `total`. `GetAvgs(prev, cur)` implements Algorithm 2: given
+// two snapshots it returns the average occupancy Q, the departure rate λ
+// (which equals throughput for lossless queues), and the Little's-law delay
+// D = Q / λ over the interval between them.
+
+#ifndef SRC_CORE_QUEUE_STATE_H_
+#define SRC_CORE_QUEUE_STATE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// A 3-tuple snapshot (time, total, integral) — everything GETAVGS needs.
+// "size" is deliberately omitted: it is not used by Algorithm 2, which is
+// why peers only need to exchange these three counters per queue.
+struct QueueSnapshot {
+  TimePoint time;
+  int64_t total = 0;     // Cumulative departures (items that left the queue).
+  int64_t integral = 0;  // Time-weighted occupancy, in item-nanoseconds.
+};
+
+// Averages over an interval, per Algorithm 2.
+struct QueueAverages {
+  double avg_occupancy = 0.0;  // Q: mean queue size over the interval.
+  double throughput = 0.0;     // λ: departures per second.
+  // D = Q / λ. Empty when λ == 0 (no departures -> delay undefined).
+  std::optional<Duration> delay;
+
+  // The delay if defined, otherwise `fallback`.
+  Duration DelayOr(Duration fallback) const { return delay.value_or(fallback); }
+};
+
+// Algorithm 1 state. All updates must be presented in nondecreasing time
+// order. The queue size must never go negative.
+class QueueState {
+ public:
+  explicit QueueState(TimePoint now = TimePoint::Zero()) : time_(now) {}
+
+  // Records `nitems` added (positive) or removed (negative) at time `now`.
+  void Track(TimePoint now, int64_t nitems);
+
+  // Advances the integral to `now` without changing the size. Equivalent to
+  // Track(now, 0); useful right before taking a snapshot.
+  void AdvanceTo(TimePoint now) { Track(now, 0); }
+
+  int64_t size() const { return size_; }
+  int64_t total() const { return total_; }
+  int64_t integral() const { return integral_; }
+  TimePoint time() const { return time_; }
+
+  // Snapshot at the state's current time. Call AdvanceTo(now) first if the
+  // snapshot must be current as of `now`.
+  QueueSnapshot Snapshot() const { return QueueSnapshot{time_, total_, integral_}; }
+
+  // Resets to an empty queue at `now` (counters cleared).
+  void Reset(TimePoint now);
+
+ private:
+  TimePoint time_;
+  int64_t size_ = 0;
+  int64_t total_ = 0;
+  int64_t integral_ = 0;
+};
+
+// Algorithm 2: averages over the interval between two snapshots of the same
+// queue. `prev.time` must be <= `cur.time`; equal times yield zero averages.
+QueueAverages GetAvgs(const QueueSnapshot& prev, const QueueSnapshot& cur);
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_QUEUE_STATE_H_

@@ -1,0 +1,31 @@
+#include "src/core/units.h"
+
+namespace e2e {
+
+const char* UnitModeName(UnitMode mode) {
+  switch (mode) {
+    case UnitMode::kBytes:
+      return "bytes";
+    case UnitMode::kPackets:
+      return "packets";
+    case UnitMode::kSyscalls:
+      return "syscalls";
+    case UnitMode::kHints:
+      return "hints";
+  }
+  return "?";
+}
+
+const char* QueueKindName(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kUnacked:
+      return "unacked";
+    case QueueKind::kUnread:
+      return "unread";
+    case QueueKind::kAckDelay:
+      return "ackdelay";
+  }
+  return "?";
+}
+
+}  // namespace e2e

@@ -1,0 +1,49 @@
+// Message-unit modes bridging the semantic gap (paper §3.3).
+//
+// The kernel natively sees bytes and packets; applications think in requests
+// and responses. The estimator can account queue occupancy in any of four
+// unit modes; the benches compare their accuracy.
+
+#ifndef SRC_CORE_UNITS_H_
+#define SRC_CORE_UNITS_H_
+
+#include <array>
+#include <cstddef>
+
+namespace e2e {
+
+enum class UnitMode {
+  // Plain bytes — the paper's prototype (sk_wmem_queued / sk_rmem_alloc
+  // analogs). Accurate only when requests and responses have similar sizes.
+  kBytes = 0,
+  // Wire packets (MSS-sized segments). Similar limitation, per §3.4.
+  kPackets = 1,
+  // send()-syscall boundaries — the paper's hypothesized "larger kernel
+  // patch" treating buffers handed to send() as messages.
+  kSyscalls = 2,
+  // Application-provided hints via the create()/complete() API — exact.
+  kHints = 3,
+};
+
+// The three kernel-trackable modes (hints live in a single app-side queue
+// and are not tracked per kernel queue).
+inline constexpr std::array<UnitMode, 3> kKernelUnitModes = {UnitMode::kBytes, UnitMode::kPackets,
+                                                             UnitMode::kSyscalls};
+inline constexpr size_t kNumKernelUnitModes = kKernelUnitModes.size();
+
+const char* UnitModeName(UnitMode mode);
+
+// The three monitored TCP queues (paper §3.2).
+enum class QueueKind {
+  kUnacked = 0,   // Sent by the application, not yet acknowledged by the peer.
+  kUnread = 1,    // Received by the stack, not yet read by the application.
+  kAckDelay = 2,  // Received by the stack, not yet acknowledged to the peer.
+};
+inline constexpr std::array<QueueKind, 3> kAllQueueKinds = {QueueKind::kUnacked, QueueKind::kUnread,
+                                                            QueueKind::kAckDelay};
+
+const char* QueueKindName(QueueKind kind);
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_UNITS_H_

@@ -1,0 +1,102 @@
+#include "src/core/wire_format.h"
+
+#include <cstring>
+
+namespace e2e {
+namespace {
+
+void PutU32(uint8_t* buf, uint32_t v) {
+  buf[0] = static_cast<uint8_t>(v);
+  buf[1] = static_cast<uint8_t>(v >> 8);
+  buf[2] = static_cast<uint8_t>(v >> 16);
+  buf[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32(const uint8_t* buf) {
+  return static_cast<uint32_t>(buf[0]) | (static_cast<uint32_t>(buf[1]) << 8) |
+         (static_cast<uint32_t>(buf[2]) << 16) | (static_cast<uint32_t>(buf[3]) << 24);
+}
+
+void PutCounters(uint8_t* buf, const WireCounters& c) {
+  PutU32(buf, c.time_us);
+  PutU32(buf + 4, c.total);
+  PutU32(buf + 8, c.integral_us);
+}
+
+WireCounters GetCounters(const uint8_t* buf) {
+  return WireCounters{GetU32(buf), GetU32(buf + 4), GetU32(buf + 8)};
+}
+
+constexpr uint8_t kModeMask = 0x03;
+constexpr uint8_t kHintFlag = 0x80;
+
+}  // namespace
+
+WireCounters CompressSnapshot(const QueueSnapshot& snap) {
+  return WireCounters{
+      static_cast<uint32_t>(snap.time.nanos() / 1000),
+      static_cast<uint32_t>(snap.total),
+      static_cast<uint32_t>(snap.integral / 1000),
+  };
+}
+
+QueueAverages WireGetAvgs(const WireCounters& prev, const WireCounters& cur) {
+  QueueAverages avgs;
+  // Wrapping unsigned subtraction yields the true delta as long as the
+  // interval advanced each counter by < 2^32.
+  const uint32_t dt_us = cur.time_us - prev.time_us;
+  if (dt_us == 0) {
+    return avgs;
+  }
+  const uint32_t d_total = cur.total - prev.total;
+  const uint32_t d_integral = cur.integral_us - prev.integral_us;
+  const double dt_sec = static_cast<double>(dt_us) / 1e6;
+  avgs.avg_occupancy = static_cast<double>(d_integral) / 1e6 / dt_sec;
+  avgs.throughput = static_cast<double>(d_total) / dt_sec;
+  if (d_total > 0) {
+    avgs.delay = Duration::Nanos(static_cast<int64_t>(
+        static_cast<double>(d_integral) / static_cast<double>(d_total) * 1e3));
+  }
+  return avgs;
+}
+
+size_t EncodePayload(const WirePayload& payload, uint8_t* buf, size_t cap) {
+  const size_t need = payload.hint.has_value() ? kWirePayloadMaxSize : kWirePayloadBaseSize;
+  if (cap < need) {
+    return 0;
+  }
+  buf[0] = kWireFormatVersion;
+  uint8_t flags = static_cast<uint8_t>(payload.mode) & kModeMask;
+  if (payload.hint.has_value()) {
+    flags |= kHintFlag;
+  }
+  buf[1] = flags;
+  PutCounters(buf + 2, payload.unacked);
+  PutCounters(buf + 14, payload.unread);
+  PutCounters(buf + 26, payload.ackdelay);
+  if (payload.hint.has_value()) {
+    PutCounters(buf + 38, *payload.hint);
+  }
+  return need;
+}
+
+std::optional<WirePayload> DecodePayload(const uint8_t* buf, size_t len) {
+  if (len < kWirePayloadBaseSize || buf[0] != kWireFormatVersion) {
+    return std::nullopt;
+  }
+  WirePayload payload;
+  const uint8_t flags = buf[1];
+  payload.mode = static_cast<UnitMode>(flags & kModeMask);
+  payload.unacked = GetCounters(buf + 2);
+  payload.unread = GetCounters(buf + 14);
+  payload.ackdelay = GetCounters(buf + 26);
+  if ((flags & kHintFlag) != 0) {
+    if (len < kWirePayloadMaxSize) {
+      return std::nullopt;
+    }
+    payload.hint = GetCounters(buf + 38);
+  }
+  return payload;
+}
+
+}  // namespace e2e

@@ -1,0 +1,65 @@
+// Wire format for the peer metadata exchange (paper §3.2 and §5).
+//
+// Each exchange carries three 4-byte counters per monitored queue — 36 bytes
+// total — inside a TCP option (a standard header extension). The counters
+// are wrapping 32-bit values: time in microseconds, cumulative departures in
+// queue units, and the occupancy integral in unit-microseconds. Because
+// Algorithm 2 only ever uses *differences* of successive counters, wrapping
+// is harmless as long as a single exchange interval advances each counter by
+// less than 2^32 (documented constraint; holds comfortably for millisecond-
+// scale exchange intervals).
+
+#ifndef SRC_CORE_WIRE_FORMAT_H_
+#define SRC_CORE_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "src/core/queue_state.h"
+#include "src/core/units.h"
+
+namespace e2e {
+
+// The three wrapping 4-byte counters for one queue.
+struct WireCounters {
+  uint32_t time_us = 0;       // Snapshot time, microseconds mod 2^32.
+  uint32_t total = 0;         // Cumulative departures mod 2^32.
+  uint32_t integral_us = 0;   // Occupancy integral, unit-microseconds mod 2^32.
+
+  bool operator==(const WireCounters&) const = default;
+};
+
+// Compresses a full-resolution snapshot into wire counters.
+WireCounters CompressSnapshot(const QueueSnapshot& snap);
+
+// Algorithm 2 over wire counters, using wraparound-correct 32-bit deltas.
+QueueAverages WireGetAvgs(const WireCounters& prev, const WireCounters& cur);
+
+// One peer's share of the exchange: the three queues (36 bytes) plus an
+// optional application hint queue (12 bytes, paper §3.3) and a small header.
+struct WirePayload {
+  UnitMode mode = UnitMode::kBytes;  // Unit mode of the three queue counters.
+  WireCounters unacked;
+  WireCounters unread;
+  WireCounters ackdelay;
+  std::optional<WireCounters> hint;  // Client-side logical request queue.
+
+  bool operator==(const WirePayload&) const = default;
+};
+
+inline constexpr uint8_t kWireFormatVersion = 1;
+// version(1) + flags/mode(1) + 3 queues * 12 + optional hint * 12.
+inline constexpr size_t kWirePayloadBaseSize = 2 + 3 * 12;
+inline constexpr size_t kWirePayloadMaxSize = kWirePayloadBaseSize + 12;
+
+// Serializes `payload` into `buf` (little-endian). Returns the number of
+// bytes written, or 0 if `cap` is too small.
+size_t EncodePayload(const WirePayload& payload, uint8_t* buf, size_t cap);
+
+// Parses a payload; returns nullopt on truncation or version mismatch.
+std::optional<WirePayload> DecodePayload(const uint8_t* buf, size_t len);
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_WIRE_FORMAT_H_

@@ -1,0 +1,42 @@
+#include "src/model/batch_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace e2e {
+
+BatchModelResult EvaluateBatchModel(const BatchModelParams& params, bool batching) {
+  assert(params.n > 0 && params.alpha >= 0 && params.beta >= 0 && params.c >= 0);
+  BatchModelResult result;
+  result.emit_times.reserve(params.n);
+  result.completion_times.reserve(params.n);
+
+  for (int i = 1; i <= params.n; ++i) {
+    if (batching) {
+      // One batch: every response is emitted when the batch completes.
+      result.emit_times.push_back(params.n * params.alpha + params.beta);
+    } else {
+      result.emit_times.push_back(i * (params.alpha + params.beta));
+    }
+  }
+
+  double client_free = 0;
+  double sum = 0;
+  for (double emit : result.emit_times) {
+    const double done = std::max(emit, client_free) + params.c;
+    client_free = done;
+    result.completion_times.push_back(done);
+    sum += done;
+  }
+
+  result.avg_latency = sum / params.n;
+  result.makespan = result.completion_times.back();
+  result.throughput = params.n / result.makespan;
+  return result;
+}
+
+BatchComparison CompareBatching(const BatchModelParams& params) {
+  return BatchComparison{EvaluateBatchModel(params, true), EvaluateBatchModel(params, false)};
+}
+
+}  // namespace e2e

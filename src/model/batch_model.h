@@ -1,0 +1,52 @@
+// The paper's Figure 1 idealized batching model.
+//
+// n client requests are queued at the server at time 0. Serving one request
+// costs α (per-request) plus β (per-batch, amortizable): processing them as
+// one batch takes n·α + β and emits all n responses when the batch finishes,
+// while processing them individually takes n·(α + β) and emits response i at
+// i·(α + β). The client then processes responses sequentially at a fixed
+// cost c each. Latency of request i is the time until the client *finishes*
+// processing its response; throughput is n divided by the makespan.
+//
+// Sweeping c reproduces the paper's three outcomes: batching improves both
+// averages (c = 1), degrades both (c = 5), or trades them off (c = 3).
+
+#ifndef SRC_MODEL_BATCH_MODEL_H_
+#define SRC_MODEL_BATCH_MODEL_H_
+
+#include <vector>
+
+namespace e2e {
+
+struct BatchModelParams {
+  int n = 3;          // Requests waiting at time 0.
+  double alpha = 2;   // Per-request server cost.
+  double beta = 4;    // Per-batch (amortizable) server cost.
+  double c = 1;       // Per-response client processing cost.
+};
+
+struct BatchModelResult {
+  std::vector<double> emit_times;        // Response i leaves the server.
+  std::vector<double> completion_times;  // Client finishes response i.
+  double avg_latency = 0;                // Mean completion time (requests at t=0).
+  double makespan = 0;                   // Last completion time.
+  double throughput = 0;                 // n / makespan.
+};
+
+// Evaluates the model with server-side batching enabled or disabled.
+BatchModelResult EvaluateBatchModel(const BatchModelParams& params, bool batching);
+
+// Both variants plus the paper's verdict for this parameter point.
+struct BatchComparison {
+  BatchModelResult batched;
+  BatchModelResult unbatched;
+
+  bool BatchingImprovesLatency() const { return batched.avg_latency < unbatched.avg_latency; }
+  bool BatchingImprovesThroughput() const { return batched.throughput > unbatched.throughput; }
+};
+
+BatchComparison CompareBatching(const BatchModelParams& params);
+
+}  // namespace e2e
+
+#endif  // SRC_MODEL_BATCH_MODEL_H_

@@ -1,0 +1,42 @@
+// A simulated host: an application core, a softirq core, and a NIC —
+// mirroring the paper's setup where the application thread and the network
+// stack's IRQ/softIRQ routines are pinned to dedicated cores.
+
+#ifndef SRC_NET_HOST_H_
+#define SRC_NET_HOST_H_
+
+#include <memory>
+#include <string>
+
+#include "src/net/link.h"
+#include "src/net/nic.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+
+namespace e2e {
+
+class Host {
+ public:
+  // `tx_link` is the link this host transmits on; its NIC is registered as
+  // the sink of the peer's link by the topology builder.
+  Host(Simulator* sim, Link* tx_link, const Nic::Config& nic_config, std::string name)
+      : name_(std::move(name)),
+        app_core_(sim, name_ + ".app"),
+        softirq_core_(sim, name_ + ".softirq"),
+        nic_(sim, &softirq_core_, tx_link, nic_config, name_ + ".nic") {}
+
+  const std::string& name() const { return name_; }
+  CpuCore& app_core() { return app_core_; }
+  CpuCore& softirq_core() { return softirq_core_; }
+  Nic& nic() { return nic_; }
+
+ private:
+  std::string name_;
+  CpuCore app_core_;
+  CpuCore softirq_core_;
+  Nic nic_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_NET_HOST_H_

@@ -1,0 +1,47 @@
+#include "src/net/link.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/sim/logging.h"
+
+namespace e2e {
+
+Link::Link(Simulator* sim, const Config& config, Rng rng, std::string name)
+    : sim_(sim), config_(config), rng_(rng), name_(std::move(name)) {
+  assert(sim_ != nullptr);
+  assert(config.bandwidth_bps >= 0);
+  assert(config.loss_probability >= 0 && config.loss_probability < 1);
+}
+
+TimePoint Link::Send(Packet packet) {
+  assert(!packet.IsSuperSegment());  // The NIC slices super-segments.
+  const TimePoint start = std::max(sim_->Now(), tx_available_);
+  Duration serialization = Duration::Zero();
+  if (config_.bandwidth_bps > 0) {
+    serialization =
+        Duration::SecondsF(static_cast<double>(packet.wire_bytes) * 8.0 / config_.bandwidth_bps);
+  }
+  const TimePoint tx_end = start + serialization;
+  tx_available_ = tx_end;
+  ++packets_sent_;
+  bytes_sent_ += packet.wire_bytes;
+
+  if (config_.loss_probability > 0 && rng_.Bernoulli(config_.loss_probability)) {
+    ++packets_dropped_;
+    E2E_DEBUG(sim_->Now(), "link", "%s: dropped packet %lu (%zuB)", name_.c_str(),
+              static_cast<unsigned long>(packet.id), packet.wire_bytes);
+    return tx_end;
+  }
+
+  const TimePoint arrival = tx_end + config_.propagation;
+  sim_->ScheduleAt(arrival, [this, packet = std::move(packet)]() mutable {
+    if (sink_ != nullptr) {
+      sink_->DeliverPacket(std::move(packet));
+    }
+  });
+  return tx_end;
+}
+
+}  // namespace e2e

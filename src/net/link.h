@@ -1,0 +1,53 @@
+// A unidirectional point-to-point link with finite bandwidth, fixed
+// propagation delay, FIFO serialization and optional i.i.d. loss.
+
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+class Link {
+ public:
+  struct Config {
+    // Bits per second; 0 means infinite (serialization takes zero time).
+    double bandwidth_bps = 10e9;
+    Duration propagation = Duration::Micros(5);
+    double loss_probability = 0.0;
+  };
+
+  Link(Simulator* sim, const Config& config, Rng rng, std::string name);
+
+  void SetSink(PacketSink* sink) { sink_ = sink; }
+
+  // Starts (or queues) serialization of `packet`; returns the time at which
+  // the last bit leaves the sender (used by the NIC for TX completions).
+  TimePoint Send(Packet packet);
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator* sim_;
+  Config config_;
+  Rng rng_;
+  std::string name_;
+  PacketSink* sink_ = nullptr;
+  TimePoint tx_available_;  // When the wire frees up.
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_NET_LINK_H_

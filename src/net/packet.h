@@ -1,0 +1,46 @@
+// Wire packets exchanged between simulated hosts.
+//
+// The network layer is payload-agnostic: a `Packet` carries its wire size
+// (for serialization timing) and an opaque payload owned via shared_ptr
+// (the TCP layer stores a `TcpSegment` there). TSO super-segments carry
+// pre-built slices: the stack pays its TX cost once for the super-segment
+// and the NIC puts each MTU-sized slice on the wire individually.
+
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace e2e {
+
+// Ethernet + IP + TCP header overhead added to every wire packet.
+inline constexpr size_t kWireHeaderBytes = 66;
+
+class PacketPayload {
+ public:
+  virtual ~PacketPayload() = default;
+};
+
+struct Packet {
+  uint64_t id = 0;
+  size_t wire_bytes = 0;  // Full on-the-wire size including headers.
+  std::shared_ptr<PacketPayload> payload;
+  // Non-empty for TSO super-segments: the MTU-sized wire packets the NIC
+  // emits instead of this packet.
+  std::vector<Packet> slices;
+
+  bool IsSuperSegment() const { return !slices.empty(); }
+};
+
+// Interface for components that accept delivered packets (NIC RX side).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void DeliverPacket(Packet packet) = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_NET_PACKET_H_

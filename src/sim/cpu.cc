@@ -1,0 +1,54 @@
+#include "src/sim/cpu.h"
+
+#include <cassert>
+#include <utility>
+
+namespace e2e {
+
+CpuCore::CpuCore(Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {
+  assert(sim_ != nullptr);
+}
+
+void CpuCore::Submit(StartFn start, DoneFn done) {
+  assert(start != nullptr);
+  queue_.push_back(Work{std::move(start), std::move(done)});
+  if (!busy_) {
+    BeginNext();
+  }
+}
+
+void CpuCore::SubmitFixed(Duration cost, DoneFn done) {
+  assert(cost >= Duration::Zero());
+  Submit([cost] { return cost; }, std::move(done));
+}
+
+Duration CpuCore::busy_time() const {
+  Duration total = busy_accum_;
+  if (busy_) {
+    total += sim_->Now() - current_started_;
+  }
+  return total;
+}
+
+void CpuCore::BeginNext() {
+  assert(!busy_ && !queue_.empty());
+  busy_ = true;
+  Work work = std::move(queue_.front());
+  queue_.pop_front();
+  current_started_ = sim_->Now();
+  const Duration cost = work.start();
+  assert(cost >= Duration::Zero());
+  sim_->Schedule(cost, [this, done = std::move(work.done), cost] {
+    busy_accum_ += cost;
+    busy_ = false;
+    ++items_done_;
+    if (done) {
+      done();
+    }
+    if (!busy_ && !queue_.empty()) {
+      BeginNext();
+    }
+  });
+}
+
+}  // namespace e2e

@@ -1,0 +1,73 @@
+// A CPU core modeled as a FIFO work server.
+//
+// This mirrors the paper's experimental setup, where the application thread
+// and the network-stack softirq context are each pinned to a dedicated core:
+// every host in the simulation owns one `CpuCore` per execution context.
+//
+// A work item has two parts: a `StartFn` that runs when the core picks the
+// item up and *returns the processing cost* (so the cost may depend on state
+// observed at start time, e.g. how many requests are waiting), and an
+// optional `DoneFn` that runs when that cost has elapsed (this is where
+// externally visible effects — transmissions, responses — belong).
+
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+class CpuCore {
+ public:
+  using StartFn = std::function<Duration()>;
+  using DoneFn = std::function<void()>;
+
+  CpuCore(Simulator* sim, std::string name);
+  CpuCore(const CpuCore&) = delete;
+  CpuCore& operator=(const CpuCore&) = delete;
+
+  // Enqueues a work item. Runs immediately (at the current instant) when the
+  // core is idle; otherwise after all previously queued work.
+  void Submit(StartFn start, DoneFn done = nullptr);
+
+  // Convenience for items whose cost is known at submission time.
+  void SubmitFixed(Duration cost, DoneFn done = nullptr);
+
+  bool busy() const { return busy_; }
+  size_t queue_depth() const { return queue_.size(); }
+  const std::string& name() const { return name_; }
+
+  // Cumulative busy time, including the elapsed part of the item currently
+  // executing. Utilization over a window is a delta of this divided by the
+  // window length.
+  Duration busy_time() const;
+
+  // Total work items completed.
+  uint64_t items_done() const { return items_done_; }
+
+ private:
+  struct Work {
+    StartFn start;
+    DoneFn done;
+  };
+
+  void BeginNext();
+
+  Simulator* sim_;
+  std::string name_;
+  std::deque<Work> queue_;
+  bool busy_ = false;
+  TimePoint current_started_;
+  Duration busy_accum_;
+  uint64_t items_done_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_SIM_CPU_H_

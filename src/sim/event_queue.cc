@@ -1,0 +1,59 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace e2e {
+
+EventId EventQueue::Push(TimePoint when, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(HeapItem{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  canceled_.insert(id);
+  return true;
+}
+
+void EventQueue::SkipCanceled() {
+  while (!heap_.empty()) {
+    auto it = canceled_.find(heap_.top().id);
+    if (it == canceled_.end()) {
+      return;
+    }
+    canceled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() {
+  SkipCanceled();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::NextTime() {
+  SkipCanceled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Entry EventQueue::Pop() {
+  SkipCanceled();
+  assert(!heap_.empty());
+  const HeapItem item = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(item.id);
+  assert(it != callbacks_.end());
+  Entry entry{item.when, item.id, std::move(it->second)};
+  callbacks_.erase(it);
+  return entry;
+}
+
+}  // namespace e2e

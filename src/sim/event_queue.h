@@ -1,0 +1,81 @@
+// A cancelable priority queue of timed events with deterministic ordering.
+//
+// Events scheduled for the same instant fire in insertion order (FIFO), which
+// keeps whole-simulation runs bit-reproducible for a fixed seed. Cancellation
+// is lazy: canceled entries are skipped on pop.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// Identifies a scheduled event for cancellation. Id 0 is never issued.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` to fire at `when`. Returns an id usable with Cancel().
+  EventId Push(TimePoint when, Callback cb);
+
+  // Cancels a pending event. Returns false if the event already fired or was
+  // already canceled (both are harmless).
+  bool Cancel(EventId id);
+
+  // True when no live (non-canceled) events remain.
+  bool Empty();
+
+  // Time of the earliest live event. Must not be called when Empty().
+  TimePoint NextTime();
+
+  // Removes and returns the earliest live event. Must not be called when
+  // Empty().
+  struct Entry {
+    TimePoint when;
+    EventId id = kInvalidEventId;
+    Callback cb;
+  };
+  Entry Pop();
+
+  // Number of live events currently pending.
+  size_t size() const { return heap_.size() - canceled_.size(); }
+
+ private:
+  struct HeapItem {
+    TimePoint when;
+    uint64_t seq = 0;  // Insertion order; breaks ties deterministically.
+    EventId id = kInvalidEventId;
+  };
+  struct Later {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops canceled items from the head of the heap.
+  void SkipCanceled();
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> canceled_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,74 @@
+// Exponentially weighted moving averages, used to smooth noisy end-to-end
+// estimates before they feed batching decisions (paper §5, "Toggling
+// Granularity").
+
+#ifndef SRC_SIM_EWMA_H_
+#define SRC_SIM_EWMA_H_
+
+#include <cassert>
+#include <cmath>
+
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// Classic fixed-alpha EWMA over regularly spaced samples.
+class Ewma {
+ public:
+  // `alpha` in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha) : alpha_(alpha) { assert(alpha > 0 && alpha <= 1); }
+
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+      return;
+    }
+    value_ += alpha_ * (x - value_);
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void Reset() { initialized_ = false; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool initialized_ = false;
+};
+
+// EWMA for irregularly spaced samples: the effective weight of a new sample
+// decays with the time elapsed since the previous one, with time constant
+// `tau` (the half-life is tau * ln 2). Equivalent to Ewma when samples are
+// equally spaced at interval tau * alpha-ish; robust when they are not.
+class IrregularEwma {
+ public:
+  explicit IrregularEwma(Duration tau) : tau_(tau) { assert(tau > Duration::Zero()); }
+
+  void Add(TimePoint now, double x) {
+    if (!initialized_) {
+      value_ = x;
+      last_ = now;
+      initialized_ = true;
+      return;
+    }
+    const double dt = (now - last_).ToSeconds();
+    const double w = std::exp(-dt / tau_.ToSeconds());
+    value_ = w * value_ + (1.0 - w) * x;
+    last_ = now;
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void Reset() { initialized_ = false; }
+
+ private:
+  Duration tau_;
+  TimePoint last_;
+  double value_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_SIM_EWMA_H_

@@ -1,0 +1,46 @@
+#include "src/sim/logging.h"
+
+#include <cstdio>
+
+namespace e2e {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogF(LogLevel level, TimePoint when, const char* component, const char* fmt, ...) {
+  if (level < g_level) {
+    return;
+  }
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%12.6fms] %-5s %-8s %s\n", when.ToMicros() / 1000.0, LevelName(level),
+               component, msg);
+}
+
+}  // namespace e2e

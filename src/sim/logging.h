@@ -1,0 +1,48 @@
+// Minimal leveled logging for simulator components.
+//
+// Logging is off by default (level kWarn) so benches stay quiet; tests and
+// examples can raise verbosity per component. Messages carry the virtual
+// timestamp when a simulator is attached.
+
+#ifndef SRC_SIM_LOGGING_H_
+#define SRC_SIM_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace e2e {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style log entry point. `component` is a short tag such as "tcp".
+void LogF(LogLevel level, TimePoint when, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace e2e
+
+// Convenience macros that skip argument evaluation when filtered out.
+#define E2E_LOG(level, when, component, ...)          \
+  do {                                                \
+    if ((level) >= ::e2e::GetLogLevel()) {            \
+      ::e2e::LogF(level, when, component, __VA_ARGS__); \
+    }                                                 \
+  } while (0)
+
+#define E2E_TRACE(when, component, ...) \
+  E2E_LOG(::e2e::LogLevel::kTrace, when, component, __VA_ARGS__)
+#define E2E_DEBUG(when, component, ...) \
+  E2E_LOG(::e2e::LogLevel::kDebug, when, component, __VA_ARGS__)
+#define E2E_INFO(when, component, ...) \
+  E2E_LOG(::e2e::LogLevel::kInfo, when, component, __VA_ARGS__)
+#define E2E_WARN(when, component, ...) \
+  E2E_LOG(::e2e::LogLevel::kWarn, when, component, __VA_ARGS__)
+#define E2E_ERROR(when, component, ...) \
+  E2E_LOG(::e2e::LogLevel::kError, when, component, __VA_ARGS__)
+
+#endif  // SRC_SIM_LOGGING_H_

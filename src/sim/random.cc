@@ -1,0 +1,117 @@
+#include "src/sim/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace e2e {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(x);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform01(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(NextU64());
+  }
+  // Modulo bias is negligible for our ranges (<< 2^64) and determinism
+  // matters more than perfect uniformity here.
+  return lo + static_cast<int64_t>(NextU64() % range);
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u = Uniform01();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log1p(-u);
+}
+
+Duration Rng::ExpInterarrival(double per_second) {
+  assert(per_second > 0);
+  return Duration::SecondsF(Exponential(1.0 / per_second));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform01() < p; }
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = Uniform01();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double u2 = Uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::LogNormalMeanCv(double mean, double cv) {
+  assert(mean > 0 && cv >= 0);
+  if (cv == 0) {
+    return mean;
+  }
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::exp(Normal(mu, std::sqrt(sigma2)));
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  assert(n > 0);
+  if (s == 0.0) {
+    return UniformInt(0, n - 1);
+  }
+  // Inverse-CDF over explicit weights; fine for the modest n used in tests.
+  double total = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i), s);
+  }
+  double target = Uniform01() * total;
+  for (int64_t i = 1; i <= n; ++i) {
+    target -= 1.0 / std::pow(static_cast<double>(i), s);
+    if (target <= 0) {
+      return i - 1;
+    }
+  }
+  return n - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace e2e

@@ -1,0 +1,63 @@
+// Seeded random number generation for workloads and timing jitter.
+//
+// Wraps a SplitMix64-seeded xoshiro256** generator. Every experiment
+// component takes an explicit `Rng` (or a seed) so runs are reproducible.
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace e2e {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double Uniform01();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Exponential inter-arrival gap for a Poisson process of rate
+  // `per_second` events per second.
+  Duration ExpInterarrival(double per_second);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Log-normal such that the *mean* of the distribution is `mean` and the
+  // coefficient of variation (stddev/mean) is `cv`.
+  double LogNormalMeanCv(double mean, double cv);
+
+  // Zipf-like rank in [0, n) with exponent `s` (s=0 is uniform). Uses
+  // rejection-free inverse-CDF over precomputed weights for small n; callers
+  // needing large n should build a `ZipfTable` instead.
+  int64_t Zipf(int64_t n, double s);
+
+  // Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  std::array<uint64_t, 4> s_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_SIM_RANDOM_H_

@@ -1,0 +1,53 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace e2e {
+
+EventId Simulator::Schedule(Duration delay, Callback cb) {
+  assert(delay >= Duration::Zero());
+  return queue_.Push(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::ScheduleAt(TimePoint when, Callback cb) {
+  assert(when >= now_);
+  return queue_.Push(when, std::move(cb));
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) {
+    return false;
+  }
+  EventQueue::Entry entry = queue_.Pop();
+  assert(entry.when >= now_);
+  now_ = entry.when;
+  ++events_fired_;
+  entry.cb();
+  return true;
+}
+
+uint64_t Simulator::Run() {
+  uint64_t fired = 0;
+  while (Step()) {
+    ++fired;
+  }
+  return fired;
+}
+
+uint64_t Simulator::RunUntil(TimePoint deadline) {
+  uint64_t fired = 0;
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    EventQueue::Entry entry = queue_.Pop();
+    now_ = entry.when;
+    ++events_fired_;
+    entry.cb();
+    ++fired;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+}  // namespace e2e

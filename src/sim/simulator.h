@@ -1,0 +1,65 @@
+// The discrete-event simulation loop: a virtual clock plus an event queue.
+//
+// All simulated components share one `Simulator`. Scheduling a callback in
+// the past is an error; scheduling at the current instant is allowed and the
+// callback fires after already-pending events for that instant (FIFO order).
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time.
+  TimePoint Now() const { return now_; }
+
+  // Schedules `cb` after `delay` (>= 0). Returns an id usable with Cancel().
+  EventId Schedule(Duration delay, Callback cb);
+
+  // Schedules `cb` at absolute time `when` (>= Now()).
+  EventId ScheduleAt(TimePoint when, Callback cb);
+
+  // Cancels a pending event; returns false if it already fired/was canceled.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs until the event queue drains. Returns the number of events fired.
+  uint64_t Run();
+
+  // Runs events with time <= `deadline`, then sets the clock to `deadline`
+  // (even if the queue drained earlier). Returns the number of events fired.
+  uint64_t RunUntil(TimePoint deadline);
+
+  // Convenience: RunUntil(Now() + d).
+  uint64_t RunFor(Duration d) { return RunUntil(now_ + d); }
+
+  // Executes exactly one event if any is pending. Returns false on empty.
+  bool Step();
+
+  // Total events executed over the simulator's lifetime.
+  uint64_t events_fired() const { return events_fired_; }
+
+  // Number of currently pending events.
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_;
+  uint64_t events_fired_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_SIM_SIMULATOR_H_

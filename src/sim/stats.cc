@@ -1,0 +1,139 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace e2e {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+LogHistogram::LogHistogram(double min_value, double max_value, int buckets_per_decade)
+    : min_value_(min_value), log_min_(std::log(min_value)) {
+  assert(min_value > 0 && max_value > min_value && buckets_per_decade > 0);
+  scale_ = static_cast<double>(buckets_per_decade) / std::log(10.0);
+  const size_t n = static_cast<size_t>((std::log(max_value) - log_min_) * scale_) + 2;
+  counts_.assign(n, 0);
+}
+
+size_t LogHistogram::BucketFor(double value) const {
+  const double pos = (std::log(value) - log_min_) * scale_;
+  const size_t idx = static_cast<size_t>(std::max(pos, 0.0));
+  return std::min(idx, counts_.size() - 1);
+}
+
+double LogHistogram::BucketUpper(size_t idx) const {
+  return std::exp(log_min_ + static_cast<double>(idx + 1) / scale_);
+}
+
+void LogHistogram::Add(double value) {
+  ++count_;
+  sum_ += value;
+  max_seen_ = std::max(max_seen_, value);
+  if (value < min_value_) {
+    ++underflow_;
+    return;
+  }
+  ++counts_[BucketFor(value)];
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t target = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
+  int64_t seen = underflow_;
+  if (seen >= target) {
+    return min_value_;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return std::min(BucketUpper(i), max_seen_);
+    }
+  }
+  return max_seen_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  assert(min_value_ == other.min_value_ && scale_ == other.scale_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  sum_ += other.sum_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+void LogHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  underflow_ = 0;
+  sum_ = 0;
+  max_seen_ = 0;
+}
+
+void TimeWeighted::Set(TimePoint now, double value) {
+  assert(now >= last_time_);
+  integral_ += value_ * (now - last_time_).ToSeconds();
+  last_time_ = now;
+  value_ = value;
+}
+
+double TimeWeighted::AverageUntil(TimePoint now) const {
+  const double elapsed = (now - window_start_).ToSeconds();
+  if (elapsed <= 0) {
+    return value_;
+  }
+  const double integral = integral_ + value_ * (now - last_time_).ToSeconds();
+  return integral / elapsed;
+}
+
+void TimeWeighted::ResetWindow(TimePoint now) {
+  assert(now >= last_time_);
+  window_start_ = now;
+  last_time_ = now;
+  integral_ = 0;
+}
+
+}  // namespace e2e

@@ -1,0 +1,27 @@
+#include "src/sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace e2e {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(ns_));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ToMicros());
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ToMillis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds());
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  return Duration::Nanos(ns_).ToString();
+}
+
+}  // namespace e2e

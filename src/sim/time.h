@@ -1,0 +1,109 @@
+// Strong time types for the discrete-event simulator.
+//
+// All simulated time is kept in signed 64-bit nanoseconds. `Duration` is a
+// span of time and `TimePoint` is an instant on the virtual clock; mixing the
+// two incorrectly fails to compile. Both are trivially copyable value types.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace e2e {
+
+// A span of simulated time with nanosecond resolution. May be negative
+// (e.g. as the result of subtracting time points).
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  // Named constructors. Fractional inputs are supported via the double
+  // overloads and rounded toward zero.
+  static constexpr Duration Nanos(int64_t ns) { return Duration(ns); }
+  static constexpr Duration Micros(int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000 * 1000); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1000 * 1000 * 1000); }
+  static constexpr Duration MicrosF(double us) { return Duration(static_cast<int64_t>(us * 1e3)); }
+  static constexpr Duration MillisF(double ms) { return Duration(static_cast<int64_t>(ms * 1e6)); }
+  static constexpr Duration SecondsF(double s) { return Duration(static_cast<int64_t>(s * 1e9)); }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(std::numeric_limits<int64_t>::max()); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool IsZero() const { return ns_ == 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator*(int k) const { return Duration(ns_ * k); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
+  constexpr Duration operator/(int k) const { return Duration(ns_ / k); }
+  // Ratio of two durations as a real number. Divisor must be nonzero.
+  constexpr double Ratio(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  // Human-readable rendering with an auto-selected unit, e.g. "12.3us".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(int64_t k, Duration d) { return d * k; }
+constexpr Duration operator*(int k, Duration d) { return d * k; }
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+
+// An instant on the simulated clock. Time zero is the start of simulation.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint FromNanos(int64_t ns) { return TimePoint(ns); }
+  static constexpr TimePoint Zero() { return TimePoint(0); }
+  static constexpr TimePoint Max() { return TimePoint(std::numeric_limits<int64_t>::max()); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.nanos()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.nanos()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration::Nanos(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimePoint(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_SIM_TIME_H_

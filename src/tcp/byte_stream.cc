@@ -1,0 +1,44 @@
+#include "src/tcp/byte_stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace e2e {
+
+void ByteStreamQueue::AddBoundary(uint64_t end_offset, MessageRecord record) {
+  assert(end_offset > head_ && end_offset <= tail_);
+  assert(boundaries_.empty() || boundaries_.back().end_offset < end_offset);
+  boundaries_.push_back(BoundaryEntry{end_offset, std::move(record)});
+}
+
+ByteStreamQueue::Consumed ByteStreamQueue::Consume(uint64_t max_bytes) {
+  const uint64_t take = std::min(max_bytes, tail_ - head_);
+  return ConsumeTo(head_ + take);
+}
+
+ByteStreamQueue::Consumed ByteStreamQueue::ConsumeTo(uint64_t to) {
+  assert(to >= head_ && to <= tail_);
+  Consumed consumed;
+  consumed.bytes = to - head_;
+  head_ = to;
+  while (!boundaries_.empty() && boundaries_.front().end_offset <= head_) {
+    consumed.completed.push_back(std::move(boundaries_.front()));
+    boundaries_.pop_front();
+  }
+  return consumed;
+}
+
+std::vector<BoundaryEntry> ByteStreamQueue::BoundariesIn(uint64_t start, uint64_t end) const {
+  std::vector<BoundaryEntry> result;
+  for (const BoundaryEntry& entry : boundaries_) {
+    if (entry.end_offset > end) {
+      break;
+    }
+    if (entry.end_offset > start) {
+      result.push_back(entry);
+    }
+  }
+  return result;
+}
+
+}  // namespace e2e

@@ -1,0 +1,696 @@
+#include "src/tcp/endpoint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "src/sim/logging.h"
+#include "src/tcp/sequence.h"
+
+namespace e2e {
+
+TcpEndpoint::TcpEndpoint(Simulator* sim, Host* host, uint64_t conn_id, bool is_a,
+                         const TcpConfig& config, const StackCosts* costs)
+    : sim_(sim),
+      host_(host),
+      conn_id_(conn_id),
+      is_a_(is_a),
+      config_(config),
+      costs_(costs),
+      cc_([&config] {
+        CongestionControl::Config cc = config.cc;
+        cc.mss = config.mss;
+        return cc;
+      }()),
+      rtt_(config.rtt),
+      queues_(sim->Now()),
+      estimator_(config.e2e_mode),
+      last_exchange_sent_(sim->Now()) {
+  assert(sim_ != nullptr && host_ != nullptr && costs_ != nullptr);
+  if (config_.e2e_exchange_interval > Duration::Zero()) {
+    ScheduleExchangeTimer();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Application-side API.
+// ---------------------------------------------------------------------------
+
+uint64_t TcpEndpoint::SendBufferAvailable() const {
+  return config_.sndbuf_bytes - std::min(config_.sndbuf_bytes, sndq_.size_bytes());
+}
+
+bool TcpEndpoint::Send(uint64_t len, MessageRecord record) {
+  record.syscall_end = true;
+  std::vector<BatchItem> items(1);
+  items[0].len = len;
+  items[0].record = std::move(record);
+  return SendBatch(std::move(items));
+}
+
+bool TcpEndpoint::SendBatch(std::vector<BatchItem> items) {
+  assert(!items.empty());
+  uint64_t total = 0;
+  for (const BatchItem& item : items) {
+    assert(item.len > 0);
+    total += item.len;
+  }
+  if (sndq_.size_bytes() + total > config_.sndbuf_bytes) {
+    ++stats_.send_buffer_full;
+    send_blocked_ = true;
+    return false;
+  }
+  const uint64_t old_tail = sndq_.tail_offset();
+  for (size_t i = 0; i < items.size(); ++i) {
+    BatchItem& item = items[i];
+    item.record.send_time = sim_->Now();
+    item.record.syscall_end = i + 1 == items.size();
+    sndq_.Append(item.len);
+    sndq_.AddBoundary(sndq_.tail_offset(), std::move(item.record));
+    ++stats_.sends;
+  }
+  stats_.bytes_queued += total;
+  // One syscall unit regardless of how many messages the call carried.
+  TrackThree(QueueKind::kUnacked, static_cast<int64_t>(total),
+             PacketUnits(old_tail, old_tail + total), 1);
+  SubmitPush(&host_->app_core(), PushReason::kApp);
+  return true;
+}
+
+bool TcpEndpoint::SendWithHints(uint64_t len, MessageRecord record, HintTracker* hints) {
+  hint_tracker_ = hints;
+  return Send(len, std::move(record));
+}
+
+TcpEndpoint::RecvResult TcpEndpoint::Recv(uint64_t max_bytes) {
+  const uint64_t old_head = rcvq_.head_offset();
+  ByteStreamQueue::Consumed consumed = rcvq_.Consume(max_bytes);
+  RecvResult result;
+  result.bytes = consumed.bytes;
+  result.messages.reserve(consumed.completed.size());
+  for (BoundaryEntry& entry : consumed.completed) {
+    result.messages.push_back(std::move(entry.record));
+  }
+  if (consumed.bytes > 0) {
+    ++stats_.recvs;
+    int64_t syscall_units = 0;
+    for (const MessageRecord& record : result.messages) {
+      syscall_units += record.syscall_end ? 1 : 0;
+    }
+    TrackThree(QueueKind::kUnread, -static_cast<int64_t>(consumed.bytes),
+               -PacketUnits(old_head, rcvq_.head_offset()), -syscall_units);
+    // Send a window update if reading reopened a meaningfully larger window
+    // than last advertised (Linux sends these from the read syscall path).
+    const uint64_t window = AdvertisedWindow();
+    if (window >= last_advertised_window_ + 2 * config_.mss ||
+        (last_advertised_window_ < config_.mss && window >= config_.mss)) {
+      SubmitPush(&host_->app_core(), PushReason::kWindow);
+    }
+  }
+  return result;
+}
+
+void TcpEndpoint::SetNoDelay(bool nodelay) {
+  const bool was = config_.nodelay;
+  config_.nodelay = nodelay;
+  if (nodelay && !was && snd_nxt_ < sndq_.tail_offset()) {
+    // Push anything Nagle was holding. Runs on the app core: toggling is a
+    // setsockopt-style application action.
+    SubmitPush(&host_->app_core(), PushReason::kApp);
+  }
+}
+
+void TcpEndpoint::RequestExchange() {
+  force_exchange_ = true;
+  // Give outbound data a short window to piggyback the option; if nothing
+  // carries it by then, fall back to a pure ack.
+  sim_->Schedule(Duration::Micros(100), [this] {
+    if (force_exchange_) {
+      SubmitPush(&host_->softirq_core(), PushReason::kExchangeTimer);
+    }
+  });
+}
+
+void TcpEndpoint::SetCorkLimit(std::optional<uint32_t> bytes) {
+  cork_limit_override_ = bytes;
+  if (snd_nxt_ < sndq_.tail_offset()) {
+    SubmitPush(&host_->app_core(), PushReason::kApp);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transmit path.
+// ---------------------------------------------------------------------------
+
+uint64_t TcpEndpoint::EffectiveCorkLimit() const {
+  return cork_limit_override_.value_or(config_.mss);
+}
+
+bool TcpEndpoint::MaySendSmallNow(uint64_t pending, PushReason reason) {
+  const bool in_flight = snd_nxt_ > sndq_.head_offset();
+  const bool nagle_ok = config_.nodelay || !in_flight || reason == PushReason::kNagleTimer ||
+                        pending >= EffectiveCorkLimit();
+  if (!nagle_ok) {
+    ++stats_.nagle_holds;
+    ArmNagleTimer();
+    return false;
+  }
+  if (config_.autocork && reason != PushReason::kTxCompletion &&
+      host_->nic().tx_in_flight() > 0) {
+    ++stats_.autocork_holds;
+    hold_for_completion_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::vector<TcpEndpoint::PlannedPacket> TcpEndpoint::PlanPush(PushReason reason) {
+  std::vector<PlannedPacket> packets;
+  while (true) {
+    const uint64_t pending = sndq_.tail_offset() - snd_nxt_;
+    if (pending == 0) {
+      CancelTimer(nagle_timer_);
+      break;
+    }
+    const uint64_t window = std::min(peer_rwnd_, cc_.window_bytes());
+    const uint64_t in_flight = snd_nxt_ - sndq_.head_offset();
+    const uint64_t window_avail = window > in_flight ? window - in_flight : 0;
+    const uint64_t usable = std::min(pending, window_avail);
+    if (usable == 0) {
+      break;  // Window-limited; persist arming happens below.
+    }
+    // Sender-side silly-window avoidance (RFC 1122): a window-clipped
+    // sub-MSS send is worthwhile only when it is at least half the largest
+    // window the peer ever offered (handles peers whose whole buffer is
+    // smaller than the MSS).
+    const uint64_t sws_threshold =
+        std::max<uint64_t>(1, std::min<uint64_t>(config_.mss, peer_rwnd_max_ / 2));
+    uint64_t take = 0;
+    if (usable >= config_.mss) {
+      const uint64_t full = usable - usable % config_.mss;
+      const uint64_t cap = config_.tso ? config_.tso_max_bytes : config_.mss;
+      take = std::min<uint64_t>(full, cap);
+      // Include the sub-MSS tail in this (TSO) segment when it is the end
+      // of the buffer and would be sendable on its own — what
+      // tcp_write_xmit does rather than leaving a one-packet remainder.
+      if (take == full && usable == pending && usable - full > 0 && usable <= cap &&
+          MaySendSmallNow(pending, reason)) {
+        take = usable;
+      }
+    } else if (pending == usable && MaySendSmallNow(pending, reason)) {
+      take = usable;
+    } else if (usable < pending && usable >= sws_threshold &&
+               MaySendSmallNow(usable, reason)) {
+      take = usable;  // Window-clipped but above the SWS threshold.
+    } else {
+      break;  // Small tail held (Nagle / auto-cork) or window-clipped tail.
+    }
+    packets.push_back(BuildDataPacket(take));
+  }
+
+  // Persist arming: data pending, nothing in flight, nothing sendable. A
+  // window update would normally retrigger us, but updates are unreliable
+  // pure acks; probe so a lost one cannot deadlock the connection.
+  if (packets.empty() && sndq_.tail_offset() > snd_nxt_ &&
+      snd_nxt_ == sndq_.head_offset() &&
+      std::min(peer_rwnd_, cc_.window_bytes()) < config_.mss) {
+    ArmPersistTimer();
+  }
+
+  if (packets.empty()) {
+    const bool ack_due =
+        ((reason == PushReason::kDelackTimer || reason == PushReason::kImmediateAck) &&
+         rcv_nxt_ > rcv_wup_) ||
+        reason == PushReason::kDupAck;
+    const bool window_update = reason == PushReason::kWindow;
+    const bool exchange_due =
+        reason == PushReason::kExchangeTimer &&
+        (force_exchange_ || (config_.e2e_exchange_interval > Duration::Zero() &&
+                             sim_->Now() - last_exchange_sent_ >= config_.e2e_exchange_interval));
+    if (ack_due || window_update || exchange_due) {
+      packets.push_back(BuildPureAck(exchange_due));
+    }
+  }
+  return packets;
+}
+
+void TcpEndpoint::SubmitPush(CpuCore* core, PushReason reason) {
+  auto planned = std::make_shared<std::vector<PlannedPacket>>();
+  core->Submit(
+      [this, reason, planned]() -> Duration {
+        *planned = PlanPush(reason);
+        Duration cost;
+        for (const PlannedPacket& p : *planned) {
+          cost += p.cost;
+        }
+        if (!planned->empty()) {
+          cost += costs_->doorbell;
+        }
+        return cost;
+      },
+      [this, planned] {
+        for (PlannedPacket& p : *planned) {
+          host_->nic().Transmit(std::move(p.packet));
+        }
+        planned->clear();
+      });
+}
+
+void TcpEndpoint::StampOutgoing(TcpSegment& seg, bool force_exchange) {
+  seg.conn_id = conn_id_;
+  seg.from_a = is_a_;
+  seg.flags |= kFlagAck;
+  seg.ack = WrapSeq(rcv_nxt_);
+  // Never renege: the advertised right edge (ack + window) must not move
+  // left even when SWS avoidance clamps the raw window to zero.
+  uint64_t window = AdvertisedWindow();
+  if (rcv_nxt_ + window < adv_right_edge_) {
+    window = adv_right_edge_ - rcv_nxt_;
+  } else {
+    adv_right_edge_ = rcv_nxt_ + window;
+  }
+  seg.window = static_cast<uint32_t>(std::min<uint64_t>(window, UINT32_MAX));
+  last_advertised_window_ = seg.window;
+  if (rcv_nxt_ > rcv_wup_ && seg.len > 0) {
+    ++stats_.acks_piggybacked;
+  }
+  OnAckSent(rcv_nxt_);
+  const Duration interval = config_.e2e_exchange_interval;
+  if (force_exchange || force_exchange_ ||
+      (interval > Duration::Zero() && sim_->Now() - last_exchange_sent_ >= interval)) {
+    seg.e2e_option = estimator_.BuildLocalPayload(queues_, hint_tracker_, sim_->Now());
+    last_exchange_sent_ = sim_->Now();
+    force_exchange_ = false;
+    ++stats_.exchanges_sent;
+  }
+}
+
+TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t take,
+                                                       bool is_retransmit) {
+  assert(take > 0);
+  std::vector<BoundaryEntry> bounds = sndq_.BoundariesIn(start, start + take);
+
+  Packet packet;
+  packet.id = next_packet_id_++;
+  packet.wire_bytes = take + kWireHeaderBytes;
+
+  auto make_segment = [&](uint64_t seg_start, uint64_t seg_len) {
+    auto seg = std::make_shared<TcpSegment>();
+    seg->seq = WrapSeq(seg_start);
+    seg->len = static_cast<uint32_t>(seg_len);
+    seg->is_retransmit = is_retransmit;
+    for (const BoundaryEntry& b : bounds) {
+      if (b.end_offset > seg_start && b.end_offset <= seg_start + seg_len) {
+        seg->boundaries.push_back(
+            TcpSegment::Boundary{static_cast<uint32_t>(b.end_offset - seg_start), b.record});
+        seg->flags |= kFlagPsh;
+      }
+    }
+    return seg;
+  };
+
+  // Note: when the first slice attaches the e2e option it refreshes
+  // last_exchange_sent_, which automatically suppresses the option on the
+  // remaining slices of this super-segment.
+  auto stamp = [&](TcpSegment& seg) { StampOutgoing(seg, false); };
+
+  if (take <= config_.mss) {
+    auto seg = make_segment(start, take);
+    if (start + take == sndq_.tail_offset()) {
+      seg->flags |= kFlagPsh;
+    }
+    stamp(*seg);
+    packet.payload = seg;
+  } else {
+    // TSO super-segment: the stack pays one TX cost; the NIC emits the
+    // MTU-sized slices built here.
+    for (uint64_t off = 0; off < take; off += config_.mss) {
+      const uint64_t slice_len = std::min<uint64_t>(config_.mss, take - off);
+      Packet slice;
+      slice.id = next_packet_id_++;
+      slice.wire_bytes = slice_len + kWireHeaderBytes;
+      auto seg = make_segment(start + off, slice_len);
+      if (off + slice_len == take && start + take == sndq_.tail_offset()) {
+        seg->flags |= kFlagPsh;
+      }
+      stamp(*seg);
+      slice.payload = seg;
+      packet.slices.push_back(std::move(slice));
+    }
+  }
+
+  ++stats_.data_segments_sent;
+  stats_.wire_packets_sent += packet.IsSuperSegment() ? packet.slices.size() : 1;
+  stats_.bytes_sent += take;
+  if (is_retransmit) {
+    ++stats_.retransmits;
+  }
+
+  PlannedPacket planned;
+  planned.packet = std::move(packet);
+  planned.cost = costs_->tx_per_segment + costs_->tx_per_byte * static_cast<int64_t>(take);
+  return planned;
+}
+
+TcpEndpoint::PlannedPacket TcpEndpoint::BuildDataPacket(uint64_t take) {
+  const uint64_t start = snd_nxt_;
+  PlannedPacket planned = BuildPacketFor(start, take, /*is_retransmit=*/false);
+  snd_nxt_ += take;
+  if (!timed_end_.has_value()) {
+    timed_end_ = snd_nxt_;
+    timed_sent_at_ = sim_->Now();
+  }
+  ArmRtoTimer();
+  return planned;
+}
+
+TcpEndpoint::PlannedPacket TcpEndpoint::BuildRetransmit() {
+  const uint64_t start = sndq_.head_offset();
+  const uint64_t take = std::min<uint64_t>(config_.mss, snd_nxt_ - start);
+  return BuildPacketFor(start, take, /*is_retransmit=*/true);
+}
+
+TcpEndpoint::PlannedPacket TcpEndpoint::BuildPureAck(bool force_exchange) {
+  auto seg = std::make_shared<TcpSegment>();
+  seg->seq = WrapSeq(snd_nxt_);
+  seg->len = 0;
+  StampOutgoing(*seg, force_exchange);
+  Packet packet;
+  packet.id = next_packet_id_++;
+  packet.wire_bytes = kWireHeaderBytes;
+  packet.payload = seg;
+  ++stats_.pure_acks_sent;
+  PlannedPacket planned;
+  planned.packet = std::move(packet);
+  planned.cost = costs_->pure_ack_tx;
+  return planned;
+}
+
+void TcpEndpoint::OnTxCompletions(size_t n) {
+  (void)n;
+  if (hold_for_completion_) {
+    hold_for_completion_ = false;
+    SubmitPush(&host_->softirq_core(), PushReason::kTxCompletion);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive path.
+// ---------------------------------------------------------------------------
+
+void TcpEndpoint::HandleSegment(const TcpSegment& seg) {
+  ++stats_.segments_received;
+  if (seg.e2e_option.has_value()) {
+    ++stats_.exchanges_received;
+    estimator_.OnRemotePayload(*seg.e2e_option, queues_, hint_tracker_, sim_->Now());
+    if (estimate_cb_) {
+      estimate_cb_(estimator_);
+    }
+  }
+  if ((seg.flags & kFlagAck) != 0) {
+    ProcessAck(seg);
+  }
+  if (seg.len > 0) {
+    ProcessData(seg);
+  }
+}
+
+void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
+  const uint64_t una = sndq_.head_offset();
+  uint64_t ack_off = UnwrapSeq(seg.ack, una);
+  if (ack_off > snd_nxt_) {
+    ack_off = snd_nxt_;  // Bogus/futuristic ack; clamp.
+  }
+  peer_rwnd_ = seg.window;
+  peer_rwnd_max_ = std::max<uint64_t>(peer_rwnd_max_, seg.window);
+  if (ack_off > una) {
+    dup_acks_ = 0;
+    cc_.OnAck(ack_off - una);
+    ByteStreamQueue::Consumed consumed = sndq_.ConsumeTo(ack_off);
+    int64_t syscall_units = 0;
+    for (const BoundaryEntry& entry : consumed.completed) {
+      syscall_units += entry.record.syscall_end ? 1 : 0;
+    }
+    TrackThree(QueueKind::kUnacked, -static_cast<int64_t>(consumed.bytes),
+               -PacketUnits(una, ack_off), -syscall_units);
+    if (timed_end_.has_value() && ack_off >= *timed_end_) {
+      rtt_.AddSample(sim_->Now() - timed_sent_at_);
+      timed_end_.reset();
+    }
+    rtt_.ResetBackoff();  // Forward progress clears timeout backoff.
+    CancelTimer(rto_timer_);
+    if (snd_nxt_ > ack_off) {
+      ArmRtoTimer();
+    }
+    if (send_blocked_ && SendBufferAvailable() > 0) {
+      send_blocked_ = false;
+      if (writable_cb_) {
+        writable_cb_();
+      }
+    }
+  } else if (ack_off == una && snd_nxt_ > una && seg.len == 0) {
+    // Duplicate ack for outstanding data: fast retransmit on the third
+    // (RFC 5681), once per loss event.
+    ++dup_acks_;
+    if (dup_acks_ == 3) {
+      cc_.OnFastRetransmit();
+      SubmitRetransmit();
+    }
+  }
+  // The ack may have released a Nagle hold or opened the peer window.
+  if (snd_nxt_ < sndq_.tail_offset()) {
+    SubmitPush(&host_->softirq_core(), PushReason::kAckAdvance);
+  }
+}
+
+void TcpEndpoint::ProcessData(const TcpSegment& seg) {
+  const uint64_t start = UnwrapSeq(seg.seq, rcv_nxt_);
+  const uint64_t end = start + seg.len;
+
+  if (start > rcv_nxt_) {
+    // Out of order: stash and send an immediate duplicate ack.
+    ++stats_.ooo_segments;
+    OooSegment& slot = ooo_[start];
+    if (end - start > slot.len) {
+      ooo_bytes_ += (end - start) - slot.len;
+      slot.len = end - start;
+      slot.boundaries.clear();
+      for (const TcpSegment::Boundary& b : seg.boundaries) {
+        slot.boundaries.push_back(BoundaryEntry{start + b.rel_end, b.record});
+      }
+    }
+    SubmitPush(&host_->softirq_core(), PushReason::kDupAck);
+    return;
+  }
+  if (end <= rcv_nxt_) {
+    // Entirely duplicate; re-ack unconditionally — our previous ack for
+    // this data may have been lost.
+    SubmitPush(&host_->softirq_core(), PushReason::kDupAck);
+    return;
+  }
+
+  std::vector<BoundaryEntry> bounds;
+  for (const TcpSegment::Boundary& b : seg.boundaries) {
+    bounds.push_back(BoundaryEntry{start + b.rel_end, b.record});
+  }
+  DeliverInOrder(end, std::move(bounds));
+
+  // Drain any out-of-order segments that became contiguous.
+  while (!ooo_.empty()) {
+    auto it = ooo_.begin();
+    if (it->first > rcv_nxt_) {
+      break;
+    }
+    const uint64_t seg_end = it->first + it->second.len;
+    ooo_bytes_ -= it->second.len;
+    if (seg_end > rcv_nxt_) {
+      DeliverInOrder(seg_end, std::move(it->second.boundaries));
+    }
+    ooo_.erase(it);
+  }
+
+  MaybeAckOnReceive();
+  if (readable_cb_ && !rcvq_.empty()) {
+    readable_cb_();
+  }
+}
+
+void TcpEndpoint::DeliverInOrder(uint64_t end_offset, std::vector<BoundaryEntry> boundaries) {
+  const uint64_t old = rcv_nxt_;
+  assert(end_offset > old);
+  rcvq_.Append(end_offset - old);
+  int64_t delivered_syscalls = 0;
+  for (BoundaryEntry& b : boundaries) {
+    if (b.end_offset > old && b.end_offset <= end_offset) {
+      if (b.record.syscall_end) {
+        unacked_rx_boundaries_.push_back(b.end_offset);
+        ++delivered_syscalls;
+      }
+      rcvq_.AddBoundary(b.end_offset, std::move(b.record));
+    }
+  }
+  const int64_t bytes = static_cast<int64_t>(end_offset - old);
+  const int64_t pkts = PacketUnits(old, end_offset);
+  TrackThree(QueueKind::kUnread, bytes, pkts, delivered_syscalls);
+  TrackThree(QueueKind::kAckDelay, bytes, pkts, delivered_syscalls);
+  rcv_nxt_ = end_offset;
+  stats_.bytes_received += end_offset - old;
+}
+
+void TcpEndpoint::MaybeAckOnReceive() {
+  const uint64_t unacked_rx = rcv_nxt_ - rcv_wup_;
+  if (unacked_rx >= static_cast<uint64_t>(config_.delack_segments) * config_.mss) {
+    SubmitPush(&host_->softirq_core(), PushReason::kImmediateAck);
+  } else if (unacked_rx > 0) {
+    ArmDelackTimer();
+  }
+}
+
+void TcpEndpoint::OnAckSent(uint64_t acked_to) {
+  if (acked_to <= rcv_wup_) {
+    return;
+  }
+  const int64_t bytes = static_cast<int64_t>(acked_to - rcv_wup_);
+  const int64_t pkts = PacketUnits(rcv_wup_, acked_to);
+  int64_t boundaries = 0;
+  while (!unacked_rx_boundaries_.empty() && unacked_rx_boundaries_.front() <= acked_to) {
+    unacked_rx_boundaries_.pop_front();
+    ++boundaries;
+  }
+  TrackThree(QueueKind::kAckDelay, -bytes, -pkts, -boundaries);
+  rcv_wup_ = acked_to;
+  CancelTimer(delack_timer_);
+}
+
+// ---------------------------------------------------------------------------
+// Timers.
+// ---------------------------------------------------------------------------
+
+void TcpEndpoint::CancelTimer(EventId& id) {
+  if (id != kInvalidEventId) {
+    sim_->Cancel(id);
+    id = kInvalidEventId;
+  }
+}
+
+void TcpEndpoint::ArmDelackTimer() {
+  if (delack_timer_ != kInvalidEventId) {
+    return;
+  }
+  delack_timer_ = sim_->Schedule(config_.delack_timeout, [this] {
+    delack_timer_ = kInvalidEventId;
+    ++stats_.delack_timer_fires;
+    SubmitPush(&host_->softirq_core(), PushReason::kDelackTimer);
+  });
+}
+
+void TcpEndpoint::ArmNagleTimer() {
+  if (nagle_timer_ != kInvalidEventId) {
+    return;
+  }
+  nagle_timer_ = sim_->Schedule(config_.nagle_timeout, [this] {
+    nagle_timer_ = kInvalidEventId;
+    ++stats_.nagle_timer_fires;
+    SubmitPush(&host_->softirq_core(), PushReason::kNagleTimer);
+  });
+}
+
+void TcpEndpoint::ArmPersistTimer() {
+  if (persist_timer_ != kInvalidEventId) {
+    return;
+  }
+  persist_timer_ = sim_->Schedule(rtt_.rto(), [this] {
+    persist_timer_ = kInvalidEventId;
+    const uint64_t pending = sndq_.tail_offset() - snd_nxt_;
+    const uint64_t in_flight = snd_nxt_ - sndq_.head_offset();
+    if (pending == 0 || in_flight > 0 || peer_rwnd_ >= config_.mss) {
+      return;  // Recovered in the meantime; normal paths take over.
+    }
+    ++stats_.persist_probes;
+    // Window probe: one byte past the advertised window. The receiver's
+    // (possibly duplicate) ack carries its current window.
+    auto planned = std::make_shared<PlannedPacket>();
+    host_->softirq_core().Submit(
+        [this, planned]() -> Duration {
+          *planned = BuildDataPacket(1);
+          return planned->cost + costs_->doorbell;
+        },
+        [this, planned] { host_->nic().Transmit(std::move(planned->packet)); });
+    ArmPersistTimer();  // Keep probing (with the RTO's backoff pacing).
+  });
+}
+
+void TcpEndpoint::ArmRtoTimer() {
+  if (rto_timer_ != kInvalidEventId) {
+    return;
+  }
+  rto_timer_ = sim_->Schedule(rtt_.rto(), [this] {
+    rto_timer_ = kInvalidEventId;
+    OnRtoFire();
+  });
+}
+
+void TcpEndpoint::OnRtoFire() {
+  if (snd_nxt_ == sndq_.head_offset()) {
+    return;  // Everything got acked in the meantime.
+  }
+  rtt_.Backoff();
+  cc_.OnTimeout();
+  SubmitRetransmit();
+  ArmRtoTimer();
+}
+
+void TcpEndpoint::SubmitRetransmit() {
+  timed_end_.reset();  // Karn's rule: no sample across a retransmission.
+  auto planned = std::make_shared<std::optional<PlannedPacket>>();
+  host_->softirq_core().Submit(
+      [this, planned]() -> Duration {
+        if (snd_nxt_ == sndq_.head_offset()) {
+          return Duration::Zero();
+        }
+        *planned = BuildRetransmit();
+        return (*planned)->cost + costs_->doorbell;
+      },
+      [this, planned] {
+        if (planned->has_value()) {
+          host_->nic().Transmit(std::move((*planned)->packet));
+        }
+      });
+}
+
+void TcpEndpoint::ScheduleExchangeTimer() {
+  exchange_timer_ = sim_->Schedule(config_.e2e_exchange_interval, [this] {
+    if (sim_->Now() - last_exchange_sent_ >= config_.e2e_exchange_interval) {
+      SubmitPush(&host_->softirq_core(), PushReason::kExchangeTimer);
+    }
+    ScheduleExchangeTimer();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+uint64_t TcpEndpoint::AdvertisedWindow() const {
+  const uint64_t used = rcvq_.size_bytes() + ooo_bytes_;
+  const uint64_t free = config_.rcvbuf_bytes > used ? config_.rcvbuf_bytes - used : 0;
+  // Receiver-side silly-window avoidance (RFC 1122): advertise zero until a
+  // meaningful window (min(MSS, buffer/2)) is available, so the sender
+  // never dribbles tiny segments into a tiny window.
+  const uint64_t sws = std::min<uint64_t>(config_.mss, config_.rcvbuf_bytes / 2);
+  return free >= sws ? free : 0;
+}
+
+int64_t TcpEndpoint::PacketUnits(uint64_t from, uint64_t to) const {
+  return static_cast<int64_t>(to / config_.mss) - static_cast<int64_t>(from / config_.mss);
+}
+
+void TcpEndpoint::TrackThree(QueueKind kind, int64_t bytes, int64_t packets, int64_t syscalls) {
+  const TimePoint now = sim_->Now();
+  queues_.Track(kind, UnitMode::kBytes, now, bytes);
+  queues_.Track(kind, UnitMode::kPackets, now, packets);
+  queues_.Track(kind, UnitMode::kSyscalls, now, syscalls);
+}
+
+}  // namespace e2e

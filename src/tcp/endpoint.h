@@ -1,0 +1,283 @@
+// One endpoint of a simulated TCP connection.
+//
+// Implements the transmit/receive machinery the paper's batching heuristics
+// live in: send/receive socket buffers, Nagle with a generalized cork limit,
+// auto-corking keyed off NIC TX completions, delayed acks with piggybacking,
+// flow control (advertised windows), TSO super-segments, RTO retransmission
+// with out-of-order reassembly — plus the instrumentation of the three
+// monitored queues (unacked / unread / ackdelay) in every kernel unit mode,
+// and the periodic end-to-end metadata exchange.
+//
+// Threading model: application-side calls (Send/Recv/SetNoDelay/...) must be
+// made from work running on the host's app core; segment handling runs on
+// the softirq core (driven by the NIC poll via TcpStack). CPU costs of the
+// TX path are charged to whichever core triggered the transmission, as in
+// Linux.
+
+#ifndef SRC_TCP_ENDPOINT_H_
+#define SRC_TCP_ENDPOINT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/endpoint_queues.h"
+#include "src/core/estimator.h"
+#include "src/core/hints.h"
+#include "src/net/host.h"
+#include "src/sim/simulator.h"
+#include "src/tcp/byte_stream.h"
+#include "src/tcp/rtt.h"
+#include "src/tcp/segment.h"
+#include "src/tcp/tcp_config.h"
+
+namespace e2e {
+
+class TcpEndpoint {
+ public:
+  using ReadableFn = std::function<void()>;
+  using WritableFn = std::function<void()>;
+  using EstimateFn = std::function<void(const ConnectionEstimator&)>;
+
+  TcpEndpoint(Simulator* sim, Host* host, uint64_t conn_id, bool is_a, const TcpConfig& config,
+              const StackCosts* costs);
+
+  // ---- Application-side API (call from app-core work) ----
+
+  // Queues `len` bytes ending one application message. Returns false when
+  // the send buffer lacks space (retry from the writable callback). Charges
+  // the TCP TX path to the app core.
+  bool Send(uint64_t len, MessageRecord record);
+
+  // As Send, but also passes the application's hint queue state through the
+  // ancillary-data channel (paper §3.3). The tracker must outlive the
+  // endpoint or be cleared with SetHintTracker(nullptr).
+  bool SendWithHints(uint64_t len, MessageRecord record, HintTracker* hints);
+
+  // Several application messages issued through ONE send() syscall (e.g. a
+  // pipelining client coalescing requests — §3.3's "system calls do not
+  // always correspond to application messages"). All messages are queued
+  // atomically (false if they don't fit together) but count as a single
+  // syscall unit in the instrumentation.
+  struct BatchItem {
+    uint64_t len = 0;
+    MessageRecord record;
+  };
+  bool SendBatch(std::vector<BatchItem> items);
+
+  struct RecvResult {
+    uint64_t bytes = 0;
+    std::vector<MessageRecord> messages;  // Completed message records, in order.
+  };
+  // Reads up to `max_bytes` from the receive queue (window updates are sent
+  // from the app core when the window reopens meaningfully).
+  RecvResult Recv(uint64_t max_bytes = UINT64_MAX);
+
+  uint64_t ReadableBytes() const { return rcvq_.size_bytes(); }
+  size_t ReadableMessages() const { return rcvq_.boundary_count(); }
+  uint64_t SendBufferAvailable() const;
+
+  // TCP_NODELAY: disables (true) / enables (false) Nagle. Enabling nodelay
+  // immediately pushes held data.
+  void SetNoDelay(bool nodelay);
+  bool nodelay() const { return config_.nodelay; }
+
+  // Generalized Nagle (AIMD extension, paper §5): hold a sub-MSS tail while
+  // data is in flight only if fewer than `bytes` are pending. nullopt
+  // restores classic behavior (hold any sub-MSS tail, i.e. limit = MSS);
+  // 0 behaves like nodelay.
+  void SetCorkLimit(std::optional<uint32_t> bytes);
+
+  void SetHintTracker(HintTracker* hints) { hint_tracker_ = hints; }
+
+  // On-demand metadata exchange (paper §5: "instead of using some fixed
+  // exchange interval, we can do it on-demand"): the next outbound segment
+  // carries this endpoint's counters; if nothing goes out within a short
+  // grace window (100 µs), a pure ack is sent. Works even when the
+  // periodic exchange is disabled.
+  void RequestExchange();
+
+  void SetReadableCallback(ReadableFn fn) { readable_cb_ = std::move(fn); }
+  void SetWritableCallback(WritableFn fn) { writable_cb_ = std::move(fn); }
+  // Invoked (softirq context) whenever a metadata exchange refreshes the
+  // estimate; wiring point for dynamic batching controllers.
+  void SetEstimateCallback(EstimateFn fn) { estimate_cb_ = std::move(fn); }
+
+  // ---- Stack-side API ----
+
+  // Processes one incoming segment (softirq context; called by TcpStack).
+  void HandleSegment(const TcpSegment& seg);
+
+  // NIC TX-completion notification (flushes auto-corked data).
+  void OnTxCompletions(size_t n);
+
+  // Seeds the peer's receive window before any ack arrives (the topology
+  // builder calls this with the peer's configured rcvbuf, standing in for
+  // the window learned during the handshake).
+  void InitPeerWindow(uint64_t bytes) {
+    peer_rwnd_ = bytes;
+    peer_rwnd_max_ = std::max(peer_rwnd_max_, bytes);
+  }
+
+  // ---- Introspection ----
+
+  EndpointQueues& queues() { return queues_; }
+  ConnectionEstimator& estimator() { return estimator_; }
+  const TcpConfig& config() const { return config_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  const CongestionControl& congestion() const { return cc_; }
+  uint64_t conn_id() const { return conn_id_; }
+  bool is_a() const { return is_a_; }
+  Host* host() { return host_; }
+
+  struct Stats {
+    uint64_t sends = 0;
+    uint64_t recvs = 0;
+    uint64_t bytes_queued = 0;
+    uint64_t data_segments_sent = 0;
+    uint64_t wire_packets_sent = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t pure_acks_sent = 0;
+    uint64_t acks_piggybacked = 0;
+    uint64_t delack_timer_fires = 0;
+    uint64_t segments_received = 0;
+    uint64_t bytes_received = 0;
+    uint64_t ooo_segments = 0;
+    uint64_t retransmits = 0;
+    uint64_t nagle_holds = 0;
+    uint64_t autocork_holds = 0;
+    uint64_t nagle_timer_fires = 0;
+    uint64_t persist_probes = 0;
+    uint64_t exchanges_sent = 0;
+    uint64_t exchanges_received = 0;
+    uint64_t send_buffer_full = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Why a push was triggered; controls Nagle-override and pure-ack behavior.
+  enum class PushReason {
+    kApp,            // send() syscall.
+    kAckAdvance,     // Incoming ack freed window / released Nagle hold.
+    kNagleTimer,     // Nagle safety timeout — small send is forced out.
+    kTxCompletion,   // NIC TX completion — auto-cork flush.
+    kDelackTimer,    // Delayed-ack timeout — a pure ack is due.
+    kImmediateAck,   // >= 2 MSS of unacked receive data — ack now.
+    kDupAck,         // Duplicate or out-of-order data: ack unconditionally
+                     // (RFC 5681 — the peer may have missed our last ack).
+    kExchangeTimer,  // Metadata exchange fallback when no data piggybacks.
+    kWindow,         // Receive window reopened — send a window update.
+  };
+
+  struct PlannedPacket {
+    Packet packet;
+    Duration cost;
+  };
+
+  // Submits a push work item on `core`; planning happens at work start.
+  void SubmitPush(CpuCore* core, PushReason reason);
+  // Plans transmittable segments right now (mutates snd state). Returns the
+  // packets plus their CPU cost.
+  std::vector<PlannedPacket> PlanPush(PushReason reason);
+  // Builds one (possibly TSO super-) segment covering
+  // [snd_nxt_, snd_nxt_ + take) and advances snd_nxt_.
+  PlannedPacket BuildDataPacket(uint64_t take);
+  // Builds a retransmission of up to one MSS starting at snd_una.
+  PlannedPacket BuildRetransmit();
+  // Queues a retransmission of the head segment on the softirq core.
+  void SubmitRetransmit();
+  // Builds the wire packet (with TSO slices when `take` exceeds one MSS)
+  // for [start, start + take); shared by the two builders above.
+  PlannedPacket BuildPacketFor(uint64_t start, uint64_t take, bool is_retransmit);
+  void OnRtoFire();
+  // Fills ack/window fields (and the e2e option when due) on a segment.
+  void StampOutgoing(TcpSegment& seg, bool force_exchange);
+  PlannedPacket BuildPureAck(bool force_exchange);
+
+  bool MaySendSmallNow(uint64_t pending, PushReason reason);
+  uint64_t EffectiveCorkLimit() const;
+
+  void ProcessAck(const TcpSegment& seg);
+  void ProcessData(const TcpSegment& seg);
+  void DeliverInOrder(uint64_t end_offset, std::vector<BoundaryEntry> boundaries);
+  void MaybeAckOnReceive();
+  void ArmDelackTimer();
+  void ArmNagleTimer();
+  void ArmRtoTimer();
+  // Zero-window persist: when data is pending, nothing is in flight, and
+  // the peer's window is closed, probe with one byte so a lost window
+  // update cannot deadlock the connection.
+  void ArmPersistTimer();
+  void CancelTimer(EventId& id);
+  void ScheduleExchangeTimer();
+  void OnAckSent(uint64_t acked_to);  // Updates rcv_wup_ + ackdelay queues.
+
+  uint64_t AdvertisedWindow() const;
+  // MSS-grid crossings in (from, to] — the "packets" unit accounting.
+  int64_t PacketUnits(uint64_t from, uint64_t to) const;
+  void TrackThree(QueueKind kind, int64_t bytes, int64_t packets, int64_t syscalls);
+
+  Simulator* sim_;
+  Host* host_;
+  uint64_t conn_id_;
+  bool is_a_;
+  TcpConfig config_;
+  const StackCosts* costs_;
+  std::optional<uint32_t> cork_limit_override_;
+
+  // ---- Send side ----
+  ByteStreamQueue sndq_;  // head = snd_una; bytes retained until acked.
+  uint64_t snd_nxt_ = 0;
+  uint64_t peer_rwnd_ = 65536;  // Until the first ack; see InitPeerWindow().
+  uint64_t peer_rwnd_max_ = 0;  // Largest window the peer ever offered.
+  CongestionControl cc_;
+  bool send_blocked_ = false;   // A Send() failed; fire writable_cb_ on space.
+  RttEstimator rtt_;
+  EventId nagle_timer_ = kInvalidEventId;
+  EventId rto_timer_ = kInvalidEventId;
+  EventId persist_timer_ = kInvalidEventId;
+  bool nagle_override_pending_ = false;
+  std::optional<uint64_t> timed_end_;  // RTT sample: ack target offset.
+  TimePoint timed_sent_at_;
+  uint32_t dup_acks_ = 0;             // Consecutive duplicate acks seen.
+  bool hold_for_completion_ = false;  // Auto-cork armed.
+
+  // ---- Receive side ----
+  ByteStreamQueue rcvq_;  // head = app read position, tail = rcv_nxt.
+  uint64_t rcv_nxt_ = 0;
+  uint64_t rcv_wup_ = 0;  // Highest ack we sent.
+  struct OooSegment {
+    uint64_t len = 0;
+    std::vector<BoundaryEntry> boundaries;  // Absolute offsets.
+  };
+  std::map<uint64_t, OooSegment> ooo_;  // Keyed by start offset.
+  uint64_t ooo_bytes_ = 0;
+  EventId delack_timer_ = kInvalidEventId;
+  std::deque<uint64_t> unacked_rx_boundaries_;  // Syscall-unit ackdelay queue.
+  uint64_t last_advertised_window_ = 0;
+  uint64_t adv_right_edge_ = 0;  // Highest rcv_nxt + window ever advertised.
+
+  // ---- Instrumentation & estimation ----
+  EndpointQueues queues_;
+  ConnectionEstimator estimator_;
+  HintTracker* hint_tracker_ = nullptr;
+  TimePoint last_exchange_sent_;
+  EventId exchange_timer_ = kInvalidEventId;
+  bool force_exchange_ = false;  // One-shot on-demand exchange pending.
+
+  ReadableFn readable_cb_;
+  WritableFn writable_cb_;
+  EstimateFn estimate_cb_;
+  Stats stats_;
+  uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_TCP_ENDPOINT_H_

@@ -1,0 +1,29 @@
+#include "src/tcp/rtt.h"
+
+#include <algorithm>
+
+namespace e2e {
+
+RttEstimator::RttEstimator() : RttEstimator(Config{}) {}
+
+void RttEstimator::AddSample(Duration rtt) {
+  ++samples_;
+  if (!srtt_.has_value()) {
+    // RFC 6298 initialization.
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+  } else {
+    // SRTT = 7/8 SRTT + 1/8 sample; RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - sample|.
+    const Duration err = *srtt_ - rtt;
+    const Duration abs_err = err >= Duration::Zero() ? err : -err;
+    rttvar_ = (rttvar_ * 3) / 4 + abs_err / 4;
+    srtt_ = (*srtt_ * 7) / 8 + rtt / 8;
+  }
+  const Duration candidate = *srtt_ + std::max(Duration::Millis(1), rttvar_ * 4);
+  rto_ = std::clamp(candidate, config_.min_rto, config_.max_rto);
+  base_rto_ = rto_;
+}
+
+void RttEstimator::Backoff() { rto_ = std::min(rto_ * 2, config_.max_rto); }
+
+}  // namespace e2e

@@ -1,0 +1,56 @@
+// Round-trip-time estimation: Jacobson/Karels SRTT + RTTVAR smoothing with
+// Karn's rule (no samples from retransmitted segments), feeding the
+// retransmission timeout. Also the baseline the paper compares against —
+// RTT ignores application read delays and is inflated by delayed acks, which
+// is precisely why it is a poor proxy for end-to-end latency (§2).
+
+#ifndef SRC_TCP_RTT_H_
+#define SRC_TCP_RTT_H_
+
+#include <optional>
+
+#include "src/sim/time.h"
+
+namespace e2e {
+
+class RttEstimator {
+ public:
+  struct Config {
+    Duration initial_rto = Duration::Millis(200);
+    // Linux's floor. Must exceed the peer's delayed-ack timeout (40 ms),
+    // or a quiet tail whose ack is being delayed retransmits spuriously.
+    Duration min_rto = Duration::Millis(200);
+    Duration max_rto = Duration::Seconds(4);
+  };
+
+  RttEstimator();
+  explicit RttEstimator(const Config& config)
+      : config_(config), rto_(config.initial_rto), base_rto_(config.initial_rto) {}
+
+  // Feeds one RTT sample (from a never-retransmitted segment, per Karn).
+  void AddSample(Duration rtt);
+
+  // Exponential backoff after a retransmission timeout.
+  void Backoff();
+
+  // Clears accumulated backoff once the connection makes forward progress
+  // (Linux does the same on a new cumulative ack).
+  void ResetBackoff() { rto_ = base_rto_; }
+
+  Duration rto() const { return rto_; }
+  std::optional<Duration> srtt() const { return srtt_; }
+  Duration rttvar() const { return rttvar_; }
+  int64_t samples() const { return samples_; }
+
+ private:
+  Config config_;
+  std::optional<Duration> srtt_;
+  Duration rttvar_;
+  Duration rto_;
+  Duration base_rto_;  // RTO without timeout backoff.
+  int64_t samples_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_TCP_RTT_H_

@@ -1,0 +1,156 @@
+#include "src/tcp/segment_codec.h"
+
+#include <algorithm>
+
+#include "src/core/wire_format.h"
+
+namespace e2e {
+namespace {
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+// Real TCP flag bit positions, so the wire bytes look authentic.
+constexpr uint8_t kWireAck = 0x10;
+constexpr uint8_t kWirePsh = 0x08;
+
+}  // namespace
+
+size_t E2eOptionSize(const WirePayload& payload) {
+  const size_t body = payload.hint.has_value() ? kWirePayloadMaxSize : kWirePayloadBaseSize;
+  return 2 + body;  // kind + length + body.
+}
+
+std::optional<EncodedSegment> EncodeSegmentHeader(const TcpSegment& seg, bool allow_oversize) {
+  EncodedSegment out;
+  out.payload_len = seg.len;
+
+  // Options area first, to know the data offset.
+  std::vector<uint8_t> options;
+  if (seg.e2e_option.has_value()) {
+    const size_t option_size = E2eOptionSize(*seg.e2e_option);
+    if (option_size > kTcpMaxOptionBytes && !allow_oversize) {
+      return std::nullopt;
+    }
+    options.push_back(kE2eOptionKind);
+    options.push_back(static_cast<uint8_t>(option_size));
+    const size_t body_at = options.size();
+    options.resize(body_at + option_size - 2);
+    if (EncodePayload(*seg.e2e_option, options.data() + body_at, options.size() - body_at) == 0) {
+      return std::nullopt;
+    }
+  }
+  while (options.size() % 4 != 0) {
+    options.push_back(0);  // End-of-options / padding.
+  }
+  const size_t header_len = kTcpBaseHeaderBytes + options.size();
+  if (header_len > 60 && !allow_oversize) {
+    return std::nullopt;
+  }
+
+  std::vector<uint8_t>& hdr = out.header;
+  hdr.reserve(header_len);
+  // Ports carry the connection id (the simulator has no real addressing);
+  // the "source port" high bit distinguishes the A side.
+  const uint16_t port = static_cast<uint16_t>(seg.conn_id & 0x7FFF);
+  PutU16(hdr, static_cast<uint16_t>(port | (seg.from_a ? 0x8000 : 0)));
+  PutU16(hdr, port);
+  PutU32(hdr, seg.seq);
+  PutU32(hdr, seg.ack);
+  uint8_t flags = 0;
+  if ((seg.flags & kFlagAck) != 0) {
+    flags |= kWireAck;
+  }
+  if ((seg.flags & kFlagPsh) != 0) {
+    flags |= kWirePsh;
+  }
+  // Data offset in 32-bit words (4 bits, so it saturates at 60 bytes —
+  // oversize headers rely on the decoder's EDO-style length override).
+  hdr.push_back(static_cast<uint8_t>(std::min<size_t>(header_len / 4, 15) << 4));
+  hdr.push_back(flags);
+  PutU16(hdr, static_cast<uint16_t>(std::min<uint32_t>(seg.window, 0xFFFF)));
+  PutU16(hdr, 0);  // Checksum (unused in simulation).
+  PutU16(hdr, 0);  // Urgent pointer.
+  hdr.insert(hdr.end(), options.begin(), options.end());
+  return out;
+}
+
+std::optional<TcpSegment> DecodeSegmentHeader(const uint8_t* data, size_t len,
+                                              uint32_t payload_len) {
+  if (len < kTcpBaseHeaderBytes) {
+    return std::nullopt;
+  }
+  TcpSegment seg;
+  const uint16_t src_port = GetU16(data);
+  seg.from_a = (src_port & 0x8000) != 0;
+  seg.conn_id = src_port & 0x7FFF;
+  seg.seq = GetU32(data + 4);
+  seg.ack = GetU32(data + 8);
+  size_t header_len = static_cast<size_t>(data[12] >> 4) * 4;
+  if (len > kTcpBaseHeaderBytes + kTcpMaxOptionBytes) {
+    // Oversize (EDO-style) emulation: the buffer length is authoritative
+    // because the 4-bit data offset cannot express more than 60 bytes.
+    header_len = len;
+  }
+  if (header_len < kTcpBaseHeaderBytes || header_len > len) {
+    return std::nullopt;
+  }
+  const uint8_t flags = data[13];
+  if ((flags & kWireAck) != 0) {
+    seg.flags |= kFlagAck;
+  }
+  if ((flags & kWirePsh) != 0) {
+    seg.flags |= kFlagPsh;
+  }
+  seg.window = GetU16(data + 14);
+  seg.len = payload_len;
+
+  // Walk the options TLVs.
+  size_t pos = kTcpBaseHeaderBytes;
+  while (pos < header_len) {
+    const uint8_t kind = data[pos];
+    if (kind == 0) {
+      break;  // End of options.
+    }
+    if (kind == 1) {
+      ++pos;  // NOP.
+      continue;
+    }
+    if (pos + 1 >= header_len) {
+      return std::nullopt;
+    }
+    const uint8_t option_len = data[pos + 1];
+    if (option_len < 2 || pos + option_len > header_len) {
+      return std::nullopt;
+    }
+    if (kind == kE2eOptionKind) {
+      std::optional<WirePayload> payload = DecodePayload(data + pos + 2, option_len - 2);
+      if (!payload.has_value()) {
+        return std::nullopt;
+      }
+      seg.e2e_option = std::move(payload);
+    }
+    pos += option_len;
+  }
+  return seg;
+}
+
+}  // namespace e2e

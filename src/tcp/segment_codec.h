@@ -1,0 +1,52 @@
+// Byte-level encoding of TCP segment headers, including the end-to-end
+// metadata exchange as a real TCP option (paper §5, "Metadata Exchange").
+//
+// The simulator moves segments as objects, but the wire format matters for
+// the paper's feasibility argument: a standard TCP header has at most 40
+// bytes of option space (data offset is 4 bits: 15*4 - 20). The base
+// exchange payload — 2 header bytes + three 3-tuples of 4-byte counters —
+// is 38 bytes; wrapped in a kind/length TLV it lands at exactly 40 bytes,
+// i.e. it fits, but only when no other options (e.g. timestamps) are
+// present. A hint-bearing payload (52 bytes with TLV) does NOT fit; a real
+// deployment would lower the exchange frequency, alternate hint/queue
+// payloads, or use extended options. The codec enforces the limit unless
+// explicitly told to model an oversize/experimental encoding.
+
+#ifndef SRC_TCP_SEGMENT_CODEC_H_
+#define SRC_TCP_SEGMENT_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/tcp/segment.h"
+
+namespace e2e {
+
+// Experimental option kind (RFC 4727 reserves 253 for experiments).
+inline constexpr uint8_t kE2eOptionKind = 253;
+inline constexpr size_t kTcpBaseHeaderBytes = 20;
+inline constexpr size_t kTcpMaxOptionBytes = 40;
+
+struct EncodedSegment {
+  std::vector<uint8_t> header;  // Base header + padded options.
+  uint32_t payload_len = 0;     // Virtual payload bytes (not materialized).
+};
+
+// Encodes the header of `seg`. Fails (nullopt) when the e2e option would
+// exceed the 40-byte option space and `allow_oversize` is false.
+std::optional<EncodedSegment> EncodeSegmentHeader(const TcpSegment& seg,
+                                                  bool allow_oversize = false);
+
+// Decodes a header produced by EncodeSegmentHeader. Message-boundary
+// records are simulator-side metadata and are not round-tripped. Returns
+// nullopt on malformed input.
+std::optional<TcpSegment> DecodeSegmentHeader(const uint8_t* data, size_t len,
+                                              uint32_t payload_len);
+
+// Size the e2e option (TLV included) would occupy for a given payload.
+size_t E2eOptionSize(const WirePayload& payload);
+
+}  // namespace e2e
+
+#endif  // SRC_TCP_SEGMENT_CODEC_H_

@@ -1,0 +1,38 @@
+// 32-bit TCP sequence-number arithmetic.
+//
+// Internally the stack tracks absolute 64-bit stream offsets (immune to
+// wraparound); on the wire, sequence and ack numbers are 32-bit and wrap.
+// `WrapSeq`/`UnwrapSeq` convert between the two: unwrapping picks the 64-bit
+// offset closest to a reference offset, which is correct as long as the
+// true offset is within 2^31 bytes of the reference (always true for a
+// window-limited connection).
+
+#ifndef SRC_TCP_SEQUENCE_H_
+#define SRC_TCP_SEQUENCE_H_
+
+#include <cstdint>
+
+namespace e2e {
+
+inline constexpr uint32_t WrapSeq(uint64_t offset) { return static_cast<uint32_t>(offset); }
+
+// Returns the offset congruent to `seq` (mod 2^32) nearest to `reference`.
+// If that nearest value would be negative (possible only within 2^31 of
+// offset zero), the next congruent value is returned instead.
+inline constexpr uint64_t UnwrapSeq(uint32_t seq, uint64_t reference) {
+  const int32_t delta = static_cast<int32_t>(seq - static_cast<uint32_t>(reference));
+  const int64_t result = static_cast<int64_t>(reference) + delta;
+  return result >= 0 ? static_cast<uint64_t>(result)
+                     : static_cast<uint64_t>(result + (int64_t{1} << 32));
+}
+
+// True when sequence `a` is strictly before `b` in wrapped 32-bit space.
+inline constexpr bool SeqBefore(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) < 0;
+}
+inline constexpr bool SeqAfter(uint32_t a, uint32_t b) { return SeqBefore(b, a); }
+inline constexpr bool SeqBeforeEq(uint32_t a, uint32_t b) { return !SeqAfter(a, b); }
+
+}  // namespace e2e
+
+#endif  // SRC_TCP_SEQUENCE_H_

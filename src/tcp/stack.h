@@ -1,0 +1,61 @@
+// Per-host TCP stack: owns the host's endpoints, installs the NIC RX/TX
+// callbacks, prices per-packet softirq processing, and demultiplexes
+// incoming segments to their endpoint.
+
+#ifndef SRC_TCP_STACK_H_
+#define SRC_TCP_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/host.h"
+#include "src/sim/simulator.h"
+#include "src/tcp/endpoint.h"
+#include "src/tcp/tcp_config.h"
+
+namespace e2e {
+
+class TcpStack {
+ public:
+  TcpStack(Simulator* sim, Host* host, const StackCosts& costs);
+
+  // Creates an endpoint for `conn_id`. `is_a` distinguishes the two sides
+  // of a connection; see ConnectPair. The endpoint is owned by the stack.
+  TcpEndpoint* CreateEndpoint(uint64_t conn_id, bool is_a, const TcpConfig& config);
+
+  Host* host() { return host_; }
+  const StackCosts& costs() const { return costs_; }
+
+  uint64_t unknown_segments() const { return unknown_segments_; }
+  // Wire packets whose stack traversal was saved by GRO coalescing.
+  uint64_t gro_merged() const { return gro_merged_; }
+
+ private:
+  uint64_t KeyFor(uint64_t conn_id, bool is_a) const { return conn_id * 2 + (is_a ? 1 : 0); }
+  Duration RxBatchCost(const std::vector<Packet>& batch);
+  void OnRxPacket(const Packet& packet);
+
+  Simulator* sim_;
+  Host* host_;
+  StackCosts costs_;
+  std::unordered_map<uint64_t, std::unique_ptr<TcpEndpoint>> endpoints_;
+  std::vector<TcpEndpoint*> endpoint_list_;
+  uint64_t unknown_segments_ = 0;
+  uint64_t gro_merged_ = 0;
+};
+
+// Creates the two endpoints of a connection between hosts running `stack_a`
+// and `stack_b` (whose NICs must already be linked) and seeds each side's
+// view of the peer's receive window.
+struct ConnectedPair {
+  TcpEndpoint* a = nullptr;
+  TcpEndpoint* b = nullptr;
+};
+ConnectedPair ConnectPair(TcpStack& stack_a, TcpStack& stack_b, uint64_t conn_id,
+                          const TcpConfig& config_a, const TcpConfig& config_b);
+
+}  // namespace e2e
+
+#endif  // SRC_TCP_STACK_H_

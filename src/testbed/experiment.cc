@@ -1,0 +1,311 @@
+#include "src/testbed/experiment.h"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "src/apps/redis_server.h"
+#include "src/core/aggregator.h"
+#include "src/testbed/collector.h"
+
+namespace e2e {
+
+const char* BatchModeName(BatchMode mode) {
+  switch (mode) {
+    case BatchMode::kStaticOff:
+      return "nodelay";
+    case BatchMode::kStaticOn:
+      return "nagle";
+    case BatchMode::kDynamic:
+      return "dynamic";
+    case BatchMode::kAimd:
+      return "aimd";
+  }
+  return "?";
+}
+
+TopologyConfig RedisExperimentConfig::DefaultRedisTopology() {
+  TopologyConfig topo;
+  topo.link.bandwidth_bps = 100e9;
+  topo.link.propagation = Duration::MicrosF(3.0);
+
+  // Client stack: a modern sender; requests go out as TSO super-segments.
+  topo.client_stack_costs.tx_per_segment = Duration::MicrosF(2.0);
+  topo.client_stack_costs.doorbell = Duration::Nanos(300);
+
+  // Server stack: the per-segment transmit path is the amortizable β —
+  // skb alloc + tcp_write_xmit + qdisc + driver on the paper's 2.2 GHz
+  // Xeons. Charged inline in Redis's thread when Nagle is off; charged on
+  // the softirq core (amortized over coalesced responses) when acks flush
+  // Nagle-held data.
+  topo.server_stack_costs.tx_per_segment = Duration::MicrosF(12.0);
+  topo.server_stack_costs.doorbell = Duration::Nanos(300);
+  return topo;
+}
+
+TcpConfig RedisExperimentConfig::DefaultClientTcp() {
+  TcpConfig tcp;
+  tcp.nodelay = true;  // Redis clients run with TCP_NODELAY.
+  tcp.e2e_mode = UnitMode::kBytes;
+  return tcp;
+}
+
+TcpConfig RedisExperimentConfig::DefaultServerTcp() {
+  TcpConfig tcp;
+  tcp.nodelay = true;  // Redis disables Nagle; batch modes override below.
+  tcp.e2e_mode = UnitMode::kBytes;
+  return tcp;
+}
+
+RedisExperimentResult RunRedisExperiment(const RedisExperimentConfig& config) {
+  assert(config.num_connections >= 1);
+  TwoHostTopology topo(config.topology);
+  Simulator& sim = topo.sim();
+
+  TcpConfig client_tcp = RedisExperimentConfig::DefaultClientTcp();
+  TcpConfig server_tcp = RedisExperimentConfig::DefaultServerTcp();
+  client_tcp.e2e_exchange_interval = config.exchange_interval;
+  server_tcp.e2e_exchange_interval = config.exchange_interval;
+  server_tcp.nodelay = config.batch_mode != BatchMode::kStaticOn;
+
+  struct PerConnection {
+    ConnectedPair conn;
+    std::unique_ptr<RedisServerApp> server;
+    std::unique_ptr<LancetClient> client;
+    std::unique_ptr<CounterCollector> collector;
+  };
+  std::vector<PerConnection> connections(config.num_connections);
+
+  for (int i = 0; i < config.num_connections; ++i) {
+    PerConnection& pc = connections[i];
+    pc.conn = topo.Connect(static_cast<uint64_t>(i + 1), client_tcp, server_tcp);
+
+    RedisServerApp::Config server_config;
+    server_config.costs = config.server_costs;
+    pc.server = std::make_unique<RedisServerApp>(&sim, pc.conn.b, server_config);
+    if (config.prefill_store) {
+      for (uint64_t key = 0; key < config.mix.key_space; ++key) {
+        pc.server->mutable_store().Set(key, config.mix.get_value_len);
+      }
+    }
+
+    LancetClient::Config client_config;
+    client_config.rate_rps = config.rate_rps / config.num_connections;
+    client_config.mix = config.mix;
+    client_config.costs = config.client_costs;
+    client_config.warmup = config.warmup;
+    client_config.measure = config.measure;
+    client_config.seed = config.seed + static_cast<uint64_t>(i) * 7919;
+    client_config.use_hints = config.client_hints;
+    client_config.pipeline_depth = config.pipeline_depth;
+    pc.client = std::make_unique<LancetClient>(&sim, pc.conn.a, client_config);
+
+    pc.collector = std::make_unique<CounterCollector>(&sim, pc.conn.a, pc.conn.b,
+                                                      &pc.client->hints(),
+                                                      config.collect_interval);
+  }
+
+  // Dynamic batching control at the server, driven by the *averaged*
+  // estimates of all its connections and applied to all of them.
+  EstimateAggregator aggregator;
+  for (PerConnection& pc : connections) {
+    aggregator.AddSource(&pc.conn.b->estimator());
+  }
+  std::unique_ptr<ToggleController> toggle;
+  std::unique_ptr<AimdBatchController> aimd;
+  SloThroughputPolicy policy(config.slo);
+  if (config.batch_mode == BatchMode::kDynamic) {
+    toggle = std::make_unique<ToggleController>(config.controller, &policy, Rng(config.seed + 7),
+                                                /*initial_on=*/false);
+  } else if (config.batch_mode == BatchMode::kAimd) {
+    AimdBatchController::Config aimd_config = config.aimd;
+    aimd_config.slo = config.slo;
+    aimd = std::make_unique<AimdBatchController>(aimd_config);
+  }
+
+  const TimePoint start = sim.Now();
+  const TimePoint measure_start = start + config.warmup;
+  const TimePoint measure_end = measure_start + config.measure;
+  const TimePoint run_end = measure_end + config.drain;
+
+  uint64_t ticks_in_window = 0;
+  uint64_t ticks_on = 0;
+  double limit_sum = 0;
+  std::function<void()> control_tick = [&] {
+    std::optional<PerfSample> sample;
+    const E2eEstimate aggregate = aggregator.Aggregate();
+    if (aggregate.valid()) {
+      sample = PerfSample{*aggregate.latency, aggregate.a_send_throughput};
+    }
+    const bool in_window = sim.Now() >= measure_start && sim.Now() < measure_end;
+    if (toggle != nullptr) {
+      const bool on = toggle->OnTick(sim.Now(), sample);
+      for (PerConnection& pc : connections) {
+        pc.conn.b->SetNoDelay(!on);
+      }
+      if (in_window) {
+        ++ticks_in_window;
+        ticks_on += on ? 1 : 0;
+      }
+    } else if (aimd != nullptr) {
+      const double limit = aimd->OnTick(sim.Now(), sample);
+      for (PerConnection& pc : connections) {
+        pc.conn.b->SetNoDelay(false);
+        pc.conn.b->SetCorkLimit(static_cast<uint32_t>(limit));
+      }
+      if (in_window) {
+        ++ticks_in_window;
+        limit_sum += limit;
+      }
+    }
+    sim.Schedule(config.controller.tick, control_tick);
+  };
+  if (toggle != nullptr || aimd != nullptr) {
+    sim.Schedule(config.controller.tick, control_tick);
+  }
+
+  // Online estimate accumulation at the server (wire-exchange path).
+  RunningStats online_est_us;
+  for (PerConnection& pc : connections) {
+    pc.conn.b->SetEstimateCallback([&](const ConnectionEstimator& est) {
+      if (est.has_estimate() && sim.Now() >= measure_start && sim.Now() < measure_end) {
+        online_est_us.Add(est.estimate().latency->ToMicros());
+      }
+    });
+  }
+
+  for (PerConnection& pc : connections) {
+    pc.collector->Start(run_end);
+    pc.client->Start();
+  }
+
+  // Utilization bookkeeping: snapshot busy counters at the window edges.
+  struct BusySnapshot {
+    Duration client_app, client_softirq, server_app, server_softirq;
+  };
+  const auto take_busy = [&] {
+    return BusySnapshot{
+        topo.client_host().app_core().busy_time(), topo.client_host().softirq_core().busy_time(),
+        topo.server_host().app_core().busy_time(), topo.server_host().softirq_core().busy_time()};
+  };
+  BusySnapshot at_start{};
+  sim.ScheduleAt(measure_start, [&] { at_start = take_busy(); });
+  BusySnapshot at_end{};
+  uint64_t switches_at_end = 0;
+  sim.ScheduleAt(measure_end, [&] {
+    at_end = take_busy();
+    switches_at_end = toggle != nullptr ? toggle->switches() : 0;
+  });
+
+  sim.RunUntil(run_end);
+
+  // ---- Collect results across connections ----
+  RedisExperimentResult result;
+  result.offered_krps = config.rate_rps / 1e3;
+
+  RunningStats latency_us;
+  LogHistogram latency_hist{0.1, 1e9, 100};
+  RunningStats sojourn_us;
+  RunningStats request_leg_us;
+  RunningStats server_us;
+  RunningStats response_leg_us;
+  double achieved_rps = 0;
+  for (PerConnection& pc : connections) {
+    const LancetClient::Results& lancet = pc.client->results();
+    latency_us.Merge(lancet.latency_us);
+    latency_hist.Merge(lancet.latency_hist);
+    sojourn_us.Merge(lancet.sojourn_us);
+    request_leg_us.Merge(lancet.request_leg_us);
+    server_us.Merge(lancet.server_us);
+    response_leg_us.Merge(lancet.response_leg_us);
+    achieved_rps += lancet.achieved_rps;
+    result.requests_completed += lancet.measured;
+  }
+  result.comp_request_leg_us = request_leg_us.mean();
+  result.comp_server_us = server_us.mean();
+  result.comp_response_leg_us = response_leg_us.mean();
+  result.achieved_krps = achieved_rps / 1e3;
+  result.measured_mean_us = latency_us.mean();
+  result.measured_sojourn_us = sojourn_us.mean();
+  result.measured_p50_us = latency_hist.Percentile(50);
+  result.measured_p99_us = latency_hist.Percentile(99);
+
+  const auto window_est = [&](UnitMode mode) -> std::optional<double> {
+    std::vector<E2eEstimate> estimates;
+    for (PerConnection& pc : connections) {
+      estimates.push_back(pc.collector->EstimateWindow(mode, measure_start, measure_end));
+    }
+    const E2eEstimate avg = AverageEstimates(estimates.data(), estimates.size());
+    if (!avg.latency.has_value()) {
+      return std::nullopt;
+    }
+    return avg.latency->ToMicros();
+  };
+  if (online_est_us.count() > 0) {
+    result.online_est_us = online_est_us.mean();
+  }
+  result.est_bytes_us = window_est(UnitMode::kBytes);
+  result.est_packets_us = window_est(UnitMode::kPackets);
+  result.est_syscalls_us = window_est(UnitMode::kSyscalls);
+
+  double hint_sum_us = 0;
+  int hint_count = 0;
+  double syscall_tput = 0;
+  for (PerConnection& pc : connections) {
+    const QueueAverages hint_avgs = pc.collector->HintWindow(measure_start, measure_end);
+    if (hint_avgs.delay.has_value()) {
+      hint_sum_us += hint_avgs.delay->ToMicros();
+      ++hint_count;
+    }
+    syscall_tput +=
+        pc.collector->EstimateWindow(UnitMode::kSyscalls, measure_start, measure_end)
+            .a_send_throughput;
+  }
+  if (hint_count > 0) {
+    result.est_hints_us = hint_sum_us / hint_count;
+  }
+  result.est_krps = syscall_tput / 1e3;
+
+  const double window_sec = config.measure.ToSeconds();
+  result.client_app_util = (at_end.client_app - at_start.client_app).ToSeconds() / window_sec;
+  result.client_softirq_util =
+      (at_end.client_softirq - at_start.client_softirq).ToSeconds() / window_sec;
+  result.server_app_util = (at_end.server_app - at_start.server_app).ToSeconds() / window_sec;
+  result.server_softirq_util =
+      (at_end.server_softirq - at_start.server_softirq).ToSeconds() / window_sec;
+
+  uint64_t server_sends = 0;
+  for (PerConnection& pc : connections) {
+    const TcpEndpoint::Stats& server_stats = pc.conn.b->stats();
+    result.server_data_segments += server_stats.data_segments_sent;
+    result.server_wire_packets += server_stats.wire_packets_sent;
+    result.server_nagle_holds += server_stats.nagle_holds;
+    server_sends += server_stats.sends;
+    result.retransmits += server_stats.retransmits + pc.conn.a->stats().retransmits;
+    result.exchanges += server_stats.exchanges_received;
+  }
+  result.responses_per_packet =
+      result.server_data_segments > 0
+          ? static_cast<double>(server_sends) / static_cast<double>(result.server_data_segments)
+          : 0.0;
+  result.terms_client_bytes = connections[0].collector->WindowAverages(
+      /*side_a=*/true, UnitMode::kBytes, measure_start, measure_end);
+  result.terms_server_bytes = connections[0].collector->WindowAverages(
+      /*side_a=*/false, UnitMode::kBytes, measure_start, measure_end);
+  if (config.keep_series) {
+    // Series restricted to the measurement window, from connection 0.
+    for (auto& entry : connections[0].collector->EstimateSeries(UnitMode::kBytes)) {
+      if (entry.first > measure_start && entry.first <= measure_end) {
+        result.series_bytes.push_back(std::move(entry));
+      }
+    }
+  }
+  result.controller_switches = switches_at_end;
+  if (ticks_in_window > 0) {
+    result.duty_cycle_on = static_cast<double>(ticks_on) / static_cast<double>(ticks_in_window);
+    result.aimd_limit_bytes = limit_sum / static_cast<double>(ticks_in_window);
+  }
+  return result;
+}
+
+}  // namespace e2e

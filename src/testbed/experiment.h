@@ -1,0 +1,150 @@
+// The full Redis/Lancet experiment of the paper's §4, as a reusable driver:
+// one run = one (offered load, batching mode) point producing measured
+// ground-truth latency, offline counter-based estimates in every unit mode,
+// and CPU utilizations. Benches sweep this to regenerate Figures 2 and 4.
+
+#ifndef SRC_TESTBED_EXPERIMENT_H_
+#define SRC_TESTBED_EXPERIMENT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/apps/cost_profile.h"
+#include "src/apps/lancet.h"
+#include "src/apps/workload.h"
+#include "src/core/aimd.h"
+#include "src/core/controller.h"
+#include "src/core/policy.h"
+#include "src/testbed/offline_analysis.h"
+#include "src/testbed/topology.h"
+
+namespace e2e {
+
+// How the server's response batching is driven.
+enum class BatchMode {
+  kStaticOff,  // TCP_NODELAY (Redis's shipped default).
+  kStaticOn,   // Nagle always enabled.
+  kDynamic,    // ε-greedy toggling on end-to-end estimates (paper §5).
+  kAimd,       // AIMD cork-limit adaptation (paper §5).
+};
+
+const char* BatchModeName(BatchMode mode);
+
+struct RedisExperimentConfig {
+  double rate_rps = 20000;  // Aggregate across all connections.
+  BatchMode batch_mode = BatchMode::kStaticOff;
+  WorkloadMix mix = WorkloadMix::SetOnly16K();
+  // Concurrent client connections; the batching setting is applied to all
+  // of them and (in dynamic modes) driven by their *averaged* estimates,
+  // per §3.2's multi-connection note.
+  int num_connections = 1;
+
+  AppCosts client_costs = BareMetalClientCosts();
+  AppCosts server_costs = RedisServerCosts();
+  TopologyConfig topology = DefaultRedisTopology();
+
+  Duration warmup = Duration::Millis(150);
+  Duration measure = Duration::Millis(600);
+  Duration drain = Duration::Millis(50);
+  Duration collect_interval = Duration::Millis(1);
+  uint64_t seed = 1;
+  bool prefill_store = true;  // Preload keys so GETs hit.
+  bool client_hints = true;
+  // Client-side syscall batching (see LancetClient::Config::pipeline_depth).
+  int pipeline_depth = 1;
+
+  // Controller parameters (kDynamic / kAimd).
+  ControllerConfig controller;
+  Duration slo = Duration::Micros(500);
+  AimdBatchController::Config aimd;
+
+  // Metadata exchange period used by both endpoints (paper §5 discusses
+  // reducing the frequency; estimates stay correct regardless).
+  Duration exchange_interval = Duration::Millis(1);
+
+  // Keep the per-tick byte-mode estimate series of connection 0 in the
+  // result (for offline would-have-been toggle analysis, paper §3.4/§4).
+  bool keep_series = false;
+
+  // Default stack/NIC/link calibration; see DESIGN.md §5. The dominant
+  // knobs: the server's per-(small-)segment transmit path cost is the
+  // amortizable per-batch cost β, and the server app's per-request work is
+  // α. Their ~1:1 ratio is what makes Nagle roughly double the sustainable
+  // load, as in the paper.
+  static TopologyConfig DefaultRedisTopology();
+  static TcpConfig DefaultClientTcp();
+  static TcpConfig DefaultServerTcp();
+};
+
+struct RedisExperimentResult {
+  double offered_krps = 0;
+  double achieved_krps = 0;
+  // Ground truth (send -> response read), measurement window only.
+  double measured_mean_us = 0;
+  double measured_p50_us = 0;
+  double measured_p99_us = 0;
+  // App-perceived ground truth (request created -> response processed),
+  // including client-side queueing/batching before the send syscall.
+  double measured_sojourn_us = 0;
+  // Mean of the server's *online* estimates (computed from wire-exchanged
+  // metadata payloads) over the window; empty when no exchange completed.
+  std::optional<double> online_est_us;
+  // Offline window estimates per unit mode (µs); empty when undefined.
+  std::optional<double> est_bytes_us;
+  std::optional<double> est_packets_us;
+  std::optional<double> est_syscalls_us;
+  std::optional<double> est_hints_us;
+  // Estimated throughput (request rate) from the syscall/hint queues.
+  double est_krps = 0;
+
+  // Mean latency components (µs): where the measured latency lives.
+  double comp_request_leg_us = 0;   // Client send() -> server picks it up.
+  double comp_server_us = 0;        // Server processing + send syscall.
+  double comp_response_leg_us = 0;  // Server send() -> client reads it.
+
+  // CPU utilization over the measurement window, [0, 1].
+  double client_app_util = 0;
+  double client_softirq_util = 0;
+  double server_app_util = 0;
+  double server_softirq_util = 0;
+
+  // Batching behavior.
+  uint64_t server_data_segments = 0;
+  uint64_t server_wire_packets = 0;
+  uint64_t server_nagle_holds = 0;
+  double responses_per_packet = 0;
+  uint64_t controller_switches = 0;
+  double duty_cycle_on = 0;       // Fraction of ticks with batching enabled.
+  double aimd_limit_bytes = 0;    // Mean AIMD cork limit over the window.
+  uint64_t requests_completed = 0;
+  uint64_t retransmits = 0;
+  uint64_t exchanges = 0;         // Metadata payloads the server received.
+
+  // Per-collect-interval byte-mode estimates (only when keep_series).
+  EstimateSeries series_bytes;
+
+  // The individual Figure-3 formula terms over the window (byte mode,
+  // connection 0): client = side A, server = side B.
+  EndpointAverages terms_client_bytes;
+  EndpointAverages terms_server_bytes;
+
+  std::optional<double> EstimateFor(UnitMode mode) const {
+    switch (mode) {
+      case UnitMode::kBytes:
+        return est_bytes_us;
+      case UnitMode::kPackets:
+        return est_packets_us;
+      case UnitMode::kSyscalls:
+        return est_syscalls_us;
+      case UnitMode::kHints:
+        return est_hints_us;
+    }
+    return std::nullopt;
+  }
+};
+
+RedisExperimentResult RunRedisExperiment(const RedisExperimentConfig& config);
+
+}  // namespace e2e
+
+#endif  // SRC_TESTBED_EXPERIMENT_H_

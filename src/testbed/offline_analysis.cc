@@ -1,0 +1,42 @@
+#include "src/testbed/offline_analysis.h"
+
+#include <algorithm>
+
+namespace e2e {
+
+WouldBeToggleResult AnalyzeWouldBeToggle(const EstimateSeries& batching_off,
+                                         const EstimateSeries& batching_on,
+                                         const BatchPolicy& policy) {
+  WouldBeToggleResult result;
+  const size_t n = std::min(batching_off.size(), batching_on.size());
+  bool have_previous = false;
+  bool previous_on = false;
+  double chosen_sum = 0;
+  double best_sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const E2eEstimate& off = batching_off[i].second;
+    const E2eEstimate& on = batching_on[i].second;
+    if (!off.valid() || !on.valid()) {
+      continue;
+    }
+    const PerfSample off_sample{*off.latency, off.a_send_throughput};
+    const PerfSample on_sample{*on.latency, on.a_send_throughput};
+    const bool pick_on = policy.Prefers(on_sample, off_sample);
+    ++result.ticks;
+    result.choose_on += pick_on ? 1 : 0;
+    if (have_previous && pick_on != previous_on) {
+      ++result.switches;
+    }
+    previous_on = pick_on;
+    have_previous = true;
+    chosen_sum += (pick_on ? on_sample : off_sample).latency.ToMicros();
+    best_sum += std::min(on_sample.latency.ToMicros(), off_sample.latency.ToMicros());
+  }
+  if (result.ticks > 0) {
+    result.mean_chosen_est_us = chosen_sum / static_cast<double>(result.ticks);
+    result.mean_best_est_us = best_sum / static_cast<double>(result.ticks);
+  }
+  return result;
+}
+
+}  // namespace e2e

@@ -1,0 +1,44 @@
+// The paper's §3.4/§4 evaluation methodology, made explicit: the prototype
+// does not toggle batching live; it logs counters from two static runs
+// (batching on and off) and analyzes offline what a dynamic toggler *would
+// have* done with the estimates — per tick, which arm would the policy
+// pick, and does that pick agree with the measured ground truth?
+
+#ifndef SRC_TESTBED_OFFLINE_ANALYSIS_H_
+#define SRC_TESTBED_OFFLINE_ANALYSIS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/latency_combiner.h"
+#include "src/core/policy.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// One estimate series: (sample time, per-interval estimate), as produced by
+// CounterCollector::EstimateSeries.
+using EstimateSeries = std::vector<std::pair<TimePoint, E2eEstimate>>;
+
+struct WouldBeToggleResult {
+  uint64_t ticks = 0;           // Tick pairs with valid estimates on both arms.
+  uint64_t choose_on = 0;       // Ticks where the policy picks batching ON.
+  uint64_t switches = 0;        // Decision changes across consecutive ticks.
+  double mean_chosen_est_us = 0;  // Mean estimated latency of the chosen arm.
+  double mean_best_est_us = 0;    // Mean of min(est_on, est_off) per tick.
+
+  double OnFraction() const {
+    return ticks > 0 ? static_cast<double>(choose_on) / static_cast<double>(ticks) : 0.0;
+  }
+};
+
+// Pairs the two series tick-by-tick (they must come from runs with the same
+// collection interval and duration) and applies `policy` to each pair.
+WouldBeToggleResult AnalyzeWouldBeToggle(const EstimateSeries& batching_off,
+                                         const EstimateSeries& batching_on,
+                                         const BatchPolicy& policy);
+
+}  // namespace e2e
+
+#endif  // SRC_TESTBED_OFFLINE_ANALYSIS_H_

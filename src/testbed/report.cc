@@ -1,0 +1,82 @@
+#include "src/testbed/report.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace e2e {
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(std::string text) {
+  assert(!rows_.empty());
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return Cell(buf);
+}
+
+Table& Table::Int(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return Cell(buf);
+}
+
+void Table::Print(FILE* out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      std::fprintf(out, "%s%-*s", i == 0 ? "" : "  ", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+  for (size_t w : widths) {
+    total += w;
+  }
+  std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void Table::PrintCsv(FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(out, "%s%s", i == 0 ? "" : ",", cells[i].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void PrintBanner(const std::string& title, FILE* out) {
+  std::fprintf(out, "\n=== %s ===\n\n", title.c_str());
+}
+
+std::string FormatFactor(double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", factor);
+  return buf;
+}
+
+}  // namespace e2e

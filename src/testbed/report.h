@@ -1,0 +1,42 @@
+// Fixed-width table and CSV reporting used by every bench binary.
+
+#ifndef SRC_TESTBED_REPORT_H_
+#define SRC_TESTBED_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace e2e {
+
+// Accumulates rows of preformatted cells; Print() pads columns to fit.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  // Starts a new row; append cells with Cell()/Num().
+  Table& Row();
+  Table& Cell(std::string text);
+  Table& Num(double value, int precision = 1);
+  Table& Int(int64_t value);
+
+  void Print(FILE* out = stdout) const;
+  // Comma-separated dump (headers + rows) for machine consumption.
+  void PrintCsv(FILE* out) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner: "=== title ===".
+void PrintBanner(const std::string& title, FILE* out = stdout);
+
+// "x.xx" multiplier formatting helper.
+std::string FormatFactor(double factor);
+
+}  // namespace e2e
+
+#endif  // SRC_TESTBED_REPORT_H_

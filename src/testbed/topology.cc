@@ -1,0 +1,16 @@
+#include "src/testbed/topology.h"
+
+namespace e2e {
+
+TwoHostTopology::TwoHostTopology(const TopologyConfig& config)
+    : client_to_server_(&sim_, config.link, Rng(config.seed * 2 + 1), "c2s"),
+      server_to_client_(&sim_, config.link, Rng(config.seed * 2 + 2), "s2c"),
+      client_host_(&sim_, &client_to_server_, config.client_nic, "client"),
+      server_host_(&sim_, &server_to_client_, config.server_nic, "server"),
+      client_tcp_(&sim_, &client_host_, config.client_stack_costs),
+      server_tcp_(&sim_, &server_host_, config.server_stack_costs) {
+  client_to_server_.SetSink(&server_host_.nic());
+  server_to_client_.SetSink(&client_host_.nic());
+}
+
+}  // namespace e2e

@@ -1,0 +1,61 @@
+// The two-host topology used by all full-stack experiments: a client and a
+// server connected by a full-duplex link, mirroring the paper's pair of
+// machines with 100 Gbps NICs.
+
+#ifndef SRC_TESTBED_TOPOLOGY_H_
+#define SRC_TESTBED_TOPOLOGY_H_
+
+#include <cstdint>
+
+#include "src/net/host.h"
+#include "src/net/link.h"
+#include "src/net/nic.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/tcp/stack.h"
+
+namespace e2e {
+
+struct TopologyConfig {
+  Link::Config link;  // Applied to both directions.
+  Nic::Config client_nic;
+  Nic::Config server_nic;
+  StackCosts client_stack_costs;
+  StackCosts server_stack_costs;
+  uint64_t seed = 42;
+
+  TopologyConfig() {
+    link.bandwidth_bps = 100e9;  // 100 Gbps ConnectX-5 class.
+    link.propagation = Duration::MicrosF(3.0);
+  }
+};
+
+class TwoHostTopology {
+ public:
+  explicit TwoHostTopology(const TopologyConfig& config = TopologyConfig{});
+
+  Simulator& sim() { return sim_; }
+  Host& client_host() { return client_host_; }
+  Host& server_host() { return server_host_; }
+  TcpStack& client_stack() { return client_tcp_; }
+  TcpStack& server_stack() { return server_tcp_; }
+
+  // Creates one client<->server connection. Client is the "A" side.
+  ConnectedPair Connect(uint64_t conn_id, const TcpConfig& client_config,
+                        const TcpConfig& server_config) {
+    return ConnectPair(client_tcp_, server_tcp_, conn_id, client_config, server_config);
+  }
+
+ private:
+  Simulator sim_;
+  Link client_to_server_;
+  Link server_to_client_;
+  Host client_host_;
+  Host server_host_;
+  TcpStack client_tcp_;
+  TcpStack server_tcp_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_TESTBED_TOPOLOGY_H_

@@ -1,0 +1,58 @@
+#include "src/apps/kv_store.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TEST(KvStoreTest, SetGetRoundTrip) {
+  KvStore store;
+  store.Set("k1", "hello");
+  auto value = store.Get("k1");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "hello");
+  EXPECT_FALSE(store.Get("missing").has_value());
+}
+
+TEST(KvStoreTest, SetOverwrites) {
+  KvStore store;
+  store.Set("k", "old");
+  store.Set("k", "new");
+  EXPECT_EQ(*store.Get("k"), "new");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, DelAndExists) {
+  KvStore store;
+  store.Set("k", "v");
+  EXPECT_TRUE(store.Exists("k"));
+  EXPECT_TRUE(store.Del("k"));
+  EXPECT_FALSE(store.Exists("k"));
+  EXPECT_FALSE(store.Del("k"));  // Already gone.
+}
+
+TEST(KvStoreTest, StatsCountOperations) {
+  KvStore store;
+  store.Set("a", "1");
+  store.Get("a");
+  store.Get("b");
+  store.Del("a");
+  EXPECT_EQ(store.stats().sets, 1u);
+  EXPECT_EQ(store.stats().gets, 2u);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().dels, 1u);
+}
+
+TEST(VirtualKvStoreTest, StoresOnlySizes) {
+  VirtualKvStore store;
+  store.Set(7, 16384);
+  auto size = store.Get(7);
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 16384u);
+  EXPECT_FALSE(store.Get(8).has_value());
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().gets, 2u);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,122 @@
+// Load-generator behaviors: open-loop pacing, measurement windows,
+// pipelining flush, and component bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/lancet.h"
+#include "src/apps/redis_server.h"
+#include "src/testbed/experiment.h"
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+struct LancetFixture {
+  explicit LancetFixture(const LancetClient::Config& config)
+      : topo(RedisExperimentConfig::DefaultRedisTopology()),
+        conn(topo.Connect(1, RedisExperimentConfig::DefaultClientTcp(),
+                          RedisExperimentConfig::DefaultServerTcp())),
+        server(&topo.sim(), conn.b, RedisServerApp::Config{}),
+        client(&topo.sim(), conn.a, config) {}
+
+  TwoHostTopology topo;
+  ConnectedPair conn;
+  RedisServerApp server;
+  LancetClient client;
+};
+
+LancetClient::Config Cfg(double rate) {
+  LancetClient::Config config;
+  config.rate_rps = rate;
+  config.warmup = Duration::Millis(20);
+  config.measure = Duration::Millis(200);
+  config.seed = 8;
+  return config;
+}
+
+TEST(LancetTest, OpenLoopRateIsPoissonPaced) {
+  LancetFixture f(Cfg(20000));
+  f.client.Start();
+  f.topo.sim().RunFor(Duration::Millis(260));
+  // 220 ms of arrivals at 20k/s: ~4400 sends; Poisson sd ~66.
+  EXPECT_NEAR(static_cast<double>(f.client.results().sent), 4400.0, 300.0);
+}
+
+TEST(LancetTest, OnlyWindowRequestsAreMeasured) {
+  LancetFixture f(Cfg(20000));
+  f.client.Start();
+  f.topo.sim().RunFor(Duration::Millis(260));
+  const LancetClient::Results& results = f.client.results();
+  // The measurement window is 200 of the 220 arrival milliseconds.
+  EXPECT_LT(results.measured, results.completed);
+  EXPECT_NEAR(static_cast<double>(results.measured), 4000.0, 300.0);
+  EXPECT_NEAR(results.achieved_rps, 20000.0, 1500.0);
+}
+
+TEST(LancetTest, ArrivalsStopAtMeasureEnd) {
+  LancetFixture f(Cfg(20000));
+  f.client.Start();
+  f.topo.sim().RunFor(Duration::Millis(500));  // Far past warmup + measure.
+  const uint64_t sent = f.client.results().sent;
+  f.topo.sim().RunFor(Duration::Millis(100));
+  EXPECT_EQ(f.client.results().sent, sent);  // No stragglers.
+  EXPECT_EQ(f.client.in_flight(), 0u);
+}
+
+TEST(LancetTest, ComponentStatsCoverEveryMeasuredRequest) {
+  LancetFixture f(Cfg(15000));
+  f.client.Start();
+  f.topo.sim().RunFor(Duration::Millis(300));
+  const LancetClient::Results& results = f.client.results();
+  EXPECT_EQ(results.request_leg_us.count(), results.latency_us.count());
+  EXPECT_EQ(results.server_us.count(), results.latency_us.count());
+  EXPECT_EQ(results.response_leg_us.count(), results.latency_us.count());
+  EXPECT_GT(results.server_us.mean(), 5.0);  // ~12 us of server work.
+  EXPECT_LT(results.server_us.stddev(), 1.0);  // Deterministic per request.
+}
+
+TEST(LancetTest, PipelinePartialBatchFlushesOnTimer) {
+  // 500 RPS with depth 8: batches essentially never fill; the 100 us flush
+  // timer must carry every request anyway.
+  LancetClient::Config config = Cfg(500);
+  config.pipeline_depth = 8;
+  config.pipeline_flush = Duration::Micros(100);
+  LancetFixture f(config);
+  f.client.Start();
+  f.topo.sim().RunFor(Duration::Millis(300));
+  const LancetClient::Results& results = f.client.results();
+  EXPECT_GT(results.completed, 50u);
+  EXPECT_EQ(results.completed, results.sent);
+  // The flush delay bounds the extra sojourn: roughly flush + service.
+  EXPECT_LT(results.sojourn_us.mean(), results.latency_us.mean() + 150.0);
+}
+
+TEST(LancetTest, PipelineDepthReducesSyscallCount) {
+  LancetClient::Config config = Cfg(30000);
+  config.pipeline_depth = 4;
+  config.pipeline_flush = Duration::Millis(1);
+  LancetFixture f(config);
+  f.client.Start();
+  f.topo.sim().RunFor(Duration::Millis(300));
+  const int64_t syscalls =
+      f.conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kSyscalls).total();
+  const uint64_t messages = f.client.results().sent;
+  EXPECT_GT(messages, 4000u);
+  // ~4 messages per syscall (some partial batches at the flush timer).
+  EXPECT_LT(syscalls, static_cast<int64_t>(messages / 3));
+  EXPECT_GT(syscalls, static_cast<int64_t>(messages / 5));
+}
+
+TEST(LancetTest, HintsCanBeDisabled) {
+  LancetClient::Config config = Cfg(10000);
+  config.use_hints = false;
+  LancetFixture f(config);
+  f.client.Start();
+  f.topo.sim().RunFor(Duration::Millis(300));
+  // The tracker still runs app-side, but nothing reaches the peer.
+  EXPECT_GT(f.client.results().completed, 1000u);
+  EXPECT_FALSE(f.conn.b->estimator().hint_latency().has_value());
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,116 @@
+// Server + load-generator behavior over the full stack (short runs).
+
+#include <gtest/gtest.h>
+
+#include "src/apps/lancet.h"
+#include "src/apps/redis_server.h"
+#include "src/testbed/experiment.h"
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+struct AppFixture {
+  AppFixture(double rate_rps, const WorkloadMix& mix, bool prefill = true)
+      : topo(RedisExperimentConfig::DefaultRedisTopology()),
+        conn(topo.Connect(1, RedisExperimentConfig::DefaultClientTcp(),
+                          RedisExperimentConfig::DefaultServerTcp())),
+        server(&topo.sim(), conn.b, RedisServerApp::Config{}) {
+    if (prefill) {
+      for (uint64_t key = 0; key < mix.key_space; ++key) {
+        server.mutable_store().Set(key, mix.get_value_len);
+      }
+    }
+    LancetClient::Config config;
+    config.rate_rps = rate_rps;
+    config.mix = mix;
+    config.warmup = Duration::Millis(20);
+    config.measure = Duration::Millis(100);
+    config.seed = 3;
+    client = std::make_unique<LancetClient>(&topo.sim(), conn.a, config);
+  }
+
+  void Run() {
+    client->Start();
+    topo.sim().RunFor(Duration::Millis(160));
+  }
+
+  TwoHostTopology topo;
+  ConnectedPair conn;
+  RedisServerApp server;
+  std::unique_ptr<LancetClient> client;
+};
+
+TEST(RedisLancetTest, EveryRequestGetsExactlyOneResponse) {
+  AppFixture f(10000, WorkloadMix::SetOnly16K());
+  f.Run();
+  const LancetClient::Results& results = f.client->results();
+  EXPECT_GT(results.sent, 1000u);
+  EXPECT_EQ(results.dropped, 0u);
+  EXPECT_EQ(f.server.stats().requests, f.server.stats().responses);
+  // Everything sent before the drain phase completes.
+  EXPECT_EQ(results.completed, results.sent);
+  EXPECT_EQ(f.client->in_flight(), 0u);
+}
+
+TEST(RedisLancetTest, HintQueueBalancesAtQuiescence) {
+  AppFixture f(10000, WorkloadMix::SetOnly16K());
+  f.Run();
+  EXPECT_EQ(f.client->hints().outstanding(), 0);
+  EXPECT_EQ(f.client->hints().completed(),
+            static_cast<int64_t>(f.client->results().completed +
+                                 f.client->results().dropped));
+}
+
+TEST(RedisLancetTest, LatenciesArePositiveAndSane) {
+  AppFixture f(10000, WorkloadMix::SetOnly16K());
+  f.Run();
+  const LancetClient::Results& results = f.client->results();
+  ASSERT_GT(results.measured, 100u);
+  EXPECT_GT(results.latency_us.min(), 1.0);    // More than a microsecond...
+  EXPECT_LT(results.latency_us.mean(), 1000);  // ...but well under a ms at 10k.
+  EXPECT_GE(results.sojourn_us.mean(), results.latency_us.mean());
+  EXPECT_NEAR(results.achieved_rps, 10000, 1500);
+}
+
+TEST(RedisLancetTest, GetsAreServedFromTheStore) {
+  WorkloadMix mix = WorkloadMix::SetGet16K(0.5);
+  AppFixture f(5000, mix);
+  f.Run();
+  EXPECT_GT(f.server.stats().gets, 50u);
+  EXPECT_GT(f.server.stats().sets, 50u);
+  // Prefilled store: every GET must hit.
+  EXPECT_EQ(f.server.store().stats().hits, f.server.store().stats().gets);
+}
+
+TEST(RedisLancetTest, UnprefilledStoreServesMisses) {
+  WorkloadMix mix = WorkloadMix::SetGet16K(0.0);  // GET-only.
+  AppFixture f(2000, mix, /*prefill=*/false);
+  f.Run();
+  EXPECT_GT(f.server.stats().gets, 20u);
+  EXPECT_EQ(f.server.store().stats().hits, 0u);
+  // Misses still produce (null bulk) responses.
+  EXPECT_EQ(f.server.stats().requests, f.server.stats().responses);
+  EXPECT_EQ(f.client->results().completed, f.client->results().sent);
+}
+
+TEST(RedisLancetTest, ServerBatchesUnderBurstyLoad) {
+  AppFixture f(50000, WorkloadMix::SetOnly16K());
+  f.Run();
+  // At 50 kRPS the event loop must be picking up multiple requests per
+  // wakeup at least occasionally.
+  EXPECT_GT(f.server.stats().max_batch, 1u);
+}
+
+TEST(RedisLancetTest, OverloadDropsInsteadOfWedging) {
+  AppFixture f(200000, WorkloadMix::SetOnly16K());  // ~5x capacity.
+  f.Run();
+  const LancetClient::Results& results = f.client->results();
+  EXPECT_GT(results.dropped, 0u);  // Flow control backed up to the client.
+  EXPECT_GT(results.completed, 1000u);  // But the server kept serving.
+  EXPECT_EQ(f.client->hints().outstanding(),
+            static_cast<int64_t>(f.client->in_flight()));
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,142 @@
+#include "src/apps/resp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace e2e {
+namespace {
+
+TEST(RespEncodeTest, CommandFormat) {
+  EXPECT_EQ(RespEncodeCommand({"SET", "k", "v"}), "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+  EXPECT_EQ(RespEncodeCommand({"GET", "key"}), "*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n");
+}
+
+TEST(RespEncodeTest, ReplyFormats) {
+  EXPECT_EQ(RespEncodeSimpleString("OK"), "+OK\r\n");
+  EXPECT_EQ(RespEncodeError("ERR boom"), "-ERR boom\r\n");
+  EXPECT_EQ(RespEncodeInteger(-42), ":-42\r\n");
+  EXPECT_EQ(RespEncodeBulk("hello"), "$5\r\nhello\r\n");
+  EXPECT_EQ(RespEncodeNullBulk(), "$-1\r\n");
+}
+
+TEST(RespSizeTest, OkReplyIsFiveBytes) {
+  EXPECT_EQ(kRespOkSize, RespEncodeSimpleString("OK").size());
+  EXPECT_EQ(kRespNullBulkSize, RespEncodeNullBulk().size());
+}
+
+TEST(RespSizeTest, PaperByteRatioFor95to5Mix) {
+  // One 16 KiB GET reply vs 95 SET replies: the ~34x from Figure 4b.
+  const double ratio =
+      static_cast<double>(RespBulkReplySize(16384)) / (95.0 * kRespOkSize);
+  EXPECT_NEAR(ratio, 34.5, 0.2);
+}
+
+// Property: the size calculators must agree with the real encoder for any
+// key/value size.
+class RespSizeAgreementTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(RespSizeAgreementTest, CalculatorMatchesEncoder) {
+  const auto [key_len, value_len] = GetParam();
+  const std::string key(key_len, 'k');
+  const std::string value(value_len, 'v');
+  EXPECT_EQ(RespSetCommandSize(key_len, value_len),
+            RespEncodeCommand({"SET", key, value}).size());
+  EXPECT_EQ(RespGetCommandSize(key_len), RespEncodeCommand({"GET", key}).size());
+  EXPECT_EQ(RespBulkReplySize(value_len), RespEncodeBulk(value).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RespSizeAgreementTest,
+    ::testing::Values(std::pair<size_t, size_t>{1, 1}, std::pair<size_t, size_t>{16, 9},
+                      std::pair<size_t, size_t>{16, 10}, std::pair<size_t, size_t>{16, 99},
+                      std::pair<size_t, size_t>{16, 100}, std::pair<size_t, size_t>{16, 16384},
+                      std::pair<size_t, size_t>{100, 65536},
+                      std::pair<size_t, size_t>{9, 999999}));
+
+TEST(RespParserTest, ParsesWholeValues) {
+  RespParser parser;
+  parser.Feed("+PONG\r\n:123\r\n$3\r\nabc\r\n$-1\r\n-ERR x\r\n");
+  auto v1 = parser.TryParse();
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->kind, RespValue::Kind::kSimpleString);
+  EXPECT_EQ(v1->str, "PONG");
+  auto v2 = parser.TryParse();
+  EXPECT_EQ(v2->kind, RespValue::Kind::kInteger);
+  EXPECT_EQ(v2->integer, 123);
+  auto v3 = parser.TryParse();
+  EXPECT_EQ(v3->kind, RespValue::Kind::kBulkString);
+  EXPECT_EQ(v3->str, "abc");
+  auto v4 = parser.TryParse();
+  EXPECT_EQ(v4->kind, RespValue::Kind::kNullBulk);
+  auto v5 = parser.TryParse();
+  EXPECT_EQ(v5->kind, RespValue::Kind::kError);
+  EXPECT_EQ(v5->str, "ERR x");
+  EXPECT_FALSE(parser.TryParse().has_value());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(RespParserTest, ParsesNestedArrays) {
+  RespParser parser;
+  parser.Feed("*2\r\n*2\r\n+a\r\n+b\r\n$1\r\nc\r\n");
+  auto value = parser.TryParse();
+  ASSERT_TRUE(value.has_value());
+  ASSERT_EQ(value->kind, RespValue::Kind::kArray);
+  ASSERT_EQ(value->array.size(), 2u);
+  EXPECT_EQ(value->array[0].array[1].str, "b");
+  EXPECT_EQ(value->array[1].str, "c");
+}
+
+// Property: feeding the stream in any chunk size yields the same commands.
+class RespChunkingTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RespChunkingTest, IncrementalParsingIsChunkInvariant) {
+  const std::string wire = RespEncodeCommand({"SET", "key", std::string(100, 'v')}) +
+                           RespEncodeCommand({"GET", "key"}) + RespEncodeSimpleString("OK") +
+                           RespEncodeBulk(std::string(57, 'x'));
+  RespParser parser;
+  std::vector<RespValue> values;
+  const size_t chunk = GetParam();
+  for (size_t off = 0; off < wire.size(); off += chunk) {
+    parser.Feed(std::string_view(wire).substr(off, chunk));
+    while (auto value = parser.TryParse()) {
+      values.push_back(std::move(*value));
+    }
+  }
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_EQ(values[0].array[0].str, "SET");
+  EXPECT_EQ(values[0].array[2].str.size(), 100u);
+  EXPECT_EQ(values[1].array[0].str, "GET");
+  EXPECT_EQ(values[2].str, "OK");
+  EXPECT_EQ(values[3].str.size(), 57u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, RespChunkingTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u, 64u, 1024u));
+
+TEST(RespParserTest, IncompleteBulkWaitsForBytes) {
+  RespParser parser;
+  parser.Feed("$10\r\n12345");
+  EXPECT_FALSE(parser.TryParse().has_value());
+  parser.Feed("67890\r\n");
+  auto value = parser.TryParse();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->str, "1234567890");
+}
+
+TEST(RespParserTest, MalformedInputThrows) {
+  RespParser bad_type;
+  bad_type.Feed("?what\r\n");
+  EXPECT_THROW(bad_type.TryParse(), std::runtime_error);
+
+  RespParser bad_int;
+  bad_int.Feed(":12x\r\n");
+  EXPECT_THROW(bad_int.TryParse(), std::runtime_error);
+
+  RespParser bad_terminator;
+  bad_terminator.Feed("$3\r\nabcXY\r\n");
+  EXPECT_THROW(bad_terminator.TryParse(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace e2e

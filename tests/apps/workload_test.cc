@@ -1,0 +1,120 @@
+#include "src/apps/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/cost_profile.h"
+#include "src/sim/stats.h"
+
+namespace e2e {
+namespace {
+
+TEST(WorkloadTest, SetOnlyProducesOnlySets) {
+  WorkloadGenerator gen(WorkloadMix::SetOnly16K(), Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    const AppRequest req = gen.Next();
+    EXPECT_EQ(req.op, OpType::kSet);
+    EXPECT_EQ(req.value_len, 16384u);
+    EXPECT_EQ(req.key_len, 16u);
+  }
+}
+
+TEST(WorkloadTest, MixedRatioApproximatelyHolds) {
+  WorkloadGenerator gen(WorkloadMix::SetGet16K(0.95), Rng(2));
+  int sets = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sets += gen.Next().op == OpType::kSet ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(sets) / n, 0.95, 0.01);
+}
+
+TEST(WorkloadTest, IdsAreSequentialAndUnique) {
+  WorkloadGenerator gen(WorkloadMix::SetOnly16K(), Rng(3));
+  uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const AppRequest req = gen.Next();
+    EXPECT_EQ(req.id, last + 1);
+    last = req.id;
+  }
+}
+
+TEST(WorkloadTest, DispersedValueSizesMatchMeanAndCv) {
+  WorkloadMix mix;
+  mix.set_value_cv = 1.0;
+  WorkloadGenerator gen(mix, Rng(9));
+  RunningStats sizes;
+  for (int i = 0; i < 50000; ++i) {
+    const AppRequest req = gen.Next();
+    ASSERT_GE(req.value_len, 64u);
+    sizes.Add(req.value_len);
+  }
+  EXPECT_NEAR(sizes.mean(), 16384.0, 600.0);
+  EXPECT_NEAR(sizes.stddev() / sizes.mean(), 1.0, 0.1);
+}
+
+TEST(WorkloadTest, ZeroCvKeepsSizesFixed) {
+  WorkloadMix mix;
+  WorkloadGenerator gen(mix, Rng(10));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.Next().value_len, 16384u);
+  }
+}
+
+TEST(WorkloadTest, KeyIdsStayInKeySpace) {
+  WorkloadMix mix;
+  mix.key_space = 17;
+  WorkloadGenerator gen(mix, Rng(4));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(gen.NextKeyId(), 17u);
+  }
+}
+
+TEST(WorkloadTest, WireSizesMatchResp) {
+  WorkloadGenerator gen(WorkloadMix::SetGet16K(0.5), Rng(5));
+  for (int i = 0; i < 100; ++i) {
+    const AppRequest req = gen.Next();
+    if (req.op == OpType::kSet) {
+      EXPECT_EQ(req.WireSize(), RespSetCommandSize(16, 16384));
+    } else {
+      EXPECT_EQ(req.WireSize(), RespGetCommandSize(16));
+    }
+  }
+}
+
+TEST(MessagesTest, ResponseWireSizes) {
+  AppResponse set_ok;
+  set_ok.op = OpType::kSet;
+  EXPECT_EQ(set_ok.WireSize(), kRespOkSize);
+
+  AppResponse get_hit;
+  get_hit.op = OpType::kGet;
+  get_hit.found = true;
+  get_hit.value_len = 16384;
+  EXPECT_EQ(get_hit.WireSize(), RespBulkReplySize(16384));
+
+  AppResponse get_miss;
+  get_miss.op = OpType::kGet;
+  get_miss.found = false;
+  EXPECT_EQ(get_miss.WireSize(), kRespNullBulkSize);
+}
+
+TEST(CostProfileTest, MessageCostScalesWithPayload) {
+  AppCosts costs;
+  costs.per_message = Duration::Micros(2);
+  costs.per_kilobyte = Duration::Nanos(500);
+  EXPECT_EQ(costs.MessageCost(0), Duration::Micros(2));
+  EXPECT_EQ(costs.MessageCost(16384), Duration::Micros(2) + Duration::Nanos(16 * 500));
+}
+
+TEST(CostProfileTest, ScaledMultipliesEverything) {
+  const AppCosts base = BareMetalClientCosts();
+  const AppCosts vm = base.Scaled(6.0);
+  EXPECT_EQ(vm.per_message, base.per_message * 6);
+  EXPECT_EQ(vm.syscall, base.syscall * 6);
+  EXPECT_EQ(vm.wakeup, base.wakeup * 6);
+  EXPECT_EQ(vm.per_kilobyte, base.per_kilobyte * 6);
+  EXPECT_EQ(vm.MessageCost(1024), base.MessageCost(1024) * 6);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,137 @@
+#include "src/core/aimd.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TimePoint Ms(int64_t ms) { return TimePoint::FromNanos(ms * 1000000); }
+
+AimdLimit::Config LimitConfig() {
+  AimdLimit::Config config;
+  config.min_limit = 0;
+  config.max_limit = 1000;
+  config.add_step = 100;
+  config.decrease_factor = 0.5;
+  config.initial = 0;
+  return config;
+}
+
+TEST(AimdLimitTest, AdditiveIncreaseIsLinearAndCapped) {
+  AimdLimit limit(LimitConfig());
+  for (int i = 1; i <= 5; ++i) {
+    limit.Increase();
+    EXPECT_DOUBLE_EQ(limit.limit(), 100.0 * i);
+  }
+  for (int i = 0; i < 20; ++i) {
+    limit.Increase();
+  }
+  EXPECT_DOUBLE_EQ(limit.limit(), 1000.0);
+}
+
+TEST(AimdLimitTest, MultiplicativeDecreaseHalvesAndFloors) {
+  AimdLimit limit(LimitConfig());
+  for (int i = 0; i < 8; ++i) {
+    limit.Increase();
+  }
+  EXPECT_DOUBLE_EQ(limit.limit(), 800.0);
+  limit.Decrease();
+  EXPECT_DOUBLE_EQ(limit.limit(), 400.0);
+  limit.Decrease();
+  EXPECT_DOUBLE_EQ(limit.limit(), 200.0);
+  for (int i = 0; i < 80; ++i) {
+    limit.Decrease();
+  }
+  // Multiplicative decay approaches the floor geometrically; it never
+  // undershoots it.
+  EXPECT_NEAR(limit.limit(), 0.0, 1e-9);
+  EXPECT_GE(limit.limit(), 0.0);
+}
+
+TEST(AimdLimitTest, SawtoothStaysWithinBounds) {
+  AimdLimit limit(LimitConfig());
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 3 == 0) {
+      limit.Decrease();
+    } else {
+      limit.Increase();
+    }
+    ASSERT_GE(limit.limit(), 0.0);
+    ASSERT_LE(limit.limit(), 1000.0);
+  }
+}
+
+AimdBatchController::Config ControllerConfigFor(double max_limit) {
+  AimdBatchController::Config config;
+  config.slo = Duration::Micros(500);
+  config.aimd.min_limit = 0;
+  config.aimd.max_limit = max_limit;
+  config.aimd.add_step = 64;
+  config.aimd.decrease_factor = 0.5;
+  config.aimd.initial = 0;  // Headroom 0 -> start at full batching.
+  config.ewma_tau = Duration::Millis(2);
+  return config;
+}
+
+TEST(AimdBatchControllerTest, StartsAtFullBatching) {
+  AimdBatchController controller(ControllerConfigFor(1448));
+  EXPECT_DOUBLE_EQ(controller.limit_bytes(), 1448);
+}
+
+TEST(AimdBatchControllerTest, CompliantLatencyDrainsTowardNodelay) {
+  AimdBatchController controller(ControllerConfigFor(1448));
+  for (int i = 0; i < 100; ++i) {
+    controller.OnTick(Ms(i), PerfSample{Duration::Micros(100), 1000});
+  }
+  EXPECT_DOUBLE_EQ(controller.limit_bytes(), 0.0);
+}
+
+TEST(AimdBatchControllerTest, ViolationJumpsBackTowardBatching) {
+  AimdBatchController controller(ControllerConfigFor(1448));
+  for (int i = 0; i < 100; ++i) {
+    controller.OnTick(Ms(i), PerfSample{Duration::Micros(100), 1000});
+  }
+  ASSERT_DOUBLE_EQ(controller.limit_bytes(), 0.0);  // Headroom = max.
+  // Sustained violation: headroom halves each tick -> limit rises fast.
+  // The EWMA needs a few ticks to cross the SLO after the cheap history.
+  double last = controller.limit_bytes();
+  bool rising = false;
+  for (int i = 100; i < 130; ++i) {
+    const double limit = controller.OnTick(Ms(i), PerfSample{Duration::Millis(5), 1000});
+    rising |= limit > last;
+    last = limit;
+  }
+  EXPECT_TRUE(rising);
+  EXPECT_GT(controller.limit_bytes(), 1448.0 * 0.9);  // Nearly full batching.
+}
+
+TEST(AimdBatchControllerTest, NoDeadlockAtFullBatchingUnderViolation) {
+  // Even if latency stays above the SLO (true overload), the controller
+  // must keep batching enabled — the safe side — not oscillate to 0.
+  AimdBatchController controller(ControllerConfigFor(1448));
+  for (int i = 0; i < 50; ++i) {
+    controller.OnTick(Ms(i), PerfSample{Duration::Millis(10), 1000});
+  }
+  EXPECT_DOUBLE_EQ(controller.limit_bytes(), 1448.0);
+}
+
+TEST(AimdBatchControllerTest, MissingSamplesHoldTheLimit) {
+  AimdBatchController controller(ControllerConfigFor(1448));
+  const double before = controller.limit_bytes();
+  controller.OnTick(Ms(1), std::nullopt);
+  EXPECT_DOUBLE_EQ(controller.limit_bytes(), before);
+}
+
+TEST(AimdBatchControllerTest, EwmaSmoothsSingleOutlier) {
+  AimdBatchController controller(ControllerConfigFor(1448));
+  for (int i = 0; i < 100; ++i) {
+    controller.OnTick(Ms(i), PerfSample{Duration::Micros(50), 1000});
+  }
+  ASSERT_DOUBLE_EQ(controller.limit_bytes(), 0.0);
+  // One wild sample must not collapse the headroom (EWMA absorbs it).
+  controller.OnTick(Ms(100), PerfSample{Duration::Micros(800), 1000});
+  EXPECT_LT(controller.limit_bytes(), 1448.0 * 0.6);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,151 @@
+#include "src/core/controller.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TimePoint Ms(int64_t ms) { return TimePoint::FromNanos(ms * 1000000); }
+
+PerfSample Sample(double latency_us, double tput = 1000.0) {
+  return PerfSample{Duration::MicrosF(latency_us), tput};
+}
+
+ControllerConfig FastConfig() {
+  ControllerConfig config;
+  config.tick = Duration::Millis(1);
+  config.min_dwell = Duration::Millis(2);
+  config.settle = Duration::Millis(1);
+  config.epsilon = 0.0;  // Deterministic unless a test opts in.
+  config.stale_after = Duration::Seconds(100);
+  config.explore_latency_veto.reset();
+  return config;
+}
+
+// Feeds ticks where the observed latency depends on the controller's own
+// current setting — a closed loop, like the real system.
+double RunClosedLoop(ToggleController& controller, double lat_on_us, double lat_off_us,
+                     int ticks, int start_ms = 0) {
+  int on_count = 0;
+  for (int i = 0; i < ticks; ++i) {
+    const bool on = controller.batching_on();
+    controller.OnTick(Ms(start_ms + i), Sample(on ? lat_on_us : lat_off_us));
+    on_count += controller.batching_on() ? 1 : 0;
+  }
+  return static_cast<double>(on_count) / ticks;
+}
+
+TEST(ToggleControllerTest, ExploresUnobservedArmFirst) {
+  SloThroughputPolicy policy;
+  ToggleController controller(FastConfig(), &policy, Rng(1), /*initial_on=*/false);
+  // After the dwell, the never-tried ON arm must be explored.
+  controller.OnTick(Ms(0), Sample(100));
+  controller.OnTick(Ms(5), Sample(100));
+  EXPECT_TRUE(controller.batching_on());
+  EXPECT_GE(controller.explorations(), 1u);
+}
+
+TEST(ToggleControllerTest, ConvergesToLowerLatencyArmUnderSlo) {
+  SloThroughputPolicy policy;
+  ToggleController controller(FastConfig(), &policy, Rng(1), /*initial_on=*/true);
+  // ON shows 300 us, OFF shows 50 us; both compliant, equal throughput.
+  const double duty_on = RunClosedLoop(controller, 300, 50, 300);
+  EXPECT_LT(duty_on, 0.1);
+  EXPECT_FALSE(controller.batching_on());
+}
+
+TEST(ToggleControllerTest, ConvergesToSloCompliantArm) {
+  SloThroughputPolicy policy;
+  ToggleController controller(FastConfig(), &policy, Rng(1), /*initial_on=*/false);
+  // OFF violates the 500 us SLO; ON is compliant.
+  const double duty_on = RunClosedLoop(controller, 120, 4000, 300);
+  EXPECT_GT(duty_on, 0.9);
+  EXPECT_TRUE(controller.batching_on());
+}
+
+TEST(ToggleControllerTest, MinDwellPreventsInstantFlapping) {
+  ControllerConfig config = FastConfig();
+  config.min_dwell = Duration::Millis(50);
+  SloThroughputPolicy policy;
+  ToggleController controller(config, &policy, Rng(1), /*initial_on=*/false);
+  controller.OnTick(Ms(0), Sample(100));
+  const uint64_t switches_before = controller.switches();
+  for (int i = 1; i < 40; ++i) {
+    controller.OnTick(Ms(i), Sample(100));
+  }
+  // Still within the dwell of the initial state: at most the one switch
+  // that the dwell clock started from.
+  EXPECT_LE(controller.switches() - switches_before, 1u);
+}
+
+TEST(ToggleControllerTest, SettleDiscardsPostSwitchSamples) {
+  ControllerConfig config = FastConfig();
+  config.settle = Duration::Millis(10);
+  SloThroughputPolicy policy;
+  ToggleController controller(config, &policy, Rng(1), /*initial_on=*/false);
+  controller.OnTick(Ms(0), Sample(100));  // Within settle of construction.
+  EXPECT_FALSE(controller.ArmEstimate(false).has_value());
+  controller.OnTick(Ms(11), Sample(100));
+  ASSERT_TRUE(controller.ArmEstimate(false).has_value());
+}
+
+TEST(ToggleControllerTest, EpsilonZeroNeverRandomlyExplores) {
+  SloThroughputPolicy policy;
+  ToggleController controller(FastConfig(), &policy, Rng(1), /*initial_on=*/false);
+  RunClosedLoop(controller, 300, 50, 500);
+  // Only the single forced exploration of the unobserved arm.
+  EXPECT_EQ(controller.explorations(), 1u);
+}
+
+TEST(ToggleControllerTest, EpsilonGreedyKeepsRevisitingOtherArm) {
+  ControllerConfig config = FastConfig();
+  config.epsilon = 0.2;
+  SloThroughputPolicy policy;
+  ToggleController controller(config, &policy, Rng(7), /*initial_on=*/false);
+  RunClosedLoop(controller, 300, 50, 1000);
+  EXPECT_GT(controller.explorations(), 10u);
+}
+
+TEST(ToggleControllerTest, StaleArmIsReExplored) {
+  ControllerConfig config = FastConfig();
+  config.stale_after = Duration::Millis(100);
+  SloThroughputPolicy policy;
+  ToggleController controller(config, &policy, Rng(1), /*initial_on=*/false);
+  RunClosedLoop(controller, 300, 50, 50);  // Converges to OFF.
+  EXPECT_FALSE(controller.batching_on());
+  const uint64_t explorations = controller.explorations();
+  // 200 ms later the ON arm's data is stale; it must be re-probed.
+  RunClosedLoop(controller, 300, 50, 10, /*start_ms=*/250);
+  EXPECT_GT(controller.explorations(), explorations);
+}
+
+TEST(ToggleControllerTest, VetoBlocksExplorationOfUnstableArm) {
+  ControllerConfig config = FastConfig();
+  config.epsilon = 0.5;  // Would explore aggressively without the veto.
+  config.explore_latency_veto = Duration::Millis(1);
+  config.veto_memory = Duration::Seconds(10);
+  config.stale_after = Duration::Seconds(1);
+  SloThroughputPolicy policy;
+  ToggleController controller(config, &policy, Rng(7), /*initial_on=*/false);
+  // OFF is catastrophic (10 ms), ON is fine. After the first taste of OFF,
+  // the veto must pin the controller to ON despite the huge epsilon.
+  RunClosedLoop(controller, 120, 10000, 100);
+  EXPECT_TRUE(controller.batching_on());
+  const uint64_t switches = controller.switches();
+  RunClosedLoop(controller, 120, 10000, 200, /*start_ms=*/100);
+  EXPECT_EQ(controller.switches(), switches);
+}
+
+TEST(ToggleControllerTest, MissingSamplesDoNotCrashOrSwitchBlindly) {
+  SloThroughputPolicy policy;
+  ToggleController controller(FastConfig(), &policy, Rng(1), /*initial_on=*/false);
+  for (int i = 0; i < 20; ++i) {
+    controller.OnTick(Ms(i), std::nullopt);
+  }
+  // Only the forced exploration ping-pong (no arm ever gets observed).
+  EXPECT_FALSE(controller.ArmEstimate(false).has_value());
+  EXPECT_FALSE(controller.ArmEstimate(true).has_value());
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,175 @@
+#include "src/core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace e2e {
+namespace {
+
+TimePoint Ms(int64_t ms) { return TimePoint::FromNanos(ms * 1000000); }
+
+// A steady request stream for one endpoint's unacked queue: items enter
+// every `spacing` and leave after `residence`. Events are generated up
+// front and must be applied incrementally (ApplyUntil) so that snapshots
+// taken between applications observe a live queue, as they would online.
+class UnackedStream {
+ public:
+  UnackedStream(EndpointQueues* queues, UnitMode mode, TimePoint from, TimePoint to,
+                Duration residence, Duration spacing)
+      : queues_(queues), mode_(mode) {
+    for (TimePoint t = from; t + residence <= to; t += spacing) {
+      events_.push_back({t, +1});
+      events_.push_back({t + residence, -1});
+    }
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const Event& a, const Event& b) { return a.time < b.time; });
+  }
+
+  void ApplyUntil(TimePoint upto) {
+    while (next_ < events_.size() && events_[next_].time <= upto) {
+      queues_->Track(QueueKind::kUnacked, mode_, events_[next_].time, events_[next_].delta);
+      ++next_;
+    }
+  }
+
+ private:
+  struct Event {
+    TimePoint time;
+    int delta;
+  };
+  EndpointQueues* queues_;
+  UnitMode mode_;
+  std::vector<Event> events_;
+  size_t next_ = 0;
+};
+
+TEST(ConnectionEstimatorTest, NoEstimateBeforeTwoExchanges) {
+  ConnectionEstimator est(UnitMode::kSyscalls);
+  EndpointQueues queues;
+  WirePayload remote;
+  est.OnRemotePayload(remote, queues, nullptr, Ms(1));
+  EXPECT_FALSE(est.has_estimate());
+  EXPECT_EQ(est.exchanges(), 1u);
+}
+
+TEST(ConnectionEstimatorTest, SteadyQueueYieldsResidenceTime) {
+  ConnectionEstimator local_est(UnitMode::kSyscalls);
+  ConnectionEstimator remote_est(UnitMode::kSyscalls);
+  EndpointQueues local_queues;
+  EndpointQueues remote_queues;
+
+  // Local sends messages that live 200 us in its unacked queue; the remote
+  // side is idle. Expected end-to-end estimate: ~200 us.
+  UnackedStream stream(&local_queues, UnitMode::kSyscalls, Ms(0), Ms(10), Duration::Micros(200),
+                       Duration::Micros(50));
+
+  // Exchange at 2 ms and 8 ms in both directions.
+  for (int64_t ms : {2, 8}) {
+    stream.ApplyUntil(Ms(ms));
+    const WirePayload from_remote =
+        remote_est.BuildLocalPayload(remote_queues, nullptr, Ms(ms));
+    local_est.OnRemotePayload(from_remote, local_queues, nullptr, Ms(ms));
+  }
+  ASSERT_TRUE(local_est.has_estimate());
+  EXPECT_NEAR(local_est.estimate().latency->ToMicros(), 200.0, 5.0);
+  EXPECT_NEAR(local_est.estimate().a_send_throughput, 1e6 / 50, 1500.0);
+}
+
+TEST(ConnectionEstimatorTest, LastValidSurvivesIdleInterval) {
+  ConnectionEstimator est(UnitMode::kSyscalls);
+  EndpointQueues queues;
+  UnackedStream stream(&queues, UnitMode::kSyscalls, Ms(0), Ms(10), Duration::Micros(100),
+                       Duration::Micros(50));
+  WirePayload remote;
+  stream.ApplyUntil(Ms(2));
+  est.OnRemotePayload(remote, queues, nullptr, Ms(2));
+  stream.ApplyUntil(Ms(8));
+  est.OnRemotePayload(remote, queues, nullptr, Ms(8));
+  ASSERT_TRUE(est.has_estimate());
+
+  // The (8, 20] interval drains the stream's tail and is the last one with
+  // departures; its estimate is the one that must survive.
+  stream.ApplyUntil(Ms(20));
+  est.OnRemotePayload(remote, queues, nullptr, Ms(20));
+  ASSERT_TRUE(est.has_estimate());
+  const double valid_us = est.estimate().latency->ToMicros();
+
+  // An exchange over a fully idle interval: the current estimate becomes
+  // invalid, last_valid_estimate() keeps the old one.
+  est.OnRemotePayload(remote, queues, nullptr, Ms(30));
+  EXPECT_FALSE(est.has_estimate());
+  ASSERT_TRUE(est.last_valid_estimate().has_value());
+  EXPECT_DOUBLE_EQ(est.last_valid_estimate()->latency->ToMicros(), valid_us);
+}
+
+TEST(ConnectionEstimatorTest, HintChannelEstimatesCreateToCompleteDelay) {
+  ConnectionEstimator server_est(UnitMode::kBytes);
+  EndpointQueues server_queues;
+  ConnectionEstimator client_est(UnitMode::kBytes);
+  EndpointQueues client_queues;
+  HintTracker hints(Ms(0));
+
+  // Client app: create/complete pairs with 300 us latency, 25 us apart,
+  // applied in time order and interleaved with the exchanges.
+  std::vector<std::pair<int64_t, int>> events;  // (time us, +create/-complete)
+  for (int64_t us = 0; us < 10000; us += 25) {
+    events.push_back({us, +1});
+    events.push_back({us + 300, -1});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  size_t next = 0;
+  for (int64_t ms : {2, 8}) {
+    while (next < events.size() && events[next].first <= ms * 1000) {
+      const TimePoint t = TimePoint::FromNanos(events[next].first * 1000);
+      if (events[next].second > 0) {
+        hints.Create(t);
+      } else {
+        hints.Complete(t);
+      }
+      ++next;
+    }
+    const WirePayload from_client = client_est.BuildLocalPayload(client_queues, &hints, Ms(ms));
+    ASSERT_TRUE(from_client.hint.has_value());
+    server_est.OnRemotePayload(from_client, server_queues, nullptr, Ms(ms));
+  }
+  ASSERT_TRUE(server_est.hint_latency().has_value());
+  EXPECT_NEAR(server_est.hint_latency()->ToMicros(), 300.0, 5.0);
+  EXPECT_NEAR(server_est.hint_throughput(), 40000.0, 500.0);
+}
+
+TEST(ConnectionEstimatorTest, BuildPayloadCarriesConfiguredMode) {
+  ConnectionEstimator est(UnitMode::kPackets);
+  EndpointQueues queues;
+  const WirePayload payload = est.BuildLocalPayload(queues, nullptr, Ms(1));
+  EXPECT_EQ(payload.mode, UnitMode::kPackets);
+  EXPECT_FALSE(payload.hint.has_value());
+}
+
+TEST(ConnectionEstimatorTest, ResetDropsHistory) {
+  ConnectionEstimator est(UnitMode::kSyscalls);
+  EndpointQueues queues;
+  UnackedStream stream(&queues, UnitMode::kSyscalls, Ms(0), Ms(10), Duration::Micros(100),
+                       Duration::Micros(50));
+  WirePayload remote;
+  stream.ApplyUntil(Ms(2));
+  est.OnRemotePayload(remote, queues, nullptr, Ms(2));
+  stream.ApplyUntil(Ms(8));
+  est.OnRemotePayload(remote, queues, nullptr, Ms(8));
+  ASSERT_TRUE(est.has_estimate());
+  est.Reset();
+  EXPECT_FALSE(est.has_estimate());
+  EXPECT_FALSE(est.last_valid_estimate().has_value());
+  // One exchange after reset is again not enough.
+  stream.ApplyUntil(Ms(9));
+  est.OnRemotePayload(remote, queues, nullptr, Ms(9));
+  EXPECT_FALSE(est.has_estimate());
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,59 @@
+#include "src/core/hints.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TimePoint Us(int64_t us) { return TimePoint::FromNanos(us * 1000); }
+
+TEST(HintTrackerTest, OutstandingFollowsCreateComplete) {
+  HintTracker hints(Us(0));
+  EXPECT_EQ(hints.outstanding(), 0);
+  hints.Create(Us(1));
+  hints.Create(Us(2), 3);
+  EXPECT_EQ(hints.outstanding(), 4);
+  hints.Complete(Us(3), 2);
+  EXPECT_EQ(hints.outstanding(), 2);
+  EXPECT_EQ(hints.completed(), 2);
+}
+
+TEST(HintTrackerTest, SnapshotDeltaGivesAppPerceivedLatency) {
+  HintTracker hints(Us(0));
+  const QueueSnapshot before = hints.Snapshot(Us(0));
+  // Ten requests, each outstanding for exactly 80 us.
+  for (int i = 0; i < 10; ++i) {
+    hints.Create(Us(100 * i));
+    hints.Complete(Us(100 * i + 80));
+  }
+  const QueueSnapshot after = hints.Snapshot(Us(1000));
+  const QueueAverages avgs = GetAvgs(before, after);
+  ASSERT_TRUE(avgs.delay.has_value());
+  EXPECT_DOUBLE_EQ(avgs.delay->ToMicros(), 80.0);
+  EXPECT_DOUBLE_EQ(avgs.throughput, 10.0 / 1e-3);
+}
+
+TEST(HintTrackerTest, OverlappingRequestsAverageCorrectly) {
+  HintTracker hints(Us(0));
+  // Two overlapping requests: residence 100 us and 300 us -> mean 200 us.
+  hints.Create(Us(0));
+  hints.Create(Us(50));
+  hints.Complete(Us(100));
+  hints.Complete(Us(350));
+  const QueueAverages avgs = GetAvgs(QueueSnapshot{Us(0), 0, 0}, hints.Snapshot(Us(400)));
+  ASSERT_TRUE(avgs.delay.has_value());
+  EXPECT_DOUBLE_EQ(avgs.delay->ToMicros(), 200.0);
+}
+
+TEST(HintTrackerTest, WireSnapshotCompresses) {
+  HintTracker hints(Us(0));
+  hints.Create(Us(10));
+  hints.Complete(Us(20));
+  const WireCounters wire = hints.WireSnapshot(Us(1000));
+  EXPECT_EQ(wire.time_us, 1000u);
+  EXPECT_EQ(wire.total, 1u);
+  EXPECT_EQ(wire.integral_us, 10u);  // 1 item x 10 us.
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,111 @@
+#include "src/core/latency_combiner.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+QueueAverages Avg(double delay_us, double tput = 1000.0) {
+  QueueAverages avgs;
+  avgs.throughput = tput;
+  avgs.delay = Duration::MicrosF(delay_us);
+  avgs.avg_occupancy = delay_us * tput / 1e6;
+  return avgs;
+}
+
+QueueAverages NoTraffic() { return QueueAverages{}; }
+
+TEST(CombineLatencyTest, ImplementsThePaperFormula) {
+  // L ≈ L_unacked^local − L_ackdelay^remote + L_unread^local + L_unread^remote
+  EndpointAverages local{Avg(100), Avg(10), Avg(3)};
+  EndpointAverages remote{Avg(50), Avg(20), Avg(40)};
+  const auto latency = CombineLatency(local, remote);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_DOUBLE_EQ(latency->ToMicros(), 100 - 40 + 10 + 20);
+}
+
+TEST(CombineLatencyTest, RequiresLocalUnackedTraffic) {
+  EndpointAverages local{NoTraffic(), Avg(10), Avg(3)};
+  EndpointAverages remote{Avg(50), Avg(20), Avg(40)};
+  EXPECT_FALSE(CombineLatency(local, remote).has_value());
+}
+
+TEST(CombineLatencyTest, IdleSecondaryQueuesContributeZero) {
+  EndpointAverages local{Avg(100), NoTraffic(), NoTraffic()};
+  EndpointAverages remote{NoTraffic(), NoTraffic(), NoTraffic()};
+  const auto latency = CombineLatency(local, remote);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_DOUBLE_EQ(latency->ToMicros(), 100);
+}
+
+TEST(CombineLatencyTest, ClampsNegativeResults) {
+  // A large remote ack delay can make the approximation go negative.
+  EndpointAverages local{Avg(10), NoTraffic(), NoTraffic()};
+  EndpointAverages remote{NoTraffic(), NoTraffic(), Avg(500)};
+  const auto latency = CombineLatency(local, remote);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, Duration::Zero());
+}
+
+TEST(EstimateEndToEndTest, TakesMaxOfBothOrientations) {
+  EndpointAverages a{Avg(100), Avg(5), Avg(1)};   // From A: 100 - 1? ...
+  EndpointAverages b{Avg(30), Avg(8), Avg(2)};
+  // From A: 100 - 2 + 5 + 8 = 111. From B: 30 - 1 + 8 + 5 = 42.
+  const E2eEstimate est = EstimateEndToEnd(a, b);
+  ASSERT_TRUE(est.valid());
+  EXPECT_DOUBLE_EQ(est.latency->ToMicros(), 111);
+  EXPECT_DOUBLE_EQ(est.a_send_throughput, 1000);
+  EXPECT_DOUBLE_EQ(est.b_send_throughput, 1000);
+}
+
+TEST(EstimateEndToEndTest, OneSidedTrafficStillEstimates) {
+  EndpointAverages a{Avg(100), NoTraffic(), NoTraffic()};
+  EndpointAverages b{NoTraffic(), Avg(8), NoTraffic()};
+  const E2eEstimate est = EstimateEndToEnd(a, b);
+  ASSERT_TRUE(est.valid());
+  EXPECT_DOUBLE_EQ(est.latency->ToMicros(), 108);  // Only orientation A valid.
+}
+
+TEST(EstimateEndToEndTest, NoTrafficAnywhereIsInvalid) {
+  EndpointAverages idle{NoTraffic(), NoTraffic(), NoTraffic()};
+  EXPECT_FALSE(EstimateEndToEnd(idle, idle).valid());
+}
+
+TEST(GetEndpointAvgsTest, AppliesGetAvgsPerQueue) {
+  auto snap_at = [](int64_t us, int64_t total, int64_t integral_item_us) {
+    QueueSnapshot snap;
+    snap.time = TimePoint::FromNanos(us * 1000);
+    snap.total = total;
+    snap.integral = integral_item_us * 1000;
+    return snap;
+  };
+  EndpointSnapshot prev{snap_at(0, 0, 0), snap_at(0, 0, 0), snap_at(0, 0, 0)};
+  EndpointSnapshot cur{snap_at(100, 10, 500), snap_at(100, 20, 400), snap_at(100, 0, 0)};
+  const EndpointAverages avgs = GetEndpointAvgs(prev, cur);
+  EXPECT_DOUBLE_EQ(avgs.unacked.delay->ToMicros(), 50);  // 500/10.
+  EXPECT_DOUBLE_EQ(avgs.unread.delay->ToMicros(), 20);   // 400/20.
+  EXPECT_FALSE(avgs.ackdelay.delay.has_value());
+}
+
+TEST(AverageEstimatesTest, AveragesValidsAndSumsThroughputs) {
+  E2eEstimate estimates[3];
+  estimates[0].latency = Duration::Micros(100);
+  estimates[0].a_send_throughput = 10;
+  estimates[1].latency = Duration::Micros(300);
+  estimates[1].a_send_throughput = 20;
+  estimates[2] = E2eEstimate{};  // Invalid; skipped for latency.
+  estimates[2].b_send_throughput = 5;
+  const E2eEstimate avg = AverageEstimates(estimates, 3);
+  ASSERT_TRUE(avg.valid());
+  EXPECT_DOUBLE_EQ(avg.latency->ToMicros(), 200);
+  EXPECT_DOUBLE_EQ(avg.a_send_throughput, 30);
+  EXPECT_DOUBLE_EQ(avg.b_send_throughput, 5);
+}
+
+TEST(AverageEstimatesTest, AllInvalidStaysInvalid) {
+  E2eEstimate estimates[2];
+  EXPECT_FALSE(AverageEstimates(estimates, 2).valid());
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,85 @@
+#include "src/core/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+PerfSample Sample(double latency_us, double tput) {
+  return PerfSample{Duration::MicrosF(latency_us), tput};
+}
+
+TEST(MinLatencyPolicyTest, PrefersLowerLatencyRegardlessOfThroughput) {
+  MinLatencyPolicy policy;
+  EXPECT_TRUE(policy.Prefers(Sample(50, 1), Sample(60, 1000000)));
+  EXPECT_FALSE(policy.Prefers(Sample(60, 1000000), Sample(50, 1)));
+}
+
+TEST(SloThroughputPolicyTest, CompliantPointsRankByThroughput) {
+  SloThroughputPolicy policy(Duration::Micros(500));
+  EXPECT_TRUE(policy.Prefers(Sample(400, 2000), Sample(100, 1000)));
+}
+
+TEST(SloThroughputPolicyTest, LatencyBreaksThroughputTies) {
+  SloThroughputPolicy policy(Duration::Micros(500));
+  EXPECT_TRUE(policy.Prefers(Sample(100, 1000), Sample(400, 1000)));
+}
+
+TEST(SloThroughputPolicyTest, AnyCompliantBeatsAnyViolator) {
+  SloThroughputPolicy policy(Duration::Micros(500));
+  EXPECT_TRUE(policy.Prefers(Sample(499, 1), Sample(501, 1000000)));
+}
+
+TEST(SloThroughputPolicyTest, ViolatorsRankByLowerLatency) {
+  SloThroughputPolicy policy(Duration::Micros(500));
+  EXPECT_TRUE(policy.Prefers(Sample(600, 1), Sample(5000, 1000000)));
+}
+
+TEST(WeightedPolicyTest, TradesOffLinearly) {
+  WeightedPolicy policy(/*throughput_weight=*/1.0, /*latency_weight=*/1.0);
+  // +1000 RPS is worth +1 score; +1 us latency costs 1 score.
+  EXPECT_GT(policy.Score(Sample(100, 102000)), policy.Score(Sample(100, 100000)));
+  EXPECT_TRUE(policy.Prefers(Sample(100, 102000), Sample(101, 102000)));
+}
+
+// Property: every policy must be monotone — improving one metric while
+// holding the other fixed never lowers the score.
+class PolicyMonotonicityTest : public ::testing::TestWithParam<int> {
+ protected:
+  const BatchPolicy& policy() const {
+    switch (GetParam()) {
+      case 0:
+        return min_latency_;
+      case 1:
+        return slo_;
+      default:
+        return weighted_;
+    }
+  }
+  MinLatencyPolicy min_latency_;
+  SloThroughputPolicy slo_{Duration::Micros(500)};
+  WeightedPolicy weighted_{1.0, 0.5};
+};
+
+TEST_P(PolicyMonotonicityTest, LowerLatencyNeverHurts) {
+  for (double tput : {100.0, 10000.0, 1e6}) {
+    for (double lat : {10.0, 100.0, 499.0, 501.0, 5000.0}) {
+      EXPECT_GE(policy().Score(Sample(lat * 0.9, tput)), policy().Score(Sample(lat, tput)))
+          << policy().name() << " lat=" << lat << " tput=" << tput;
+    }
+  }
+}
+
+TEST_P(PolicyMonotonicityTest, HigherThroughputNeverHurts) {
+  for (double tput : {100.0, 10000.0, 1e6}) {
+    for (double lat : {10.0, 499.0, 501.0, 5000.0}) {
+      EXPECT_GE(policy().Score(Sample(lat, tput * 1.1)), policy().Score(Sample(lat, tput)))
+          << policy().name() << " lat=" << lat << " tput=" << tput;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyMonotonicityTest, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace e2e

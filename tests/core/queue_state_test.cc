@@ -1,0 +1,182 @@
+#include "src/core/queue_state.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <tuple>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace e2e {
+namespace {
+
+TimePoint Us(int64_t us) { return TimePoint::FromNanos(us * 1000); }
+
+TEST(QueueStateTest, PaperWorkedExample) {
+  // §3.1: one item for 10 us, then four items for 20 us -> Q = 3.
+  QueueState qs(Us(0));
+  qs.Track(Us(0), +1);
+  qs.Track(Us(10), +3);
+  qs.Track(Us(30), -4);
+  const QueueAverages avgs = GetAvgs(QueueSnapshot{Us(0), 0, 0}, qs.Snapshot());
+  EXPECT_DOUBLE_EQ(avgs.avg_occupancy, 3.0);
+  EXPECT_DOUBLE_EQ(avgs.throughput, 4.0 / 30e-6);
+  ASSERT_TRUE(avgs.delay.has_value());
+  // Little's law: D = Q / lambda = 3 / (4/30us) = 22.5 us.
+  EXPECT_DOUBLE_EQ(avgs.delay->ToMicros(), 22.5);
+}
+
+TEST(QueueStateTest, TotalCountsOnlyDepartures) {
+  QueueState qs;
+  qs.Track(Us(1), +10);
+  EXPECT_EQ(qs.total(), 0);
+  qs.Track(Us(2), -3);
+  qs.Track(Us(3), +5);
+  qs.Track(Us(4), -7);
+  EXPECT_EQ(qs.total(), 10);
+  EXPECT_EQ(qs.size(), 5);
+}
+
+TEST(QueueStateTest, AdvanceToAccruesIntegralWithoutSizeChange) {
+  QueueState qs;
+  qs.Track(Us(0), +2);
+  qs.AdvanceTo(Us(5));
+  EXPECT_EQ(qs.size(), 2);
+  EXPECT_EQ(qs.integral(), 2 * 5000);  // item-ns
+}
+
+TEST(QueueStateTest, ResetClearsEverything) {
+  QueueState qs;
+  qs.Track(Us(1), +4);
+  qs.Track(Us(2), -1);
+  qs.Reset(Us(10));
+  EXPECT_EQ(qs.size(), 0);
+  EXPECT_EQ(qs.total(), 0);
+  EXPECT_EQ(qs.integral(), 0);
+  EXPECT_EQ(qs.time(), Us(10));
+}
+
+TEST(GetAvgsTest, ZeroIntervalYieldsZeroAverages) {
+  QueueState qs;
+  qs.Track(Us(1), +1);
+  const QueueSnapshot snap = qs.Snapshot();
+  const QueueAverages avgs = GetAvgs(snap, snap);
+  EXPECT_EQ(avgs.avg_occupancy, 0);
+  EXPECT_EQ(avgs.throughput, 0);
+  EXPECT_FALSE(avgs.delay.has_value());
+}
+
+TEST(GetAvgsTest, NoDeparturesMeansNoDelayEstimate) {
+  QueueState qs(Us(0));
+  qs.Track(Us(0), +5);
+  qs.AdvanceTo(Us(100));
+  const QueueAverages avgs = GetAvgs(QueueSnapshot{Us(0), 0, 0}, qs.Snapshot());
+  EXPECT_DOUBLE_EQ(avgs.avg_occupancy, 5.0);
+  EXPECT_EQ(avgs.throughput, 0);
+  EXPECT_FALSE(avgs.delay.has_value());
+  EXPECT_EQ(avgs.DelayOr(Duration::Micros(9)), Duration::Micros(9));
+}
+
+TEST(GetAvgsTest, DelayIsIntervalLocal) {
+  // Deltas between snapshots isolate the interval: history before `prev`
+  // must not affect the result.
+  QueueState qs(Us(0));
+  qs.Track(Us(0), +100);
+  qs.Track(Us(50), -100);  // Burst fully drained before the interval.
+  const QueueSnapshot prev = qs.Snapshot();
+  qs.Track(Us(60), +2);
+  qs.Track(Us(80), -2);
+  qs.AdvanceTo(Us(100));
+  const QueueAverages avgs = GetAvgs(prev, qs.Snapshot());
+  // 2 items for 20 us over a 50 us window: Q = 0.8, lambda = 2/50us.
+  EXPECT_DOUBLE_EQ(avgs.avg_occupancy, 0.8);
+  EXPECT_DOUBLE_EQ(avgs.delay->ToMicros(), 20.0);
+}
+
+// Property: for a FIFO queue with known element residence times, the
+// Little's-law delay from GETAVGS equals the true mean residence time once
+// the queue drains (L = λW exactly, not just asymptotically).
+TEST(QueueStateProperty, LittlesLawMatchesTrueMeanDelayOnDrainedQueue) {
+  Rng rng(71);
+  for (int trial = 0; trial < 50; ++trial) {
+    QueueState qs(Us(0));
+    std::deque<int64_t> entry_times;
+    std::vector<int64_t> residences;
+    int64_t now_us = 0;
+    const int ops = 200;
+    for (int i = 0; i < ops; ++i) {
+      now_us += rng.UniformInt(0, 50);
+      if (!entry_times.empty() && rng.Bernoulli(0.5)) {
+        residences.push_back(now_us - entry_times.front());
+        entry_times.pop_front();
+        qs.Track(Us(now_us), -1);
+      } else {
+        entry_times.push_back(now_us);
+        qs.Track(Us(now_us), +1);
+      }
+    }
+    while (!entry_times.empty()) {  // Drain.
+      now_us += rng.UniformInt(1, 50);
+      residences.push_back(now_us - entry_times.front());
+      entry_times.pop_front();
+      qs.Track(Us(now_us), -1);
+    }
+    double true_mean_us = 0;
+    for (int64_t r : residences) {
+      true_mean_us += static_cast<double>(r);
+    }
+    true_mean_us /= static_cast<double>(residences.size());
+
+    const QueueAverages avgs = GetAvgs(QueueSnapshot{Us(0), 0, 0}, qs.Snapshot());
+    ASSERT_TRUE(avgs.delay.has_value());
+    // Exact up to the 1 ns truncation of the Duration result.
+    EXPECT_NEAR(avgs.delay->ToMicros(), true_mean_us, 2e-3) << "trial " << trial;
+  }
+}
+
+// Property: snapshot deltas compose — averages over [a, c] equal the
+// time-weighted combination of [a, b] and [b, c] for any split point.
+class SnapshotCompositionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotCompositionTest, SplitsCompose) {
+  Rng rng(100 + GetParam());
+  QueueState qs(Us(0));
+  std::vector<QueueSnapshot> snaps;
+  int64_t now_us = 0;
+  int64_t size = 0;
+  snaps.push_back(qs.Snapshot());
+  for (int i = 0; i < 300; ++i) {
+    now_us += rng.UniformInt(1, 20);
+    int64_t delta = rng.UniformInt(-3, 3);
+    if (size + delta < 0) {
+      delta = -size;
+    }
+    size += delta;
+    qs.Track(Us(now_us), delta);
+    if (i % 30 == 29) {
+      qs.AdvanceTo(Us(now_us));
+      snaps.push_back(qs.Snapshot());
+    }
+  }
+  ASSERT_GE(snaps.size(), 3u);
+  for (size_t mid = 1; mid + 1 < snaps.size(); ++mid) {
+    const QueueSnapshot& a = snaps.front();
+    const QueueSnapshot& b = snaps[mid];
+    const QueueSnapshot& c = snaps.back();
+    const QueueAverages whole = GetAvgs(a, c);
+    const QueueAverages left = GetAvgs(a, b);
+    const QueueAverages right = GetAvgs(b, c);
+    const double t1 = (b.time - a.time).ToSeconds();
+    const double t2 = (c.time - b.time).ToSeconds();
+    EXPECT_NEAR(whole.avg_occupancy,
+                (left.avg_occupancy * t1 + right.avg_occupancy * t2) / (t1 + t2), 1e-9);
+    EXPECT_NEAR(whole.throughput, (left.throughput * t1 + right.throughput * t2) / (t1 + t2),
+                1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotCompositionTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace e2e

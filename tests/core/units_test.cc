@@ -1,0 +1,56 @@
+#include "src/core/units.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/endpoint_queues.h"
+
+namespace e2e {
+namespace {
+
+TEST(UnitsTest, NamesAreDistinctAndStable) {
+  EXPECT_STREQ(UnitModeName(UnitMode::kBytes), "bytes");
+  EXPECT_STREQ(UnitModeName(UnitMode::kPackets), "packets");
+  EXPECT_STREQ(UnitModeName(UnitMode::kSyscalls), "syscalls");
+  EXPECT_STREQ(UnitModeName(UnitMode::kHints), "hints");
+  EXPECT_STREQ(QueueKindName(QueueKind::kUnacked), "unacked");
+  EXPECT_STREQ(QueueKindName(QueueKind::kUnread), "unread");
+  EXPECT_STREQ(QueueKindName(QueueKind::kAckDelay), "ackdelay");
+}
+
+TEST(UnitsTest, KernelModesExcludeHints) {
+  for (UnitMode mode : kKernelUnitModes) {
+    EXPECT_NE(mode, UnitMode::kHints);
+  }
+  EXPECT_EQ(kKernelUnitModes.size(), 3u);
+}
+
+TEST(EndpointQueuesTest, QueuesAreIndependentAcrossKindAndMode) {
+  EndpointQueues queues(TimePoint::Zero());
+  queues.Track(QueueKind::kUnacked, UnitMode::kBytes, TimePoint::FromNanos(1000), 100);
+  queues.Track(QueueKind::kUnread, UnitMode::kSyscalls, TimePoint::FromNanos(1000), 2);
+  EXPECT_EQ(queues.Get(QueueKind::kUnacked, UnitMode::kBytes).size(), 100);
+  EXPECT_EQ(queues.Get(QueueKind::kUnacked, UnitMode::kSyscalls).size(), 0);
+  EXPECT_EQ(queues.Get(QueueKind::kUnread, UnitMode::kSyscalls).size(), 2);
+  EXPECT_EQ(queues.Get(QueueKind::kAckDelay, UnitMode::kBytes).size(), 0);
+}
+
+TEST(EndpointQueuesTest, SnapshotAllAdvancesToRequestedTime) {
+  EndpointQueues queues(TimePoint::Zero());
+  queues.Track(QueueKind::kUnread, UnitMode::kBytes, TimePoint::Zero(), 10);
+  const EndpointSnapshot snap = queues.SnapshotAll(UnitMode::kBytes, TimePoint::FromNanos(5000));
+  EXPECT_EQ(snap.unread.time, TimePoint::FromNanos(5000));
+  EXPECT_EQ(snap.unread.integral, 10 * 5000);
+  EXPECT_EQ(snap.unacked.time, TimePoint::FromNanos(5000));
+}
+
+TEST(EndpointQueuesTest, SnapshotGetMatchesFields) {
+  EndpointQueues queues;
+  queues.Track(QueueKind::kAckDelay, UnitMode::kPackets, TimePoint::FromNanos(10), 1);
+  queues.Track(QueueKind::kAckDelay, UnitMode::kPackets, TimePoint::FromNanos(20), -1);
+  const EndpointSnapshot snap = queues.SnapshotAll(UnitMode::kPackets, TimePoint::FromNanos(30));
+  EXPECT_EQ(snap.Get(QueueKind::kAckDelay).total, 1);
+  EXPECT_EQ(snap.Get(QueueKind::kUnacked).total, 0);
+}
+
+}  // namespace
+}  // namespace e2e

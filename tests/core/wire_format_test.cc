@@ -1,0 +1,134 @@
+#include "src/core/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace e2e {
+namespace {
+
+WirePayload SamplePayload(bool with_hint) {
+  WirePayload payload;
+  payload.mode = UnitMode::kSyscalls;
+  payload.unacked = {0x11111111, 0x22222222, 0x33333333};
+  payload.unread = {0x44444444, 0x55555555, 0x66666666};
+  payload.ackdelay = {0x77777777, 0x88888888, 0x99999999};
+  if (with_hint) {
+    payload.hint = WireCounters{0xaaaaaaaa, 0xbbbbbbbb, 0xcccccccc};
+  }
+  return payload;
+}
+
+class WireRoundTripTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WireRoundTripTest, EncodeDecodeIsIdentity) {
+  const WirePayload payload = SamplePayload(GetParam());
+  uint8_t buf[kWirePayloadMaxSize];
+  const size_t n = EncodePayload(payload, buf, sizeof(buf));
+  EXPECT_EQ(n, GetParam() ? kWirePayloadMaxSize : kWirePayloadBaseSize);
+  const auto decoded = DecodePayload(buf, n);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(WithAndWithoutHint, WireRoundTripTest, ::testing::Bool());
+
+TEST(WireFormatTest, ThePaperSizeIs36BytesOfCounters) {
+  // Three 4-byte counters per queue, three queues (paper §3.2).
+  EXPECT_EQ(kWirePayloadBaseSize - 2u, 36u);  // +2 header bytes.
+}
+
+TEST(WireFormatTest, EncodeFailsWhenBufferTooSmall) {
+  uint8_t buf[kWirePayloadMaxSize];
+  EXPECT_EQ(EncodePayload(SamplePayload(false), buf, kWirePayloadBaseSize - 1), 0u);
+  EXPECT_EQ(EncodePayload(SamplePayload(true), buf, kWirePayloadBaseSize), 0u);
+}
+
+TEST(WireFormatTest, DecodeRejectsTruncation) {
+  uint8_t buf[kWirePayloadMaxSize];
+  const size_t n = EncodePayload(SamplePayload(true), buf, sizeof(buf));
+  EXPECT_FALSE(DecodePayload(buf, n - 1).has_value());
+  EXPECT_FALSE(DecodePayload(buf, 0).has_value());
+  // Hint flag set but hint bytes missing.
+  EXPECT_FALSE(DecodePayload(buf, kWirePayloadBaseSize).has_value());
+}
+
+TEST(WireFormatTest, DecodeRejectsUnknownVersion) {
+  uint8_t buf[kWirePayloadMaxSize];
+  const size_t n = EncodePayload(SamplePayload(false), buf, sizeof(buf));
+  buf[0] = kWireFormatVersion + 1;
+  EXPECT_FALSE(DecodePayload(buf, n).has_value());
+}
+
+TEST(WireFormatTest, EncodingIsLittleEndianAndStable) {
+  WirePayload payload;
+  payload.mode = UnitMode::kBytes;
+  payload.unacked = {0x04030201, 0, 0};
+  uint8_t buf[kWirePayloadMaxSize];
+  ASSERT_GT(EncodePayload(payload, buf, sizeof(buf)), 0u);
+  EXPECT_EQ(buf[0], kWireFormatVersion);
+  EXPECT_EQ(buf[2], 0x01);
+  EXPECT_EQ(buf[3], 0x02);
+  EXPECT_EQ(buf[4], 0x03);
+  EXPECT_EQ(buf[5], 0x04);
+}
+
+TEST(CompressSnapshotTest, ConvertsUnits) {
+  QueueSnapshot snap;
+  snap.time = TimePoint::FromNanos(1234567);      // -> 1234 us.
+  snap.total = 99;
+  snap.integral = 5678000;                        // item-ns -> 5678 item-us.
+  const WireCounters wire = CompressSnapshot(snap);
+  EXPECT_EQ(wire.time_us, 1234u);
+  EXPECT_EQ(wire.total, 99u);
+  EXPECT_EQ(wire.integral_us, 5678u);
+}
+
+TEST(WireGetAvgsTest, MatchesFullResolutionGetAvgs) {
+  QueueSnapshot prev;
+  prev.time = TimePoint::FromNanos(1000000);
+  prev.total = 10;
+  prev.integral = 4000000;
+  QueueSnapshot cur;
+  cur.time = TimePoint::FromNanos(21000000);  // +20 ms.
+  cur.total = 2010;
+  cur.integral = 604000000;  // +600 item-ms.
+  const QueueAverages full = GetAvgs(prev, cur);
+  const QueueAverages wire = WireGetAvgs(CompressSnapshot(prev), CompressSnapshot(cur));
+  EXPECT_NEAR(wire.avg_occupancy, full.avg_occupancy, full.avg_occupancy * 1e-3);
+  EXPECT_NEAR(wire.throughput, full.throughput, full.throughput * 1e-3);
+  ASSERT_TRUE(full.delay.has_value());
+  ASSERT_TRUE(wire.delay.has_value());
+  EXPECT_NEAR(wire.delay->ToMicros(), full.delay->ToMicros(), 1.0);
+}
+
+// Property: wrapping 32-bit counters still produce correct deltas as long
+// as one interval advances each counter by < 2^32.
+class WireWraparoundTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WireWraparoundTest, DeltasSurviveWrap) {
+  const uint32_t base = GetParam();
+  // Place prev just below the wrap point; cur wraps past zero.
+  WireCounters prev{base, base, base};
+  WireCounters cur{base + 20000u, base + 1000u, base + 30000u};  // Wrapping adds.
+  const QueueAverages avgs = WireGetAvgs(prev, cur);
+  // dt = 20 ms, dtotal = 1000, dintegral = 30000 item-us.
+  EXPECT_NEAR(avgs.throughput, 1000.0 / 0.020, 1e-6);
+  EXPECT_NEAR(avgs.avg_occupancy, 30000e-6 / 0.020, 1e-9);
+  ASSERT_TRUE(avgs.delay.has_value());
+  EXPECT_NEAR(avgs.delay->ToMicros(), 30.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(NearWrap, WireWraparoundTest,
+                         ::testing::Values(0u, 0xFFFFFF00u, 0xFFFFFFFFu, 0x7FFFFFFFu,
+                                           0x80000000u));
+
+TEST(WireGetAvgsTest, ZeroTimeDeltaIsEmpty) {
+  WireCounters c{5, 5, 5};
+  const QueueAverages avgs = WireGetAvgs(c, c);
+  EXPECT_EQ(avgs.throughput, 0);
+  EXPECT_FALSE(avgs.delay.has_value());
+}
+
+}  // namespace
+}  // namespace e2e

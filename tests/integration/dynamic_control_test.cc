@@ -1,0 +1,60 @@
+// Closed-loop behavior of the dynamic controllers on the live system.
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/experiment.h"
+
+namespace e2e {
+namespace {
+
+RedisExperimentConfig DynConfig(double krps, BatchMode mode) {
+  RedisExperimentConfig config;
+  config.rate_rps = krps * 1e3;
+  config.batch_mode = mode;
+  config.warmup = Duration::Millis(200);
+  config.measure = Duration::Millis(400);
+  config.seed = 13;
+  return config;
+}
+
+TEST(DynamicControlIntegration, HighLoadConvergesToBatching) {
+  const RedisExperimentResult r = RunRedisExperiment(DynConfig(65, BatchMode::kDynamic));
+  EXPECT_GT(r.duty_cycle_on, 0.8);
+  // Must sidestep the no-batching collapse (12+ ms at this load).
+  EXPECT_LT(r.measured_mean_us, 2000.0);
+}
+
+TEST(DynamicControlIntegration, LowLoadMostlyDisablesBatching) {
+  const RedisExperimentResult r = RunRedisExperiment(DynConfig(10, BatchMode::kDynamic));
+  EXPECT_LT(r.duty_cycle_on, 0.6);
+  const RedisExperimentResult off = RunRedisExperiment(DynConfig(10, BatchMode::kStaticOff));
+  const RedisExperimentResult on = RunRedisExperiment(DynConfig(10, BatchMode::kStaticOn));
+  // Dynamic lands between the static settings, nearer the good one.
+  EXPECT_LT(r.measured_mean_us, on.measured_mean_us);
+  EXPECT_GT(r.measured_mean_us, off.measured_mean_us * 0.9);
+}
+
+TEST(DynamicControlIntegration, ControllerActuallySwitches) {
+  const RedisExperimentResult r = RunRedisExperiment(DynConfig(30, BatchMode::kDynamic));
+  EXPECT_GT(r.controller_switches, 2u);
+}
+
+TEST(DynamicControlIntegration, AimdOpensLimitUnderPressure) {
+  RedisExperimentConfig config = DynConfig(60, BatchMode::kAimd);
+  config.aimd.aimd.max_limit = 1448;
+  config.aimd.aimd.add_step = 64;
+  const RedisExperimentResult r = RunRedisExperiment(config);
+  EXPECT_GT(r.aimd_limit_bytes, 300.0);   // Substantial batching engaged.
+  EXPECT_LT(r.measured_mean_us, 2000.0);  // And it kept the system stable.
+}
+
+TEST(DynamicControlIntegration, AimdStaysNodelayLikeAtLowLoad) {
+  RedisExperimentConfig config = DynConfig(10, BatchMode::kAimd);
+  config.aimd.aimd.max_limit = 1448;
+  const RedisExperimentResult r = RunRedisExperiment(config);
+  EXPECT_LT(r.aimd_limit_bytes, 200.0);
+  EXPECT_LT(r.responses_per_packet, 1.2);
+}
+
+}  // namespace
+}  // namespace e2e

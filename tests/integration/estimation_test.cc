@@ -1,0 +1,123 @@
+// End-to-end accuracy of the estimation machinery against ground truth on
+// the full Redis/Lancet experiment (short windows; the benches do the full
+// sweeps).
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/experiment.h"
+
+namespace e2e {
+namespace {
+
+RedisExperimentConfig ShortConfig(double krps, BatchMode mode) {
+  RedisExperimentConfig config;
+  config.rate_rps = krps * 1e3;
+  config.batch_mode = mode;
+  config.warmup = Duration::Millis(100);
+  config.measure = Duration::Millis(300);
+  config.seed = 9;
+  return config;
+}
+
+TEST(EstimationIntegration, EstimatesExistInEveryUnitMode) {
+  const RedisExperimentResult r = RunRedisExperiment(ShortConfig(20, BatchMode::kStaticOff));
+  ASSERT_TRUE(r.est_bytes_us.has_value());
+  ASSERT_TRUE(r.est_packets_us.has_value());
+  ASSERT_TRUE(r.est_syscalls_us.has_value());
+  ASSERT_TRUE(r.est_hints_us.has_value());
+  ASSERT_TRUE(r.online_est_us.has_value());
+  EXPECT_GT(*r.est_bytes_us, 0);
+}
+
+TEST(EstimationIntegration, HintEstimateTracksGroundTruthClosely) {
+  // Hints measure exactly what the app perceives (create -> complete), so
+  // they should sit near the client's sojourn time at moderate load.
+  const RedisExperimentResult r = RunRedisExperiment(ShortConfig(30, BatchMode::kStaticOff));
+  ASSERT_TRUE(r.est_hints_us.has_value());
+  EXPECT_NEAR(*r.est_hints_us, r.measured_mean_us, r.measured_mean_us * 0.4);
+}
+
+TEST(EstimationIntegration, ByteEstimateTracksQueueingGrowth) {
+  // Under heavy load the measured latency is queueing-dominated and the
+  // byte estimate must track it tightly (the paper's Figure 4a accuracy).
+  const RedisExperimentResult heavy = RunRedisExperiment(ShortConfig(50, BatchMode::kStaticOff));
+  ASSERT_TRUE(heavy.est_bytes_us.has_value());
+  EXPECT_GT(heavy.measured_mean_us, 500.0);  // Past saturation.
+  EXPECT_NEAR(*heavy.est_bytes_us, heavy.measured_mean_us, heavy.measured_mean_us * 0.15);
+}
+
+TEST(EstimationIntegration, EstimatesUnderestimateOnlyModestlyAtLowLoad) {
+  // At low load the estimator excludes app processing time by design
+  // (paper §3.2); the gap must stay bounded.
+  const RedisExperimentResult light = RunRedisExperiment(ShortConfig(10, BatchMode::kStaticOff));
+  ASSERT_TRUE(light.est_bytes_us.has_value());
+  EXPECT_LT(*light.est_bytes_us, light.measured_mean_us);
+  EXPECT_GT(*light.est_bytes_us, light.measured_mean_us * 0.4);
+}
+
+TEST(EstimationIntegration, NagleDirectionIsVisibleInBothMeasuredAndEstimated) {
+  // The paper's key property: estimates order the two settings the same
+  // way ground truth does, at loads on either side of the cutoff.
+  const RedisExperimentResult low_off = RunRedisExperiment(ShortConfig(10, BatchMode::kStaticOff));
+  const RedisExperimentResult low_on = RunRedisExperiment(ShortConfig(10, BatchMode::kStaticOn));
+  EXPECT_LT(low_off.measured_mean_us, low_on.measured_mean_us);
+  EXPECT_LT(*low_off.est_bytes_us, *low_on.est_bytes_us);
+
+  const RedisExperimentResult high_off =
+      RunRedisExperiment(ShortConfig(55, BatchMode::kStaticOff));
+  const RedisExperimentResult high_on = RunRedisExperiment(ShortConfig(55, BatchMode::kStaticOn));
+  EXPECT_GT(high_off.measured_mean_us, high_on.measured_mean_us);
+  EXPECT_GT(*high_off.est_bytes_us, *high_on.est_bytes_us);
+}
+
+TEST(EstimationIntegration, ByteModeMispredictsHeterogeneousNagleAtLowLoad) {
+  // Figure 4b: with 5% GETs, byte-weighted estimates miss most of the Nagle
+  // penalty at low load while hint estimates keep seeing it.
+  RedisExperimentConfig config = ShortConfig(10, BatchMode::kStaticOn);
+  config.mix = WorkloadMix::SetGet16K(0.95);
+  const RedisExperimentResult on = RunRedisExperiment(config);
+  config.batch_mode = BatchMode::kStaticOff;
+  const RedisExperimentResult off = RunRedisExperiment(config);
+  ASSERT_TRUE(on.est_bytes_us.has_value() && on.est_hints_us.has_value());
+  // Measured: Nagle clearly worse at 10 kRPS.
+  EXPECT_GT(on.measured_mean_us, off.measured_mean_us * 1.5);
+  // Byte estimates barely move; hint estimates see most of the penalty.
+  const double byte_ratio = *on.est_bytes_us / *off.est_bytes_us;
+  const double hint_ratio = *on.est_hints_us / *off.est_hints_us;
+  EXPECT_LT(byte_ratio, 1.35);
+  EXPECT_GT(hint_ratio, 1.5);
+}
+
+TEST(EstimationIntegration, LatencyComponentsSumToTheTotal) {
+  // request leg + server + response leg partition [send(), response read]
+  // exactly (shared timestamps, no gaps or overlaps).
+  for (BatchMode mode : {BatchMode::kStaticOff, BatchMode::kStaticOn}) {
+    const RedisExperimentResult r = RunRedisExperiment(ShortConfig(25, mode));
+    const double sum = r.comp_request_leg_us + r.comp_server_us + r.comp_response_leg_us;
+    EXPECT_NEAR(sum, r.measured_mean_us, 0.01);
+  }
+}
+
+TEST(EstimationIntegration, NaglePenaltyLivesInTheResponseLeg) {
+  const RedisExperimentResult off = RunRedisExperiment(ShortConfig(10, BatchMode::kStaticOff));
+  const RedisExperimentResult on = RunRedisExperiment(ShortConfig(10, BatchMode::kStaticOn));
+  // The held replies inflate the response leg; the other components barely
+  // move.
+  EXPECT_GT(on.comp_response_leg_us, off.comp_response_leg_us * 3);
+  EXPECT_NEAR(on.comp_server_us, off.comp_server_us, 2.0);
+  EXPECT_NEAR(on.comp_request_leg_us, off.comp_request_leg_us, 15.0);
+}
+
+TEST(EstimationIntegration, UtilizationsAreSane) {
+  const RedisExperimentResult r = RunRedisExperiment(ShortConfig(30, BatchMode::kStaticOff));
+  for (double util : {r.client_app_util, r.client_softirq_util, r.server_app_util,
+                      r.server_softirq_util}) {
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.001);
+  }
+  EXPECT_GT(r.server_app_util, r.server_softirq_util);  // App-bound system.
+  EXPECT_NEAR(r.achieved_krps, 30, 3);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,57 @@
+// Multi-connection aggregation (paper §3.2).
+
+#include <gtest/gtest.h>
+
+#include "src/core/aggregator.h"
+#include "src/testbed/experiment.h"
+
+namespace e2e {
+namespace {
+
+RedisExperimentConfig MultiConfig(double krps, int conns, BatchMode mode) {
+  RedisExperimentConfig config;
+  config.rate_rps = krps * 1e3;
+  config.num_connections = conns;
+  config.batch_mode = mode;
+  config.warmup = Duration::Millis(150);
+  config.measure = Duration::Millis(300);
+  config.seed = 21;
+  return config;
+}
+
+TEST(MultiConnectionIntegration, SplittingLoadPreservesMeasuredBehavior) {
+  const RedisExperimentResult one = RunRedisExperiment(MultiConfig(30, 1, BatchMode::kStaticOff));
+  const RedisExperimentResult four = RunRedisExperiment(MultiConfig(30, 4, BatchMode::kStaticOff));
+  EXPECT_NEAR(four.achieved_krps, one.achieved_krps, 3.0);
+  // Same server-bound queueing regime; latencies in the same ballpark.
+  EXPECT_NEAR(four.measured_mean_us, one.measured_mean_us, one.measured_mean_us * 0.5);
+}
+
+TEST(MultiConnectionIntegration, AveragedEstimateTracksMeasured) {
+  const RedisExperimentResult r = RunRedisExperiment(MultiConfig(50, 4, BatchMode::kStaticOn));
+  ASSERT_TRUE(r.est_bytes_us.has_value());
+  EXPECT_NEAR(*r.est_bytes_us, r.measured_mean_us, r.measured_mean_us * 0.5);
+  ASSERT_TRUE(r.est_hints_us.has_value());
+  EXPECT_NEAR(*r.est_hints_us, r.measured_mean_us, r.measured_mean_us * 0.4);
+}
+
+TEST(MultiConnectionIntegration, SharedControllerConvergesAtHighLoad) {
+  const RedisExperimentResult r = RunRedisExperiment(MultiConfig(65, 4, BatchMode::kDynamic));
+  EXPECT_GT(r.duty_cycle_on, 0.7);
+  EXPECT_LT(r.measured_mean_us, 3000.0);
+}
+
+TEST(EstimateAggregatorTest, AveragesAcrossSources) {
+  ConnectionEstimator a(UnitMode::kBytes);
+  ConnectionEstimator b(UnitMode::kBytes);
+  EstimateAggregator aggregator;
+  aggregator.AddSource(&a);
+  aggregator.AddSource(&b);
+  EXPECT_EQ(aggregator.size(), 2u);
+  // Both estimators empty: invalid aggregate.
+  EXPECT_FALSE(aggregator.Aggregate().valid());
+  EXPECT_FALSE(aggregator.AggregateLastValid().valid());
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,93 @@
+// Syscall batching (paper §3.3's caveat) and the hint path's immunity.
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/experiment.h"
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+RedisExperimentConfig PipelineConfig(int depth) {
+  RedisExperimentConfig config;
+  config.rate_rps = 25e3;
+  config.pipeline_depth = depth;
+  config.warmup = Duration::Millis(100);
+  config.measure = Duration::Millis(300);
+  config.seed = 29;
+  return config;
+}
+
+TEST(PipeliningIntegration, BatchedSendsStillServeEveryRequest) {
+  const RedisExperimentResult r = RunRedisExperiment(PipelineConfig(4));
+  EXPECT_NEAR(r.achieved_krps, 25, 3);
+  EXPECT_GT(r.requests_completed, 5000u);
+}
+
+TEST(PipeliningIntegration, HintsTrackAppPerceivedLatencyAtAnyDepth) {
+  for (int depth : {1, 4, 8}) {
+    const RedisExperimentResult r = RunRedisExperiment(PipelineConfig(depth));
+    ASSERT_TRUE(r.est_hints_us.has_value()) << "depth " << depth;
+    // The hint queue spans create->complete, i.e. the sojourn including the
+    // client's own pipelining wait; agreement should be tight.
+    EXPECT_NEAR(*r.est_hints_us, r.measured_sojourn_us, r.measured_sojourn_us * 0.05)
+        << "depth " << depth;
+  }
+}
+
+TEST(PipeliningIntegration, PipelineWaitIsInvisibleToKernelUnits) {
+  const RedisExperimentResult deep = RunRedisExperiment(PipelineConfig(8));
+  // The app-perceived latency includes the pre-syscall pipelining wait the
+  // kernel cannot see; with depth 8 at 25 kRPS that wait is substantial.
+  EXPECT_GT(deep.measured_sojourn_us, deep.measured_mean_us + 30.0);
+}
+
+TEST(SendBatchTest, CountsOneSyscallUnitForManyMessages) {
+  TwoHostTopology topo;
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  tcp.e2e_exchange_interval = Duration::Zero();
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    std::vector<TcpEndpoint::BatchItem> items(5);
+    for (int i = 0; i < 5; ++i) {
+      items[i].len = 100;
+      items[i].record.id = static_cast<uint64_t>(i);
+    }
+    ASSERT_TRUE(conn.a->SendBatch(std::move(items)));
+  });
+  topo.sim().RunFor(Duration::Millis(100));
+
+  // All five messages arrive individually...
+  auto received = conn.b->Recv();
+  EXPECT_EQ(received.messages.size(), 5u);
+  EXPECT_EQ(received.bytes, 500u);
+  // ...but the syscall-unit queues saw exactly one unit end-to-end.
+  EXPECT_EQ(conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kSyscalls).total(), 1);
+  EXPECT_EQ(conn.b->queues().Get(QueueKind::kUnread, UnitMode::kSyscalls).total(), 1);
+  EXPECT_EQ(conn.b->queues().Get(QueueKind::kAckDelay, UnitMode::kSyscalls).total(), 1);
+  // Bytes are unit-mode independent.
+  EXPECT_EQ(conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kBytes).total(), 500);
+}
+
+TEST(SendBatchTest, AtomicRejectionWhenBufferLacksSpace) {
+  TwoHostTopology topo;
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  tcp.sndbuf_bytes = 300;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    std::vector<TcpEndpoint::BatchItem> items(4);
+    for (int i = 0; i < 4; ++i) {
+      items[i].len = 100;  // 400 > 300: the whole batch must be refused.
+    }
+    EXPECT_FALSE(conn.a->SendBatch(std::move(items)));
+  });
+  topo.sim().RunFor(Duration::Millis(10));
+  EXPECT_EQ(conn.b->ReadableBytes(), 0u);
+  EXPECT_EQ(conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kSyscalls).total(), 0);
+}
+
+}  // namespace
+}  // namespace e2e

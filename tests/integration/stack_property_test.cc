@@ -1,0 +1,127 @@
+// Full-stack invariants swept over the TCP feature matrix: for every
+// combination of Nagle, auto-corking, TSO, GRO and packet loss, a bursty
+// bidirectional workload must deliver every byte and every message exactly
+// once and in order, and the instrumentation of all three queues must
+// account for exactly the traffic that flowed, in every unit mode.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+struct StackVariant {
+  bool nodelay;
+  bool autocork;
+  bool tso;
+  bool gro;
+  double loss;
+};
+
+// (nodelay, autocork, tso, gro, loss) — a representative slice of the
+// 2^4 x loss matrix plus the interesting extremes.
+const StackVariant kVariants[] = {
+    {true, false, true, true, 0.0},    //
+    {false, false, true, true, 0.0},   //
+    {true, true, true, true, 0.0},     //
+    {false, true, false, true, 0.0},   //
+    {true, false, false, false, 0.0},  //
+    {false, false, true, false, 0.0},  //
+    {true, false, true, true, 0.02},   //
+    {false, false, true, true, 0.02},  //
+    {false, true, true, true, 0.05},   //
+};
+
+class StackMatrixTest : public ::testing::TestWithParam<StackVariant> {};
+
+TEST_P(StackMatrixTest, ExactlyOnceInOrderWithConsistentAccounting) {
+  const StackVariant& v = GetParam();
+  TopologyConfig topo_config;
+  topo_config.link.loss_probability = v.loss;
+  topo_config.client_stack_costs.gro = v.gro;
+  topo_config.server_stack_costs.gro = v.gro;
+  TwoHostTopology topo(topo_config);
+
+  TcpConfig config;
+  config.nodelay = v.nodelay;
+  config.autocork = v.autocork;
+  config.tso = v.tso;
+  config.nagle_timeout = Duration::Millis(20);
+  ConnectedPair conn = topo.Connect(1, config, config);
+
+  // Bursty bidirectional traffic with mixed sizes (sub-MSS to multi-MSS).
+  constexpr int kMessages = 120;
+  uint64_t a_bytes = 0;
+  uint64_t b_bytes = 0;
+  Rng rng(GetParam().nodelay ? 5 : 6);
+  for (int i = 0; i < kMessages; ++i) {
+    const uint64_t a_len = static_cast<uint64_t>(rng.UniformInt(1, 4000));
+    const uint64_t b_len = static_cast<uint64_t>(rng.UniformInt(1, 2000));
+    a_bytes += a_len;
+    b_bytes += b_len;
+    topo.sim().Schedule(Duration::Micros(40 * i), [&, i, a_len, b_len] {
+      topo.client_host().app_core().SubmitFixed(Duration::Nanos(200), [&, i, a_len] {
+        MessageRecord record;
+        record.id = static_cast<uint64_t>(i);
+        ASSERT_TRUE(conn.a->Send(a_len, std::move(record)));
+      });
+      topo.server_host().app_core().SubmitFixed(Duration::Nanos(200), [&, i, b_len] {
+        MessageRecord record;
+        record.id = static_cast<uint64_t>(i);
+        ASSERT_TRUE(conn.b->Send(b_len, std::move(record)));
+      });
+    });
+  }
+  // Loss recovery can take several RTO cycles.
+  topo.sim().RunFor(v.loss > 0 ? Duration::Seconds(10) : Duration::Seconds(1));
+
+  // Exactly once, in order, all bytes.
+  auto at_b = conn.b->Recv();
+  auto at_a = conn.a->Recv();
+  ASSERT_EQ(at_b.messages.size(), static_cast<size_t>(kMessages));
+  ASSERT_EQ(at_a.messages.size(), static_cast<size_t>(kMessages));
+  EXPECT_EQ(at_b.bytes, a_bytes);
+  EXPECT_EQ(at_a.bytes, b_bytes);
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(at_b.messages[i].id, static_cast<uint64_t>(i));
+    EXPECT_EQ(at_a.messages[i].id, static_cast<uint64_t>(i));
+  }
+
+  // Let the final acks and delack timers settle, then check accounting.
+  topo.sim().RunFor(Duration::Millis(300));
+  for (TcpEndpoint* endpoint : {conn.a, conn.b}) {
+    const uint64_t sent = endpoint == conn.a ? a_bytes : b_bytes;
+    const uint64_t received = endpoint == conn.a ? b_bytes : a_bytes;
+    for (UnitMode mode : kKernelUnitModes) {
+      for (QueueKind kind : kAllQueueKinds) {
+        EXPECT_EQ(endpoint->queues().Get(kind, mode).size(), 0)
+            << UnitModeName(mode) << "/" << QueueKindName(kind);
+      }
+    }
+    // Byte totals equal the traffic exactly (retransmissions must not
+    // double-count: queues track stream bytes, not wire bytes).
+    EXPECT_EQ(endpoint->queues().Get(QueueKind::kUnacked, UnitMode::kBytes).total(),
+              static_cast<int64_t>(sent));
+    EXPECT_EQ(endpoint->queues().Get(QueueKind::kUnread, UnitMode::kBytes).total(),
+              static_cast<int64_t>(received));
+    EXPECT_EQ(endpoint->queues().Get(QueueKind::kAckDelay, UnitMode::kBytes).total(),
+              static_cast<int64_t>(received));
+    // Message totals likewise.
+    EXPECT_EQ(endpoint->queues().Get(QueueKind::kUnacked, UnitMode::kSyscalls).total(),
+              kMessages);
+    EXPECT_EQ(endpoint->queues().Get(QueueKind::kUnread, UnitMode::kSyscalls).total(),
+              kMessages);
+    // Packet-unit totals agree between sender-unacked and receiver-unread
+    // (same MSS grid over the same stream).
+    EXPECT_EQ(conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kPackets).total(),
+              conn.b->queues().Get(QueueKind::kUnread, UnitMode::kPackets).total());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FeatureMatrix, StackMatrixTest, ::testing::ValuesIn(kVariants));
+
+}  // namespace
+}  // namespace e2e

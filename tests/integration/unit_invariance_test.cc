@@ -1,0 +1,40 @@
+// Paper §4: for homogeneous workloads, byte-unit estimates are accurate
+// because bytes correlate with requests — "the difference is simply a
+// matter of scaling by a constant". Little's-law *delays* are unit-free, so
+// on fixed-size traffic all three kernel unit modes must report the same
+// latency (their throughputs differing exactly by the unit scale).
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/experiment.h"
+
+namespace e2e {
+namespace {
+
+class UnitInvarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnitInvarianceTest, KernelModesAgreeOnLatencyForFixedSizeTraffic) {
+  RedisExperimentConfig config;
+  config.rate_rps = GetParam() * 1e3;
+  config.batch_mode = BatchMode::kStaticOff;
+  config.warmup = Duration::Millis(100);
+  config.measure = Duration::Millis(300);
+  config.seed = 37;
+  const RedisExperimentResult r = RunRedisExperiment(config);
+  ASSERT_TRUE(r.est_bytes_us.has_value());
+  ASSERT_TRUE(r.est_packets_us.has_value());
+  ASSERT_TRUE(r.est_syscalls_us.has_value());
+  // Latencies agree across unit modes to within 25% (they weight the
+  // request/response directions slightly differently, but fixed sizes keep
+  // them on one scale).
+  EXPECT_NEAR(*r.est_packets_us, *r.est_bytes_us, *r.est_bytes_us * 0.25);
+  EXPECT_NEAR(*r.est_syscalls_us, *r.est_bytes_us, *r.est_bytes_us * 0.35);
+  // Throughputs differ by exactly the unit scale: requests are ~16430 B and
+  // ~12 packets each, so bytes/s / syscalls/s ~ request size.
+  EXPECT_NEAR(r.est_krps, r.offered_krps, r.offered_krps * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, UnitInvarianceTest, ::testing::Values(10.0, 25.0, 35.0));
+
+}  // namespace
+}  // namespace e2e

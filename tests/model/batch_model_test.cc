@@ -1,0 +1,96 @@
+#include "src/model/batch_model.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+BatchModelParams Params(double c) {
+  BatchModelParams params;  // n=3, alpha=2, beta=4 — the paper's Figure 1.
+  params.c = c;
+  return params;
+}
+
+TEST(BatchModelTest, ServerSideTimesMatchTheFigure) {
+  const BatchComparison cmp = CompareBatching(Params(1));
+  // Batched: one batch of 3 finishes at n*alpha + beta = 10.
+  EXPECT_EQ(cmp.batched.emit_times, (std::vector<double>{10, 10, 10}));
+  // Unbatched: i * (alpha + beta) = 6, 12, 18.
+  EXPECT_EQ(cmp.unbatched.emit_times, (std::vector<double>{6, 12, 18}));
+}
+
+TEST(BatchModelTest, EmissionTimesAreIndependentOfClientCost) {
+  // The crux of Figure 1: the server's view is identical in every panel.
+  for (double c : {1.0, 3.0, 5.0}) {
+    const BatchComparison cmp = CompareBatching(Params(c));
+    EXPECT_EQ(cmp.batched.emit_times, CompareBatching(Params(1)).batched.emit_times);
+    EXPECT_EQ(cmp.unbatched.emit_times, CompareBatching(Params(1)).unbatched.emit_times);
+  }
+}
+
+TEST(BatchModelTest, Panel1aBatchingImprovesBoth) {
+  const BatchComparison cmp = CompareBatching(Params(1));
+  EXPECT_EQ(cmp.batched.completion_times, (std::vector<double>{11, 12, 13}));
+  EXPECT_EQ(cmp.unbatched.completion_times, (std::vector<double>{7, 13, 19}));
+  EXPECT_DOUBLE_EQ(cmp.batched.avg_latency, 12);
+  EXPECT_DOUBLE_EQ(cmp.unbatched.avg_latency, 13);
+  EXPECT_TRUE(cmp.BatchingImprovesLatency());
+  EXPECT_TRUE(cmp.BatchingImprovesThroughput());
+}
+
+TEST(BatchModelTest, Panel1cMixedOutcome) {
+  const BatchComparison cmp = CompareBatching(Params(3));
+  EXPECT_DOUBLE_EQ(cmp.batched.avg_latency, 16);
+  EXPECT_DOUBLE_EQ(cmp.unbatched.avg_latency, 15);
+  EXPECT_FALSE(cmp.BatchingImprovesLatency());
+  EXPECT_TRUE(cmp.BatchingImprovesThroughput());  // Makespan 19 vs 21.
+}
+
+TEST(BatchModelTest, Panel1bBatchingDegradesBoth) {
+  const BatchComparison cmp = CompareBatching(Params(5));
+  EXPECT_DOUBLE_EQ(cmp.batched.avg_latency, 20);
+  EXPECT_DOUBLE_EQ(cmp.unbatched.avg_latency, 17);
+  EXPECT_FALSE(cmp.BatchingImprovesLatency());
+  EXPECT_FALSE(cmp.BatchingImprovesThroughput());
+}
+
+TEST(BatchModelTest, ClientSerializationQueuesResponses) {
+  // With a very slow client, completion spacing equals c regardless of
+  // emission times.
+  BatchModelParams params = Params(100);
+  const BatchModelResult result = EvaluateBatchModel(params, false);
+  EXPECT_DOUBLE_EQ(result.completion_times[1] - result.completion_times[0], 100);
+  EXPECT_DOUBLE_EQ(result.completion_times[2] - result.completion_times[1], 100);
+}
+
+TEST(BatchModelTest, ZeroClientCostMakesBatchedCompletionsSimultaneous) {
+  BatchModelParams params = Params(0);
+  const BatchModelResult result = EvaluateBatchModel(params, true);
+  EXPECT_EQ(result.completion_times, (std::vector<double>{10, 10, 10}));
+  EXPECT_DOUBLE_EQ(result.throughput, 0.3);
+}
+
+// Property: sweeping c finely, batching's latency advantage is monotone
+// non-increasing in c — the paper's core claim that the client-side cost
+// flips the verdict exactly once.
+class BatchModelSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchModelSweepTest, AdvantageDecreasesMonotonicallyInC) {
+  BatchModelParams params;
+  params.n = 2 + GetParam();       // Sweep n as well.
+  params.alpha = 1 + GetParam() % 3;
+  params.beta = 4;
+  double previous_advantage = 1e18;
+  for (double c = 0; c <= 10; c += 0.25) {
+    params.c = c;
+    const BatchComparison cmp = CompareBatching(params);
+    const double advantage = cmp.unbatched.avg_latency - cmp.batched.avg_latency;
+    EXPECT_LE(advantage, previous_advantage + 1e-12) << "n=" << params.n << " c=" << c;
+    previous_advantage = advantage;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BatchModelSweepTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,141 @@
+#include "src/net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace e2e {
+namespace {
+
+class RecordingSink : public PacketSink {
+ public:
+  explicit RecordingSink(Simulator* sim) : sim_(sim) {}
+  void DeliverPacket(Packet packet) override {
+    arrivals.push_back({sim_->Now(), packet.id, packet.wire_bytes});
+  }
+  struct Arrival {
+    TimePoint when;
+    uint64_t id;
+    size_t bytes;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  Simulator* sim_;
+};
+
+Packet Pkt(uint64_t id, size_t bytes) {
+  Packet packet;
+  packet.id = id;
+  packet.wire_bytes = bytes;
+  return packet;
+}
+
+TEST(LinkTest, SerializationPlusPropagation) {
+  Simulator sim;
+  Link::Config config;
+  config.bandwidth_bps = 1e9;  // 1 Gbps: 8 ns per byte.
+  config.propagation = Duration::Micros(10);
+  Link link(&sim, config, Rng(1), "l");
+  RecordingSink sink(&sim);
+  link.SetSink(&sink);
+
+  const TimePoint tx_end = link.Send(Pkt(1, 1000));  // 8 us serialization.
+  EXPECT_EQ(tx_end, TimePoint::FromNanos(8000));
+  sim.Run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].when, TimePoint::FromNanos(18000));
+}
+
+TEST(LinkTest, BackToBackPacketsQueueBehindEachOther) {
+  Simulator sim;
+  Link::Config config;
+  config.bandwidth_bps = 1e9;
+  config.propagation = Duration::Zero();
+  Link link(&sim, config, Rng(1), "l");
+  RecordingSink sink(&sim);
+  link.SetSink(&sink);
+
+  link.Send(Pkt(1, 1000));
+  link.Send(Pkt(2, 1000));  // Starts only after the first finishes.
+  sim.Run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].when, TimePoint::FromNanos(8000));
+  EXPECT_EQ(sink.arrivals[1].when, TimePoint::FromNanos(16000));
+  EXPECT_EQ(sink.arrivals[0].id, 1u);  // FIFO, no reordering.
+  EXPECT_EQ(sink.arrivals[1].id, 2u);
+}
+
+TEST(LinkTest, WireFreesUpBetweenSpacedPackets) {
+  Simulator sim;
+  Link::Config config;
+  config.bandwidth_bps = 1e9;
+  config.propagation = Duration::Zero();
+  Link link(&sim, config, Rng(1), "l");
+  RecordingSink sink(&sim);
+  link.SetSink(&sink);
+  link.Send(Pkt(1, 1000));
+  sim.RunFor(Duration::Micros(100));
+  link.Send(Pkt(2, 1000));  // Wire idle again: starts immediately.
+  sim.Run();
+  EXPECT_EQ(sink.arrivals[1].when, TimePoint::FromNanos(108000));
+}
+
+TEST(LinkTest, InfiniteBandwidthSkipsSerialization) {
+  Simulator sim;
+  Link::Config config;
+  config.bandwidth_bps = 0;
+  config.propagation = Duration::Micros(3);
+  Link link(&sim, config, Rng(1), "l");
+  RecordingSink sink(&sim);
+  link.SetSink(&sink);
+  EXPECT_EQ(link.Send(Pkt(1, 1000000)), TimePoint::Zero());
+  sim.Run();
+  EXPECT_EQ(sink.arrivals[0].when, TimePoint::FromNanos(3000));
+}
+
+TEST(LinkTest, CountsPacketsAndBytes) {
+  Simulator sim;
+  Link link(&sim, Link::Config{}, Rng(1), "l");
+  RecordingSink sink(&sim);
+  link.SetSink(&sink);
+  link.Send(Pkt(1, 100));
+  link.Send(Pkt(2, 200));
+  sim.Run();
+  EXPECT_EQ(link.packets_sent(), 2u);
+  EXPECT_EQ(link.bytes_sent(), 300u);
+  EXPECT_EQ(link.packets_dropped(), 0u);
+}
+
+TEST(LinkTest, LossDropsApproximatelyTheConfiguredFraction) {
+  Simulator sim;
+  Link::Config config;
+  config.bandwidth_bps = 0;
+  config.loss_probability = 0.2;
+  Link link(&sim, config, Rng(42), "l");
+  RecordingSink sink(&sim);
+  link.SetSink(&sink);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    link.Send(Pkt(i, 100));
+  }
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(link.packets_dropped()) / n, 0.2, 0.02);
+  EXPECT_EQ(sink.arrivals.size(), n - link.packets_dropped());
+}
+
+TEST(LinkTest, DroppedPacketsStillOccupyTheWire) {
+  Simulator sim;
+  Link::Config config;
+  config.bandwidth_bps = 1e9;
+  config.loss_probability = 0.999999;  // Effectively always drop.
+  Link link(&sim, config, Rng(1), "l");
+  RecordingSink sink(&sim);
+  link.SetSink(&sink);
+  link.Send(Pkt(1, 1000));
+  const TimePoint second_end = link.Send(Pkt(2, 1000));
+  EXPECT_EQ(second_end, TimePoint::FromNanos(16000));  // Queued behind #1.
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,154 @@
+#include "src/net/nic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace e2e {
+namespace {
+
+struct NicFixture {
+  NicFixture(const Nic::Config& config = Nic::Config{}, const Link::Config& link_config = {})
+      : softirq(&sim, "sirq"), link(&sim, link_config, Rng(1), "l"),
+        nic(&sim, &softirq, &link, config, "nic") {}
+
+  Simulator sim;
+  CpuCore softirq;
+  Link link;
+  Nic nic;
+};
+
+Packet Pkt(uint64_t id, size_t bytes) {
+  Packet packet;
+  packet.id = id;
+  packet.wire_bytes = bytes;
+  return packet;
+}
+
+TEST(NicTest, TxCompletionFiresAfterSerialization) {
+  Link::Config link_config;
+  link_config.bandwidth_bps = 1e9;  // 8 us for 1000B.
+  NicFixture f(Nic::Config{}, link_config);
+  size_t completions = 0;
+  f.nic.SetTxCompleteHandler([&](size_t n) { completions += n; });
+  f.nic.Transmit(Pkt(1, 1000));
+  EXPECT_EQ(f.nic.tx_in_flight(), 1u);
+  f.sim.Run();
+  EXPECT_EQ(f.nic.tx_in_flight(), 0u);
+  EXPECT_EQ(completions, 1u);
+}
+
+TEST(NicTest, TxRingLimitsInFlightSegments) {
+  Nic::Config config;
+  config.tx_ring_size = 2;
+  Link::Config link_config;
+  link_config.bandwidth_bps = 1e6;  // Slow: completions far away.
+  NicFixture f(config, link_config);
+  EXPECT_TRUE(f.nic.Transmit(Pkt(1, 1000)));
+  EXPECT_TRUE(f.nic.Transmit(Pkt(2, 1000)));
+  EXPECT_FALSE(f.nic.Transmit(Pkt(3, 1000)));  // Ring full.
+  f.sim.Run();
+  EXPECT_TRUE(f.nic.Transmit(Pkt(3, 1000)));  // Freed by completions.
+}
+
+TEST(NicTest, SuperSegmentSlicesGoOnTheWireIndividually) {
+  NicFixture f;
+  Packet super = Pkt(10, 3000);
+  for (int i = 0; i < 3; ++i) {
+    super.slices.push_back(Pkt(11 + i, 1000));
+  }
+  f.nic.Transmit(std::move(super));
+  f.sim.Run();
+  EXPECT_EQ(f.link.packets_sent(), 3u);       // Slices, not the super-seg.
+  EXPECT_EQ(f.nic.tx_segments(), 1u);         // One descriptor...
+  EXPECT_EQ(f.nic.tx_wire_packets(), 3u);     // ...three wire packets.
+}
+
+TEST(NicTest, RxDeliversThroughSoftirqPoll) {
+  NicFixture f;
+  std::vector<uint64_t> delivered;
+  f.nic.SetRx([](const std::vector<Packet>&) { return Duration::Micros(1); },
+              [&](const Packet& packet) { delivered.push_back(packet.id); });
+  f.nic.DeliverPacket(Pkt(1, 100));
+  f.nic.DeliverPacket(Pkt(2, 100));
+  f.sim.Run();
+  EXPECT_EQ(delivered, (std::vector<uint64_t>{1, 2}));
+  EXPECT_GE(f.nic.polls(), 1u);
+}
+
+TEST(NicTest, BurstAmortizesInterruptOverhead) {
+  Nic::Config config;
+  config.irq_overhead = Duration::Micros(5);
+  config.poll_continue_cost = Duration::Nanos(100);
+  NicFixture f(config);
+  int delivered = 0;
+  f.nic.SetRx([](const std::vector<Packet>& batch) {
+                return Duration::Nanos(200) * static_cast<int64_t>(batch.size());
+              },
+              [&](const Packet&) { ++delivered; });
+  // 32 packets arrive while the softirq core is busy with the first poll:
+  // exactly one hard interrupt should be taken.
+  for (int i = 0; i < 32; ++i) {
+    f.sim.Schedule(Duration::Nanos(50 * i), [&f, i] { f.nic.DeliverPacket(Pkt(i, 100)); });
+  }
+  f.sim.Run();
+  EXPECT_EQ(delivered, 32);
+  EXPECT_EQ(f.nic.irqs(), 1u);
+}
+
+TEST(NicTest, SeparatedArrivalsTakeSeparateInterrupts) {
+  Nic::Config config;
+  config.irq_overhead = Duration::Micros(1);
+  NicFixture f(config);
+  int delivered = 0;
+  f.nic.SetRx([](const std::vector<Packet>&) { return Duration::Nanos(100); },
+              [&](const Packet&) { ++delivered; });
+  f.nic.DeliverPacket(Pkt(1, 100));
+  f.sim.RunFor(Duration::Millis(1));
+  f.nic.DeliverPacket(Pkt(2, 100));
+  f.sim.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(f.nic.irqs(), 2u);
+}
+
+TEST(NicTest, NapiBudgetBoundsPacketsPerPoll) {
+  Nic::Config config;
+  config.napi_budget = 4;
+  NicFixture f(config);
+  std::vector<size_t> batch_sizes;
+  f.nic.SetRx(
+      [&](const std::vector<Packet>& batch) {
+        batch_sizes.push_back(batch.size());
+        return Duration::Micros(1);
+      },
+      [](const Packet&) {});
+  for (int i = 0; i < 10; ++i) {
+    f.nic.DeliverPacket(Pkt(i, 100));
+  }
+  f.sim.Run();
+  ASSERT_GE(batch_sizes.size(), 3u);
+  for (size_t size : batch_sizes) {
+    EXPECT_LE(size, 4u);
+  }
+  EXPECT_EQ(f.nic.rx_packets(), 10u);
+}
+
+TEST(NicTest, TxCompletionsBatchIntoPolls) {
+  Link::Config link_config;
+  link_config.bandwidth_bps = 100e9;
+  NicFixture f(Nic::Config{}, link_config);
+  std::vector<size_t> completion_batches;
+  f.nic.SetTxCompleteHandler([&](size_t n) { completion_batches.push_back(n); });
+  for (int i = 0; i < 8; ++i) {
+    f.nic.Transmit(Pkt(i, 1500));
+  }
+  f.sim.Run();
+  size_t total = 0;
+  for (size_t n : completion_batches) {
+    total += n;
+  }
+  EXPECT_EQ(total, 8u);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,86 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace e2e {
+namespace {
+
+TimePoint At(int64_t us) { return TimePoint::FromNanos(us * 1000); }
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Push(At(30), [&] { fired.push_back(3); });
+  queue.Push(At(10), [&] { fired.push_back(1); });
+  queue.Push(At(20), [&] { fired.push_back(2); });
+  while (!queue.Empty()) {
+    queue.Pop().cb();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    queue.Push(At(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.Empty()) {
+    queue.Pop().cb();
+  }
+  ASSERT_EQ(fired.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fired[i], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue;
+  int fired = 0;
+  const EventId keep = queue.Push(At(1), [&] { ++fired; });
+  const EventId cancel = queue.Push(At(2), [&] { fired += 100; });
+  EXPECT_TRUE(queue.Cancel(cancel));
+  EXPECT_FALSE(queue.Cancel(cancel));  // Double cancel is a no-op.
+  while (!queue.Empty()) {
+    queue.Pop().cb();
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(queue.Cancel(keep));  // Already fired.
+}
+
+TEST(EventQueueTest, CancelHeadUpdatesNextTime) {
+  EventQueue queue;
+  const EventId head = queue.Push(At(1), [] {});
+  queue.Push(At(7), [] {});
+  EXPECT_EQ(queue.NextTime(), At(1));
+  queue.Cancel(head);
+  EXPECT_EQ(queue.NextTime(), At(7));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue queue;
+  const EventId a = queue.Push(At(1), [] {});
+  queue.Push(At(2), [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.Cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.Pop();
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, IdsAreUniqueAndNeverInvalid) {
+  EventQueue queue;
+  EventId last = kInvalidEventId;
+  for (int i = 0; i < 10; ++i) {
+    const EventId id = queue.Push(At(i), [] {});
+    EXPECT_NE(id, kInvalidEventId);
+    EXPECT_NE(id, last);
+    last = id;
+  }
+}
+
+}  // namespace
+}  // namespace e2e

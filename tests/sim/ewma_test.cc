@@ -1,0 +1,81 @@
+#include "src/sim/ewma.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma ewma(0.25);
+  EXPECT_FALSE(ewma.initialized());
+  ewma.Add(10);
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.value(), 10);
+}
+
+TEST(EwmaTest, BlendsWithAlpha) {
+  Ewma ewma(0.25);
+  ewma.Add(0);
+  ewma.Add(100);
+  EXPECT_DOUBLE_EQ(ewma.value(), 25);
+  ewma.Add(100);
+  EXPECT_DOUBLE_EQ(ewma.value(), 43.75);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  Ewma ewma(0.2);
+  ewma.Add(0);
+  for (int i = 0; i < 100; ++i) {
+    ewma.Add(50);
+  }
+  EXPECT_NEAR(ewma.value(), 50, 1e-6);
+}
+
+TEST(EwmaTest, ResetForgets) {
+  Ewma ewma(0.5);
+  ewma.Add(10);
+  ewma.Reset();
+  EXPECT_FALSE(ewma.initialized());
+  ewma.Add(99);
+  EXPECT_DOUBLE_EQ(ewma.value(), 99);
+}
+
+TEST(IrregularEwmaTest, DecayDependsOnElapsedTime) {
+  // After exactly one time constant, the old value's weight is e^-1.
+  IrregularEwma ewma(Duration::Millis(10));
+  ewma.Add(TimePoint::Zero(), 100);
+  ewma.Add(TimePoint::FromNanos(10000000), 0);
+  EXPECT_NEAR(ewma.value(), 100 * std::exp(-1.0), 1e-9);
+}
+
+TEST(IrregularEwmaTest, LongGapNearlyReplaces) {
+  IrregularEwma ewma(Duration::Millis(1));
+  ewma.Add(TimePoint::Zero(), 100);
+  ewma.Add(TimePoint::FromNanos(100000000), 7);  // 100 time constants later.
+  EXPECT_NEAR(ewma.value(), 7, 1e-6);
+}
+
+TEST(IrregularEwmaTest, ZeroGapKeepsOldValue) {
+  IrregularEwma ewma(Duration::Millis(1));
+  ewma.Add(TimePoint::FromNanos(5000), 42);
+  ewma.Add(TimePoint::FromNanos(5000), 0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 42);
+}
+
+TEST(IrregularEwmaTest, MatchesRegularEwmaForEvenSpacing) {
+  // With spacing dt, irregular EWMA is a fixed-alpha EWMA with
+  // alpha = 1 - e^(-dt/tau).
+  IrregularEwma irregular(Duration::Millis(10));
+  Ewma regular(1.0 - std::exp(-0.1));
+  int64_t t = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double x = (i * 37) % 100;
+    irregular.Add(TimePoint::FromNanos(t), x);
+    regular.Add(x);
+    t += 1000000;  // 1 ms.
+  }
+  EXPECT_NEAR(irregular.value(), regular.value(), 1e-9);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,54 @@
+#include "src/sim/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarn); }  // Restore default.
+};
+
+TEST_F(LoggingTest, LevelIsGlobalAndSettable) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(LogLevel::kTrace, LogLevel::kDebug);
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, MacroSkipsBelowThreshold) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return 1;
+  };
+  // The macro must not evaluate arguments for filtered-out levels.
+  E2E_DEBUG(TimePoint::Zero(), "test", "x=%d", count());
+  EXPECT_EQ(evaluations, 0);
+  E2E_ERROR(TimePoint::Zero(), "test", "x=%d", count());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return 1;
+  };
+  E2E_ERROR(TimePoint::Zero(), "test", "x=%d", count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace e2e

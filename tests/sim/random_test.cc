@@ -1,0 +1,150 @@
+#include "src/sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace e2e {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(3, 6);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 6);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(50.0);
+  }
+  EXPECT_NEAR(sum / n, 50.0, 0.5);
+}
+
+TEST(RngTest, ExpInterarrivalMatchesRate) {
+  Rng rng(13);
+  Duration total;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    total += rng.ExpInterarrival(20000.0);  // 20k/s -> mean 50 us.
+    EXPECT_GE(total, Duration::Zero());
+  }
+  EXPECT_NEAR(total.ToSeconds() / n, 50e-6, 1e-6);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  double sum = 0;
+  double sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMeanAndCv) {
+  Rng rng(23);
+  double sum = 0;
+  double sq = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.LogNormalMeanCv(100.0, 0.5);
+    EXPECT_GT(x, 0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double cv = std::sqrt(sq / n - mean * mean) / mean;
+  EXPECT_NEAR(mean, 100.0, 1.0);
+  EXPECT_NEAR(cv, 0.5, 0.02);
+}
+
+TEST(RngTest, ZipfBoundsAndSkew) {
+  Rng rng(29);
+  int first = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t r = rng.Zipf(100, 1.0);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 100);
+    first += r == 0 ? 1 : 0;
+  }
+  // Rank 0 under s=1, n=100 has probability ~1/H_100 ~ 0.19.
+  EXPECT_GT(first, 1500);
+  EXPECT_LT(first, 2500);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(31);
+  int low_half = 0;
+  for (int i = 0; i < 10000; ++i) {
+    low_half += rng.Zipf(10, 0.0) < 5 ? 1 : 0;
+  }
+  EXPECT_NEAR(low_half / 10000.0, 0.5, 0.03);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += parent.NextU64() == child.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+
+namespace e2e {
+namespace {
+
+TEST(LogHistogramMergeTest, MergedEqualsCombinedStream) {
+  Rng rng(91);
+  LogHistogram all(1.0, 1e9, 100);
+  LogHistogram left(1.0, 1e9, 100);
+  LogHistogram right(1.0, 1e9, 100);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.LogNormalMeanCv(500, 1.0);
+    all.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  // Summation order differs between the merged and combined streams; allow
+  // floating-point reassociation error.
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.max_seen(), all.max_seen());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(left.Quantile(q), all.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramMergeTest, MergeWithEmptyIsIdentity) {
+  LogHistogram a(1.0, 1e9, 100);
+  LogHistogram b(1.0, 1e9, 100);
+  a.Add(42);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 42.0);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1);
+}
+
+TEST(LogHistogramMergeTest, UnderflowCountsMerge) {
+  LogHistogram a(100.0, 1e6, 50);
+  LogHistogram b(100.0, 1e6, 50);
+  a.Add(1.0);  // Underflow.
+  b.Add(1.0);
+  b.Add(500.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.Quantile(0.5), 100.0);  // Two of three below min.
+}
+
+}  // namespace
+}  // namespace e2e

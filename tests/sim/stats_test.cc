@@ -1,0 +1,124 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace e2e {
+namespace {
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats stats;
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_EQ(stats.min(), 2);
+  EXPECT_EQ(stats.max(), 9);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0);
+  EXPECT_EQ(stats.variance(), 0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3, 7);
+    all.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.Add(5);
+  a.Merge(b);  // Empty <- nonempty.
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.mean(), 5);
+  RunningStats c;
+  a.Merge(c);  // Nonempty <- empty.
+  EXPECT_EQ(a.count(), 1);
+}
+
+TEST(LogHistogramTest, QuantilesOnUniformData) {
+  LogHistogram hist(1.0, 1e7, 200);
+  for (int i = 1; i <= 10000; ++i) {
+    hist.Add(i);
+  }
+  EXPECT_EQ(hist.count(), 10000);
+  // Log-bucket upper bounds overshoot by at most one bucket width (~1.2%).
+  EXPECT_NEAR(hist.Percentile(50), 5000, 5000 * 0.02);
+  EXPECT_NEAR(hist.Percentile(99), 9900, 9900 * 0.02);
+  EXPECT_NEAR(hist.Quantile(1.0), 10000, 1);
+  EXPECT_DOUBLE_EQ(hist.mean(), 5000.5);
+}
+
+TEST(LogHistogramTest, UnderflowCountsTowardLowQuantiles) {
+  LogHistogram hist(100.0, 1e6, 100);
+  for (int i = 0; i < 90; ++i) {
+    hist.Add(1.0);  // Below min_value.
+  }
+  for (int i = 0; i < 10; ++i) {
+    hist.Add(1000.0);
+  }
+  EXPECT_EQ(hist.Quantile(0.5), 100.0);  // Clamped to min_value.
+  EXPECT_NEAR(hist.Quantile(0.95), 1000.0, 15.0);
+}
+
+TEST(LogHistogramTest, QuantileNeverExceedsMaxSeen) {
+  LogHistogram hist;
+  hist.Add(123.0);
+  EXPECT_EQ(hist.Quantile(1.0), 123.0);
+  EXPECT_EQ(hist.max_seen(), 123.0);
+}
+
+TEST(LogHistogramTest, EmptyAndClear) {
+  LogHistogram hist;
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  hist.Add(5);
+  hist.Clear();
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+}
+
+TEST(TimeWeightedTest, PaperWorkedExample) {
+  // 1 item for 10 us then 4 items for 20 us -> average 3.
+  TimeWeighted tw(TimePoint::Zero(), 1.0);
+  tw.Set(TimePoint::FromNanos(10000), 4.0);
+  EXPECT_DOUBLE_EQ(tw.AverageUntil(TimePoint::FromNanos(30000)), 3.0);
+}
+
+TEST(TimeWeightedTest, NoElapsedTimeReturnsCurrent) {
+  TimeWeighted tw(TimePoint::Zero(), 7.0);
+  EXPECT_DOUBLE_EQ(tw.AverageUntil(TimePoint::Zero()), 7.0);
+}
+
+TEST(TimeWeightedTest, ResetWindowDropsHistory) {
+  TimeWeighted tw(TimePoint::Zero(), 100.0);
+  tw.Set(TimePoint::FromNanos(1000000), 0.0);
+  tw.ResetWindow(TimePoint::FromNanos(1000000));
+  EXPECT_DOUBLE_EQ(tw.AverageUntil(TimePoint::FromNanos(2000000)), 0.0);
+}
+
+}  // namespace
+}  // namespace e2e

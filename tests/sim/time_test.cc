@@ -1,0 +1,82 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TEST(DurationTest, NamedConstructorsAgree) {
+  EXPECT_EQ(Duration::Micros(1), Duration::Nanos(1000));
+  EXPECT_EQ(Duration::Millis(1), Duration::Micros(1000));
+  EXPECT_EQ(Duration::Seconds(1), Duration::Millis(1000));
+  EXPECT_EQ(Duration::MicrosF(1.5), Duration::Nanos(1500));
+  EXPECT_EQ(Duration::MillisF(0.25), Duration::Micros(250));
+  EXPECT_EQ(Duration::SecondsF(2e-9), Duration::Nanos(2));
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Micros(10);
+  const Duration b = Duration::Micros(4);
+  EXPECT_EQ(a + b, Duration::Micros(14));
+  EXPECT_EQ(a - b, Duration::Micros(6));
+  EXPECT_EQ(b - a, -Duration::Micros(6));
+  EXPECT_EQ(a * 3, Duration::Micros(30));
+  EXPECT_EQ(3 * a, Duration::Micros(30));
+  EXPECT_EQ(a * 0.5, Duration::Micros(5));
+  EXPECT_EQ(a / 2, Duration::Micros(5));
+  EXPECT_DOUBLE_EQ(a.Ratio(b), 2.5);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = Duration::Micros(1);
+  d += Duration::Micros(2);
+  EXPECT_EQ(d, Duration::Micros(3));
+  d -= Duration::Micros(5);
+  EXPECT_EQ(d, -Duration::Micros(2));
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Nanos(999), Duration::Micros(1));
+  EXPECT_GE(Duration::Zero(), -Duration::Nanos(1));
+  EXPECT_TRUE(Duration::Zero().IsZero());
+  EXPECT_FALSE(Duration::Nanos(1).IsZero());
+}
+
+TEST(DurationTest, Conversions) {
+  const Duration d = Duration::Nanos(1234567);
+  EXPECT_DOUBLE_EQ(d.ToMicros(), 1234.567);
+  EXPECT_DOUBLE_EQ(d.ToMillis(), 1.234567);
+  EXPECT_DOUBLE_EQ(d.ToSeconds(), 0.001234567);
+}
+
+TEST(DurationTest, ToStringSelectsUnit) {
+  EXPECT_EQ(Duration::Nanos(5).ToString(), "5ns");
+  EXPECT_EQ(Duration::Micros(12).ToString(), "12.00us");
+  EXPECT_EQ(Duration::Millis(3).ToString(), "3.00ms");
+  EXPECT_EQ(Duration::Seconds(2).ToString(), "2.000s");
+  EXPECT_EQ((-Duration::Micros(12)).ToString(), "-12.00us");
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const TimePoint t = TimePoint::FromNanos(1000);
+  EXPECT_EQ(t + Duration::Nanos(500), TimePoint::FromNanos(1500));
+  EXPECT_EQ(t - Duration::Nanos(500), TimePoint::FromNanos(500));
+  EXPECT_EQ(TimePoint::FromNanos(1500) - t, Duration::Nanos(500));
+  TimePoint u = t;
+  u += Duration::Micros(1);
+  EXPECT_EQ(u, TimePoint::FromNanos(2000));
+}
+
+TEST(TimePointTest, Ordering) {
+  EXPECT_LT(TimePoint::Zero(), TimePoint::FromNanos(1));
+  EXPECT_LT(TimePoint::FromNanos(1), TimePoint::Max());
+}
+
+TEST(TimePointTest, ConstexprUsable) {
+  static constexpr TimePoint kT = TimePoint::FromNanos(42) + Duration::Nanos(8);
+  static_assert(kT.nanos() == 50);
+  EXPECT_EQ(kT.nanos(), 50);
+}
+
+}  // namespace
+}  // namespace e2e

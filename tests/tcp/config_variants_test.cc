@@ -1,0 +1,129 @@
+// TCP configuration variants: non-default MSS, GRO coalescing bounds,
+// window-update thresholds, and the cork-limit continuum.
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+MessageRecord Rec(uint64_t id) {
+  MessageRecord record;
+  record.id = id;
+  return record;
+}
+
+TEST(MssConfigTest, SegmentationFollowsConfiguredMss) {
+  TwoHostTopology topo;
+  TcpConfig config;
+  config.nodelay = true;
+  config.mss = 500;
+  config.cc.enabled = false;
+  config.e2e_exchange_interval = Duration::Zero();
+  ConnectedPair conn = topo.Connect(1, config, config);
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(5000, Rec(1)); });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(conn.a->stats().wire_packets_sent, 10u);  // 5000 / 500.
+  EXPECT_EQ(conn.b->ReadableBytes(), 5000u);
+  // Packet-unit accounting uses the same grid.
+  EXPECT_EQ(conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kPackets).total(), 10);
+}
+
+TEST(MssConfigTest, NagleHoldThresholdScalesWithMss) {
+  TwoHostTopology topo;
+  TcpConfig config;
+  config.nodelay = false;
+  config.mss = 200;  // A 300-byte write is now super-MSS: never held.
+  config.e2e_exchange_interval = Duration::Zero();
+  TcpConfig peer;
+  peer.nodelay = true;
+  peer.delack_timeout = Duration::Millis(200);
+  ConnectedPair conn = topo.Connect(1, config, peer);
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    conn.a->Send(300, Rec(1));
+    conn.a->Send(300, Rec(2));  // >= MSS: sent despite in-flight data.
+  });
+  topo.sim().RunFor(Duration::Millis(2));
+  EXPECT_EQ(conn.b->ReadableBytes(), 600u);
+  EXPECT_EQ(conn.a->stats().nagle_holds, 0u);
+}
+
+TEST(GroConfigTest, MaxBytesBoundsCoalescing) {
+  TopologyConfig topo_config;
+  topo_config.server_stack_costs.gro = true;
+  topo_config.server_stack_costs.gro_max_bytes = 3000;  // ~2 slices max.
+  TwoHostTopology topo(topo_config);
+  TcpConfig config;
+  config.nodelay = true;
+  config.cc.enabled = false;
+  config.e2e_exchange_interval = Duration::Zero();
+  ConnectedPair conn = topo.Connect(1, config, config);
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(14480, Rec(1)); });  // 10 slices.
+  topo.sim().RunFor(Duration::Millis(5));
+  // With a 3000-byte cap, at most 2 slices merge per group: >= 5 groups, so
+  // at most 5 of the 10 stack passes were saved.
+  EXPECT_LE(topo.server_stack().gro_merged(), 5u);
+  EXPECT_GT(topo.server_stack().gro_merged(), 0u);
+}
+
+TEST(CorkLimitTest, IntermediateLimitsBatchProportionally) {
+  // Sweep the AIMD knob: higher cork limits hold more consecutive small
+  // writes per flush, monotonically reducing segment counts.
+  uint64_t previous_segments = UINT64_MAX;
+  for (uint32_t limit : {0u, 120u, 260u, 1448u}) {
+    TwoHostTopology topo;
+    TcpConfig config;
+    config.nodelay = false;
+    config.e2e_exchange_interval = Duration::Zero();
+    TcpConfig peer;
+    peer.nodelay = true;
+    peer.delack_timeout = Duration::Millis(5);
+    ConnectedPair conn = topo.Connect(1, config, peer);
+    conn.a->SetCorkLimit(limit);
+    for (int i = 0; i < 40; ++i) {
+      topo.sim().Schedule(Duration::Micros(100 * i), [&, i] {
+        topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                                  [&, i] { conn.a->Send(50, Rec(i)); });
+      });
+    }
+    topo.sim().RunFor(Duration::Millis(200));
+    EXPECT_EQ(conn.b->Recv().messages.size(), 40u) << "limit " << limit;
+    const uint64_t segments = conn.a->stats().data_segments_sent;
+    EXPECT_LE(segments, previous_segments) << "limit " << limit;
+    previous_segments = segments;
+    if (limit == 0) {
+      EXPECT_EQ(segments, 40u);  // Nodelay-equivalent.
+    }
+  }
+  EXPECT_LT(previous_segments, 40u);  // Full Nagle batched at least some.
+}
+
+TEST(WindowUpdateTest, SmallReadsDoNotSpamWindowUpdates) {
+  TwoHostTopology topo;
+  TcpConfig config;
+  config.nodelay = true;
+  config.e2e_exchange_interval = Duration::Zero();
+  TcpConfig peer = config;
+  peer.rcvbuf_bytes = 64 * 1024;
+  ConnectedPair conn = topo.Connect(1, config, peer);
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(40000, Rec(1)); });
+  topo.sim().RunFor(Duration::Millis(5));
+  const uint64_t acks_before = conn.b->stats().pure_acks_sent;
+  // 100 tiny reads: window growth per read (400 B) is far under the 2-MSS
+  // update threshold, so almost no update acks should go out.
+  for (int i = 0; i < 100; ++i) {
+    topo.sim().Schedule(Duration::Micros(10 * i), [&] {
+      topo.server_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                                [&] { conn.b->Recv(400); });
+    });
+  }
+  topo.sim().RunFor(Duration::Millis(10));
+  EXPECT_LE(conn.b->stats().pure_acks_sent - acks_before, 20u);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,73 @@
+// Stack demultiplexing edge cases: packets that match no endpoint, or
+// carry no TCP payload at all, are counted and dropped without disturbing
+// live connections.
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+TEST(DemuxEdgeTest, UnknownConnectionIsCountedAndIgnored) {
+  TwoHostTopology topo;
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  // Hand-deliver a segment for a connection id nobody owns.
+  auto seg = std::make_shared<TcpSegment>();
+  seg->conn_id = 999;
+  seg->from_a = true;
+  seg->len = 100;
+  Packet packet;
+  packet.id = 1;
+  packet.wire_bytes = 100 + kWireHeaderBytes;
+  packet.payload = seg;
+  topo.server_host().nic().DeliverPacket(std::move(packet));
+  topo.sim().RunFor(Duration::Millis(1));
+  EXPECT_EQ(topo.server_stack().unknown_segments(), 1u);
+
+  // The live connection is unaffected.
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    MessageRecord record;
+    conn.a->Send(50, std::move(record));
+  });
+  topo.sim().RunFor(Duration::Millis(2));
+  EXPECT_EQ(conn.b->ReadableBytes(), 50u);
+}
+
+TEST(DemuxEdgeTest, NonTcpPayloadIsCountedAndIgnored) {
+  TwoHostTopology topo;
+  struct AlienPayload : public PacketPayload {};
+  Packet packet;
+  packet.id = 2;
+  packet.wire_bytes = 500;
+  packet.payload = std::make_shared<AlienPayload>();
+  topo.server_host().nic().DeliverPacket(std::move(packet));
+  topo.sim().RunFor(Duration::Millis(1));
+  EXPECT_EQ(topo.server_stack().unknown_segments(), 1u);
+}
+
+TEST(DemuxEdgeTest, OwnDirectionSegmentFindsNoEndpoint) {
+  TwoHostTopology topo;
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+  (void)conn;
+  // A segment stamped "from A" delivered to A's own host resolves to the
+  // key (conn 1, is_a = false) — the B side, which A's stack does not own.
+  auto bogus = std::make_shared<TcpSegment>();
+  bogus->conn_id = 1;
+  bogus->from_a = true;
+  Packet packet;
+  packet.id = 4;
+  packet.wire_bytes = kWireHeaderBytes;
+  packet.payload = bogus;
+  topo.client_host().nic().DeliverPacket(std::move(packet));
+  topo.sim().RunFor(Duration::Millis(1));
+  EXPECT_EQ(topo.client_stack().unknown_segments(), 1u);
+}
+
+}  // namespace
+}  // namespace e2e

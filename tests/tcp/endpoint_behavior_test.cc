@@ -1,0 +1,206 @@
+// Second batch of endpoint behavior tests: the classic Nagle/delayed-ack
+// interaction, configuration variations, unit accounting, and buffer
+// backpressure callbacks.
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+MessageRecord Rec(uint64_t id) {
+  MessageRecord record;
+  record.id = id;
+  return record;
+}
+
+TcpConfig Cfg(bool nodelay) {
+  TcpConfig config;
+  config.nodelay = nodelay;
+  config.e2e_exchange_interval = Duration::Zero();
+  return config;
+}
+
+// The famous pathology (paper §2, citing Cheshire): a sender performing
+// write-write with no reverse data stalls for a full delayed-ack timeout —
+// the second small write waits for the ack of the first, and the receiver
+// is holding that ack for 40 ms hoping to piggyback it.
+TEST(NagleDelackInteraction, WriteWriteStallsForTheDelackTimeout) {
+  TcpConfig sender = Cfg(/*nodelay=*/false);
+  sender.nagle_timeout = Duration::Seconds(10);  // Out of the picture.
+  TcpConfig receiver = Cfg(true);
+  receiver.delack_timeout = Duration::Millis(40);
+  TwoHostTopology topo;
+  ConnectedPair conn = topo.Connect(1, sender, receiver);
+
+  TimePoint second_arrival;
+  conn.b->SetReadableCallback([&] {
+    if (conn.b->ReadableBytes() >= 200) {
+      second_arrival = topo.sim().Now();
+    }
+  });
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    conn.a->Send(100, Rec(1));
+    conn.a->Send(100, Rec(2));  // Held by Nagle until #1 is acked.
+  });
+  topo.sim().RunFor(Duration::Millis(100));
+  // The second write lands only after the receiver's 40 ms delack fires.
+  EXPECT_GT(second_arrival, TimePoint::FromNanos(39000000));
+  EXPECT_LT(second_arrival, TimePoint::FromNanos(45000000));
+  // At least the stall-causing delack fired (the second write's own ack
+  // may add another cycle within the run window).
+  EXPECT_GE(conn.b->stats().delack_timer_fires, 1u);
+}
+
+// With TCP_NODELAY the same pattern completes in microseconds — the fix
+// every "it's always TCP_NODELAY" article recommends.
+TEST(NagleDelackInteraction, NodelayAvoidsTheStall) {
+  TcpConfig sender = Cfg(/*nodelay=*/true);
+  TwoHostTopology topo;
+  ConnectedPair conn = topo.Connect(1, sender, Cfg(true));
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    conn.a->Send(100, Rec(1));
+    conn.a->Send(100, Rec(2));
+  });
+  topo.sim().RunFor(Duration::Millis(1));
+  EXPECT_EQ(conn.b->ReadableBytes(), 200u);
+}
+
+TEST(DelackConfig, SegmentThresholdIsConfigurable) {
+  TcpConfig receiver = Cfg(true);
+  receiver.delack_segments = 4;  // Ack only every 4th MSS.
+  TcpConfig sender = Cfg(true);
+  sender.cc.enabled = false;
+  TwoHostTopology topo;
+  ConnectedPair conn = topo.Connect(1, sender, receiver);
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    conn.a->Send(3 * 1448, Rec(1));  // Below the 4-MSS threshold.
+  });
+  topo.sim().RunFor(Duration::Millis(10));
+  EXPECT_EQ(conn.b->stats().pure_acks_sent, 0u);  // Still delayed.
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    conn.a->Send(1448, Rec(2));  // Crosses the threshold.
+  });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(conn.b->stats().pure_acks_sent, 1u);
+}
+
+TEST(ExchangeConfig, ZeroIntervalDisablesTheExchangeEntirely) {
+  TwoHostTopology topo;
+  ConnectedPair conn = topo.Connect(1, Cfg(true), Cfg(true));
+  for (int i = 0; i < 50; ++i) {
+    topo.sim().Schedule(Duration::Micros(100 * i), [&, i] {
+      topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                                [&, i] { conn.a->Send(100, Rec(i)); });
+    });
+  }
+  topo.sim().RunFor(Duration::Millis(100));
+  EXPECT_EQ(conn.a->stats().exchanges_sent, 0u);
+  EXPECT_EQ(conn.b->stats().exchanges_received, 0u);
+  EXPECT_FALSE(conn.b->estimator().has_estimate());
+}
+
+TEST(UnitAccounting, PacketUnitsCountMssGridCrossings) {
+  TcpConfig config = Cfg(true);
+  config.cc.enabled = false;
+  TwoHostTopology topo;
+  ConnectedPair conn = topo.Connect(1, config, Cfg(true));
+  // 10 x 1448 bytes = exactly 10 MSS-grid crossings on the send stream.
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    conn.a->Send(10 * 1448, Rec(1));
+  });
+  topo.sim().RunFor(Duration::Millis(60));
+  EXPECT_EQ(conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kPackets).total(), 10);
+  EXPECT_EQ(conn.b->queues().Get(QueueKind::kAckDelay, UnitMode::kPackets).total(), 10);
+  // Sub-MSS messages contribute zero packet units until a crossing
+  // accumulates — the packet-mode semantic gap.
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    conn.a->Send(100, Rec(2));
+  });
+  topo.sim().RunFor(Duration::Millis(60));
+  EXPECT_EQ(conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kPackets).total(), 10);
+}
+
+TEST(SendBuffer, FullBufferFailsAndWritableCallbackFires) {
+  TcpConfig config = Cfg(true);
+  config.sndbuf_bytes = 10000;
+  TcpConfig peer = Cfg(true);
+  peer.rcvbuf_bytes = 4000;  // Backpressure: the peer never reads.
+  TwoHostTopology topo;
+  ConnectedPair conn = topo.Connect(1, config, peer);
+
+  int writable_calls = 0;
+  conn.a->SetWritableCallback([&] { ++writable_calls; });
+
+  bool first = false;
+  bool second = false;
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    first = conn.a->Send(9000, Rec(1));
+    second = conn.a->Send(9000, Rec(2));  // Exceeds sndbuf: rejected.
+  });
+  topo.sim().RunFor(Duration::Millis(10));
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+  EXPECT_EQ(conn.a->stats().send_buffer_full, 1u);
+  // Note: writable may already have fired — the peer's *kernel* buffer
+  // accepts (and acks) up to its 4000-byte window without the app reading,
+  // and acked bytes leave the send buffer.
+
+  // Drain the peer; acks free send-buffer space; writable fires.
+  for (int i = 0; i < 20; ++i) {
+    topo.sim().Schedule(Duration::Millis(1) * (i + 1), [&] {
+      topo.server_host().app_core().SubmitFixed(Duration::Nanos(200), [&] { conn.b->Recv(); });
+    });
+  }
+  topo.sim().RunFor(Duration::Millis(100));
+  EXPECT_GT(writable_calls, 0);
+  EXPECT_GT(conn.a->SendBufferAvailable(), 0u);
+}
+
+TEST(NicBackpressure, TinyTxRingStillDeliversEverything) {
+  TopologyConfig topo_config;
+  topo_config.client_nic.tx_ring_size = 2;
+  topo_config.link.bandwidth_bps = 1e9;  // Slow enough for the ring to fill.
+  TwoHostTopology topo(topo_config);
+  TcpConfig config = Cfg(true);
+  config.cc.enabled = false;
+  ConnectedPair conn = topo.Connect(1, config, Cfg(true));
+  for (int i = 0; i < 30; ++i) {
+    topo.sim().Schedule(Duration::Micros(10 * i), [&, i] {
+      topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                                [&, i] { conn.a->Send(1448, Rec(i)); });
+    });
+  }
+  // Ring-full drops are recovered by retransmission, one RTO-paced hole at
+  // a time (~200 ms each); give the tail time to drain.
+  topo.sim().RunFor(Duration::Seconds(8));
+  EXPECT_EQ(conn.b->Recv().messages.size(), 30u);
+  EXPECT_GT(conn.a->stats().retransmits, 0u);
+}
+
+TEST(RecvGranularity, ChunkedRecvPreservesOrderAndBytes) {
+  TwoHostTopology topo;
+  ConnectedPair conn = topo.Connect(1, Cfg(true), Cfg(true));
+  for (int i = 0; i < 10; ++i) {
+    topo.sim().Schedule(Duration::Micros(50 * i), [&, i] {
+      topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                                [&, i] { conn.a->Send(700, Rec(i)); });
+    });
+  }
+  topo.sim().RunFor(Duration::Millis(10));
+  uint64_t bytes = 0;
+  uint64_t next_id = 0;
+  while (conn.b->ReadableBytes() > 0) {
+    auto result = conn.b->Recv(300);  // Awkward chunk: splits messages.
+    bytes += result.bytes;
+    for (const MessageRecord& record : result.messages) {
+      EXPECT_EQ(record.id, next_id++);
+    }
+  }
+  EXPECT_EQ(bytes, 7000u);
+  EXPECT_EQ(next_id, 10u);
+}
+
+}  // namespace
+}  // namespace e2e

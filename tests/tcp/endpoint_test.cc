@@ -1,0 +1,327 @@
+// Behavior tests for the TCP endpoint over the full simulated path:
+// Nagle/cork decisions, delayed acks and piggybacking, flow control, TSO,
+// retransmission, queue instrumentation, and the metadata exchange.
+
+#include "src/tcp/endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+MessageRecord Rec(uint64_t id) {
+  MessageRecord record;
+  record.id = id;
+  return record;
+}
+
+struct Fixture {
+  explicit Fixture(const TcpConfig& config_a, const TcpConfig& config_b,
+                   const TopologyConfig& topo_config = TopologyConfig{})
+      : topo(topo_config), conn(topo.Connect(1, config_a, config_b)) {}
+
+  // Issues `n` small sends from A, `gap` apart, starting at `start`.
+  void SendSmallBurst(int n, uint64_t bytes, Duration gap,
+                      Duration start = Duration::Micros(1)) {
+    for (int i = 0; i < n; ++i) {
+      topo.sim().Schedule(start + gap * i, [this, bytes, i] {
+        topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                                  [this, bytes, i] { conn.a->Send(bytes, Rec(i)); });
+      });
+    }
+  }
+
+  TwoHostTopology topo;
+  ConnectedPair conn;
+};
+
+TcpConfig Cfg(bool nodelay) {
+  TcpConfig config;
+  config.nodelay = nodelay;
+  config.e2e_exchange_interval = Duration::Zero();  // Isolate behaviors.
+  return config;
+}
+
+TEST(NagleTest, HoldsSmallSegmentsWhileDataInFlight) {
+  Fixture f(Cfg(/*nodelay=*/false), Cfg(true));
+  // 10 small sends back-to-back: the first goes out alone; the rest must
+  // coalesce into few segments released by returning acks.
+  f.SendSmallBurst(10, 50, Duration::Micros(1));
+  f.topo.sim().RunFor(Duration::Millis(300));
+  EXPECT_EQ(f.conn.b->Recv().messages.size(), 10u);
+  EXPECT_GT(f.conn.a->stats().nagle_holds, 0u);
+  EXPECT_LT(f.conn.a->stats().data_segments_sent, 6u);
+}
+
+TEST(NagleTest, NodelaySendsEachWriteImmediately) {
+  Fixture f(Cfg(/*nodelay=*/true), Cfg(true));
+  f.SendSmallBurst(10, 50, Duration::Micros(5));
+  f.topo.sim().RunFor(Duration::Millis(50));
+  EXPECT_EQ(f.conn.b->Recv().messages.size(), 10u);
+  EXPECT_EQ(f.conn.a->stats().data_segments_sent, 10u);
+  EXPECT_EQ(f.conn.a->stats().nagle_holds, 0u);
+}
+
+TEST(NagleTest, FullMssSegmentsAreNeverHeld) {
+  TcpConfig config = Cfg(false);
+  Fixture f(config, Cfg(true));
+  // Two back-to-back MSS-sized writes: both go out despite in-flight data.
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    f.conn.a->Send(config.mss, Rec(1));
+    f.conn.a->Send(config.mss, Rec(2));
+  });
+  f.topo.sim().RunFor(Duration::Millis(1));
+  EXPECT_EQ(f.conn.b->ReadableBytes(), 2u * config.mss);
+  EXPECT_EQ(f.conn.a->stats().nagle_holds, 0u);
+}
+
+TEST(NagleTest, SafetyTimerForcesHeldData) {
+  TcpConfig config = Cfg(false);
+  config.nagle_timeout = Duration::Millis(5);
+  // Peer never acks fast: disable its delayed-ack path entirely by using a
+  // huge delack threshold... instead simply verify the timer stat fires when
+  // holds happen under a quiet peer (no reverse traffic, delack 40 ms).
+  TcpConfig peer = Cfg(true);
+  peer.delack_timeout = Duration::Millis(100);
+  Fixture f(config, peer);
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    f.conn.a->Send(50, Rec(1));
+    f.conn.a->Send(50, Rec(2));  // Held: first send unacked for 100 ms.
+  });
+  f.topo.sim().RunFor(Duration::Millis(20));
+  EXPECT_EQ(f.conn.b->ReadableBytes(), 100u);  // Timer pushed it at ~5 ms.
+  EXPECT_GE(f.conn.a->stats().nagle_timer_fires, 1u);
+}
+
+TEST(NagleTest, CorkLimitZeroBehavesLikeNodelay) {
+  TcpConfig config = Cfg(false);
+  Fixture f(config, Cfg(true));
+  f.conn.a->SetCorkLimit(0);
+  f.SendSmallBurst(8, 50, Duration::Micros(5));
+  f.topo.sim().RunFor(Duration::Millis(50));
+  EXPECT_EQ(f.conn.a->stats().data_segments_sent, 8u);
+  EXPECT_EQ(f.conn.a->stats().nagle_holds, 0u);
+}
+
+TEST(NagleTest, TogglingNodelayFlushesHeldData) {
+  TcpConfig peer = Cfg(true);
+  peer.delack_timeout = Duration::Millis(200);
+  Fixture f(Cfg(false), peer);
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    f.conn.a->Send(50, Rec(1));
+    f.conn.a->Send(50, Rec(2));  // Held.
+  });
+  f.topo.sim().RunFor(Duration::Millis(2));
+  EXPECT_EQ(f.conn.b->ReadableBytes(), 50u);  // Second write held.
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                              [&] { f.conn.a->SetNoDelay(true); });
+  f.topo.sim().RunFor(Duration::Millis(2));
+  EXPECT_EQ(f.conn.b->ReadableBytes(), 100u);
+}
+
+TEST(DelayedAckTest, LoneSmallSegmentIsAckedByTimer) {
+  TcpConfig config = Cfg(true);
+  TcpConfig peer = Cfg(true);
+  peer.delack_timeout = Duration::Millis(40);
+  Fixture f(config, peer);
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                              [&] { f.conn.a->Send(100, Rec(1)); });
+  f.topo.sim().RunFor(Duration::Millis(30));
+  EXPECT_EQ(f.conn.b->stats().pure_acks_sent, 0u);  // Still delayed.
+  f.topo.sim().RunFor(Duration::Millis(20));
+  EXPECT_EQ(f.conn.b->stats().pure_acks_sent, 1u);  // Timer fired at ~40 ms.
+  EXPECT_EQ(f.conn.b->stats().delack_timer_fires, 1u);
+}
+
+TEST(DelayedAckTest, TwoMssTriggersImmediateAck) {
+  TcpConfig config = Cfg(true);
+  Fixture f(config, Cfg(true));
+  f.topo.client_host().app_core().SubmitFixed(
+      Duration::Nanos(100), [&] { f.conn.a->Send(2 * config.mss, Rec(1)); });
+  f.topo.sim().RunFor(Duration::Millis(1));
+  EXPECT_GE(f.conn.b->stats().pure_acks_sent, 1u);
+  EXPECT_EQ(f.conn.b->stats().delack_timer_fires, 0u);
+}
+
+TEST(DelayedAckTest, ReverseDataPiggybacksTheAck) {
+  Fixture f(Cfg(true), Cfg(true));
+  // B has data to send shortly after receiving A's segment: its ack must
+  // ride the data segment, not a pure ack.
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                              [&] { f.conn.a->Send(100, Rec(1)); });
+  f.topo.sim().Schedule(Duration::Micros(50), [&] {
+    f.topo.server_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                                [&] { f.conn.b->Send(100, Rec(2)); });
+  });
+  f.topo.sim().RunFor(Duration::Millis(100));
+  EXPECT_EQ(f.conn.b->stats().pure_acks_sent, 0u);
+  EXPECT_GE(f.conn.b->stats().acks_piggybacked, 1u);
+  // A's unacked queue must have drained through the piggybacked ack.
+  EXPECT_EQ(f.conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kBytes).size(), 0);
+}
+
+TEST(FlowControlTest, ZeroWindowBlocksAndWindowUpdateResumes) {
+  TcpConfig config = Cfg(true);
+  TcpConfig peer = Cfg(true);
+  peer.rcvbuf_bytes = 4000;  // Tiny receive buffer.
+  Fixture f(config, peer);
+  // 20 KB send while the receiver never reads: only ~4000B may be in flight.
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                              [&] { f.conn.a->Send(20000, Rec(1)); });
+  f.topo.sim().RunFor(Duration::Millis(100));
+  EXPECT_LE(f.conn.b->ReadableBytes(), 4000u);
+  EXPECT_GT(f.conn.b->ReadableBytes(), 0u);
+
+  // Drain the receiver in app context; window updates let the rest flow.
+  uint64_t total = 0;
+  for (int i = 0; i < 40; ++i) {
+    f.topo.sim().Schedule(Duration::Millis(1) * i, [&] {
+      f.topo.server_host().app_core().SubmitFixed(Duration::Nanos(200), [&] {
+        total += f.conn.b->Recv().bytes;
+      });
+    });
+  }
+  f.topo.sim().RunFor(Duration::Millis(200));
+  total += f.conn.b->Recv().bytes;
+  EXPECT_EQ(total, 20000u);
+}
+
+TEST(TsoTest, SuperSegmentUsesOneStackPassManyWirePackets) {
+  TcpConfig config = Cfg(true);
+  config.tso = true;
+  config.tso_max_bytes = 65536;
+  config.cc.enabled = false;  // Window-unlimited: isolate TSO segmentation.
+  Fixture f(config, Cfg(true));
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                              [&] { f.conn.a->Send(20000, Rec(1)); });
+  f.topo.sim().RunFor(Duration::Millis(5));
+  const TcpEndpoint::Stats& stats = f.conn.a->stats();
+  EXPECT_EQ(stats.data_segments_sent, 1u);  // One TSO super-segment.
+  EXPECT_EQ(stats.wire_packets_sent, (20000 + config.mss - 1) / config.mss);
+  EXPECT_EQ(f.conn.b->ReadableBytes(), 20000u);
+}
+
+TEST(TsoTest, DisabledTsoEmitsPerMssSegments) {
+  TcpConfig config = Cfg(true);
+  config.tso = false;
+  Fixture f(config, Cfg(true));
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                              [&] { f.conn.a->Send(20000, Rec(1)); });
+  f.topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(f.conn.a->stats().data_segments_sent,
+            (20000 + config.mss - 1) / config.mss);
+  EXPECT_EQ(f.conn.b->ReadableBytes(), 20000u);
+}
+
+TEST(AutocorkTest, HoldsWhileTxRingBusyAndFlushesOnCompletion) {
+  TcpConfig config = Cfg(true);
+  config.autocork = true;
+  // Slow the link so TX completions lag and auto-corking engages.
+  TopologyConfig topo_config;
+  topo_config.link.bandwidth_bps = 50e6;  // 1000B takes 160 us.
+  Fixture f(config, Cfg(true), topo_config);
+  f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    f.conn.a->Send(1000, Rec(1));
+    f.conn.a->Send(60, Rec(2));  // TX of #1 not complete: held by autocork.
+    f.conn.a->Send(60, Rec(3));
+  });
+  f.topo.sim().RunFor(Duration::Millis(50));
+  EXPECT_GT(f.conn.a->stats().autocork_holds, 0u);
+  // The two held writes flush together after the completion: 2 segments.
+  EXPECT_EQ(f.conn.a->stats().data_segments_sent, 2u);
+  EXPECT_EQ(f.conn.b->Recv().messages.size(), 3u);
+}
+
+TEST(InstrumentationTest, QueuesDrainToZeroInAllModesAfterQuiescence) {
+  Fixture f(Cfg(true), Cfg(true));
+  f.SendSmallBurst(20, 500, Duration::Micros(20));
+  f.topo.sim().RunFor(Duration::Millis(200));
+  f.conn.b->Recv();
+  f.topo.sim().RunFor(Duration::Millis(200));  // Let acks settle.
+  for (UnitMode mode : kKernelUnitModes) {
+    for (QueueKind kind : kAllQueueKinds) {
+      EXPECT_EQ(f.conn.a->queues().Get(kind, mode).size(), 0)
+          << UnitModeName(mode) << "/" << QueueKindName(kind) << " on A";
+      EXPECT_EQ(f.conn.b->queues().Get(kind, mode).size(), 0)
+          << UnitModeName(mode) << "/" << QueueKindName(kind) << " on B";
+    }
+  }
+  // Totals: 20 messages of 500B each flowed A->B.
+  EXPECT_EQ(f.conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kBytes).total(), 20 * 500);
+  EXPECT_EQ(f.conn.a->queues().Get(QueueKind::kUnacked, UnitMode::kSyscalls).total(), 20);
+  EXPECT_EQ(f.conn.b->queues().Get(QueueKind::kUnread, UnitMode::kBytes).total(), 20 * 500);
+  EXPECT_EQ(f.conn.b->queues().Get(QueueKind::kUnread, UnitMode::kSyscalls).total(), 20);
+  EXPECT_EQ(f.conn.b->queues().Get(QueueKind::kAckDelay, UnitMode::kSyscalls).total(), 20);
+}
+
+TEST(RetransmitTest, LossyLinkDeliversEverythingExactlyOnce) {
+  TcpConfig config = Cfg(true);
+  config.rtt.min_rto = Duration::Millis(5);
+  config.rtt.initial_rto = Duration::Millis(20);
+  TopologyConfig topo_config;
+  topo_config.link.loss_probability = 0.05;
+  Fixture f(config, Cfg(true), topo_config);
+  f.SendSmallBurst(200, 800, Duration::Micros(50));
+  f.topo.sim().RunFor(Duration::Seconds(2));
+  auto received = f.conn.b->Recv();
+  EXPECT_EQ(received.messages.size(), 200u);
+  EXPECT_EQ(received.bytes, 200u * 800u);
+  for (size_t i = 0; i < received.messages.size(); ++i) {
+    EXPECT_EQ(received.messages[i].id, i);  // In order, exactly once.
+  }
+  EXPECT_GT(f.conn.a->stats().retransmits, 0u);
+  EXPECT_GT(f.conn.b->stats().ooo_segments, 0u);
+}
+
+TEST(RttTest, SamplesApproximateActualRoundTrip) {
+  Fixture f(Cfg(true), Cfg(true));
+  f.SendSmallBurst(50, 2 * 1448, Duration::Micros(500));
+  f.topo.sim().RunFor(Duration::Millis(100));
+  ASSERT_GT(f.conn.a->rtt().samples(), 10);
+  // Propagation is 3 us each way plus serialization/processing: single-digit
+  // microseconds, far below the delayed-ack timer (2 MSS -> immediate acks).
+  EXPECT_LT(f.conn.a->rtt().srtt()->ToMicros(), 50.0);
+  EXPECT_GT(f.conn.a->rtt().srtt()->ToMicros(), 5.0);
+}
+
+TEST(ExchangeTest, MetadataFlowsAtConfiguredInterval) {
+  TcpConfig config = Cfg(true);
+  config.e2e_exchange_interval = Duration::Millis(2);
+  TcpConfig peer = Cfg(true);
+  peer.e2e_exchange_interval = Duration::Millis(2);
+  Fixture f(config, peer);
+  f.SendSmallBurst(500, 200, Duration::Micros(100));  // 50 ms of traffic.
+  f.topo.sim().RunFor(Duration::Millis(60));
+  // ~30 exchange opportunities; piggybacked on data from A, pure-ack
+  // fallback from B. Both direction counts should be in the ballpark.
+  EXPECT_NEAR(static_cast<double>(f.conn.a->stats().exchanges_sent), 30.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(f.conn.b->stats().exchanges_received), 30.0, 8.0);
+  EXPECT_GT(f.conn.b->stats().exchanges_sent, 10u);
+}
+
+TEST(ExchangeTest, EstimatorConvergesOnLiveConnection) {
+  TcpConfig config = Cfg(true);
+  config.e2e_exchange_interval = Duration::Millis(1);
+  TcpConfig peer = config;
+  Fixture f(config, peer);
+  // Server drains continuously so unread delays stay small.
+  f.conn.b->SetReadableCallback([&] {
+    f.topo.server_host().app_core().SubmitFixed(Duration::Micros(1), [&] { f.conn.b->Recv(); });
+  });
+  f.SendSmallBurst(2000, 1000, Duration::Micros(25));
+  f.topo.sim().RunFor(Duration::Millis(40));
+  ASSERT_TRUE(f.conn.a->estimator().has_estimate() ||
+              f.conn.a->estimator().last_valid_estimate().has_value());
+  const E2eEstimate est = f.conn.a->estimator().last_valid_estimate().value();
+  // One-way stack latency is single-digit us; estimates must be sane (>0,
+  // well under a millisecond).
+  EXPECT_GT(est.latency->ToMicros(), 0.5);
+  EXPECT_LT(est.latency->ToMicros(), 1000.0);
+  // A sends ~40k msg/s of 1000B; its unacked throughput is in bytes/s.
+  EXPECT_NEAR(est.a_send_throughput, 40e6, 15e6);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,83 @@
+#include "src/tcp/rtt.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+RttEstimator::Config WideConfig() {
+  RttEstimator::Config config;
+  config.min_rto = Duration::Micros(1);
+  config.max_rto = Duration::Seconds(60);
+  return config;
+}
+
+TEST(RttEstimatorTest, FirstSampleInitializesPerRfc6298) {
+  RttEstimator rtt(WideConfig());
+  EXPECT_FALSE(rtt.srtt().has_value());
+  rtt.AddSample(Duration::Millis(100));
+  ASSERT_TRUE(rtt.srtt().has_value());
+  EXPECT_EQ(*rtt.srtt(), Duration::Millis(100));
+  EXPECT_EQ(rtt.rttvar(), Duration::Millis(50));
+  // RTO = SRTT + 4 * RTTVAR = 300 ms.
+  EXPECT_EQ(rtt.rto(), Duration::Millis(300));
+}
+
+TEST(RttEstimatorTest, SmoothingUsesSevenEighthsOneEighth) {
+  RttEstimator rtt(WideConfig());
+  rtt.AddSample(Duration::Millis(80));
+  rtt.AddSample(Duration::Millis(160));
+  // SRTT = 7/8*80 + 1/8*160 = 90 ms.
+  // RTTVAR = 3/4*40 + 1/4*|80-160| = 3/4*40... initial RTTVAR is 80/2 = 40:
+  // RTTVAR = 3/4*40 + 1/4*80 = 50 ms.
+  EXPECT_EQ(*rtt.srtt(), Duration::Millis(90));
+  EXPECT_EQ(rtt.rttvar(), Duration::Millis(50));
+}
+
+TEST(RttEstimatorTest, ConvergesOnSteadySamples) {
+  RttEstimator rtt(WideConfig());
+  for (int i = 0; i < 200; ++i) {
+    rtt.AddSample(Duration::Micros(500));
+  }
+  EXPECT_NEAR(rtt.srtt()->ToMicros(), 500, 1);
+  EXPECT_LT(rtt.rttvar(), Duration::Micros(5));
+  // With near-zero variance the RTO floors at SRTT + a minimum variance term.
+  EXPECT_GE(rtt.rto(), Duration::Micros(500));
+  EXPECT_LE(rtt.rto(), Duration::Millis(2));
+}
+
+TEST(RttEstimatorTest, RtoClampsToConfiguredBounds) {
+  RttEstimator::Config config;
+  config.min_rto = Duration::Millis(200);
+  config.max_rto = Duration::Seconds(1);
+  RttEstimator rtt(config);
+  rtt.AddSample(Duration::Micros(10));  // Tiny RTT.
+  EXPECT_EQ(rtt.rto(), Duration::Millis(200));
+  for (int i = 0; i < 10; ++i) {
+    rtt.AddSample(Duration::Seconds(30));  // Huge RTT.
+  }
+  EXPECT_EQ(rtt.rto(), Duration::Seconds(1));
+}
+
+TEST(RttEstimatorTest, BackoffDoublesUpToMax) {
+  RttEstimator::Config config;
+  config.initial_rto = Duration::Millis(100);
+  config.max_rto = Duration::Millis(350);
+  RttEstimator rtt(config);
+  rtt.Backoff();
+  EXPECT_EQ(rtt.rto(), Duration::Millis(200));
+  rtt.Backoff();
+  EXPECT_EQ(rtt.rto(), Duration::Millis(350));  // Clamped.
+  rtt.Backoff();
+  EXPECT_EQ(rtt.rto(), Duration::Millis(350));
+}
+
+TEST(RttEstimatorTest, CountsSamples) {
+  RttEstimator rtt;
+  rtt.AddSample(Duration::Millis(1));
+  rtt.AddSample(Duration::Millis(2));
+  EXPECT_EQ(rtt.samples(), 2);
+}
+
+}  // namespace
+}  // namespace e2e

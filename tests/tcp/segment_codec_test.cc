@@ -1,0 +1,133 @@
+#include "src/tcp/segment_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TcpSegment SampleSegment(bool with_option, bool with_hint) {
+  TcpSegment seg;
+  seg.conn_id = 42;
+  seg.from_a = true;
+  seg.seq = 0xDEADBEEF;
+  seg.ack = 0x12345678;
+  seg.len = 1448;
+  seg.flags = kFlagAck | kFlagPsh;
+  seg.window = 65000;
+  if (with_option) {
+    WirePayload payload;
+    payload.mode = UnitMode::kBytes;
+    payload.unacked = {1, 2, 3};
+    payload.unread = {4, 5, 6};
+    payload.ackdelay = {7, 8, 9};
+    if (with_hint) {
+      payload.hint = WireCounters{10, 11, 12};
+    }
+    seg.e2e_option = payload;
+  }
+  return seg;
+}
+
+TEST(SegmentCodecTest, PlainHeaderIs20Bytes) {
+  const auto encoded = EncodeSegmentHeader(SampleSegment(false, false));
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(encoded->header.size(), kTcpBaseHeaderBytes);
+  EXPECT_EQ(encoded->payload_len, 1448u);
+}
+
+TEST(SegmentCodecTest, RoundTripsAllHeaderFields) {
+  const TcpSegment original = SampleSegment(true, false);
+  const auto encoded = EncodeSegmentHeader(original);
+  ASSERT_TRUE(encoded.has_value());
+  const auto decoded =
+      DecodeSegmentHeader(encoded->header.data(), encoded->header.size(), encoded->payload_len);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->conn_id, original.conn_id);
+  EXPECT_EQ(decoded->from_a, original.from_a);
+  EXPECT_EQ(decoded->seq, original.seq);
+  EXPECT_EQ(decoded->ack, original.ack);
+  EXPECT_EQ(decoded->flags, original.flags);
+  EXPECT_EQ(decoded->window, original.window);
+  EXPECT_EQ(decoded->len, original.len);
+  ASSERT_TRUE(decoded->e2e_option.has_value());
+  EXPECT_EQ(*decoded->e2e_option, *original.e2e_option);
+}
+
+TEST(SegmentCodecTest, BaseExchangeFitsOptionSpaceExactly) {
+  // The paper's feasibility argument: 36 counter bytes + 2 header bytes +
+  // 2 TLV bytes == the TCP option-space maximum.
+  const TcpSegment seg = SampleSegment(true, false);
+  EXPECT_EQ(E2eOptionSize(*seg.e2e_option), kTcpMaxOptionBytes);
+  const auto encoded = EncodeSegmentHeader(seg);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(encoded->header.size(), kTcpBaseHeaderBytes + kTcpMaxOptionBytes);  // 60 = max.
+}
+
+TEST(SegmentCodecTest, HintPayloadExceedsStandardOptionSpace) {
+  const TcpSegment seg = SampleSegment(true, true);
+  EXPECT_GT(E2eOptionSize(*seg.e2e_option), kTcpMaxOptionBytes);
+  EXPECT_FALSE(EncodeSegmentHeader(seg).has_value());
+  // The experimental/oversize mode still encodes and round-trips.
+  const auto oversize = EncodeSegmentHeader(seg, /*allow_oversize=*/true);
+  ASSERT_TRUE(oversize.has_value());
+  const auto decoded =
+      DecodeSegmentHeader(oversize->header.data(), oversize->header.size(), seg.len);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->e2e_option.has_value());
+  EXPECT_EQ(decoded->e2e_option->hint, seg.e2e_option->hint);
+}
+
+TEST(SegmentCodecTest, OptionsArePaddedToWordBoundary) {
+  TcpSegment seg = SampleSegment(true, false);
+  const auto encoded = EncodeSegmentHeader(seg);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(encoded->header.size() % 4, 0u);
+  // Data offset nibble reflects the padded length.
+  EXPECT_EQ(static_cast<size_t>(encoded->header[12] >> 4) * 4, encoded->header.size());
+}
+
+TEST(SegmentCodecTest, DecodeRejectsTruncatedAndMalformed) {
+  const auto encoded = EncodeSegmentHeader(SampleSegment(true, false));
+  ASSERT_TRUE(encoded.has_value());
+  // Truncated base header.
+  EXPECT_FALSE(DecodeSegmentHeader(encoded->header.data(), 10, 0).has_value());
+  // Header claims more options than present.
+  std::vector<uint8_t> bad = encoded->header;
+  bad[12] = 0xF0;  // Data offset 60 bytes...
+  EXPECT_FALSE(DecodeSegmentHeader(bad.data(), 24, 0).has_value());
+  // Corrupt option length.
+  bad = encoded->header;
+  bad[kTcpBaseHeaderBytes + 1] = 1;  // TLV length < 2 is illegal.
+  EXPECT_FALSE(
+      DecodeSegmentHeader(bad.data(), bad.size(), 0).has_value());
+}
+
+TEST(SegmentCodecTest, DecodeSkipsNopOptions) {
+  // Hand-build a header with two NOPs before the e2e option.
+  const TcpSegment seg = SampleSegment(true, false);
+  auto encoded = EncodeSegmentHeader(seg, /*allow_oversize=*/true);
+  ASSERT_TRUE(encoded.has_value());
+  std::vector<uint8_t> hdr(encoded->header.begin(), encoded->header.begin() + 20);
+  hdr.push_back(1);  // NOP.
+  hdr.push_back(1);  // NOP.
+  hdr.insert(hdr.end(), encoded->header.begin() + 20, encoded->header.end());
+  hdr.push_back(0);
+  hdr.push_back(0);  // Re-pad to a word boundary.
+  hdr[12] = static_cast<uint8_t>((hdr.size() / 4) << 4);
+  const auto decoded = DecodeSegmentHeader(hdr.data(), hdr.size(), 0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->e2e_option.has_value());
+}
+
+TEST(SegmentCodecTest, BothDirectionsDistinguishedByPortBit) {
+  TcpSegment seg = SampleSegment(false, false);
+  seg.from_a = false;
+  const auto encoded = EncodeSegmentHeader(seg);
+  const auto decoded =
+      DecodeSegmentHeader(encoded->header.data(), encoded->header.size(), seg.len);
+  EXPECT_FALSE(decoded->from_a);
+  EXPECT_EQ(decoded->conn_id, 42u);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,60 @@
+#include "src/tcp/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace e2e {
+namespace {
+
+TEST(SequenceTest, WrapTruncates) {
+  EXPECT_EQ(WrapSeq(0), 0u);
+  EXPECT_EQ(WrapSeq(0xFFFFFFFFull), 0xFFFFFFFFu);
+  EXPECT_EQ(WrapSeq(0x100000000ull), 0u);
+  EXPECT_EQ(WrapSeq(0x100000005ull), 5u);
+}
+
+TEST(SequenceTest, UnwrapRecoversNearbyOffsets) {
+  EXPECT_EQ(UnwrapSeq(WrapSeq(1000), 990), 1000u);
+  EXPECT_EQ(UnwrapSeq(WrapSeq(1000), 1010), 1000u);
+  // Across the 2^32 boundary in both directions.
+  const uint64_t boundary = 0x100000000ull;
+  EXPECT_EQ(UnwrapSeq(WrapSeq(boundary + 5), boundary - 5), boundary + 5);
+  EXPECT_EQ(UnwrapSeq(WrapSeq(boundary - 5), boundary + 5), boundary - 5);
+}
+
+TEST(SequenceTest, UnwrapNeverGoesNegative) {
+  // Reference near zero, seq slightly "behind": the next congruent value.
+  EXPECT_EQ(UnwrapSeq(0xFFFFFFFFu, 0), 0xFFFFFFFFull);
+  EXPECT_EQ(UnwrapSeq(0xFFFFFFF0u, 5), 0xFFFFFFF0ull);
+}
+
+TEST(SequenceTest, BeforeAfterAreWrapAware) {
+  EXPECT_TRUE(SeqBefore(10, 20));
+  EXPECT_FALSE(SeqBefore(20, 10));
+  EXPECT_TRUE(SeqBefore(0xFFFFFFF0u, 5u));  // Wraps forward.
+  EXPECT_TRUE(SeqAfter(5u, 0xFFFFFFF0u));
+  EXPECT_TRUE(SeqBeforeEq(7u, 7u));
+  EXPECT_FALSE(SeqBefore(7u, 7u));
+}
+
+// Property: for any 64-bit offset and any reference within 2^31, unwrapping
+// the wrapped value recovers the original exactly.
+class UnwrapRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnwrapRoundTripTest, RoundTripsWithinHalfWindow) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t offset = rng.NextU64() >> 4;  // Leave headroom.
+    const int64_t skew = rng.UniformInt(-(int64_t{1} << 30), int64_t{1} << 30);
+    const uint64_t reference =
+        skew < 0 && offset < static_cast<uint64_t>(-skew) ? 0 : offset + skew;
+    EXPECT_EQ(UnwrapSeq(WrapSeq(offset), reference), offset)
+        << "offset=" << offset << " ref=" << reference;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnwrapRoundTripTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace e2e

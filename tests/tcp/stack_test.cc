@@ -1,0 +1,81 @@
+#include "src/tcp/stack.h"
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+MessageRecord Rec(uint64_t id) {
+  MessageRecord record;
+  record.id = id;
+  return record;
+}
+
+TEST(TcpStackTest, MultipleConnectionsDemultiplex) {
+  TwoHostTopology topo;
+  TcpConfig config;
+  config.nodelay = true;
+  ConnectedPair c1 = topo.Connect(1, config, config);
+  ConnectedPair c2 = topo.Connect(2, config, config);
+
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    c1.a->Send(111, Rec(1));
+    c2.a->Send(222, Rec(2));
+  });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(c1.b->ReadableBytes(), 111u);
+  EXPECT_EQ(c2.b->ReadableBytes(), 222u);
+  EXPECT_EQ(topo.server_stack().unknown_segments(), 0u);
+}
+
+TEST(TcpStackTest, GroCoalescesContiguousSlices) {
+  TwoHostTopology topo;
+  TcpConfig config;
+  config.nodelay = true;
+  config.tso = true;
+  ConnectedPair conn = topo.Connect(1, config, config);
+  // A 20 KB send slices into ~14 contiguous wire packets arriving
+  // back-to-back: GRO should merge most of their stack traversals.
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(20000, Rec(1)); });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(conn.b->ReadableBytes(), 20000u);
+  EXPECT_GT(topo.server_stack().gro_merged(), 5u);
+}
+
+TEST(TcpStackTest, GroDoesNotMergeAcrossConnections) {
+  TwoHostTopology topo;
+  TcpConfig config;
+  config.nodelay = true;
+  ConnectedPair c1 = topo.Connect(1, config, config);
+  ConnectedPair c2 = topo.Connect(2, config, config);
+  // Interleaved small sends from two connections: nothing contiguous.
+  for (int i = 0; i < 10; ++i) {
+    topo.sim().Schedule(Duration::Micros(2 * i), [&, i] {
+      topo.client_host().app_core().SubmitFixed(Duration::Nanos(50), [&, i] {
+        (i % 2 == 0 ? c1.a : c2.a)->Send(100, Rec(i));
+      });
+    });
+  }
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(topo.server_stack().gro_merged(), 0u);
+}
+
+TEST(TcpStackTest, GroDisabledPaysPerPacket) {
+  TopologyConfig topo_config;
+  topo_config.server_stack_costs.gro = false;
+  TwoHostTopology topo(topo_config);
+  TcpConfig config;
+  config.nodelay = true;
+  ConnectedPair conn = topo.Connect(1, config, config);
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(20000, Rec(1)); });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(conn.b->ReadableBytes(), 20000u);
+  EXPECT_EQ(topo.server_stack().gro_merged(), 0u);
+}
+
+}  // namespace
+}  // namespace e2e

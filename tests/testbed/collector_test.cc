@@ -1,0 +1,119 @@
+#include "src/testbed/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+MessageRecord Rec(uint64_t id) {
+  MessageRecord record;
+  record.id = id;
+  return record;
+}
+
+struct CollectorFixture {
+  CollectorFixture()
+      : conn([this] {
+          TcpConfig tcp;
+          tcp.nodelay = true;
+          return topo.Connect(1, tcp, tcp);
+        }()),
+        hints(topo.sim().Now()),
+        collector(&topo.sim(), conn.a, conn.b, &hints, Duration::Millis(1)) {}
+
+  TwoHostTopology topo;
+  ConnectedPair conn;
+  HintTracker hints;
+  CounterCollector collector;
+};
+
+TEST(CounterCollectorTest, SamplesAtConfiguredInterval) {
+  CollectorFixture f;
+  f.collector.Start(TimePoint::FromNanos(10500000));  // 10.5 ms.
+  f.topo.sim().RunFor(Duration::Millis(20));
+  // Samples at 0, 1, ..., 10 ms.
+  EXPECT_EQ(f.collector.samples().size(), 11u);
+  EXPECT_EQ(f.collector.samples()[3].time, TimePoint::FromNanos(3000000));
+}
+
+TEST(CounterCollectorTest, WindowEstimateSeesTraffic) {
+  CollectorFixture f;
+  f.collector.Start(TimePoint::FromNanos(50000000));
+  // Steady request stream with an echoing server.
+  f.conn.b->SetReadableCallback([&] {
+    f.topo.server_host().app_core().SubmitFixed(Duration::Micros(2), [&] {
+      auto in = f.conn.b->Recv();
+      for (auto& m : in.messages) {
+        f.conn.b->Send(10, Rec(m.id));
+      }
+    });
+  });
+  f.conn.a->SetReadableCallback([&] {
+    f.topo.client_host().app_core().SubmitFixed(Duration::Micros(1), [&] { f.conn.a->Recv(); });
+  });
+  for (int i = 0; i < 400; ++i) {
+    f.topo.sim().Schedule(Duration::Micros(100 * i), [&f, i] {
+      f.topo.client_host().app_core().SubmitFixed(Duration::Nanos(200),
+                                                  [&f, i] { f.conn.a->Send(500, Rec(i)); });
+    });
+  }
+  f.topo.sim().RunFor(Duration::Millis(50));
+  const E2eEstimate est = f.collector.EstimateWindow(
+      UnitMode::kBytes, TimePoint::FromNanos(5000000), TimePoint::FromNanos(40000000));
+  ASSERT_TRUE(est.valid());
+  EXPECT_GT(est.latency->ToMicros(), 1.0);
+  EXPECT_LT(est.latency->ToMicros(), 500.0);
+  // A sends 500 B every 100 us -> ~5 MB/s byte throughput.
+  EXPECT_NEAR(est.a_send_throughput, 5e6, 1e6);
+
+  // Syscall mode sees the same latency in message units.
+  const E2eEstimate syscalls = f.collector.EstimateWindow(
+      UnitMode::kSyscalls, TimePoint::FromNanos(5000000), TimePoint::FromNanos(40000000));
+  ASSERT_TRUE(syscalls.valid());
+  EXPECT_NEAR(syscalls.a_send_throughput, 10000, 2000);
+}
+
+TEST(CounterCollectorTest, EmptyWindowIsInvalid) {
+  CollectorFixture f;
+  f.collector.Start(TimePoint::FromNanos(5000000));
+  f.topo.sim().RunFor(Duration::Millis(10));
+  // Window beyond the sampled range.
+  const E2eEstimate est = f.collector.EstimateWindow(
+      UnitMode::kBytes, TimePoint::FromNanos(50000000), TimePoint::FromNanos(60000000));
+  EXPECT_FALSE(est.valid());
+  // Window narrower than one sampling interval.
+  const E2eEstimate narrow = f.collector.EstimateWindow(
+      UnitMode::kBytes, TimePoint::FromNanos(1200000), TimePoint::FromNanos(1800000));
+  EXPECT_FALSE(narrow.valid());
+}
+
+TEST(CounterCollectorTest, HintWindowAveragesHintQueue) {
+  CollectorFixture f;
+  f.collector.Start(TimePoint::FromNanos(20000000));
+  // create/complete pairs with 50 us residence, every 200 us.
+  for (int i = 0; i < 80; ++i) {
+    f.topo.sim().Schedule(Duration::Micros(200 * i),
+                          [&f] { f.hints.Create(f.topo.sim().Now()); });
+    f.topo.sim().Schedule(Duration::Micros(200 * i + 50),
+                          [&f] { f.hints.Complete(f.topo.sim().Now()); });
+  }
+  f.topo.sim().RunFor(Duration::Millis(20));
+  const QueueAverages avgs =
+      f.collector.HintWindow(TimePoint::FromNanos(1000000), TimePoint::FromNanos(15000000));
+  ASSERT_TRUE(avgs.delay.has_value());
+  EXPECT_NEAR(avgs.delay->ToMicros(), 50.0, 1.0);
+  EXPECT_NEAR(avgs.throughput, 5000.0, 300.0);
+}
+
+TEST(CounterCollectorTest, EstimateSeriesHasOneEntryPerIntervalPair) {
+  CollectorFixture f;
+  f.collector.Start(TimePoint::FromNanos(8000000));
+  f.topo.sim().RunFor(Duration::Millis(10));
+  const auto series = f.collector.EstimateSeries(UnitMode::kBytes);
+  EXPECT_EQ(series.size(), f.collector.samples().size() - 1);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,83 @@
+#include "src/testbed/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+RedisExperimentConfig SmokeConfig(BatchMode mode) {
+  RedisExperimentConfig config;
+  config.rate_rps = 25000;
+  config.batch_mode = mode;
+  config.warmup = Duration::Millis(50);
+  config.measure = Duration::Millis(150);
+  config.seed = 2;
+  return config;
+}
+
+TEST(ExperimentTest, BatchModeNames) {
+  EXPECT_STREQ(BatchModeName(BatchMode::kStaticOff), "nodelay");
+  EXPECT_STREQ(BatchModeName(BatchMode::kStaticOn), "nagle");
+  EXPECT_STREQ(BatchModeName(BatchMode::kDynamic), "dynamic");
+  EXPECT_STREQ(BatchModeName(BatchMode::kAimd), "aimd");
+}
+
+TEST(ExperimentTest, ResultFieldsArePopulatedAndConsistent) {
+  const RedisExperimentResult r = RunRedisExperiment(SmokeConfig(BatchMode::kStaticOff));
+  EXPECT_DOUBLE_EQ(r.offered_krps, 25.0);
+  EXPECT_NEAR(r.achieved_krps, 25.0, 3.0);
+  EXPECT_GT(r.requests_completed, 2000u);
+  EXPECT_GT(r.measured_p50_us, 0);
+  EXPECT_GE(r.measured_p99_us, r.measured_p50_us);
+  EXPECT_GT(r.server_wire_packets, r.server_data_segments / 2);
+  EXPECT_EQ(r.retransmits, 0u);  // Lossless link.
+  EXPECT_GT(r.exchanges, 50u);
+  EXPECT_NEAR(r.est_krps, 25.0, 3.0);  // Syscall-unit throughput = RPS.
+}
+
+TEST(ExperimentTest, EstimateForSelectsModes) {
+  const RedisExperimentResult r = RunRedisExperiment(SmokeConfig(BatchMode::kStaticOff));
+  EXPECT_EQ(r.EstimateFor(UnitMode::kBytes), r.est_bytes_us);
+  EXPECT_EQ(r.EstimateFor(UnitMode::kPackets), r.est_packets_us);
+  EXPECT_EQ(r.EstimateFor(UnitMode::kSyscalls), r.est_syscalls_us);
+  EXPECT_EQ(r.EstimateFor(UnitMode::kHints), r.est_hints_us);
+}
+
+TEST(ExperimentTest, NagleModeCoalescesResponses) {
+  const RedisExperimentResult off = RunRedisExperiment(SmokeConfig(BatchMode::kStaticOff));
+  const RedisExperimentResult on = RunRedisExperiment(SmokeConfig(BatchMode::kStaticOn));
+  EXPECT_NEAR(off.responses_per_packet, 1.0, 0.05);
+  EXPECT_GT(on.responses_per_packet, 1.2);
+  EXPECT_GT(on.server_nagle_holds, 0u);
+  EXPECT_EQ(off.server_nagle_holds, 0u);
+}
+
+TEST(ExperimentTest, SameSeedIsBitStable) {
+  const RedisExperimentResult a = RunRedisExperiment(SmokeConfig(BatchMode::kStaticOff));
+  const RedisExperimentResult b = RunRedisExperiment(SmokeConfig(BatchMode::kStaticOff));
+  EXPECT_DOUBLE_EQ(a.measured_mean_us, b.measured_mean_us);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.server_wire_packets, b.server_wire_packets);
+  EXPECT_EQ(a.est_bytes_us, b.est_bytes_us);
+}
+
+TEST(ExperimentTest, DifferentSeedsDifferButAgreeStatistically) {
+  RedisExperimentConfig config = SmokeConfig(BatchMode::kStaticOff);
+  const RedisExperimentResult a = RunRedisExperiment(config);
+  config.seed = 3;
+  const RedisExperimentResult b = RunRedisExperiment(config);
+  EXPECT_NE(a.measured_mean_us, b.measured_mean_us);
+  EXPECT_NEAR(a.measured_mean_us, b.measured_mean_us, a.measured_mean_us * 0.2);
+}
+
+TEST(ExperimentTest, ExchangeIntervalControlsExchangeCount) {
+  RedisExperimentConfig config = SmokeConfig(BatchMode::kStaticOff);
+  config.exchange_interval = Duration::Millis(10);
+  const RedisExperimentResult sparse = RunRedisExperiment(config);
+  config.exchange_interval = Duration::Millis(1);
+  const RedisExperimentResult dense = RunRedisExperiment(config);
+  EXPECT_GT(dense.exchanges, sparse.exchanges * 5);
+}
+
+}  // namespace
+}  // namespace e2e

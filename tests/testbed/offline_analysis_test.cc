@@ -1,0 +1,75 @@
+#include "src/testbed/offline_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+E2eEstimate Est(double latency_us, double tput = 1000) {
+  E2eEstimate est;
+  est.latency = Duration::MicrosF(latency_us);
+  est.a_send_throughput = tput;
+  return est;
+}
+
+EstimateSeries Series(std::initializer_list<double> latencies_us) {
+  EstimateSeries series;
+  int64_t t = 0;
+  for (double lat : latencies_us) {
+    t += 1000000;
+    series.emplace_back(TimePoint::FromNanos(t), lat > 0 ? Est(lat) : E2eEstimate{});
+  }
+  return series;
+}
+
+TEST(OfflineToggleTest, PicksTheBetterArmPerTick) {
+  MinLatencyPolicy policy;
+  // OFF better for 3 ticks, then ON better for 2.
+  const auto off = Series({50, 50, 50, 400, 400});
+  const auto on = Series({150, 150, 150, 100, 100});
+  const WouldBeToggleResult r = AnalyzeWouldBeToggle(off, on, policy);
+  EXPECT_EQ(r.ticks, 5u);
+  EXPECT_EQ(r.choose_on, 2u);
+  EXPECT_EQ(r.switches, 1u);
+  EXPECT_DOUBLE_EQ(r.mean_chosen_est_us, (50 + 50 + 50 + 100 + 100) / 5.0);
+  EXPECT_DOUBLE_EQ(r.mean_best_est_us, r.mean_chosen_est_us);  // MinLatency = best.
+}
+
+TEST(OfflineToggleTest, SkipsInvalidTicks) {
+  MinLatencyPolicy policy;
+  const auto off = Series({50, -1, 50});  // -1 encodes an invalid estimate.
+  const auto on = Series({150, 100, 150});
+  const WouldBeToggleResult r = AnalyzeWouldBeToggle(off, on, policy);
+  EXPECT_EQ(r.ticks, 2u);
+  EXPECT_EQ(r.choose_on, 0u);
+  EXPECT_EQ(r.switches, 0u);
+}
+
+TEST(OfflineToggleTest, MismatchedLengthsUseCommonPrefix) {
+  MinLatencyPolicy policy;
+  const auto off = Series({50, 50});
+  const auto on = Series({10, 10, 10, 10});
+  const WouldBeToggleResult r = AnalyzeWouldBeToggle(off, on, policy);
+  EXPECT_EQ(r.ticks, 2u);
+  EXPECT_EQ(r.choose_on, 2u);
+  EXPECT_EQ(r.OnFraction(), 1.0);
+}
+
+TEST(OfflineToggleTest, SloPolicyPrefersCompliantArm) {
+  SloThroughputPolicy policy(Duration::Micros(500));
+  const auto off = Series({5000, 5000});  // Violating.
+  const auto on = Series({400, 400});     // Compliant.
+  const WouldBeToggleResult r = AnalyzeWouldBeToggle(off, on, policy);
+  EXPECT_EQ(r.choose_on, 2u);
+}
+
+TEST(OfflineToggleTest, EmptySeriesYieldsZeroTicks) {
+  MinLatencyPolicy policy;
+  const WouldBeToggleResult r = AnalyzeWouldBeToggle({}, {}, policy);
+  EXPECT_EQ(r.ticks, 0u);
+  EXPECT_EQ(r.OnFraction(), 0.0);
+  EXPECT_EQ(r.mean_chosen_est_us, 0.0);
+}
+
+}  // namespace
+}  // namespace e2e

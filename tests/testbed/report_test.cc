@@ -1,0 +1,69 @@
+#include "src/testbed/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace e2e {
+namespace {
+
+TEST(TableTest, PadsColumnsToWidestCell) {
+  Table table({"a", "long_header"});
+  table.Row().Cell("wide-cell-content").Int(7);
+  char buf[4096] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
+  table.Print(mem);
+  std::fclose(mem);
+  const std::string out = buf;
+  // Header line padded to the data width.
+  EXPECT_NE(out.find("a                  long_header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell-content  7"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, NumUsesRequestedPrecision) {
+  Table table({"x"});
+  table.Row().Num(3.14159, 3);
+  char buf[1024] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
+  table.Print(mem);
+  std::fclose(mem);
+  EXPECT_NE(std::string(buf).find("3.142"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutputIsCommaSeparated) {
+  Table table({"a", "b"});
+  table.Row().Cell("x").Int(-5);
+  table.Row().Num(1.5, 1).Cell("y");
+  char buf[1024] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
+  table.PrintCsv(mem);
+  std::fclose(mem);
+  EXPECT_STREQ(buf, "a,b\nx,-5\n1.5,y\n");
+}
+
+TEST(TableTest, RowCountTracksRows) {
+  Table table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.Row().Cell("1");
+  table.Row().Cell("2");
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(ReportTest, FormatFactor) {
+  EXPECT_EQ(FormatFactor(1.934), "1.93x");
+  EXPECT_EQ(FormatFactor(0.5), "0.50x");
+}
+
+TEST(ReportTest, BannerContainsTitle) {
+  char buf[256] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
+  PrintBanner("Hello Figures", mem);
+  std::fclose(mem);
+  EXPECT_NE(std::string(buf).find("=== Hello Figures ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,60 @@
+#include "src/testbed/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TEST(TopologyTest, HostsAndCoresAreNamed) {
+  TwoHostTopology topo;
+  EXPECT_EQ(topo.client_host().name(), "client");
+  EXPECT_EQ(topo.server_host().name(), "server");
+  EXPECT_EQ(topo.client_host().app_core().name(), "client.app");
+  EXPECT_EQ(topo.server_host().softirq_core().name(), "server.softirq");
+}
+
+TEST(TopologyTest, LinksAreCrossWired) {
+  TwoHostTopology topo;
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+  // Traffic in both directions proves client tx -> server rx and back.
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    MessageRecord r;
+    conn.a->Send(10, std::move(r));
+  });
+  topo.server_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    MessageRecord r;
+    conn.b->Send(20, std::move(r));
+  });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(conn.b->ReadableBytes(), 10u);
+  EXPECT_EQ(conn.a->ReadableBytes(), 20u);
+}
+
+TEST(TopologyTest, ConnectSeedsPeerWindows) {
+  TwoHostTopology topo;
+  TcpConfig small;
+  small.nodelay = true;
+  small.rcvbuf_bytes = 5000;
+  TcpConfig big;
+  big.nodelay = true;
+  ConnectedPair conn = topo.Connect(1, big, small);
+  // A's first flight is limited by B's small receive buffer even before
+  // any ack (the topology seeded the window from B's config).
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100), [&] {
+    MessageRecord r;
+    conn.a->Send(50000, std::move(r));
+  });
+  topo.sim().RunUntil(TimePoint::FromNanos(3000));  // Before the first ack.
+  EXPECT_LE(conn.a->stats().bytes_sent, 5000u);
+}
+
+TEST(TopologyTest, DefaultLinkIsHundredGigabit) {
+  TopologyConfig config;
+  EXPECT_DOUBLE_EQ(config.link.bandwidth_bps, 100e9);
+  EXPECT_EQ(config.link.propagation, Duration::MicrosF(3.0));
+}
+
+}  // namespace
+}  // namespace e2e
