@@ -1,0 +1,65 @@
+#include "src/net/impair/loss_model.h"
+
+#include <cassert>
+
+namespace e2e {
+
+IidLossModel::IidLossModel(double probability) { set_probability(probability); }
+
+void IidLossModel::set_probability(double probability) {
+  assert(probability >= 0 && probability < 1);
+  probability_ = probability;
+}
+
+bool IidLossModel::ShouldDrop(Rng& rng) {
+  return probability_ > 0 && rng.Bernoulli(probability_);
+}
+
+double GilbertElliottConfig::StationaryBadProbability() const {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  if (denom <= 0) {
+    return 0.0;
+  }
+  return p_good_to_bad / denom;
+}
+
+double GilbertElliottConfig::StationaryLossRate() const {
+  const double pi_bad = StationaryBadProbability();
+  return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+}
+
+GilbertElliottConfig GilbertElliottConfig::FromBurstAndRate(double mean_burst_packets,
+                                                            double stationary_loss_rate) {
+  assert(mean_burst_packets >= 1.0);
+  assert(stationary_loss_rate >= 0 && stationary_loss_rate < 1);
+  GilbertElliottConfig config;
+  config.loss_good = 0.0;
+  config.loss_bad = 1.0;
+  config.p_bad_to_good = 1.0 / mean_burst_packets;
+  // pi_bad = p / (p + r) = rate  =>  p = rate * r / (1 - rate).
+  config.p_good_to_bad =
+      stationary_loss_rate * config.p_bad_to_good / (1.0 - stationary_loss_rate);
+  return config;
+}
+
+GilbertElliottModel::GilbertElliottModel(const GilbertElliottConfig& config) : config_(config) {
+  assert(config.p_good_to_bad >= 0 && config.p_good_to_bad <= 1);
+  assert(config.p_bad_to_good > 0 && config.p_bad_to_good <= 1);
+  assert(config.loss_good >= 0 && config.loss_good <= 1);
+  assert(config.loss_bad >= 0 && config.loss_bad <= 1);
+}
+
+bool GilbertElliottModel::ShouldDrop(Rng& rng) {
+  const double loss = bad_ ? config_.loss_bad : config_.loss_good;
+  // Always burn exactly two draws per packet (loss decision + transition) so
+  // the consumption pattern — and therefore every downstream decision — is
+  // independent of the state sequence. Deterministic replay depends on it.
+  const bool drop = rng.Bernoulli(loss);
+  const double transition = bad_ ? config_.p_bad_to_good : config_.p_good_to_bad;
+  if (rng.Bernoulli(transition)) {
+    bad_ = !bad_;
+  }
+  return drop;
+}
+
+}  // namespace e2e

@@ -1,0 +1,74 @@
+// Per-packet loss decision models.
+//
+// Both the plain link (`Link::Config::loss_probability`) and the impairment
+// stages draw their drop decisions from the models here, so there is exactly
+// one loss code path in the simulator. Models are pure decision functions
+// over an externally owned `Rng`: callers keep ownership of the generator so
+// the per-component seeding contract (deterministic replay) is preserved.
+
+#ifndef SRC_NET_IMPAIR_LOSS_MODEL_H_
+#define SRC_NET_IMPAIR_LOSS_MODEL_H_
+
+#include "src/sim/random.h"
+
+namespace e2e {
+
+// Independent (i.i.d.) Bernoulli loss. Draws from the rng only when the
+// probability is positive, so a lossless link consumes no random numbers —
+// identical traces with and without the loss feature compiled in.
+class IidLossModel {
+ public:
+  explicit IidLossModel(double probability = 0.0);
+
+  bool ShouldDrop(Rng& rng);
+
+  double probability() const { return probability_; }
+  void set_probability(double probability);
+
+ private:
+  double probability_ = 0.0;
+};
+
+// Two-state Markov (Gilbert-Elliott) bursty loss. Each packet is dropped
+// with the loss probability of the current state; the chain then transitions
+// with the configured per-packet probabilities. The classic Gilbert model is
+// loss_good = 0, loss_bad = 1.
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.0;  // Per-packet P(good -> bad).
+  double p_bad_to_good = 1.0;  // Per-packet P(bad -> good).
+  double loss_good = 0.0;      // Drop probability while in the good state.
+  double loss_bad = 1.0;       // Drop probability while in the bad state.
+
+  // Expected number of packets spent in the bad state per visit.
+  double MeanBurstPackets() const { return 1.0 / p_bad_to_good; }
+
+  // Stationary probability of being in the bad state: p / (p + r).
+  double StationaryBadProbability() const;
+
+  // Long-run fraction of packets dropped (the analytic target the empirical
+  // rate must converge to; checked by tests/net/impair_test.cc).
+  double StationaryLossRate() const;
+
+  // Builds a classic Gilbert config (loss_good=0, loss_bad=1) with the given
+  // mean burst length (>= 1 packet) and stationary loss rate (< 1).
+  static GilbertElliottConfig FromBurstAndRate(double mean_burst_packets,
+                                               double stationary_loss_rate);
+};
+
+class GilbertElliottModel {
+ public:
+  explicit GilbertElliottModel(const GilbertElliottConfig& config);
+
+  bool ShouldDrop(Rng& rng);
+
+  bool in_bad_state() const { return bad_; }
+  const GilbertElliottConfig& config() const { return config_; }
+
+ private:
+  GilbertElliottConfig config_;
+  bool bad_ = false;  // Start in the good state.
+};
+
+}  // namespace e2e
+
+#endif  // SRC_NET_IMPAIR_LOSS_MODEL_H_

@@ -9,10 +9,28 @@
 namespace e2e {
 
 Link::Link(Simulator* sim, const Config& config, Rng rng, std::string name)
-    : sim_(sim), config_(config), rng_(rng), name_(std::move(name)) {
+    : sim_(sim),
+      config_(config),
+      rng_(rng),
+      loss_(config.loss_probability),
+      name_(std::move(name)) {
   assert(sim_ != nullptr);
   assert(config.bandwidth_bps >= 0);
-  assert(config.loss_probability >= 0 && config.loss_probability < 1);
+}
+
+void Link::set_bandwidth_bps(double bps) {
+  assert(bps >= 0);
+  config_.bandwidth_bps = bps;
+}
+
+void Link::set_propagation(Duration propagation) {
+  assert(propagation >= Duration::Zero());
+  config_.propagation = propagation;
+}
+
+void Link::set_loss_probability(double p) {
+  loss_.set_probability(p);
+  config_.loss_probability = p;
 }
 
 TimePoint Link::Send(Packet packet) {
@@ -28,7 +46,7 @@ TimePoint Link::Send(Packet packet) {
   ++packets_sent_;
   bytes_sent_ += packet.wire_bytes;
 
-  if (config_.loss_probability > 0 && rng_.Bernoulli(config_.loss_probability)) {
+  if (loss_.ShouldDrop(rng_)) {
     ++packets_dropped_;
     E2E_DEBUG(sim_->Now(), "link", "%s: dropped packet %lu (%zuB)", name_.c_str(),
               static_cast<unsigned long>(packet.id), packet.wire_bytes);

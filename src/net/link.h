@@ -1,5 +1,12 @@
 // A unidirectional point-to-point link with finite bandwidth, fixed
 // propagation delay, FIFO serialization and optional i.i.d. loss.
+//
+// Bandwidth, propagation, and loss probability are mutable at run time (see
+// the setters below) so a `LinkScheduler` can script time-varying behavior;
+// changes apply to packets handed to Send() afterwards — bits already on the
+// wire keep their original timing. Richer impairments (bursty loss,
+// reordering, duplication, corruption, jitter) live in `src/net/impair` and
+// install as a PacketSink between this link and the receiving NIC.
 
 #ifndef SRC_NET_LINK_H_
 #define SRC_NET_LINK_H_
@@ -7,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/net/impair/loss_model.h"
 #include "src/net/packet.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
@@ -31,6 +39,14 @@ class Link {
   // the last bit leaves the sender (used by the NIC for TX completions).
   TimePoint Send(Packet packet);
 
+  // Run-time parameter rewrites (the LinkScheduler's hook points).
+  void set_bandwidth_bps(double bps);
+  void set_propagation(Duration propagation);
+  void set_loss_probability(double p);
+  double bandwidth_bps() const { return config_.bandwidth_bps; }
+  Duration propagation() const { return config_.propagation; }
+  double loss_probability() const { return loss_.probability(); }
+
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
@@ -40,6 +56,9 @@ class Link {
   Simulator* sim_;
   Config config_;
   Rng rng_;
+  // The single i.i.d. loss code path, shared with the impairment engine's
+  // IidLossStage (see src/net/impair/loss_model.h).
+  IidLossModel loss_;
   std::string name_;
   PacketSink* sink_ = nullptr;
   TimePoint tx_available_;  // When the wire frees up.

@@ -44,6 +44,12 @@ bool Nic::Transmit(Packet packet) {
 }
 
 void Nic::DeliverPacket(Packet packet) {
+  if (packet.corrupted) {
+    // Hardware checksum validation: the frame consumed the wire but is
+    // discarded before it costs any softirq work.
+    ++rx_checksum_drops_;
+    return;
+  }
   ++rx_packets_;
   rx_backlog_.push_back(std::move(packet));
   SchedulePoll();

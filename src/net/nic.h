@@ -65,6 +65,9 @@ class Nic : public PacketSink {
   void DeliverPacket(Packet packet) override;
 
   uint64_t rx_packets() const { return rx_packets_; }
+  // Arrivals discarded by hardware checksum validation (corrupted on the
+  // wire by an impairment stage); they never reach the softirq backlog.
+  uint64_t rx_checksum_drops() const { return rx_checksum_drops_; }
   uint64_t tx_segments() const { return tx_segments_; }
   uint64_t tx_wire_packets() const { return tx_wire_packets_; }
   uint64_t polls() const { return polls_; }
@@ -95,6 +98,7 @@ class Nic : public PacketSink {
   size_t poll_tx_done_ = 0;
 
   uint64_t rx_packets_ = 0;
+  uint64_t rx_checksum_drops_ = 0;
   uint64_t tx_segments_ = 0;
   uint64_t tx_wire_packets_ = 0;
   uint64_t polls_ = 0;

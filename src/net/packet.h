@@ -26,6 +26,10 @@ class PacketPayload {
 struct Packet {
   uint64_t id = 0;
   size_t wire_bytes = 0;  // Full on-the-wire size including headers.
+  // Set by the impairment engine's corruption stage: the packet keeps its
+  // size (it occupies the wire and reaches the receiver) but the receiving
+  // NIC's checksum validation drops it on arrival.
+  bool corrupted = false;
   std::shared_ptr<PacketPayload> payload;
   // Non-empty for TSO super-segments: the MTU-sized wire packets the NIC
   // emits instead of this packet.

@@ -422,6 +422,7 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
   if (ack_off > snd_nxt_) {
     ack_off = snd_nxt_;  // Bogus/futuristic ack; clamp.
   }
+  const uint64_t prev_rwnd = peer_rwnd_;
   peer_rwnd_ = seg.window;
   peer_rwnd_max_ = std::max<uint64_t>(peer_rwnd_max_, seg.window);
   if (ack_off > una) {
@@ -449,9 +450,13 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
         writable_cb_();
       }
     }
-  } else if (ack_off == una && snd_nxt_ > una && seg.len == 0) {
+  } else if (ack_off == una && snd_nxt_ > una && seg.len == 0 && seg.window <= prev_rwnd) {
     // Duplicate ack for outstanding data: fast retransmit on the third
-    // (RFC 5681), once per loss event.
+    // (RFC 5681), once per loss event. A pure ack that GROWS the advertised
+    // window is a window update (the peer's app drained its receive queue),
+    // not evidence of loss — RFC 5681 requires the window to be unchanged.
+    // Genuine reorder/loss dup-acks still qualify: stashed out-of-order
+    // bytes consume receive buffer, so their window never grows.
     ++dup_acks_;
     if (dup_acks_ == 3) {
       cc_.OnFastRetransmit();

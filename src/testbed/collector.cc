@@ -20,6 +20,11 @@ CounterCollector::CounterCollector(Simulator* sim, TcpEndpoint* a, TcpEndpoint* 
   assert(interval_ > Duration::Zero());
 }
 
+void CounterCollector::AttachImpairments(const ImpairmentChain* c2s, const ImpairmentChain* s2c) {
+  impair_c2s_ = c2s;
+  impair_s2c_ = s2c;
+}
+
 void CounterCollector::Start(TimePoint until) {
   until_ = until;
   TakeSample();
@@ -34,6 +39,12 @@ void CounterCollector::TakeSample() {
   }
   if (hints_ != nullptr) {
     sample.hint = hints_->Snapshot(sample.time);
+  }
+  if (impair_c2s_ != nullptr) {
+    sample.impair_c2s = impair_c2s_->Snapshot();
+  }
+  if (impair_s2c_ != nullptr) {
+    sample.impair_s2c = impair_s2c_->Snapshot();
   }
   samples_.push_back(std::move(sample));
   if (sim_->Now() + interval_ <= until_) {
@@ -93,6 +104,25 @@ QueueAverages CounterCollector::HintWindow(TimePoint from, TimePoint to) const {
     return QueueAverages{};
   }
   return GetAvgs(*prev.hint, *cur.hint);
+}
+
+ImpairmentSnapshot CounterCollector::ImpairmentWindow(bool c2s, TimePoint from,
+                                                      TimePoint to) const {
+  const auto window = WindowIndices(from, to);
+  if (!window.has_value()) {
+    return {};
+  }
+  const ImpairmentSnapshot& prev =
+      c2s ? samples_[window->first].impair_c2s : samples_[window->first].impair_s2c;
+  const ImpairmentSnapshot& cur =
+      c2s ? samples_[window->second].impair_c2s : samples_[window->second].impair_s2c;
+  assert(prev.size() == cur.size());  // The chain's stage list is fixed.
+  ImpairmentSnapshot delta;
+  delta.reserve(cur.size());
+  for (size_t i = 0; i < cur.size(); ++i) {
+    delta.emplace_back(cur[i].first, cur[i].second - prev[i].second);
+  }
+  return delta;
 }
 
 std::vector<std::pair<TimePoint, E2eEstimate>> CounterCollector::EstimateSeries(

@@ -15,6 +15,7 @@
 #include "src/core/hints.h"
 #include "src/core/latency_combiner.h"
 #include "src/core/units.h"
+#include "src/net/impair/impairment.h"
 #include "src/sim/simulator.h"
 #include "src/tcp/endpoint.h"
 
@@ -26,6 +27,10 @@ class CounterCollector {
   CounterCollector(Simulator* sim, TcpEndpoint* a, TcpEndpoint* b, HintTracker* hints,
                    Duration interval);
 
+  // Optionally snapshots the per-direction impairment chains alongside the
+  // queue states (either pointer may be null). Call before Start().
+  void AttachImpairments(const ImpairmentChain* c2s, const ImpairmentChain* s2c);
+
   // Begins sampling now; stops after `until` (absolute virtual time).
   void Start(TimePoint until);
 
@@ -34,6 +39,9 @@ class CounterCollector {
     std::array<EndpointSnapshot, kNumKernelUnitModes> a;
     std::array<EndpointSnapshot, kNumKernelUnitModes> b;
     std::optional<QueueSnapshot> hint;
+    // Per-stage counters at sample time (empty when unattached).
+    ImpairmentSnapshot impair_c2s;
+    ImpairmentSnapshot impair_s2c;
   };
   const std::vector<Sample>& samples() const { return samples_; }
 
@@ -55,6 +63,11 @@ class CounterCollector {
   // an offline would-have-been controller analysis.
   std::vector<std::pair<TimePoint, E2eEstimate>> EstimateSeries(UnitMode mode) const;
 
+  // Per-stage impairment counter deltas over the closest sampled
+  // sub-interval of [from, to] for one direction (`c2s` picks the
+  // client->server chain). Empty when unattached or the window is invalid.
+  ImpairmentSnapshot ImpairmentWindow(bool c2s, TimePoint from, TimePoint to) const;
+
  private:
   void TakeSample();
   // Indices of the first sample >= from and the last sample <= to.
@@ -64,6 +77,8 @@ class CounterCollector {
   TcpEndpoint* a_;
   TcpEndpoint* b_;
   HintTracker* hints_;
+  const ImpairmentChain* impair_c2s_ = nullptr;
+  const ImpairmentChain* impair_s2c_ = nullptr;
   Duration interval_;
   TimePoint until_;
   std::vector<Sample> samples_;

@@ -7,6 +7,7 @@
 #include "src/apps/redis_server.h"
 #include "src/core/aggregator.h"
 #include "src/testbed/collector.h"
+#include "src/testbed/report.h"
 
 namespace e2e {
 
@@ -103,6 +104,11 @@ RedisExperimentResult RunRedisExperiment(const RedisExperimentConfig& config) {
     pc.collector = std::make_unique<CounterCollector>(&sim, pc.conn.a, pc.conn.b,
                                                       &pc.client->hints(),
                                                       config.collect_interval);
+    if (i == 0) {
+      // Impairment chains are topology-wide; sample them once, alongside
+      // connection 0's queue counters.
+      pc.collector->AttachImpairments(topo.c2s_impairment(), topo.s2c_impairment());
+    }
   }
 
   // Dynamic batching control at the server, driven by the *averaged*
@@ -277,13 +283,24 @@ RedisExperimentResult RunRedisExperiment(const RedisExperimentConfig& config) {
   uint64_t server_sends = 0;
   for (PerConnection& pc : connections) {
     const TcpEndpoint::Stats& server_stats = pc.conn.b->stats();
+    const TcpEndpoint::Stats& client_stats = pc.conn.a->stats();
     result.server_data_segments += server_stats.data_segments_sent;
     result.server_wire_packets += server_stats.wire_packets_sent;
     result.server_nagle_holds += server_stats.nagle_holds;
     server_sends += server_stats.sends;
-    result.retransmits += server_stats.retransmits + pc.conn.a->stats().retransmits;
+    result.retransmits += server_stats.retransmits + client_stats.retransmits;
+    result.client_retransmits += client_stats.retransmits;
+    result.server_retransmits += server_stats.retransmits;
+    result.client_delack_fires += client_stats.delack_timer_fires;
+    result.server_delack_fires += server_stats.delack_timer_fires;
     result.exchanges += server_stats.exchanges_received;
   }
+  result.rx_checksum_drops =
+      topo.client_host().nic().rx_checksum_drops() + topo.server_host().nic().rx_checksum_drops();
+  result.impair_c2s =
+      connections[0].collector->ImpairmentWindow(/*c2s=*/true, measure_start, measure_end);
+  result.impair_s2c =
+      connections[0].collector->ImpairmentWindow(/*c2s=*/false, measure_start, measure_end);
   result.responses_per_packet =
       result.server_data_segments > 0
           ? static_cast<double>(server_sends) / static_cast<double>(result.server_data_segments)
@@ -304,6 +321,12 @@ RedisExperimentResult RunRedisExperiment(const RedisExperimentConfig& config) {
   if (ticks_in_window > 0) {
     result.duty_cycle_on = static_cast<double>(ticks_on) / static_cast<double>(ticks_in_window);
     result.aimd_limit_bytes = limit_sum / static_cast<double>(ticks_in_window);
+  }
+  if (config.print_endpoint_stats) {
+    std::printf("\nPer-endpoint TCP stats (connection 0):\n");
+    TcpEndpointStatsTable(
+        {{"client", connections[0].conn.a}, {"server", connections[0].conn.b}})
+        .Print();
   }
   return result;
 }

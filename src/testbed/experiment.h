@@ -66,6 +66,10 @@ struct RedisExperimentConfig {
   // result (for offline would-have-been toggle analysis, paper §3.4/§4).
   bool keep_series = false;
 
+  // Print a per-endpoint TCP stats table (retransmits, delayed-ack fires,
+  // out-of-order segments, ...) for connection 0 at the end of the run.
+  bool print_endpoint_stats = false;
+
   // Default stack/NIC/link calibration; see DESIGN.md §5. The dominant
   // knobs: the server's per-(small-)segment transmit path cost is the
   // amortizable per-batch cost β, and the server app's per-request work is
@@ -108,6 +112,19 @@ struct RedisExperimentResult {
   double server_app_util = 0;
   double server_softirq_util = 0;
 
+  // Network health over the measurement window (per-endpoint; `client` is
+  // side A). Retransmits/delayed-ack fires are whole-run totals from
+  // TcpEndpoint::Stats summed across connections.
+  uint64_t client_retransmits = 0;
+  uint64_t server_retransmits = 0;
+  uint64_t client_delack_fires = 0;
+  uint64_t server_delack_fires = 0;
+  uint64_t rx_checksum_drops = 0;  // Both NICs (corrupted-on-wire arrivals).
+  // Per-stage impairment counter deltas over the measurement window, from
+  // connection 0's collector. Empty when the direction has no chain.
+  ImpairmentSnapshot impair_c2s;
+  ImpairmentSnapshot impair_s2c;
+
   // Batching behavior.
   uint64_t server_data_segments = 0;
   uint64_t server_wire_packets = 0;
@@ -140,6 +157,17 @@ struct RedisExperimentResult {
         return est_hints_us;
     }
     return std::nullopt;
+  }
+
+  // Signed estimator error vs. measured ground truth, in percent:
+  // (estimate - measured) / measured * 100. The degradation of this number
+  // under impairment is what bench/impairment_sweep quantifies.
+  std::optional<double> EstimateErrorPct(UnitMode mode) const {
+    const std::optional<double> est = EstimateFor(mode);
+    if (!est.has_value() || measured_mean_us <= 0) {
+      return std::nullopt;
+    }
+    return (*est - measured_mean_us) / measured_mean_us * 100.0;
   }
 };
 

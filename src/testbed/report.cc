@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/tcp/endpoint.h"
+
 namespace e2e {
 
 Table& Table::Row() {
@@ -77,6 +79,171 @@ std::string FormatFactor(double factor) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.2fx", factor);
   return buf;
+}
+
+Table TcpEndpointStatsTable(const std::vector<std::pair<std::string, const TcpEndpoint*>>& rows) {
+  Table table({"endpoint", "segs_sent", "retransmits", "ooo_segs", "pure_acks", "delack_fires",
+               "persist_probes", "sndbuf_full"});
+  for (const auto& [name, endpoint] : rows) {
+    const TcpEndpoint::Stats& s = endpoint->stats();
+    table.Row()
+        .Cell(name)
+        .Int(static_cast<int64_t>(s.data_segments_sent))
+        .Int(static_cast<int64_t>(s.retransmits))
+        .Int(static_cast<int64_t>(s.ooo_segments))
+        .Int(static_cast<int64_t>(s.pure_acks_sent))
+        .Int(static_cast<int64_t>(s.delack_timer_fires))
+        .Int(static_cast<int64_t>(s.persist_probes))
+        .Int(static_cast<int64_t>(s.send_buffer_full));
+  }
+  return table;
+}
+
+Table ImpairmentCountersTable(
+    const std::vector<std::pair<std::string, ImpairmentSnapshot>>& rows) {
+  Table table({"dir", "stage", "in", "out", "dropped", "corrupted", "duplicated", "reordered"});
+  for (const auto& [label, snapshot] : rows) {
+    for (const auto& [stage, c] : snapshot) {
+      table.Row()
+          .Cell(label)
+          .Cell(stage)
+          .Int(static_cast<int64_t>(c.packets_in))
+          .Int(static_cast<int64_t>(c.packets_out))
+          .Int(static_cast<int64_t>(c.dropped))
+          .Int(static_cast<int64_t>(c.corrupted))
+          .Int(static_cast<int64_t>(c.duplicated))
+          .Int(static_cast<int64_t>(c.reordered));
+    }
+  }
+  return table;
+}
+
+// ---- JsonWriter ----
+
+void JsonWriter::Comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": already emitted the separator.
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) {
+      std::fputc(',', out_);
+    }
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  std::fputc('{', out_);
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  std::fputc('}', out_);
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  std::fputc('[', out_);
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  std::fputc(']', out_);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  Comma();
+  std::fprintf(out_, "\"%s\":", key.c_str());
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  Comma();
+  std::fputc('"', out_);
+  for (char ch : value) {
+    if (ch == '"' || ch == '\\') {
+      std::fputc('\\', out_);
+      std::fputc(ch, out_);
+    } else if (ch == '\n') {
+      std::fputs("\\n", out_);
+    } else {
+      std::fputc(ch, out_);
+    }
+  }
+  std::fputc('"', out_);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value, int precision) {
+  Comma();
+  std::fprintf(out_, "%.*f", precision, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Comma();
+  std::fprintf(out_, "%lld", static_cast<long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  Comma();
+  std::fprintf(out_, "%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Comma();
+  std::fputs(value ? "true" : "false", out_);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Comma();
+  std::fputs("null", out_);
+  return *this;
+}
+
+JsonWriter& JsonWriter::KV(const std::string& key, const std::string& value) {
+  return Key(key).String(value);
+}
+JsonWriter& JsonWriter::KV(const std::string& key, double value, int precision) {
+  return Key(key).Double(value, precision);
+}
+JsonWriter& JsonWriter::KV(const std::string& key, int64_t value) { return Key(key).Int(value); }
+JsonWriter& JsonWriter::KV(const std::string& key, uint64_t value) { return Key(key).Uint(value); }
+
+JsonWriter& JsonWriter::ImpairmentArray(const ImpairmentSnapshot& snapshot) {
+  BeginArray();
+  for (const auto& [stage, c] : snapshot) {
+    BeginObject();
+    KV("stage", stage);
+    KV("in", c.packets_in);
+    KV("out", c.packets_out);
+    KV("dropped", c.dropped);
+    KV("corrupted", c.corrupted);
+    KV("duplicated", c.duplicated);
+    KV("reordered", c.reordered);
+    EndObject();
+  }
+  EndArray();
+  return *this;
+}
+
+void JsonWriter::Finish() {
+  assert(needs_comma_.empty());
+  std::fputc('\n', out_);
 }
 
 }  // namespace e2e

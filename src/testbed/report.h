@@ -1,13 +1,22 @@
-// Fixed-width table and CSV reporting used by every bench binary.
+// Fixed-width table, CSV, and JSON reporting used by every bench binary,
+// plus canned tables for per-endpoint TCP counters and impairment-stage
+// counters (so benches surface retransmits/delayed-ack fires/drop counts
+// without hand-rolling rows).
 
 #ifndef SRC_TESTBED_REPORT_H_
 #define SRC_TESTBED_REPORT_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/net/impair/impairment.h"
+
 namespace e2e {
+
+class TcpEndpoint;
 
 // Accumulates rows of preformatted cells; Print() pads columns to fit.
 class Table {
@@ -36,6 +45,61 @@ void PrintBanner(const std::string& title, FILE* out = stdout);
 
 // "x.xx" multiplier formatting helper.
 std::string FormatFactor(double factor);
+
+// One row per named endpoint: the TcpEndpoint::Stats counters that matter
+// under impaired networks (retransmits, out-of-order segments, delayed-ack
+// timer fires, pure acks, persist probes).
+Table TcpEndpointStatsTable(const std::vector<std::pair<std::string, const TcpEndpoint*>>& rows);
+
+// One row per (direction, stage) with the stage's counters. Rows come from
+// ImpairmentChain::Snapshot() or CounterCollector::ImpairmentWindow(); the
+// `label` is typically "c2s" / "s2c".
+Table ImpairmentCountersTable(
+    const std::vector<std::pair<std::string, ImpairmentSnapshot>>& rows);
+
+// Minimal streaming JSON writer with deterministic formatting: fixed
+// `%.*f` rendering for doubles (no locale, no shortest-round-trip
+// variance), so equal inputs serialize byte-identically — the determinism
+// contract bench JSON is checked against.
+class JsonWriter {
+ public:
+  explicit JsonWriter(FILE* out) : out_(out) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key for the next value (objects only).
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Double(double value, int precision = 3);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Convenience: Key(k) + value.
+  JsonWriter& KV(const std::string& key, const std::string& value);
+  JsonWriter& KV(const std::string& key, double value, int precision = 3);
+  JsonWriter& KV(const std::string& key, int64_t value);
+  JsonWriter& KV(const std::string& key, uint64_t value);
+
+  // Emits every counter of one impairment snapshot as an array of objects
+  // under the current context (call after Key(...) inside an object).
+  JsonWriter& ImpairmentArray(const ImpairmentSnapshot& snapshot);
+
+  // Terminates the output with a newline.
+  void Finish();
+
+ private:
+  void Comma();
+
+  FILE* out_;
+  std::vector<bool> needs_comma_;  // One entry per open container.
+  bool pending_key_ = false;
+};
 
 }  // namespace e2e
 

@@ -9,8 +9,35 @@ TwoHostTopology::TwoHostTopology(const TopologyConfig& config)
       server_host_(&sim_, &server_to_client_, config.server_nic, "server"),
       client_tcp_(&sim_, &client_host_, config.client_stack_costs),
       server_tcp_(&sim_, &server_host_, config.server_stack_costs) {
-  client_to_server_.SetSink(&server_host_.nic());
-  server_to_client_.SetSink(&client_host_.nic());
+  // Impairment chains install between a link and the receiving NIC. Seeds
+  // are derived disjointly from the link seeds so enabling a chain never
+  // perturbs the link's own loss draws.
+  if (config.c2s_impairment.AnyStage()) {
+    c2s_impair_ = std::make_unique<ImpairmentChain>(&sim_, config.c2s_impairment,
+                                                    Rng(config.seed * 2 + 3), "c2s");
+    c2s_impair_->SetSink(&server_host_.nic());
+    client_to_server_.SetSink(c2s_impair_.get());
+  } else {
+    client_to_server_.SetSink(&server_host_.nic());
+  }
+  if (config.s2c_impairment.AnyStage()) {
+    s2c_impair_ = std::make_unique<ImpairmentChain>(&sim_, config.s2c_impairment,
+                                                    Rng(config.seed * 2 + 4), "s2c");
+    s2c_impair_->SetSink(&client_host_.nic());
+    server_to_client_.SetSink(s2c_impair_.get());
+  } else {
+    server_to_client_.SetSink(&client_host_.nic());
+  }
+  if (!config.c2s_impairment.schedule.empty()) {
+    c2s_scheduler_ = std::make_unique<LinkScheduler>(&sim_, &client_to_server_,
+                                                     config.c2s_impairment.schedule);
+    c2s_scheduler_->Start();
+  }
+  if (!config.s2c_impairment.schedule.empty()) {
+    s2c_scheduler_ = std::make_unique<LinkScheduler>(&sim_, &server_to_client_,
+                                                     config.s2c_impairment.schedule);
+    s2c_scheduler_->Start();
+  }
 }
 
 }  // namespace e2e

@@ -1,13 +1,21 @@
 // The two-host topology used by all full-stack experiments: a client and a
 // server connected by a full-duplex link, mirroring the paper's pair of
 // machines with 100 Gbps NICs.
+//
+// Each direction can carry an impairment pipeline (bursty loss, reordering,
+// duplication, corruption, jitter — see src/net/impair) installed between
+// the link and the receiving NIC, plus a scripted schedule of link-parameter
+// rewrites (time-varying bandwidth/propagation/loss). Default-constructed
+// impairment configs leave the path pristine and add no per-packet work.
 
 #ifndef SRC_TESTBED_TOPOLOGY_H_
 #define SRC_TESTBED_TOPOLOGY_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "src/net/host.h"
+#include "src/net/impair/impairment.h"
 #include "src/net/link.h"
 #include "src/net/nic.h"
 #include "src/sim/random.h"
@@ -22,6 +30,10 @@ struct TopologyConfig {
   Nic::Config server_nic;
   StackCosts client_stack_costs;
   StackCosts server_stack_costs;
+  // Per-direction impairment specs (stages + link schedule). c2s is the
+  // client->server request path, s2c the server->client response path.
+  ImpairmentConfig c2s_impairment;
+  ImpairmentConfig s2c_impairment;
   uint64_t seed = 42;
 
   TopologyConfig() {
@@ -39,6 +51,12 @@ class TwoHostTopology {
   Host& server_host() { return server_host_; }
   TcpStack& client_stack() { return client_tcp_; }
   TcpStack& server_stack() { return server_tcp_; }
+  Link& client_to_server_link() { return client_to_server_; }
+  Link& server_to_client_link() { return server_to_client_; }
+
+  // Null when the corresponding direction has no impairment stages.
+  const ImpairmentChain* c2s_impairment() const { return c2s_impair_.get(); }
+  const ImpairmentChain* s2c_impairment() const { return s2c_impair_.get(); }
 
   // Creates one client<->server connection. Client is the "A" side.
   ConnectedPair Connect(uint64_t conn_id, const TcpConfig& client_config,
@@ -54,6 +72,10 @@ class TwoHostTopology {
   Host server_host_;
   TcpStack client_tcp_;
   TcpStack server_tcp_;
+  std::unique_ptr<ImpairmentChain> c2s_impair_;
+  std::unique_ptr<ImpairmentChain> s2c_impair_;
+  std::unique_ptr<LinkScheduler> c2s_scheduler_;
+  std::unique_ptr<LinkScheduler> s2c_scheduler_;
 };
 
 }  // namespace e2e

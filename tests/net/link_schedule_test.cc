@@ -1,0 +1,143 @@
+// Time-varying link coverage: scripted steps rewrite bandwidth, propagation
+// and loss; ramp/square-wave builders produce the right step sequences; a
+// scheduled bandwidth cut changes serialization for later packets only.
+
+#include "src/net/impair/link_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace e2e {
+namespace {
+
+class RecordingSink : public PacketSink {
+ public:
+  explicit RecordingSink(Simulator* sim) : sim_(sim) {}
+  void DeliverPacket(Packet packet) override { arrivals.push_back({sim_->Now(), packet.id}); }
+  struct Arrival {
+    TimePoint when;
+    uint64_t id;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  Simulator* sim_;
+};
+
+Packet Pkt(uint64_t id, size_t bytes) {
+  Packet packet;
+  packet.id = id;
+  packet.wire_bytes = bytes;
+  return packet;
+}
+
+TEST(LinkScheduleTest, StepRewritesBandwidthForLaterPackets) {
+  Simulator sim;
+  Link::Config config;
+  config.bandwidth_bps = 1e9;  // 8 ns/byte.
+  config.propagation = Duration::Zero();
+  Link link(&sim, config, Rng(1), "l");
+  RecordingSink sink(&sim);
+  link.SetSink(&sink);
+
+  LinkScheduleStep cut;
+  cut.at = TimePoint::Zero() + Duration::Micros(50);
+  cut.bandwidth_bps = 0.5e9;  // Halve the rate: 16 ns/byte.
+  LinkScheduler scheduler(&sim, &link, LinkSchedule::Step(cut));
+  scheduler.Start();
+
+  link.Send(Pkt(1, 1000));  // Before the step: 8 us serialization.
+  sim.RunFor(Duration::Micros(100));
+  link.Send(Pkt(2, 1000));  // After the step: 16 us serialization.
+  sim.Run();
+
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].when, TimePoint::FromNanos(8000));
+  EXPECT_EQ(sink.arrivals[1].when, TimePoint::FromNanos(100000 + 16000));
+  EXPECT_EQ(scheduler.steps_applied(), 1u);
+  EXPECT_DOUBLE_EQ(link.bandwidth_bps(), 0.5e9);
+}
+
+TEST(LinkScheduleTest, StepRewritesPropagationAndLoss) {
+  Simulator sim;
+  Link::Config config;
+  config.bandwidth_bps = 0;
+  config.propagation = Duration::Micros(1);
+  Link link(&sim, config, Rng(1), "l");
+  RecordingSink sink(&sim);
+  link.SetSink(&sink);
+
+  LinkScheduleStep step;
+  step.at = TimePoint::Zero() + Duration::Micros(10);
+  step.propagation = Duration::Micros(5);
+  step.loss_probability = 0.999999;  // Effectively drop everything after.
+  LinkScheduler scheduler(&sim, &link, LinkSchedule::Step(step));
+  scheduler.Start();
+
+  link.Send(Pkt(1, 100));
+  sim.RunFor(Duration::Micros(20));
+  for (int i = 0; i < 50; ++i) {
+    link.Send(Pkt(2 + i, 100));
+  }
+  sim.Run();
+
+  ASSERT_EQ(sink.arrivals.size(), 1u);  // Everything after the step is lost.
+  EXPECT_EQ(sink.arrivals[0].when, TimePoint::FromNanos(1000));
+  EXPECT_EQ(link.propagation(), Duration::Micros(5));
+  EXPECT_GE(link.packets_dropped(), 49u);
+}
+
+TEST(LinkScheduleTest, RampInterpolatesLinearly) {
+  LinkScheduleStep from;
+  from.bandwidth_bps = 10e9;
+  from.loss_probability = 0.0;
+  LinkScheduleStep to;
+  to.bandwidth_bps = 2e9;
+  to.loss_probability = 0.4;
+  const LinkSchedule ramp =
+      LinkSchedule::Ramp(TimePoint::Zero() + Duration::Millis(1), Duration::Millis(4), 4, from, to);
+  ASSERT_EQ(ramp.steps.size(), 4u);
+  EXPECT_EQ(ramp.steps[0].at, TimePoint::Zero() + Duration::Millis(2));
+  EXPECT_DOUBLE_EQ(*ramp.steps[0].bandwidth_bps, 8e9);
+  EXPECT_DOUBLE_EQ(*ramp.steps[0].loss_probability, 0.1);
+  EXPECT_DOUBLE_EQ(*ramp.steps[1].bandwidth_bps, 6e9);
+  EXPECT_DOUBLE_EQ(*ramp.steps[3].bandwidth_bps, 2e9);  // Lands exactly on `to`.
+  EXPECT_DOUBLE_EQ(*ramp.steps[3].loss_probability, 0.4);
+  EXPECT_FALSE(ramp.steps[0].propagation.has_value());  // Unset in both ends.
+}
+
+TEST(LinkScheduleTest, SquareWaveAlternatesLoHi) {
+  LinkScheduleStep lo;
+  lo.bandwidth_bps = 1e9;
+  LinkScheduleStep hi;
+  hi.bandwidth_bps = 10e9;
+  const LinkSchedule wave = LinkSchedule::SquareWave(TimePoint::Zero() + Duration::Millis(10),
+                                                     Duration::Millis(5), 4, lo, hi);
+  ASSERT_EQ(wave.steps.size(), 4u);
+  EXPECT_EQ(wave.steps[0].at, TimePoint::Zero() + Duration::Millis(10));
+  EXPECT_EQ(wave.steps[1].at, TimePoint::Zero() + Duration::Millis(15));
+  EXPECT_DOUBLE_EQ(*wave.steps[0].bandwidth_bps, 1e9);
+  EXPECT_DOUBLE_EQ(*wave.steps[1].bandwidth_bps, 10e9);
+  EXPECT_DOUBLE_EQ(*wave.steps[2].bandwidth_bps, 1e9);
+  EXPECT_DOUBLE_EQ(*wave.steps[3].bandwidth_bps, 10e9);
+}
+
+TEST(LinkScheduleTest, PastStepsApplyImmediatelyAtStart) {
+  Simulator sim;
+  Link::Config config;
+  config.bandwidth_bps = 1e9;
+  Link link(&sim, config, Rng(1), "l");
+
+  sim.RunFor(Duration::Millis(1));  // Now = 1 ms.
+  LinkScheduleStep past;
+  past.at = TimePoint::Zero() + Duration::Micros(10);
+  past.bandwidth_bps = 4e9;
+  LinkScheduler scheduler(&sim, &link, LinkSchedule::Step(past));
+  scheduler.Start();
+  EXPECT_DOUBLE_EQ(link.bandwidth_bps(), 4e9);
+  EXPECT_EQ(scheduler.steps_applied(), 1u);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,158 @@
+// Retransmit-path behavior under impaired networks (the paths the pristine
+// seed topology never exercised): mild reordering below the dup-ack
+// threshold must NOT trigger spurious fast retransmits, while burst loss
+// must recover via RTO/fast-retransmit with the stats counters reflecting
+// the actual events.
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+MessageRecord Rec(uint64_t id) {
+  MessageRecord record;
+  record.id = id;
+  return record;
+}
+
+// Sends `count` messages of `bytes` each from the client app core, paced
+// `every` apart, then runs until `total`.
+void DriveClientSends(TwoHostTopology& topo, ConnectedPair& conn, int count, uint64_t bytes,
+                      Duration every, Duration total) {
+  for (int i = 0; i < count; ++i) {
+    topo.sim().Schedule(every * (i + 1), [&topo, &conn, bytes, i] {
+      topo.client_host().app_core().SubmitFixed(Duration::Micros(1),
+                                                [&conn, bytes, i] {
+                                                  conn.a->Send(bytes, Rec(static_cast<uint64_t>(i)));
+                                                });
+    });
+  }
+  topo.sim().RunFor(total);
+}
+
+TEST(ReorderRetransmitTest, MildReorderingDoesNotTriggerSpuriousFastRetransmit) {
+  TopologyConfig config;
+  // Gap-1 reordering: a held packet is re-injected after ONE later packet
+  // passes it. The receiver acks from softirq work that drains after the
+  // poll batch, so every hole still open at the END of a batch contributes
+  // one duplicate ack at the stuck rcv_nxt. With two-packet bursts at most
+  // one hole can be open per batch, so the client never sees more than one
+  // duplicate ack per ack value — structurally below the three-dup-ack
+  // fast-retransmit threshold (RFC 5681).
+  config.c2s_impairment.reorder = ReorderConfig{};
+  config.c2s_impairment.reorder->probability = 0.25;
+  config.c2s_impairment.reorder->gap = 1;
+  config.c2s_impairment.reorder->max_hold = Duration::Micros(200);
+  TwoHostTopology topo(config);
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  // 60 messages of 2 MSS each: each send is a two-packet wire burst the
+  // reorder stage can flip without ever stacking holes within one burst.
+  const uint64_t kMsgBytes = 2 * 1448;
+  DriveClientSends(topo, conn, 60, kMsgBytes, Duration::Micros(200), Duration::Millis(100));
+
+  ASSERT_NE(topo.c2s_impairment(), nullptr);
+  EXPECT_GT(topo.c2s_impairment()->TotalReordered(), 0u);  // Reordering did happen...
+  EXPECT_GT(conn.b->stats().ooo_segments, 0u);             // ...and was observed by TCP...
+  EXPECT_EQ(conn.a->stats().retransmits, 0u);              // ...without spurious retransmits.
+  EXPECT_EQ(conn.b->Recv().bytes, 60u * kMsgBytes);        // All data delivered in order.
+}
+
+TEST(ReorderRetransmitTest, BurstLossRecoversWithRetransmits) {
+  TopologyConfig config;
+  // Classic Gilbert bursts: ~6-packet outages, 2% stationary loss on the
+  // request path. Every burst knocks out several consecutive segments, so
+  // recovery needs genuine retransmissions (fast retransmit and/or RTO).
+  config.c2s_impairment.gilbert_elliott = GilbertElliottConfig::FromBurstAndRate(6.0, 0.02);
+  TwoHostTopology topo(config);
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  const uint64_t kMsgBytes = 20 * 1448;
+  DriveClientSends(topo, conn, 100, kMsgBytes, Duration::Micros(300), Duration::Seconds(2));
+
+  ASSERT_NE(topo.c2s_impairment(), nullptr);
+  const uint64_t dropped = topo.c2s_impairment()->TotalDropped();
+  const TcpEndpoint::Stats& client = conn.a->stats();
+  EXPECT_GT(dropped, 0u);
+  // Every dropped data segment must eventually be covered by a retransmit
+  // (retransmits can exceed drops when a retransmission is itself lost, and
+  // be below them when one MSS retransmit covers a multi-slice hole — but
+  // zero retransmits with drops > 0 would mean the path is broken).
+  EXPECT_GT(client.retransmits, 0u);
+  // Ground truth: despite the bursts, everything arrives exactly once.
+  EXPECT_EQ(conn.b->Recv().bytes, 100u * kMsgBytes);
+  EXPECT_EQ(conn.b->stats().bytes_received, 100u * kMsgBytes);
+}
+
+TEST(ReorderRetransmitTest, DeepReorderingAboveThresholdTriggersFastRetransmit) {
+  TopologyConfig config;
+  // Gap-6 reordering: six packets overtake each held packet, producing
+  // >= 3 dup-acks per hole — enough to trip fast retransmit even though
+  // nothing was actually lost (the classic spurious-retransmit regime).
+  config.c2s_impairment.reorder = ReorderConfig{};
+  config.c2s_impairment.reorder->probability = 0.2;
+  config.c2s_impairment.reorder->gap = 6;
+  config.c2s_impairment.reorder->max_hold = Duration::Millis(5);
+  TwoHostTopology topo(config);
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  // Two seconds of run time: holes that dodge fast retransmit still need a
+  // full RTO (200 ms Linux floor) before the sender repairs them.
+  const uint64_t kMsgBytes = 30 * 1448;
+  DriveClientSends(topo, conn, 80, kMsgBytes, Duration::Micros(200), Duration::Seconds(2));
+
+  EXPECT_GT(conn.a->stats().retransmits, 0u);  // Spurious, but expected here.
+  EXPECT_EQ(conn.b->Recv().bytes, 80u * kMsgBytes);
+  EXPECT_EQ(conn.b->stats().bytes_received, 80u * kMsgBytes);
+}
+
+TEST(ReorderRetransmitTest, WindowUpdateAcksAreNotCountedAsDuplicates) {
+  TopologyConfig config;
+  // Jitter (order-preserving) stretches data arrivals without ever
+  // reordering or dropping them. In the gaps, the receiving app drains its
+  // backlog in small reads, each of which emits a window-update pure ack at
+  // the SAME ack offset. RFC 5681 excludes window updates from duplicate-ack
+  // counting; miscounting them fires spurious fast retransmits on a
+  // loss-free, order-preserving path.
+  JitterConfig jitter;
+  jitter.dist = JitterConfig::Dist::kExponential;
+  jitter.mean = Duration::Micros(40);
+  config.c2s_impairment.jitter = jitter;
+  TwoHostTopology topo(config);
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  const uint64_t kMsgBytes = 6 * 1448;
+  const int kMsgs = 150;
+  for (int i = 0; i < kMsgs; ++i) {
+    topo.sim().Schedule(Duration::Micros(80) * (i + 1), [&topo, &conn, i] {
+      topo.client_host().app_core().SubmitFixed(
+          Duration::Micros(1), [&conn, i] { conn.a->Send(kMsgBytes, Rec(static_cast<uint64_t>(i))); });
+    });
+  }
+  // Reader slightly slower than the sender, so a backlog builds and every
+  // read reopens the window enough to trigger an update.
+  uint64_t drained = 0;
+  for (int i = 0; i < 6000; ++i) {
+    topo.sim().Schedule(Duration::Micros(20) * (i + 1), [&topo, &conn, &drained] {
+      topo.server_host().app_core().SubmitFixed(
+          Duration::Micros(1), [&conn, &drained] { drained += conn.b->Recv(2 * 1448).bytes; });
+    });
+  }
+  topo.sim().RunFor(Duration::Millis(200));
+
+  EXPECT_EQ(drained, static_cast<uint64_t>(kMsgs) * kMsgBytes);  // Path is loss-free...
+  EXPECT_EQ(conn.a->stats().retransmits, 0u);  // ...so no retransmit is ever justified.
+}
+
+}  // namespace
+}  // namespace e2e
