@@ -1,0 +1,101 @@
+#include "src/net/fabric/switch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/sim/logging.h"
+
+namespace e2e {
+
+SwitchPort::SwitchPort(Simulator* sim, Link* egress, const SwitchPortConfig& config,
+                       std::string name)
+    : sim_(sim), egress_(egress), config_(config), name_(std::move(name)) {
+  assert(sim_ != nullptr && egress_ != nullptr);
+}
+
+void SwitchPort::Enqueue(Packet packet) {
+  ++counters_.packets_in;
+  const size_t arriving = packet.wire_bytes;
+  const bool over_bytes =
+      config_.buffer_bytes > 0 && queue_bytes_ + arriving > config_.buffer_bytes;
+  const bool over_packets =
+      config_.buffer_packets > 0 && queue_packets_ + 1 > config_.buffer_packets;
+  if (over_bytes || over_packets) {
+    ++counters_.tail_drops;
+    counters_.dropped_bytes += arriving;
+    if (over_bytes) {
+      ++counters_.byte_limit_drops;
+    } else {
+      ++counters_.packet_limit_drops;
+    }
+    E2E_DEBUG(sim_->Now(), "switch", "%s: tail-drop packet %lu (%zuB, occupancy %zuB/%zup)",
+              name_.c_str(), static_cast<unsigned long>(packet.id), arriving, queue_bytes_,
+              queue_packets_);
+    return;
+  }
+  queue_bytes_ += arriving;
+  ++queue_packets_;
+  counters_.max_queue_bytes = std::max<uint64_t>(counters_.max_queue_bytes, queue_bytes_);
+  counters_.max_queue_packets = std::max<uint64_t>(counters_.max_queue_packets, queue_packets_);
+  if (config_.ecn_threshold_bytes > 0 && queue_bytes_ > config_.ecn_threshold_bytes) {
+    packet.ecn_ce = true;
+    ++counters_.ecn_marked;
+  }
+  queue_.push_back(std::move(packet));
+  MaybeStartService();
+}
+
+void SwitchPort::MaybeStartService() {
+  if (serving_ || queue_.empty()) {
+    return;
+  }
+  serving_ = true;
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  const size_t bytes = packet.wire_bytes;
+  ++counters_.packets_out;
+  counters_.bytes_out += bytes;
+  const TimePoint tx_end = egress_->Send(std::move(packet));
+  // The buffer slot frees when the last bit is serialized; the next packet
+  // starts at that instant, keeping the egress link's own queue empty.
+  sim_->ScheduleAt(tx_end, [this, bytes] {
+    assert(queue_bytes_ >= bytes && queue_packets_ > 0);
+    queue_bytes_ -= bytes;
+    --queue_packets_;
+    serving_ = false;
+    MaybeStartService();
+  });
+}
+
+Switch::Switch(Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {
+  assert(sim_ != nullptr);
+}
+
+size_t Switch::AddPort(Link* egress, const SwitchPortConfig& config, std::string name) {
+  ports_.push_back(std::make_unique<SwitchPort>(sim_, egress, config, std::move(name)));
+  return ports_.size() - 1;
+}
+
+void Switch::SetRoute(uint32_t dst_host, size_t port) {
+  assert(port < ports_.size());
+  routes_[dst_host] = port;
+}
+
+SwitchPort* Switch::RouteFor(uint32_t dst_host) {
+  const auto it = routes_.find(dst_host);
+  return it == routes_.end() ? nullptr : ports_[it->second].get();
+}
+
+void Switch::DeliverPacket(Packet packet) {
+  SwitchPort* out = RouteFor(packet.dst_host);
+  if (out == nullptr) {
+    ++forwarding_misses_;
+    E2E_DEBUG(sim_->Now(), "switch", "%s: no route for host %u, dropping packet %lu",
+              name_.c_str(), packet.dst_host, static_cast<unsigned long>(packet.id));
+    return;
+  }
+  out->Enqueue(std::move(packet));
+}
+
+}  // namespace e2e

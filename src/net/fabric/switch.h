@@ -1,0 +1,127 @@
+// An output-queued switch: the shared data plane of multi-host topologies.
+//
+// Model: packets arrive from any ingress link (the switch is a single
+// `PacketSink`; ingress ports need no state of their own), are looked up in
+// a forwarding table keyed by `Packet::dst_host`, and join the matched
+// output port's FIFO buffer. Each port drains in order onto its egress
+// `Link` — one packet serializes at a time, so the port's queue is the real
+// buffer and the link's internal serialization queue never grows.
+//
+// A packet occupies its buffer slot from acceptance until its last bit is
+// on the wire (like a TX descriptor), so occupancy counts the packet in
+// service. Admission is drop-tail against the configured byte and/or packet
+// capacity; an accepted packet whose arrival pushes occupancy past the ECN
+// threshold is marked CE (`Packet::ecn_ce`). The TCP layer currently
+// ignores the mark — the counters quantify where marking *would* act.
+//
+// Forwarding-table misses are counted and dropped (there is no flooding:
+// every simulated host is registered by the topology builder, so a miss is
+// a wiring bug or an unaddressed packet).
+//
+// Determinism: the switch does no random draws; all deferred work goes
+// through the simulator event queue, and the forwarding table is only ever
+// point-queried (no iteration), so runs replay byte-identically.
+
+#ifndef SRC_NET_FABRIC_SWITCH_H_
+#define SRC_NET_FABRIC_SWITCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace e2e {
+
+struct SwitchPortConfig {
+  // Output-buffer capacity. 0 disables the respective limit; both set means
+  // a packet is tail-dropped when it would exceed either.
+  size_t buffer_bytes = 512 * 1024;
+  size_t buffer_packets = 0;
+  // Mark accepted packets CE while occupancy (bytes, including the arrival)
+  // exceeds this threshold. 0 disables marking.
+  size_t ecn_threshold_bytes = 0;
+};
+
+// One output port: a drop-tail FIFO draining onto an egress link.
+class SwitchPort {
+ public:
+  struct Counters {
+    uint64_t packets_in = 0;       // Offered to the port (pre-admission).
+    uint64_t packets_out = 0;      // Handed to the egress link.
+    uint64_t bytes_out = 0;
+    uint64_t tail_drops = 0;       // Total admission failures.
+    uint64_t byte_limit_drops = 0;
+    uint64_t packet_limit_drops = 0;
+    uint64_t dropped_bytes = 0;    // Wire bytes of tail-dropped packets.
+    uint64_t ecn_marked = 0;
+    uint64_t max_queue_bytes = 0;  // High-water occupancy.
+    uint64_t max_queue_packets = 0;
+  };
+
+  SwitchPort(Simulator* sim, Link* egress, const SwitchPortConfig& config, std::string name);
+
+  void Enqueue(Packet packet);
+
+  // Current occupancy, including the packet being serialized.
+  size_t queue_bytes() const { return queue_bytes_; }
+  size_t queue_packets() const { return queue_packets_; }
+
+  const Counters& counters() const { return counters_; }
+  const SwitchPortConfig& config() const { return config_; }
+  Link* egress() { return egress_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void MaybeStartService();
+
+  Simulator* sim_;
+  Link* egress_;
+  SwitchPortConfig config_;
+  std::string name_;
+  std::deque<Packet> queue_;  // Excludes the packet in service.
+  size_t queue_bytes_ = 0;    // Includes the packet in service.
+  size_t queue_packets_ = 0;  // Includes the packet in service.
+  bool serving_ = false;
+  Counters counters_;
+};
+
+class Switch : public PacketSink {
+ public:
+  Switch(Simulator* sim, std::string name);
+
+  // Adds an output port draining onto `egress` (not owned; must outlive the
+  // switch). Returns the port index used by SetRoute.
+  size_t AddPort(Link* egress, const SwitchPortConfig& config, std::string name);
+
+  // Routes packets addressed to `dst_host` out of port `port`.
+  void SetRoute(uint32_t dst_host, size_t port);
+
+  // PacketSink: ingress from any attached link.
+  void DeliverPacket(Packet packet) override;
+
+  size_t num_ports() const { return ports_.size(); }
+  SwitchPort& port(size_t i) { return *ports_[i]; }
+  const SwitchPort& port(size_t i) const { return *ports_[i]; }
+  // The port currently routing `dst_host`, or nullptr on a miss.
+  SwitchPort* RouteFor(uint32_t dst_host);
+
+  uint64_t forwarding_misses() const { return forwarding_misses_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  std::vector<std::unique_ptr<SwitchPort>> ports_;
+  std::unordered_map<uint32_t, size_t> routes_;  // Point-queried only.
+  uint64_t forwarding_misses_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_NET_FABRIC_SWITCH_H_

@@ -18,19 +18,26 @@ namespace e2e {
 class Host {
  public:
   // `tx_link` is the link this host transmits on; its NIC is registered as
-  // the sink of the peer's link by the topology builder.
-  Host(Simulator* sim, Link* tx_link, const Nic::Config& nic_config, std::string name)
-      : name_(std::move(name)),
+  // the sink of the peer's link by the topology builder (or, on a switched
+  // fabric, the link feeds a switch that forwards on `Packet::dst_host`).
+  // `id` is the fabric-wide host address; 0 (the point-to-point default)
+  // means the host is unaddressed.
+  Host(Simulator* sim, Link* tx_link, const Nic::Config& nic_config, std::string name,
+       uint32_t id = 0)
+      : id_(id),
+        name_(std::move(name)),
         app_core_(sim, name_ + ".app"),
         softirq_core_(sim, name_ + ".softirq"),
         nic_(sim, &softirq_core_, tx_link, nic_config, name_ + ".nic") {}
 
+  uint32_t id() const { return id_; }
   const std::string& name() const { return name_; }
   CpuCore& app_core() { return app_core_; }
   CpuCore& softirq_core() { return softirq_core_; }
   Nic& nic() { return nic_; }
 
  private:
+  uint32_t id_;
   std::string name_;
   CpuCore app_core_;
   CpuCore softirq_core_;

@@ -26,10 +26,17 @@ class PacketPayload {
 struct Packet {
   uint64_t id = 0;
   size_t wire_bytes = 0;  // Full on-the-wire size including headers.
+  // Destination host id, stamped by the sending TCP endpoint. Switched
+  // fabrics (src/net/fabric) forward on it; point-to-point links ignore it.
+  // 0 means "unaddressed" and never matches a forwarding-table entry.
+  uint32_t dst_host = 0;
   // Set by the impairment engine's corruption stage: the packet keeps its
   // size (it occupies the wire and reaches the receiver) but the receiving
   // NIC's checksum validation drops it on arrival.
   bool corrupted = false;
+  // ECN congestion-experienced mark, set by a switch port whose queue
+  // occupancy exceeds its marking threshold.
+  bool ecn_ce = false;
   std::shared_ptr<PacketPayload> payload;
   // Non-empty for TSO super-segments: the MTU-sized wire packets the NIC
   // emits instead of this packet.

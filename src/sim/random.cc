@@ -114,4 +114,14 @@ int64_t Rng::Zipf(int64_t n, double s) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+uint64_t DeriveSeed(uint64_t base, uint64_t domain, uint64_t index) {
+  uint64_t x = base;
+  uint64_t mixed = SplitMix64(x);
+  x ^= domain * 0xd1342543de82ef95ULL;
+  mixed ^= SplitMix64(x);
+  x ^= index * 0xaf251af3b0f025b5ULL;
+  mixed ^= SplitMix64(x);
+  return mixed;
+}
+
 }  // namespace e2e

@@ -58,6 +58,15 @@ class Rng {
   std::array<uint64_t, 4> s_;
 };
 
+// Keyed seed derivation for topology components: the child seed depends only
+// on (base, domain, index) — never on construction order or on how many
+// other components exist — so adding a host to a fabric cannot perturb any
+// existing component's random stream. `domain` namespaces component kinds
+// (see FabricSeedDomain in src/testbed/fabric_topology.h); `index` is the
+// component's stable id within the domain. Implemented as three SplitMix64
+// finalization rounds over the mixed-in key words.
+uint64_t DeriveSeed(uint64_t base, uint64_t domain, uint64_t index);
+
 }  // namespace e2e
 
 #endif  // SRC_SIM_RANDOM_H_

@@ -294,6 +294,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t 
   Packet packet;
   packet.id = next_packet_id_++;
   packet.wire_bytes = take + kWireHeaderBytes;
+  packet.dst_host = peer_host_;
 
   auto make_segment = [&](uint64_t seg_start, uint64_t seg_len) {
     auto seg = std::make_shared<TcpSegment>();
@@ -330,6 +331,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t 
       Packet slice;
       slice.id = next_packet_id_++;
       slice.wire_bytes = slice_len + kWireHeaderBytes;
+      slice.dst_host = peer_host_;
       auto seg = make_segment(start + off, slice_len);
       if (off + slice_len == take && start + take == sndq_.tail_offset()) {
         seg->flags |= kFlagPsh;
@@ -379,6 +381,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPureAck(bool force_exchange) {
   Packet packet;
   packet.id = next_packet_id_++;
   packet.wire_bytes = kWireHeaderBytes;
+  packet.dst_host = peer_host_;
   packet.payload = seg;
   ++stats_.pure_acks_sent;
   PlannedPacket planned;

@@ -125,6 +125,12 @@ class TcpEndpoint {
     peer_rwnd_max_ = std::max(peer_rwnd_max_, bytes);
   }
 
+  // Sets the peer host address stamped on every outgoing wire packet so a
+  // switched fabric can forward it (ConnectPair wires this automatically;
+  // 0 on point-to-point paths, where links ignore the address).
+  void SetPeerHost(uint32_t id) { peer_host_ = id; }
+  uint32_t peer_host() const { return peer_host_; }
+
   // ---- Introspection ----
 
   EndpointQueues& queues() { return queues_; }
@@ -227,6 +233,7 @@ class TcpEndpoint {
   Host* host_;
   uint64_t conn_id_;
   bool is_a_;
+  uint32_t peer_host_ = 0;
   TcpConfig config_;
   const StackCosts* costs_;
   std::optional<uint32_t> cork_limit_override_;

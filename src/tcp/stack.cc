@@ -81,6 +81,8 @@ ConnectedPair ConnectPair(TcpStack& stack_a, TcpStack& stack_b, uint64_t conn_id
   pair.b = stack_b.CreateEndpoint(conn_id, /*is_a=*/false, config_b);
   pair.a->InitPeerWindow(config_b.rcvbuf_bytes);
   pair.b->InitPeerWindow(config_a.rcvbuf_bytes);
+  pair.a->SetPeerHost(stack_b.host()->id());
+  pair.b->SetPeerHost(stack_a.host()->id());
   return pair;
 }
 

@@ -25,6 +25,8 @@ void CounterCollector::AttachImpairments(const ImpairmentChain* c2s, const Impai
   impair_s2c_ = s2c;
 }
 
+void CounterCollector::AttachRegistry(const CounterRegistry* registry) { registry_ = registry; }
+
 void CounterCollector::Start(TimePoint until) {
   until_ = until;
   TakeSample();
@@ -45,6 +47,9 @@ void CounterCollector::TakeSample() {
   }
   if (impair_s2c_ != nullptr) {
     sample.impair_s2c = impair_s2c_->Snapshot();
+  }
+  if (registry_ != nullptr) {
+    sample.registry = registry_->Sample();
   }
   samples_.push_back(std::move(sample));
   if (sim_->Now() + interval_ <= until_) {
@@ -123,6 +128,18 @@ ImpairmentSnapshot CounterCollector::ImpairmentWindow(bool c2s, TimePoint from,
     delta.emplace_back(cur[i].first, cur[i].second - prev[i].second);
   }
   return delta;
+}
+
+CounterRegistry::Values CounterCollector::RegistryWindow(TimePoint from, TimePoint to) const {
+  if (registry_ == nullptr) {
+    return {};
+  }
+  const auto window = WindowIndices(from, to);
+  if (!window.has_value()) {
+    return {};
+  }
+  return CounterRegistry::Delta(samples_[window->first].registry,
+                                samples_[window->second].registry);
 }
 
 std::vector<std::pair<TimePoint, E2eEstimate>> CounterCollector::EstimateSeries(

@@ -18,6 +18,7 @@
 #include "src/net/impair/impairment.h"
 #include "src/sim/simulator.h"
 #include "src/tcp/endpoint.h"
+#include "src/testbed/registry.h"
 
 namespace e2e {
 
@@ -31,6 +32,13 @@ class CounterCollector {
   // queue states (either pointer may be null). Call before Start().
   void AttachImpairments(const ImpairmentChain* c2s, const ImpairmentChain* s2c);
 
+  // Optionally samples every entity of `registry` (NICs, links, switch
+  // ports — whatever the topology exported) alongside the queue states, so
+  // fabric-wide counters come from one registration point instead of
+  // hard-coded client/server fields. Call before Start(); the registry must
+  // outlive the collector.
+  void AttachRegistry(const CounterRegistry* registry);
+
   // Begins sampling now; stops after `until` (absolute virtual time).
   void Start(TimePoint until);
 
@@ -42,6 +50,8 @@ class CounterCollector {
     // Per-stage counters at sample time (empty when unattached).
     ImpairmentSnapshot impair_c2s;
     ImpairmentSnapshot impair_s2c;
+    // Registry entity values at sample time (empty when unattached).
+    CounterRegistry::Values registry;
   };
   const std::vector<Sample>& samples() const { return samples_; }
 
@@ -68,6 +78,13 @@ class CounterCollector {
   // client->server chain). Empty when unattached or the window is invalid.
   ImpairmentSnapshot ImpairmentWindow(bool c2s, TimePoint from, TimePoint to) const;
 
+  // Registry counter deltas over the closest sampled sub-interval of
+  // [from, to] (same schema/order as the attached registry). Empty when
+  // unattached or the window is invalid. Gauge-like counters (high-water
+  // marks) subtract like any other; read them from the raw samples instead.
+  CounterRegistry::Values RegistryWindow(TimePoint from, TimePoint to) const;
+  const CounterRegistry* registry() const { return registry_; }
+
  private:
   void TakeSample();
   // Indices of the first sample >= from and the last sample <= to.
@@ -79,6 +96,7 @@ class CounterCollector {
   HintTracker* hints_;
   const ImpairmentChain* impair_c2s_ = nullptr;
   const ImpairmentChain* impair_s2c_ = nullptr;
+  const CounterRegistry* registry_ = nullptr;
   Duration interval_;
   TimePoint until_;
   std::vector<Sample> samples_;

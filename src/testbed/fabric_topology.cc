@@ -1,0 +1,259 @@
+#include "src/testbed/fabric_topology.h"
+
+#include <cassert>
+#include <utility>
+
+namespace e2e {
+namespace {
+
+// Hosts keep the historical bare names when a side has exactly one member,
+// so the two-host facade (and its tests) see "client"/"server" unchanged.
+std::string HostName(const char* side, int index, int count) {
+  return count == 1 ? side : side + std::to_string(index);
+}
+
+}  // namespace
+
+FabricConfig FabricConfig::Star(int clients, int servers) {
+  FabricConfig config;
+  config.shape = FabricShape::kStar;
+  config.num_clients = clients;
+  config.num_servers = servers;
+  return config;
+}
+
+FabricConfig FabricConfig::Incast(int clients, size_t server_buffer_bytes) {
+  FabricConfig config = Star(clients, 1);
+  config.server_port.buffer_bytes = server_buffer_bytes;
+  return config;
+}
+
+FabricConfig FabricConfig::Dumbbell(int clients, int servers, double trunk_bps) {
+  FabricConfig config;
+  config.shape = FabricShape::kDumbbell;
+  config.num_clients = clients;
+  config.num_servers = servers;
+  config.trunk_link.bandwidth_bps = trunk_bps;
+  return config;
+}
+
+FabricTopology::FabricTopology(const FabricConfig& config) : config_(config) {
+  assert(config_.num_clients >= 1 && config_.num_servers >= 1);
+  client_at_.resize(config_.num_clients);
+  server_at_.resize(config_.num_servers);
+  if (config_.shape == FabricShape::kDirect) {
+    assert(config_.num_clients == 1 && config_.num_servers == 1);
+    BuildDirect();
+  } else {
+    BuildSwitched();
+  }
+  for (int i = 0; i < config_.num_clients; ++i) {
+    client_stacks_.push_back(
+        std::make_unique<TcpStack>(&sim_, client_hosts_[i].get(), config_.client.stack_costs));
+  }
+  for (int i = 0; i < config_.num_servers; ++i) {
+    server_stacks_.push_back(
+        std::make_unique<TcpStack>(&sim_, server_hosts_[i].get(), config_.server.stack_costs));
+  }
+}
+
+Link* FabricTopology::MakeLink(const Link::Config& link_config, uint64_t seed, std::string name) {
+  links_.push_back(std::make_unique<Link>(&sim_, link_config, Rng(seed), std::move(name)));
+  return links_.back().get();
+}
+
+void FabricTopology::FinishRxPath(HostAttachment* at, Host* host, const ImpairmentConfig& impair,
+                                  uint64_t impair_seed, const std::string& label) {
+  if (impair.AnyStage()) {
+    at->rx_impair = std::make_unique<ImpairmentChain>(&sim_, impair, Rng(impair_seed), label);
+    at->rx_impair->SetSink(&host->nic());
+    at->downlink->SetSink(at->rx_impair.get());
+  } else {
+    at->downlink->SetSink(&host->nic());
+  }
+  if (!impair.schedule.empty()) {
+    at->rx_scheduler = std::make_unique<LinkScheduler>(&sim_, at->downlink, impair.schedule);
+    at->rx_scheduler->Start();
+  }
+}
+
+void FabricTopology::BuildDirect() {
+  // The original TwoHostTopology wiring, with its exact seed constants: the
+  // client's TX link doubles as the server's RX "downlink" and vice versa.
+  const uint64_t seed = config_.seed;
+  Link* c2s = MakeLink(config_.edge_link, seed * 2 + 1, "c2s");
+  Link* s2c = MakeLink(config_.edge_link, seed * 2 + 2, "s2c");
+
+  client_hosts_.push_back(
+      std::make_unique<Host>(&sim_, c2s, config_.client.nic, "client", /*id=*/1));
+  server_hosts_.push_back(
+      std::make_unique<Host>(&sim_, s2c, config_.server.nic, "server", /*id=*/2));
+
+  client_at_[0].uplink = c2s;
+  client_at_[0].downlink = s2c;
+  server_at_[0].uplink = s2c;
+  server_at_[0].downlink = c2s;
+
+  FinishRxPath(&server_at_[0], server_hosts_[0].get(), config_.c2s_impairment, seed * 2 + 3,
+               "c2s");
+  FinishRxPath(&client_at_[0], client_hosts_[0].get(), config_.s2c_impairment, seed * 2 + 4,
+               "s2c");
+}
+
+void FabricTopology::BuildSwitched() {
+  const uint64_t seed = config_.seed;
+  const bool dumbbell = config_.shape == FabricShape::kDumbbell;
+  switches_.push_back(std::make_unique<Switch>(&sim_, dumbbell ? "swL" : "sw0"));
+  Switch* left = switches_.front().get();
+  Switch* right = left;
+  if (dumbbell) {
+    switches_.push_back(std::make_unique<Switch>(&sim_, "swR"));
+    right = switches_.back().get();
+  }
+
+  // Attach one side's hosts to `sw`: uplink into the switch, a dedicated
+  // output port + downlink back, and a forwarding entry for the host id.
+  const auto attach = [&](Switch* sw, const FabricHostSpec& spec, const char* side, int index,
+                          int count, uint32_t host_id, const SwitchPortConfig& port_config,
+                          std::vector<std::unique_ptr<Host>>* hosts, HostAttachment* at) {
+    const std::string name = HostName(side, index, count);
+    at->uplink =
+        MakeLink(config_.edge_link, DeriveSeed(seed, kFabricSeedUplink, host_id), name + ".up");
+    at->uplink->SetSink(sw);
+    at->downlink = MakeLink(config_.edge_link, DeriveSeed(seed, kFabricSeedDownlink, host_id),
+                            name + ".down");
+    const size_t port = sw->AddPort(at->downlink, port_config, sw->name() + "." + name);
+    sw->SetRoute(host_id, port);
+    hosts->push_back(std::make_unique<Host>(&sim_, at->uplink, spec.nic, name, host_id));
+  };
+
+  for (int i = 0; i < config_.num_clients; ++i) {
+    const uint32_t id = static_cast<uint32_t>(i + 1);
+    attach(left, config_.client, "client", i, config_.num_clients, id, config_.client_port,
+           &client_hosts_, &client_at_[i]);
+  }
+  for (int i = 0; i < config_.num_servers; ++i) {
+    const uint32_t id = static_cast<uint32_t>(config_.num_clients + i + 1);
+    attach(right, config_.server, "server", i, config_.num_servers, id, config_.server_port,
+           &server_hosts_, &server_at_[i]);
+  }
+
+  if (dumbbell) {
+    // One trunk per direction; every cross-switch destination routes into
+    // the local trunk port.
+    Link* l2r = MakeLink(config_.trunk_link, DeriveSeed(seed, kFabricSeedTrunk, 0), "trunk.l2r");
+    Link* r2l = MakeLink(config_.trunk_link, DeriveSeed(seed, kFabricSeedTrunk, 1), "trunk.r2l");
+    l2r->SetSink(right);
+    r2l->SetSink(left);
+    const size_t left_trunk = left->AddPort(l2r, config_.trunk_port, "swL.trunk");
+    const size_t right_trunk = right->AddPort(r2l, config_.trunk_port, "swR.trunk");
+    for (int i = 0; i < config_.num_servers; ++i) {
+      left->SetRoute(static_cast<uint32_t>(config_.num_clients + i + 1), left_trunk);
+    }
+    for (int i = 0; i < config_.num_clients; ++i) {
+      right->SetRoute(static_cast<uint32_t>(i + 1), right_trunk);
+    }
+  }
+
+  // RX impairment paths install on the final (switch -> host) hop.
+  for (int i = 0; i < config_.num_servers; ++i) {
+    const uint32_t id = static_cast<uint32_t>(config_.num_clients + i + 1);
+    FinishRxPath(&server_at_[i], server_hosts_[i].get(), config_.c2s_impairment,
+                 DeriveSeed(seed, kFabricSeedC2sImpair, id),
+                 "c2s." + server_hosts_[i]->name());
+  }
+  for (int i = 0; i < config_.num_clients; ++i) {
+    const uint32_t id = static_cast<uint32_t>(i + 1);
+    FinishRxPath(&client_at_[i], client_hosts_[i].get(), config_.s2c_impairment,
+                 DeriveSeed(seed, kFabricSeedS2cImpair, id),
+                 "s2c." + client_hosts_[i]->name());
+  }
+}
+
+Link& FabricTopology::c2s_final_link(int si) { return *server_at_.at(si).downlink; }
+Link& FabricTopology::s2c_final_link(int ci) { return *client_at_.at(ci).downlink; }
+Link& FabricTopology::client_uplink(int ci) { return *client_at_.at(ci).uplink; }
+Link& FabricTopology::server_uplink(int si) { return *server_at_.at(si).uplink; }
+
+const ImpairmentChain* FabricTopology::c2s_impairment(int si) const {
+  return server_at_.at(si).rx_impair.get();
+}
+
+const ImpairmentChain* FabricTopology::s2c_impairment(int ci) const {
+  return client_at_.at(ci).rx_impair.get();
+}
+
+uint64_t FabricTopology::total_switch_drops() const {
+  uint64_t total = 0;
+  for (const auto& sw : switches_) {
+    for (size_t p = 0; p < sw->num_ports(); ++p) {
+      total += sw->port(p).counters().tail_drops;
+    }
+  }
+  return total;
+}
+
+uint64_t FabricTopology::total_ecn_marked() const {
+  uint64_t total = 0;
+  for (const auto& sw : switches_) {
+    for (size_t p = 0; p < sw->num_ports(); ++p) {
+      total += sw->port(p).counters().ecn_marked;
+    }
+  }
+  return total;
+}
+
+uint64_t FabricTopology::total_forwarding_misses() const {
+  uint64_t total = 0;
+  for (const auto& sw : switches_) {
+    total += sw->forwarding_misses();
+  }
+  return total;
+}
+
+void FabricTopology::ExportCounters(CounterRegistry* registry) const {
+  assert(registry != nullptr);
+  const auto register_host = [&](const Host* host) {
+    const Nic* nic = &const_cast<Host*>(host)->nic();
+    registry->Register(host->name() + ".nic",
+                       {"rx_packets", "rx_checksum_drops", "tx_segments", "tx_wire_packets",
+                        "polls", "irqs"},
+                       [nic]() -> std::vector<uint64_t> {
+                         return {nic->rx_packets(), nic->rx_checksum_drops(), nic->tx_segments(),
+                                 nic->tx_wire_packets(), nic->polls(), nic->irqs()};
+                       });
+  };
+  for (const auto& host : client_hosts_) {
+    register_host(host.get());
+  }
+  for (const auto& host : server_hosts_) {
+    register_host(host.get());
+  }
+  for (const auto& link : links_) {
+    const Link* raw = link.get();
+    registry->Register(raw->name() + ".link", {"packets_sent", "packets_dropped", "bytes_sent"},
+                       [raw]() -> std::vector<uint64_t> {
+                         return {raw->packets_sent(), raw->packets_dropped(), raw->bytes_sent()};
+                       });
+  }
+  for (const auto& sw : switches_) {
+    for (size_t p = 0; p < sw->num_ports(); ++p) {
+      const SwitchPort* port = &sw->port(p);
+      registry->Register(port->name() + ".port",
+                         {"packets_in", "packets_out", "bytes_out", "tail_drops",
+                          "byte_limit_drops", "packet_limit_drops", "ecn_marked",
+                          "max_queue_bytes", "max_queue_packets"},
+                         [port]() -> std::vector<uint64_t> {
+                           const SwitchPort::Counters& c = port->counters();
+                           return {c.packets_in, c.packets_out, c.bytes_out, c.tail_drops,
+                                   c.byte_limit_drops, c.packet_limit_drops, c.ecn_marked,
+                                   c.max_queue_bytes, c.max_queue_packets};
+                         });
+    }
+    const Switch* raw = sw.get();
+    registry->Register(raw->name() + ".switch", {"forwarding_misses"},
+                       [raw]() -> std::vector<uint64_t> { return {raw->forwarding_misses()}; });
+  }
+}
+
+}  // namespace e2e

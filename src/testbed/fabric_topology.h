@@ -1,0 +1,210 @@
+// General multi-host topology builder: N client hosts and M server hosts
+// joined by a switched fabric (src/net/fabric), replacing the hard-wired
+// client<->server pair as the substrate every full-stack experiment runs on.
+//
+// Shapes:
+//
+//   kDirect    client0 <======================> server0
+//              The original TwoHostTopology wiring: one client, one server,
+//              a full-duplex link, no switch. TwoHostTopology is now a thin
+//              facade over this shape.
+//
+//   kStar      client0 --\                /-- server0
+//              client1 ---- [ switch ] ----
+//              ...      --/                \-- serverM
+//              Every host has an uplink into one switch and a dedicated
+//              switch output port + downlink back. All client->server
+//              traffic shares each server's downlink port — the shared
+//              bottleneck queue where fleet-scale batching effects live.
+//              An *incast* topology is a star whose server port buffer is
+//              deliberately small (see FabricConfig::Incast).
+//
+//   kDumbbell  clients -- [ left switch ] ==trunk== [ right switch ] -- servers
+//              As kStar, but clients and servers hang off different
+//              switches joined by a single trunk link per direction whose
+//              port models the classic shared bottleneck.
+//
+// Impairments compose exactly as on the two-host topology: the c2s chain
+// installs between the final hop and each *server* NIC, the s2c chain
+// between the final hop and each *client* NIC; link schedules apply to the
+// corresponding final-hop links. On kDirect this reproduces the original
+// semantics bit-for-bit.
+//
+// Seeding contract (fleet determinism): every randomized component derives
+// its seed as DeriveSeed(config.seed, domain, index) with the domain/index
+// assignment below — keyed by the component's identity, not by construction
+// order, so same-seed runs are byte-identical regardless of host count and
+// adding a host never perturbs another component's stream:
+//
+//   domain kFabricSeedUplink     index = host id   (host -> switch link)
+//   domain kFabricSeedDownlink   index = host id   (switch -> host link)
+//   domain kFabricSeedC2sImpair  index = host id   (chain before server NIC)
+//   domain kFabricSeedS2cImpair  index = host id   (chain before client NIC)
+//   domain kFabricSeedTrunk      index = 0 (left->right), 1 (right->left)
+//
+// Host ids are 1..N for clients and N+1..N+M for servers (0 = unaddressed).
+// Exception: the kDirect shape keeps TwoHostTopology's original constants
+// (seed*2+1 .. seed*2+4) so existing two-host experiments replay their
+// exact historical streams.
+
+#ifndef SRC_TESTBED_FABRIC_TOPOLOGY_H_
+#define SRC_TESTBED_FABRIC_TOPOLOGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/fabric/switch.h"
+#include "src/net/host.h"
+#include "src/net/impair/impairment.h"
+#include "src/net/link.h"
+#include "src/net/nic.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/tcp/stack.h"
+#include "src/testbed/registry.h"
+
+namespace e2e {
+
+inline constexpr uint64_t kFabricSeedUplink = 1;
+inline constexpr uint64_t kFabricSeedDownlink = 2;
+inline constexpr uint64_t kFabricSeedC2sImpair = 3;
+inline constexpr uint64_t kFabricSeedS2cImpair = 4;
+inline constexpr uint64_t kFabricSeedTrunk = 5;
+
+enum class FabricShape {
+  kDirect,    // 1 client, 1 server, no switch (TwoHostTopology wiring).
+  kStar,      // One switch, every host on its own port.
+  kDumbbell,  // Two switches joined by a trunk bottleneck.
+};
+
+// Per-side host parameters, applied to every host on that side.
+struct FabricHostSpec {
+  Nic::Config nic;
+  StackCosts stack_costs;
+};
+
+struct FabricConfig {
+  FabricShape shape = FabricShape::kStar;
+  int num_clients = 1;
+  int num_servers = 1;
+  FabricHostSpec client;
+  FabricHostSpec server;
+
+  // Host <-> switch hops, both directions (also the kDirect link config).
+  Link::Config edge_link;
+  // Dumbbell trunk hops (both directions).
+  Link::Config trunk_link;
+
+  // Switch output buffers, by what the port faces.
+  SwitchPortConfig client_port;
+  SwitchPortConfig server_port;
+  SwitchPortConfig trunk_port;
+
+  // Installed before every server NIC (c2s) / client NIC (s2c); the link
+  // schedules apply to the corresponding final-hop links.
+  ImpairmentConfig c2s_impairment;
+  ImpairmentConfig s2c_impairment;
+
+  uint64_t seed = 42;
+
+  FabricConfig() {
+    edge_link.bandwidth_bps = 100e9;  // 100 Gbps ConnectX-5 class.
+    edge_link.propagation = Duration::MicrosF(1.5);
+    trunk_link = edge_link;
+  }
+
+  // N clients and M servers on one switch.
+  static FabricConfig Star(int clients, int servers = 1);
+  // A star tuned to the incast regime: many clients, one server whose
+  // downlink port buffer is `server_buffer_bytes` (the overflow point).
+  static FabricConfig Incast(int clients, size_t server_buffer_bytes);
+  // Clients and servers on separate switches, trunk at `trunk_bps`.
+  static FabricConfig Dumbbell(int clients, int servers, double trunk_bps);
+};
+
+class FabricTopology {
+ public:
+  explicit FabricTopology(const FabricConfig& config);
+
+  Simulator& sim() { return sim_; }
+  const FabricConfig& config() const { return config_; }
+
+  int num_clients() const { return config_.num_clients; }
+  int num_servers() const { return config_.num_servers; }
+
+  Host& client_host(int i) { return *client_hosts_.at(i); }
+  Host& server_host(int i) { return *server_hosts_.at(i); }
+  TcpStack& client_stack(int i) { return *client_stacks_.at(i); }
+  TcpStack& server_stack(int i) { return *server_stacks_.at(i); }
+
+  // Connects client `ci` to server `si`; the client is the "A" side.
+  ConnectedPair Connect(int ci, int si, uint64_t conn_id, const TcpConfig& client_config,
+                        const TcpConfig& server_config) {
+    return ConnectPair(client_stack(ci), server_stack(si), conn_id, client_config,
+                       server_config);
+  }
+
+  // The switch clients attach to / servers attach to. Same object on kStar,
+  // distinct on kDumbbell, null on kDirect.
+  Switch* client_switch() { return switches_.empty() ? nullptr : switches_.front().get(); }
+  Switch* server_switch() { return switches_.empty() ? nullptr : switches_.back().get(); }
+  size_t num_switches() const { return switches_.size(); }
+  Switch& fabric_switch(size_t i) { return *switches_.at(i); }
+
+  // Final-hop links: what a server receives requests on / a client receives
+  // responses on. On kDirect these are the two direct links; on switched
+  // shapes, the switch->host downlinks.
+  Link& c2s_final_link(int si = 0);
+  Link& s2c_final_link(int ci = 0);
+  // The host->fabric uplink (== the host NIC's TX link).
+  Link& client_uplink(int ci);
+  Link& server_uplink(int si);
+
+  // Null when the corresponding direction has no impairment stages.
+  const ImpairmentChain* c2s_impairment(int si = 0) const;
+  const ImpairmentChain* s2c_impairment(int ci = 0) const;
+
+  // Sum of tail drops / ECN marks / forwarding misses across every switch
+  // port (0 on kDirect).
+  uint64_t total_switch_drops() const;
+  uint64_t total_ecn_marked() const;
+  uint64_t total_forwarding_misses() const;
+
+  // Registers every NIC, link, and switch port with `registry` so
+  // collectors and benches can sample fabric-wide counters without
+  // hard-coding endpoint fields.
+  void ExportCounters(CounterRegistry* registry) const;
+
+ private:
+  struct HostAttachment {
+    Link* uplink = nullptr;          // host -> fabric (the host's TX link).
+    Link* downlink = nullptr;        // fabric -> host (final hop).
+    std::unique_ptr<ImpairmentChain> rx_impair;  // Between downlink and NIC.
+    std::unique_ptr<LinkScheduler> rx_scheduler;
+  };
+
+  Link* MakeLink(const Link::Config& link_config, uint64_t seed, std::string name);
+  // Wires `downlink` -> (impairment chain?) -> the host NIC, plus the link
+  // scheduler, per the per-direction impairment config.
+  void FinishRxPath(HostAttachment* at, Host* host, const ImpairmentConfig& impair,
+                    uint64_t impair_seed, const std::string& label);
+  void BuildDirect();
+  void BuildSwitched();
+
+  FabricConfig config_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Host>> client_hosts_;
+  std::vector<std::unique_ptr<Host>> server_hosts_;
+  std::vector<std::unique_ptr<TcpStack>> client_stacks_;
+  std::vector<std::unique_ptr<TcpStack>> server_stacks_;
+  std::vector<HostAttachment> client_at_;
+  std::vector<HostAttachment> server_at_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_TESTBED_FABRIC_TOPOLOGY_H_

@@ -1,0 +1,40 @@
+#include "src/testbed/registry.h"
+
+#include <cassert>
+#include <utility>
+
+namespace e2e {
+
+void CounterRegistry::Register(std::string entity, std::vector<std::string> counter_names,
+                               Provider provider) {
+  assert(provider != nullptr);
+  entities_.push_back(Entity{std::move(entity), std::move(counter_names), std::move(provider)});
+}
+
+CounterRegistry::Values CounterRegistry::Sample() const {
+  Values values;
+  values.reserve(entities_.size());
+  for (const Entity& entity : entities_) {
+    values.push_back(entity.provider());
+    assert(values.back().size() == entity.counter_names.size());
+  }
+  return values;
+}
+
+CounterRegistry::Values CounterRegistry::Delta(const Values& prev, const Values& cur) {
+  assert(prev.size() == cur.size());
+  Values delta;
+  delta.reserve(cur.size());
+  for (size_t i = 0; i < cur.size(); ++i) {
+    assert(prev[i].size() == cur[i].size());
+    std::vector<uint64_t> row;
+    row.reserve(cur[i].size());
+    for (size_t j = 0; j < cur[i].size(); ++j) {
+      row.push_back(cur[i][j] - prev[i][j]);
+    }
+    delta.push_back(std::move(row));
+  }
+  return delta;
+}
+
+}  // namespace e2e

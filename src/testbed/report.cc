@@ -118,6 +118,25 @@ Table ImpairmentCountersTable(
   return table;
 }
 
+Table SwitchPortsTable(const std::vector<std::pair<std::string, SwitchPort::Counters>>& rows) {
+  Table table({"port", "in", "out", "bytes_out", "tail_drops", "byte_drops", "pkt_drops",
+               "ecn_marked", "max_q_bytes", "max_q_pkts"});
+  for (const auto& [name, c] : rows) {
+    table.Row()
+        .Cell(name)
+        .Int(static_cast<int64_t>(c.packets_in))
+        .Int(static_cast<int64_t>(c.packets_out))
+        .Int(static_cast<int64_t>(c.bytes_out))
+        .Int(static_cast<int64_t>(c.tail_drops))
+        .Int(static_cast<int64_t>(c.byte_limit_drops))
+        .Int(static_cast<int64_t>(c.packet_limit_drops))
+        .Int(static_cast<int64_t>(c.ecn_marked))
+        .Int(static_cast<int64_t>(c.max_queue_bytes))
+        .Int(static_cast<int64_t>(c.max_queue_packets));
+  }
+  return table;
+}
+
 // ---- JsonWriter ----
 
 void JsonWriter::Comma() {
@@ -235,6 +254,24 @@ JsonWriter& JsonWriter::ImpairmentArray(const ImpairmentSnapshot& snapshot) {
     KV("corrupted", c.corrupted);
     KV("duplicated", c.duplicated);
     KV("reordered", c.reordered);
+    EndObject();
+  }
+  EndArray();
+  return *this;
+}
+
+JsonWriter& JsonWriter::RegistryArray(const CounterRegistry& registry,
+                                      const CounterRegistry::Values& values) {
+  assert(values.size() == registry.num_entities());
+  BeginArray();
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::vector<std::string>& names = registry.counter_names(i);
+    assert(values[i].size() == names.size());
+    BeginObject();
+    KV("entity", registry.entity_name(i));
+    for (size_t j = 0; j < names.size(); ++j) {
+      KV(names[j], values[i][j]);
+    }
     EndObject();
   }
   EndArray();

@@ -12,7 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/net/fabric/switch.h"
 #include "src/net/impair/impairment.h"
+#include "src/testbed/registry.h"
 
 namespace e2e {
 
@@ -57,6 +59,10 @@ Table TcpEndpointStatsTable(const std::vector<std::pair<std::string, const TcpEn
 Table ImpairmentCountersTable(
     const std::vector<std::pair<std::string, ImpairmentSnapshot>>& rows);
 
+// One row per switch port with its queue/drop counters. Rows come from
+// SwitchPort::counters(); the label is typically "<switch>.<host>".
+Table SwitchPortsTable(const std::vector<std::pair<std::string, SwitchPort::Counters>>& rows);
+
 // Minimal streaming JSON writer with deterministic formatting: fixed
 // `%.*f` rendering for doubles (no locale, no shortest-round-trip
 // variance), so equal inputs serialize byte-identically — the determinism
@@ -89,6 +95,11 @@ class JsonWriter {
   // Emits every counter of one impairment snapshot as an array of objects
   // under the current context (call after Key(...) inside an object).
   JsonWriter& ImpairmentArray(const ImpairmentSnapshot& snapshot);
+
+  // Emits every registry entity as an array of {"entity": name, <counter>:
+  // value, ...} objects. `values` is a sample (or Delta) matching the
+  // registry's schema — e.g. CounterCollector::RegistryWindow() output.
+  JsonWriter& RegistryArray(const CounterRegistry& registry, const CounterRegistry::Values& values);
 
   // Terminates the output with a newline.
   void Finish();

@@ -1,0 +1,193 @@
+#include "src/net/fabric/switch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace e2e {
+namespace {
+
+class RecordingSink : public PacketSink {
+ public:
+  explicit RecordingSink(Simulator* sim) : sim_(sim) {}
+  void DeliverPacket(Packet packet) override {
+    arrivals.push_back({sim_->Now(), packet.id, packet.wire_bytes, packet.ecn_ce});
+  }
+  struct Arrival {
+    TimePoint when;
+    uint64_t id;
+    size_t bytes;
+    bool ecn_ce;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  Simulator* sim_;
+};
+
+Packet Pkt(uint64_t id, size_t bytes, uint32_t dst = 0) {
+  Packet packet;
+  packet.id = id;
+  packet.wire_bytes = bytes;
+  packet.dst_host = dst;
+  return packet;
+}
+
+Link::Config SlowLink() {
+  Link::Config config;
+  config.bandwidth_bps = 1e9;  // 8 ns per byte: 1000 B takes 8 us.
+  config.propagation = Duration::Zero();
+  return config;
+}
+
+TEST(SwitchPortTest, DrainsFifoInOrder) {
+  Simulator sim;
+  Link egress(&sim, SlowLink(), Rng(1), "e");
+  RecordingSink sink(&sim);
+  egress.SetSink(&sink);
+  SwitchPort port(&sim, &egress, SwitchPortConfig{}, "p");
+
+  port.Enqueue(Pkt(1, 1000));
+  port.Enqueue(Pkt(2, 1000));
+  port.Enqueue(Pkt(3, 500));
+  sim.Run();
+
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(sink.arrivals[0].id, 1u);
+  EXPECT_EQ(sink.arrivals[1].id, 2u);
+  EXPECT_EQ(sink.arrivals[2].id, 3u);
+  // One packet serializes at a time: arrivals are spaced by full
+  // serialization delays, never overlapped.
+  EXPECT_EQ(sink.arrivals[0].when, TimePoint::FromNanos(8000));
+  EXPECT_EQ(sink.arrivals[1].when, TimePoint::FromNanos(16000));
+  EXPECT_EQ(sink.arrivals[2].when, TimePoint::FromNanos(20000));
+  EXPECT_EQ(port.counters().packets_out, 3u);
+  EXPECT_EQ(port.counters().bytes_out, 2500u);
+  EXPECT_EQ(port.queue_bytes(), 0u);
+  EXPECT_EQ(port.queue_packets(), 0u);
+}
+
+TEST(SwitchPortTest, ByteLimitDropTailIsExact) {
+  Simulator sim;
+  Link egress(&sim, SlowLink(), Rng(1), "e");
+  RecordingSink sink(&sim);
+  egress.SetSink(&sink);
+  SwitchPortConfig config;
+  config.buffer_bytes = 2000;  // Exactly two 1000 B packets.
+  SwitchPort port(&sim, &egress, config, "p");
+
+  port.Enqueue(Pkt(1, 1000));  // In service; still occupies its slot.
+  port.Enqueue(Pkt(2, 1000));  // Fills the buffer: 2000/2000.
+  port.Enqueue(Pkt(3, 1000));  // 3000 > 2000: tail-dropped.
+  EXPECT_EQ(port.queue_bytes(), 2000u);
+  EXPECT_EQ(port.counters().tail_drops, 1u);
+  EXPECT_EQ(port.counters().byte_limit_drops, 1u);
+  EXPECT_EQ(port.counters().packet_limit_drops, 0u);
+  EXPECT_EQ(port.counters().dropped_bytes, 1000u);
+  EXPECT_EQ(port.counters().max_queue_bytes, 2000u);
+
+  sim.Run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(port.counters().packets_in, 3u);
+  EXPECT_EQ(port.counters().packets_out, 2u);
+  EXPECT_EQ(port.queue_bytes(), 0u);
+
+  // A slot freed by serialization re-admits new arrivals.
+  port.Enqueue(Pkt(4, 2000));
+  EXPECT_EQ(port.counters().tail_drops, 1u);
+  sim.Run();
+  EXPECT_EQ(sink.arrivals.size(), 3u);
+}
+
+TEST(SwitchPortTest, PacketLimitDropTail) {
+  Simulator sim;
+  Link egress(&sim, SlowLink(), Rng(1), "e");
+  RecordingSink sink(&sim);
+  egress.SetSink(&sink);
+  SwitchPortConfig config;
+  config.buffer_bytes = 0;  // Unlimited bytes; limit packets only.
+  config.buffer_packets = 2;
+  SwitchPort port(&sim, &egress, config, "p");
+
+  port.Enqueue(Pkt(1, 100));
+  port.Enqueue(Pkt(2, 100));
+  port.Enqueue(Pkt(3, 100));
+  EXPECT_EQ(port.counters().tail_drops, 1u);
+  EXPECT_EQ(port.counters().packet_limit_drops, 1u);
+  EXPECT_EQ(port.counters().byte_limit_drops, 0u);
+  EXPECT_EQ(port.counters().max_queue_packets, 2u);
+  sim.Run();
+  EXPECT_EQ(sink.arrivals.size(), 2u);
+}
+
+TEST(SwitchPortTest, EcnMarksAboveThreshold) {
+  Simulator sim;
+  Link egress(&sim, SlowLink(), Rng(1), "e");
+  RecordingSink sink(&sim);
+  egress.SetSink(&sink);
+  SwitchPortConfig config;
+  config.buffer_bytes = 100000;
+  config.ecn_threshold_bytes = 1500;
+  SwitchPort port(&sim, &egress, config, "p");
+
+  port.Enqueue(Pkt(1, 1000));  // Occupancy 1000 <= 1500: clean.
+  port.Enqueue(Pkt(2, 1000));  // Occupancy 2000 > 1500: marked.
+  port.Enqueue(Pkt(3, 1000));  // Occupancy 3000 > 1500: marked.
+  EXPECT_EQ(port.counters().ecn_marked, 2u);
+  sim.Run();
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_FALSE(sink.arrivals[0].ecn_ce);
+  EXPECT_TRUE(sink.arrivals[1].ecn_ce);
+  EXPECT_TRUE(sink.arrivals[2].ecn_ce);
+}
+
+TEST(SwitchTest, ForwardsByDestinationHost) {
+  Simulator sim;
+  Link link_a(&sim, SlowLink(), Rng(1), "a");
+  Link link_b(&sim, SlowLink(), Rng(2), "b");
+  RecordingSink sink_a(&sim);
+  RecordingSink sink_b(&sim);
+  link_a.SetSink(&sink_a);
+  link_b.SetSink(&sink_b);
+
+  Switch sw(&sim, "sw");
+  const size_t port_a = sw.AddPort(&link_a, SwitchPortConfig{}, "sw.a");
+  const size_t port_b = sw.AddPort(&link_b, SwitchPortConfig{}, "sw.b");
+  sw.SetRoute(1, port_a);
+  sw.SetRoute(2, port_b);
+
+  sw.DeliverPacket(Pkt(10, 500, /*dst=*/1));
+  sw.DeliverPacket(Pkt(11, 500, /*dst=*/2));
+  sw.DeliverPacket(Pkt(12, 500, /*dst=*/2));
+  sim.Run();
+
+  ASSERT_EQ(sink_a.arrivals.size(), 1u);
+  EXPECT_EQ(sink_a.arrivals[0].id, 10u);
+  ASSERT_EQ(sink_b.arrivals.size(), 2u);
+  EXPECT_EQ(sink_b.arrivals[0].id, 11u);
+  EXPECT_EQ(sink_b.arrivals[1].id, 12u);
+  EXPECT_EQ(sw.forwarding_misses(), 0u);
+  EXPECT_EQ(sw.RouteFor(1), &sw.port(port_a));
+  EXPECT_EQ(sw.RouteFor(2), &sw.port(port_b));
+}
+
+TEST(SwitchTest, ForwardingMissIsCountedAndDropped) {
+  Simulator sim;
+  Link link_a(&sim, SlowLink(), Rng(1), "a");
+  RecordingSink sink_a(&sim);
+  link_a.SetSink(&sink_a);
+  Switch sw(&sim, "sw");
+  sw.SetRoute(1, sw.AddPort(&link_a, SwitchPortConfig{}, "sw.a"));
+
+  sw.DeliverPacket(Pkt(1, 500, /*dst=*/9));  // No such route.
+  sw.DeliverPacket(Pkt(2, 500, /*dst=*/0));  // Unaddressed never matches.
+  sim.Run();
+
+  EXPECT_EQ(sw.forwarding_misses(), 2u);
+  EXPECT_TRUE(sink_a.arrivals.empty());
+  EXPECT_EQ(sw.RouteFor(9), nullptr);
+  EXPECT_EQ(sw.port(0).counters().packets_in, 0u);  // Misses never enqueue.
+}
+
+}  // namespace
+}  // namespace e2e

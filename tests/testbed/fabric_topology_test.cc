@@ -1,0 +1,125 @@
+#include "src/testbed/fabric_topology.h"
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/registry.h"
+
+namespace e2e {
+namespace {
+
+MessageRecord Rec(uint64_t id) {
+  MessageRecord record;
+  record.id = id;
+  return record;
+}
+
+TcpConfig NoDelayTcp() {
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  return tcp;
+}
+
+TEST(FabricTopologyTest, StarNamesAndIds) {
+  FabricTopology topo(FabricConfig::Star(2, 2));
+  EXPECT_EQ(topo.client_host(0).name(), "client0");
+  EXPECT_EQ(topo.client_host(1).name(), "client1");
+  EXPECT_EQ(topo.server_host(0).name(), "server0");
+  EXPECT_EQ(topo.server_host(1).name(), "server1");
+  EXPECT_EQ(topo.client_host(0).id(), 1u);
+  EXPECT_EQ(topo.client_host(1).id(), 2u);
+  EXPECT_EQ(topo.server_host(0).id(), 3u);
+  EXPECT_EQ(topo.server_host(1).id(), 4u);
+  EXPECT_EQ(topo.num_switches(), 1u);
+  // One output port per host.
+  EXPECT_EQ(topo.client_switch()->num_ports(), 4u);
+}
+
+TEST(FabricTopologyTest, SingleHostSidesKeepBareNames) {
+  // The two-host facade depends on this: count==1 drops the index suffix.
+  FabricTopology topo(FabricConfig::Star(1, 1));
+  EXPECT_EQ(topo.client_host(0).name(), "client");
+  EXPECT_EQ(topo.server_host(0).name(), "server");
+}
+
+TEST(FabricTopologyTest, StarDeliversBothDirectionsThroughSwitch) {
+  FabricTopology topo(FabricConfig::Star(2, 1));
+  ConnectedPair c0 = topo.Connect(0, 0, 1, NoDelayTcp(), NoDelayTcp());
+  ConnectedPair c1 = topo.Connect(1, 0, 2, NoDelayTcp(), NoDelayTcp());
+
+  topo.client_host(0).app_core().SubmitFixed(Duration::Micros(1),
+                                             [&] { c0.a->Send(400, Rec(10)); });
+  topo.client_host(1).app_core().SubmitFixed(Duration::Micros(1),
+                                             [&] { c1.a->Send(600, Rec(20)); });
+  topo.sim().RunFor(Duration::Millis(5));
+
+  auto at_s0 = c0.b->Recv();
+  auto at_s1 = c1.b->Recv();
+  EXPECT_EQ(at_s0.bytes, 400u);
+  ASSERT_EQ(at_s0.messages.size(), 1u);
+  EXPECT_EQ(at_s0.messages[0].id, 10u);
+  EXPECT_EQ(at_s1.bytes, 600u);
+
+  // Response path: server -> switch -> each client.
+  topo.server_host(0).app_core().SubmitFixed(Duration::Micros(1), [&] {
+    c0.b->Send(100, Rec(11));
+    c1.b->Send(200, Rec(21));
+  });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(c0.a->Recv().bytes, 100u);
+  EXPECT_EQ(c1.a->Recv().bytes, 200u);
+
+  // Everything routed; both client ports and the server port carried data.
+  EXPECT_EQ(topo.total_forwarding_misses(), 0u);
+  EXPECT_EQ(topo.total_switch_drops(), 0u);
+  Switch& sw = *topo.client_switch();
+  for (size_t p = 0; p < sw.num_ports(); ++p) {
+    EXPECT_GT(sw.port(p).counters().packets_out, 0u) << sw.port(p).name();
+  }
+}
+
+TEST(FabricTopologyTest, DumbbellRoutesThroughTrunk) {
+  FabricTopology topo(FabricConfig::Dumbbell(1, 1, /*trunk_bps=*/10e9));
+  ASSERT_EQ(topo.num_switches(), 2u);
+  ConnectedPair conn = topo.Connect(0, 0, 1, NoDelayTcp(), NoDelayTcp());
+
+  topo.client_host(0).app_core().SubmitFixed(Duration::Micros(1),
+                                             [&] { conn.a->Send(1000, Rec(1)); });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(conn.b->Recv().bytes, 1000u);
+
+  // The trunk ports (registered last on each switch) carried the traffic:
+  // requests left on swL's trunk, acks came back over swR's.
+  Switch& left = *topo.client_switch();
+  Switch& right = *topo.server_switch();
+  const SwitchPort& left_trunk = left.port(left.num_ports() - 1);
+  const SwitchPort& right_trunk = right.port(right.num_ports() - 1);
+  EXPECT_EQ(left_trunk.name(), "swL.trunk");
+  EXPECT_EQ(right_trunk.name(), "swR.trunk");
+  EXPECT_GT(left_trunk.counters().packets_out, 0u);
+  EXPECT_GT(right_trunk.counters().packets_out, 0u);
+  EXPECT_EQ(topo.total_forwarding_misses(), 0u);
+}
+
+TEST(FabricTopologyTest, ExportCountersCoversEveryComponent) {
+  FabricTopology topo(FabricConfig::Star(2, 1));
+  CounterRegistry registry;
+  topo.ExportCounters(&registry);
+  // 3 host NICs + 6 edge links (up/down per host) + 3 ports + 1 switch.
+  EXPECT_EQ(registry.num_entities(), 13u);
+  const CounterRegistry::Values values = registry.Sample();
+  ASSERT_EQ(values.size(), registry.num_entities());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i].size(), registry.counter_names(i).size()) << registry.entity_name(i);
+  }
+}
+
+TEST(FabricTopologyTest, KeyedSeedsAreOrderFreeAndDistinct) {
+  // Same key, same stream; any coordinate change yields a different stream.
+  EXPECT_EQ(DeriveSeed(42, kFabricSeedUplink, 1), DeriveSeed(42, kFabricSeedUplink, 1));
+  EXPECT_NE(DeriveSeed(42, kFabricSeedUplink, 1), DeriveSeed(42, kFabricSeedUplink, 2));
+  EXPECT_NE(DeriveSeed(42, kFabricSeedUplink, 1), DeriveSeed(42, kFabricSeedDownlink, 1));
+  EXPECT_NE(DeriveSeed(42, kFabricSeedUplink, 1), DeriveSeed(43, kFabricSeedUplink, 1));
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,106 @@
+// Fleet experiment driver tests. Kept on small smoke configs (few clients,
+// short windows) so the suite stays inside the tier-1 wall-clock budget;
+// the scale sweep itself lives in bench/fleet_sweep.
+
+#include "src/testbed/fleet.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+FleetExperimentConfig SmokeConfig(int num_clients) {
+  FleetExperimentConfig config;
+  config.fabric = FleetExperimentConfig::DefaultFleetFabric(num_clients);
+  config.total_rate_rps = 9000;
+  config.warmup = Duration::Millis(20);
+  config.measure = Duration::Millis(80);
+  config.drain = Duration::Millis(20);
+  config.seed = 11;
+  return config;
+}
+
+TEST(FleetExperimentTest, SmallStarFleetCompletesAndEstimates) {
+  const FleetExperimentResult result = RunFleetExperiment(SmokeConfig(3));
+
+  ASSERT_EQ(result.connections.size(), 3u);
+  for (const FleetConnectionResult& cr : result.connections) {
+    EXPECT_GT(cr.requests_completed, 0u) << "client " << cr.client;
+    EXPECT_GT(cr.measured_mean_us, 0.0);
+    ASSERT_TRUE(cr.est_bytes_us.has_value());
+    EXPECT_GT(*cr.est_bytes_us, 0.0);
+  }
+  // Heterogeneous profiles cycle through the default bare-metal/VM pair.
+  EXPECT_EQ(result.connections[0].profile, 0);
+  EXPECT_EQ(result.connections[1].profile, 1);
+  EXPECT_EQ(result.connections[2].profile, 0);
+
+  EXPECT_GT(result.requests_completed, 0u);
+  ASSERT_TRUE(result.fleet_est_bytes_us.has_value());
+  // Pristine fabric at low load: the aggregate estimate is the right order
+  // of magnitude (the tight error band is checked against the two-host
+  // baseline in bench/fleet_sweep).
+  ASSERT_TRUE(result.FleetEstimateErrorPct().has_value());
+  EXPECT_LT(std::abs(*result.FleetEstimateErrorPct()), 90.0);
+  EXPECT_EQ(result.forwarding_misses, 0u);
+  EXPECT_EQ(result.switch_tail_drops, 0u);
+  EXPECT_GT(result.server_port_max_queue_bytes, 0u);
+
+  // Per-port stats: one port per host, each saw traffic.
+  ASSERT_EQ(result.port_stats.size(), 4u);
+  for (const auto& [name, counters] : result.port_stats) {
+    EXPECT_GT(counters.packets_out, 0u) << name;
+  }
+  // The registry window covers every NIC, link, port, and switch.
+  EXPECT_EQ(result.fabric_window.size(), 4u + 8u + 4u + 1u);
+}
+
+TEST(FleetExperimentTest, SameSeedRunsAreByteIdentical) {
+  const FleetExperimentConfig config = SmokeConfig(2);
+  const FleetExperimentResult a = RunFleetExperiment(config);
+  const FleetExperimentResult b = RunFleetExperiment(config);
+
+  // Exact double equality on purpose: the keyed-seed contract
+  // (fabric_topology.h) promises bit-identical replays.
+  EXPECT_EQ(a.measured_mean_us, b.measured_mean_us);
+  EXPECT_EQ(a.measured_p50_us, b.measured_p50_us);
+  EXPECT_EQ(a.measured_p99_us, b.measured_p99_us);
+  EXPECT_EQ(a.fleet_est_bytes_us, b.fleet_est_bytes_us);
+  EXPECT_EQ(a.online_est_us, b.online_est_us);
+  EXPECT_EQ(a.achieved_krps, b.achieved_krps);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.switch_tail_drops, b.switch_tail_drops);
+  EXPECT_EQ(a.switch_ecn_marked, b.switch_ecn_marked);
+  EXPECT_EQ(a.server_port_max_queue_bytes, b.server_port_max_queue_bytes);
+  EXPECT_EQ(a.server_port_max_queue_packets, b.server_port_max_queue_packets);
+  ASSERT_EQ(a.connections.size(), b.connections.size());
+  for (size_t i = 0; i < a.connections.size(); ++i) {
+    EXPECT_EQ(a.connections[i].measured_mean_us, b.connections[i].measured_mean_us);
+    EXPECT_EQ(a.connections[i].est_bytes_us, b.connections[i].est_bytes_us);
+    EXPECT_EQ(a.connections[i].requests_completed, b.connections[i].requests_completed);
+  }
+  ASSERT_EQ(a.fabric_window.size(), b.fabric_window.size());
+  for (size_t i = 0; i < a.fabric_window.size(); ++i) {
+    EXPECT_EQ(a.fabric_window[i], b.fabric_window[i]);
+  }
+}
+
+TEST(FleetExperimentTest, AddingAClientDoesNotPerturbExistingSeeds) {
+  // The keyed DeriveSeed contract: client 0's arrival stream depends only
+  // on (seed, domain, host id), so growing the fleet must not change it.
+  // Compare client 0's request count over identical windows. (Latency WILL
+  // differ — the fleets share the server — so counts on the same offered
+  // stream are the right invariant.)
+  FleetExperimentConfig two = SmokeConfig(2);
+  FleetExperimentConfig three = SmokeConfig(3);
+  // Equal per-client rate so client 0's Poisson process is identical.
+  two.total_rate_rps = 3000 * 2;
+  three.total_rate_rps = 3000 * 3;
+  const FleetExperimentResult a = RunFleetExperiment(two);
+  const FleetExperimentResult b = RunFleetExperiment(three);
+  EXPECT_EQ(a.connections[0].requests_completed, b.connections[0].requests_completed);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,34 @@
+#include "src/testbed/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TEST(CounterRegistryTest, SamplesEntitiesInRegistrationOrder) {
+  CounterRegistry registry;
+  uint64_t x = 10;
+  uint64_t y = 100;
+  registry.Register("a", {"x"}, [&]() -> std::vector<uint64_t> { return {x}; });
+  registry.Register("b", {"y", "y2"}, [&]() -> std::vector<uint64_t> { return {y, y * 2}; });
+
+  ASSERT_EQ(registry.num_entities(), 2u);
+  EXPECT_EQ(registry.entity_name(0), "a");
+  EXPECT_EQ(registry.entity_name(1), "b");
+  EXPECT_EQ(registry.counter_names(1), (std::vector<std::string>{"y", "y2"}));
+
+  const CounterRegistry::Values first = registry.Sample();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0], (std::vector<uint64_t>{10}));
+  EXPECT_EQ(first[1], (std::vector<uint64_t>{100, 200}));
+
+  x = 17;
+  y = 130;
+  const CounterRegistry::Values second = registry.Sample();
+  const CounterRegistry::Values delta = CounterRegistry::Delta(first, second);
+  EXPECT_EQ(delta[0], (std::vector<uint64_t>{7}));
+  EXPECT_EQ(delta[1], (std::vector<uint64_t>{30, 60}));
+}
+
+}  // namespace
+}  // namespace e2e

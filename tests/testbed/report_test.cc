@@ -57,6 +57,41 @@ TEST(ReportTest, FormatFactor) {
   EXPECT_EQ(FormatFactor(0.5), "0.50x");
 }
 
+TEST(ReportTest, SwitchPortsTableOneRowPerPort) {
+  SwitchPort::Counters c;
+  c.packets_in = 12;
+  c.packets_out = 10;
+  c.tail_drops = 2;
+  c.max_queue_bytes = 3000;
+  Table table = SwitchPortsTable({{"sw0.server", c}, {"sw0.client0", SwitchPort::Counters{}}});
+  EXPECT_EQ(table.rows(), 2u);
+  char buf[4096] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
+  table.Print(mem);
+  std::fclose(mem);
+  const std::string out = buf;
+  EXPECT_NE(out.find("sw0.server"), std::string::npos);
+  EXPECT_NE(out.find("tail_drops"), std::string::npos);
+  EXPECT_NE(out.find("3000"), std::string::npos);
+}
+
+TEST(ReportTest, RegistryArrayEmitsEntityObjects) {
+  CounterRegistry registry;
+  registry.Register("client.nic", {"rx", "tx"},
+                    []() -> std::vector<uint64_t> { return {3, 4}; });
+  registry.Register("sw0.server.port", {"drops"},
+                    []() -> std::vector<uint64_t> { return {7}; });
+  char buf[1024] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
+  JsonWriter json(mem);
+  json.RegistryArray(registry, registry.Sample());
+  json.Finish();
+  std::fclose(mem);
+  EXPECT_STREQ(buf,
+               "[{\"entity\":\"client.nic\",\"rx\":3,\"tx\":4},"
+               "{\"entity\":\"sw0.server.port\",\"drops\":7}]\n");
+}
+
 TEST(ReportTest, BannerContainsTitle) {
   char buf[256] = {};
   FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
