@@ -14,10 +14,67 @@ LancetClient::LancetClient(Simulator* sim, TcpEndpoint* socket, const Config& co
       hints_(sim->Now()) {
   assert(sim_ != nullptr && socket_ != nullptr);
   assert(config_.rate_rps > 0);
+  BindSocket(socket_);
+}
+
+void LancetClient::BindSocket(TcpEndpoint* socket) {
+  assert(socket != nullptr);
+  socket_ = socket;
   socket_->SetReadableCallback([this] { ScheduleReceiveWork(); });
   if (config_.use_hints) {
     socket_->SetHintTracker(&hints_);
   }
+}
+
+void LancetClient::OnConnectionLost() {
+  if (disconnected_) {
+    return;
+  }
+  ++epoch_;
+  disconnected_ = true;
+  // Write off everything outstanding: pipelined requests that never hit
+  // send(), bytes in the dead socket, and responses that will never come
+  // back. Their hints complete now or the shared tracker's occupancy
+  // (and so the paper's §3.3 queue estimate) would grow without bound.
+  results_.abandoned_on_crash += in_flight_;
+  hints_.Complete(sim_->Now(), static_cast<int64_t>(in_flight_));
+  in_flight_ = 0;
+  pipeline_.clear();
+  if (pipeline_timer_ != kInvalidEventId) {
+    sim_->Cancel(pipeline_timer_);
+    pipeline_timer_ = kInvalidEventId;
+  }
+  if (config_.reconnect.enabled && connect_fn_) {
+    backoff_ = config_.reconnect.initial_backoff;
+    ScheduleReconnectAttempt();
+  }
+}
+
+void LancetClient::ScheduleReconnectAttempt() {
+  const double spread =
+      1.0 + config_.reconnect.jitter * (2.0 * rng_.Uniform01() - 1.0);
+  const Duration wait = Duration::MicrosF(backoff_.ToMicros() * spread);
+  sim_->Schedule(wait, [this] { TryReconnect(); });
+}
+
+void LancetClient::TryReconnect() {
+  if (!disconnected_) {
+    return;
+  }
+  ++results_.reconnect_attempts;
+  TcpEndpoint* fresh = connect_fn_();
+  if (fresh == nullptr) {
+    // Server still down: back off exponentially (jittered), capped.
+    const Duration next =
+        Duration::MicrosF(backoff_.ToMicros() * config_.reconnect.multiplier);
+    backoff_ = next < config_.reconnect.max_backoff ? next : config_.reconnect.max_backoff;
+    ScheduleReconnectAttempt();
+    return;
+  }
+  BindSocket(fresh);
+  disconnected_ = false;
+  ++results_.reconnects;
+  backoff_ = config_.reconnect.initial_backoff;
 }
 
 void LancetClient::Start() {
@@ -47,6 +104,12 @@ void LancetClient::ScheduleNextArrival() {
 }
 
 void LancetClient::OnArrival() {
+  if (disconnected_) {
+    // Open loop, honestly: while the server is down a real generator's
+    // requests fail fast — they are not queued for replay after reconnect.
+    ++results_.failed_disconnected;
+    return;
+  }
   auto request = std::make_shared<AppRequest>(workload_.Next());
   request->key_id = workload_.NextKeyId();
   request->created_at = sim_->Now();
@@ -83,7 +146,12 @@ void LancetClient::FlushPipeline() {
         }
         return cost;
       },
-      [this, batch] {
+      [this, batch, epoch = epoch_] {
+        if (epoch != epoch_) {
+          // Connection died while this send was queued on the app core;
+          // the crash path already wrote these requests off.
+          return;
+        }
         if (config_.use_hints) {
           socket_->SetHintTracker(&hints_);
         }
@@ -129,7 +197,14 @@ void LancetClient::ScheduleReceiveWork() {
         }
         return cost;
       },
-      [this] {
+      [this, epoch = epoch_] {
+        if (epoch != epoch_) {
+          // These responses raced the crash; their requests were already
+          // written off (hints completed), so don't account them twice.
+          recv_batch_.clear();
+          recv_pending_ = false;
+          return;
+        }
         const TimePoint done = sim_->Now();
         for (const AppResponsePtr& response : recv_batch_) {
           ++results_.completed;
@@ -137,9 +212,13 @@ void LancetClient::ScheduleReceiveWork() {
             --in_flight_;
           }
           hints_.Complete(done);
+          const double observed_us = (recv_syscall_time_ - response->request_sent_at).ToMicros();
+          if (latency_observer_) {
+            latency_observer_(recv_syscall_time_, observed_us);
+          }
           if (InMeasureWindow(response->request_created_at)) {
             ++results_.measured;
-            const double latency_us = (recv_syscall_time_ - response->request_sent_at).ToMicros();
+            const double latency_us = observed_us;
             const double sojourn_us = (done - response->request_created_at).ToMicros();
             results_.latency_us.Add(latency_us);
             results_.latency_hist.Add(latency_us);

@@ -12,6 +12,7 @@
 #define SRC_APPS_LANCET_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -41,6 +42,20 @@ class LancetClient {
     // `pipeline_flush`. Depth 1 = one syscall per request.
     int pipeline_depth = 1;
     Duration pipeline_flush = Duration::Micros(100);
+    // Crash recovery: when enabled and the supervisor reports the
+    // connection lost (OnConnectionLost), the client retries connecting
+    // with exponential backoff. Each attempt waits
+    // backoff * (1 ± jitter), then backoff *= multiplier up to
+    // max_backoff. Arrivals while disconnected fail immediately (open
+    // loop: a real load generator's connect() would fail fast, not queue).
+    struct ReconnectPolicy {
+      bool enabled = false;
+      Duration initial_backoff = Duration::Millis(1);
+      Duration max_backoff = Duration::Millis(64);
+      double multiplier = 2.0;
+      double jitter = 0.2;  // Fractional spread around the nominal backoff.
+    };
+    ReconnectPolicy reconnect;
   };
 
   LancetClient(Simulator* sim, TcpEndpoint* socket, const Config& config);
@@ -48,6 +63,27 @@ class LancetClient {
   // Begins generating load at the current virtual time. Arrivals stop after
   // warmup + measure; run the simulator a bit longer to drain responses.
   void Start();
+
+  // Supplies the dial-out path for crash recovery: returns a freshly
+  // connected endpoint (a *new* connection incarnation — never the old
+  // conn_id, whose stale in-flight segments must keep missing) or nullptr
+  // while the server is still down.
+  using ConnectFn = std::function<TcpEndpoint*()>;
+  void SetConnectFn(ConnectFn fn) { connect_fn_ = std::move(fn); }
+
+  // Supervisor notification that the transport died (server crash). Fails
+  // the pipeline and all in-flight requests (completing their hints so the
+  // shared tracker's occupancy doesn't leak) and, if reconnect is enabled
+  // and a ConnectFn is set, starts the backoff loop.
+  void OnConnectionLost();
+
+  // Observes every completed response as (completion time, latency µs),
+  // including outside the measurement window — lets a driver bucket
+  // latency into pre-crash / degraded / post-recovery phases.
+  using LatencyObserver = std::function<void(TimePoint, double)>;
+  void SetLatencyObserver(LatencyObserver fn) { latency_observer_ = std::move(fn); }
+
+  bool connected() const { return !disconnected_; }
 
   struct Results {
     RunningStats latency_us;     // send() -> response read (ground truth).
@@ -63,6 +99,11 @@ class LancetClient {
     uint64_t measured = 0;       // Responses counted in the window.
     double offered_rps = 0;
     double achieved_rps = 0;     // Measured completions / window.
+    // Crash recovery accounting:
+    uint64_t failed_disconnected = 0;  // Arrivals failed while disconnected.
+    uint64_t abandoned_on_crash = 0;   // In-flight/pipelined at loss time.
+    uint64_t reconnect_attempts = 0;   // Dial-outs tried (incl. failures).
+    uint64_t reconnects = 0;           // Successful reconnections.
   };
   const Results& results() const { return results_; }
 
@@ -75,6 +116,9 @@ class LancetClient {
   void FlushPipeline();
   void ScheduleReceiveWork();
   bool InMeasureWindow(TimePoint created) const;
+  void BindSocket(TcpEndpoint* socket);
+  void ScheduleReconnectAttempt();
+  void TryReconnect();
 
   Simulator* sim_;
   TcpEndpoint* socket_;
@@ -98,6 +142,16 @@ class LancetClient {
 
   uint64_t in_flight_ = 0;
   Results results_;
+
+  ConnectFn connect_fn_;
+  LatencyObserver latency_observer_;
+  bool disconnected_ = false;
+  Duration backoff_ = Duration::Zero();  // Next attempt's nominal wait.
+  // Bumped on every connection loss. CPU work submitted before the loss
+  // checks it on completion: the crash already wrote off those requests
+  // (hints completed, in_flight_ zeroed), so a stale work item must not
+  // account them a second time.
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace e2e

@@ -6,10 +6,13 @@
 #ifndef SRC_CORE_AGGREGATOR_H_
 #define SRC_CORE_AGGREGATOR_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "src/core/estimator.h"
 #include "src/core/latency_combiner.h"
+#include "src/sim/time.h"
 
 namespace e2e {
 
@@ -18,10 +21,43 @@ class EstimateAggregator {
   // Registers a source; the pointer must outlive the aggregator.
   void AddSource(const ConnectionEstimator* estimator) { sources_.push_back(estimator); }
 
+  // Unregisters a source (e.g. its connection was torn down). No-op when
+  // the pointer was never added.
+  void RemoveSource(const ConnectionEstimator* estimator) {
+    sources_.erase(std::remove(sources_.begin(), sources_.end(), estimator), sources_.end());
+  }
+
+  void Clear() { sources_.clear(); }
+
   size_t size() const { return sources_.size(); }
 
-  // Averages the sources' *current* estimates (stale/idle connections
-  // contribute throughput but no latency, exactly like AverageEstimates).
+  // Connections whose latest accepted exchange is older than this are
+  // dropped from Aggregate(now) instead of averaged in. Zero disables the
+  // check (legacy behavior).
+  void SetStalenessBound(Duration bound) { staleness_bound_ = bound; }
+
+  // Cumulative count of (source, Aggregate(now) call) pairs skipped for
+  // staleness — the fleet-level signal that estimates are going stale.
+  uint64_t stale_connections() const { return stale_connections_; }
+
+  // Averages the sources' *current* estimates, dropping any source whose
+  // last accepted exchange is older than the staleness bound — a silent
+  // peer must fall out of the average, not freeze it at its final value.
+  E2eEstimate Aggregate(TimePoint now) {
+    std::vector<E2eEstimate> estimates;
+    estimates.reserve(sources_.size());
+    for (const ConnectionEstimator* source : sources_) {
+      if (!staleness_bound_.IsZero() && now - source->last_update() > staleness_bound_) {
+        ++stale_connections_;
+        continue;
+      }
+      estimates.push_back(source->estimate());
+    }
+    return AverageEstimates(estimates.data(), estimates.size());
+  }
+
+  // Legacy form without a staleness clock: averages every source's current
+  // estimate (idle connections contribute throughput but no latency).
   E2eEstimate Aggregate() const {
     std::vector<E2eEstimate> estimates;
     estimates.reserve(sources_.size());
@@ -46,6 +82,8 @@ class EstimateAggregator {
 
  private:
   std::vector<const ConnectionEstimator*> sources_;
+  Duration staleness_bound_ = Duration::Zero();
+  uint64_t stale_connections_ = 0;
 };
 
 }  // namespace e2e

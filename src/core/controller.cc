@@ -1,6 +1,7 @@
 #include "src/core/controller.h"
 
 #include <cassert>
+#include <cmath>
 
 namespace e2e {
 
@@ -32,10 +33,45 @@ void ToggleController::SwitchTo(bool on, TimePoint now) {
   ++switches_;
 }
 
+void ToggleController::SetFrozen(bool frozen, TimePoint now) {
+  if (frozen == frozen_) {
+    return;
+  }
+  frozen_ = frozen;
+  if (frozen) {
+    frozen_since_ = now;
+    return;
+  }
+  // Excise the freeze window from every clock the decision logic reads, so
+  // arm knowledge (including a latency veto) ages only across time the
+  // controller was actually running.
+  const Duration gap = now - frozen_since_;
+  last_switch_ += gap;
+  if (any_sample_) {
+    last_sample_time_ += gap;
+  }
+  for (Arm& arm : arms_) {
+    if (arm.observed) {
+      arm.last_update += gap;
+    }
+  }
+}
+
 bool ToggleController::OnTick(TimePoint now, const std::optional<PerfSample>& sample) {
+  if (frozen_) {
+    return on_;
+  }
+  // A non-finite observation is a degraded estimator, not data; it must
+  // never reach the EWMAs or the policy.
+  const bool sample_ok = sample.has_value() && std::isfinite(sample->latency.ToMicros()) &&
+                         std::isfinite(sample->throughput);
+  if (sample_ok) {
+    any_sample_ = true;
+    last_sample_time_ = now;
+  }
   // Discard samples taken right after a switch: they reflect backlog
   // inherited from the previous setting, not this arm's behavior.
-  if (sample.has_value() && now - last_switch_ >= config_.settle) {
+  if (sample_ok && now - last_switch_ >= config_.settle) {
     Arm& arm = ArmFor(on_);
     arm.latency_us.Add(now, sample->latency.ToMicros());
     arm.throughput.Add(now, sample->throughput);
@@ -45,6 +81,12 @@ bool ToggleController::OnTick(TimePoint now, const std::optional<PerfSample>& sa
 
   // Honor the dwell time so every trial produces at least one estimate.
   if (now - last_switch_ < config_.min_dwell) {
+    return on_;
+  }
+
+  // With no fresh samples at all there is nothing to learn from switching:
+  // hold the current arm until the estimate pipeline comes back.
+  if (!any_sample_ || now - last_sample_time_ > config_.stale_after) {
     return on_;
   }
 

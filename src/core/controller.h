@@ -54,7 +54,22 @@ class ToggleController {
 
   // Feeds one end-to-end estimate observed *under the current setting* and
   // makes a (possibly unchanged) decision. Returns the new setting.
+  //
+  // Non-finite samples are discarded. When no sample has arrived within
+  // stale_after, the controller holds its current arm instead of exploring:
+  // with the estimate pipeline down, switching can't produce an
+  // observation, and staleness-driven probing would otherwise flip arms
+  // every min_dwell (both arms stale forever — a thrash loop).
   bool OnTick(TimePoint now, const std::optional<PerfSample>& sample);
+
+  // Freezes/unfreezes the controller (estimator health fallback, DESIGN.md
+  // §10). While frozen, OnTick consumes no samples and never switches, so
+  // degraded estimates cannot poison the per-arm EWMAs. Unfreezing shifts
+  // arm timestamps forward by the freeze duration: the freeze window is
+  // excised from staleness and veto-memory clocks, so a veto learned
+  // before a fallback survives the fallback→recovery cycle.
+  void SetFrozen(bool frozen, TimePoint now);
+  bool frozen() const { return frozen_; }
 
   uint64_t switches() const { return switches_; }
   uint64_t explorations() const { return explorations_; }
@@ -83,6 +98,10 @@ class ToggleController {
   TimePoint last_switch_;
   uint64_t switches_ = 0;
   uint64_t explorations_ = 0;
+  bool frozen_ = false;
+  TimePoint frozen_since_;
+  bool any_sample_ = false;
+  TimePoint last_sample_time_;
 };
 
 }  // namespace e2e

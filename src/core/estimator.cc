@@ -1,5 +1,7 @@
 #include "src/core/estimator.h"
 
+#include <algorithm>
+
 namespace e2e {
 namespace {
 
@@ -9,6 +11,40 @@ EndpointAverages AvgsOf(const WirePayload& prev, const WirePayload& cur) {
       WireGetAvgs(prev.unread, cur.unread),
       WireGetAvgs(prev.ackdelay, cur.ackdelay),
   };
+}
+
+// Worst verdict across the three queues of a payload delta. All three share
+// one snapshot clock, so a wrap violation on any queue condemns the pair.
+WireDeltaVerdict CheckPayloadDelta(const WirePayload& prev, const WirePayload& cur) {
+  WireDeltaVerdict worst = WireDeltaVerdict::kOk;
+  const auto severity = [](WireDeltaVerdict v) {
+    switch (v) {
+      case WireDeltaVerdict::kOk:
+        return 0;
+      case WireDeltaVerdict::kZeroDeparture:
+        return 1;
+      case WireDeltaVerdict::kNoProgress:
+        return 2;
+      case WireDeltaVerdict::kImplausibleDelay:
+        return 3;
+      case WireDeltaVerdict::kWrapViolation:
+        return 4;
+    }
+    return 0;
+  };
+  for (const WireDeltaVerdict v : {CheckWireDelta(prev.unacked, cur.unacked),
+                                   CheckWireDelta(prev.unread, cur.unread),
+                                   CheckWireDelta(prev.ackdelay, cur.ackdelay)}) {
+    if (severity(v) > severity(worst)) {
+      worst = v;
+    }
+  }
+  return worst;
+}
+
+bool Rejects(WireDeltaVerdict v) {
+  return v == WireDeltaVerdict::kNoProgress || v == WireDeltaVerdict::kWrapViolation ||
+         v == WireDeltaVerdict::kImplausibleDelay;
 }
 
 }  // namespace
@@ -27,15 +63,25 @@ WirePayload ConnectionEstimator::BuildLocalPayload(EndpointQueues& queues, HintT
   return payload;
 }
 
-void ConnectionEstimator::OnRemotePayload(const WirePayload& remote, EndpointQueues& queues,
+bool ConnectionEstimator::OnRemotePayload(const WirePayload& remote, EndpointQueues& queues,
                                           HintTracker* hint, TimePoint now) {
   ++exchanges_;
+  if (remote_cur_.has_value()) {
+    last_verdict_ = CheckPayloadDelta(*remote_cur_, remote);
+    if (Rejects(last_verdict_)) {
+      ++rejected_payloads_;
+      return false;
+    }
+  } else {
+    last_verdict_ = WireDeltaVerdict::kOk;
+  }
+  last_update_ = now;
   local_prev_ = local_cur_;
   local_cur_ = BuildLocalPayload(queues, hint, now);
   remote_prev_ = remote_cur_;
   remote_cur_ = remote;
   if (!local_prev_ || !remote_prev_) {
-    return;
+    return true;
   }
   const EndpointAverages local_avgs = AvgsOf(*local_prev_, *local_cur_);
   const EndpointAverages remote_avgs = AvgsOf(*remote_prev_, *remote_cur_);
@@ -50,6 +96,24 @@ void ConnectionEstimator::OnRemotePayload(const WirePayload& remote, EndpointQue
       hint_throughput_ = hint_avgs.throughput;
     }
   }
+  return true;
+}
+
+E2eEstimate ConnectionEstimator::LocalOnlyEstimate(EndpointQueues& queues, TimePoint now) {
+  local_only_prev_ = local_only_cur_;
+  local_only_cur_ = BuildLocalPayload(queues, /*hint=*/nullptr, now);
+  E2eEstimate est;
+  if (!local_only_prev_.has_value()) {
+    return est;
+  }
+  const EndpointAverages avgs = AvgsOf(*local_only_prev_, *local_only_cur_);
+  if (!avgs.unacked.delay.has_value()) {
+    return est;
+  }
+  const Duration zero = Duration::Zero();
+  est.latency = std::max(*avgs.unacked.delay + avgs.unread.DelayOr(zero), zero);
+  est.a_send_throughput = avgs.unacked.throughput;
+  return est;
 }
 
 void ConnectionEstimator::Reset() {
@@ -57,10 +121,13 @@ void ConnectionEstimator::Reset() {
   local_cur_.reset();
   remote_prev_.reset();
   remote_cur_.reset();
+  local_only_prev_.reset();
+  local_only_cur_.reset();
   estimate_ = E2eEstimate{};
   last_valid_.reset();
   hint_latency_.reset();
   hint_throughput_ = 0.0;
+  last_verdict_ = WireDeltaVerdict::kOk;
 }
 
 }  // namespace e2e

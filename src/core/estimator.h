@@ -34,8 +34,13 @@ class ConnectionEstimator {
   WirePayload BuildLocalPayload(EndpointQueues& queues, HintTracker* hint, TimePoint now);
 
   // Ingests the peer's payload and refreshes the estimate. `queues` are the
-  // local queues (snapshotted now to align intervals).
-  void OnRemotePayload(const WirePayload& remote, EndpointQueues& queues, HintTracker* hint,
+  // local queues (snapshotted now to align intervals). Payloads whose delta
+  // against the previous remote payload is implausible (wrap violation,
+  // duplicate, out-of-range delay — see CheckWireDelta) are rejected: they
+  // are counted, recorded in last_verdict(), and do NOT advance the
+  // snapshot pairs, so one replayed/garbled exchange cannot poison the
+  // estimate. Returns true when the payload was accepted.
+  bool OnRemotePayload(const WirePayload& remote, EndpointQueues& queues, HintTracker* hint,
                        TimePoint now);
 
   // The latest kernel-queue estimate; invalid until two exchanges completed
@@ -53,8 +58,23 @@ class ConnectionEstimator {
   std::optional<Duration> hint_latency() const { return hint_latency_; }
   double hint_throughput() const { return hint_throughput_; }
 
-  // Number of remote payloads ingested.
+  // One-sided estimate from the local queues only, for when peer counters
+  // are untrusted (health fallback level kLocalOnly). Maintains its own
+  // snapshot pair, advanced on every call, so it keeps working while the
+  // metadata channel is down entirely. L_local ≈ D_unacked + D_unread:
+  // the unacked delay folds in the wait for the peer's acks, the unread
+  // delay the local read backlog. Underestimates the peer's queues but is
+  // immune to their lies.
+  E2eEstimate LocalOnlyEstimate(EndpointQueues& queues, TimePoint now);
+
+  // Number of remote payloads ingested (accepted + rejected).
   uint64_t exchanges() const { return exchanges_; }
+  // Remote payloads rejected by delta-plausibility checks.
+  uint64_t rejected_payloads() const { return rejected_payloads_; }
+  // Verdict of the most recent remote payload (kOk before any arrive).
+  WireDeltaVerdict last_verdict() const { return last_verdict_; }
+  // Time of the most recent *accepted* remote payload.
+  TimePoint last_update() const { return last_update_; }
 
   // Drops history (e.g. after an idle period that would straddle wraps).
   void Reset();
@@ -65,11 +85,18 @@ class ConnectionEstimator {
   std::optional<WirePayload> local_cur_;
   std::optional<WirePayload> remote_prev_;
   std::optional<WirePayload> remote_cur_;
+  // Independent pair for LocalOnlyEstimate (tick-cadence, not exchange-
+  // aligned; must advance while exchanges are absent).
+  std::optional<WirePayload> local_only_prev_;
+  std::optional<WirePayload> local_only_cur_;
   E2eEstimate estimate_;
   std::optional<E2eEstimate> last_valid_;
   std::optional<Duration> hint_latency_;
   double hint_throughput_ = 0.0;
   uint64_t exchanges_ = 0;
+  uint64_t rejected_payloads_ = 0;
+  WireDeltaVerdict last_verdict_ = WireDeltaVerdict::kOk;
+  TimePoint last_update_;
 };
 
 }  // namespace e2e

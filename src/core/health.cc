@@ -1,0 +1,122 @@
+#include "src/core/health.h"
+
+namespace e2e {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kFull:
+      return "full";
+    case HealthState::kLocalOnly:
+      return "local_only";
+    case HealthState::kStatic:
+      return "static";
+  }
+  return "?";
+}
+
+EstimatorHealth::EstimatorHealth(const HealthConfig& config, TimePoint now)
+    : config_(config), last_healthy_(now), state_since_(now) {
+  // Trust is earned: a new connection starts on the static policy and
+  // climbs to kFull through the promotion streak.
+  transitions_.emplace_back(now, state_);
+}
+
+void EstimatorHealth::OnExchange(TimePoint now, WireDeltaVerdict verdict) {
+  switch (verdict) {
+    case WireDeltaVerdict::kOk:
+      ++counters_.healthy_exchanges;
+      last_healthy_ = now;
+      reject_streak_ = 0;
+      if (state_ != HealthState::kFull) {
+        if (++healthy_streak_ >= config_.promote_after) {
+          Promote(now);
+          healthy_streak_ = 0;
+        }
+      }
+      return;
+    case WireDeltaVerdict::kZeroDeparture:
+      // Time advanced, so the channel is alive — but an interval with
+      // occupancy and no departures proves nothing about the delay math.
+      ++counters_.zero_departure_exchanges;
+      last_healthy_ = now;
+      return;
+    case WireDeltaVerdict::kNoProgress:
+      ++counters_.rejected_no_progress;
+      break;
+    case WireDeltaVerdict::kWrapViolation:
+      ++counters_.rejected_wrap_violation;
+      break;
+    case WireDeltaVerdict::kImplausibleDelay:
+      ++counters_.rejected_implausible_delay;
+      break;
+  }
+  healthy_streak_ = 0;
+  if (++reject_streak_ >= config_.demote_after_rejects) {
+    Demote(now);
+    reject_streak_ = 0;
+  }
+}
+
+void EstimatorHealth::Tick(TimePoint now) {
+  const Duration stale = now - last_healthy_;
+  if (stale > config_.static_after) {
+    if (state_ != HealthState::kStatic) {
+      SetState(HealthState::kStatic, now);
+      ++counters_.demotions;
+      healthy_streak_ = 0;
+    }
+  } else if (stale > config_.freshness_bound && state_ == HealthState::kFull) {
+    SetState(HealthState::kLocalOnly, now);
+    ++counters_.demotions;
+    healthy_streak_ = 0;
+  }
+}
+
+void EstimatorHealth::OnConnectionLost(TimePoint now) {
+  ++counters_.connection_losses;
+  healthy_streak_ = 0;
+  reject_streak_ = 0;
+  if (state_ != HealthState::kStatic) {
+    SetState(HealthState::kStatic, now);
+    ++counters_.demotions;
+  }
+}
+
+void EstimatorHealth::OnReconnect(TimePoint now) {
+  healthy_streak_ = 0;
+  reject_streak_ = 0;
+  last_healthy_ = now;  // Fresh estimator: staleness restarts from zero.
+}
+
+Duration EstimatorHealth::TimeIn(HealthState state, TimePoint now) const {
+  Duration total = time_in_[static_cast<size_t>(state)];
+  if (state == state_) {
+    total += now - state_since_;
+  }
+  return total;
+}
+
+void EstimatorHealth::SetState(HealthState next, TimePoint now) {
+  time_in_[static_cast<size_t>(state_)] += now - state_since_;
+  state_ = next;
+  state_since_ = now;
+  transitions_.emplace_back(now, next);
+}
+
+void EstimatorHealth::Demote(TimePoint now) {
+  if (state_ == HealthState::kStatic) {
+    return;
+  }
+  SetState(static_cast<HealthState>(static_cast<uint8_t>(state_) + 1), now);
+  ++counters_.demotions;
+}
+
+void EstimatorHealth::Promote(TimePoint now) {
+  if (state_ == HealthState::kFull) {
+    return;
+  }
+  SetState(static_cast<HealthState>(static_cast<uint8_t>(state_) - 1), now);
+  ++counters_.promotions;
+}
+
+}  // namespace e2e

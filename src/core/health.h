@@ -1,0 +1,134 @@
+// Estimator health / degradation layer (DESIGN.md §10).
+//
+// The end-to-end estimate is only as good as the metadata channel feeding
+// it: peer counters go stale under loss, arrive duplicated or replayed
+// under middlebox weirdness, and stop entirely when the peer crashes. A
+// controller steering batching off a poisoned estimate is worse than a
+// static heuristic, so each connection carries an EstimatorHealth that
+// grades estimate confidence from two signals:
+//
+//   freshness    — how long since the last healthy exchange (clock-driven,
+//                  checked on every controller tick), and
+//   plausibility — the WireDeltaVerdict of each arriving exchange
+//                  (wrap-violation deltas, zero-departure intervals,
+//                  non-finite/implausible derived delays).
+//
+// Health drives an explicit fallback chain, one level at a time:
+//
+//   kFull       full two-sided estimate (paper §3.2)
+//   kLocalOnly  local-queues-only estimate (peer counters untrusted)
+//   kStatic     static policy; the controller freezes arm state and stops
+//               consuming samples so degraded data cannot poison EWMAs
+//
+// Demotion is immediate (freshness bound exceeded, connection lost, or a
+// streak of rejected exchanges); promotion is hysteretic — one level per
+// `promote_after` *consecutive* healthy exchanges — so a flapping channel
+// settles into the degraded state instead of oscillating.
+
+#ifndef SRC_CORE_HEALTH_H_
+#define SRC_CORE_HEALTH_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/wire_format.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// Confidence levels, ordered best to worst; the numeric value indexes
+// time-in-state accounting.
+enum class HealthState : uint8_t {
+  kFull = 0,
+  kLocalOnly = 1,
+  kStatic = 2,
+};
+inline constexpr size_t kNumHealthStates = 3;
+
+const char* HealthStateName(HealthState state);
+
+struct HealthConfig {
+  // No healthy exchange for this long demotes kFull -> kLocalOnly. Should
+  // comfortably exceed the exchange interval (several missed exchanges,
+  // not one delayed segment).
+  Duration freshness_bound = Duration::Millis(10);
+  // No healthy exchange for this long demotes all the way to kStatic.
+  Duration static_after = Duration::Millis(50);
+  // Consecutive healthy exchanges required to climb one level.
+  int promote_after = 8;
+  // Consecutive rejected exchanges that demote one level even while
+  // traffic is flowing (plausibility failure, not staleness).
+  int demote_after_rejects = 3;
+};
+
+struct HealthCounters {
+  uint64_t healthy_exchanges = 0;
+  uint64_t rejected_no_progress = 0;
+  uint64_t rejected_wrap_violation = 0;
+  uint64_t rejected_implausible_delay = 0;
+  uint64_t zero_departure_exchanges = 0;
+  uint64_t demotions = 0;
+  uint64_t promotions = 0;
+  uint64_t connection_losses = 0;
+
+  uint64_t rejected_total() const {
+    return rejected_no_progress + rejected_wrap_violation + rejected_implausible_delay;
+  }
+};
+
+class EstimatorHealth {
+ public:
+  EstimatorHealth(const HealthConfig& config, TimePoint now);
+
+  // Grades one arriving exchange. Healthy exchanges refresh the freshness
+  // clock and advance the promotion streak; rejected ones advance the
+  // demotion streak. kZeroDeparture refreshes freshness (time really did
+  // advance) but proves nothing about plausibility, so it leaves both
+  // streaks untouched.
+  void OnExchange(TimePoint now, WireDeltaVerdict verdict);
+
+  // Clock-driven freshness check; call at controller-tick cadence. Only
+  // ever demotes.
+  void Tick(TimePoint now);
+
+  // The connection is gone (peer crash / teardown): hard demote to
+  // kStatic. Promotion after reconnect goes through the normal streak.
+  void OnConnectionLost(TimePoint now);
+
+  // A replacement connection is up; resets streaks and the freshness clock
+  // so the new estimator starts from a clean (but still kStatic) slate.
+  void OnReconnect(TimePoint now);
+
+  HealthState state() const { return state_; }
+  const HealthCounters& counters() const { return counters_; }
+
+  // Cumulative time spent in `state`, including the currently open span.
+  Duration TimeIn(HealthState state, TimePoint now) const;
+
+  // Every state change as (time, new state); the initial state is entry 0.
+  // The bench derives time-to-detect / time-to-recover from this log.
+  const std::vector<std::pair<TimePoint, HealthState>>& transitions() const {
+    return transitions_;
+  }
+
+ private:
+  void SetState(HealthState next, TimePoint now);
+  void Demote(TimePoint now);
+  void Promote(TimePoint now);
+
+  HealthConfig config_;
+  HealthState state_ = HealthState::kStatic;
+  TimePoint last_healthy_;
+  TimePoint state_since_;
+  int healthy_streak_ = 0;
+  int reject_streak_ = 0;
+  HealthCounters counters_;
+  std::array<Duration, kNumHealthStates> time_in_{};
+  std::vector<std::pair<TimePoint, HealthState>> transitions_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_CORE_HEALTH_H_

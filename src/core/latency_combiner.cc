@@ -1,6 +1,7 @@
 #include "src/core/latency_combiner.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace e2e {
 
@@ -44,8 +45,13 @@ E2eEstimate AverageEstimates(const E2eEstimate* estimates, size_t count) {
   int64_t valid = 0;
   int64_t latency_ns = 0;
   for (size_t i = 0; i < count; ++i) {
-    avg.a_send_throughput += estimates[i].a_send_throughput;
-    avg.b_send_throughput += estimates[i].b_send_throughput;
+    // A degraded source must not turn the whole aggregate non-finite.
+    if (std::isfinite(estimates[i].a_send_throughput)) {
+      avg.a_send_throughput += estimates[i].a_send_throughput;
+    }
+    if (std::isfinite(estimates[i].b_send_throughput)) {
+      avg.b_send_throughput += estimates[i].b_send_throughput;
+    }
     if (estimates[i].latency.has_value()) {
       latency_ns += estimates[i].latency->nanos();
       ++valid;

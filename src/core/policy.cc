@@ -1,12 +1,29 @@
 #include "src/core/policy.h"
 
+#include <cassert>
+#include <cmath>
+
 namespace e2e {
+namespace {
+
+// Scores feed arm comparisons and EWMAs; a non-finite input means a
+// degraded estimator leaked past the health/controller guards. Assert in
+// every build (the bench's degradation A/B relies on this tripping).
+void AssertFinite(const PerfSample& sample) {
+  assert(std::isfinite(sample.latency.ToMicros()));
+  assert(std::isfinite(sample.throughput));
+  (void)sample;
+}
+
+}  // namespace
 
 double MinLatencyPolicy::Score(const PerfSample& sample) const {
+  AssertFinite(sample);
   return -sample.latency.ToMicros();
 }
 
 double SloThroughputPolicy::Score(const PerfSample& sample) const {
+  AssertFinite(sample);
   if (sample.latency <= slo_) {
     // Compliant: rank by throughput, strictly above every violator. The
     // small latency-margin bonus breaks ties between settings that carry
@@ -20,6 +37,7 @@ double SloThroughputPolicy::Score(const PerfSample& sample) const {
 }
 
 double WeightedPolicy::Score(const PerfSample& sample) const {
+  AssertFinite(sample);
   return tput_w_ * sample.throughput / 1e3 - lat_w_ * sample.latency.ToMicros();
 }
 

@@ -1,5 +1,6 @@
 #include "src/core/wire_format.h"
 
+#include <cmath>
 #include <cstring>
 
 namespace e2e {
@@ -40,14 +41,40 @@ WireCounters CompressSnapshot(const QueueSnapshot& snap) {
   };
 }
 
-QueueAverages WireGetAvgs(const WireCounters& prev, const WireCounters& cur) {
-  QueueAverages avgs;
+WireDeltaVerdict CheckWireDelta(const WireCounters& prev, const WireCounters& cur) {
   // Wrapping unsigned subtraction yields the true delta as long as the
   // interval advanced each counter by < 2^32.
   const uint32_t dt_us = cur.time_us - prev.time_us;
   if (dt_us == 0) {
+    return WireDeltaVerdict::kNoProgress;
+  }
+  if (dt_us > kMaxPlausibleIntervalUs) {
+    return WireDeltaVerdict::kWrapViolation;
+  }
+  const uint32_t d_total = cur.total - prev.total;
+  const uint32_t d_integral = cur.integral_us - prev.integral_us;
+  if (d_total > 0) {
+    const double delay_us =
+        static_cast<double>(d_integral) / static_cast<double>(d_total);
+    if (!std::isfinite(delay_us) || delay_us < 0 ||
+        delay_us > static_cast<double>(kMaxPlausibleIntervalUs)) {
+      return WireDeltaVerdict::kImplausibleDelay;
+    }
+  } else if (d_integral > 0) {
+    return WireDeltaVerdict::kZeroDeparture;
+  }
+  return WireDeltaVerdict::kOk;
+}
+
+QueueAverages WireGetAvgs(const WireCounters& prev, const WireCounters& cur) {
+  QueueAverages avgs;
+  const WireDeltaVerdict verdict = CheckWireDelta(prev, cur);
+  if (verdict == WireDeltaVerdict::kNoProgress ||
+      verdict == WireDeltaVerdict::kWrapViolation ||
+      verdict == WireDeltaVerdict::kImplausibleDelay) {
     return avgs;
   }
+  const uint32_t dt_us = cur.time_us - prev.time_us;
   const uint32_t d_total = cur.total - prev.total;
   const uint32_t d_integral = cur.integral_us - prev.integral_us;
   const double dt_sec = static_cast<double>(dt_us) / 1e6;
@@ -86,7 +113,14 @@ std::optional<WirePayload> DecodePayload(const uint8_t* buf, size_t len) {
   }
   WirePayload payload;
   const uint8_t flags = buf[1];
-  payload.mode = static_cast<UnitMode>(flags & kModeMask);
+  if ((flags & ~(kModeMask | kHintFlag)) != 0) {
+    return std::nullopt;  // Reserved flag bits: newer sender or corruption.
+  }
+  const uint8_t mode = flags & kModeMask;
+  if (mode >= static_cast<uint8_t>(UnitMode::kHints)) {
+    return std::nullopt;  // kHints travels in the hint slot, never as a queue mode.
+  }
+  payload.mode = static_cast<UnitMode>(mode);
   payload.unacked = GetCounters(buf + 2);
   payload.unread = GetCounters(buf + 14);
   payload.ackdelay = GetCounters(buf + 26);

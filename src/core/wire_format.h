@@ -33,7 +33,29 @@ struct WireCounters {
 // Compresses a full-resolution snapshot into wire counters.
 WireCounters CompressSnapshot(const QueueSnapshot& snap);
 
+// Plausibility verdict for the delta between two successive wire snapshots.
+// The wrapping-subtraction trick is only sound when a single interval
+// advances each counter by < 2^32; a delta that decodes to more than half
+// the counter range is indistinguishable from time running backwards (a
+// stale or replayed snapshot) and must not be folded into averages.
+enum class WireDeltaVerdict : uint8_t {
+  kOk = 0,
+  kNoProgress,        // dt == 0: duplicate or replayed snapshot.
+  kWrapViolation,     // dt > 2^31 us: stale/reordered peer counters.
+  kImplausibleDelay,  // integral/total ratio out of physical range.
+  kZeroDeparture,     // Occupancy accrued but nothing departed.
+};
+
+// Longest interval (and largest per-unit delay) a delta may decode to
+// before it is treated as a wrap violation rather than real time.
+inline constexpr uint32_t kMaxPlausibleIntervalUs = 1u << 31;
+
+// Classifies the delta `prev -> cur` without computing averages.
+WireDeltaVerdict CheckWireDelta(const WireCounters& prev, const WireCounters& cur);
+
 // Algorithm 2 over wire counters, using wraparound-correct 32-bit deltas.
+// Deltas judged kNoProgress, kWrapViolation, or kImplausibleDelay return
+// empty averages (no delay, zero throughput) instead of garbage.
 QueueAverages WireGetAvgs(const WireCounters& prev, const WireCounters& cur);
 
 // One peer's share of the exchange: the three queues (36 bytes) plus an
@@ -57,7 +79,9 @@ inline constexpr size_t kWirePayloadMaxSize = kWirePayloadBaseSize + 12;
 // bytes written, or 0 if `cap` is too small.
 size_t EncodePayload(const WirePayload& payload, uint8_t* buf, size_t cap);
 
-// Parses a payload; returns nullopt on truncation or version mismatch.
+// Parses a payload; returns nullopt on truncation, version mismatch, an
+// unknown unit-mode byte (kHints is hint-slot-only, never a queue mode),
+// or reserved flag bits set by a newer/corrupted sender.
 std::optional<WirePayload> DecodePayload(const uint8_t* buf, size_t len);
 
 }  // namespace e2e

@@ -12,7 +12,24 @@ CpuCore::CpuCore(Simulator* sim, std::string name) : sim_(sim), name_(std::move(
 void CpuCore::Submit(StartFn start, DoneFn done) {
   assert(start != nullptr);
   queue_.push_back(Work{std::move(start), std::move(done)});
-  if (!busy_) {
+  if (!busy_ && !stalled()) {
+    BeginNext();
+  }
+}
+
+void CpuCore::Stall(Duration d) {
+  const TimePoint until = sim_->Now() + d;
+  if (until > stalled_until_) {
+    stalled_until_ = until;
+  }
+  ++stalls_;
+  // Wake when the freeze lifts; stale wakes (from extended stalls) see
+  // stalled() still true and do nothing.
+  sim_->ScheduleAt(stalled_until_, [this] { MaybeBegin(); });
+}
+
+void CpuCore::MaybeBegin() {
+  if (!busy_ && !stalled() && !queue_.empty()) {
     BeginNext();
   }
 }
@@ -45,9 +62,7 @@ void CpuCore::BeginNext() {
     if (done) {
       done();
     }
-    if (!busy_ && !queue_.empty()) {
-      BeginNext();
-    }
+    MaybeBegin();
   });
 }
 

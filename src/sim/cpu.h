@@ -39,6 +39,14 @@ class CpuCore {
   // Convenience for items whose cost is known at submission time.
   void SubmitFixed(Duration cost, DoneFn done = nullptr);
 
+  // Freezes the core for `d` (a VM preemption or GC pause): the item
+  // currently executing finishes on schedule, but nothing new starts until
+  // the stall ends. Work keeps queueing meanwhile — exactly the backlog a
+  // real pause leaves behind. Overlapping stalls extend the freeze.
+  void Stall(Duration d);
+  bool stalled() const { return sim_->Now() < stalled_until_; }
+  uint64_t stalls() const { return stalls_; }
+
   bool busy() const { return busy_; }
   size_t queue_depth() const { return queue_.size(); }
   const std::string& name() const { return name_; }
@@ -58,6 +66,7 @@ class CpuCore {
   };
 
   void BeginNext();
+  void MaybeBegin();
 
   Simulator* sim_;
   std::string name_;
@@ -66,6 +75,8 @@ class CpuCore {
   TimePoint current_started_;
   Duration busy_accum_;
   uint64_t items_done_ = 0;
+  TimePoint stalled_until_;
+  uint64_t stalls_ = 0;
 };
 
 }  // namespace e2e

@@ -49,8 +49,31 @@ bool TcpEndpoint::Send(uint64_t len, MessageRecord record) {
   return SendBatch(std::move(items));
 }
 
+void TcpEndpoint::Shutdown() {
+  if (dead_) {
+    return;
+  }
+  dead_ = true;
+  CancelTimer(nagle_timer_);
+  CancelTimer(rto_timer_);
+  CancelTimer(persist_timer_);
+  CancelTimer(delack_timer_);
+  CancelTimer(exchange_timer_);
+  force_exchange_ = false;
+  hold_for_completion_ = false;
+  send_blocked_ = false;
+  readable_cb_ = nullptr;
+  writable_cb_ = nullptr;
+  estimate_cb_ = nullptr;
+  metadata_filter_ = nullptr;
+  hint_tracker_ = nullptr;
+}
+
 bool TcpEndpoint::SendBatch(std::vector<BatchItem> items) {
   assert(!items.empty());
+  if (dead_) {
+    return false;
+  }
   uint64_t total = 0;
   for (const BatchItem& item : items) {
     assert(item.len > 0);
@@ -84,6 +107,9 @@ bool TcpEndpoint::SendWithHints(uint64_t len, MessageRecord record, HintTracker*
 }
 
 TcpEndpoint::RecvResult TcpEndpoint::Recv(uint64_t max_bytes) {
+  if (dead_) {
+    return RecvResult{};
+  }
   const uint64_t old_head = rcvq_.head_offset();
   ByteStreamQueue::Consumed consumed = rcvq_.Consume(max_bytes);
   RecvResult result;
@@ -112,6 +138,9 @@ TcpEndpoint::RecvResult TcpEndpoint::Recv(uint64_t max_bytes) {
 }
 
 void TcpEndpoint::SetNoDelay(bool nodelay) {
+  if (dead_) {
+    return;
+  }
   const bool was = config_.nodelay;
   config_.nodelay = nodelay;
   if (nodelay && !was && snd_nxt_ < sndq_.tail_offset()) {
@@ -122,6 +151,9 @@ void TcpEndpoint::SetNoDelay(bool nodelay) {
 }
 
 void TcpEndpoint::RequestExchange() {
+  if (dead_) {
+    return;
+  }
   force_exchange_ = true;
   // Give outbound data a short window to piggyback the option; if nothing
   // carries it by then, fall back to a pure ack.
@@ -133,6 +165,9 @@ void TcpEndpoint::RequestExchange() {
 }
 
 void TcpEndpoint::SetCorkLimit(std::optional<uint32_t> bytes) {
+  if (dead_) {
+    return;
+  }
   cork_limit_override_ = bytes;
   if (snd_nxt_ < sndq_.tail_offset()) {
     SubmitPush(&host_->app_core(), PushReason::kApp);
@@ -167,6 +202,9 @@ bool TcpEndpoint::MaySendSmallNow(uint64_t pending, PushReason reason) {
 
 std::vector<TcpEndpoint::PlannedPacket> TcpEndpoint::PlanPush(PushReason reason) {
   std::vector<PlannedPacket> packets;
+  if (dead_) {
+    return packets;  // Work submitted before Shutdown() plans nothing.
+  }
   while (true) {
     const uint64_t pending = sndq_.tail_offset() - snd_nxt_;
     if (pending == 0) {
@@ -392,6 +430,9 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPureAck(bool force_exchange) {
 
 void TcpEndpoint::OnTxCompletions(size_t n) {
   (void)n;
+  if (dead_) {
+    return;
+  }
   if (hold_for_completion_) {
     hold_for_completion_ = false;
     SubmitPush(&host_->softirq_core(), PushReason::kTxCompletion);
@@ -403,12 +444,24 @@ void TcpEndpoint::OnTxCompletions(size_t n) {
 // ---------------------------------------------------------------------------
 
 void TcpEndpoint::HandleSegment(const TcpSegment& seg) {
+  if (dead_) {
+    return;  // Late segment for a torn-down incarnation: silently dropped.
+  }
   ++stats_.segments_received;
   if (seg.e2e_option.has_value()) {
     ++stats_.exchanges_received;
-    estimator_.OnRemotePayload(*seg.e2e_option, queues_, hint_tracker_, sim_->Now());
-    if (estimate_cb_) {
-      estimate_cb_(estimator_);
+    if (metadata_filter_) {
+      for (const WirePayload& payload : metadata_filter_(*seg.e2e_option)) {
+        estimator_.OnRemotePayload(payload, queues_, hint_tracker_, sim_->Now());
+        if (estimate_cb_) {
+          estimate_cb_(estimator_);
+        }
+      }
+    } else {
+      estimator_.OnRemotePayload(*seg.e2e_option, queues_, hint_tracker_, sim_->Now());
+      if (estimate_cb_) {
+        estimate_cb_(estimator_);
+      }
     }
   }
   if ((seg.flags & kFlagAck) != 0) {
@@ -610,6 +663,9 @@ void TcpEndpoint::ArmPersistTimer() {
   }
   persist_timer_ = sim_->Schedule(rtt_.rto(), [this] {
     persist_timer_ = kInvalidEventId;
+    if (dead_) {
+      return;
+    }
     const uint64_t pending = sndq_.tail_offset() - snd_nxt_;
     const uint64_t in_flight = snd_nxt_ - sndq_.head_offset();
     if (pending == 0 || in_flight > 0 || peer_rwnd_ >= config_.mss) {
@@ -654,7 +710,7 @@ void TcpEndpoint::SubmitRetransmit() {
   auto planned = std::make_shared<std::optional<PlannedPacket>>();
   host_->softirq_core().Submit(
       [this, planned]() -> Duration {
-        if (snd_nxt_ == sndq_.head_offset()) {
+        if (dead_ || snd_nxt_ == sndq_.head_offset()) {
           return Duration::Zero();
         }
         *planned = BuildRetransmit();

@@ -44,6 +44,10 @@ class TcpEndpoint {
   using ReadableFn = std::function<void()>;
   using WritableFn = std::function<void()>;
   using EstimateFn = std::function<void(const ConnectionEstimator&)>;
+  // Fault hook on the metadata receive path: maps one arriving peer payload
+  // to the payloads actually delivered to the estimator — {} withholds it,
+  // {p} passes it through, {p, p} duplicates, {stale} replays an old one.
+  using MetadataFilterFn = std::function<std::vector<WirePayload>(const WirePayload&)>;
 
   TcpEndpoint(Simulator* sim, Host* host, uint64_t conn_id, bool is_a, const TcpConfig& config,
               const StackCosts* costs);
@@ -108,6 +112,17 @@ class TcpEndpoint {
   // Invoked (softirq context) whenever a metadata exchange refreshes the
   // estimate; wiring point for dynamic batching controllers.
   void SetEstimateCallback(EstimateFn fn) { estimate_cb_ = std::move(fn); }
+  // Installs/clears (nullptr) the metadata fault filter (testbed/faults).
+  void SetMetadataFilter(MetadataFilterFn fn) { metadata_filter_ = std::move(fn); }
+
+  // Kills this endpoint: cancels every timer, drops callbacks, and turns
+  // all entry points into no-ops. Models the socket side of a process
+  // crash / close. The object intentionally stays allocated (a zombie):
+  // CPU-core work items and in-flight packets may still hold `this`, so
+  // destruction is unsafe until the simulation ends — TcpStack keeps
+  // ownership and merely removes the demux entry.
+  void Shutdown();
+  bool dead() const { return dead_; }
 
   // ---- Stack-side API ----
 
@@ -281,8 +296,10 @@ class TcpEndpoint {
   ReadableFn readable_cb_;
   WritableFn writable_cb_;
   EstimateFn estimate_cb_;
+  MetadataFilterFn metadata_filter_;
   Stats stats_;
   uint64_t next_packet_id_ = 1;
+  bool dead_ = false;
 };
 
 }  // namespace e2e

@@ -1,5 +1,6 @@
 #include "src/tcp/stack.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -27,6 +28,21 @@ TcpEndpoint* TcpStack::CreateEndpoint(uint64_t conn_id, bool is_a, const TcpConf
   endpoints_.emplace(key, std::move(endpoint));
   endpoint_list_.push_back(raw);
   return raw;
+}
+
+void TcpStack::CloseEndpoint(uint64_t conn_id, bool is_a) {
+  const uint64_t key = KeyFor(conn_id, is_a);
+  auto it = endpoints_.find(key);
+  if (it == endpoints_.end()) {
+    return;
+  }
+  TcpEndpoint* raw = it->second.get();
+  raw->Shutdown();
+  endpoint_list_.erase(std::remove(endpoint_list_.begin(), endpoint_list_.end(), raw),
+                       endpoint_list_.end());
+  graveyard_.push_back(std::move(it->second));
+  endpoints_.erase(it);
+  ++endpoints_closed_;
 }
 
 Duration TcpStack::RxBatchCost(const std::vector<Packet>& batch) {

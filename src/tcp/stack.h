@@ -25,6 +25,17 @@ class TcpStack {
   // of a connection; see ConnectPair. The endpoint is owned by the stack.
   TcpEndpoint* CreateEndpoint(uint64_t conn_id, bool is_a, const TcpConfig& config);
 
+  // Tears down one endpoint (process crash / close): Shutdown()s it,
+  // removes it from segment demux and TX-completion fan-out — late
+  // segments count as unknown_segments, the RST-less drop a dead port
+  // gives — and parks the object in a graveyard. The graveyard keeps the
+  // allocation alive because already-queued CPU work items and in-flight
+  // packets may still reference it; see TcpEndpoint::Shutdown(). Frees the
+  // (conn_id, is_a) key for a replacement incarnation. No-op when absent.
+  void CloseEndpoint(uint64_t conn_id, bool is_a);
+
+  uint64_t endpoints_closed() const { return endpoints_closed_; }
+
   Host* host() { return host_; }
   const StackCosts& costs() const { return costs_; }
 
@@ -42,8 +53,10 @@ class TcpStack {
   StackCosts costs_;
   std::unordered_map<uint64_t, std::unique_ptr<TcpEndpoint>> endpoints_;
   std::vector<TcpEndpoint*> endpoint_list_;
+  std::vector<std::unique_ptr<TcpEndpoint>> graveyard_;  // Closed, still referenced.
   uint64_t unknown_segments_ = 0;
   uint64_t gro_merged_ = 0;
+  uint64_t endpoints_closed_ = 0;
 };
 
 // Creates the two endpoints of a connection between hosts running `stack_a`

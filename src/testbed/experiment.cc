@@ -114,6 +114,7 @@ RedisExperimentResult RunRedisExperiment(const RedisExperimentConfig& config) {
   // Dynamic batching control at the server, driven by the *averaged*
   // estimates of all its connections and applied to all of them.
   EstimateAggregator aggregator;
+  aggregator.SetStalenessBound(config.aggregator_staleness);
   for (PerConnection& pc : connections) {
     aggregator.AddSource(&pc.conn.b->estimator());
   }
@@ -139,7 +140,7 @@ RedisExperimentResult RunRedisExperiment(const RedisExperimentConfig& config) {
   double limit_sum = 0;
   std::function<void()> control_tick = [&] {
     std::optional<PerfSample> sample;
-    const E2eEstimate aggregate = aggregator.Aggregate();
+    const E2eEstimate aggregate = aggregator.Aggregate(sim.Now());
     if (aggregate.valid()) {
       sample = PerfSample{*aggregate.latency, aggregate.a_send_throughput};
     }

@@ -62,6 +62,11 @@ struct RedisExperimentConfig {
   // reducing the frequency; estimates stay correct regardless).
   Duration exchange_interval = Duration::Millis(1);
 
+  // Connections whose last accepted exchange is older than this drop out
+  // of the server's aggregate estimate instead of freezing it
+  // (aggregator.h staleness bound; zero disables).
+  Duration aggregator_staleness = Duration::Millis(10);
+
   // Keep the per-tick byte-mode estimate series of connection 0 in the
   // result (for offline would-have-been toggle analysis, paper §3.4/§4).
   bool keep_series = false;

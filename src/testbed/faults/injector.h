@@ -1,0 +1,103 @@
+// Executes a FaultSchedule against a running experiment.
+//
+// The injector owns *when*; the experiment driver owns *how*. Host stalls
+// act directly on the target host's cores (CpuCore::Stall). Server crash
+// and restart are delegated to driver hooks, because only the driver knows
+// how to tear down its connection, park the dead endpoints, and rebuild a
+// fresh incarnation. Metadata faults are applied through a filter the
+// driver installs on the receiving endpoint(s) with
+// TcpEndpoint::SetMetadataFilter; the filter consults the injector's
+// currently-active fault window on every delivered payload.
+//
+// Every action increments a counter; RegisterCounters exports them through
+// the CounterRegistry so a collector's samples include the fault history
+// and a bench can check observed counts against the schedule exactly.
+
+#ifndef SRC_TESTBED_FAULTS_INJECTOR_H_
+#define SRC_TESTBED_FAULTS_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/wire_format.h"
+#include "src/net/host.h"
+#include "src/sim/simulator.h"
+#include "src/tcp/endpoint.h"
+#include "src/testbed/faults/fault_schedule.h"
+#include "src/testbed/registry.h"
+
+namespace e2e {
+
+struct FaultTargets {
+  Host* client_host = nullptr;  // Stall target for kClientStall.
+  Host* server_host = nullptr;  // Stall target for kServerStall.
+  // Crash hook: kill the server process (tear down the connection, drop
+  // all server-side state). Restart hook: bring a fresh process up.
+  std::function<void()> crash_server;
+  std::function<void()> restart_server;
+};
+
+struct FaultCounters {
+  uint64_t client_stalls = 0;
+  uint64_t server_stalls = 0;
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t meta_windows = 0;        // Metadata fault windows opened.
+  uint64_t payloads_withheld = 0;   // Payloads suppressed by kMetaWithhold.
+  uint64_t payloads_duplicated = 0; // Extra copies from kMetaDuplicate.
+  uint64_t payloads_replayed = 0;   // Payloads replaced by kMetaStaleReplay.
+};
+
+class FaultInjector {
+ public:
+  // The schedule is copied; `targets` hooks/hosts must outlive the
+  // injector. Stall events with a null target host are skipped (counted
+  // neither scheduled nor fired); crash events require both hooks.
+  FaultInjector(Simulator* sim, FaultSchedule schedule, FaultTargets targets);
+
+  // Schedules every event. Events whose start time is already in the past
+  // are dropped. Call once.
+  void Arm();
+
+  // False between a crash firing and its restart.
+  bool server_up() const { return !server_down_; }
+
+  const FaultCounters& counters() const { return counters_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  // Metadata filter applying the currently-active metadata fault window to
+  // each delivered payload. Install on every endpoint whose *received*
+  // metadata should be faulted. Precedence when windows overlap:
+  // withhold > stale replay > duplicate.
+  TcpEndpoint::MetadataFilterFn MakeMetadataFilter();
+
+  // Exports the counters as registry entity `name` so collector samples
+  // carry the fault history.
+  void RegisterCounters(CounterRegistry* registry, const std::string& name = "faults");
+
+ private:
+  void Fire(const FaultEvent& event);
+  void OpenMetaWindow(FaultKind kind, Duration duration);
+
+  Simulator* sim_;
+  FaultSchedule schedule_;
+  FaultTargets targets_;
+  FaultCounters counters_;
+  bool armed_ = false;
+  bool server_down_ = false;
+
+  // Active metadata windows, per kind (kMetaWithhold..kMetaStaleReplay):
+  // active while Now() < until. Overlapping windows extend (max).
+  TimePoint meta_until_[kNumFaultKinds];
+  // First payload seen inside the current stale-replay window; replayed in
+  // place of every later payload until the window closes.
+  std::optional<WirePayload> replay_cache_;
+  TimePoint replay_window_opened_;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_TESTBED_FAULTS_INJECTOR_H_

@@ -86,6 +86,7 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
   // The server aggregates every connection's online estimate (§3.2) and —
   // in dynamic modes — drives one batching decision for all of them.
   EstimateAggregator aggregator;
+  aggregator.SetStalenessBound(config.aggregator_staleness);
   for (PerConnection& pc : connections) {
     aggregator.AddSource(&pc.conn.b->estimator());
   }
@@ -109,7 +110,7 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
 
   std::function<void()> control_tick = [&] {
     std::optional<PerfSample> sample;
-    const E2eEstimate aggregate = aggregator.Aggregate();
+    const E2eEstimate aggregate = aggregator.Aggregate(sim.Now());
     if (aggregate.valid()) {
       sample = PerfSample{*aggregate.latency, aggregate.a_send_throughput};
     }
@@ -134,7 +135,7 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
   // Fleet-aggregate online estimate, sampled on the collector cadence.
   RunningStats online_est_us;
   std::function<void()> online_tick = [&] {
-    const E2eEstimate aggregate = aggregator.Aggregate();
+    const E2eEstimate aggregate = aggregator.Aggregate(sim.Now());
     if (aggregate.valid() && sim.Now() >= measure_start && sim.Now() < measure_end) {
       online_est_us.Add(aggregate.latency->ToMicros());
     }

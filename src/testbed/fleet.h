@@ -66,6 +66,9 @@ struct FleetExperimentConfig {
   AimdBatchController::Config aimd;
 
   Duration exchange_interval = Duration::Millis(1);
+  // Connections whose last accepted exchange is older than this drop out
+  // of the fleet-aggregate estimate instead of freezing it (aggregator.h).
+  Duration aggregator_staleness = Duration::Millis(10);
 
   // A star fabric with the DESIGN.md §5 stack calibration (same per-segment
   // costs as RedisExperimentConfig::DefaultRedisTopology; the two 1.5 µs

@@ -1,0 +1,127 @@
+// Robustness experiment: the Redis/Lancet setup of experiment.h run under a
+// scripted FaultSchedule, with the estimator-health fallback chain
+// (src/core/health.h) between the estimates and the batching controller.
+//
+// One run = one (fault schedule, fallback on/off) point. The driver owns
+// the crash/reconnect choreography: a kServerCrash event tears down both
+// endpoints of the current connection incarnation (zombie-parked, never
+// destroyed — see TcpStack::CloseEndpoint) and parks the server app; the
+// client backs off and redials through a ConnectFn that builds a *new*
+// incarnation (fresh conn_id, fresh server process, empty estimator state)
+// once the injector reports the server back up. The EstimatorHealth object
+// is driver-owned and survives reconnects, so time-to-detect and
+// time-to-recover can be read off its transition log.
+
+#ifndef SRC_TESTBED_ROBUSTNESS_H_
+#define SRC_TESTBED_ROBUSTNESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/apps/cost_profile.h"
+#include "src/apps/lancet.h"
+#include "src/apps/workload.h"
+#include "src/core/controller.h"
+#include "src/core/health.h"
+#include "src/testbed/experiment.h"
+#include "src/testbed/faults/fault_schedule.h"
+#include "src/testbed/faults/injector.h"
+#include "src/testbed/topology.h"
+
+namespace e2e {
+
+struct RobustnessConfig {
+  double rate_rps = 20000;
+  WorkloadMix mix = WorkloadMix::SetOnly16K();
+  AppCosts client_costs = BareMetalClientCosts();
+  AppCosts server_costs = RedisServerCosts();
+  TopologyConfig topology = RedisExperimentConfig::DefaultRedisTopology();
+
+  Duration warmup = Duration::Millis(150);
+  Duration measure = Duration::Millis(600);
+  Duration drain = Duration::Millis(50);
+  uint64_t seed = 1;
+  bool prefill_store = true;
+  bool client_hints = true;
+
+  // Batching control: always the ε-greedy toggle (the mode whose estimate
+  // dependence the fault model attacks).
+  ControllerConfig controller;
+  Duration slo = Duration::Micros(500);
+  Duration exchange_interval = Duration::Millis(1);
+  Duration aggregator_staleness = Duration::Millis(10);
+
+  // The fault script and the client's redial behavior.
+  FaultSchedule faults;
+  LancetClient::Config::ReconnectPolicy reconnect{/*enabled=*/true};
+
+  // Health/fallback chain. With fallback_enabled=false the controller
+  // consumes the legacy staleness-blind aggregate on every tick and never
+  // freezes — the paper-prototype behavior the A/B quantifies against.
+  HealthConfig health;
+  bool fallback_enabled = true;
+};
+
+struct RobustnessResult {
+  double offered_krps = 0;
+  double achieved_krps = 0;
+  double measured_mean_us = 0;
+  double measured_p99_us = 0;
+  uint64_t requests_completed = 0;
+
+  // Ground truth and online estimate bucketed by phase: `pre` is before
+  // the first fault event, `post` after the last recovery (client
+  // reconnected and health back to kFull; whole-run when no faults).
+  double pre_fault_mean_us = 0;
+  uint64_t pre_fault_count = 0;
+  double post_recovery_mean_us = 0;
+  uint64_t post_recovery_count = 0;
+  std::optional<double> online_est_us;       // Whole measurement window.
+  std::optional<double> online_est_pre_us;   // Pre-fault phase.
+  std::optional<double> online_est_post_us;  // Post-recovery phase.
+
+  // Signed online-estimate error vs. ground truth per phase, percent.
+  std::optional<double> est_err_pre_pct;
+  std::optional<double> est_err_post_pct;
+
+  // Controller behavior over the measurement window.
+  uint64_t controller_switches = 0;
+  double duty_cycle_on = 0;
+  uint64_t frozen_ticks = 0;      // Ticks spent with the controller frozen.
+  uint64_t ticks = 0;             // Control ticks in the window.
+  // Samples that would have reached BatchPolicy::Score with a non-finite
+  // latency or throughput. Must be zero; the bench asserts on it.
+  uint64_t non_finite_samples = 0;
+
+  // Health layer.
+  HealthCounters health;
+  std::vector<std::pair<TimePoint, HealthState>> health_transitions;
+  double time_in_full_ms = 0;
+  double time_in_local_ms = 0;
+  double time_in_static_ms = 0;
+  // First fault start -> first demotion out of kFull at/after it.
+  std::optional<double> time_to_detect_ms;
+  // Last restart (or last fault start when nothing crashed) -> next
+  // promotion back to kFull.
+  std::optional<double> time_to_recover_ms;
+
+  // Fault injection (checked against the schedule by tests/bench).
+  FaultCounters faults;
+  uint64_t estimator_rejected_payloads = 0;  // Summed over incarnations.
+  uint64_t aggregator_stale_skips = 0;
+  uint64_t endpoints_closed = 0;  // Client-side = server-side incarnations.
+
+  // Client crash recovery.
+  uint64_t reconnect_attempts = 0;
+  uint64_t reconnects = 0;
+  uint64_t failed_disconnected = 0;
+  uint64_t abandoned_on_crash = 0;
+};
+
+RobustnessResult RunRobustnessExperiment(const RobustnessConfig& config);
+
+}  // namespace e2e
+
+#endif  // SRC_TESTBED_ROBUSTNESS_H_

@@ -1,0 +1,132 @@
+#include "src/core/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace e2e {
+namespace {
+
+TimePoint Ms(int64_t ms) { return TimePoint::FromNanos(ms * 1000000); }
+
+// One item per `spacing_us` through the unacked queue, each residing
+// 200 us. Applied incrementally so snapshots between applications observe
+// a live, monotone queue clock.
+class StreamCursor {
+ public:
+  StreamCursor(EndpointQueues* queues, int64_t to_ms, int64_t spacing_us) : queues_(queues) {
+    for (int64_t us = 0; us < to_ms * 1000; us += spacing_us) {
+      events_.push_back({us, +1});
+      events_.push_back({us + 200, -1});
+    }
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  void ApplyUntil(int64_t ms) {
+    while (next_ < events_.size() && events_[next_].first <= ms * 1000) {
+      queues_->Track(QueueKind::kUnacked, UnitMode::kSyscalls,
+                     TimePoint::FromNanos(events_[next_].first * 1000), events_[next_].second);
+      ++next_;
+    }
+  }
+
+ private:
+  EndpointQueues* queues_;
+  std::vector<std::pair<int64_t, int>> events_;  // (time us, delta)
+  size_t next_ = 0;
+};
+
+// Feeds `est` one exchange at `ms`: an idle-but-alive remote whose snapshot
+// clock advances (a frozen clock would be rejected as a replay).
+void Exchange(ConnectionEstimator& est, EndpointQueues& queues, int64_t ms) {
+  const uint32_t us = static_cast<uint32_t>(ms * 1000);
+  WirePayload remote;
+  remote.unacked.time_us = us;
+  remote.unread.time_us = us;
+  remote.ackdelay.time_us = us;
+  est.OnRemotePayload(remote, queues, nullptr, Ms(ms));
+}
+
+TEST(EstimateAggregatorTest, StaleSourceFallsOutOfTheAverage) {
+  ConnectionEstimator fresh(UnitMode::kSyscalls);
+  ConnectionEstimator stale(UnitMode::kSyscalls);
+  EndpointQueues fresh_queues;
+  EndpointQueues stale_queues;
+
+  // Distinguishable throughputs: 20 k/s on the fresh source, 10 k/s on the
+  // soon-to-be-silent one.
+  StreamCursor fresh_stream(&fresh_queues, 30, 50);
+  StreamCursor stale_stream(&stale_queues, 10, 100);
+  for (int64_t ms : {2, 8}) {
+    fresh_stream.ApplyUntil(ms);
+    Exchange(fresh, fresh_queues, ms);
+    stale_stream.ApplyUntil(ms);
+    Exchange(stale, stale_queues, ms);
+  }
+  // Only the fresh source keeps exchanging.
+  for (int64_t ms : {14, 20, 26}) {
+    fresh_stream.ApplyUntil(ms);
+    Exchange(fresh, fresh_queues, ms);
+  }
+
+  EstimateAggregator agg;
+  agg.AddSource(&fresh);
+  agg.AddSource(&stale);
+  agg.SetStalenessBound(Duration::Millis(10));
+
+  // The stale source's last accepted exchange was at 8 ms — 18 ms ago. It
+  // must be skipped, not aggregated in at its final value. (Aggregate
+  // throughput is the *sum* across connections.)
+  const E2eEstimate bounded = agg.Aggregate(Ms(26));
+  EXPECT_NEAR(bounded.a_send_throughput, 20000.0, 1500.0);
+  EXPECT_EQ(agg.stale_connections(), 1u);
+
+  // The legacy staleness-blind form still counts both.
+  const E2eEstimate blind = agg.Aggregate();
+  EXPECT_NEAR(blind.a_send_throughput, 30000.0, 1500.0);
+
+  // A zero bound disables the check.
+  agg.SetStalenessBound(Duration::Zero());
+  const E2eEstimate unbounded = agg.Aggregate(Ms(26));
+  EXPECT_NEAR(unbounded.a_send_throughput, 30000.0, 1500.0);
+  EXPECT_EQ(agg.stale_connections(), 1u);  // Unchanged.
+}
+
+TEST(EstimateAggregatorTest, RemoveSourceUnregisters) {
+  ConnectionEstimator a(UnitMode::kSyscalls);
+  ConnectionEstimator b(UnitMode::kSyscalls);
+  EstimateAggregator agg;
+  agg.AddSource(&a);
+  agg.AddSource(&b);
+  EXPECT_EQ(agg.size(), 2u);
+  agg.RemoveSource(&b);
+  EXPECT_EQ(agg.size(), 1u);
+  agg.RemoveSource(&b);  // No-op.
+  EXPECT_EQ(agg.size(), 1u);
+  agg.Clear();
+  EXPECT_EQ(agg.size(), 0u);
+}
+
+TEST(EstimateAggregatorTest, AllSourcesStaleYieldsInvalidEstimate) {
+  ConnectionEstimator est(UnitMode::kSyscalls);
+  EndpointQueues queues;
+  StreamCursor stream(&queues, 10, 50);
+  stream.ApplyUntil(2);
+  Exchange(est, queues, 2);
+  stream.ApplyUntil(8);
+  Exchange(est, queues, 8);
+  ASSERT_TRUE(est.has_estimate());
+
+  EstimateAggregator agg;
+  agg.AddSource(&est);
+  agg.SetStalenessBound(Duration::Millis(10));
+  const E2eEstimate all_stale = agg.Aggregate(Ms(100));
+  EXPECT_FALSE(all_stale.valid());
+  EXPECT_EQ(agg.stale_connections(), 1u);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -136,6 +136,79 @@ TEST(ToggleControllerTest, VetoBlocksExplorationOfUnstableArm) {
   EXPECT_EQ(controller.switches(), switches);
 }
 
+TEST(ToggleControllerTest, EstimateGapLongerThanStaleAfterHoldsCurrentArm) {
+  ControllerConfig config = FastConfig();
+  config.stale_after = Duration::Millis(20);
+  SloThroughputPolicy policy;
+  ToggleController controller(config, &policy, Rng(1), /*initial_on=*/false);
+  RunClosedLoop(controller, 300, 50, 50);
+  const uint64_t switches = controller.switches();
+  // The estimate pipeline goes dark. Within stale_after of the last real
+  // sample the controller may still fire a last few staleness probes (it
+  // cannot yet know the pipeline is down)...
+  for (int i = 0; i < 50; ++i) {
+    controller.OnTick(Ms(50 + i), std::nullopt);
+  }
+  const uint64_t after_grace = controller.switches();
+  EXPECT_LE(after_grace - switches, 3u);
+  // ...but once no sample has arrived within stale_after, it must hold the
+  // current arm — without the hold, both arms stay stale forever and
+  // forced exploration would flip them every min_dwell (a thrash loop:
+  // ~100 switches over this window).
+  for (int i = 50; i < 250; ++i) {
+    controller.OnTick(Ms(50 + i), std::nullopt);
+  }
+  EXPECT_EQ(controller.switches(), after_grace);
+  // Once samples resume, normal staleness re-exploration may fire again.
+  RunClosedLoop(controller, 300, 50, 10, /*start_ms=*/250);
+}
+
+TEST(ToggleControllerTest, FrozenControllerNeverSwitchesOrConsumesSamples) {
+  SloThroughputPolicy policy;
+  ToggleController controller(FastConfig(), &policy, Rng(1), /*initial_on=*/false);
+  RunClosedLoop(controller, 300, 50, 50);  // Converges to OFF.
+  const auto off_before = controller.ArmEstimate(false);
+  ASSERT_TRUE(off_before.has_value());
+  const uint64_t switches = controller.switches();
+
+  controller.SetFrozen(true, Ms(50));
+  EXPECT_TRUE(controller.frozen());
+  // Poisoned samples while frozen: catastrophic latency that would both
+  // flip the decision and wreck the OFF arm's EWMA if consumed.
+  for (int i = 0; i < 100; ++i) {
+    controller.OnTick(Ms(50 + i), Sample(50000));
+  }
+  EXPECT_EQ(controller.switches(), switches);
+  EXPECT_FALSE(controller.batching_on());
+  const auto off_after = controller.ArmEstimate(false);
+  ASSERT_TRUE(off_after.has_value());
+  EXPECT_DOUBLE_EQ(off_after->latency.ToMicros(), off_before->latency.ToMicros());
+}
+
+TEST(ToggleControllerTest, VetoSurvivesFreezeRecoveryCycle) {
+  ControllerConfig config = FastConfig();
+  config.epsilon = 0.5;
+  config.explore_latency_veto = Duration::Millis(1);
+  config.veto_memory = Duration::Millis(200);
+  config.stale_after = Duration::Millis(50);
+  SloThroughputPolicy policy;
+  ToggleController controller(config, &policy, Rng(7), /*initial_on=*/false);
+  // OFF is catastrophic; after one taste the veto pins the controller ON.
+  RunClosedLoop(controller, 120, 10000, 60);
+  EXPECT_TRUE(controller.batching_on());
+  const uint64_t switches = controller.switches();
+
+  // Health fallback: frozen for 300 ms — far beyond veto_memory and
+  // stale_after on the wall clock. Unfreezing excises the window from the
+  // arm timestamps, so the OFF arm's bad observation must still veto
+  // exploration; without the shift it would look stale and get re-probed.
+  controller.SetFrozen(true, Ms(60));
+  controller.SetFrozen(false, Ms(360));
+  RunClosedLoop(controller, 120, 10000, 40, /*start_ms=*/360);
+  EXPECT_EQ(controller.switches(), switches);
+  EXPECT_TRUE(controller.batching_on());
+}
+
 TEST(ToggleControllerTest, MissingSamplesDoNotCrashOrSwitchBlindly) {
   SloThroughputPolicy policy;
   ToggleController controller(FastConfig(), &policy, Rng(1), /*initial_on=*/false);

@@ -12,6 +12,18 @@ namespace {
 
 TimePoint Ms(int64_t ms) { return TimePoint::FromNanos(ms * 1000000); }
 
+// A payload from an idle-but-alive peer: queues empty, snapshot clock
+// advancing. A payload whose clock never moves is indistinguishable from a
+// replay and is (correctly) rejected by the delta-plausibility checks.
+WirePayload RemoteAt(int64_t ms) {
+  const uint32_t us = static_cast<uint32_t>(ms * 1000);
+  WirePayload payload;
+  payload.unacked.time_us = us;
+  payload.unread.time_us = us;
+  payload.ackdelay.time_us = us;
+  return payload;
+}
+
 // A steady request stream for one endpoint's unacked queue: items enter
 // every `spacing` and leave after `residence`. Events are generated up
 // front and must be applied incrementally (ApplyUntil) so that snapshots
@@ -84,23 +96,22 @@ TEST(ConnectionEstimatorTest, LastValidSurvivesIdleInterval) {
   EndpointQueues queues;
   UnackedStream stream(&queues, UnitMode::kSyscalls, Ms(0), Ms(10), Duration::Micros(100),
                        Duration::Micros(50));
-  WirePayload remote;
   stream.ApplyUntil(Ms(2));
-  est.OnRemotePayload(remote, queues, nullptr, Ms(2));
+  est.OnRemotePayload(RemoteAt(2), queues, nullptr, Ms(2));
   stream.ApplyUntil(Ms(8));
-  est.OnRemotePayload(remote, queues, nullptr, Ms(8));
+  est.OnRemotePayload(RemoteAt(8), queues, nullptr, Ms(8));
   ASSERT_TRUE(est.has_estimate());
 
   // The (8, 20] interval drains the stream's tail and is the last one with
   // departures; its estimate is the one that must survive.
   stream.ApplyUntil(Ms(20));
-  est.OnRemotePayload(remote, queues, nullptr, Ms(20));
+  est.OnRemotePayload(RemoteAt(20), queues, nullptr, Ms(20));
   ASSERT_TRUE(est.has_estimate());
   const double valid_us = est.estimate().latency->ToMicros();
 
   // An exchange over a fully idle interval: the current estimate becomes
   // invalid, last_valid_estimate() keeps the old one.
-  est.OnRemotePayload(remote, queues, nullptr, Ms(30));
+  est.OnRemotePayload(RemoteAt(30), queues, nullptr, Ms(30));
   EXPECT_FALSE(est.has_estimate());
   ASSERT_TRUE(est.last_valid_estimate().has_value());
   EXPECT_DOUBLE_EQ(est.last_valid_estimate()->latency->ToMicros(), valid_us);
@@ -143,6 +154,61 @@ TEST(ConnectionEstimatorTest, HintChannelEstimatesCreateToCompleteDelay) {
   EXPECT_NEAR(server_est.hint_throughput(), 40000.0, 500.0);
 }
 
+TEST(ConnectionEstimatorTest, ReplayedPayloadIsRejectedAndDoesNotPoisonEstimate) {
+  ConnectionEstimator est(UnitMode::kSyscalls);
+  EndpointQueues queues;
+  UnackedStream stream(&queues, UnitMode::kSyscalls, Ms(0), Ms(10), Duration::Micros(200),
+                       Duration::Micros(50));
+  stream.ApplyUntil(Ms(2));
+  EXPECT_TRUE(est.OnRemotePayload(RemoteAt(2), queues, nullptr, Ms(2)));
+  stream.ApplyUntil(Ms(8));
+  EXPECT_TRUE(est.OnRemotePayload(RemoteAt(8), queues, nullptr, Ms(8)));
+  ASSERT_TRUE(est.has_estimate());
+  const double before_us = est.estimate().latency->ToMicros();
+  const TimePoint last_update = est.last_update();
+
+  // The same remote payload again: a duplicated/replayed exchange. It must
+  // be rejected, counted, and leave estimate, snapshots, and last_update()
+  // untouched.
+  stream.ApplyUntil(Ms(9));
+  EXPECT_FALSE(est.OnRemotePayload(RemoteAt(8), queues, nullptr, Ms(9)));
+  EXPECT_EQ(est.last_verdict(), WireDeltaVerdict::kNoProgress);
+  EXPECT_EQ(est.rejected_payloads(), 1u);
+  EXPECT_EQ(est.last_update(), last_update);
+  EXPECT_DOUBLE_EQ(est.estimate().latency->ToMicros(), before_us);
+
+  // A wrap-violating payload (clock jumped by > 2^31 us) likewise.
+  WirePayload bogus = RemoteAt(9);
+  bogus.unacked.time_us += 0x90000000u;
+  EXPECT_FALSE(est.OnRemotePayload(bogus, queues, nullptr, Ms(9)));
+  EXPECT_EQ(est.last_verdict(), WireDeltaVerdict::kWrapViolation);
+  EXPECT_EQ(est.rejected_payloads(), 2u);
+
+  // The channel recovers: a plausible payload resumes normal operation.
+  stream.ApplyUntil(Ms(10));
+  EXPECT_TRUE(est.OnRemotePayload(RemoteAt(10), queues, nullptr, Ms(10)));
+  EXPECT_EQ(est.last_verdict(), WireDeltaVerdict::kOk);
+}
+
+TEST(ConnectionEstimatorTest, LocalOnlyEstimateNeedsNoRemotePayloads) {
+  ConnectionEstimator est(UnitMode::kSyscalls);
+  EndpointQueues queues;
+  UnackedStream stream(&queues, UnitMode::kSyscalls, Ms(0), Ms(20), Duration::Micros(200),
+                       Duration::Micros(50));
+
+  // Metadata channel fully down: no OnRemotePayload at all. The one-sided
+  // estimate still tracks the local unacked residence time.
+  stream.ApplyUntil(Ms(2));
+  EXPECT_FALSE(est.LocalOnlyEstimate(queues, Ms(2)).valid());  // First call: no pair yet.
+  stream.ApplyUntil(Ms(8));
+  const E2eEstimate local = est.LocalOnlyEstimate(queues, Ms(8));
+  ASSERT_TRUE(local.valid());
+  EXPECT_NEAR(local.latency->ToMicros(), 200.0, 5.0);
+  EXPECT_GT(local.a_send_throughput, 0.0);
+  // The two-sided estimate is still (correctly) absent.
+  EXPECT_FALSE(est.has_estimate());
+}
+
 TEST(ConnectionEstimatorTest, BuildPayloadCarriesConfiguredMode) {
   ConnectionEstimator est(UnitMode::kPackets);
   EndpointQueues queues;
@@ -156,18 +222,17 @@ TEST(ConnectionEstimatorTest, ResetDropsHistory) {
   EndpointQueues queues;
   UnackedStream stream(&queues, UnitMode::kSyscalls, Ms(0), Ms(10), Duration::Micros(100),
                        Duration::Micros(50));
-  WirePayload remote;
   stream.ApplyUntil(Ms(2));
-  est.OnRemotePayload(remote, queues, nullptr, Ms(2));
+  est.OnRemotePayload(RemoteAt(2), queues, nullptr, Ms(2));
   stream.ApplyUntil(Ms(8));
-  est.OnRemotePayload(remote, queues, nullptr, Ms(8));
+  est.OnRemotePayload(RemoteAt(8), queues, nullptr, Ms(8));
   ASSERT_TRUE(est.has_estimate());
   est.Reset();
   EXPECT_FALSE(est.has_estimate());
   EXPECT_FALSE(est.last_valid_estimate().has_value());
   // One exchange after reset is again not enough.
   stream.ApplyUntil(Ms(9));
-  est.OnRemotePayload(remote, queues, nullptr, Ms(9));
+  est.OnRemotePayload(RemoteAt(9), queues, nullptr, Ms(9));
   EXPECT_FALSE(est.has_estimate());
 }
 

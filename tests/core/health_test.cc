@@ -1,0 +1,168 @@
+#include "src/core/health.h"
+
+#include <gtest/gtest.h>
+
+namespace e2e {
+namespace {
+
+TimePoint Ms(int64_t ms) { return TimePoint::FromNanos(ms * 1000000); }
+
+HealthConfig FastConfig() {
+  HealthConfig config;
+  config.freshness_bound = Duration::Millis(10);
+  config.static_after = Duration::Millis(50);
+  config.promote_after = 4;
+  config.demote_after_rejects = 3;
+  return config;
+}
+
+// Feeds `n` healthy exchanges 1 ms apart starting at `start_ms`.
+void FeedHealthy(EstimatorHealth& health, int n, int start_ms) {
+  for (int i = 0; i < n; ++i) {
+    health.OnExchange(Ms(start_ms + i), WireDeltaVerdict::kOk);
+  }
+}
+
+TEST(EstimatorHealthTest, TrustIsEarnedStartsStatic) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  EXPECT_EQ(health.state(), HealthState::kStatic);
+  ASSERT_EQ(health.transitions().size(), 1u);
+  EXPECT_EQ(health.transitions()[0].second, HealthState::kStatic);
+}
+
+TEST(EstimatorHealthTest, PromotesOneLevelPerHealthyStreak) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  FeedHealthy(health, 3, 0);
+  EXPECT_EQ(health.state(), HealthState::kStatic);  // Streak not yet complete.
+  FeedHealthy(health, 1, 3);
+  EXPECT_EQ(health.state(), HealthState::kLocalOnly);  // One level, not two.
+  FeedHealthy(health, 4, 4);
+  EXPECT_EQ(health.state(), HealthState::kFull);
+  EXPECT_EQ(health.counters().promotions, 2u);
+  EXPECT_EQ(health.counters().healthy_exchanges, 8u);
+}
+
+TEST(EstimatorHealthTest, SingleRejectResetsPromotionStreak) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  FeedHealthy(health, 3, 0);
+  health.OnExchange(Ms(3), WireDeltaVerdict::kNoProgress);
+  FeedHealthy(health, 3, 4);
+  EXPECT_EQ(health.state(), HealthState::kStatic);  // 3 + 3 != 4 consecutive.
+  FeedHealthy(health, 1, 7);
+  EXPECT_EQ(health.state(), HealthState::kLocalOnly);
+}
+
+TEST(EstimatorHealthTest, RejectStreakDemotesOneLevelAtATime) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  FeedHealthy(health, 8, 0);
+  ASSERT_EQ(health.state(), HealthState::kFull);
+  // Two rejects: below the streak. A healthy exchange resets it.
+  health.OnExchange(Ms(8), WireDeltaVerdict::kWrapViolation);
+  health.OnExchange(Ms(9), WireDeltaVerdict::kWrapViolation);
+  health.OnExchange(Ms(10), WireDeltaVerdict::kOk);
+  EXPECT_EQ(health.state(), HealthState::kFull);
+  // Three consecutive rejects demote kFull -> kLocalOnly, three more
+  // -> kStatic, and further streaks saturate there.
+  for (int i = 0; i < 3; ++i) {
+    health.OnExchange(Ms(11 + i), WireDeltaVerdict::kImplausibleDelay);
+  }
+  EXPECT_EQ(health.state(), HealthState::kLocalOnly);
+  for (int i = 0; i < 3; ++i) {
+    health.OnExchange(Ms(14 + i), WireDeltaVerdict::kNoProgress);
+  }
+  EXPECT_EQ(health.state(), HealthState::kStatic);
+  for (int i = 0; i < 3; ++i) {
+    health.OnExchange(Ms(17 + i), WireDeltaVerdict::kNoProgress);
+  }
+  EXPECT_EQ(health.state(), HealthState::kStatic);
+  EXPECT_EQ(health.counters().rejected_total(), 11u);
+  EXPECT_EQ(health.counters().rejected_wrap_violation, 2u);
+  EXPECT_EQ(health.counters().rejected_implausible_delay, 3u);
+  EXPECT_EQ(health.counters().rejected_no_progress, 6u);
+}
+
+TEST(EstimatorHealthTest, FreshnessTickDemotesFullThenStatic) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  FeedHealthy(health, 8, 0);
+  ASSERT_EQ(health.state(), HealthState::kFull);
+  // Last healthy exchange at 7 ms. Inside the bound: no demotion.
+  health.Tick(Ms(16));
+  EXPECT_EQ(health.state(), HealthState::kFull);
+  // Past freshness_bound (10 ms): one level.
+  health.Tick(Ms(18));
+  EXPECT_EQ(health.state(), HealthState::kLocalOnly);
+  // Still short of static_after: holds.
+  health.Tick(Ms(40));
+  EXPECT_EQ(health.state(), HealthState::kLocalOnly);
+  // Past static_after (50 ms since last healthy): all the way down.
+  health.Tick(Ms(58));
+  EXPECT_EQ(health.state(), HealthState::kStatic);
+  EXPECT_EQ(health.counters().demotions, 2u);
+}
+
+TEST(EstimatorHealthTest, ZeroDepartureRefreshesFreshnessButNotStreaks) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  FeedHealthy(health, 8, 0);
+  ASSERT_EQ(health.state(), HealthState::kFull);
+  // A trickle of zero-departure exchanges keeps the channel provably alive
+  // long past the freshness bound: no demotion.
+  for (int i = 0; i < 40; ++i) {
+    health.OnExchange(Ms(8 + i * 5), WireDeltaVerdict::kZeroDeparture);
+    health.Tick(Ms(8 + i * 5));
+  }
+  EXPECT_EQ(health.state(), HealthState::kFull);
+  EXPECT_EQ(health.counters().zero_departure_exchanges, 40u);
+
+  // But it proves nothing about plausibility: from kStatic, zero-departure
+  // exchanges interleaved with a healthy streak neither reset nor advance
+  // the promotion count.
+  EstimatorHealth cold(FastConfig(), Ms(0));
+  for (int i = 0; i < 3; ++i) {
+    cold.OnExchange(Ms(i * 2), WireDeltaVerdict::kOk);
+    cold.OnExchange(Ms(i * 2 + 1), WireDeltaVerdict::kZeroDeparture);
+  }
+  EXPECT_EQ(cold.state(), HealthState::kStatic);
+  cold.OnExchange(Ms(6), WireDeltaVerdict::kOk);  // 4th consecutive kOk.
+  EXPECT_EQ(cold.state(), HealthState::kLocalOnly);
+}
+
+TEST(EstimatorHealthTest, ConnectionLossIsAHardDemotionToStatic) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  FeedHealthy(health, 8, 0);
+  ASSERT_EQ(health.state(), HealthState::kFull);
+  health.OnConnectionLost(Ms(10));
+  EXPECT_EQ(health.state(), HealthState::kStatic);
+  EXPECT_EQ(health.counters().connection_losses, 1u);
+  // Reconnect restarts the freshness clock but not the trust level: the
+  // replacement connection re-earns kFull through the normal streak.
+  health.OnReconnect(Ms(30));
+  EXPECT_EQ(health.state(), HealthState::kStatic);
+  health.Tick(Ms(35));  // 5 ms since reconnect, not 35 since last healthy.
+  EXPECT_EQ(health.state(), HealthState::kStatic);
+  FeedHealthy(health, 8, 36);
+  EXPECT_EQ(health.state(), HealthState::kFull);
+}
+
+TEST(EstimatorHealthTest, TimeInStateAccountsOpenSpans) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  FeedHealthy(health, 4, 0);  // kLocalOnly at t=3.
+  FeedHealthy(health, 4, 10);  // kFull at t=13.
+  EXPECT_EQ(health.TimeIn(HealthState::kStatic, Ms(20)), Duration::Millis(3));
+  EXPECT_EQ(health.TimeIn(HealthState::kLocalOnly, Ms(20)), Duration::Millis(10));
+  EXPECT_EQ(health.TimeIn(HealthState::kFull, Ms(20)), Duration::Millis(7));
+
+  ASSERT_EQ(health.transitions().size(), 3u);
+  EXPECT_EQ(health.transitions()[1].first, Ms(3));
+  EXPECT_EQ(health.transitions()[1].second, HealthState::kLocalOnly);
+  EXPECT_EQ(health.transitions()[2].first, Ms(13));
+  EXPECT_EQ(health.transitions()[2].second, HealthState::kFull);
+}
+
+TEST(EstimatorHealthTest, StateNamesAreStable) {
+  EXPECT_STREQ(HealthStateName(HealthState::kFull), "full");
+  EXPECT_STREQ(HealthStateName(HealthState::kLocalOnly), "local_only");
+  EXPECT_STREQ(HealthStateName(HealthState::kStatic), "static");
+}
+
+}  // namespace
+}  // namespace e2e

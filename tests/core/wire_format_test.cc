@@ -130,5 +130,85 @@ TEST(WireGetAvgsTest, ZeroTimeDeltaIsEmpty) {
   EXPECT_FALSE(avgs.delay.has_value());
 }
 
+TEST(WireFormatTest, DecodeRejectsUnknownModeByte) {
+  uint8_t buf[kWirePayloadMaxSize];
+  const size_t n = EncodePayload(SamplePayload(false), buf, sizeof(buf));
+  // Unit-mode bits 0b11: kHints never travels on the wire (the hint queue
+  // has its own trailer); an implementation that maps it to a queue array
+  // index would read out of bounds.
+  buf[1] = static_cast<uint8_t>((buf[1] & ~0x03) | 0x03);
+  EXPECT_FALSE(DecodePayload(buf, n).has_value());
+}
+
+TEST(WireFormatTest, DecodeRejectsReservedFlagBits) {
+  uint8_t buf[kWirePayloadMaxSize];
+  const size_t n = EncodePayload(SamplePayload(false), buf, sizeof(buf));
+  for (uint8_t bit : {0x04, 0x10, 0x40}) {
+    uint8_t corrupt[kWirePayloadMaxSize];
+    std::memcpy(corrupt, buf, n);
+    corrupt[1] |= bit;
+    EXPECT_FALSE(DecodePayload(corrupt, n).has_value()) << "reserved bit " << int(bit);
+  }
+}
+
+// Wraparound straddling 2^32 exercised through the full wire pipeline:
+// encode both snapshots, decode them, then take deltas — not just the
+// arithmetic helper in isolation.
+TEST(WireFormatTest, EncodedCountersSurviveWrapEndToEnd) {
+  WirePayload prev = SamplePayload(false);
+  prev.unacked = {0xFFFFFF06u, 0xFFFFFFFEu, 0xFFFFFA00u};  // All near wrap.
+  WirePayload cur = prev;
+  cur.unacked.time_us += 20000u;   // Wraps.
+  cur.unacked.total += 1000u;      // Wraps.
+  cur.unacked.integral_us += 30000u;  // Wraps.
+
+  uint8_t prev_buf[kWirePayloadMaxSize];
+  uint8_t cur_buf[kWirePayloadMaxSize];
+  const size_t prev_n = EncodePayload(prev, prev_buf, sizeof(prev_buf));
+  const size_t cur_n = EncodePayload(cur, cur_buf, sizeof(cur_buf));
+  const auto prev_dec = DecodePayload(prev_buf, prev_n);
+  const auto cur_dec = DecodePayload(cur_buf, cur_n);
+  ASSERT_TRUE(prev_dec.has_value() && cur_dec.has_value());
+
+  EXPECT_EQ(CheckWireDelta(prev_dec->unacked, cur_dec->unacked), WireDeltaVerdict::kOk);
+  const QueueAverages avgs = WireGetAvgs(prev_dec->unacked, cur_dec->unacked);
+  EXPECT_NEAR(avgs.throughput, 1000.0 / 0.020, 1e-6);
+  ASSERT_TRUE(avgs.delay.has_value());
+  EXPECT_NEAR(avgs.delay->ToMicros(), 30.0, 1e-9);
+}
+
+TEST(CheckWireDeltaTest, GradesDeltas) {
+  const WireCounters base{1000, 50, 2000};
+
+  EXPECT_EQ(CheckWireDelta(base, WireCounters{21000, 1050, 32000}), WireDeltaVerdict::kOk);
+  // Identical counters: replayed or duplicated payload.
+  EXPECT_EQ(CheckWireDelta(base, base), WireDeltaVerdict::kNoProgress);
+  // Apparent interval > 2^31 us: indistinguishable from time running
+  // backwards under wrapping arithmetic (here cur - prev wraps to
+  // 0xF0000000 us).
+  EXPECT_EQ(CheckWireDelta(WireCounters{0x10000000u, 0, 0}, WireCounters{0, 0, 0}),
+            WireDeltaVerdict::kWrapViolation);
+  // One departure carrying a >2^31 us integral: implausible derived delay.
+  EXPECT_EQ(CheckWireDelta(WireCounters{0, 0, 0}, WireCounters{1000, 1, 0x90000000u}),
+            WireDeltaVerdict::kImplausibleDelay);
+  // Integral grew with zero departures: occupancy but no throughput.
+  EXPECT_EQ(CheckWireDelta(base, WireCounters{21000, 50, 32000}),
+            WireDeltaVerdict::kZeroDeparture);
+}
+
+TEST(CheckWireDeltaTest, RejectingVerdictsYieldEmptyAverages) {
+  const WireCounters base{1000, 50, 2000};
+  for (const WireCounters& cur :
+       {base,                                    // kNoProgress.
+        WireCounters{base.time_us + 0x90000000u, base.total + 1, base.integral_us},
+        WireCounters{base.time_us + 1000u, base.total + 1,
+                     base.integral_us + 0x90000000u}}) {
+    const QueueAverages avgs = WireGetAvgs(base, cur);
+    EXPECT_EQ(avgs.throughput, 0);
+    EXPECT_EQ(avgs.avg_occupancy, 0);
+    EXPECT_FALSE(avgs.delay.has_value());
+  }
+}
+
 }  // namespace
 }  // namespace e2e

@@ -1,0 +1,101 @@
+// Crash/reconnect recovery, end to end (DESIGN.md §10): the server is
+// killed and restarted mid-run; the client must back off and redial, the
+// health layer must ride the fallback chain down to the static policy and
+// re-earn kFull, and the online estimate must re-converge after recovery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/testbed/robustness.h"
+
+namespace e2e {
+namespace {
+
+TimePoint Ms(int64_t ms) { return TimePoint::FromNanos(ms * 1000000); }
+
+RobustnessConfig SmokeConfig() {
+  RobustnessConfig config;
+  config.warmup = Duration::Millis(50);
+  config.measure = Duration::Millis(150);
+  config.seed = 1;
+  return config;
+}
+
+TEST(CrashReconnectTest, ClientRecoversAndEstimatorReconverges) {
+  RobustnessConfig config = SmokeConfig();
+  // Crash 50 ms into the measurement window, 20 ms of downtime.
+  config.faults.Add(FaultKind::kServerCrash, Ms(100), Duration::Millis(20));
+  const RobustnessResult result = RunRobustnessExperiment(config);
+
+  // Fault counters match the injected schedule exactly.
+  EXPECT_EQ(result.faults.crashes, config.faults.CountOf(FaultKind::kServerCrash));
+  EXPECT_EQ(result.faults.restarts, result.faults.crashes);
+  EXPECT_EQ(result.faults.meta_windows, 0u);
+
+  // Exactly one connection incarnation died and one replaced it: the old
+  // endpoints were zombie-parked, the client backed off and redialed.
+  EXPECT_EQ(result.endpoints_closed, 1u);
+  EXPECT_EQ(result.reconnects, 1u);
+  EXPECT_GE(result.reconnect_attempts, result.reconnects);
+  // Requests kept arriving during the 20 ms outage and were shed.
+  EXPECT_GT(result.failed_disconnected, 0u);
+  EXPECT_GT(result.abandoned_on_crash, 0u);
+
+  // The health layer saw the loss, hard-demoted, and re-earned kFull.
+  EXPECT_EQ(result.health.connection_losses, 1u);
+  EXPECT_GT(result.health.demotions, 0u);
+  EXPECT_GT(result.health.promotions, 0u);
+  ASSERT_TRUE(result.time_to_detect_ms.has_value());
+  EXPECT_LE(*result.time_to_detect_ms, 1.0);  // Hard demote at the crash.
+  ASSERT_TRUE(result.time_to_recover_ms.has_value());
+  // Recovery = reconnect backoff + promote_after healthy exchanges; well
+  // under half the remaining window.
+  EXPECT_LE(*result.time_to_recover_ms, 40.0);
+
+  // The run completed meaningfully on both sides of the outage.
+  EXPECT_GT(result.pre_fault_count, 0u);
+  EXPECT_GT(result.post_recovery_count, 0u);
+  EXPECT_GT(result.requests_completed, 0u);
+
+  // Estimator re-convergence: the post-recovery online estimate must be at
+  // least as trustworthy as the pre-crash one (fresh incarnation, fresh
+  // estimator state — no stale-counter hangover).
+  ASSERT_TRUE(result.est_err_pre_pct.has_value());
+  ASSERT_TRUE(result.est_err_post_pct.has_value());
+  EXPECT_LE(std::fabs(*result.est_err_post_pct), std::fabs(*result.est_err_pre_pct) + 10.0);
+
+  // No degraded estimate ever reached the policy.
+  EXPECT_EQ(result.non_finite_samples, 0u);
+}
+
+TEST(CrashReconnectTest, FaultFreeRunHasNoFalsePositives) {
+  const RobustnessResult result = RunRobustnessExperiment(SmokeConfig());
+  EXPECT_EQ(result.faults.crashes, 0u);
+  EXPECT_EQ(result.endpoints_closed, 0u);
+  EXPECT_EQ(result.reconnect_attempts, 0u);
+  EXPECT_EQ(result.failed_disconnected, 0u);
+  EXPECT_EQ(result.health.connection_losses, 0u);
+  EXPECT_FALSE(result.time_to_detect_ms.has_value());
+  EXPECT_EQ(result.non_finite_samples, 0u);
+  // Health still starts at kStatic and climbs: some static time is normal,
+  // but the bulk of the run must be spent trusting the full estimate.
+  EXPECT_GT(result.time_in_full_ms, result.time_in_static_ms);
+}
+
+TEST(CrashReconnectTest, SameSeedSameResult) {
+  RobustnessConfig config = SmokeConfig();
+  config.faults.Add(FaultKind::kServerCrash, Ms(100), Duration::Millis(20));
+  const RobustnessResult a = RunRobustnessExperiment(config);
+  const RobustnessResult b = RunRobustnessExperiment(config);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_DOUBLE_EQ(a.measured_mean_us, b.measured_mean_us);
+  EXPECT_DOUBLE_EQ(a.measured_p99_us, b.measured_p99_us);
+  EXPECT_EQ(a.controller_switches, b.controller_switches);
+  EXPECT_EQ(a.reconnect_attempts, b.reconnect_attempts);
+  EXPECT_EQ(a.failed_disconnected, b.failed_disconnected);
+  EXPECT_EQ(a.health_transitions.size(), b.health_transitions.size());
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,205 @@
+#include "src/testbed/faults/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/host.h"
+#include "src/net/link.h"
+#include "src/sim/simulator.h"
+#include "src/testbed/faults/fault_schedule.h"
+#include "src/testbed/registry.h"
+
+namespace e2e {
+namespace {
+
+TimePoint Ms(int64_t ms) { return TimePoint::FromNanos(ms * 1000000); }
+
+WirePayload PayloadAt(uint32_t us) {
+  WirePayload payload;
+  payload.unacked = {us, us / 10, us / 5};
+  payload.unread = {us, 0, 0};
+  payload.ackdelay = {us, 0, 0};
+  return payload;
+}
+
+TEST(FaultScheduleTest, EventsSortByStartTimeStably) {
+  FaultSchedule schedule;
+  schedule.Add(FaultKind::kServerCrash, Ms(5), Duration::Millis(1))
+      .Add(FaultKind::kClientStall, Ms(1), Duration::Millis(2))
+      .Add(FaultKind::kMetaWithhold, Ms(5), Duration::Millis(3));
+  ASSERT_EQ(schedule.events().size(), 3u);
+  EXPECT_EQ(schedule.events()[0].kind, FaultKind::kClientStall);
+  // Equal start times keep Add order.
+  EXPECT_EQ(schedule.events()[1].kind, FaultKind::kServerCrash);
+  EXPECT_EQ(schedule.events()[2].kind, FaultKind::kMetaWithhold);
+}
+
+TEST(FaultScheduleTest, PeriodicStopsStrictlyBeforeEnd) {
+  FaultSchedule schedule;
+  // Starts at 10, 30, 50, 70, 90: the event at 110 would not begin
+  // strictly before end=110... and neither does 110 itself.
+  schedule.Periodic(FaultKind::kServerStall, Ms(10), Ms(110), Duration::Millis(20),
+                    Duration::Millis(5));
+  EXPECT_EQ(schedule.CountOf(FaultKind::kServerStall), 5u);
+  EXPECT_EQ(schedule.CountOf(FaultKind::kClientStall), 0u);
+  EXPECT_EQ(schedule.events().back().at, Ms(90));
+  EXPECT_FALSE(schedule.empty());
+}
+
+TEST(FaultInjectorTest, StallFreezesTargetHostCores) {
+  Simulator sim;
+  Link link(&sim, Link::Config{}, Rng(1), "l");
+  Host host(&sim, &link, Nic::Config{}, "h");
+
+  FaultSchedule schedule;
+  schedule.Add(FaultKind::kClientStall, Ms(1), Duration::Millis(2));
+  FaultTargets targets;
+  targets.client_host = &host;
+  FaultInjector injector(&sim, schedule, targets);
+  injector.Arm();
+
+  // Zero-cost work submitted mid-stall must not start until the stall
+  // lifts at 3 ms.
+  TimePoint done_at;
+  sim.Schedule(Duration::MicrosF(1500), [&] {
+    EXPECT_TRUE(host.app_core().stalled());
+    host.app_core().SubmitFixed(Duration::Zero(), [&] { done_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, Ms(3));
+  EXPECT_EQ(injector.counters().client_stalls, 1u);
+  EXPECT_EQ(injector.counters().server_stalls, 0u);
+}
+
+TEST(FaultInjectorTest, CrashCallsHooksAndTracksServerLiveness) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add(FaultKind::kServerCrash, Ms(2), Duration::Millis(5));
+  FaultTargets targets;
+  std::vector<TimePoint> crashes;
+  std::vector<TimePoint> restarts;
+  targets.crash_server = [&] { crashes.push_back(sim.Now()); };
+  targets.restart_server = [&] { restarts.push_back(sim.Now()); };
+  FaultInjector injector(&sim, schedule, targets);
+  injector.Arm();
+
+  sim.Schedule(Duration::Millis(3), [&] { EXPECT_FALSE(injector.server_up()); });
+  sim.Run();
+  EXPECT_TRUE(injector.server_up());
+  ASSERT_EQ(crashes.size(), 1u);
+  EXPECT_EQ(crashes[0], Ms(2));
+  ASSERT_EQ(restarts.size(), 1u);
+  EXPECT_EQ(restarts[0], Ms(7));
+  EXPECT_EQ(injector.counters().crashes, 1u);
+  EXPECT_EQ(injector.counters().restarts, 1u);
+}
+
+TEST(FaultInjectorTest, MetadataFilterAppliesActiveWindow) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add(FaultKind::kMetaWithhold, Ms(1), Duration::Millis(1))
+      .Add(FaultKind::kMetaDuplicate, Ms(3), Duration::Millis(1))
+      .Add(FaultKind::kMetaStaleReplay, Ms(5), Duration::Millis(2));
+  FaultInjector injector(&sim, schedule, FaultTargets{});
+  injector.Arm();
+  auto filter = injector.MakeMetadataFilter();
+
+  // A payload delivered at each phase; the filter consults Now().
+  std::vector<std::vector<WirePayload>> seen;
+  for (int64_t us : {500, 1500, 2500, 3500, 5100, 5600, 6900, 7500}) {
+    sim.ScheduleAt(TimePoint::FromNanos(us * 1000), [&, us] {
+      seen.push_back(filter(PayloadAt(static_cast<uint32_t>(us))));
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(seen.size(), 8u);
+  EXPECT_EQ(seen[0].size(), 1u);  // 0.5 ms: no window, passthrough.
+  EXPECT_EQ(seen[1].size(), 0u);  // 1.5 ms: withheld.
+  EXPECT_EQ(seen[2].size(), 1u);  // 2.5 ms: window closed.
+  EXPECT_EQ(seen[3].size(), 2u);  // 3.5 ms: duplicated.
+  EXPECT_EQ(seen[3][0], seen[3][1]);
+  // 5.1 ms: first payload in the replay window passes and is cached.
+  ASSERT_EQ(seen[4].size(), 1u);
+  EXPECT_EQ(seen[4][0], PayloadAt(5100));
+  // 5.6 / 6.9 ms: later payloads are replaced by the cached one.
+  ASSERT_EQ(seen[5].size(), 1u);
+  EXPECT_EQ(seen[5][0], PayloadAt(5100));
+  ASSERT_EQ(seen[6].size(), 1u);
+  EXPECT_EQ(seen[6][0], PayloadAt(5100));
+  // 7.5 ms: window expired, passthrough resumes.
+  ASSERT_EQ(seen[7].size(), 1u);
+  EXPECT_EQ(seen[7][0], PayloadAt(7500));
+
+  EXPECT_EQ(injector.counters().meta_windows, 3u);
+  EXPECT_EQ(injector.counters().payloads_withheld, 1u);
+  EXPECT_EQ(injector.counters().payloads_duplicated, 1u);
+  EXPECT_EQ(injector.counters().payloads_replayed, 2u);
+}
+
+TEST(FaultInjectorTest, WithholdTakesPrecedenceOverOtherWindows) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add(FaultKind::kMetaWithhold, Ms(1), Duration::Millis(2))
+      .Add(FaultKind::kMetaDuplicate, Ms(1), Duration::Millis(2))
+      .Add(FaultKind::kMetaStaleReplay, Ms(1), Duration::Millis(2));
+  FaultInjector injector(&sim, schedule, FaultTargets{});
+  injector.Arm();
+  auto filter = injector.MakeMetadataFilter();
+  size_t delivered = 99;
+  sim.Schedule(Duration::Millis(2), [&] { delivered = filter(PayloadAt(2000)).size(); });
+  sim.Run();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(injector.counters().payloads_withheld, 1u);
+  EXPECT_EQ(injector.counters().payloads_duplicated, 0u);
+  EXPECT_EQ(injector.counters().payloads_replayed, 0u);
+}
+
+TEST(FaultInjectorTest, PastEventsAreDroppedByArm) {
+  Simulator sim;
+  sim.Schedule(Duration::Millis(10), [] {});
+  sim.Run();  // Now() = 10 ms.
+  FaultSchedule schedule;
+  schedule.Add(FaultKind::kServerCrash, Ms(2), Duration::Millis(1));
+  FaultTargets targets;
+  int crashes = 0;
+  targets.crash_server = [&] { ++crashes; };
+  targets.restart_server = [] {};
+  FaultInjector injector(&sim, schedule, targets);
+  injector.Arm();
+  sim.Run();
+  EXPECT_EQ(crashes, 0);
+  EXPECT_EQ(injector.counters().crashes, 0u);
+}
+
+TEST(FaultInjectorTest, RegisterCountersExportsFaultHistory) {
+  Simulator sim;
+  FaultSchedule schedule;
+  schedule.Add(FaultKind::kMetaWithhold, Ms(1), Duration::Millis(1));
+  FaultInjector injector(&sim, schedule, FaultTargets{});
+  injector.Arm();
+  auto filter = injector.MakeMetadataFilter();
+  sim.Schedule(Duration::MicrosF(1500), [&] { (void)filter(PayloadAt(1500)); });
+  sim.Run();
+
+  CounterRegistry registry;
+  injector.RegisterCounters(&registry, "faults");
+  ASSERT_EQ(registry.num_entities(), 1u);
+  EXPECT_EQ(registry.entity_name(0), "faults");
+  const auto& names = registry.counter_names(0);
+  const auto values = registry.Sample();
+  ASSERT_EQ(values.size(), 1u);
+  ASSERT_EQ(values[0].size(), names.size());
+  uint64_t windows = 99, withheld = 99, crashes = 99;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "meta_windows") windows = values[0][i];
+    if (names[i] == "payloads_withheld") withheld = values[0][i];
+    if (names[i] == "crashes") crashes = values[0][i];
+  }
+  EXPECT_EQ(windows, 1u);
+  EXPECT_EQ(withheld, 1u);
+  EXPECT_EQ(crashes, 0u);
+}
+
+}  // namespace
+}  // namespace e2e
