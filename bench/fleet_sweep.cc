@@ -11,7 +11,10 @@
 // estimated vs measured latency, the server port's occupancy high-water
 // mark, tail drops, ECN marks, and retransmits.
 //
-// Usage: fleet_sweep [--smoke] [out.json]
+// Usage: fleet_sweep [--smoke] [--trace=trace.json] [out.json]
+//   --trace= record the first cell with the sim-time tracer and write
+//            Chrome trace-event JSON there (DESIGN.md §11). Passive: stdout
+//            and out.json are unchanged by tracing.
 //   --smoke  small grid + short windows (CI determinism check); also runs
 //            the first cell twice and aborts on any divergence.
 //
@@ -21,9 +24,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/testbed/fleet.h"
 #include "src/testbed/report.h"
 
@@ -77,9 +82,12 @@ void CheckDeterminism(const FleetExperimentConfig& config) {
 int Main(int argc, char** argv) {
   bool smoke = false;
   const char* json_path = nullptr;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     } else {
       json_path = argv[i];
     }
@@ -96,6 +104,14 @@ int Main(int argc, char** argv) {
     CheckDeterminism(MakeConfig(fleet_sizes.front(), buffers.front(), smoke));
   }
 
+  // --trace captures the first (smallest) cell: one client keeps the packet
+  // and queue tracks readable in the viewer.
+  std::optional<TraceRecorder> recorder;
+  if (trace_path != nullptr) {
+    recorder.emplace(/*capacity=*/1 << 18);
+  }
+  bool traced_cell = false;
+
   std::vector<Cell> cells;
   Table table({"clients", "buf_KB", "kRPS", "meas_us", "p99_us", "fleet_est_us", "err%",
                "online_us", "drops", "ecn", "maxq_KB", "rtx"});
@@ -104,7 +120,12 @@ int Main(int argc, char** argv) {
       Cell cell;
       cell.num_clients = n;
       cell.buffer_bytes = buffer;
-      cell.result = RunFleetExperiment(MakeConfig(n, buffer, smoke));
+      {
+        const bool observe = recorder.has_value() && !traced_cell;
+        ScopedTrace bind(observe ? &*recorder : nullptr);
+        cell.result = RunFleetExperiment(MakeConfig(n, buffer, smoke));
+        traced_cell = traced_cell || observe;
+      }
       const FleetExperimentResult& r = cell.result;
       table.Row()
           .Int(n)
@@ -142,6 +163,17 @@ int Main(int argc, char** argv) {
       "\nAt constant aggregate load the estimate stays inside the two-host error\n"
       "band while the server port absorbs the incast; once the buffer clips\n"
       "(drops > 0) retransmission delay moves ground truth before the counters.\n\n");
+
+  if (recorder.has_value()) {
+    if (!recorder->WriteChromeTraceFile(trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    // stderr so tracing leaves stdout byte-identical.
+    std::fprintf(stderr, "trace: %llu events recorded (%llu overwritten) -> %s\n",
+                 static_cast<unsigned long long>(recorder->recorded()),
+                 static_cast<unsigned long long>(recorder->overwritten()), trace_path);
+  }
 
   FILE* json_out = stdout;
   if (json_path != nullptr) {

@@ -15,9 +15,17 @@
 //   * under the metadata-withhold scenario the fallback-enabled run's
 //     regret is strictly lower than the fallback-disabled run's.
 //
-// Usage: robustness_sweep [--smoke] [out.json]
-//   --smoke  short windows (CI); also runs the first cell twice and aborts
-//            on any divergence.
+// Usage: robustness_sweep [--smoke] [--trace=trace.json] [--series=out.csv]
+//                         [out.json]
+//   --smoke   short windows (CI); also runs the first cell twice and aborts
+//             on any divergence.
+//   --trace=  record the meta_withhold/fallback-on cell with the sim-time
+//             tracer and write Chrome trace-event JSON there (DESIGN.md §11).
+//   --series= sample that same cell's gauges every 1 ms and write the
+//             aligned series there (CSV, or JSON with a .json suffix).
+//
+// Observation is passive: the sweep's stdout and out.json are byte-identical
+// with and without --trace/--series (CI compares them).
 //
 // JSON uses fixed-width formatting only: two same-seed runs are
 // byte-identical (the determinism contract; see DESIGN.md §9).
@@ -30,6 +38,7 @@
 #include <vector>
 
 #include "src/core/policy.h"
+#include "src/obs/trace.h"
 #include "src/testbed/report.h"
 #include "src/testbed/robustness.h"
 
@@ -182,9 +191,15 @@ void CheckDeterminism(const RobustnessConfig& config) {
 int Main(int argc, char** argv) {
   bool smoke = false;
   const char* json_path = nullptr;
+  const char* trace_path = nullptr;
+  const char* series_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--series=", 9) == 0) {
+      series_path = argv[i] + 9;
     } else {
       json_path = argv[i];
     }
@@ -206,14 +221,34 @@ int Main(int argc, char** argv) {
   Table table({"scenario", "fallback", "kRPS", "meas_us", "p99_us", "est_us", "switches",
                "frozen%", "full_ms", "static_ms", "detect_ms", "recover_ms", "regret"});
   double baseline_score[2] = {0, 0};
+  std::optional<TraceRecorder> recorder;
+  if (trace_path != nullptr) {
+    recorder.emplace(/*capacity=*/1 << 18);
+  }
   for (Scenario scenario : scenarios) {
     for (bool fallback : {true, false}) {
       Cell cell;
       cell.scenario = scenario;
       cell.fallback = fallback;
-      const RobustnessConfig config = MakeConfig(scenario, fallback, smoke);
-      cell.result = RunRobustnessExperiment(config);
+      RobustnessConfig config = MakeConfig(scenario, fallback, smoke);
+      // The meta_withhold/fallback-on cell is the observability showcase:
+      // it walks the whole fallback chain (exchange verdicts, demotions,
+      // freezes, recovery), so --trace/--series capture that cell.
+      const bool observed_cell = scenario == Scenario::kMetaWithhold && fallback;
+      if (observed_cell && series_path != nullptr) {
+        config.series_interval = Duration::Millis(1);
+      }
+      {
+        ScopedTrace bind(observed_cell && recorder.has_value() ? &*recorder : nullptr);
+        cell.result = RunRobustnessExperiment(config);
+      }
       const RobustnessResult& r = cell.result;
+      if (observed_cell && series_path != nullptr && r.series != nullptr) {
+        if (!r.series->WriteFile(series_path)) {
+          std::fprintf(stderr, "cannot write %s\n", series_path);
+          return 1;
+        }
+      }
 
       if (r.non_finite_samples != 0) {
         std::fprintf(stderr, "FATAL: %llu non-finite samples reached the policy\n",
@@ -269,6 +304,18 @@ int Main(int argc, char** argv) {
       "\nWith the chain enabled the controller rides local-only estimates through\n"
       "metadata outages and freezes on the known-good static policy once health\n"
       "degrades fully; disabled, stale estimates keep feeding exploration.\n\n");
+
+  if (recorder.has_value()) {
+    if (!recorder->WriteChromeTraceFile(trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    // stderr, not stdout: the sweep's stdout must stay byte-identical with
+    // and without --trace (the passive-observation contract CI checks).
+    std::fprintf(stderr, "trace: %llu events recorded (%llu overwritten) -> %s\n",
+                 static_cast<unsigned long long>(recorder->recorded()),
+                 static_cast<unsigned long long>(recorder->overwritten()), trace_path);
+  }
 
   FILE* json_out = stdout;
   if (json_path != nullptr) {

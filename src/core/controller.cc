@@ -3,7 +3,25 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/trace.h"
+
 namespace e2e {
+namespace {
+
+void TraceController(const char* name, TimePoint now, const char* key, double value) {
+  if (TraceRecorder* tr = TraceIf(TraceCategory::kController)) {
+    TraceEvent e;
+    e.time = now;
+    e.category = TraceCategory::kController;
+    e.name = name;
+    e.track = tr->Track("controller");
+    e.k1 = key;
+    e.v1 = value;
+    tr->Record(e);
+  }
+}
+
+}  // namespace
 
 ToggleController::ToggleController(const ControllerConfig& config, const BatchPolicy* policy,
                                    Rng rng, bool initial_on)
@@ -31,6 +49,7 @@ void ToggleController::SwitchTo(bool on, TimePoint now) {
   on_ = on;
   last_switch_ = now;
   ++switches_;
+  TraceController("switch", now, "on", on ? 1.0 : 0.0);
 }
 
 void ToggleController::SetFrozen(bool frozen, TimePoint now) {
@@ -40,8 +59,10 @@ void ToggleController::SetFrozen(bool frozen, TimePoint now) {
   frozen_ = frozen;
   if (frozen) {
     frozen_since_ = now;
+    TraceController("freeze", now, "on", on_ ? 1.0 : 0.0);
     return;
   }
+  TraceController("unfreeze", now, "on", on_ ? 1.0 : 0.0);
   // Excise the freeze window from every clock the decision logic reads, so
   // arm knowledge (including a latency veto) ages only across time the
   // controller was actually running.
@@ -102,6 +123,7 @@ bool ToggleController::OnTick(TimePoint now, const std::optional<PerfSample>& sa
   // gone stale.
   if (!other.observed || (!vetoed && now - other.last_update > config_.stale_after)) {
     ++explorations_;
+    TraceController("explore", now, "forced", 1.0);
     SwitchTo(!on_, now);
     return on_;
   }
@@ -109,6 +131,7 @@ bool ToggleController::OnTick(TimePoint now, const std::optional<PerfSample>& sa
   // ε-greedy: occasionally re-try the other arm regardless of scores.
   if (!vetoed && rng_.Bernoulli(config_.epsilon)) {
     ++explorations_;
+    TraceController("explore", now, "forced", 0.0);
     SwitchTo(!on_, now);
     return on_;
   }

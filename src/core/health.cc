@@ -1,5 +1,7 @@
 #include "src/core/health.h"
 
+#include "src/obs/trace.h"
+
 namespace e2e {
 
 const char* HealthStateName(HealthState state) {
@@ -97,6 +99,18 @@ Duration EstimatorHealth::TimeIn(HealthState state, TimePoint now) const {
 }
 
 void EstimatorHealth::SetState(HealthState next, TimePoint now) {
+  if (TraceRecorder* tr = TraceIf(TraceCategory::kHealth)) {
+    TraceEvent e;
+    e.time = now;
+    e.category = TraceCategory::kHealth;
+    e.name = HealthStateName(next);  // Static-lifetime string literal.
+    e.track = tr->Track("health");
+    e.k1 = "from";
+    e.v1 = static_cast<double>(state_);
+    e.k2 = "to";
+    e.v2 = static_cast<double>(next);
+    tr->Record(e);
+  }
   time_in_[static_cast<size_t>(state_)] += now - state_since_;
   state_ = next;
   state_since_ = now;

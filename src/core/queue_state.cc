@@ -5,12 +5,24 @@
 namespace e2e {
 
 void QueueState::Track(TimePoint now, int64_t nitems) {
-  assert(now >= time_);
+  if (now < time_) {
+    // Timestamp regression. An assert would catch this in checked builds
+    // only; in release a negative dt would accrue a negative area into
+    // integral_ and silently corrupt every later GETAVGS window. Clamp the
+    // update to the last-seen clock and count the violation instead.
+    ++time_violations_;
+    now = time_;
+  }
   const int64_t dt = (now - time_).nanos();
   time_ = now;
   integral_ += size_ * dt;
   size_ += nitems;
-  assert(size_ >= 0);
+  if (size_ < 0) {
+    // More removals than the queue holds: clamp to empty rather than let a
+    // negative size poison the integral with negative area.
+    ++size_violations_;
+    size_ = 0;
+  }
   if (nitems < 0) {
     total_ += -nitems;
   }
@@ -21,6 +33,8 @@ void QueueState::Reset(TimePoint now) {
   size_ = 0;
   total_ = 0;
   integral_ = 0;
+  time_violations_ = 0;
+  size_violations_ = 0;
 }
 
 QueueAverages GetAvgs(const QueueSnapshot& prev, const QueueSnapshot& cur) {

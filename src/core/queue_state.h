@@ -39,7 +39,10 @@ struct QueueAverages {
 };
 
 // Algorithm 1 state. All updates must be presented in nondecreasing time
-// order. The queue size must never go negative.
+// order and the queue size must never go negative; violations of either
+// invariant are clamped (the timestamp to the last-seen clock, the size to
+// zero) and counted rather than asserted, so a buggy caller corrupts one
+// update instead of silently poisoning `integral_` in release builds.
 class QueueState {
  public:
   explicit QueueState(TimePoint now = TimePoint::Zero()) : time_(now) {}
@@ -56,6 +59,12 @@ class QueueState {
   int64_t integral() const { return integral_; }
   TimePoint time() const { return time_; }
 
+  // Invariant violations clamped by Track() since construction/Reset():
+  // updates whose timestamp ran backwards, and removals that would have
+  // driven the size negative. Nonzero means a caller bug upstream.
+  uint64_t time_violations() const { return time_violations_; }
+  uint64_t size_violations() const { return size_violations_; }
+
   // Snapshot at the state's current time. Call AdvanceTo(now) first if the
   // snapshot must be current as of `now`.
   QueueSnapshot Snapshot() const { return QueueSnapshot{time_, total_, integral_}; }
@@ -68,6 +77,8 @@ class QueueState {
   int64_t size_ = 0;
   int64_t total_ = 0;
   int64_t integral_ = 0;
+  uint64_t time_violations_ = 0;
+  uint64_t size_violations_ = 0;
 };
 
 // Algorithm 2: averages over the interval between two snapshots of the same

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/sim/logging.h"
 
 namespace e2e {
@@ -50,7 +51,34 @@ TimePoint Link::Send(Packet packet) {
     ++packets_dropped_;
     E2E_DEBUG(sim_->Now(), "link", "%s: dropped packet %lu (%zuB)", name_.c_str(),
               static_cast<unsigned long>(packet.id), packet.wire_bytes);
+    if (TraceRecorder* tr = TraceIf(TraceCategory::kPacket)) {
+      TraceEvent e;
+      e.time = start;
+      e.category = TraceCategory::kPacket;
+      e.name = "drop";
+      e.track = tr->Track(name_);
+      e.k1 = "packet_id";
+      e.v1 = static_cast<double>(packet.id);
+      e.k2 = "wire_bytes";
+      e.v2 = static_cast<double>(packet.wire_bytes);
+      tr->Record(e);
+    }
     return tx_end;
+  }
+
+  if (TraceRecorder* tr = TraceIf(TraceCategory::kPacket)) {
+    // The packet's life on the wire: serialization + propagation as a span.
+    TraceEvent e;
+    e.time = start;
+    e.duration = (tx_end + config_.propagation) - start;
+    e.category = TraceCategory::kPacket;
+    e.name = "wire";
+    e.track = tr->Track(name_);
+    e.k1 = "packet_id";
+    e.v1 = static_cast<double>(packet.id);
+    e.k2 = "wire_bytes";
+    e.v2 = static_cast<double>(packet.wire_bytes);
+    tr->Record(e);
   }
 
   const TimePoint arrival = tx_end + config_.propagation;

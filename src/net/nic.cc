@@ -3,9 +3,29 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/sim/logging.h"
 
 namespace e2e {
+namespace {
+
+void TracePacket(const char* name, const std::string& track, const Packet& packet,
+                 TimePoint now) {
+  if (TraceRecorder* tr = TraceIf(TraceCategory::kPacket)) {
+    TraceEvent e;
+    e.time = now;
+    e.category = TraceCategory::kPacket;
+    e.name = name;
+    e.track = tr->Track(track);
+    e.k1 = "packet_id";
+    e.v1 = static_cast<double>(packet.id);
+    e.k2 = "wire_bytes";
+    e.v2 = static_cast<double>(packet.wire_bytes);
+    tr->Record(e);
+  }
+}
+
+}  // namespace
 
 Nic::Nic(Simulator* sim, CpuCore* softirq, Link* tx_link, const Config& config, std::string name)
     : sim_(sim), softirq_(softirq), tx_link_(tx_link), config_(config), name_(std::move(name)) {
@@ -23,6 +43,7 @@ bool Nic::Transmit(Packet packet) {
   }
   ++tx_in_flight_;
   ++tx_segments_;
+  TracePacket("tx", name_, packet, sim_->Now());
   TimePoint last_bit = sim_->Now();
   if (packet.IsSuperSegment()) {
     for (Packet& slice : packet.slices) {
@@ -48,9 +69,11 @@ void Nic::DeliverPacket(Packet packet) {
     // Hardware checksum validation: the frame consumed the wire but is
     // discarded before it costs any softirq work.
     ++rx_checksum_drops_;
+    TracePacket("rx_checksum_drop", name_, packet, sim_->Now());
     return;
   }
   ++rx_packets_;
+  TracePacket("rx", name_, packet, sim_->Now());
   rx_backlog_.push_back(std::move(packet));
   SchedulePoll();
 }

@@ -1,4 +1,4 @@
-#include "src/testbed/registry.h"
+#include "src/obs/registry.h"
 
 #include <cassert>
 #include <utility>
@@ -21,7 +21,8 @@ CounterRegistry::Values CounterRegistry::Sample() const {
   return values;
 }
 
-CounterRegistry::Values CounterRegistry::Delta(const Values& prev, const Values& cur) {
+CounterRegistry::Values CounterRegistry::Delta(const Values& prev, const Values& cur,
+                                               DeltaStats* stats) {
   assert(prev.size() == cur.size());
   Values delta;
   delta.reserve(cur.size());
@@ -30,7 +31,16 @@ CounterRegistry::Values CounterRegistry::Delta(const Values& prev, const Values&
     std::vector<uint64_t> row;
     row.reserve(cur[i].size());
     for (size_t j = 0; j < cur[i].size(); ++j) {
-      row.push_back(cur[i][j] - prev[i][j]);
+      if (cur[i][j] < prev[i][j]) {
+        // Regressed counter (entity restarted with zeroed state): clamp
+        // instead of underflowing into a ~2^64 delta.
+        row.push_back(0);
+        if (stats != nullptr) {
+          ++stats->regressed_cells;
+        }
+      } else {
+        row.push_back(cur[i][j] - prev[i][j]);
+      }
     }
     delta.push_back(std::move(row));
   }

@@ -1,0 +1,111 @@
+#include "src/obs/timeseries.h"
+
+#include <cassert>
+
+namespace e2e {
+
+void TimeSeries::WriteCsv(FILE* out) const {
+  std::fprintf(out, "time_us");
+  for (const std::string& column : columns) {
+    std::fprintf(out, ",%s", column.c_str());
+  }
+  std::fprintf(out, "\n");
+  for (size_t i = 0; i < times.size(); ++i) {
+    std::fprintf(out, "%.3f", times[i].ToMicros());
+    for (const double value : rows[i]) {
+      std::fprintf(out, ",%.6f", value);
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+void TimeSeries::WriteJson(FILE* out) const {
+  std::fprintf(out, "{\"columns\":[\"time_us\"");
+  for (const std::string& column : columns) {
+    std::fprintf(out, ",\"%s\"", column.c_str());
+  }
+  std::fprintf(out, "],\"rows\":[");
+  for (size_t i = 0; i < times.size(); ++i) {
+    std::fprintf(out, "%s\n[%.3f", i == 0 ? "" : ",", times[i].ToMicros());
+    for (const double value : rows[i]) {
+      std::fprintf(out, ",%.6f", value);
+    }
+    std::fprintf(out, "]");
+  }
+  std::fprintf(out, "\n]}\n");
+}
+
+bool TimeSeries::WriteFile(const std::string& path) const {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return false;
+  }
+  const bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    WriteJson(out);
+  } else {
+    WriteCsv(out);
+  }
+  const bool ok = std::ferror(out) == 0;
+  std::fclose(out);
+  return ok;
+}
+
+TimeSeriesSampler::TimeSeriesSampler(Simulator* sim, Duration interval)
+    : sim_(sim), interval_(interval) {
+  assert(sim_ != nullptr);
+  assert(interval_ > Duration::Zero());
+}
+
+void TimeSeriesSampler::AddGauge(std::string name, std::function<double()> fn) {
+  assert(!started_);
+  assert(fn != nullptr);
+  gauges_.emplace_back(std::move(name), std::move(fn));
+}
+
+void TimeSeriesSampler::AttachRegistry(const CounterRegistry* registry) {
+  assert(!started_);
+  registry_ = registry;
+}
+
+void TimeSeriesSampler::Start(TimePoint until) {
+  assert(!started_);
+  started_ = true;
+  until_ = until;
+  series_.columns.clear();
+  series_.columns.reserve(gauges_.size());
+  for (const auto& [name, fn] : gauges_) {
+    series_.columns.push_back(name);
+  }
+  if (registry_ != nullptr) {
+    for (size_t i = 0; i < registry_->num_entities(); ++i) {
+      for (const std::string& counter : registry_->counter_names(i)) {
+        series_.columns.push_back(registry_->entity_name(i) + "." + counter);
+      }
+    }
+  }
+  TakeSample();
+}
+
+void TimeSeriesSampler::TakeSample() {
+  series_.times.push_back(sim_->Now());
+  std::vector<double> row;
+  row.reserve(series_.columns.size());
+  for (const auto& [name, fn] : gauges_) {
+    row.push_back(fn());
+  }
+  if (registry_ != nullptr) {
+    for (const std::vector<uint64_t>& entity : registry_->Sample()) {
+      for (const uint64_t value : entity) {
+        row.push_back(static_cast<double>(value));
+      }
+    }
+  }
+  assert(row.size() == series_.columns.size());
+  series_.rows.push_back(std::move(row));
+  if (sim_->Now() + interval_ <= until_) {
+    sim_->Schedule(interval_, [this] { TakeSample(); });
+  }
+}
+
+}  // namespace e2e

@@ -1,0 +1,84 @@
+// Aligned time-series sampling for simulated runs (DESIGN.md §11).
+//
+// A `TimeSeriesSampler` polls a set of named gauges (arbitrary double
+// providers: queue sizes, estimated vs. measured latency, EWMA values,
+// health state) plus, optionally, every entity of a CounterRegistry, on a
+// fixed sim-time interval. All columns share one clock, so downstream
+// plotting/joining needs no alignment pass — the jittertrap-style "one row
+// per tick, one column per signal" shape. The collected `TimeSeries` is a
+// plain data object exportable as CSV or JSON with fixed numeric
+// formatting (deterministic byte-for-byte for identical runs).
+//
+// Sampling is read-only: gauge providers must not mutate simulation state,
+// so attaching a sampler never changes what a same-seed run computes.
+
+#ifndef SRC_OBS_TIMESERIES_H_
+#define SRC_OBS_TIMESERIES_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+// Column-major metadata + row-major samples. `columns` excludes the
+// implicit leading time column.
+struct TimeSeries {
+  std::vector<std::string> columns;
+  std::vector<TimePoint> times;
+  std::vector<std::vector<double>> rows;  // rows[i].size() == columns.size().
+
+  size_t num_rows() const { return times.size(); }
+
+  // CSV: "time_us,<col>,..." header then one row per sample. Deterministic
+  // fixed formatting (%.3f for time, %.6f for values).
+  void WriteCsv(FILE* out) const;
+  // JSON: {"columns": ["time_us", ...], "rows": [[...], ...]}.
+  void WriteJson(FILE* out) const;
+  // Writes CSV unless `path` ends in ".json". Returns false on I/O error.
+  bool WriteFile(const std::string& path) const;
+};
+
+class TimeSeriesSampler {
+ public:
+  // Samples every `interval` (> 0) once started.
+  TimeSeriesSampler(Simulator* sim, Duration interval);
+
+  // Adds a gauge column. `fn` is called at every sample point and must be a
+  // pure read of simulation state. Call before Start().
+  void AddGauge(std::string name, std::function<double()> fn);
+
+  // Also samples every entity of `registry` (raw cumulative counter values,
+  // one column per "<entity>.<counter>"). The registry must outlive the
+  // sampler and be fully populated before Start().
+  void AttachRegistry(const CounterRegistry* registry);
+
+  // Begins sampling now; stops after `until` (absolute virtual time).
+  void Start(TimePoint until);
+
+  // The series collected so far (column names resolve at Start()).
+  const TimeSeries& series() const { return series_; }
+  // Moves the collected series out (the sampler must be done sampling).
+  TimeSeries TakeSeries() { return std::move(series_); }
+
+ private:
+  void TakeSample();
+
+  Simulator* sim_;
+  Duration interval_;
+  TimePoint until_;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges_;
+  const CounterRegistry* registry_ = nullptr;
+  TimeSeries series_;
+  bool started_ = false;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_OBS_TIMESERIES_H_

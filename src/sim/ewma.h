@@ -41,6 +41,12 @@ class Ewma {
 // decays with the time elapsed since the previous one, with time constant
 // `tau` (the half-life is tau * ln 2). Equivalent to Ewma when samples are
 // equally spaced at interval tau * alpha-ish; robust when they are not.
+//
+// Coincident samples (now == last_, e.g. two observations from one
+// simulator instant) have defined semantics: the new sample is averaged
+// equally with the current value (weight 1/2) instead of being silently
+// discarded (exp(0) == 1 would give it weight zero). The same rule covers
+// a clock that stepped backwards: dt is clamped to zero first.
 class IrregularEwma {
  public:
   explicit IrregularEwma(Duration tau) : tau_(tau) { assert(tau > Duration::Zero()); }
@@ -53,9 +59,11 @@ class IrregularEwma {
       return;
     }
     const double dt = (now - last_).ToSeconds();
-    const double w = std::exp(-dt / tau_.ToSeconds());
+    const double w = dt <= 0 ? 0.5 : std::exp(-dt / tau_.ToSeconds());
     value_ = w * value_ + (1.0 - w) * x;
-    last_ = now;
+    if (now > last_) {
+      last_ = now;
+    }
   }
 
   bool initialized() const { return initialized_; }

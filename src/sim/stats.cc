@@ -55,8 +55,7 @@ LogHistogram::LogHistogram(double min_value, double max_value, int buckets_per_d
 
 size_t LogHistogram::BucketFor(double value) const {
   const double pos = (std::log(value) - log_min_) * scale_;
-  const size_t idx = static_cast<size_t>(std::max(pos, 0.0));
-  return std::min(idx, counts_.size() - 1);
+  return static_cast<size_t>(std::max(pos, 0.0));
 }
 
 double LogHistogram::BucketUpper(size_t idx) const {
@@ -71,7 +70,16 @@ void LogHistogram::Add(double value) {
     ++underflow_;
     return;
   }
-  ++counts_[BucketFor(value)];
+  const size_t idx = BucketFor(value);
+  if (idx >= counts_.size()) {
+    // Above the configured range: count explicitly instead of silently
+    // clamping into the last bucket (which would cap high quantiles at the
+    // last bucket's upper bound and misreport the overflow mass as lying
+    // inside the range).
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
 }
 
 double LogHistogram::Quantile(double q) const {
@@ -79,7 +87,11 @@ double LogHistogram::Quantile(double q) const {
     return 0.0;
   }
   q = std::clamp(q, 0.0, 1.0);
-  const int64_t target = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
+  // At least one sample must be at or below the answer: q = 0 means "the
+  // smallest sample", not "a value no sample is below" (ceil(0) == 0 would
+  // make `seen >= target` trivially true at the first bucket).
+  const int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
   int64_t seen = underflow_;
   if (seen >= target) {
     return min_value_;
@@ -90,6 +102,7 @@ double LogHistogram::Quantile(double q) const {
       return std::min(BucketUpper(i), max_seen_);
     }
   }
+  // The target falls in the overflow tail (above the configured range).
   return max_seen_;
 }
 
@@ -101,6 +114,7 @@ void LogHistogram::Merge(const LogHistogram& other) {
   }
   count_ += other.count_;
   underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
   sum_ += other.sum_;
   max_seen_ = std::max(max_seen_, other.max_seen_);
 }
@@ -109,6 +123,7 @@ void LogHistogram::Clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   underflow_ = 0;
+  overflow_ = 0;
   sum_ = 0;
   max_seen_ = 0;
 }

@@ -47,10 +47,16 @@ class LogHistogram {
                int buckets_per_decade = 100);
 
   void Add(double value);
-  // Quantile in [0, 1]; returns 0 when empty.
+  // Quantile in [0, 1]; returns 0 when empty. Quantile(0) is the upper
+  // bound of the smallest sample's bucket (or `min_value` if any sample
+  // underflowed), never a value with no sample at or below it.
   double Quantile(double q) const;
   double Percentile(double p) const { return Quantile(p / 100.0); }
   int64_t count() const { return count_; }
+  // Samples below `min_value` / above the bucketed range. Both still count
+  // toward count(), mean(), and quantiles (as the extreme buckets).
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
   double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
   double max_seen() const { return count_ > 0 ? max_seen_ : 0.0; }
   void Clear();
@@ -69,6 +75,7 @@ class LogHistogram {
   std::vector<int64_t> counts_;
   int64_t count_ = 0;
   int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
   double sum_ = 0;
   double max_seen_ = 0;
 };

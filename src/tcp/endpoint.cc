@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <memory>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/sim/logging.h"
 #include "src/tcp/sequence.h"
 
 namespace e2e {
+namespace {
+
+// Track name for one endpoint: "conn<N>/client" or "conn<N>/server".
+uint32_t EndpointTrack(TraceRecorder* tr, uint64_t conn_id, bool is_a) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "conn%llu/%s", static_cast<unsigned long long>(conn_id),
+                is_a ? "client" : "server");
+  return tr->Track(name);
+}
+
+}  // namespace
 
 TcpEndpoint::TcpEndpoint(Simulator* sim, Host* host, uint64_t conn_id, bool is_a,
                          const TcpConfig& config, const StackCosts* costs)
@@ -94,6 +107,18 @@ bool TcpEndpoint::SendBatch(std::vector<BatchItem> items) {
     ++stats_.sends;
   }
   stats_.bytes_queued += total;
+  if (TraceRecorder* tr = TraceIf(TraceCategory::kSyscall)) {
+    TraceEvent e;
+    e.time = sim_->Now();
+    e.category = TraceCategory::kSyscall;
+    e.name = "send";
+    e.track = EndpointTrack(tr, conn_id_, is_a_);
+    e.k1 = "bytes";
+    e.v1 = static_cast<double>(total);
+    e.k2 = "messages";
+    e.v2 = static_cast<double>(items.size());
+    tr->Record(e);
+  }
   // One syscall unit regardless of how many messages the call carried.
   TrackThree(QueueKind::kUnacked, static_cast<int64_t>(total),
              PacketUnits(old_tail, old_tail + total), 1);
@@ -120,6 +145,18 @@ TcpEndpoint::RecvResult TcpEndpoint::Recv(uint64_t max_bytes) {
   }
   if (consumed.bytes > 0) {
     ++stats_.recvs;
+    if (TraceRecorder* tr = TraceIf(TraceCategory::kSyscall)) {
+      TraceEvent e;
+      e.time = sim_->Now();
+      e.category = TraceCategory::kSyscall;
+      e.name = "recv";
+      e.track = EndpointTrack(tr, conn_id_, is_a_);
+      e.k1 = "bytes";
+      e.v1 = static_cast<double>(consumed.bytes);
+      e.k2 = "messages";
+      e.v2 = static_cast<double>(result.messages.size());
+      tr->Record(e);
+    }
     int64_t syscall_units = 0;
     for (const MessageRecord& record : result.messages) {
       syscall_units += record.syscall_end ? 1 : 0;
@@ -321,6 +358,16 @@ void TcpEndpoint::StampOutgoing(TcpSegment& seg, bool force_exchange) {
     last_exchange_sent_ = sim_->Now();
     force_exchange_ = false;
     ++stats_.exchanges_sent;
+    if (TraceRecorder* tr = TraceIf(TraceCategory::kEstimator)) {
+      TraceEvent e;
+      e.time = sim_->Now();
+      e.category = TraceCategory::kEstimator;
+      e.name = "exchange_sent";
+      e.track = EndpointTrack(tr, conn_id_, is_a_);
+      e.k1 = "has_hint";
+      e.v1 = seg.e2e_option->hint.has_value() ? 1.0 : 0.0;
+      tr->Record(e);
+    }
   }
 }
 
@@ -450,18 +497,34 @@ void TcpEndpoint::HandleSegment(const TcpSegment& seg) {
   ++stats_.segments_received;
   if (seg.e2e_option.has_value()) {
     ++stats_.exchanges_received;
-    if (metadata_filter_) {
-      for (const WirePayload& payload : metadata_filter_(*seg.e2e_option)) {
-        estimator_.OnRemotePayload(payload, queues_, hint_tracker_, sim_->Now());
-        if (estimate_cb_) {
-          estimate_cb_(estimator_);
+    auto ingest = [&](const WirePayload& payload) {
+      estimator_.OnRemotePayload(payload, queues_, hint_tracker_, sim_->Now());
+      if (TraceRecorder* tr = TraceIf(TraceCategory::kEstimator)) {
+        TraceEvent e;
+        e.time = sim_->Now();
+        e.category = TraceCategory::kEstimator;
+        e.name = "exchange_rx";
+        e.track = EndpointTrack(tr, conn_id_, is_a_);
+        e.k1 = "verdict";
+        e.v1 = static_cast<double>(estimator_.last_verdict());
+        e.k2 = "has_estimate";
+        e.v2 = estimator_.has_estimate() ? 1.0 : 0.0;
+        if (estimator_.has_estimate()) {
+          e.k3 = "latency_us";
+          e.v3 = static_cast<double>(estimator_.estimate().latency->ToMicros());
         }
+        tr->Record(e);
       }
-    } else {
-      estimator_.OnRemotePayload(*seg.e2e_option, queues_, hint_tracker_, sim_->Now());
       if (estimate_cb_) {
         estimate_cb_(estimator_);
       }
+    };
+    if (metadata_filter_) {
+      for (const WirePayload& payload : metadata_filter_(*seg.e2e_option)) {
+        ingest(payload);
+      }
+    } else {
+      ingest(*seg.e2e_option);
     }
   }
   if ((seg.flags & kFlagAck) != 0) {
@@ -755,6 +818,22 @@ void TcpEndpoint::TrackThree(QueueKind kind, int64_t bytes, int64_t packets, int
   queues_.Track(kind, UnitMode::kBytes, now, bytes);
   queues_.Track(kind, UnitMode::kPackets, now, packets);
   queues_.Track(kind, UnitMode::kSyscalls, now, syscalls);
+  if (TraceRecorder* tr = TraceIf(TraceCategory::kQueue)) {
+    // One event per Track call (all three unit modes share it): the byte
+    // delta plus the queue's new size in bytes, on this endpoint's track.
+    TraceEvent e;
+    e.time = now;
+    e.category = TraceCategory::kQueue;
+    e.name = QueueKindName(kind);
+    e.track = EndpointTrack(tr, conn_id_, is_a_);
+    e.k1 = "delta_bytes";
+    e.v1 = static_cast<double>(bytes);
+    e.k2 = "size_bytes";
+    e.v2 = static_cast<double>(queues_.Get(kind, UnitMode::kBytes).size());
+    e.k3 = "size_syscalls";
+    e.v3 = static_cast<double>(queues_.Get(kind, UnitMode::kSyscalls).size());
+    tr->Record(e);
+  }
 }
 
 }  // namespace e2e

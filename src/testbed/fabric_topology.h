@@ -63,7 +63,7 @@
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/tcp/stack.h"
-#include "src/testbed/registry.h"
+#include "src/obs/registry.h"
 
 namespace e2e {
 

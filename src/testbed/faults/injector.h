@@ -27,7 +27,7 @@
 #include "src/sim/simulator.h"
 #include "src/tcp/endpoint.h"
 #include "src/testbed/faults/fault_schedule.h"
-#include "src/testbed/registry.h"
+#include "src/obs/registry.h"
 
 namespace e2e {
 

@@ -1,57 +1,10 @@
-// A registry of named counter sources, replacing hard-coded client/server
-// counter fields in collectors and reports: NICs, links, and switch ports
-// register once, and any consumer (collector tick, bench JSON writer) reads
-// all of them uniformly — the design scales from two endpoints to a fleet.
-//
-// Each entity exposes a fixed, ordered list of counter names plus a
-// provider returning the current values in that order; samples are plain
-// value vectors (no per-sample strings), so per-tick sampling of hundreds
-// of entities stays cheap. Entities are reported in registration order,
-// which the topology builder keeps deterministic.
+// Forwarding header: CounterRegistry moved to src/obs/registry.h so the
+// observability layer (trace + time-series) can ride it without depending
+// on the testbed. Include the new path in new code.
 
 #ifndef SRC_TESTBED_REGISTRY_H_
 #define SRC_TESTBED_REGISTRY_H_
 
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <vector>
-
-namespace e2e {
-
-class CounterRegistry {
- public:
-  using Provider = std::function<std::vector<uint64_t>()>;
-
-  // One sample of every entity: values[i][j] is entity i's counter j.
-  using Values = std::vector<std::vector<uint64_t>>;
-
-  // Registers `entity` exposing `counter_names` (fixed order). The provider
-  // must return exactly counter_names.size() values per call.
-  void Register(std::string entity, std::vector<std::string> counter_names, Provider provider);
-
-  size_t num_entities() const { return entities_.size(); }
-  const std::string& entity_name(size_t i) const { return entities_[i].name; }
-  const std::vector<std::string>& counter_names(size_t i) const {
-    return entities_[i].counter_names;
-  }
-
-  // Reads every entity's current values.
-  Values Sample() const;
-
-  // Element-wise `cur - prev` (the counter deltas over a window). Both
-  // samples must come from the same registry state.
-  static Values Delta(const Values& prev, const Values& cur);
-
- private:
-  struct Entity {
-    std::string name;
-    std::vector<std::string> counter_names;
-    Provider provider;
-  };
-  std::vector<Entity> entities_;
-};
-
-}  // namespace e2e
+#include "src/obs/registry.h"  // IWYU pragma: export
 
 #endif  // SRC_TESTBED_REGISTRY_H_

@@ -14,7 +14,7 @@
 
 #include "src/net/fabric/switch.h"
 #include "src/net/impair/impairment.h"
-#include "src/testbed/registry.h"
+#include "src/obs/registry.h"
 
 namespace e2e {
 

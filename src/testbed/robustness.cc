@@ -61,6 +61,11 @@ RobustnessResult RunRobustnessExperiment(const RobustnessConfig& config) {
   std::optional<TimePoint> recovered_at;
   uint64_t rejected_payloads_total = 0;
 
+  // Latest-value trackers for the time-series gauges. Plain shadows of
+  // values the run computes anyway — updating them cannot alter the run.
+  double last_online_est_us = 0;
+  double last_measured_us = 0;
+
   std::vector<std::unique_ptr<Incarnation>> incarnations;
   TcpEndpoint* server_ep = nullptr;  // Current incarnation's side B.
   FaultInjector* injector_ptr = nullptr;
@@ -101,10 +106,12 @@ RobustnessResult RunRobustnessExperiment(const RobustnessConfig& config) {
     }
     server_ep->SetEstimateCallback([&](const ConnectionEstimator& est) {
       health.OnExchange(sim.Now(), est.last_verdict());
-      if (est.has_estimate() && est.estimate().latency.has_value() && in_window(sim.Now())) {
-        const double est_us = est.estimate().latency->ToMicros();
-        online_all_us.Add(est_us);
-        bucket(sim.Now(), est_us, &online_pre_us, &online_post_us);
+      if (est.has_estimate() && est.estimate().latency.has_value()) {
+        last_online_est_us = est.estimate().latency->ToMicros();
+        if (in_window(sim.Now())) {
+          online_all_us.Add(last_online_est_us);
+          bucket(sim.Now(), last_online_est_us, &online_pre_us, &online_post_us);
+        }
       }
     });
     aggregator.AddSource(&server_ep->estimator());
@@ -161,6 +168,7 @@ RobustnessResult RunRobustnessExperiment(const RobustnessConfig& config) {
     return fresh;
   });
   client->SetLatencyObserver([&](TimePoint t, double latency_us) {
+    last_measured_us = latency_us;
     bucket(t, latency_us, &pre_truth_us, &post_truth_us);
   });
 
@@ -257,6 +265,40 @@ RobustnessResult RunRobustnessExperiment(const RobustnessConfig& config) {
   uint64_t switches_at_end = 0;
   sim.ScheduleAt(measure_end, [&] { switches_at_end = toggle.switches(); });
 
+  // ---- Optional aligned time-series (DESIGN.md §11) ----
+  // Every gauge is a pure read of state the run maintains anyway, so the
+  // sampler observes without perturbing: a same-seed run with the sampler
+  // on computes byte-identical results.
+  std::optional<TimeSeriesSampler> sampler;
+  const auto server_queue_bytes = [&](QueueKind kind) -> double {
+    if (server_ep == nullptr || server_ep->dead()) {
+      return 0;  // Between crash and reconnect there is no server queue.
+    }
+    return static_cast<double>(server_ep->queues().Get(kind, UnitMode::kBytes).size());
+  };
+  const auto arm_latency_us = [&](bool on) -> double {
+    const std::optional<PerfSample> est = toggle.ArmEstimate(on);
+    return est.has_value() ? est->latency.ToMicros() : 0;
+  };
+  if (config.series_interval > Duration::Zero()) {
+    sampler.emplace(&sim, config.series_interval);
+    sampler->AddGauge("server_unacked_bytes",
+                      [&] { return server_queue_bytes(QueueKind::kUnacked); });
+    sampler->AddGauge("server_unread_bytes",
+                      [&] { return server_queue_bytes(QueueKind::kUnread); });
+    sampler->AddGauge("server_ackdelay_bytes",
+                      [&] { return server_queue_bytes(QueueKind::kAckDelay); });
+    sampler->AddGauge("online_est_latency_us", [&] { return last_online_est_us; });
+    sampler->AddGauge("measured_latency_us", [&] { return last_measured_us; });
+    sampler->AddGauge("arm_on_ewma_latency_us", [&] { return arm_latency_us(true); });
+    sampler->AddGauge("arm_off_ewma_latency_us", [&] { return arm_latency_us(false); });
+    sampler->AddGauge("health_state",
+                      [&] { return static_cast<double>(health.state()); });
+    sampler->AddGauge("controller_on", [&] { return toggle.batching_on() ? 1.0 : 0.0; });
+    sampler->AddGauge("controller_frozen", [&] { return toggle.frozen() ? 1.0 : 0.0; });
+    sampler->Start(run_end);
+  }
+
   injector.Arm();
   client->Start();
   sim.RunUntil(run_end);
@@ -335,6 +377,9 @@ RobustnessResult RunRobustnessExperiment(const RobustnessConfig& config) {
   }
   result.aggregator_stale_skips = aggregator.stale_connections();
   result.endpoints_closed = topo.server_stack().endpoints_closed();
+  if (sampler.has_value()) {
+    result.series = std::make_shared<const TimeSeries>(sampler->TakeSeries());
+  }
   return result;
 }
 

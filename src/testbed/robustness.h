@@ -16,6 +16,7 @@
 #define SRC_TESTBED_ROBUSTNESS_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "src/apps/workload.h"
 #include "src/core/controller.h"
 #include "src/core/health.h"
+#include "src/obs/timeseries.h"
 #include "src/testbed/experiment.h"
 #include "src/testbed/faults/fault_schedule.h"
 #include "src/testbed/faults/injector.h"
@@ -62,6 +64,13 @@ struct RobustnessConfig {
   // freezes — the paper-prototype behavior the A/B quantifies against.
   HealthConfig health;
   bool fallback_enabled = true;
+
+  // When > 0, a TimeSeriesSampler records aligned gauges (server queue
+  // sizes, estimated vs. measured latency, controller arm EWMAs, health
+  // state) every `series_interval` and the result carries the series.
+  // Sampling is read-only, so enabling it never changes what the run
+  // computes (DESIGN.md §11).
+  Duration series_interval = Duration::Zero();
 };
 
 struct RobustnessResult {
@@ -118,6 +127,9 @@ struct RobustnessResult {
   uint64_t reconnects = 0;
   uint64_t failed_disconnected = 0;
   uint64_t abandoned_on_crash = 0;
+
+  // Aligned gauge samples; non-null iff config.series_interval > 0.
+  std::shared_ptr<const TimeSeries> series;
 };
 
 RobustnessResult RunRobustnessExperiment(const RobustnessConfig& config);

@@ -57,6 +57,41 @@ TEST(QueueStateTest, ResetClearsEverything) {
   EXPECT_EQ(qs.time(), Us(10));
 }
 
+TEST(QueueStateTest, BackwardsTimestampClampedAndCounted) {
+  QueueState qs;
+  qs.Track(Us(10), +2);
+  qs.Track(Us(4), +1);  // Clock ran backwards: clamped to t=10.
+  EXPECT_EQ(qs.time_violations(), 1u);
+  EXPECT_EQ(qs.size(), 3);
+  EXPECT_EQ(qs.time(), Us(10));
+  // No negative area leaked into the integral; it keeps accruing forward.
+  qs.AdvanceTo(Us(20));
+  EXPECT_EQ(qs.integral(), 3 * 10000);
+}
+
+TEST(QueueStateTest, NegativeSizeClampedAndCounted) {
+  QueueState qs;
+  qs.Track(Us(0), +2);
+  qs.Track(Us(5), -6);  // Removes more than the queue holds.
+  EXPECT_EQ(qs.size_violations(), 1u);
+  EXPECT_EQ(qs.size(), 0);
+  EXPECT_EQ(qs.total(), 6);  // Departures still counted as presented.
+  // A clamped (empty) queue accrues no occupancy.
+  qs.AdvanceTo(Us(15));
+  EXPECT_EQ(qs.integral(), 2 * 5000);
+}
+
+TEST(QueueStateTest, ResetClearsViolationCounters) {
+  QueueState qs;
+  qs.Track(Us(10), -1);
+  qs.Track(Us(5), 0);
+  EXPECT_EQ(qs.size_violations(), 1u);
+  EXPECT_EQ(qs.time_violations(), 1u);
+  qs.Reset(Us(20));
+  EXPECT_EQ(qs.size_violations(), 0u);
+  EXPECT_EQ(qs.time_violations(), 0u);
+}
+
 TEST(GetAvgsTest, ZeroIntervalYieldsZeroAverages) {
   QueueState qs;
   qs.Track(Us(1), +1);

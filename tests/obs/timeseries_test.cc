@@ -1,0 +1,137 @@
+#include "src/obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/simulator.h"
+
+namespace e2e {
+namespace {
+
+TimePoint Us(int64_t us) { return TimePoint::FromNanos(us * 1000); }
+
+std::string CsvOf(const TimeSeries& series) {
+  char* buf = nullptr;
+  size_t len = 0;
+  FILE* mem = open_memstream(&buf, &len);
+  series.WriteCsv(mem);
+  std::fclose(mem);
+  std::string out(buf, len);
+  free(buf);
+  return out;
+}
+
+std::string JsonOf(const TimeSeries& series) {
+  char* buf = nullptr;
+  size_t len = 0;
+  FILE* mem = open_memstream(&buf, &len);
+  series.WriteJson(mem);
+  std::fclose(mem);
+  std::string out(buf, len);
+  free(buf);
+  return out;
+}
+
+TEST(TimeSeriesSamplerTest, SamplesGaugesOnAlignedTicks) {
+  Simulator sim;
+  double signal = 1.0;
+  TimeSeriesSampler sampler(&sim, Duration::Micros(10));
+  sampler.AddGauge("signal", [&] { return signal; });
+  // Change the signal between ticks: each row sees the value current at its
+  // own tick, all rows share one clock.
+  sim.ScheduleAt(Us(15), [&] { signal = 2.0; });
+  sim.ScheduleAt(Us(35), [&] { signal = 3.0; });
+  sampler.Start(Us(50));
+  sim.RunUntil(Us(100));
+
+  const TimeSeries& series = sampler.series();
+  ASSERT_EQ(series.columns, (std::vector<std::string>{"signal"}));
+  ASSERT_EQ(series.num_rows(), 6u);  // t = 0, 10, 20, 30, 40, 50.
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(series.times[i], Us(static_cast<int64_t>(i) * 10));
+  }
+  EXPECT_DOUBLE_EQ(series.rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(series.rows[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(series.rows[2][0], 2.0);
+  EXPECT_DOUBLE_EQ(series.rows[3][0], 2.0);
+  EXPECT_DOUBLE_EQ(series.rows[4][0], 3.0);
+  EXPECT_DOUBLE_EQ(series.rows[5][0], 3.0);
+}
+
+TEST(TimeSeriesSamplerTest, RegistryColumnsRideAlongFlattened) {
+  Simulator sim;
+  CounterRegistry registry;
+  uint64_t tx = 5;
+  registry.Register("nic0", {"tx", "rx"},
+                    [&]() -> std::vector<uint64_t> { return {tx, tx * 2}; });
+
+  TimeSeriesSampler sampler(&sim, Duration::Micros(10));
+  sampler.AddGauge("gauge", [] { return 7.0; });
+  sampler.AttachRegistry(&registry);
+  sim.ScheduleAt(Us(5), [&] { tx = 9; });
+  sampler.Start(Us(10));
+  sim.RunUntil(Us(20));
+
+  const TimeSeries& series = sampler.series();
+  ASSERT_EQ(series.columns, (std::vector<std::string>{"gauge", "nic0.tx", "nic0.rx"}));
+  ASSERT_EQ(series.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(series.rows[0][1], 5.0);
+  EXPECT_DOUBLE_EQ(series.rows[0][2], 10.0);
+  EXPECT_DOUBLE_EQ(series.rows[1][1], 9.0);
+  EXPECT_DOUBLE_EQ(series.rows[1][2], 18.0);
+}
+
+TEST(TimeSeriesExportTest, CsvMatchesGoldenAndIsDeterministic) {
+  TimeSeries series;
+  series.columns = {"a", "b"};
+  series.times = {Us(0), Us(10)};
+  series.rows = {{1.0, 2.5}, {3.0, 4.125}};
+  const std::string expected =
+      "time_us,a,b\n"
+      "0.000,1.000000,2.500000\n"
+      "10.000,3.000000,4.125000\n";
+  EXPECT_EQ(CsvOf(series), expected);
+  EXPECT_EQ(CsvOf(series), CsvOf(series));  // Fixed formatting: stable bytes.
+}
+
+TEST(TimeSeriesExportTest, JsonShapeMatchesGolden) {
+  TimeSeries series;
+  series.columns = {"a"};
+  series.times = {Us(1)};
+  series.rows = {{42.0}};
+  EXPECT_EQ(JsonOf(series),
+            "{\"columns\":[\"time_us\",\"a\"],\"rows\":[\n[1.000,42.000000]\n]}\n");
+}
+
+TEST(TimeSeriesExportTest, WriteFilePicksFormatBySuffix) {
+  TimeSeries series;
+  series.columns = {"x"};
+  series.times = {Us(0)};
+  series.rows = {{1.0}};
+
+  const std::string csv_path = ::testing::TempDir() + "/series_test_out.csv";
+  const std::string json_path = ::testing::TempDir() + "/series_test_out.json";
+  ASSERT_TRUE(series.WriteFile(csv_path));
+  ASSERT_TRUE(series.WriteFile(json_path));
+
+  const auto slurp = [](const std::string& path) {
+    FILE* in = std::fopen(path.c_str(), "r");
+    EXPECT_NE(in, nullptr);
+    std::string text;
+    char buf[256];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(in);
+    std::remove(path.c_str());
+    return text;
+  };
+  EXPECT_EQ(slurp(csv_path).substr(0, 9), "time_us,x");
+  EXPECT_EQ(slurp(json_path).substr(0, 12), "{\"columns\":[");
+}
+
+}  // namespace
+}  // namespace e2e

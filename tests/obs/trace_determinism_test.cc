@@ -1,0 +1,103 @@
+// The observability layer's core contract (DESIGN.md §11): observation is
+// passive. Binding a TraceRecorder and enabling the time-series sampler must
+// not change anything a same-seed run computes — hooks are pure reads plus
+// an append into the recorder, and sampler gauges are pure reads on their
+// own schedule. This test runs the full robustness experiment (endpoints,
+// estimator, health chain, controller, fault injector — every hook site)
+// with tracing off, off again, and fully on, and requires exact equality.
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+#include "src/testbed/robustness.h"
+
+namespace e2e {
+namespace {
+
+RobustnessConfig SmallConfig() {
+  RobustnessConfig config;
+  config.seed = 99;
+  config.rate_rps = 20000;
+  config.warmup = Duration::Millis(10);
+  config.measure = Duration::Millis(60);
+  config.drain = Duration::Millis(10);
+  // A metadata blackout long enough to walk the fallback chain, so the
+  // health and controller hook sites actually fire.
+  const TimePoint ms = TimePoint::Zero() + config.warmup;
+  config.faults.Add(FaultKind::kMetaWithhold, ms + Duration::Millis(20), Duration::Millis(15));
+  return config;
+}
+
+void ExpectIdentical(const RobustnessResult& a, const RobustnessResult& b) {
+  // Exact equality, not tolerance: the runs must be bit-identical.
+  EXPECT_EQ(a.measured_mean_us, b.measured_mean_us);
+  EXPECT_EQ(a.measured_p99_us, b.measured_p99_us);
+  EXPECT_EQ(a.achieved_krps, b.achieved_krps);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.controller_switches, b.controller_switches);
+  EXPECT_EQ(a.duty_cycle_on, b.duty_cycle_on);
+  EXPECT_EQ(a.frozen_ticks, b.frozen_ticks);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.online_est_us, b.online_est_us);
+  EXPECT_EQ(a.health.demotions, b.health.demotions);
+  EXPECT_EQ(a.health.promotions, b.health.promotions);
+  EXPECT_EQ(a.health.healthy_exchanges, b.health.healthy_exchanges);
+  EXPECT_EQ(a.health_transitions, b.health_transitions);
+  EXPECT_EQ(a.faults.payloads_withheld, b.faults.payloads_withheld);
+  EXPECT_EQ(a.estimator_rejected_payloads, b.estimator_rejected_payloads);
+}
+
+TEST(TraceDeterminismTest, TracingAndSamplingArePassive) {
+  ASSERT_EQ(CurrentTrace(), nullptr);
+
+  // Tracing off: the reference run, twice (pure same-seed determinism).
+  const RobustnessResult off1 = RunRobustnessExperiment(SmallConfig());
+  const RobustnessResult off2 = RunRobustnessExperiment(SmallConfig());
+  ExpectIdentical(off1, off2);
+
+  // Tracing on, every category, plus the gauge sampler.
+  TraceRecorder recorder(1 << 16);
+  RobustnessConfig traced = SmallConfig();
+  traced.series_interval = Duration::Millis(1);
+  RobustnessResult on;
+  {
+    ScopedTrace bind(&recorder);
+    on = RunRobustnessExperiment(traced);
+  }
+  ASSERT_EQ(CurrentTrace(), nullptr);
+  ExpectIdentical(off1, on);
+
+  // The recorder actually observed the run: every category fired.
+  EXPECT_GT(recorder.recorded(), 0u);
+  uint32_t seen = 0;
+  for (const TraceEvent& e : recorder.Events()) {
+    seen |= TraceBit(e.category);
+  }
+  EXPECT_NE(seen & TraceBit(TraceCategory::kPacket), 0u);
+  EXPECT_NE(seen & TraceBit(TraceCategory::kSyscall), 0u);
+  EXPECT_NE(seen & TraceBit(TraceCategory::kQueue), 0u);
+  EXPECT_NE(seen & TraceBit(TraceCategory::kEstimator), 0u);
+  EXPECT_NE(seen & TraceBit(TraceCategory::kHealth), 0u);
+  EXPECT_NE(seen & TraceBit(TraceCategory::kController), 0u);
+
+  // And the sampler rode along: rows at 1 ms ticks over the whole run.
+  ASSERT_NE(on.series, nullptr);
+  EXPECT_GT(on.series->num_rows(), 50u);
+  EXPECT_EQ(on.series->rows.front().size(), on.series->columns.size());
+}
+
+TEST(TraceDeterminismTest, MaskedCategoriesRecordNothing) {
+  TraceRecorder recorder(1 << 14, TraceBit(TraceCategory::kHealth));
+  RobustnessResult result;
+  {
+    ScopedTrace bind(&recorder);
+    result = RunRobustnessExperiment(SmallConfig());
+  }
+  EXPECT_GT(recorder.recorded(), 0u);  // Health transitions did occur...
+  for (const TraceEvent& e : recorder.Events()) {
+    EXPECT_EQ(e.category, TraceCategory::kHealth);  // ...and nothing else.
+  }
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,394 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace e2e {
+namespace {
+
+TimePoint Us(int64_t us) { return TimePoint::FromNanos(us * 1000); }
+
+TraceEvent Instant(int64_t us, TraceCategory cat, const char* name, uint32_t track = 0) {
+  TraceEvent e;
+  e.time = Us(us);
+  e.category = cat;
+  e.name = name;
+  e.track = track;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser, enough to validate the Chrome trace export without
+// external dependencies. Numbers parse as double, strings stay escaped-free
+// (the export only escapes control characters we never emit in names).
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, std::shared_ptr<JsonArray>,
+               std::shared_ptr<JsonObject>>
+      v;
+
+  bool is_object() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(v); }
+  bool is_array() const { return std::holds_alternative<std::shared_ptr<JsonArray>>(v); }
+  const JsonObject& object() const { return *std::get<std::shared_ptr<JsonObject>>(v); }
+  const JsonArray& array() const { return *std::get<std::shared_ptr<JsonArray>>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case '"':
+          case '\\':
+          case '/':
+            c = esc;
+            break;
+          default:
+            return false;  // \uXXXX etc.: never emitted by the exporter.
+        }
+      }
+      out->push_back(c);
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      auto obj = std::make_shared<JsonObject>();
+      SkipSpace();
+      if (Consume('}')) {
+        out->v = obj;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        JsonValue value;
+        if (!ParseString(&key) || !Consume(':') || !ParseValue(&value)) {
+          return false;
+        }
+        (*obj)[key] = value;
+        if (Consume(',')) {
+          continue;
+        }
+        break;
+      }
+      out->v = obj;
+      return Consume('}');
+    }
+    if (c == '[') {
+      ++pos_;
+      auto arr = std::make_shared<JsonArray>();
+      SkipSpace();
+      if (Consume(']')) {
+        out->v = arr;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        arr->push_back(value);
+        if (Consume(',')) {
+          continue;
+        }
+        break;
+      }
+      out->v = arr;
+      return Consume(']');
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      out->v = s;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out->v = true;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out->v = false;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out->v = nullptr;
+      return true;
+    }
+    // Number.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) || text_[end] == '-' ||
+            text_[end] == '+' || text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) {
+      return false;
+    }
+    out->v = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string ExportToString(const TraceRecorder& recorder) {
+  char* buf = nullptr;
+  size_t len = 0;
+  FILE* mem = open_memstream(&buf, &len);
+  recorder.WriteChromeTrace(mem);
+  std::fclose(mem);
+  std::string out(buf, len);
+  free(buf);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Recorder mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorderTest, RecordsInOrder) {
+  TraceRecorder recorder(8);
+  recorder.Record(Instant(1, TraceCategory::kPacket, "a"));
+  recorder.Record(Instant(2, TraceCategory::kSyscall, "b"));
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_STREQ(events[1].name, "b");
+  EXPECT_EQ(recorder.recorded(), 2u);
+  EXPECT_EQ(recorder.overwritten(), 0u);
+}
+
+TEST(TraceRecorderTest, RingWrapKeepsNewestEvents) {
+  TraceRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e = Instant(i, TraceCategory::kPacket, "e");
+    e.v1 = i;
+    e.k1 = "i";
+    recorder.Record(e);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.overwritten(), 6u);
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first ordering across the wrap point: 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(events[i].v1, 6 + i);
+    EXPECT_EQ(events[i].time, Us(6 + i));
+  }
+}
+
+TEST(TraceRecorderTest, CategoryMaskFiltersRecording) {
+  TraceRecorder recorder(8, TraceBit(TraceCategory::kHealth) |
+                                TraceBit(TraceCategory::kController));
+  EXPECT_FALSE(recorder.enabled(TraceCategory::kPacket));
+  EXPECT_TRUE(recorder.enabled(TraceCategory::kHealth));
+  recorder.Record(Instant(1, TraceCategory::kPacket, "dropme"));
+  recorder.Record(Instant(2, TraceCategory::kHealth, "keep"));
+  recorder.Record(Instant(3, TraceCategory::kQueue, "dropme"));
+  recorder.Record(Instant(4, TraceCategory::kController, "keep"));
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "keep");
+  EXPECT_STREQ(events[1].name, "keep");
+  EXPECT_EQ(recorder.recorded(), 2u);  // Masked events never count.
+}
+
+TEST(TraceRecorderTest, TrackIdsAreStableAndNamed) {
+  TraceRecorder recorder;
+  const uint32_t a = recorder.Track("conn1/client");
+  const uint32_t b = recorder.Track("conn1/server");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(recorder.Track("conn1/client"), a);  // Create-or-get.
+  ASSERT_GE(recorder.track_names().size(), 2u);
+}
+
+TEST(TraceGuardTest, TraceIfIsNullWhenUnboundOrMasked) {
+  ASSERT_EQ(CurrentTrace(), nullptr);  // Tests run with no global binding.
+  EXPECT_EQ(TraceIf(TraceCategory::kPacket), nullptr);
+  TraceRecorder recorder(8, TraceBit(TraceCategory::kHealth));
+  {
+    ScopedTrace bind(&recorder);
+    EXPECT_EQ(TraceIf(TraceCategory::kPacket), nullptr);  // Masked out.
+    EXPECT_EQ(TraceIf(TraceCategory::kHealth), &recorder);
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);  // Restored on scope exit.
+}
+
+TEST(TraceGuardTest, ScopedTraceNestsAndRestores) {
+  TraceRecorder outer(8);
+  TraceRecorder inner(8);
+  ScopedTrace bind_outer(&outer);
+  {
+    ScopedTrace bind_inner(&inner);
+    EXPECT_EQ(CurrentTrace(), &inner);
+  }
+  EXPECT_EQ(CurrentTrace(), &outer);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export, parsed back in-test.
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTraceExportTest, ParsesBackWithSchema) {
+  TraceRecorder recorder;
+  const uint32_t conn = recorder.Track("conn1/client");
+
+  TraceEvent instant = Instant(100, TraceCategory::kEstimator, "exchange_rx", conn);
+  instant.k1 = "latency_us";
+  instant.v1 = 123.5;
+  instant.k2 = "verdict";
+  instant.v2 = 0;
+  recorder.Record(instant);
+
+  TraceEvent span = Instant(200, TraceCategory::kPacket, "wire", conn);
+  span.duration = Duration::Micros(50);
+  span.k1 = "packet_id";
+  span.v1 = 7;
+  recorder.Record(span);
+
+  const std::string text = ExportToString(recorder);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(text).Parse(&root)) << text;
+  ASSERT_TRUE(root.is_object());
+  const auto it = root.object().find("traceEvents");
+  ASSERT_NE(it, root.object().end());
+  ASSERT_TRUE(it->second.is_array());
+  const JsonArray& events = it->second.array();
+
+  size_t instants = 0;
+  size_t spans = 0;
+  size_t metadata = 0;
+  bool saw_track_name = false;
+  for (const JsonValue& ev : events) {
+    ASSERT_TRUE(ev.is_object());
+    const JsonObject& obj = ev.object();
+    ASSERT_NE(obj.find("ph"), obj.end());
+    ASSERT_NE(obj.find("pid"), obj.end());
+    ASSERT_NE(obj.find("tid"), obj.end());
+    ASSERT_NE(obj.find("name"), obj.end());
+    const std::string& ph = obj.at("ph").str();
+    if (ph == "M") {
+      ++metadata;
+      if (obj.at("name").str() == "thread_name" && obj.count("args") != 0u &&
+          obj.at("args").object().at("name").str() == "conn1/client") {
+        saw_track_name = true;
+      }
+      continue;
+    }
+    ASSERT_NE(obj.find("ts"), obj.end());
+    ASSERT_NE(obj.find("cat"), obj.end());
+    if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(obj.at("name").str(), "exchange_rx");
+      EXPECT_DOUBLE_EQ(obj.at("ts").number(), 100.0);
+      EXPECT_EQ(obj.at("cat").str(), "estimator");
+      EXPECT_DOUBLE_EQ(obj.at("args").object().at("latency_us").number(), 123.5);
+    } else if (ph == "X") {
+      ++spans;
+      EXPECT_EQ(obj.at("name").str(), "wire");
+      EXPECT_DOUBLE_EQ(obj.at("ts").number(), 200.0);
+      EXPECT_DOUBLE_EQ(obj.at("dur").number(), 50.0);
+      EXPECT_DOUBLE_EQ(obj.at("args").object().at("packet_id").number(), 7.0);
+    } else {
+      FAIL() << "unexpected phase " << ph;
+    }
+  }
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(spans, 1u);
+  EXPECT_GE(metadata, 2u);  // process_name + at least one thread_name.
+  EXPECT_TRUE(saw_track_name);
+}
+
+TEST(ChromeTraceExportTest, ExportIsByteDeterministic) {
+  const auto build = [] {
+    TraceRecorder recorder;
+    const uint32_t t = recorder.Track("health");
+    TraceEvent e = Instant(10, TraceCategory::kHealth, "local_only", t);
+    e.k1 = "from";
+    e.v1 = 0;
+    recorder.Record(e);
+    return ExportToString(recorder);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(ChromeTraceExportTest, EmptyRecorderStillValidJson) {
+  TraceRecorder recorder;
+  const std::string text = ExportToString(recorder);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(text).Parse(&root)) << text;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_NE(root.object().find("traceEvents"), root.object().end());
+}
+
+}  // namespace
+}  // namespace e2e

@@ -59,7 +59,40 @@ TEST(IrregularEwmaTest, ZeroGapKeepsOldValue) {
   IrregularEwma ewma(Duration::Millis(1));
   ewma.Add(TimePoint::FromNanos(5000), 42);
   ewma.Add(TimePoint::FromNanos(5000), 0);
-  EXPECT_DOUBLE_EQ(ewma.value(), 42);
+  // Coincident samples are averaged equally, not discarded: exp(0) == 1
+  // would silently give the new sample weight zero.
+  EXPECT_DOUBLE_EQ(ewma.value(), 21);
+}
+
+TEST(IrregularEwmaTest, CoincidentSamplesFoldInOneAtATime) {
+  IrregularEwma ewma(Duration::Millis(1));
+  const TimePoint t = TimePoint::FromNanos(5000);
+  ewma.Add(t, 100);
+  ewma.Add(t, 0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 50);
+  ewma.Add(t, 0);  // Each coincident sample halves again.
+  EXPECT_DOUBLE_EQ(ewma.value(), 25);
+}
+
+TEST(IrregularEwmaTest, CoincidentSampleDoesNotAdvanceTheClock) {
+  // A burst at t=0 must not reset the decay reference: the next spaced
+  // sample still decays relative to t=0.
+  IrregularEwma ewma(Duration::Millis(10));
+  ewma.Add(TimePoint::Zero(), 100);
+  ewma.Add(TimePoint::Zero(), 100);  // Coincident, value stays 100.
+  EXPECT_DOUBLE_EQ(ewma.value(), 100);
+  ewma.Add(TimePoint::FromNanos(10000000), 0);  // One tau later.
+  EXPECT_NEAR(ewma.value(), 100 * std::exp(-1.0), 1e-9);
+}
+
+TEST(IrregularEwmaTest, BackwardsClockTreatedAsCoincident) {
+  IrregularEwma ewma(Duration::Millis(1));
+  ewma.Add(TimePoint::FromNanos(8000), 80);
+  ewma.Add(TimePoint::FromNanos(2000), 0);  // Clock stepped back: dt < 0.
+  EXPECT_DOUBLE_EQ(ewma.value(), 40);
+  // last_ did not move backwards either.
+  ewma.Add(TimePoint::FromNanos(8000), 40);
+  EXPECT_DOUBLE_EQ(ewma.value(), 40);
 }
 
 TEST(IrregularEwmaTest, MatchesRegularEwmaForEvenSpacing) {

@@ -99,6 +99,55 @@ TEST(LogHistogramTest, EmptyAndClear) {
   hist.Clear();
   EXPECT_EQ(hist.count(), 0);
   EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_EQ(hist.underflow(), 0);
+  EXPECT_EQ(hist.overflow(), 0);
+}
+
+TEST(LogHistogramTest, QuantileZeroTracksSmallestSample) {
+  // p0 must be the smallest sample's bucket bound, not min_value_: with no
+  // sample anywhere near min_value, returning it would invent a value no
+  // sample is at or below (the old ceil(0)==0 target bug).
+  LogHistogram hist(1.0, 1e7, 100);
+  hist.Add(5000.0);
+  hist.Add(9000.0);
+  EXPECT_NEAR(hist.Quantile(0.0), 5000.0, 5000.0 * 0.03);
+  EXPECT_GE(hist.Quantile(0.0), 5000.0);  // Bucket upper bound.
+}
+
+TEST(LogHistogramTest, QuantileZeroWithUnderflowIsMinValue) {
+  LogHistogram hist(100.0, 1e6, 100);
+  hist.Add(1.0);  // Underflows: clamped to the min_value bucket.
+  hist.Add(5000.0);
+  EXPECT_EQ(hist.underflow(), 1);
+  EXPECT_EQ(hist.Quantile(0.0), 100.0);
+}
+
+TEST(LogHistogramTest, QuantileOneIsMaxSeenWithOverflow) {
+  LogHistogram hist(1.0, 1e3, 10);
+  hist.Add(10.0);
+  hist.Add(5e6);  // Far above max_value: lands in the overflow tail.
+  EXPECT_EQ(hist.overflow(), 1);
+  EXPECT_EQ(hist.count(), 2);
+  // The overflow tail reports the exact max rather than a stale bucket
+  // bound ~1e3 that would underreport the tail by orders of magnitude.
+  EXPECT_EQ(hist.Quantile(1.0), 5e6);
+  EXPECT_DOUBLE_EQ(hist.mean(), (10.0 + 5e6) / 2);
+  // Low quantiles are unaffected by the overflow sample.
+  EXPECT_NEAR(hist.Quantile(0.0), 10.0, 10.0 * 0.3);
+}
+
+TEST(LogHistogramTest, MergeCombinesOverflowAndUnderflow) {
+  LogHistogram a(10.0, 1e3, 10);
+  LogHistogram b(10.0, 1e3, 10);
+  a.Add(1.0);   // Underflow in a.
+  b.Add(1e6);   // Overflow in b.
+  b.Add(50.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.underflow(), 1);
+  EXPECT_EQ(a.overflow(), 1);
+  EXPECT_EQ(a.Quantile(0.0), 10.0);  // Underflow clamps to min_value.
+  EXPECT_EQ(a.Quantile(1.0), 1e6);
 }
 
 TEST(TimeWeightedTest, PaperWorkedExample) {

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/testbed/registry.h"
+#include "src/obs/registry.h"
 
 namespace e2e {
 namespace {

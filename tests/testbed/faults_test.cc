@@ -8,7 +8,7 @@
 #include "src/net/link.h"
 #include "src/sim/simulator.h"
 #include "src/testbed/faults/fault_schedule.h"
-#include "src/testbed/registry.h"
+#include "src/obs/registry.h"
 
 namespace e2e {
 namespace {

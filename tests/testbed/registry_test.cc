@@ -1,4 +1,4 @@
-#include "src/testbed/registry.h"
+#include "src/obs/registry.h"
 
 #include <gtest/gtest.h>
 
@@ -28,6 +28,49 @@ TEST(CounterRegistryTest, SamplesEntitiesInRegistrationOrder) {
   const CounterRegistry::Values delta = CounterRegistry::Delta(first, second);
   EXPECT_EQ(delta[0], (std::vector<uint64_t>{7}));
   EXPECT_EQ(delta[1], (std::vector<uint64_t>{30, 60}));
+}
+
+TEST(CounterRegistryTest, DeltaClampsRegressionsAndFlagsThem) {
+  // The crash/reconnect story: an entity's provider reads the *current*
+  // endpoint, and after a crash the fresh incarnation restarts its counters
+  // from zero. Raw cur - prev would underflow uint64_t into a ~2^64 delta.
+  CounterRegistry registry;
+  uint64_t sent = 900;
+  uint64_t recv = 870;
+  registry.Register("conn", {"sent", "recv"},
+                    [&]() -> std::vector<uint64_t> { return {sent, recv}; });
+
+  const CounterRegistry::Values before = registry.Sample();
+  // Crash + reconnect: the new endpoint starts over, then makes progress.
+  sent = 40;
+  recv = 35;
+  const CounterRegistry::Values after = registry.Sample();
+
+  CounterRegistry::DeltaStats stats;
+  const CounterRegistry::Values delta = CounterRegistry::Delta(before, after, &stats);
+  EXPECT_EQ(delta[0], (std::vector<uint64_t>{0, 0}));  // Clamped, not 2^64-ish.
+  EXPECT_TRUE(stats.regressed());
+  EXPECT_EQ(stats.regressed_cells, 2u);
+}
+
+TEST(CounterRegistryTest, DeltaStatsCleanWhenMonotonic) {
+  CounterRegistry::Values prev = {{5, 10}};
+  CounterRegistry::Values cur = {{5, 12}};
+  CounterRegistry::DeltaStats stats;
+  const CounterRegistry::Values delta = CounterRegistry::Delta(prev, cur, &stats);
+  EXPECT_EQ(delta[0], (std::vector<uint64_t>{0, 2}));
+  EXPECT_FALSE(stats.regressed());
+  EXPECT_EQ(stats.regressed_cells, 0u);
+}
+
+TEST(CounterRegistryTest, DeltaMixedRegressionCountsOnlyRegressedCells) {
+  CounterRegistry::Values prev = {{100}, {7, 3}};
+  CounterRegistry::Values cur = {{60}, {9, 5}};  // Entity 0 regressed only.
+  CounterRegistry::DeltaStats stats;
+  const CounterRegistry::Values delta = CounterRegistry::Delta(prev, cur, &stats);
+  EXPECT_EQ(delta[0], (std::vector<uint64_t>{0}));
+  EXPECT_EQ(delta[1], (std::vector<uint64_t>{2, 2}));
+  EXPECT_EQ(stats.regressed_cells, 1u);
 }
 
 }  // namespace
