@@ -1,0 +1,407 @@
+// Engine performance harness: the repo's self-measuring perf baseline.
+//
+// Three layers, one JSON artifact (BENCH_engine.json):
+//
+//   1. Event-queue microbench — events/sec through the slot-based
+//      EventQueue (src/sim/event_queue.h) vs. the hash-map baseline it
+//      replaced (embedded below verbatim), on a schedule/pop ring and a
+//      schedule/cancel/pop churn workload. Callbacks carry a Packet-sized
+//      capture so the baseline pays its real-world std::function heap
+//      allocation and the slot store shows its inline-storage win.
+//   2. Cell wall-clock — one representative robustness cell end to end,
+//      the unit of work every sweep grid is made of.
+//   3. Sweep scaling — an 8-cell robustness grid through the parallel
+//      sweep executor (src/testbed/sweep) at --jobs=1 vs --jobs=N, with a
+//      result-fingerprint identity check (parallelism must not change what
+//      any cell computes).
+//
+// Wall-clock numbers are inherently machine-dependent; the JSON is a perf
+// artifact, not part of the byte-determinism contract. CI runs
+// `engine_perf --smoke`, uploads BENCH_engine.json, and asserts the queue
+// speedup (and, on multi-core runners, the sweep speedup) from it.
+//
+// Usage: engine_perf [--smoke] [--jobs=N] [out.json]
+//   --smoke  smaller op counts (CI).
+//   --jobs=N worker-pool size for the scaling section (default 4, 0 = all
+//            cores).
+//   out.json defaults to BENCH_engine.json in the working directory.
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/testbed/report.h"
+#include "src/testbed/robustness.h"
+#include "src/testbed/sweep/executor.h"
+
+namespace e2e {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The pre-slot-store EventQueue, kept verbatim as the microbench baseline:
+// std::function callbacks in an unordered_map, cancellation via an
+// unordered_set — one heap allocation (for Packet-sized captures) plus two
+// hash inserts per scheduled event.
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventId Push(TimePoint when, Callback cb) {
+    const EventId id = next_id_++;
+    heap_.push(HeapItem{when, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+  }
+
+  bool Cancel(EventId id) {
+    auto it = callbacks_.find(id);
+    if (it == callbacks_.end()) {
+      return false;
+    }
+    callbacks_.erase(it);
+    canceled_.insert(id);
+    return true;
+  }
+
+  bool Empty() {
+    SkipCanceled();
+    return heap_.empty();
+  }
+
+  TimePoint NextTime() {
+    SkipCanceled();
+    return heap_.top().when;
+  }
+
+  struct Entry {
+    TimePoint when;
+    EventId id = kInvalidEventId;
+    Callback cb;
+  };
+  Entry Pop() {
+    SkipCanceled();
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(item.id);
+    Entry entry{item.when, item.id, std::move(it->second)};
+    callbacks_.erase(it);
+    return entry;
+  }
+
+ private:
+  struct HeapItem {
+    TimePoint when;
+    uint64_t seq = 0;
+    EventId id = kInvalidEventId;
+  };
+  struct Later {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void SkipCanceled() {
+    while (!heap_.empty()) {
+      auto it = canceled_.find(heap_.top().id);
+      if (it == canceled_.end()) {
+        return;
+      }
+      canceled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> canceled_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Microbench workloads. The capture ballast matches the event loop's
+// dominant closure (a `this` pointer plus a moved-in Packet, ~72 bytes):
+// large enough to defeat std::function's 16-byte SBO, small enough to stay
+// inline in InlineCallback.
+struct CaptureBallast {
+  std::array<unsigned char, 64> bytes{};
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr size_t kRingDepth = 1024;  // Pending events held during the loops.
+
+// Steady-state schedule+pop: keep kRingDepth events pending, each iteration
+// pops the earliest and schedules a replacement. Returns ns per
+// schedule+pop pair.
+template <typename Queue>
+double SchedulePopNs(size_t ops) {
+  Queue q;
+  uint64_t sum = 0;
+  CaptureBallast ballast;
+  ballast.bytes[0] = 1;
+  int64_t t = 0;
+  for (size_t i = 0; i < kRingDepth; ++i) {
+    q.Push(TimePoint::FromNanos(++t), [&sum, ballast] { sum += ballast.bytes[0]; });
+  }
+  TimePoint clock = TimePoint::Zero();
+  const double start = NowSeconds();
+  for (size_t i = 0; i < ops; ++i) {
+    clock = q.NextTime();  // The simulator peeks to advance its clock.
+    auto entry = q.Pop();
+    entry.cb();
+    q.Push(entry.when + Duration::Nanos(static_cast<int64_t>(kRingDepth)),
+           [&sum, ballast] { sum += ballast.bytes[0]; });
+  }
+  const double elapsed = NowSeconds() - start;
+  (void)clock;
+  while (!q.Empty()) {
+    q.Pop().cb();
+  }
+  if (sum != ops + kRingDepth) {
+    std::fprintf(stderr, "FATAL: microbench fired %llu callbacks, expected %llu\n",
+                 static_cast<unsigned long long>(sum),
+                 static_cast<unsigned long long>(ops + kRingDepth));
+    std::abort();
+  }
+  return elapsed / static_cast<double>(ops) * 1e9;
+}
+
+// Schedule/cancel/pop churn: each iteration schedules two events, cancels
+// the later one (the timer-rearm pattern TCP retransmit/delack timers
+// generate), and pops one. Returns ns per iteration.
+template <typename Queue>
+double ScheduleCancelPopNs(size_t ops) {
+  Queue q;
+  uint64_t sum = 0;
+  CaptureBallast ballast;
+  ballast.bytes[0] = 1;
+  int64_t t = 0;
+  for (size_t i = 0; i < kRingDepth; ++i) {
+    q.Push(TimePoint::FromNanos(++t), [&sum, ballast] { sum += ballast.bytes[0]; });
+  }
+  const double start = NowSeconds();
+  for (size_t i = 0; i < ops; ++i) {
+    t += 2;
+    q.Push(TimePoint::FromNanos(t), [&sum, ballast] { sum += ballast.bytes[0]; });
+    const EventId doomed =
+        q.Push(TimePoint::FromNanos(t + 1), [&sum, ballast] { sum += ballast.bytes[0]; });
+    q.Cancel(doomed);
+    q.NextTime();
+    q.Pop().cb();
+  }
+  const double elapsed = NowSeconds() - start;
+  while (!q.Empty()) {
+    q.Pop().cb();
+  }
+  if (sum != ops + kRingDepth) {
+    std::fprintf(stderr, "FATAL: cancel microbench fired %llu callbacks, expected %llu\n",
+                 static_cast<unsigned long long>(sum),
+                 static_cast<unsigned long long>(ops + kRingDepth));
+    std::abort();
+  }
+  return elapsed / static_cast<double>(ops) * 1e9;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-scaling section: an 8-cell robustness grid (the smallest grid the
+// parallel-identity acceptance bar names). Seeds differ per cell so the
+// cells are distinct work, windows stay smoke-sized so CI finishes fast.
+RobustnessConfig MakeScalingCell(size_t index) {
+  RobustnessConfig config;
+  config.seed = 1709 + index;
+  config.rate_rps = 20000;
+  config.warmup = Duration::Millis(50);
+  config.measure = Duration::Millis(150);
+  config.controller.veto_memory = Duration::Millis(25);
+  config.controller.stale_after = Duration::Millis(30);
+  config.fallback_enabled = (index % 2) == 0;
+  if (index % 4 >= 2) {
+    // Half the cells run a metadata blackout so the grid mixes light and
+    // heavy cells like a real sweep.
+    const TimePoint ms = TimePoint::Zero() + config.warmup;
+    config.faults.Add(FaultKind::kMetaWithhold,
+                      ms + Duration::MicrosF(config.measure.ToMicros() * 0.40),
+                      Duration::MicrosF(config.measure.ToMicros() * 0.20));
+  }
+  return config;
+}
+
+// Order-independent fingerprint of what a cell computed, for the
+// parallel-identity check.
+uint64_t Fingerprint(const RobustnessResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(r.requests_completed);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(r.measured_mean_us));
+  std::memcpy(&bits, &r.measured_mean_us, sizeof(bits));
+  mix(bits);
+  std::memcpy(&bits, &r.measured_p99_us, sizeof(bits));
+  mix(bits);
+  mix(r.controller_switches);
+  mix(r.frozen_ticks);
+  mix(r.health.demotions);
+  return h;
+}
+
+struct SweepTiming {
+  double wall_ms = 0;
+  std::vector<uint64_t> fingerprints;
+};
+
+SweepTiming RunScalingSweep(size_t num_cells, int jobs) {
+  SweepTiming timing;
+  std::vector<RobustnessResult> results(num_cells);
+  const double start = NowSeconds();
+  SweepExecutor executor(jobs);
+  executor.Run(
+      num_cells, [&](size_t i) { results[i] = RunRobustnessExperiment(MakeScalingCell(i)); },
+      [](size_t) {});
+  timing.wall_ms = (NowSeconds() - start) * 1e3;
+  timing.fingerprints.reserve(num_cells);
+  for (const RobustnessResult& r : results) {
+    timing.fingerprints.push_back(Fingerprint(r));
+  }
+  return timing;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  int jobs = 4;
+  const char* json_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    bool jobs_ok = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (ParseJobsFlag(argv[i], &jobs, &jobs_ok)) {
+      if (!jobs_ok) {
+        std::fprintf(stderr, "invalid %s\n", argv[i]);
+        return 1;
+      }
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  PrintBanner("Engine perf: event-queue hot path + sweep scaling");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency: %u, scaling jobs: %d%s\n\n", hw, jobs,
+              smoke ? " (smoke)" : "");
+
+  // --- 1. Event-queue microbench ---
+  const size_t ops = smoke ? 400000 : 2000000;
+  // Warm both allocators/caches once before the measured passes.
+  SchedulePopNs<EventQueue>(ops / 10);
+  SchedulePopNs<LegacyEventQueue>(ops / 10);
+
+  const double slot_pop_ns = SchedulePopNs<EventQueue>(ops);
+  const double legacy_pop_ns = SchedulePopNs<LegacyEventQueue>(ops);
+  const double slot_cancel_ns = ScheduleCancelPopNs<EventQueue>(ops);
+  const double legacy_cancel_ns = ScheduleCancelPopNs<LegacyEventQueue>(ops);
+  const double pop_speedup = legacy_pop_ns / slot_pop_ns;
+  const double cancel_speedup = legacy_cancel_ns / slot_cancel_ns;
+
+  Table micro({"workload", "slot_ns", "legacy_ns", "slot_Mev_s", "legacy_Mev_s", "speedup"});
+  micro.Row()
+      .Cell("schedule+pop")
+      .Num(slot_pop_ns, 1)
+      .Num(legacy_pop_ns, 1)
+      .Num(1e3 / slot_pop_ns, 2)
+      .Num(1e3 / legacy_pop_ns, 2)
+      .Cell(FormatFactor(pop_speedup));
+  micro.Row()
+      .Cell("sched+cancel+pop")
+      .Num(slot_cancel_ns, 1)
+      .Num(legacy_cancel_ns, 1)
+      .Num(1e3 / slot_cancel_ns, 2)
+      .Num(1e3 / legacy_cancel_ns, 2)
+      .Cell(FormatFactor(cancel_speedup));
+  micro.Print();
+
+  // --- 2. Cell wall-clock ---
+  const double cell_start = NowSeconds();
+  const RobustnessResult cell = RunRobustnessExperiment(MakeScalingCell(2));
+  const double cell_wall_ms = (NowSeconds() - cell_start) * 1e3;
+  std::printf("\nrobustness cell (meta_withhold, 200 ms sim): %.1f ms wall, %llu requests\n",
+              cell_wall_ms, static_cast<unsigned long long>(cell.requests_completed));
+
+  // --- 3. Sweep scaling ---
+  const size_t num_cells = 8;
+  const SweepTiming serial = RunScalingSweep(num_cells, 1);
+  const SweepTiming parallel = RunScalingSweep(num_cells, jobs);
+  const bool identical = serial.fingerprints == parallel.fingerprints;
+  const double sweep_speedup = parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0;
+  std::printf(
+      "\nsweep scaling (%zu cells): jobs=1 %.0f ms, jobs=%d %.0f ms -> %s, results %s\n",
+      num_cells, serial.wall_ms, jobs, parallel.wall_ms, FormatFactor(sweep_speedup).c_str(),
+      identical ? "identical" : "DIVERGED");
+  if (!identical) {
+    std::fprintf(stderr, "FATAL: parallel sweep changed cell results\n");
+    std::abort();
+  }
+
+  FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  JsonWriter json(out);
+  json.BeginObject();
+  json.KV("bench", std::string("engine_perf"));
+  json.KV("smoke", static_cast<uint64_t>(smoke ? 1 : 0));
+  json.KV("hardware_concurrency", static_cast<uint64_t>(hw));
+  json.Key("queue").BeginObject();
+  json.KV("ops", static_cast<uint64_t>(ops));
+  json.KV("ring_depth", static_cast<uint64_t>(kRingDepth));
+  json.KV("slot_schedule_pop_ns", slot_pop_ns, 2);
+  json.KV("legacy_schedule_pop_ns", legacy_pop_ns, 2);
+  json.KV("slot_schedule_pop_events_per_sec", 1e9 / slot_pop_ns, 0);
+  json.KV("legacy_schedule_pop_events_per_sec", 1e9 / legacy_pop_ns, 0);
+  json.KV("schedule_pop_speedup", pop_speedup, 3);
+  json.KV("slot_schedule_cancel_pop_ns", slot_cancel_ns, 2);
+  json.KV("legacy_schedule_cancel_pop_ns", legacy_cancel_ns, 2);
+  json.KV("schedule_cancel_pop_speedup", cancel_speedup, 3);
+  json.EndObject();
+  json.Key("cell").BeginObject();
+  json.KV("wall_ms", cell_wall_ms, 2);
+  json.KV("requests_completed", cell.requests_completed);
+  json.EndObject();
+  json.Key("sweep").BeginObject();
+  json.KV("cells", static_cast<uint64_t>(num_cells));
+  json.KV("jobs", static_cast<int64_t>(jobs));
+  json.KV("jobs1_wall_ms", serial.wall_ms, 2);
+  json.KV("jobsN_wall_ms", parallel.wall_ms, 2);
+  json.KV("speedup", sweep_speedup, 3);
+  json.KV("results_identical", static_cast<uint64_t>(identical ? 1 : 0));
+  json.EndObject();
+  json.EndObject();
+  json.Finish();
+  std::fclose(out);
+  std::printf("\nwrote %s\n", json_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace e2e
+
+int main(int argc, char** argv) { return e2e::Main(argc, argv); }

@@ -11,12 +11,15 @@
 // estimated vs measured latency, the server port's occupancy high-water
 // mark, tail drops, ECN marks, and retransmits.
 //
-// Usage: fleet_sweep [--smoke] [--trace=trace.json] [out.json]
+// Usage: fleet_sweep [--smoke] [--jobs=N] [--trace=trace.json] [out.json]
 //   --trace= record the first cell with the sim-time tracer and write
 //            Chrome trace-event JSON there (DESIGN.md §11). Passive: stdout
 //            and out.json are unchanged by tracing.
 //   --smoke  small grid + short windows (CI determinism check); also runs
 //            the first cell twice and aborts on any divergence.
+//   --jobs=N run the independent cells on N worker threads (0 = all cores).
+//            Results commit in cell order, so stdout and out.json are
+//            byte-identical to --jobs=1 (DESIGN.md §12; CI compares them).
 //
 // JSON is rendered with fixed-width formatting only: two runs with the same
 // seed are byte-identical (the determinism contract; see DESIGN.md §9).
@@ -31,6 +34,7 @@
 #include "src/obs/trace.h"
 #include "src/testbed/fleet.h"
 #include "src/testbed/report.h"
+#include "src/testbed/sweep/executor.h"
 
 namespace e2e {
 namespace {
@@ -81,11 +85,18 @@ void CheckDeterminism(const FleetExperimentConfig& config) {
 
 int Main(int argc, char** argv) {
   bool smoke = false;
+  int jobs = 1;
   const char* json_path = nullptr;
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
+    bool jobs_ok = true;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (ParseJobsFlag(argv[i], &jobs, &jobs_ok)) {
+      if (!jobs_ok) {
+        std::fprintf(stderr, "invalid %s\n", argv[i]);
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else {
@@ -110,39 +121,48 @@ int Main(int argc, char** argv) {
   if (trace_path != nullptr) {
     recorder.emplace(/*capacity=*/1 << 18);
   }
-  bool traced_cell = false;
 
+  // Cells are independent deterministic simulations; bodies fill their own
+  // slot on the worker pool and every output byte is produced by the
+  // in-order commits, so --jobs=N matches --jobs=1 byte-for-byte.
   std::vector<Cell> cells;
-  Table table({"clients", "buf_KB", "kRPS", "meas_us", "p99_us", "fleet_est_us", "err%",
-               "online_us", "drops", "ecn", "maxq_KB", "rtx"});
   for (size_t buffer : buffers) {
     for (int n : fleet_sizes) {
       Cell cell;
       cell.num_clients = n;
       cell.buffer_bytes = buffer;
-      {
-        const bool observe = recorder.has_value() && !traced_cell;
-        ScopedTrace bind(observe ? &*recorder : nullptr);
-        cell.result = RunFleetExperiment(MakeConfig(n, buffer, smoke));
-        traced_cell = traced_cell || observe;
-      }
-      const FleetExperimentResult& r = cell.result;
-      table.Row()
-          .Int(n)
-          .Num(buffer / 1024.0, 0)
-          .Num(r.achieved_krps, 1)
-          .Num(r.measured_mean_us, 1)
-          .Num(r.measured_p99_us, 1)
-          .Num(r.fleet_est_bytes_us.value_or(0), 1)
-          .Num(r.FleetEstimateErrorPct().value_or(0), 1)
-          .Num(r.online_est_us.value_or(0), 1)
-          .Int(static_cast<int64_t>(r.switch_tail_drops))
-          .Int(static_cast<int64_t>(r.switch_ecn_marked))
-          .Num(r.server_port_max_queue_bytes / 1024.0, 1)
-          .Int(static_cast<int64_t>(r.retransmits));
       cells.push_back(std::move(cell));
     }
   }
+
+  Table table({"clients", "buf_KB", "kRPS", "meas_us", "p99_us", "fleet_est_us", "err%",
+               "online_us", "drops", "ecn", "maxq_KB", "rtx"});
+  SweepExecutor executor(jobs);
+  executor.Run(
+      cells.size(),
+      [&](size_t i) {
+        Cell& cell = cells[i];
+        // Thread-local binding: only cell 0 records, whatever thread runs it.
+        ScopedTrace bind(i == 0 && recorder.has_value() ? &*recorder : nullptr);
+        cell.result = RunFleetExperiment(MakeConfig(cell.num_clients, cell.buffer_bytes, smoke));
+      },
+      [&](size_t i) {
+        const Cell& cell = cells[i];
+        const FleetExperimentResult& r = cell.result;
+        table.Row()
+            .Int(cell.num_clients)
+            .Num(cell.buffer_bytes / 1024.0, 0)
+            .Num(r.achieved_krps, 1)
+            .Num(r.measured_mean_us, 1)
+            .Num(r.measured_p99_us, 1)
+            .Num(r.fleet_est_bytes_us.value_or(0), 1)
+            .Num(r.FleetEstimateErrorPct().value_or(0), 1)
+            .Num(r.online_est_us.value_or(0), 1)
+            .Int(static_cast<int64_t>(r.switch_tail_drops))
+            .Int(static_cast<int64_t>(r.switch_ecn_marked))
+            .Num(r.server_port_max_queue_bytes / 1024.0, 1)
+            .Int(static_cast<int64_t>(r.retransmits));
+      });
   table.Print();
 
   // Per-port switch counters for the last cell (the biggest fleet).

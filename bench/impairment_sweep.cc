@@ -9,10 +9,15 @@
 // retransmit counters, and every impairment stage's counters.
 //
 // Output: the usual fixed-width table on stdout plus a JSON document (to
-// argv[1] when given, else stdout). The JSON is rendered with fixed-width
-// formatting only — two runs with the same seed are byte-identical, which
-// is the subsystem's determinism contract (see DESIGN.md, "Impairment
-// engine").
+// the positional path argument when given, else stdout). The JSON is
+// rendered with fixed-width formatting only — two runs with the same seed
+// are byte-identical, which is the subsystem's determinism contract (see
+// DESIGN.md, "Impairment engine").
+//
+// Usage: impairment_sweep [--jobs=N] [out.json]
+//   --jobs=N run the independent cells on N worker threads (0 = all
+//            cores). Results commit in cell order, so stdout and out.json
+//            are byte-identical to --jobs=1 (DESIGN.md §12).
 
 #include <cstdio>
 #include <string>
@@ -20,14 +25,16 @@
 
 #include "src/testbed/experiment.h"
 #include "src/testbed/report.h"
+#include "src/testbed/sweep/executor.h"
 
 namespace e2e {
 namespace {
 
 struct Cell {
-  double burst_pkts;   // Mean Gilbert-Elliott bad-state dwell, in packets (0 = off).
-  double loss_rate;    // Stationary loss rate (0 = off).
-  double jitter_us;    // Mean response-path jitter (0 = off).
+  double burst_pkts = 0;    // Mean Gilbert-Elliott bad-state dwell, in packets (0 = off).
+  double loss_rate = 0;     // Stationary loss rate (0 = off).
+  double jitter_us = 0;     // Mean response-path jitter (0 = off).
+  double config_burst = 0;  // Burst value fed to MakeImpairment (kept even when loss == 0).
   RedisExperimentResult result;
 };
 
@@ -47,15 +54,31 @@ ImpairmentConfig MakeImpairment(double burst_pkts, double loss_rate, double jitt
 
 int Main(int argc, char** argv) {
   constexpr uint64_t kSeed = 977;
+  int jobs = 1;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    bool jobs_ok = true;
+    if (ParseJobsFlag(argv[i], &jobs, &jobs_ok)) {
+      if (!jobs_ok) {
+        std::fprintf(stderr, "invalid %s\n", argv[i]);
+        return 1;
+      }
+    } else {
+      json_path = argv[i];
+    }
+  }
+
   PrintBanner("Estimator error under Gilbert-Elliott loss x jitter");
 
   const std::vector<double> burst_lengths = {1.0, 8.0, 32.0};  // 1 = i.i.d.-like.
   const std::vector<double> loss_rates = {0.0, 0.002, 0.01};
   const std::vector<double> jitters_us = {0.0, 25.0};
 
+  // Flatten the grid first; each cell is an independent deterministic
+  // simulation the executor can run on a worker pool. All stdout (table
+  // rows, the heaviest cell's endpoint-stats table) is produced by the
+  // in-order commits, so --jobs=N output matches --jobs=1 byte-for-byte.
   std::vector<Cell> cells;
-  Table table({"burst", "loss", "jit_us", "kRPS", "meas_us", "est_us", "err%", "rtx", "dropped",
-               "reordered"});
   for (double jitter_us : jitters_us) {
     for (double loss : loss_rates) {
       for (double burst : burst_lengths) {
@@ -66,21 +89,33 @@ int Main(int argc, char** argv) {
         cell.burst_pkts = loss > 0 ? burst : 0.0;
         cell.loss_rate = loss;
         cell.jitter_us = jitter_us;
+        cell.config_burst = burst;
+        cells.push_back(cell);
+      }
+    }
+  }
 
+  Table table({"burst", "loss", "jit_us", "kRPS", "meas_us", "est_us", "err%", "rtx", "dropped",
+               "reordered"});
+  SweepExecutor executor(jobs);
+  executor.Run(
+      cells.size(),
+      [&](size_t i) {
+        Cell& cell = cells[i];
         RedisExperimentConfig config;
         config.rate_rps = 20000;
         config.batch_mode = BatchMode::kStaticOff;
         config.seed = kSeed;
         config.warmup = Duration::Millis(100);
         config.measure = Duration::Millis(400);
-        config.topology.c2s_impairment = MakeImpairment(burst, loss, jitter_us);
-        config.topology.s2c_impairment = MakeImpairment(burst, loss, jitter_us);
-        // Heaviest cell: show the full per-endpoint TCP stats table once.
-        config.print_endpoint_stats =
-            burst == burst_lengths.back() && loss == loss_rates.back() &&
-            jitter_us == jitters_us.back();
+        config.topology.c2s_impairment =
+            MakeImpairment(cell.config_burst, cell.loss_rate, cell.jitter_us);
+        config.topology.s2c_impairment =
+            MakeImpairment(cell.config_burst, cell.loss_rate, cell.jitter_us);
         cell.result = RunRedisExperiment(config);
-
+      },
+      [&](size_t i) {
+        const Cell& cell = cells[i];
         uint64_t dropped = 0;
         uint64_t reordered = 0;
         for (const auto* dir : {&cell.result.impair_c2s, &cell.result.impair_s2c}) {
@@ -100,10 +135,15 @@ int Main(int argc, char** argv) {
             .Int(static_cast<int64_t>(cell.result.retransmits))
             .Int(static_cast<int64_t>(dropped))
             .Int(static_cast<int64_t>(reordered));
-        cells.push_back(std::move(cell));
-      }
-    }
-  }
+        // Heaviest cell: show the full per-endpoint TCP stats table once,
+        // from the stats copied into the result (the endpoints are gone).
+        if (i + 1 == cells.size()) {
+          std::printf("\nPer-endpoint TCP stats (connection 0):\n");
+          TcpEndpointStatsTable({{"client", cell.result.client_endpoint_stats},
+                                 {"server", cell.result.server_endpoint_stats}})
+              .Print();
+        }
+      });
   table.Print();
   // Per-stage counters for the heaviest cell, both directions.
   const Cell& worst = cells.back();
@@ -117,10 +157,10 @@ int Main(int argc, char** argv) {
       "timeouts that the queue averages see only partially.\n\n");
 
   FILE* json_out = stdout;
-  if (argc > 1) {
-    json_out = std::fopen(argv[1], "w");
+  if (json_path != nullptr) {
+    json_out = std::fopen(json_path, "w");
     if (json_out == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", json_path);
       return 1;
     }
   }

@@ -1,7 +1,11 @@
 // Microbenchmarks for the paper's §3.1 claim that the counters are "easily
 // maintained": the hot-path cost of TRACK, GETAVGS, wire encode/decode, the
-// estimator's per-exchange work, the hint API, and controller ticks.
+// estimator's per-exchange work, the hint API, and controller ticks — plus
+// the simulation engine's own hot path, ns per EventQueue schedule/pop
+// (the per-event floor under every sim second; see also bench/engine_perf
+// for the comparison against the pre-slot-store baseline).
 
+#include <array>
 #include <benchmark/benchmark.h>
 
 #include "src/core/controller.h"
@@ -10,6 +14,7 @@
 #include "src/core/policy.h"
 #include "src/core/queue_state.h"
 #include "src/core/wire_format.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/ewma.h"
 
 namespace e2e {
@@ -133,6 +138,59 @@ void BM_ControllerTick(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ControllerTick);
+
+// Steady-state schedule+pop through the slot-based EventQueue with a ring
+// of pending events, a Packet-sized capture in every callback (the event
+// loop's dominant closure shape). Reported time is one schedule + one pop.
+void BM_EventQueueSchedulePop(benchmark::State& state) {
+  constexpr size_t kPending = 1024;
+  EventQueue q;
+  uint64_t sum = 0;
+  std::array<unsigned char, 64> ballast{};
+  ballast[0] = 1;
+  int64_t t = 0;
+  for (size_t i = 0; i < kPending; ++i) {
+    q.Push(TimePoint::FromNanos(++t), [&sum, ballast] { sum += ballast[0]; });
+  }
+  for (auto _ : state) {
+    auto entry = q.Pop();
+    entry.cb();
+    q.Push(entry.when + Duration::Nanos(kPending),
+           [&sum, ballast] { sum += ballast[0]; });
+  }
+  while (!q.Empty()) {
+    q.Pop().cb();
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_EventQueueSchedulePop);
+
+// Timer-rearm churn: schedule two, O(1)-cancel the later, pop one — the
+// sequence every TCP retransmit/delack rearm produces.
+void BM_EventQueueScheduleCancelPop(benchmark::State& state) {
+  constexpr size_t kPending = 1024;
+  EventQueue q;
+  uint64_t sum = 0;
+  std::array<unsigned char, 64> ballast{};
+  ballast[0] = 1;
+  int64_t t = 0;
+  for (size_t i = 0; i < kPending; ++i) {
+    q.Push(TimePoint::FromNanos(++t), [&sum, ballast] { sum += ballast[0]; });
+  }
+  for (auto _ : state) {
+    t += 2;
+    q.Push(TimePoint::FromNanos(t), [&sum, ballast] { sum += ballast[0]; });
+    const EventId doomed =
+        q.Push(TimePoint::FromNanos(t + 1), [&sum, ballast] { sum += ballast[0]; });
+    q.Cancel(doomed);
+    q.Pop().cb();
+  }
+  while (!q.Empty()) {
+    q.Pop().cb();
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_EventQueueScheduleCancelPop);
 
 }  // namespace
 }  // namespace e2e

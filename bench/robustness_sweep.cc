@@ -15,17 +15,22 @@
 //   * under the metadata-withhold scenario the fallback-enabled run's
 //     regret is strictly lower than the fallback-disabled run's.
 //
-// Usage: robustness_sweep [--smoke] [--trace=trace.json] [--series=out.csv]
-//                         [out.json]
+// Usage: robustness_sweep [--smoke] [--jobs=N] [--trace=trace.json]
+//                         [--series=out.csv] [out.json]
 //   --smoke   short windows (CI); also runs the first cell twice and aborts
 //             on any divergence.
+//   --jobs=N  run the independent cells on N worker threads (0 = all cores).
+//             Results commit in cell order, so stdout and out.json are
+//             byte-identical to --jobs=1 (DESIGN.md §12; CI compares them).
 //   --trace=  record the meta_withhold/fallback-on cell with the sim-time
 //             tracer and write Chrome trace-event JSON there (DESIGN.md §11).
 //   --series= sample that same cell's gauges every 1 ms and write the
 //             aligned series there (CSV, or JSON with a .json suffix).
 //
 // Observation is passive: the sweep's stdout and out.json are byte-identical
-// with and without --trace/--series (CI compares them).
+// with and without --trace/--series (CI compares them). Tracing binds the
+// recorder thread-locally inside the traced cell's body, so it composes
+// with --jobs > 1.
 //
 // JSON uses fixed-width formatting only: two same-seed runs are
 // byte-identical (the determinism contract; see DESIGN.md §9).
@@ -41,6 +46,7 @@
 #include "src/obs/trace.h"
 #include "src/testbed/report.h"
 #include "src/testbed/robustness.h"
+#include "src/testbed/sweep/executor.h"
 
 namespace e2e {
 namespace {
@@ -190,12 +196,19 @@ void CheckDeterminism(const RobustnessConfig& config) {
 
 int Main(int argc, char** argv) {
   bool smoke = false;
+  int jobs = 1;
   const char* json_path = nullptr;
   const char* trace_path = nullptr;
   const char* series_path = nullptr;
   for (int i = 1; i < argc; ++i) {
+    bool jobs_ok = true;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (ParseJobsFlag(argv[i], &jobs, &jobs_ok)) {
+      if (!jobs_ok) {
+        std::fprintf(stderr, "invalid %s\n", argv[i]);
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--series=", 9) == 0) {
@@ -217,7 +230,21 @@ int Main(int argc, char** argv) {
     CheckDeterminism(MakeConfig(Scenario::kMetaWithhold, /*fallback=*/true, smoke));
   }
 
+  // Build the cell grid up front: each cell is an independent deterministic
+  // simulation, so the executor can run them on a worker pool. Bodies only
+  // fill their own cell slot; every check, score, and output byte happens in
+  // the in-order commit, so --jobs=N output is byte-identical to --jobs=1.
   std::vector<Cell> cells;
+  for (Scenario scenario : scenarios) {
+    for (bool fallback : {true, false}) {
+      Cell cell;
+      cell.scenario = scenario;
+      cell.fallback = fallback;
+      cells.push_back(std::move(cell));
+    }
+  }
+  std::vector<RobustnessConfig> configs(cells.size());
+
   Table table({"scenario", "fallback", "kRPS", "meas_us", "p99_us", "est_us", "switches",
                "frozen%", "full_ms", "static_ms", "detect_ms", "recover_ms", "regret"});
   double baseline_score[2] = {0, 0};
@@ -225,62 +252,73 @@ int Main(int argc, char** argv) {
   if (trace_path != nullptr) {
     recorder.emplace(/*capacity=*/1 << 18);
   }
-  for (Scenario scenario : scenarios) {
-    for (bool fallback : {true, false}) {
-      Cell cell;
-      cell.scenario = scenario;
-      cell.fallback = fallback;
-      RobustnessConfig config = MakeConfig(scenario, fallback, smoke);
-      // The meta_withhold/fallback-on cell is the observability showcase:
-      // it walks the whole fallback chain (exchange verdicts, demotions,
-      // freezes, recovery), so --trace/--series capture that cell.
-      const bool observed_cell = scenario == Scenario::kMetaWithhold && fallback;
-      if (observed_cell && series_path != nullptr) {
-        config.series_interval = Duration::Millis(1);
-      }
-      {
+
+  // The meta_withhold/fallback-on cell is the observability showcase: it
+  // walks the whole fallback chain (exchange verdicts, demotions, freezes,
+  // recovery), so --trace/--series capture that cell.
+  const auto is_observed = [](const Cell& cell) {
+    return cell.scenario == Scenario::kMetaWithhold && cell.fallback;
+  };
+
+  int commit_status = 0;
+  SweepExecutor executor(jobs);
+  executor.Run(
+      cells.size(),
+      [&](size_t i) {
+        Cell& cell = cells[i];
+        RobustnessConfig config = MakeConfig(cell.scenario, cell.fallback, smoke);
+        const bool observed_cell = is_observed(cell);
+        if (observed_cell && series_path != nullptr) {
+          config.series_interval = Duration::Millis(1);
+        }
+        configs[i] = config;
+        // The trace binding is thread-local, so binding it here records
+        // exactly this cell even when other cells run concurrently.
         ScopedTrace bind(observed_cell && recorder.has_value() ? &*recorder : nullptr);
         cell.result = RunRobustnessExperiment(config);
-      }
-      const RobustnessResult& r = cell.result;
-      if (observed_cell && series_path != nullptr && r.series != nullptr) {
-        if (!r.series->WriteFile(series_path)) {
-          std::fprintf(stderr, "cannot write %s\n", series_path);
-          return 1;
+      },
+      [&](size_t i) {
+        Cell& cell = cells[i];
+        const RobustnessResult& r = cell.result;
+        if (is_observed(cell) && series_path != nullptr && r.series != nullptr) {
+          if (!r.series->WriteFile(series_path)) {
+            std::fprintf(stderr, "cannot write %s\n", series_path);
+            commit_status = 1;
+          }
         }
-      }
 
-      if (r.non_finite_samples != 0) {
-        std::fprintf(stderr, "FATAL: %llu non-finite samples reached the policy\n",
-                     static_cast<unsigned long long>(r.non_finite_samples));
-        std::abort();
-      }
-      CheckCountersMatchSchedule(config, r);
+        if (r.non_finite_samples != 0) {
+          std::fprintf(stderr, "FATAL: %llu non-finite samples reached the policy\n",
+                       static_cast<unsigned long long>(r.non_finite_samples));
+          std::abort();
+        }
+        CheckCountersMatchSchedule(configs[i], r);
 
-      cell.score = ScoreOf(r, config.slo);
-      if (scenario == Scenario::kNone) {
-        baseline_score[fallback ? 1 : 0] = cell.score;
-      }
-      cell.regret = baseline_score[fallback ? 1 : 0] - cell.score;
+        cell.score = ScoreOf(r, configs[i].slo);
+        if (cell.scenario == Scenario::kNone) {
+          baseline_score[cell.fallback ? 1 : 0] = cell.score;
+        }
+        cell.regret = baseline_score[cell.fallback ? 1 : 0] - cell.score;
 
-      const double frozen_pct =
-          r.ticks > 0 ? 100.0 * static_cast<double>(r.frozen_ticks) / r.ticks : 0.0;
-      table.Row()
-          .Cell(ScenarioName(scenario))
-          .Cell(fallback ? "on" : "off")
-          .Num(r.achieved_krps, 1)
-          .Num(r.measured_mean_us, 1)
-          .Num(r.measured_p99_us, 1)
-          .Num(r.online_est_us.value_or(0), 1)
-          .Int(static_cast<int64_t>(r.controller_switches))
-          .Num(frozen_pct, 1)
-          .Num(r.time_in_full_ms, 1)
-          .Num(r.time_in_static_ms, 1)
-          .Num(r.time_to_detect_ms.value_or(0), 2)
-          .Num(r.time_to_recover_ms.value_or(0), 2)
-          .Num(cell.regret, 4);
-      cells.push_back(std::move(cell));
-    }
+        const double frozen_pct =
+            r.ticks > 0 ? 100.0 * static_cast<double>(r.frozen_ticks) / r.ticks : 0.0;
+        table.Row()
+            .Cell(ScenarioName(cell.scenario))
+            .Cell(cell.fallback ? "on" : "off")
+            .Num(r.achieved_krps, 1)
+            .Num(r.measured_mean_us, 1)
+            .Num(r.measured_p99_us, 1)
+            .Num(r.online_est_us.value_or(0), 1)
+            .Int(static_cast<int64_t>(r.controller_switches))
+            .Num(frozen_pct, 1)
+            .Num(r.time_in_full_ms, 1)
+            .Num(r.time_in_static_ms, 1)
+            .Num(r.time_to_detect_ms.value_or(0), 2)
+            .Num(r.time_to_recover_ms.value_or(0), 2)
+            .Num(cell.regret, 4);
+      });
+  if (commit_status != 0) {
+    return commit_status;
   }
   table.Print();
 

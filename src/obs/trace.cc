@@ -4,7 +4,7 @@
 
 namespace e2e {
 
-TraceRecorder* g_trace_recorder = nullptr;
+thread_local TraceRecorder* g_trace_recorder = nullptr;
 
 void SetCurrentTrace(TraceRecorder* recorder) { g_trace_recorder = recorder; }
 

@@ -117,12 +117,16 @@ class TraceRecorder {
 
 // ---- Global binding ----
 //
-// The simulation is single-threaded, so the active recorder is one global
-// pointer. Benches/tests bind a recorder around a run (ScopedTrace) and the
-// hooks compiled into sim/net/tcp/core pick it up; the default is nullptr
-// and every hook reduces to one pointer load + compare.
+// Each simulation is single-threaded, so the active recorder is one pointer
+// — thread-local, because the sweep executor (src/testbed/sweep) runs
+// independent Simulators on worker threads. Benches/tests bind a recorder
+// around a run (ScopedTrace) on the thread that runs it and the hooks
+// compiled into sim/net/tcp/core pick it up; the default on every thread is
+// nullptr and every hook reduces to one pointer load + compare. A recorder
+// is never shared across threads: binding is per-thread, so a traced cell
+// records only its own simulation no matter how many run concurrently.
 
-extern TraceRecorder* g_trace_recorder;
+extern thread_local TraceRecorder* g_trace_recorder;
 
 inline TraceRecorder* CurrentTrace() { return g_trace_recorder; }
 void SetCurrentTrace(TraceRecorder* recorder);

@@ -1,58 +1,77 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace e2e {
 
 EventId EventQueue::Push(TimePoint when, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push(HeapItem{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  heap_.push_back(HeapItem{when, next_seq_++, slot, s.generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return MakeId(slot, s.generation);
+}
+
+void EventQueue::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb = Callback();
+  ++s.generation;
+  free_slots_.push_back(slot);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
+  if (id == kInvalidEventId) {
     return false;
   }
-  callbacks_.erase(it);
-  canceled_.insert(id);
+  const uint32_t slot = static_cast<uint32_t>((id & 0xffffffffu) - 1);
+  const uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return false;  // Already fired, already canceled, or never issued.
+  }
+  FreeSlot(slot);
+  assert(live_ > 0);
+  --live_;
+  // The heap record stays behind; SkipStale() discards it when it surfaces.
   return true;
 }
 
-void EventQueue::SkipCanceled() {
-  while (!heap_.empty()) {
-    auto it = canceled_.find(heap_.top().id);
-    if (it == canceled_.end()) {
-      return;
-    }
-    canceled_.erase(it);
-    heap_.pop();
+void EventQueue::SkipStale() {
+  while (!heap_.empty() && heap_.front().generation != slots_[heap_.front().slot].generation) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
-bool EventQueue::Empty() {
-  SkipCanceled();
-  return heap_.empty();
-}
-
 TimePoint EventQueue::NextTime() {
-  SkipCanceled();
+  assert(live_ > 0);
+  SkipStale();
   assert(!heap_.empty());
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 EventQueue::Entry EventQueue::Pop() {
-  SkipCanceled();
+  assert(live_ > 0);
+  SkipStale();
   assert(!heap_.empty());
-  const HeapItem item = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(item.id);
-  assert(it != callbacks_.end());
-  Entry entry{item.when, item.id, std::move(it->second)};
-  callbacks_.erase(it);
+  const HeapItem item = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  Slot& s = slots_[item.slot];
+  assert(s.generation == item.generation);
+  Entry entry{item.when, MakeId(item.slot, item.generation), std::move(s.cb)};
+  FreeSlot(item.slot);
+  --live_;
   return entry;
 }
 

@@ -1,40 +1,55 @@
 // A cancelable priority queue of timed events with deterministic ordering.
 //
 // Events scheduled for the same instant fire in insertion order (FIFO), which
-// keeps whole-simulation runs bit-reproducible for a fixed seed. Cancellation
-// is lazy: canceled entries are skipped on pop.
+// keeps whole-simulation runs bit-reproducible for a fixed seed.
+//
+// Storage is a slot store, not a hash map: each live event owns one slot in a
+// freelist-backed vector that holds the callback inline (InlineCallback), and
+// the binary heap orders {when, seq, slot, generation} records. An EventId
+// packs (generation, slot); Cancel() is an O(1) generation check that frees
+// the slot immediately, leaving the heap record behind as a stale entry that
+// Pop()/NextTime() discard lazily (a freed slot's generation is bumped, so a
+// stale record — or a stale id — can never match a reused slot). The
+// schedule/pop path therefore does no hashing and, for callbacks that fit
+// InlineCallback's buffer, no allocation beyond amortized vector growth.
+//
+// Complexity (n = live + stale heap records):
+//   Push      O(log n); allocation-free once vectors reach steady capacity.
+//   Cancel    O(1); never touches the heap.
+//   Pop       O(log n) amortized — each stale record is discarded exactly once.
+//   NextTime  O(log n) amortized, same skip loop as Pop.
+//   Empty     O(1), const (live-event counter; never mutates).
+//   size      O(1), const, always in sync with Empty().
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/sim/callback.h"
 #include "src/sim/time.h"
 
 namespace e2e {
 
-// Identifies a scheduled event for cancellation. Id 0 is never issued.
+// Identifies a scheduled event for cancellation: (generation << 32) |
+// (slot + 1). Id 0 is never issued.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   // Schedules `cb` to fire at `when`. Returns an id usable with Cancel().
   EventId Push(TimePoint when, Callback cb);
 
   // Cancels a pending event. Returns false if the event already fired or was
-  // already canceled (both are harmless).
+  // already canceled (both are harmless). O(1).
   bool Cancel(EventId id);
 
-  // True when no live (non-canceled) events remain.
-  bool Empty();
+  // True when no live (non-canceled) events remain. O(1), const.
+  bool Empty() const { return live_ == 0; }
 
   // Time of the earliest live event. Must not be called when Empty().
   TimePoint NextTime();
@@ -48,14 +63,23 @@ class EventQueue {
   };
   Entry Pop();
 
-  // Number of live events currently pending.
-  size_t size() const { return heap_.size() - canceled_.size(); }
+  // Number of live events currently pending. O(1), const.
+  size_t size() const { return live_; }
 
  private:
+  struct Slot {
+    Callback cb;
+    // Matches the generation in outstanding EventIds/heap records while the
+    // slot is live; bumped on every free so stale references never match.
+    // (Wraps after 2^32 reuses of one slot — out of reach for simulation
+    // runs, which top out around 10^9 events total.)
+    uint32_t generation = 0;
+  };
   struct HeapItem {
     TimePoint when;
-    uint64_t seq = 0;  // Insertion order; breaks ties deterministically.
-    EventId id = kInvalidEventId;
+    uint64_t seq;  // Insertion order; breaks ties deterministically.
+    uint32_t slot;
+    uint32_t generation;
   };
   struct Later {
     bool operator()(const HeapItem& a, const HeapItem& b) const {
@@ -66,14 +90,22 @@ class EventQueue {
     }
   };
 
-  // Drops canceled items from the head of the heap.
-  void SkipCanceled();
+  static EventId MakeId(uint32_t slot, uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | (static_cast<EventId>(slot) + 1);
+  }
 
-  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_set<EventId> canceled_;
+  // Destroys the slot's callback, bumps its generation, and returns it to
+  // the freelist. The caller adjusts live_.
+  void FreeSlot(uint32_t slot);
+
+  // Drops stale (canceled) records from the head of the heap.
+  void SkipStale();
+
+  std::vector<HeapItem> heap_;  // Binary heap via std::push_heap/pop_heap.
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t live_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
 };
 
 }  // namespace e2e

@@ -407,10 +407,11 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t 
       seg->flags |= kFlagPsh;
     }
     stamp(*seg);
-    packet.payload = seg;
+    packet.payload = std::move(seg);
   } else {
     // TSO super-segment: the stack pays one TX cost; the NIC emits the
     // MTU-sized slices built here.
+    packet.slices.reserve((take + config_.mss - 1) / config_.mss);
     for (uint64_t off = 0; off < take; off += config_.mss) {
       const uint64_t slice_len = std::min<uint64_t>(config_.mss, take - off);
       Packet slice;
@@ -422,7 +423,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t 
         seg->flags |= kFlagPsh;
       }
       stamp(*seg);
-      slice.payload = seg;
+      slice.payload = std::move(seg);
       packet.slices.push_back(std::move(slice));
     }
   }
@@ -467,7 +468,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPureAck(bool force_exchange) {
   packet.id = next_packet_id_++;
   packet.wire_bytes = kWireHeaderBytes;
   packet.dst_host = peer_host_;
-  packet.payload = seg;
+  packet.payload = std::move(seg);
   ++stats_.pure_acks_sent;
   PlannedPacket planned;
   planned.packet = std::move(packet);

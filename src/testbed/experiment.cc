@@ -323,6 +323,8 @@ RedisExperimentResult RunRedisExperiment(const RedisExperimentConfig& config) {
     result.duty_cycle_on = static_cast<double>(ticks_on) / static_cast<double>(ticks_in_window);
     result.aimd_limit_bytes = limit_sum / static_cast<double>(ticks_in_window);
   }
+  result.client_endpoint_stats = connections[0].conn.a->stats();
+  result.server_endpoint_stats = connections[0].conn.b->stats();
   if (config.print_endpoint_stats) {
     std::printf("\nPer-endpoint TCP stats (connection 0):\n");
     TcpEndpointStatsTable(

@@ -130,6 +130,14 @@ struct RedisExperimentResult {
   ImpairmentSnapshot impair_c2s;
   ImpairmentSnapshot impair_s2c;
 
+  // Whole-run TcpEndpoint::Stats snapshots for connection 0 (client = side
+  // A), so benches can render TcpEndpointStatsTable rows after the driver
+  // returns — the endpoints themselves die with the topology. Copying the
+  // counters out keeps all bench printing in commit order under the
+  // parallel sweep executor (DESIGN.md §12).
+  TcpEndpoint::Stats client_endpoint_stats;
+  TcpEndpoint::Stats server_endpoint_stats;
+
   // Batching behavior.
   uint64_t server_data_segments = 0;
   uint64_t server_wire_packets = 0;

@@ -81,11 +81,10 @@ std::string FormatFactor(double factor) {
   return buf;
 }
 
-Table TcpEndpointStatsTable(const std::vector<std::pair<std::string, const TcpEndpoint*>>& rows) {
+Table TcpEndpointStatsTable(const std::vector<std::pair<std::string, TcpEndpoint::Stats>>& rows) {
   Table table({"endpoint", "segs_sent", "retransmits", "ooo_segs", "pure_acks", "delack_fires",
                "persist_probes", "sndbuf_full"});
-  for (const auto& [name, endpoint] : rows) {
-    const TcpEndpoint::Stats& s = endpoint->stats();
+  for (const auto& [name, s] : rows) {
     table.Row()
         .Cell(name)
         .Int(static_cast<int64_t>(s.data_segments_sent))
@@ -97,6 +96,15 @@ Table TcpEndpointStatsTable(const std::vector<std::pair<std::string, const TcpEn
         .Int(static_cast<int64_t>(s.send_buffer_full));
   }
   return table;
+}
+
+Table TcpEndpointStatsTable(const std::vector<std::pair<std::string, const TcpEndpoint*>>& rows) {
+  std::vector<std::pair<std::string, TcpEndpoint::Stats>> stats;
+  stats.reserve(rows.size());
+  for (const auto& [name, endpoint] : rows) {
+    stats.emplace_back(name, endpoint->stats());
+  }
+  return TcpEndpointStatsTable(stats);
 }
 
 Table ImpairmentCountersTable(

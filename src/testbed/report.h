@@ -15,10 +15,9 @@
 #include "src/net/fabric/switch.h"
 #include "src/net/impair/impairment.h"
 #include "src/obs/registry.h"
+#include "src/tcp/endpoint.h"
 
 namespace e2e {
-
-class TcpEndpoint;
 
 // Accumulates rows of preformatted cells; Print() pads columns to fit.
 class Table {
@@ -52,6 +51,10 @@ std::string FormatFactor(double factor);
 // under impaired networks (retransmits, out-of-order segments, delayed-ack
 // timer fires, pure acks, persist probes).
 Table TcpEndpointStatsTable(const std::vector<std::pair<std::string, const TcpEndpoint*>>& rows);
+
+// Same table from copied-out Stats values (e.g. RedisExperimentResult's
+// endpoint-stats snapshots), for printing after the endpoints are gone.
+Table TcpEndpointStatsTable(const std::vector<std::pair<std::string, TcpEndpoint::Stats>>& rows);
 
 // One row per (direction, stage) with the stage's counters. Rows come from
 // ImpairmentChain::Snapshot() or CounterCollector::ImpairmentWindow(); the

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace e2e {
@@ -80,6 +83,118 @@ TEST(EventQueueTest, IdsAreUniqueAndNeverInvalid) {
     EXPECT_NE(id, last);
     last = id;
   }
+}
+
+// The generation tag must keep a stale id from touching a reused slot: after
+// the only event fires (or cancels), its slot goes back on the freelist and
+// the next Push reuses it under a bumped generation.
+TEST(EventQueueTest, StaleIdNeverCancelsReusedSlot) {
+  EventQueue queue;
+  const EventId first = queue.Push(At(1), [] {});
+  queue.Pop().cb();  // Fires `first`; its slot is free again.
+
+  int fired = 0;
+  const EventId reused = queue.Push(At(2), [&] { ++fired; });
+  EXPECT_NE(first, reused);
+  EXPECT_FALSE(queue.Cancel(first));  // Stale id: must not hit the new event.
+  EXPECT_EQ(queue.size(), 1u);
+  queue.Pop().cb();
+  EXPECT_EQ(fired, 1);
+
+  // Same story when the slot is freed by Cancel instead of Pop.
+  const EventId canceled = queue.Push(At(3), [] {});
+  EXPECT_TRUE(queue.Cancel(canceled));
+  int fired2 = 0;
+  queue.Push(At(4), [&] { ++fired2; });
+  EXPECT_FALSE(queue.Cancel(canceled));
+  queue.Pop().cb();
+  EXPECT_EQ(fired2, 1);
+}
+
+// Slots are recycled many times; every incarnation must be independently
+// cancelable and old ids must stay dead forever.
+TEST(EventQueueTest, GenerationSurvivesHeavySlotReuse) {
+  EventQueue queue;
+  std::vector<EventId> dead;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId id = queue.Push(At(round), [] {});
+    for (const EventId old : dead) {
+      ASSERT_FALSE(queue.Cancel(old));
+    }
+    if (round % 2 == 0) {
+      ASSERT_TRUE(queue.Cancel(id));
+    } else {
+      queue.Pop().cb();
+    }
+    dead.push_back(id);
+    if (dead.size() > 8) {
+      dead.erase(dead.begin());
+    }
+  }
+  EXPECT_TRUE(queue.Empty());
+}
+
+// Callbacks only need to be movable: a move-only capture must survive the
+// Push → slot → Pop round trip (InlineCallback, not std::function).
+TEST(EventQueueTest, MoveOnlyCallbackCapture) {
+  EventQueue queue;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  queue.Push(At(1), [p = std::move(payload), &seen] { seen = *p; });
+  queue.Pop().cb();
+  EXPECT_EQ(seen, 42);
+}
+
+// 1M-event stress with deterministic pseudo-random times and a cancel mix:
+// exercises slot growth, freelist reuse, stale-record skipping, and ordering
+// at scale. Runs in well under a second at -O2, so it stays in the default
+// suite rather than behind the "slow" label.
+TEST(EventQueueTest, MillionEventStress) {
+  EventQueue queue;
+  uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next_rand = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  constexpr size_t kEvents = 1'000'000;
+  size_t scheduled = 0;
+  size_t canceled = 0;
+  uint64_t fired = 0;
+  std::vector<EventId> cancel_pool;
+  for (size_t i = 0; i < kEvents; ++i) {
+    const int64_t when = static_cast<int64_t>(next_rand() % 1'000'000);
+    const EventId id = queue.Push(At(when), [&fired] { ++fired; });
+    ++scheduled;
+    if (next_rand() % 4 == 0) {
+      cancel_pool.push_back(id);
+    }
+    // Cancel in bursts so freed slots interleave with fresh pushes.
+    if (cancel_pool.size() >= 64) {
+      for (const EventId victim : cancel_pool) {
+        ASSERT_TRUE(queue.Cancel(victim));
+        ++canceled;
+      }
+      cancel_pool.clear();
+    }
+  }
+  for (const EventId victim : cancel_pool) {
+    ASSERT_TRUE(queue.Cancel(victim));
+    ++canceled;
+  }
+  ASSERT_EQ(queue.size(), scheduled - canceled);
+
+  TimePoint last = TimePoint::Zero();
+  while (!queue.Empty()) {
+    auto entry = queue.Pop();
+    ASSERT_GE(entry.when, last);  // Never goes backwards.
+    last = entry.when;
+    entry.cb();
+  }
+  EXPECT_EQ(fired, scheduled - canceled);
+  EXPECT_EQ(queue.size(), 0u);
 }
 
 }  // namespace
