@@ -11,8 +11,9 @@
 // on the wire (like a TX descriptor), so occupancy counts the packet in
 // service. Admission is drop-tail against the configured byte and/or packet
 // capacity; an accepted packet whose arrival pushes occupancy past the ECN
-// threshold is marked CE (`Packet::ecn_ce`). The TCP layer currently
-// ignores the mark — the counters quantify where marking *would* act.
+// threshold is marked CE (`Packet::ecn_ce`). When an endpoint runs with
+// `cc.ecn` enabled the mark is echoed back as ECE and drives the sender's
+// congestion controller (src/tcp/cc/); otherwise only the counters see it.
 //
 // Forwarding-table misses are counted and dropped (there is no flooding:
 // every simulated host is registered by the topology builder, so a miss is

@@ -1,0 +1,117 @@
+#include "src/tcp/cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace e2e {
+
+double CubicWindowSegments(double c, double w_max_segments, double k_seconds,
+                           double t_seconds) {
+  const double d = t_seconds - k_seconds;
+  return c * d * d * d + w_max_segments;
+}
+
+CubicCongestionControl::CubicCongestionControl(const CcConfig& config)
+    : CongestionControlAlgorithm(config),
+      cwnd_seg_(static_cast<double>(config.initial_window_segments)) {}
+
+void CubicCongestionControl::SyncCwnd() {
+  cwnd_seg_ = std::max(cwnd_seg_, 1.0);
+  const double max_seg =
+      static_cast<double>(config_.max_window_bytes) / static_cast<double>(config_.mss);
+  cwnd_seg_ = std::min(cwnd_seg_, max_seg);
+  cwnd_ = ClampWindow(static_cast<uint64_t>(cwnd_seg_ * config_.mss));
+}
+
+void CubicCongestionControl::OnAck(uint64_t acked_bytes, TimePoint now) {
+  if (!config_.enabled || acked_bytes == 0) {
+    return;
+  }
+  const double segs_acked = static_cast<double>(acked_bytes) / config_.mss;
+  if (in_slow_start()) {
+    cwnd_seg_ += segs_acked;
+    SyncCwnd();
+    return;
+  }
+  if (!epoch_started_) {
+    // First avoidance ack since the last congestion event: anchor the curve.
+    epoch_started_ = true;
+    epoch_start_ = now;
+    if (w_max_seg_ < cwnd_seg_) {
+      w_max_seg_ = cwnd_seg_;  // Already past the old maximum: probe from here.
+    }
+    k_ = std::cbrt(std::max(0.0, (w_max_seg_ - cwnd_seg_) / config_.cubic_c));
+    w_est_seg_ = cwnd_seg_;
+  }
+  const double rtt_s = ReactionWindow().ToSeconds();
+  const double t = (now - epoch_start_).ToSeconds();
+  // Aim one RTT ahead on the curve; each acked segment closes 1/cwnd of the
+  // distance (RFC 8312 §4.1's per-ack increment).
+  const double target = CubicWindowSegments(config_.cubic_c, w_max_seg_, k_, t + rtt_s);
+  if (target > cwnd_seg_) {
+    cwnd_seg_ += (target - cwnd_seg_) / cwnd_seg_ * segs_acked;
+  }
+  // Reno-friendly region (§4.2): never grow slower than an additive TCP
+  // flow would have since the epoch started.
+  w_est_seg_ += 3.0 * (1.0 - config_.cubic_beta) / (1.0 + config_.cubic_beta) * segs_acked /
+                cwnd_seg_;
+  if (cwnd_seg_ < w_est_seg_) {
+    cwnd_seg_ = w_est_seg_;
+  }
+  SyncCwnd();
+}
+
+void CubicCongestionControl::MultiplicativeDecrease() {
+  if (config_.cubic_fast_convergence && cwnd_seg_ < w_max_seg_) {
+    // Losing ground since the last event: release room for newcomers.
+    w_max_seg_ = cwnd_seg_ * (1.0 + config_.cubic_beta) / 2.0;
+  } else {
+    w_max_seg_ = cwnd_seg_;
+  }
+  cwnd_seg_ = std::max(cwnd_seg_ * config_.cubic_beta, 2.0);
+  ssthresh_ = std::max<uint64_t>(static_cast<uint64_t>(cwnd_seg_) * config_.mss,
+                                 2ull * config_.mss);
+  epoch_started_ = false;
+  ++decrease_events_;
+  SyncCwnd();
+}
+
+void CubicCongestionControl::OnDupAckThreshold() {
+  if (!config_.enabled) {
+    return;
+  }
+  MultiplicativeDecrease();
+}
+
+void CubicCongestionControl::OnRto() {
+  if (!config_.enabled) {
+    return;
+  }
+  // Remember where we were (with fast convergence), then collapse to one
+  // MSS and restart slow start toward beta * cwnd (RFC 8312 §4.7).
+  if (config_.cubic_fast_convergence && cwnd_seg_ < w_max_seg_) {
+    w_max_seg_ = cwnd_seg_ * (1.0 + config_.cubic_beta) / 2.0;
+  } else {
+    w_max_seg_ = cwnd_seg_;
+  }
+  ssthresh_ = std::max<uint64_t>(
+      static_cast<uint64_t>(cwnd_seg_ * config_.cubic_beta) * config_.mss, 2ull * config_.mss);
+  cwnd_seg_ = 1.0;
+  epoch_started_ = false;
+  ++decrease_events_;
+  SyncCwnd();
+}
+
+void CubicCongestionControl::OnEcnEcho(uint64_t acked_bytes, TimePoint now) {
+  (void)acked_bytes;
+  if (!config_.enabled) {
+    return;
+  }
+  if (now < cwr_until_) {
+    return;  // Already reacted within this RTT (RFC 3168 §6.1.2).
+  }
+  MultiplicativeDecrease();
+  cwr_until_ = now + ReactionWindow();
+}
+
+}  // namespace e2e

@@ -1,0 +1,61 @@
+// CUBIC congestion control (RFC 8312).
+//
+// After a congestion event the window regrows along a cubic curve in time:
+//
+//   W_cubic(t) = C * (t - K)^3 + W_max          [segments]
+//   K          = cbrt(W_max * (1 - beta) / C)   [seconds]
+//
+// concave below the pre-event maximum W_max (fast recovery toward it),
+// plateauing at W_max (t = K is the inflection point), then convex beyond
+// it (probing for new capacity). The Reno-friendly region keeps CUBIC at
+// least as aggressive as standard TCP on short-RTT paths:
+//
+//   W_est(t) = W_max * beta + 3 * (1 - beta) / (1 + beta) * t / RTT
+//
+// Decrease is by `beta` (default 0.7, gentler than Reno's 0.5); with fast
+// convergence a flow that lost ground since the previous event releases
+// extra room (W_max *= (1 + beta) / 2). Slow start and the RTO collapse
+// are inherited from Reno semantics (RFC 8312 §4.8, §4.7).
+
+#ifndef SRC_TCP_CC_CUBIC_H_
+#define SRC_TCP_CC_CUBIC_H_
+
+#include "src/tcp/cc/congestion_control.h"
+
+namespace e2e {
+
+// The raw window curve, exposed for the shape tests (monotonicity,
+// concave/convex switch at t = K) and for plotting.
+double CubicWindowSegments(double c, double w_max_segments, double k_seconds, double t_seconds);
+
+class CubicCongestionControl : public CongestionControlAlgorithm {
+ public:
+  explicit CubicCongestionControl(const CcConfig& config);
+
+  void OnAck(uint64_t acked_bytes, TimePoint now = TimePoint::Zero()) override;
+  void OnDupAckThreshold() override;
+  void OnRto() override;
+  void OnEcnEcho(uint64_t acked_bytes, TimePoint now = TimePoint::Zero()) override;
+
+  const char* name() const override { return "cubic"; }
+
+  // Introspection for tests: the curve parameters of the current epoch.
+  double w_max_segments() const { return w_max_seg_; }
+  double k_seconds() const { return k_; }
+  bool epoch_started() const { return epoch_started_; }
+
+ private:
+  void MultiplicativeDecrease();
+  void SyncCwnd();  // cwnd_ (bytes) tracks cwnd_seg_ (segments).
+
+  double cwnd_seg_;         // The window in (fractional) segments.
+  double w_max_seg_ = 0;    // Window just before the last decrease.
+  double k_ = 0;            // Seconds from epoch start to the plateau.
+  double w_est_seg_ = 0;    // Reno-friendly estimate at epoch start.
+  TimePoint epoch_start_ = TimePoint::Zero();
+  bool epoch_started_ = false;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_TCP_CC_CUBIC_H_

@@ -1,0 +1,87 @@
+#include "src/tcp/cc/dctcp.h"
+
+#include <algorithm>
+
+namespace e2e {
+
+void DctcpCongestionControl::RollWindow(TimePoint now) {
+  if (window_end_ == TimePoint::Zero()) {
+    window_end_ = now + ReactionWindow();
+    return;
+  }
+  if (now < window_end_) {
+    return;
+  }
+  // One observation window (~RTT) of acks is complete: fold its mark
+  // fraction into alpha, and react if anything was marked (RFC 8257 §3.3).
+  const double f = window_acked_bytes_ == 0
+                       ? 0.0
+                       : static_cast<double>(window_marked_bytes_) /
+                             static_cast<double>(window_acked_bytes_);
+  alpha_ = (1.0 - config_.dctcp_gain) * alpha_ + config_.dctcp_gain * f;
+  if (window_marked_bytes_ > 0) {
+    const double factor = 1.0 - alpha_ / 2.0;
+    cwnd_ = ClampWindow(static_cast<uint64_t>(static_cast<double>(cwnd_) * factor));
+    ssthresh_ = cwnd_;  // Proportional decrease also ends slow start.
+    avoid_accum_ = 0;
+    ++decrease_events_;
+  }
+  window_acked_bytes_ = 0;
+  window_marked_bytes_ = 0;
+  window_end_ = now + ReactionWindow();
+}
+
+void DctcpCongestionControl::OnAck(uint64_t acked_bytes, TimePoint now) {
+  if (!config_.enabled || acked_bytes == 0) {
+    return;
+  }
+  window_acked_bytes_ += acked_bytes;
+  // Growth is standard Reno (RFC 8257 changes only the decrease law).
+  if (in_slow_start()) {
+    cwnd_ += acked_bytes;
+  } else {
+    avoid_accum_ += acked_bytes;
+    if (avoid_accum_ >= cwnd_) {
+      avoid_accum_ -= cwnd_;
+      cwnd_ += config_.mss;
+    }
+  }
+  cwnd_ = std::min(cwnd_, config_.max_window_bytes);
+  RollWindow(now);
+}
+
+void DctcpCongestionControl::OnEcnEcho(uint64_t acked_bytes, TimePoint now) {
+  if (!config_.enabled) {
+    return;
+  }
+  // Called before OnAck for the same ack: these bytes land in both the
+  // marked tally (here) and the total (there).
+  window_marked_bytes_ += acked_bytes;
+  RollWindow(now);
+}
+
+void DctcpCongestionControl::OnDupAckThreshold() {
+  if (!config_.enabled) {
+    return;
+  }
+  // Packet loss falls back to the conventional halving.
+  ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ull * config_.mss);
+  cwnd_ = ssthresh_;
+  avoid_accum_ = 0;
+  ++decrease_events_;
+}
+
+void DctcpCongestionControl::OnRto() {
+  if (!config_.enabled) {
+    return;
+  }
+  // RFC 5681 §3.1 collapse; alpha deliberately survives the timeout.
+  ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ull * config_.mss);
+  cwnd_ = config_.mss;
+  avoid_accum_ = 0;
+  window_acked_bytes_ = 0;
+  window_marked_bytes_ = 0;
+  ++decrease_events_;
+}
+
+}  // namespace e2e

@@ -1,0 +1,58 @@
+// DCTCP congestion control (RFC 8257).
+//
+// The switch marks CE above a shallow threshold K; the receiver echoes the
+// marks; the sender maintains an EWMA of the *fraction* of acked bytes
+// that were marked:
+//
+//   alpha = (1 - g) * alpha + g * F      once per observation window (~RTT)
+//   F     = marked bytes / acked bytes   over that window
+//
+// and on a window containing any mark reduces proportionally:
+//
+//   cwnd = cwnd * (1 - alpha / 2)
+//
+// A lightly marked queue (small F) barely dents the window, so DCTCP holds
+// queue occupancy near K — high throughput at a fraction of drop-tail
+// Reno's queueing delay, which is exactly the buffer-sizing regime the
+// sweep in bench/buffer_sizing_sweep reproduces. Loss handling (dup-ack
+// threshold, RTO) falls back to Reno semantics, with alpha preserved
+// across an RTO (RFC 8257 §3.5's conventional reaction).
+//
+// Growth is Reno's (slow start + one MSS per window): DCTCP only changes
+// the *decrease* law.
+
+#ifndef SRC_TCP_CC_DCTCP_H_
+#define SRC_TCP_CC_DCTCP_H_
+
+#include "src/tcp/cc/congestion_control.h"
+
+namespace e2e {
+
+class DctcpCongestionControl : public CongestionControlAlgorithm {
+ public:
+  explicit DctcpCongestionControl(const CcConfig& config)
+      : CongestionControlAlgorithm(config), alpha_(config.dctcp_alpha_init) {}
+
+  void OnAck(uint64_t acked_bytes, TimePoint now = TimePoint::Zero()) override;
+  void OnDupAckThreshold() override;
+  void OnRto() override;
+  void OnEcnEcho(uint64_t acked_bytes, TimePoint now = TimePoint::Zero()) override;
+
+  const char* name() const override { return "dctcp"; }
+
+  // The congestion-extent EWMA, for tests and gauges.
+  double alpha() const { return alpha_; }
+
+ private:
+  void RollWindow(TimePoint now);
+
+  double alpha_;
+  uint64_t window_acked_bytes_ = 0;
+  uint64_t window_marked_bytes_ = 0;
+  TimePoint window_end_ = TimePoint::Zero();
+  uint64_t avoid_accum_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_TCP_CC_DCTCP_H_

@@ -1,0 +1,62 @@
+#include "src/tcp/cc/reno.h"
+
+#include <algorithm>
+
+namespace e2e {
+
+void RenoCongestionControl::OnAck(uint64_t acked_bytes, TimePoint now) {
+  (void)now;
+  if (!config_.enabled || acked_bytes == 0) {
+    return;
+  }
+  if (in_slow_start()) {
+    cwnd_ += acked_bytes;
+  } else {
+    // cwnd += MSS * (acked / cwnd), accumulated to avoid rounding to 0.
+    avoid_accum_ += acked_bytes;
+    if (avoid_accum_ >= cwnd_) {
+      avoid_accum_ -= cwnd_;
+      cwnd_ += config_.mss;
+    }
+  }
+  cwnd_ = std::min(cwnd_, config_.max_window_bytes);
+}
+
+void RenoCongestionControl::MultiplicativeDecrease() {
+  ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ull * config_.mss);
+  cwnd_ = ssthresh_;
+  ++decrease_events_;
+}
+
+void RenoCongestionControl::OnDupAckThreshold() {
+  if (!config_.enabled) {
+    return;
+  }
+  MultiplicativeDecrease();
+}
+
+void RenoCongestionControl::OnRto() {
+  if (!config_.enabled) {
+    return;
+  }
+  // RFC 5681 §3.1: collapse to one MSS and restart slow start.
+  ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ull * config_.mss);
+  cwnd_ = config_.mss;
+  avoid_accum_ = 0;
+  ++decrease_events_;
+}
+
+void RenoCongestionControl::OnEcnEcho(uint64_t acked_bytes, TimePoint now) {
+  (void)acked_bytes;
+  if (!config_.enabled) {
+    return;
+  }
+  // RFC 3168 §6.1.2: react like a loss, at most once per window (one RTT).
+  if (now < cwr_until_) {
+    return;
+  }
+  MultiplicativeDecrease();
+  cwr_until_ = now + ReactionWindow();
+}
+
+}  // namespace e2e

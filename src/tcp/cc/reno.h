@@ -1,0 +1,36 @@
+// Reno congestion control (RFC 5681), the port of the original fixed
+// `CongestionControl` class onto the pluggable interface: exponential slow
+// start, one-MSS-per-window congestion avoidance, halving on fast
+// retransmit, collapse-to-one-MSS on RTO. ECN echoes (RFC 3168) are
+// treated exactly like a fast-retransmit loss event, at most once per RTT.
+
+#ifndef SRC_TCP_CC_RENO_H_
+#define SRC_TCP_CC_RENO_H_
+
+#include "src/tcp/cc/congestion_control.h"
+
+namespace e2e {
+
+class RenoCongestionControl : public CongestionControlAlgorithm {
+ public:
+  explicit RenoCongestionControl(const CcConfig& config)
+      : CongestionControlAlgorithm(config) {}
+
+  void OnAck(uint64_t acked_bytes, TimePoint now = TimePoint::Zero()) override;
+  void OnDupAckThreshold() override;
+  void OnRto() override;
+  void OnEcnEcho(uint64_t acked_bytes, TimePoint now = TimePoint::Zero()) override;
+
+  const char* name() const override { return "reno"; }
+
+ private:
+  void MultiplicativeDecrease();
+
+  // Sub-window ack bytes accumulated toward the next avoidance increment,
+  // so small acks don't round growth down to zero.
+  uint64_t avoid_accum_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_TCP_CC_RENO_H_

@@ -1,84 +1,20 @@
-// Reno-style congestion control: slow start, congestion avoidance, and
-// multiplicative decrease on loss. The batching experiments run far from
-// congestion (100 Gbps link, microsecond RTTs), but the window machinery is
-// part of any faithful TCP substrate and bounds the burst a newly started
-// or loss-recovering connection can inject.
+// Back-compat shim: congestion control moved to the pluggable subsystem in
+// src/tcp/cc/ (DESIGN.md §13). `CongestionControl` aliases the Reno
+// implementation — the direct port of the fixed class that used to live
+// here — so existing call sites (`CongestionControl::Config`, the tests in
+// tests/tcp/congestion_test.cc) keep compiling unchanged. New code should
+// include src/tcp/cc/congestion_control.h and go through
+// MakeCongestionControl(CcConfig) instead.
 
 #ifndef SRC_TCP_CONGESTION_H_
 #define SRC_TCP_CONGESTION_H_
 
-#include <algorithm>
-#include <cstdint>
-#include <limits>
+#include "src/tcp/cc/congestion_control.h"
+#include "src/tcp/cc/reno.h"
 
 namespace e2e {
 
-class CongestionControl {
- public:
-  struct Config {
-    bool enabled = true;
-    uint32_t mss = 1448;
-    uint32_t initial_window_segments = 10;  // RFC 6928 IW10.
-    uint64_t max_window_bytes = 64ull * 1024 * 1024;
-  };
-
-  explicit CongestionControl(const Config& config)
-      : config_(config),
-        cwnd_(static_cast<uint64_t>(config.initial_window_segments) * config.mss),
-        ssthresh_(config.max_window_bytes) {}
-
-  // Current congestion window in bytes (effectively unbounded if disabled).
-  uint64_t window_bytes() const {
-    return config_.enabled ? cwnd_ : std::numeric_limits<uint64_t>::max();
-  }
-
-  bool in_slow_start() const { return cwnd_ < ssthresh_; }
-  uint64_t ssthresh() const { return ssthresh_; }
-
-  // Cumulative ack advanced by `acked` bytes: exponential growth in slow
-  // start, ~one MSS per window in congestion avoidance.
-  void OnAck(uint64_t acked_bytes) {
-    if (!config_.enabled || acked_bytes == 0) {
-      return;
-    }
-    if (in_slow_start()) {
-      cwnd_ += acked_bytes;
-    } else {
-      // cwnd += MSS * (acked / cwnd), accumulated to avoid rounding to 0.
-      avoid_accum_ += acked_bytes;
-      if (avoid_accum_ >= cwnd_) {
-        avoid_accum_ -= cwnd_;
-        cwnd_ += config_.mss;
-      }
-    }
-    cwnd_ = std::min(cwnd_, config_.max_window_bytes);
-  }
-
-  // Fast retransmit (triple duplicate ack): halve, per Reno.
-  void OnFastRetransmit() {
-    if (!config_.enabled) {
-      return;
-    }
-    ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ull * config_.mss);
-    cwnd_ = ssthresh_;
-  }
-
-  // Retransmission timeout: collapse to one MSS and restart slow start.
-  void OnTimeout() {
-    if (!config_.enabled) {
-      return;
-    }
-    ssthresh_ = std::max<uint64_t>(cwnd_ / 2, 2ull * config_.mss);
-    cwnd_ = config_.mss;
-    avoid_accum_ = 0;
-  }
-
- private:
-  Config config_;
-  uint64_t cwnd_;
-  uint64_t ssthresh_;
-  uint64_t avoid_accum_ = 0;
-};
+using CongestionControl = RenoCongestionControl;
 
 }  // namespace e2e
 

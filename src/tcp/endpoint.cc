@@ -31,11 +31,11 @@ TcpEndpoint::TcpEndpoint(Simulator* sim, Host* host, uint64_t conn_id, bool is_a
       is_a_(is_a),
       config_(config),
       costs_(costs),
-      cc_([&config] {
-        CongestionControl::Config cc = config.cc;
+      cc_(MakeCongestionControl([&config] {
+        CcConfig cc = config.cc;
         cc.mss = config.mss;
         return cc;
-      }()),
+      }())),
       rtt_(config.rtt),
       queues_(sim->Now()),
       estimator_(config.e2e_mode),
@@ -248,7 +248,7 @@ std::vector<TcpEndpoint::PlannedPacket> TcpEndpoint::PlanPush(PushReason reason)
       CancelTimer(nagle_timer_);
       break;
     }
-    const uint64_t window = std::min(peer_rwnd_, cc_.window_bytes());
+    const uint64_t window = std::min(peer_rwnd_, cc_->window_bytes());
     const uint64_t in_flight = snd_nxt_ - sndq_.head_offset();
     const uint64_t window_avail = window > in_flight ? window - in_flight : 0;
     const uint64_t usable = std::min(pending, window_avail);
@@ -289,7 +289,7 @@ std::vector<TcpEndpoint::PlannedPacket> TcpEndpoint::PlanPush(PushReason reason)
   // pure acks; probe so a lost one cannot deadlock the connection.
   if (packets.empty() && sndq_.tail_offset() > snd_nxt_ &&
       snd_nxt_ == sndq_.head_offset() &&
-      std::min(peer_rwnd_, cc_.window_bytes()) < config_.mss) {
+      std::min(peer_rwnd_, cc_->window_bytes()) < config_.mss) {
     ArmPersistTimer();
   }
 
@@ -347,6 +347,21 @@ void TcpEndpoint::StampOutgoing(TcpSegment& seg, bool force_exchange) {
   }
   seg.window = static_cast<uint32_t>(std::min<uint64_t>(window, UINT32_MAX));
   last_advertised_window_ = seg.window;
+  if (config_.cc.ecn) {
+    if (ece_echo_pending_) {
+      seg.flags |= kFlagEce;
+      ++stats_.ece_sent;
+      if (config_.cc.algorithm == CcAlgorithm::kDctcp) {
+        ece_echo_pending_ = false;  // Per-ack echo; classic ECN stays
+                                    // latched until the peer's CWR.
+      }
+    }
+    if (cwr_pending_) {
+      seg.flags |= kFlagCwr;
+      ++stats_.cwr_sent;
+      cwr_pending_ = false;
+    }
+  }
   if (rcv_nxt_ > rcv_wup_ && seg.len > 0) {
     ++stats_.acks_piggybacked;
   }
@@ -443,9 +458,12 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t 
 
 TcpEndpoint::PlannedPacket TcpEndpoint::BuildDataPacket(uint64_t take) {
   const uint64_t start = snd_nxt_;
-  PlannedPacket planned = BuildPacketFor(start, take, /*is_retransmit=*/false);
+  // After an RTO rewind the normal send path re-covers old sequence space;
+  // those segments are retransmissions (counted as such, never RTT-timed).
+  const bool is_retransmit = in_recovery_ && start < recovery_point_;
+  PlannedPacket planned = BuildPacketFor(start, take, is_retransmit);
   snd_nxt_ += take;
-  if (!timed_end_.has_value()) {
+  if (!is_retransmit && !timed_end_.has_value()) {
     timed_end_ = snd_nxt_;
     timed_sent_at_ = sim_->Now();
   }
@@ -455,6 +473,12 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildDataPacket(uint64_t take) {
 
 TcpEndpoint::PlannedPacket TcpEndpoint::BuildRetransmit() {
   const uint64_t start = sndq_.head_offset();
+  // Exactly one MSS — the segment at the head is the one hole the ack
+  // stream has exposed (RFC 6582 retransmits one segment per event).
+  // Anything larger re-sends data the receiver has already stashed, and
+  // each such duplicate comes back as a duplicate ack: a burst of them
+  // re-trips the dup-ack threshold and the connection locks into a
+  // self-sustaining spurious-retransmit loop.
   const uint64_t take = std::min<uint64_t>(config_.mss, snd_nxt_ - start);
   return BuildPacketFor(start, take, /*is_retransmit=*/true);
 }
@@ -491,11 +515,19 @@ void TcpEndpoint::OnTxCompletions(size_t n) {
 // Receive path.
 // ---------------------------------------------------------------------------
 
-void TcpEndpoint::HandleSegment(const TcpSegment& seg) {
+void TcpEndpoint::HandleSegment(const TcpSegment& seg, bool ecn_ce) {
   if (dead_) {
     return;  // Late segment for a torn-down incarnation: silently dropped.
   }
   ++stats_.segments_received;
+  if (config_.cc.ecn && (seg.flags & kFlagCwr) != 0) {
+    ++stats_.cwr_received;
+    if (config_.cc.algorithm != CcAlgorithm::kDctcp) {
+      // RFC 3168 §6.1.3: the peer reduced its window; stop echoing ECE.
+      // (DCTCP never latches, so there is nothing to clear.)
+      ece_echo_pending_ = false;
+    }
+  }
   if (seg.e2e_option.has_value()) {
     ++stats_.exchanges_received;
     auto ingest = [&](const WirePayload& payload) {
@@ -532,7 +564,7 @@ void TcpEndpoint::HandleSegment(const TcpSegment& seg) {
     ProcessAck(seg);
   }
   if (seg.len > 0) {
-    ProcessData(seg);
+    ProcessData(seg, ecn_ce);
   }
 }
 
@@ -545,9 +577,33 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
   const uint64_t prev_rwnd = peer_rwnd_;
   peer_rwnd_ = seg.window;
   peer_rwnd_max_ = std::max<uint64_t>(peer_rwnd_max_, seg.window);
+  // Any congestion reaction during this ack (ECN echo, fast retransmit, a
+  // DCTCP window rollover) is announced to the peer with CWR, which is what
+  // Linux does on every cwnd-reduction event when ECN is negotiated.
+  const uint64_t decreases_before = cc_->decrease_events();
+  if (config_.cc.ecn && (seg.flags & kFlagEce) != 0) {
+    ++stats_.ece_received;
+    // Before OnAck, with the same byte count (interface convention): DCTCP
+    // attributes these bytes to its marked tally.
+    cc_->OnEcnEcho(ack_off > una ? ack_off - una : 0, sim_->Now());
+  }
   if (ack_off > una) {
     dup_acks_ = 0;
-    cc_.OnAck(ack_off - una);
+    if (in_recovery_) {
+      if (ack_off >= recovery_point_) {
+        in_recovery_ = false;  // Full ack: the loss event is repaired.
+        rto_recovery_ = false;
+      } else if (!rto_recovery_) {
+        // Partial ack (RFC 6582 §3.2): exactly one more hole is exposed at
+        // the new head; retransmit it now. Recovery proceeds one hole per
+        // RTT, which is what keeps burst losses from stranding the flow
+        // until the RTO. (After an RTO the rewound send path is already
+        // resending everything below the recovery point — an extra one-MSS
+        // retransmit here would only duplicate it.)
+        SubmitRetransmit();
+      }
+    }
+    cc_->OnAck(ack_off - una, sim_->Now());
     ByteStreamQueue::Consumed consumed = sndq_.ConsumeTo(ack_off);
     int64_t syscall_units = 0;
     for (const BoundaryEntry& entry : consumed.completed) {
@@ -556,7 +612,9 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
     TrackThree(QueueKind::kUnacked, -static_cast<int64_t>(consumed.bytes),
                -PacketUnits(una, ack_off), -syscall_units);
     if (timed_end_.has_value() && ack_off >= *timed_end_) {
-      rtt_.AddSample(sim_->Now() - timed_sent_at_);
+      const Duration sample = sim_->Now() - timed_sent_at_;
+      rtt_.AddSample(sample);
+      cc_->OnRttSample(sample, sim_->Now());
       timed_end_.reset();
     }
     rtt_.ResetBackoff();  // Forward progress clears timeout backoff.
@@ -578,10 +636,26 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
     // Genuine reorder/loss dup-acks still qualify: stashed out-of-order
     // bytes consume receive buffer, so their window never grows.
     ++dup_acks_;
-    if (dup_acks_ == 3) {
-      cc_.OnFastRetransmit();
+    if (dup_acks_ == 3 && !in_recovery_) {
+      // RFC 6582: while recovery is in progress, further dup-ack bursts
+      // belong to the same loss event — no second reduction.
+      cc_->OnDupAckThreshold();
+      in_recovery_ = true;
+      rto_recovery_ = false;
+      recovery_point_ = snd_nxt_;
+      SubmitRetransmit();
+    } else if (dup_acks_ % 3 == 0 && in_recovery_ && !rto_recovery_) {
+      // The ack stream keeps producing dup acks with no forward progress:
+      // the recovery retransmission itself was lost (an incast port drops
+      // bursts, and the retransmit rides into the same full queue). Resend
+      // the head — without a second window reduction — or the connection
+      // idles until an RTO that is centuries long on this RTT scale. One
+      // MSS per three dup acks is ack-clocked and cannot burst.
       SubmitRetransmit();
     }
+  }
+  if (config_.cc.ecn && cc_->decrease_events() > decreases_before) {
+    cwr_pending_ = true;
   }
   // The ack may have released a Nagle hold or opened the peer window.
   if (snd_nxt_ < sndq_.tail_offset()) {
@@ -589,7 +663,20 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
   }
 }
 
-void TcpEndpoint::ProcessData(const TcpSegment& seg) {
+void TcpEndpoint::ProcessData(const TcpSegment& seg, bool ecn_ce) {
+  if (config_.cc.ecn) {
+    if (ecn_ce) {
+      ++stats_.ce_received;
+      ece_echo_pending_ = true;  // Echoed on the next outgoing ack.
+    }
+    if (config_.cc.algorithm == CcAlgorithm::kDctcp && ecn_ce != ce_state_) {
+      // RFC 8257 §3.3: ack immediately on a CE-state change so the per-ack
+      // echo stays accurate under delayed acks. kDupAck acks
+      // unconditionally (the pending latch rides along in StampOutgoing).
+      ce_state_ = ecn_ce;
+      SubmitPush(&host_->softirq_core(), PushReason::kDupAck);
+    }
+  }
   const uint64_t start = UnwrapSeq(seg.seq, rcv_nxt_);
   const uint64_t end = start + seg.len;
 
@@ -619,6 +706,11 @@ void TcpEndpoint::ProcessData(const TcpSegment& seg) {
   for (const TcpSegment::Boundary& b : seg.boundaries) {
     bounds.push_back(BoundaryEntry{start + b.rel_end, b.record});
   }
+  // Quickack (RFC 5681 and Linux's heuristic): ack at once when the sender
+  // is repairing a loss — a segment that fills (part of) a gap, or one
+  // re-sent after a timeout. A delayed ack here would clock the peer's
+  // whole recovery off our 40 ms delack timer instead of the actual RTT.
+  const bool quickack = seg.is_retransmit || !ooo_.empty();
   DeliverInOrder(end, std::move(bounds));
 
   // Drain any out-of-order segments that became contiguous.
@@ -635,7 +727,11 @@ void TcpEndpoint::ProcessData(const TcpSegment& seg) {
     ooo_.erase(it);
   }
 
-  MaybeAckOnReceive();
+  if (quickack) {
+    SubmitPush(&host_->softirq_core(), PushReason::kImmediateAck);
+  } else {
+    MaybeAckOnReceive();
+  }
   if (readable_cb_ && !rcvq_.empty()) {
     readable_cb_();
   }
@@ -764,8 +860,22 @@ void TcpEndpoint::OnRtoFire() {
     return;  // Everything got acked in the meantime.
   }
   rtt_.Backoff();
-  cc_.OnTimeout();
-  SubmitRetransmit();
+  cc_->OnRto();
+  if (config_.cc.ecn) {
+    cwr_pending_ = true;
+  }
+  // Everything in flight is suspect. Rewind the send pointer to the head
+  // and let the ordinary cwnd-gated path resend the tail in slow start
+  // (what pre-SACK BSD stacks do): the window doubles each RTT, so a long
+  // consecutive drop run — the slow-start overshoot signature — repairs in
+  // log time instead of one retransmit per timeout. Segments below the
+  // recovery point go out marked as retransmissions.
+  in_recovery_ = true;
+  rto_recovery_ = true;
+  recovery_point_ = snd_nxt_;
+  snd_nxt_ = sndq_.head_offset();
+  timed_end_.reset();  // Karn's rule: the timed range is being resent.
+  SubmitPush(&host_->softirq_core(), PushReason::kAckAdvance);
   ArmRtoTimer();
 }
 

@@ -127,7 +127,9 @@ class TcpEndpoint {
   // ---- Stack-side API ----
 
   // Processes one incoming segment (softirq context; called by TcpStack).
-  void HandleSegment(const TcpSegment& seg);
+  // `ecn_ce` is the IP-layer Congestion Experienced mark applied by a
+  // switch along the path (Packet::ecn_ce).
+  void HandleSegment(const TcpSegment& seg, bool ecn_ce = false);
 
   // NIC TX-completion notification (flushes auto-corked data).
   void OnTxCompletions(size_t n);
@@ -152,7 +154,7 @@ class TcpEndpoint {
   ConnectionEstimator& estimator() { return estimator_; }
   const TcpConfig& config() const { return config_; }
   const RttEstimator& rtt() const { return rtt_; }
-  const CongestionControl& congestion() const { return cc_; }
+  const CongestionControlAlgorithm& congestion() const { return *cc_; }
   uint64_t conn_id() const { return conn_id_; }
   bool is_a() const { return is_a_; }
   Host* host() { return host_; }
@@ -178,6 +180,12 @@ class TcpEndpoint {
     uint64_t exchanges_sent = 0;
     uint64_t exchanges_received = 0;
     uint64_t send_buffer_full = 0;
+    // ECN round trip (all zero unless config.cc.ecn is on).
+    uint64_t ce_received = 0;     // CE-marked data segments that arrived.
+    uint64_t ece_sent = 0;        // Acks we sent carrying the ECE echo.
+    uint64_t ece_received = 0;    // Acks that arrived carrying ECE.
+    uint64_t cwr_sent = 0;        // Segments we sent carrying CWR.
+    uint64_t cwr_received = 0;    // Segments that arrived carrying CWR.
   };
   const Stats& stats() const { return stats_; }
 
@@ -225,7 +233,7 @@ class TcpEndpoint {
   uint64_t EffectiveCorkLimit() const;
 
   void ProcessAck(const TcpSegment& seg);
-  void ProcessData(const TcpSegment& seg);
+  void ProcessData(const TcpSegment& seg, bool ecn_ce);
   void DeliverInOrder(uint64_t end_offset, std::vector<BoundaryEntry> boundaries);
   void MaybeAckOnReceive();
   void ArmDelackTimer();
@@ -258,7 +266,9 @@ class TcpEndpoint {
   uint64_t snd_nxt_ = 0;
   uint64_t peer_rwnd_ = 65536;  // Until the first ack; see InitPeerWindow().
   uint64_t peer_rwnd_max_ = 0;  // Largest window the peer ever offered.
-  CongestionControl cc_;
+  std::unique_ptr<CongestionControlAlgorithm> cc_;
+  bool cwr_pending_ = false;    // Window was reduced: announce CWR on the
+                                // next outgoing segment (RFC 3168 §6.1.2).
   bool send_blocked_ = false;   // A Send() failed; fire writable_cb_ on space.
   RttEstimator rtt_;
   EventId nagle_timer_ = kInvalidEventId;
@@ -268,6 +278,17 @@ class TcpEndpoint {
   std::optional<uint64_t> timed_end_;  // RTT sample: ack target offset.
   TimePoint timed_sent_at_;
   uint32_t dup_acks_ = 0;             // Consecutive duplicate acks seen.
+  // NewReno loss recovery (RFC 6582): set when a loss event (third dup ack
+  // or RTO) retransmits, covering everything sent before it. A partial ack
+  // below `recovery_point_` means the next hole is now at the head of the
+  // send queue — retransmit it immediately instead of waiting out another
+  // three-dup-ack round (which burst losses never produce) or an RTO.
+  bool in_recovery_ = false;
+  uint64_t recovery_point_ = 0;
+  // True when the current recovery was entered via RTO: the send pointer
+  // was rewound and the normal path is resending the tail, so partial acks
+  // must not inject extra one-MSS retransmits on top of it.
+  bool rto_recovery_ = false;
   bool hold_for_completion_ = false;  // Auto-cork armed.
 
   // ---- Receive side ----
@@ -282,6 +303,12 @@ class TcpEndpoint {
   uint64_t ooo_bytes_ = 0;
   EventId delack_timer_ = kInvalidEventId;
   std::deque<uint64_t> unacked_rx_boundaries_;  // Syscall-unit ackdelay queue.
+  // ECN receiver state. Classic ECN (RFC 3168) latches the echo until the
+  // peer answers with CWR; DCTCP (RFC 8257) instead echoes the CE state of
+  // the segments covered by each individual ack (the latch clears whenever
+  // an ack goes out) and acks immediately on every CE-state transition.
+  bool ece_echo_pending_ = false;
+  bool ce_state_ = false;  // DCTCP: CE bit of the most recent data arrival.
   uint64_t last_advertised_window_ = 0;
   uint64_t adv_right_edge_ = 0;  // Highest rcv_nxt + window ever advertised.
 

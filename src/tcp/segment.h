@@ -16,6 +16,10 @@ namespace e2e {
 enum TcpFlags : uint16_t {
   kFlagAck = 1 << 0,
   kFlagPsh = 1 << 1,
+  // ECN signalling (RFC 3168 §6.1): the receiver echoes a CE-marked arrival
+  // with ECE; the sender acknowledges reducing its window with CWR.
+  kFlagEce = 1 << 2,
+  kFlagCwr = 1 << 3,
 };
 
 struct TcpSegment : public PacketPayload {

@@ -31,6 +31,8 @@ uint32_t GetU32(const uint8_t* p) {
 // Real TCP flag bit positions, so the wire bytes look authentic.
 constexpr uint8_t kWireAck = 0x10;
 constexpr uint8_t kWirePsh = 0x08;
+constexpr uint8_t kWireEce = 0x40;
+constexpr uint8_t kWireCwr = 0x80;
 
 }  // namespace
 
@@ -82,6 +84,12 @@ std::optional<EncodedSegment> EncodeSegmentHeader(const TcpSegment& seg, bool al
   if ((seg.flags & kFlagPsh) != 0) {
     flags |= kWirePsh;
   }
+  if ((seg.flags & kFlagEce) != 0) {
+    flags |= kWireEce;
+  }
+  if ((seg.flags & kFlagCwr) != 0) {
+    flags |= kWireCwr;
+  }
   // Data offset in 32-bit words (4 bits, so it saturates at 60 bytes —
   // oversize headers rely on the decoder's EDO-style length override).
   hdr.push_back(static_cast<uint8_t>(std::min<size_t>(header_len / 4, 15) << 4));
@@ -119,6 +127,12 @@ std::optional<TcpSegment> DecodeSegmentHeader(const uint8_t* data, size_t len,
   }
   if ((flags & kWirePsh) != 0) {
     seg.flags |= kFlagPsh;
+  }
+  if ((flags & kWireEce) != 0) {
+    seg.flags |= kFlagEce;
+  }
+  if ((flags & kWireCwr) != 0) {
+    seg.flags |= kFlagCwr;
   }
   seg.window = GetU16(data + 14);
   seg.len = payload_len;

@@ -87,7 +87,7 @@ void TcpStack::OnRxPacket(const Packet& packet) {
     ++unknown_segments_;
     return;
   }
-  it->second->HandleSegment(*seg);
+  it->second->HandleSegment(*seg, packet.ecn_ce);
 }
 
 ConnectedPair ConnectPair(TcpStack& stack_a, TcpStack& stack_b, uint64_t conn_id,

@@ -8,7 +8,7 @@
 
 #include "src/core/units.h"
 #include "src/sim/time.h"
-#include "src/tcp/congestion.h"
+#include "src/tcp/cc/congestion_control.h"
 #include "src/tcp/rtt.h"
 
 namespace e2e {
@@ -45,8 +45,9 @@ struct TcpConfig {
   RttEstimator::Config rtt;
 
   // Congestion control (the `mss` field is overridden with this config's
-  // mss when the endpoint is constructed).
-  CongestionControl::Config cc;
+  // mss when the endpoint is constructed). `cc.algorithm` selects
+  // Reno/CUBIC/DCTCP; `cc.ecn` turns on CE echo + CWR signalling.
+  CcConfig cc;
 
   // End-to-end metadata exchange (paper §3.2/§5): attach the wire payload to
   // the first outbound segment after this interval elapses, with a pure-ack

@@ -256,4 +256,21 @@ void FabricTopology::ExportCounters(CounterRegistry* registry) const {
   }
 }
 
+void FabricTopology::ExportQueueGauges(TimeSeriesSampler* sampler) const {
+  assert(sampler != nullptr);
+  for (const auto& sw : switches_) {
+    for (size_t p = 0; p < sw->num_ports(); ++p) {
+      const SwitchPort* port = &sw->port(p);
+      sampler->AddGauge(port->name() + ".queue_bytes",
+                        [port] { return static_cast<double>(port->queue_bytes()); });
+      sampler->AddGauge(port->name() + ".queue_packets",
+                        [port] { return static_cast<double>(port->queue_packets()); });
+      sampler->AddGauge(port->name() + ".ecn_marked",
+                        [port] { return static_cast<double>(port->counters().ecn_marked); });
+      sampler->AddGauge(port->name() + ".tail_drops",
+                        [port] { return static_cast<double>(port->counters().tail_drops); });
+    }
+  }
+}
+
 }  // namespace e2e

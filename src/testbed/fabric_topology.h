@@ -64,6 +64,7 @@
 #include "src/sim/simulator.h"
 #include "src/tcp/stack.h"
 #include "src/obs/registry.h"
+#include "src/obs/timeseries.h"
 
 namespace e2e {
 
@@ -176,6 +177,12 @@ class FabricTopology {
   // collectors and benches can sample fabric-wide counters without
   // hard-coding endpoint fields.
   void ExportCounters(CounterRegistry* registry) const;
+
+  // Adds one gauge column per switch port to `sampler` (call before
+  // Start()): instantaneous queue occupancy ("<port>.queue_bytes" /
+  // ".queue_packets") plus the cumulative ".ecn_marked" and ".tail_drops"
+  // counters — the congestion signals the buffer-sizing study plots.
+  void ExportQueueGauges(TimeSeriesSampler* sampler) const;
 
  private:
   struct HostAttachment {

@@ -36,6 +36,9 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
   client_tcp.e2e_exchange_interval = config.exchange_interval;
   server_tcp.e2e_exchange_interval = config.exchange_interval;
   server_tcp.nodelay = config.batch_mode != BatchMode::kStaticOn;
+  client_tcp.cc.ecn = config.ecn;
+  server_tcp.cc.ecn = config.ecn;
+  server_tcp.cc.algorithm = config.server_cc;
 
   struct PerConnection {
     ConnectedPair conn;
@@ -48,7 +51,11 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
 
   for (int i = 0; i < n; ++i) {
     PerConnection& pc = connections[i];
-    pc.conn = topo.Connect(i, 0, static_cast<uint64_t>(i + 1), client_tcp, server_tcp);
+    TcpConfig conn_client_tcp = client_tcp;
+    if (!config.client_cc.empty()) {
+      conn_client_tcp.cc.algorithm = config.client_cc[i % config.client_cc.size()];
+    }
+    pc.conn = topo.Connect(i, 0, static_cast<uint64_t>(i + 1), conn_client_tcp, server_tcp);
     pc.profile = i % static_cast<int>(config.client_profiles.size());
 
     RedisServerApp::Config server_config;

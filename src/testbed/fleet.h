@@ -50,6 +50,15 @@ struct FleetExperimentConfig {
   std::vector<AppCosts> client_profiles = {BareMetalClientCosts(), VmClientCosts()};
   AppCosts server_costs = RedisServerCosts();
 
+  // Congestion control, per endpoint: client i runs
+  // client_cc[i % client_cc.size()] (Reno when the list is empty); the
+  // server side runs server_cc. `ecn` enables CE echo + CWR signalling on
+  // every endpoint — pair it with a fabric whose bottleneck port sets
+  // `ecn_threshold_bytes`, or the marks never happen.
+  std::vector<CcAlgorithm> client_cc;
+  CcAlgorithm server_cc = CcAlgorithm::kReno;
+  bool ecn = false;
+
   Duration warmup = Duration::Millis(100);
   Duration measure = Duration::Millis(400);
   Duration drain = Duration::Millis(50);

@@ -1,0 +1,129 @@
+// Fabric-level ECN round trip (DESIGN.md §13): a switch port marks CE
+// above its threshold, the receiving endpoint echoes ECE, the sender's
+// congestion control reacts and announces CWR — all observable through the
+// buffer-sizing driver's counters. Plus the study's qualitative headline:
+// DCTCP on a shallow ECN threshold holds the queue (and therefore p99
+// queueing delay) far below drop-tail Reno at a full BDP, without giving
+// up throughput.
+
+#include <gtest/gtest.h>
+
+#include "src/testbed/buffer_sizing.h"
+
+namespace e2e {
+namespace {
+
+// Short windows: these cells run in a few hundred ms of wall clock.
+BufferSizingConfig QuickCell(FabricShape shape, CcAlgorithm algorithm) {
+  BufferSizingConfig config;
+  config.shape = shape;
+  config.num_flows = 4;
+  config.algorithm = algorithm;
+  config.warmup = Duration::Millis(5);
+  config.measure = Duration::Millis(20);
+  return config;
+}
+
+TEST(EcnFabric, CeEceCwrRoundTripOnTheDumbbell) {
+  BufferSizingConfig config = QuickCell(FabricShape::kDumbbell, CcAlgorithm::kDctcp);
+  config.ecn = true;
+  const uint64_t bdp = BdpBytes(config.bottleneck_bps, BufferSizingBaseRtt(config));
+  config.buffer_bytes = bdp;
+  config.ecn_threshold_bytes = bdp / 4;
+
+  const BufferSizingResult r = RunBufferSizing(config);
+
+  // Every leg of the loop fired: switch marked CE, server-side endpoints
+  // saw the marks, client-side endpoints got the ECE echoes back, reacted
+  // (decrease events), and announced the reductions with CWR.
+  EXPECT_GT(r.ecn_marked, 0u);
+  EXPECT_GT(r.ce_received, 0u);
+  EXPECT_GT(r.ece_received, 0u);
+  EXPECT_GT(r.cc_decreases, 0u);
+  EXPECT_GT(r.cwr_sent, 0u);
+  // Marks did the regulating: no buffer overflow, no loss recovery.
+  EXPECT_EQ(r.drops, 0u);
+  EXPECT_EQ(r.retransmits, 0u);
+  // And the link still moved real traffic.
+  EXPECT_GT(r.bottleneck_utilization, 0.5);
+}
+
+TEST(EcnFabric, CeEceCwrRoundTripOnTheIncastStar) {
+  BufferSizingConfig config = QuickCell(FabricShape::kStar, CcAlgorithm::kDctcp);
+  config.ecn = true;
+  config.buffer_bytes = 256 * 1024;
+  config.ecn_threshold_bytes = 32 * 1024;
+
+  const BufferSizingResult r = RunBufferSizing(config);
+  EXPECT_GT(r.ecn_marked, 0u);
+  EXPECT_GT(r.ce_received, 0u);
+  EXPECT_GT(r.ece_received, 0u);
+  EXPECT_GT(r.cwr_sent, 0u);
+  EXPECT_GT(r.aggregate_goodput_bps, 0.0);
+}
+
+TEST(EcnFabric, EcnOffNeverEmitsEcnSignalling) {
+  BufferSizingConfig config = QuickCell(FabricShape::kDumbbell, CcAlgorithm::kReno);
+  config.ecn = false;
+  const uint64_t bdp = BdpBytes(config.bottleneck_bps, BufferSizingBaseRtt(config));
+  config.buffer_bytes = bdp;
+  // Threshold set but endpoints dark: the switch may mark, nobody echoes.
+  config.ecn_threshold_bytes = bdp / 4;
+
+  const BufferSizingResult r = RunBufferSizing(config);
+  EXPECT_EQ(r.ce_received, 0u);
+  EXPECT_EQ(r.ece_received, 0u);
+  EXPECT_EQ(r.cwr_sent, 0u);
+  EXPECT_GT(r.bottleneck_utilization, 0.5);
+}
+
+// The Spang et al. headline, one cell per side: Reno needs the BDP of
+// drop-tail buffer and fills it (p99 queueing delay ~ the whole buffer's
+// drain time); DCTCP on a BDP/4 buffer with a shallow threshold keeps
+// comparable throughput at a fraction of the queue.
+TEST(EcnFabric, DctcpHoldsTheQueueFarBelowDropTailReno) {
+  BufferSizingConfig reno = QuickCell(FabricShape::kDumbbell, CcAlgorithm::kReno);
+  const uint64_t bdp = BdpBytes(reno.bottleneck_bps, BufferSizingBaseRtt(reno));
+  reno.buffer_bytes = bdp;
+
+  BufferSizingConfig dctcp = QuickCell(FabricShape::kDumbbell, CcAlgorithm::kDctcp);
+  dctcp.ecn = true;
+  // Half-BDP buffer (the BDP/sqrt(n) rule at n = 4) with the marking
+  // threshold at the DCTCP stability bound K ~ C*RTT/7 — below that the
+  // queue drains dry between marks and throughput collapses.
+  dctcp.buffer_bytes = bdp / 2;
+  dctcp.ecn_threshold_bytes = bdp / 6;
+
+  const BufferSizingResult r_reno = RunBufferSizing(reno);
+  const BufferSizingResult r_dctcp = RunBufferSizing(dctcp);
+
+  // Comparable goodput (DCTCP within 20% of Reno)...
+  EXPECT_GT(r_dctcp.aggregate_goodput_bps, 0.8 * r_reno.aggregate_goodput_bps);
+  // ...at well under half the standing queue, mean and tail.
+  EXPECT_LT(r_dctcp.mean_queue_bytes, 0.5 * r_reno.mean_queue_bytes);
+  EXPECT_LT(r_dctcp.p99_queue_delay_us, 0.5 * r_reno.p99_queue_delay_us);
+}
+
+// Same-seed cells are byte-identical (the determinism contract the sweep's
+// --jobs=N mode and CI byte-compare both lean on).
+TEST(EcnFabric, SameSeedRunsAreIdentical) {
+  BufferSizingConfig config = QuickCell(FabricShape::kDumbbell, CcAlgorithm::kDctcp);
+  config.ecn = true;
+  config.buffer_bytes = 64 * 1024;
+  config.ecn_threshold_bytes = 16 * 1024;
+
+  const BufferSizingResult a = RunBufferSizing(config);
+  const BufferSizingResult b = RunBufferSizing(config);
+  EXPECT_EQ(a.aggregate_goodput_bps, b.aggregate_goodput_bps);
+  EXPECT_EQ(a.mean_queue_bytes, b.mean_queue_bytes);
+  EXPECT_EQ(a.p99_queue_bytes, b.p99_queue_bytes);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.ecn_marked, b.ecn_marked);
+  EXPECT_EQ(a.ece_received, b.ece_received);
+  EXPECT_EQ(a.cwr_sent, b.cwr_sent);
+  EXPECT_EQ(a.cc_decreases, b.cc_decreases);
+  EXPECT_EQ(a.mean_cwnd_bytes, b.mean_cwnd_bytes);
+}
+
+}  // namespace
+}  // namespace e2e

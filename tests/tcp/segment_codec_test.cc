@@ -119,6 +119,30 @@ TEST(SegmentCodecTest, DecodeSkipsNopOptions) {
   EXPECT_TRUE(decoded->e2e_option.has_value());
 }
 
+TEST(SegmentCodecTest, EceAndCwrFlagsRoundTrip) {
+  // RFC 3168 ECN signalling bits survive the wire, independently and
+  // together, without disturbing ACK/PSH.
+  for (uint16_t ecn_bits : {static_cast<uint16_t>(kFlagEce), static_cast<uint16_t>(kFlagCwr),
+                            static_cast<uint16_t>(kFlagEce | kFlagCwr)}) {
+    TcpSegment seg = SampleSegment(false, false);
+    seg.flags = kFlagAck | ecn_bits;
+    const auto encoded = EncodeSegmentHeader(seg);
+    ASSERT_TRUE(encoded.has_value());
+    const auto decoded =
+        DecodeSegmentHeader(encoded->header.data(), encoded->header.size(), seg.len);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->flags, seg.flags);
+    EXPECT_EQ(decoded->flags & kFlagEce, ecn_bits & kFlagEce);
+    EXPECT_EQ(decoded->flags & kFlagCwr, ecn_bits & kFlagCwr);
+  }
+  // A plain segment decodes with both bits clear.
+  const TcpSegment plain = SampleSegment(false, false);
+  const auto encoded = EncodeSegmentHeader(plain);
+  const auto decoded =
+      DecodeSegmentHeader(encoded->header.data(), encoded->header.size(), plain.len);
+  EXPECT_EQ(decoded->flags & (kFlagEce | kFlagCwr), 0);
+}
+
 TEST(SegmentCodecTest, BothDirectionsDistinguishedByPortBit) {
   TcpSegment seg = SampleSegment(false, false);
   seg.from_a = false;
