@@ -412,6 +412,7 @@ int Main(int argc, char** argv) {
     json.KV("connection_losses", r.health.connection_losses);
     json.KV("time_in_full_ms", r.time_in_full_ms, 2);
     json.KV("time_in_local_ms", r.time_in_local_ms, 2);
+    json.KV("time_in_diag_ms", r.time_in_diag_ms, 2);
     json.KV("time_in_static_ms", r.time_in_static_ms, 2);
     json.Key("time_to_detect_ms");
     if (r.time_to_detect_ms.has_value()) {

@@ -10,6 +10,8 @@ const char* HealthStateName(HealthState state) {
       return "full";
     case HealthState::kLocalOnly:
       return "local_only";
+    case HealthState::kDiagAssisted:
+      return "diag_assisted";
     case HealthState::kStatic:
       return "static";
   }
@@ -62,10 +64,24 @@ void EstimatorHealth::OnExchange(TimePoint now, WireDeltaVerdict verdict) {
 void EstimatorHealth::Tick(TimePoint now) {
   const Duration stale = now - last_healthy_;
   if (stale > config_.static_after) {
-    if (state_ != HealthState::kStatic) {
-      SetState(HealthState::kStatic, now);
-      ++counters_.demotions;
-      healthy_streak_ = 0;
+    // The metadata channel is dead. Where we land depends on the diag
+    // signal: fresh in-network observation keeps the controller in
+    // kDiagAssisted; otherwise (or when the signal disappears while
+    // already there) the chain bottoms out at kStatic.
+    const HealthState floor = FloorState(now);
+    if (state_ != floor) {
+      if (state_ == HealthState::kStatic) {
+        ++counters_.diag_rescues;  // kStatic -> kDiagAssisted recovery.
+      } else {
+        ++counters_.demotions;
+        if (floor == HealthState::kDiagAssisted) {
+          ++counters_.diag_rescues;
+        } else if (state_ == HealthState::kDiagAssisted) {
+          ++counters_.diag_dropouts;
+        }
+        healthy_streak_ = 0;
+      }
+      SetState(floor, now);
     }
   } else if (stale > config_.freshness_bound && state_ == HealthState::kFull) {
     SetState(HealthState::kLocalOnly, now);
@@ -121,7 +137,27 @@ void EstimatorHealth::Demote(TimePoint now) {
   if (state_ == HealthState::kStatic) {
     return;
   }
-  SetState(static_cast<HealthState>(static_cast<uint8_t>(state_) + 1), now);
+  HealthState next = HealthState::kStatic;
+  switch (state_) {
+    case HealthState::kFull:
+      next = HealthState::kLocalOnly;
+      break;
+    case HealthState::kLocalOnly:
+      // The step below kLocalOnly is diag-gated: kDiagAssisted only exists
+      // while the in-network signal vouches for the flow.
+      next = FloorState(now);
+      break;
+    case HealthState::kDiagAssisted:
+    case HealthState::kStatic:
+      next = HealthState::kStatic;
+      break;
+  }
+  if (next == HealthState::kDiagAssisted) {
+    ++counters_.diag_rescues;
+  } else if (state_ == HealthState::kDiagAssisted) {
+    ++counters_.diag_dropouts;
+  }
+  SetState(next, now);
   ++counters_.demotions;
 }
 
@@ -129,8 +165,18 @@ void EstimatorHealth::Promote(TimePoint now) {
   if (state_ == HealthState::kFull) {
     return;
   }
-  SetState(static_cast<HealthState>(static_cast<uint8_t>(state_) - 1), now);
+  // kDiagAssisted is not a trust rung: a healthy streak leaves it (or
+  // kStatic) for kLocalOnly, so an installed diag signal never lengthens
+  // the climb back to kFull.
+  const HealthState next =
+      state_ == HealthState::kLocalOnly ? HealthState::kFull : HealthState::kLocalOnly;
+  SetState(next, now);
   ++counters_.promotions;
+}
+
+HealthState EstimatorHealth::FloorState(TimePoint now) const {
+  return (diag_signal_ && diag_signal_(now)) ? HealthState::kDiagAssisted
+                                             : HealthState::kStatic;
 }
 
 }  // namespace e2e

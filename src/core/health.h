@@ -15,21 +15,34 @@
 //
 // Health drives an explicit fallback chain, one level at a time:
 //
-//   kFull       full two-sided estimate (paper §3.2)
-//   kLocalOnly  local-queues-only estimate (peer counters untrusted)
-//   kStatic     static policy; the controller freezes arm state and stops
-//               consuming samples so degraded data cannot poison EWMAs
+//   kFull         full two-sided estimate (paper §3.2)
+//   kLocalOnly    local-queues-only estimate (peer counters untrusted)
+//   kDiagAssisted metadata channel is dead but an independent in-network
+//                 observer (src/net/fabric/diag) vouches the flow is alive:
+//                 the controller keeps consuming the local-only estimate
+//                 instead of freezing
+//   kStatic       static policy; the controller freezes arm state and stops
+//                 consuming samples so degraded data cannot poison EWMAs
 //
 // Demotion is immediate (freshness bound exceeded, connection lost, or a
 // streak of rejected exchanges); promotion is hysteretic — one level per
 // `promote_after` *consecutive* healthy exchanges — so a flapping channel
 // settles into the degraded state instead of oscillating.
+//
+// kDiagAssisted is a signal-gated refuge, not a trust rung: a demotion that
+// would land on kStatic lands there instead while the diag signal is fresh
+// (and falls through / drops out to kStatic when it is not), and a healthy
+// promotion streak leaves it for kLocalOnly exactly as it would from
+// kStatic — so installing a diag signal never lengthens the climb back to
+// kFull. Without a diag signal installed the chain behaves exactly as the
+// original three-state ladder.
 
 #ifndef SRC_CORE_HEALTH_H_
 #define SRC_CORE_HEALTH_H_
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -43,9 +56,10 @@ namespace e2e {
 enum class HealthState : uint8_t {
   kFull = 0,
   kLocalOnly = 1,
-  kStatic = 2,
+  kDiagAssisted = 2,
+  kStatic = 3,
 };
-inline constexpr size_t kNumHealthStates = 3;
+inline constexpr size_t kNumHealthStates = 4;
 
 const char* HealthStateName(HealthState state);
 
@@ -72,6 +86,11 @@ struct HealthCounters {
   uint64_t demotions = 0;
   uint64_t promotions = 0;
   uint64_t connection_losses = 0;
+  // Demotions that landed on kDiagAssisted instead of kStatic because the
+  // diag signal was fresh (includes kStatic -> kDiagAssisted recoveries).
+  uint64_t diag_rescues = 0;
+  // Falls from kDiagAssisted to kStatic because the diag signal went away.
+  uint64_t diag_dropouts = 0;
 
   uint64_t rejected_total() const {
     return rejected_no_progress + rejected_wrap_violation + rejected_implausible_delay;
@@ -101,6 +120,14 @@ class EstimatorHealth {
   // so the new estimator starts from a clean (but still kStatic) slate.
   void OnReconnect(TimePoint now);
 
+  // Installs the independent liveness signal: returns true while an
+  // in-network observer has seen the connection's packets recently (e.g.
+  // FlowDiagnoser::Fresh bound to this connection). Must be a pure read —
+  // it is consulted inside Tick()/OnExchange(). Nullptr (the default)
+  // disables kDiagAssisted entirely.
+  using DiagSignalFn = std::function<bool(TimePoint now)>;
+  void SetDiagSignal(DiagSignalFn signal) { diag_signal_ = std::move(signal); }
+
   HealthState state() const { return state_; }
   const HealthCounters& counters() const { return counters_; }
 
@@ -117,8 +144,12 @@ class EstimatorHealth {
   void SetState(HealthState next, TimePoint now);
   void Demote(TimePoint now);
   void Promote(TimePoint now);
+  // Where a would-be drop to the bottom actually lands: kDiagAssisted when
+  // the diag signal is installed and fresh, else kStatic.
+  HealthState FloorState(TimePoint now) const;
 
   HealthConfig config_;
+  DiagSignalFn diag_signal_;
   HealthState state_ = HealthState::kStatic;
   TimePoint last_healthy_;
   TimePoint state_since_;

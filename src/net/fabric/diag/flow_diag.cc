@@ -1,0 +1,320 @@
+#include "src/net/fabric/diag/flow_diag.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/obs/trace.h"
+#include "src/tcp/segment.h"
+#include "src/tcp/sequence.h"
+
+namespace e2e {
+
+const char* FlowLimitName(FlowLimit limit) {
+  switch (limit) {
+    case FlowLimit::kIdle:
+      return "idle";
+    case FlowLimit::kSender:
+      return "sender";
+    case FlowLimit::kNetwork:
+      return "network";
+    case FlowLimit::kReceiver:
+      return "receiver";
+  }
+  return "?";
+}
+
+FlowDiagnoser::FlowDiagnoser(Simulator* sim, const DiagConfig& config)
+    : sim_(sim), config_(config) {
+  assert(sim_ != nullptr);
+  assert(config_.epoch > Duration::Zero());
+}
+
+int64_t FlowDiagnoser::EpochIndex(TimePoint t) const {
+  return t.nanos() / config_.epoch.nanos();
+}
+
+FlowDiagnoser::Flow* FlowDiagnoser::FlowFor(uint64_t conn_id, bool from_a) {
+  const FlowKey key{conn_id, static_cast<uint8_t>(from_a ? 1 : 0)};
+  auto it = flows_.find(key);
+  if (it != flows_.end()) {
+    return &it->second;
+  }
+  if (flows_.size() >= config_.max_flows) {
+    return nullptr;
+  }
+  return &flows_[key];
+}
+
+const FlowDiagnoser::Flow* FlowDiagnoser::PeekFlow(uint64_t conn_id, bool from_a) const {
+  const FlowKey key{conn_id, static_cast<uint8_t>(from_a ? 1 : 0)};
+  const auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+void FlowDiagnoser::OnSwitchPacket(const Packet& packet, const SwitchTapEvent& event) {
+  const auto* seg = dynamic_cast<const TcpSegment*>(packet.payload.get());
+  if (seg == nullptr) {
+    ++non_tcp_packets_;
+    return;
+  }
+  const TimePoint now = sim_->Now();
+  TcpSegmentView view;
+  view.conn_id = seg->conn_id;
+  view.from_a = seg->from_a;
+  view.seq = seg->seq;
+  view.ack = seg->ack;
+  view.len = static_cast<uint32_t>(seg->len);
+  view.window = seg->window;
+  view.flags = seg->flags;
+
+  // The segment is a *data* observation for the flow sending in its own
+  // direction, and an *ack* observation for the opposite flow (every
+  // stamped segment carries an ack; piggybacked data acks included).
+  if (view.len > 0) {
+    if (Flow* flow = FlowFor(view.conn_id, view.from_a)) {
+      Roll(*flow, {view.conn_id, static_cast<uint8_t>(view.from_a ? 1 : 0)}, now);
+      ObserveData(*flow, {view.conn_id, static_cast<uint8_t>(view.from_a ? 1 : 0)}, view,
+                  event, now);
+    } else {
+      ++untracked_packets_;
+    }
+  }
+  if ((view.flags & kFlagAck) != 0) {
+    if (Flow* flow = FlowFor(view.conn_id, !view.from_a)) {
+      Roll(*flow, {view.conn_id, static_cast<uint8_t>(view.from_a ? 0 : 1)}, now);
+      ObserveAck(*flow, {view.conn_id, static_cast<uint8_t>(view.from_a ? 0 : 1)}, view, now);
+    } else if (view.len == 0) {
+      ++untracked_packets_;
+    }
+  }
+}
+
+void FlowDiagnoser::ObserveData(Flow& flow, const FlowKey& key, const TcpSegmentView& seg,
+                                const SwitchTapEvent& event, TimePoint now) {
+  (void)key;
+  flow.last_observed = now;
+  const uint64_t seq_abs = UnwrapSeq(seg.seq, flow.highest_data_end);
+  const uint64_t seq_end = seq_abs + seg.len;
+
+  ++flow.epoch.data_packets;
+  flow.epoch.data_bytes += seg.len;
+  ++flow.counters.data_packets;
+  flow.counters.data_bytes += seg.len;
+
+  const bool retransmit = flow.seen_data && seq_end <= flow.highest_data_end;
+  if (retransmit) {
+    ++flow.epoch.retransmits;
+    ++flow.counters.retransmits;
+    flow.karn_dirty = true;
+  } else {
+    // New data: advances the stream high-water mark. If an ack-advance
+    // probe is armed and this data was clocked out by it, close the
+    // sender-side half-RTT sample.
+    if (flow.probe_rev_active && seq_abs >= flow.probe_rev_ack) {
+      if (!flow.karn_dirty) {
+        AddRttSample(flow, &flow.srtt_rev_us, now - flow.probe_rev_start);
+      }
+      flow.probe_rev_active = false;
+    }
+    flow.highest_data_end = std::max(flow.highest_data_end, seq_end);
+    flow.seen_data = true;
+  }
+
+  if ((seg.flags & kFlagCwr) != 0) {
+    ++flow.epoch.cwr_data;
+    ++flow.counters.cwr_data;
+  }
+  if (event.dropped) {
+    ++flow.epoch.drops;
+    ++flow.counters.drops;
+  }
+  if (event.marked) {
+    ++flow.epoch.ce_marked;
+    ++flow.counters.ce_marked;
+  }
+  if (!event.dropped && event.port != nullptr) {
+    flow.data_port = event.port->name();
+    const SwitchPortConfig& pc = event.port->config();
+    const size_t reference =
+        pc.ecn_threshold_bytes > 0 ? pc.ecn_threshold_bytes : pc.buffer_bytes;
+    if (reference > 0 && static_cast<double>(event.port->queue_bytes()) >
+                             config_.backpressure_frac * static_cast<double>(reference)) {
+      ++flow.epoch.backpressure_packets;
+    }
+  }
+
+  // Flight: bytes past the switch not yet acked past it.
+  if (flow.seen_ack && flow.highest_data_end > flow.highest_ack) {
+    flow.epoch.max_flight_bytes =
+        std::max(flow.epoch.max_flight_bytes, flow.highest_data_end - flow.highest_ack);
+  } else if (!flow.seen_ack) {
+    flow.epoch.max_flight_bytes = std::max(flow.epoch.max_flight_bytes, flow.highest_data_end);
+  }
+
+  // Arm the receiver-side half-RTT probe: this data's end until the ack
+  // covering it comes back through the switch.
+  if (!retransmit && !flow.probe_fwd_active) {
+    flow.probe_fwd_active = true;
+    flow.probe_fwd_target = seq_end;
+    flow.probe_fwd_start = now;
+    flow.karn_dirty = false;
+  }
+}
+
+void FlowDiagnoser::ObserveAck(Flow& flow, const FlowKey& key, const TcpSegmentView& seg,
+                               TimePoint now) {
+  (void)key;
+  flow.last_observed = now;
+  const uint64_t ack_abs = UnwrapSeq(seg.ack, flow.highest_ack);
+
+  ++flow.epoch.acks;
+  ++flow.counters.acks;
+  flow.last_rwnd = seg.window;
+  if (flow.epoch.min_rwnd_bytes == 0 || seg.window < flow.epoch.min_rwnd_bytes) {
+    flow.epoch.min_rwnd_bytes = seg.window;
+  }
+  if (seg.window == 0) {
+    ++flow.epoch.zero_window_acks;
+    ++flow.counters.zero_window_acks;
+  }
+  if ((seg.flags & kFlagEce) != 0) {
+    ++flow.epoch.ece_acks;
+    ++flow.counters.ece_acks;
+  }
+
+  const bool advanced = !flow.seen_ack || ack_abs > flow.highest_ack;
+  if (advanced) {
+    if (flow.probe_fwd_active && ack_abs >= flow.probe_fwd_target) {
+      if (!flow.karn_dirty) {
+        AddRttSample(flow, &flow.srtt_fwd_us, now - flow.probe_fwd_start);
+      }
+      flow.probe_fwd_active = false;
+    }
+    flow.highest_ack = std::max(flow.highest_ack, ack_abs);
+    flow.seen_ack = true;
+    // Arm the sender-side half-RTT probe: this ack until the new data it
+    // clocks out — meaningful only while the sender keeps the pipe busy;
+    // Karn-skipped like the forward probe.
+    if (flow.highest_data_end > flow.highest_ack && !flow.probe_rev_active) {
+      flow.probe_rev_active = true;
+      flow.probe_rev_ack = flow.highest_ack;
+      flow.probe_rev_start = now;
+    }
+  }
+}
+
+void FlowDiagnoser::AddRttSample(Flow& flow, double* srtt_us, Duration sample) {
+  const double us = sample.ToMicros();
+  *srtt_us = *srtt_us < 0 ? us : *srtt_us + (us - *srtt_us) / 8.0;
+  ++flow.counters.rtt_samples;
+}
+
+void FlowDiagnoser::Roll(Flow& flow, const FlowKey& key, TimePoint now) {
+  const int64_t idx = EpochIndex(now);
+  if (flow.epoch_index < 0) {
+    flow.epoch_index = idx;
+    return;
+  }
+  while (flow.epoch_index < idx) {
+    CloseEpoch(flow, key);
+    ++flow.epoch_index;
+  }
+}
+
+FlowLimit FlowDiagnoser::Classify(const Flow& flow) const {
+  const DiagEpochEvidence& e = flow.epoch;
+  if (e.data_packets == 0) {
+    return FlowLimit::kIdle;
+  }
+  if (e.retransmits > 0 || e.ece_acks > 0 || e.cwr_data > 0 || e.ce_marked > 0 ||
+      e.drops > 0 || e.backpressure_packets > 0) {
+    return FlowLimit::kNetwork;
+  }
+  const uint64_t rwnd = e.min_rwnd_bytes > 0 ? e.min_rwnd_bytes : flow.last_rwnd;
+  if (e.zero_window_acks > 0 ||
+      (rwnd > 0 && static_cast<double>(e.max_flight_bytes) >=
+                       config_.rwnd_fill_frac * static_cast<double>(rwnd))) {
+    return FlowLimit::kReceiver;
+  }
+  return FlowLimit::kSender;
+}
+
+void FlowDiagnoser::CloseEpoch(Flow& flow, const FlowKey& key) {
+  const FlowLimit limit = Classify(flow);
+  flow.last_verdict.limit = limit;
+  flow.last_verdict.epoch_end =
+      TimePoint::FromNanos((flow.epoch_index + 1) * config_.epoch.nanos());
+  flow.last_verdict.evidence = flow.epoch;
+  flow.has_verdict = true;
+  ++flow.counters.epochs_by_limit[static_cast<size_t>(limit)];
+  ++port_tallies_[flow.data_port].epochs_by_limit[static_cast<size_t>(limit)];
+  if (limit != FlowLimit::kIdle) {
+    flow.last_data_limit = limit;
+    flow.inferred_cwnd_bytes = flow.epoch.max_flight_bytes;
+    if (TraceRecorder* tr = TraceIf(TraceCategory::kDiag)) {
+      if (flow.trace_track == 0) {
+        flow.trace_track = tr->Track("diag/conn" + std::to_string(key.first) +
+                                     (key.second != 0 ? "/a" : "/b"));
+      }
+      TraceEvent event;
+      event.time = flow.last_verdict.epoch_end;
+      event.category = TraceCategory::kDiag;
+      event.name = FlowLimitName(limit);
+      event.track = flow.trace_track;
+      event.k1 = "flight";
+      event.v1 = static_cast<double>(flow.epoch.max_flight_bytes);
+      event.k2 = "rwnd";
+      event.v2 = static_cast<double>(flow.epoch.min_rwnd_bytes > 0 ? flow.epoch.min_rwnd_bytes
+                                                                   : flow.last_rwnd);
+      event.k3 = "rtt_us";
+      event.v3 = (flow.srtt_fwd_us < 0 ? 0 : flow.srtt_fwd_us) +
+                 (flow.srtt_rev_us < 0 ? 0 : flow.srtt_rev_us);
+      tr->Record(event);
+    }
+  }
+  flow.epoch = DiagEpochEvidence{};
+}
+
+FlowVerdict FlowDiagnoser::ClosedVerdict(uint64_t conn_id, bool from_a, TimePoint now) {
+  const FlowKey key{conn_id, static_cast<uint8_t>(from_a ? 1 : 0)};
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    return FlowVerdict{};
+  }
+  // Close epochs that ended at or before `now`: an epoch is closed once
+  // `now` has reached its exclusive end, i.e. the open epoch is the one
+  // containing `now` (or, exactly at a boundary, the one starting there).
+  Roll(it->second, key, now);
+  return it->second.has_verdict ? it->second.last_verdict : FlowVerdict{};
+}
+
+FlowDiagnoser::FlowSnapshot FlowDiagnoser::Peek(uint64_t conn_id, bool from_a) const {
+  FlowSnapshot snap;
+  const Flow* flow = PeekFlow(conn_id, from_a);
+  if (flow == nullptr) {
+    return snap;
+  }
+  snap.valid = true;
+  snap.last_limit = flow->last_data_limit;
+  snap.last_observed = flow->last_observed;
+  snap.inferred_cwnd_bytes = flow->inferred_cwnd_bytes;
+  snap.current_flight_bytes =
+      flow->highest_data_end > flow->highest_ack ? flow->highest_data_end - flow->highest_ack : 0;
+  snap.last_rwnd_bytes = flow->last_rwnd;
+  const double fwd = flow->srtt_fwd_us < 0 ? 0 : flow->srtt_fwd_us;
+  const double rev = flow->srtt_rev_us < 0 ? 0 : flow->srtt_rev_us;
+  snap.srtt_us = fwd + rev;
+  return snap;
+}
+
+bool FlowDiagnoser::Fresh(uint64_t conn_id, bool from_a, TimePoint now) const {
+  const Flow* flow = PeekFlow(conn_id, from_a);
+  return flow != nullptr && now - flow->last_observed <= config_.freshness_bound;
+}
+
+const FlowDiagCounters* FlowDiagnoser::CountersFor(uint64_t conn_id, bool from_a) const {
+  const Flow* flow = PeekFlow(conn_id, from_a);
+  return flow == nullptr ? nullptr : &flow->counters;
+}
+
+}  // namespace e2e

@@ -1,0 +1,236 @@
+// In-switch passive flow diagnosis (DESIGN.md §14), after Dapper
+// (Ghasemi/Benson/Rexford): a per-flow shadow-state engine attached to a
+// Switch as a SwitchTap that reconstructs sender state purely from the
+// headers of forwarded segments — inferred cwnd via flight-size tracking,
+// rwnd from advertised windows, RTT from seq/ack matching, retransmission
+// and ECE/CWR observation — and classifies every flow once per measurement
+// epoch as
+//
+//   sender-limited    the application isn't filling the window,
+//   network-limited   loss / CE marks / ECE echoes / queue backpressure
+//                     on the flow's egress port, or
+//   receiver-limited  the advertised window is the binding constraint
+//                     (flight pinned at rwnd, or zero-window stalls).
+//
+// A "flow" is one direction of one connection: (conn_id, from_a) keys the
+// data sender; segments from the opposite direction feed the same record's
+// ack/rwnd/ECE state. Epochs are aligned to an absolute grid
+// [k*epoch, (k+1)*epoch) and closed lazily — on the next packet for the
+// flow or on an explicit ClosedVerdict() query — so the diagnoser never
+// schedules simulator events.
+//
+// Passivity contract (inherited from SwitchTap): observation mutates only
+// the diagnoser's own shadow state. Attaching a FlowDiagnoser to a switch
+// leaves every simulated byte identical to an untapped run; `Peek()` and
+// `Fresh()` are const reads safe to call from TimeSeriesSampler gauges.
+//
+// Known blind spots vs Dapper (see DESIGN.md §14): single-switch vantage
+// (no cross-switch aggregation), inference from the simulator's segment
+// headers rather than raw TCP options (no SACK/timestamp parsing), and
+// delayed-ack-bound receivers are only caught when they surface as rwnd
+// pressure or zero-window stalls.
+
+#ifndef SRC_NET_FABRIC_DIAG_FLOW_DIAG_H_
+#define SRC_NET_FABRIC_DIAG_FLOW_DIAG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/net/fabric/switch.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace e2e {
+
+enum class FlowLimit : uint8_t {
+  kIdle = 0,      // No data observed in the epoch: nothing to diagnose.
+  kSender = 1,    // Application-limited: window open, flight small.
+  kNetwork = 2,   // Loss / marks / echoes / egress-port backpressure.
+  kReceiver = 3,  // Advertised window is the binding constraint.
+};
+inline constexpr size_t kNumFlowLimits = 4;
+
+const char* FlowLimitName(FlowLimit limit);
+
+struct DiagConfig {
+  // Classification granularity; epochs align to the absolute grid
+  // [k*epoch, (k+1)*epoch).
+  Duration epoch = Duration::Millis(1);
+  // Flight at or above this fraction of the epoch's smallest advertised
+  // window reads as rwnd-bound (receiver-limited).
+  double rwnd_fill_frac = 0.85;
+  // Egress-port occupancy above this fraction of the port's reference
+  // capacity (ECN threshold when configured, else the byte buffer) counts
+  // as backpressure — network-limited evidence even between loss events.
+  double backpressure_frac = 0.5;
+  // A flow's diagnosis is "fresh" while a segment of the flow was observed
+  // within this bound; the health chain's diag signal keys off this.
+  Duration freshness_bound = Duration::Millis(5);
+  // Shadow-state table cap (Dapper's heavy-hitter budget): segments of
+  // flows beyond this are counted in untracked_packets() and ignored.
+  size_t max_flows = 4096;
+};
+
+// Evidence accumulated over one epoch, reset at every epoch boundary.
+struct DiagEpochEvidence {
+  uint64_t data_packets = 0;
+  uint64_t data_bytes = 0;
+  uint64_t acks = 0;
+  uint64_t retransmits = 0;        // Data segments not advancing the stream.
+  uint64_t ece_acks = 0;           // Reverse-direction ECE echoes.
+  uint64_t cwr_data = 0;           // Sender-announced window reductions.
+  uint64_t ce_marked = 0;          // Marked at *this* switch.
+  uint64_t drops = 0;              // Tail-dropped at this switch.
+  uint64_t zero_window_acks = 0;
+  uint64_t backpressure_packets = 0;
+  uint64_t max_flight_bytes = 0;   // Peak (highest data end − highest ack).
+  uint64_t min_rwnd_bytes = 0;     // Smallest advertised window (0 if none).
+};
+
+// One closed epoch's classification.
+struct FlowVerdict {
+  FlowLimit limit = FlowLimit::kIdle;
+  TimePoint epoch_end{};  // Exclusive end of the classified epoch.
+  DiagEpochEvidence evidence;
+};
+
+// Cumulative per-flow tallies (never reset).
+struct FlowDiagCounters {
+  uint64_t epochs_by_limit[kNumFlowLimits] = {};
+  uint64_t data_packets = 0;
+  uint64_t data_bytes = 0;
+  uint64_t acks = 0;
+  uint64_t retransmits = 0;
+  uint64_t ece_acks = 0;
+  uint64_t cwr_data = 0;
+  uint64_t ce_marked = 0;
+  uint64_t drops = 0;
+  uint64_t zero_window_acks = 0;
+  uint64_t rtt_samples = 0;
+};
+
+// The header fields the switch can observe on one forwarded segment —
+// exactly what DecodeSegmentHeader yields at an endpoint (the codec
+// observation tests prove the parity). Extracted from the packet payload
+// in flow_diag.cc so this header stays free of tcp/ includes.
+struct TcpSegmentView {
+  uint64_t conn_id = 0;
+  bool from_a = false;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint32_t len = 0;
+  uint32_t window = 0;
+  uint32_t flags = 0;
+};
+
+class FlowDiagnoser : public SwitchTap {
+ public:
+  // Const view of a flow's live shadow state, for gauges and the health
+  // signal. Reading it never rolls epochs.
+  struct FlowSnapshot {
+    bool valid = false;              // Flow has been observed at all.
+    FlowLimit last_limit = FlowLimit::kIdle;  // Last non-idle verdict.
+    TimePoint last_observed{};
+    uint64_t inferred_cwnd_bytes = 0;  // Peak flight of last data epoch.
+    uint64_t current_flight_bytes = 0;
+    uint64_t last_rwnd_bytes = 0;
+    double srtt_us = 0;  // EWMA of inferred RTT (0 until the first sample).
+  };
+
+  // Cumulative classified-epoch tallies per egress port (by port name;
+  // "" collects flows whose egress was never matched).
+  struct PortTally {
+    uint64_t epochs_by_limit[kNumFlowLimits] = {};
+  };
+
+  explicit FlowDiagnoser(Simulator* sim, const DiagConfig& config = {});
+
+  // SwitchTap: one call per packet offered to the tapped switch.
+  void OnSwitchPacket(const Packet& packet, const SwitchTapEvent& event) override;
+
+  // Closes every epoch of the flow that ended at or before `now` and
+  // returns the most recently closed verdict. A flow never observed (or
+  // with no closed epoch yet) returns a kIdle verdict with epoch_end zero.
+  FlowVerdict ClosedVerdict(uint64_t conn_id, bool from_a, TimePoint now);
+
+  // Const reads — safe from sampler gauges; no epoch rollover.
+  FlowSnapshot Peek(uint64_t conn_id, bool from_a) const;
+  bool Fresh(uint64_t conn_id, bool from_a, TimePoint now) const;
+  const FlowDiagCounters* CountersFor(uint64_t conn_id, bool from_a) const;
+
+  const std::map<std::string, PortTally>& port_tallies() const { return port_tallies_; }
+  const DiagConfig& config() const { return config_; }
+  size_t num_flows() const { return flows_.size(); }
+  uint64_t non_tcp_packets() const { return non_tcp_packets_; }
+  uint64_t untracked_packets() const { return untracked_packets_; }
+
+ private:
+  struct Flow {
+    // 64-bit unwrapped stream tracking (both sides start at offset 0).
+    bool seen_data = false;
+    uint64_t highest_data_end = 0;  // Unwrap reference for data seqs.
+    bool seen_ack = false;
+    uint64_t highest_ack = 0;       // Unwrap reference for acks.
+    uint64_t last_rwnd = 0;
+    TimePoint last_observed{};
+    std::string data_port;  // Name of the last egress port for data.
+
+    int64_t epoch_index = -1;  // Open epoch; -1 until first observation.
+    DiagEpochEvidence epoch;
+    bool has_verdict = false;
+    FlowVerdict last_verdict;
+
+    // Snapshot fields updated on non-idle epoch close.
+    FlowLimit last_data_limit = FlowLimit::kIdle;
+    uint64_t inferred_cwnd_bytes = 0;
+
+    // RTT probes: one outstanding per half-path, Karn-skipped across
+    // retransmissions. fwd = data past the switch until the matching ack
+    // returns (switch→receiver→switch); rev = an ack-advance until the
+    // next new data it clocks out (switch→sender→switch).
+    bool probe_fwd_active = false;
+    uint64_t probe_fwd_target = 0;
+    TimePoint probe_fwd_start{};
+    bool probe_rev_active = false;
+    uint64_t probe_rev_ack = 0;
+    TimePoint probe_rev_start{};
+    bool karn_dirty = false;  // Retransmit since the probes were armed.
+    double srtt_fwd_us = -1;
+    double srtt_rev_us = -1;
+
+    FlowDiagCounters counters;
+    uint32_t trace_track = 0;  // Lazily created; 0 = not yet assigned.
+  };
+
+  using FlowKey = std::pair<uint64_t, uint8_t>;  // (conn_id, data dir).
+
+  // Finds or creates the record; nullptr when the table is full.
+  Flow* FlowFor(uint64_t conn_id, bool from_a);
+  const Flow* PeekFlow(uint64_t conn_id, bool from_a) const;
+
+  int64_t EpochIndex(TimePoint t) const;
+  // Closes every epoch strictly before the one containing `now`.
+  void Roll(Flow& flow, const FlowKey& key, TimePoint now);
+  void CloseEpoch(Flow& flow, const FlowKey& key);
+  FlowLimit Classify(const Flow& flow) const;
+
+  void ObserveData(Flow& flow, const FlowKey& key, const TcpSegmentView& seg,
+                   const SwitchTapEvent& event, TimePoint now);
+  void ObserveAck(Flow& flow, const FlowKey& key, const TcpSegmentView& seg, TimePoint now);
+  void AddRttSample(Flow& flow, double* srtt_us, Duration sample);
+
+  Simulator* sim_;
+  DiagConfig config_;
+  // Ordered map: deterministic iteration for any future exporter.
+  std::map<FlowKey, Flow> flows_;
+  std::map<std::string, PortTally> port_tallies_;
+  uint64_t non_tcp_packets_ = 0;
+  uint64_t untracked_packets_ = 0;
+};
+
+}  // namespace e2e
+
+#endif  // SRC_NET_FABRIC_DIAG_FLOW_DIAG_H_

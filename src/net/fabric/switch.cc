@@ -32,15 +32,24 @@ void SwitchPort::Enqueue(Packet packet) {
     E2E_DEBUG(sim_->Now(), "switch", "%s: tail-drop packet %lu (%zuB, occupancy %zuB/%zup)",
               name_.c_str(), static_cast<unsigned long>(packet.id), arriving, queue_bytes_,
               queue_packets_);
+    if (tap_ != nullptr) {
+      tap_->OnSwitchPacket(packet, SwitchTapEvent{this, /*dropped=*/true, /*marked=*/false});
+    }
     return;
   }
   queue_bytes_ += arriving;
   ++queue_packets_;
   counters_.max_queue_bytes = std::max<uint64_t>(counters_.max_queue_bytes, queue_bytes_);
   counters_.max_queue_packets = std::max<uint64_t>(counters_.max_queue_packets, queue_packets_);
+  bool marked = false;
   if (config_.ecn_threshold_bytes > 0 && queue_bytes_ > config_.ecn_threshold_bytes) {
     packet.ecn_ce = true;
+    marked = true;
     ++counters_.ecn_marked;
+    counters_.ecn_marked_bytes += arriving;
+  }
+  if (tap_ != nullptr) {
+    tap_->OnSwitchPacket(packet, SwitchTapEvent{this, /*dropped=*/false, marked});
   }
   queue_.push_back(std::move(packet));
   MaybeStartService();
@@ -74,6 +83,7 @@ Switch::Switch(Simulator* sim, std::string name) : sim_(sim), name_(std::move(na
 
 size_t Switch::AddPort(Link* egress, const SwitchPortConfig& config, std::string name) {
   ports_.push_back(std::make_unique<SwitchPort>(sim_, egress, config, std::move(name)));
+  ports_.back()->SetTap(tap_);
   return ports_.size() - 1;
 }
 
@@ -93,9 +103,20 @@ void Switch::DeliverPacket(Packet packet) {
     ++forwarding_misses_;
     E2E_DEBUG(sim_->Now(), "switch", "%s: no route for host %u, dropping packet %lu",
               name_.c_str(), packet.dst_host, static_cast<unsigned long>(packet.id));
+    if (tap_ != nullptr) {
+      tap_->OnSwitchPacket(packet,
+                           SwitchTapEvent{nullptr, /*dropped=*/true, /*marked=*/false});
+    }
     return;
   }
   out->Enqueue(std::move(packet));
+}
+
+void Switch::SetTap(SwitchTap* tap) {
+  tap_ = tap;
+  for (auto& port : ports_) {
+    port->SetTap(tap);
+  }
 }
 
 }  // namespace e2e

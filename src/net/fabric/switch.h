@@ -49,6 +49,27 @@ struct SwitchPortConfig {
   size_t ecn_threshold_bytes = 0;
 };
 
+class SwitchPort;
+
+// One admission decision, as seen by a passive observer on the switch.
+struct SwitchTapEvent {
+  // The matched egress port; nullptr when the forwarding lookup missed.
+  const SwitchPort* port = nullptr;
+  bool dropped = false;  // Tail-dropped (or forwarding miss) — never queued.
+  bool marked = false;   // Admitted and CE-marked on this admission.
+};
+
+// Passive observer attached to a switch: sees every packet offered to the
+// data plane, after the admission/marking decision, with the packet exactly
+// as it will be queued (CE already applied). Implementations must not
+// mutate simulation state or schedule events — the contract is that an
+// attached tap leaves every simulated byte identical to an untapped run.
+class SwitchTap {
+ public:
+  virtual ~SwitchTap() = default;
+  virtual void OnSwitchPacket(const Packet& packet, const SwitchTapEvent& event) = 0;
+};
+
 // One output port: a drop-tail FIFO draining onto an egress link.
 class SwitchPort {
  public:
@@ -61,6 +82,10 @@ class SwitchPort {
     uint64_t packet_limit_drops = 0;
     uint64_t dropped_bytes = 0;    // Wire bytes of tail-dropped packets.
     uint64_t ecn_marked = 0;
+    // Wire bytes of packets that were admitted *and* CE-marked. Disjoint
+    // from dropped_bytes by construction (a dropped packet is never
+    // marked), so a mark burst during tail-drop attributes unambiguously.
+    uint64_t ecn_marked_bytes = 0;
     uint64_t max_queue_bytes = 0;  // High-water occupancy.
     uint64_t max_queue_packets = 0;
   };
@@ -68,6 +93,9 @@ class SwitchPort {
   SwitchPort(Simulator* sim, Link* egress, const SwitchPortConfig& config, std::string name);
 
   void Enqueue(Packet packet);
+
+  // Installed by the owning Switch; nullptr disables observation.
+  void SetTap(SwitchTap* tap) { tap_ = tap; }
 
   // Current occupancy, including the packet being serialized.
   size_t queue_bytes() const { return queue_bytes_; }
@@ -89,6 +117,7 @@ class SwitchPort {
   size_t queue_bytes_ = 0;    // Includes the packet in service.
   size_t queue_packets_ = 0;  // Includes the packet in service.
   bool serving_ = false;
+  SwitchTap* tap_ = nullptr;
   Counters counters_;
 };
 
@@ -115,12 +144,18 @@ class Switch : public PacketSink {
   uint64_t forwarding_misses() const { return forwarding_misses_; }
   const std::string& name() const { return name_; }
 
+  // Attaches a passive observer to every current and future port (and to
+  // forwarding misses). One tap per switch; nullptr detaches.
+  void SetTap(SwitchTap* tap);
+  SwitchTap* tap() { return tap_; }
+
  private:
   Simulator* sim_;
   std::string name_;
   std::vector<std::unique_ptr<SwitchPort>> ports_;
   std::unordered_map<uint32_t, size_t> routes_;  // Point-queried only.
   uint64_t forwarding_misses_ = 0;
+  SwitchTap* tap_ = nullptr;
 };
 
 }  // namespace e2e

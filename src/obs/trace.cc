@@ -22,6 +22,8 @@ const char* TraceCategoryName(TraceCategory category) {
       return "health";
     case TraceCategory::kController:
       return "controller";
+    case TraceCategory::kDiag:
+      return "diag";
   }
   return "?";
 }

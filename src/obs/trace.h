@@ -38,8 +38,9 @@ enum class TraceCategory : uint32_t {
   kEstimator = 3,   // Metadata snapshot exchange + computed L.
   kHealth = 4,      // Estimator-health state transitions.
   kController = 5,  // Batching-controller decisions (switch/explore/freeze).
+  kDiag = 6,        // In-switch flow-diagnosis epoch verdicts.
 };
-inline constexpr size_t kNumTraceCategories = 6;
+inline constexpr size_t kNumTraceCategories = 7;
 
 constexpr uint32_t TraceBit(TraceCategory c) { return 1u << static_cast<uint32_t>(c); }
 inline constexpr uint32_t kTraceAll = (1u << kNumTraceCategories) - 1;

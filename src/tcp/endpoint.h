@@ -155,6 +155,12 @@ class TcpEndpoint {
   const TcpConfig& config() const { return config_; }
   const RttEstimator& rtt() const { return rtt_; }
   const CongestionControlAlgorithm& congestion() const { return *cc_; }
+  // Ground-truth sender state, readable in-sim (the diagnosis validation
+  // harness compares the switch's passive inference against these).
+  uint64_t flight_bytes() const { return snd_nxt_ - sndq_.head_offset(); }
+  uint64_t unsent_bytes() const { return sndq_.tail_offset() - snd_nxt_; }
+  uint64_t peer_rwnd() const { return peer_rwnd_; }
+  bool in_recovery() const { return in_recovery_; }
   uint64_t conn_id() const { return conn_id_; }
   bool is_a() const { return is_a_; }
   Host* host() { return host_; }

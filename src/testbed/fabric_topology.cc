@@ -239,15 +239,21 @@ void FabricTopology::ExportCounters(CounterRegistry* registry) const {
   for (const auto& sw : switches_) {
     for (size_t p = 0; p < sw->num_ports(); ++p) {
       const SwitchPort* port = &sw->port(p);
+      // dropped_bytes and ecn_marked_bytes are disjoint by construction
+      // (a packet is either dropped or admitted-and-possibly-marked), so a
+      // window delta can attribute every congested byte to exactly one
+      // fate even when both happen within the same epoch.
       registry->Register(port->name() + ".port",
                          {"packets_in", "packets_out", "bytes_out", "tail_drops",
-                          "byte_limit_drops", "packet_limit_drops", "ecn_marked",
-                          "max_queue_bytes", "max_queue_packets"},
+                          "byte_limit_drops", "packet_limit_drops", "dropped_bytes",
+                          "ecn_marked", "ecn_marked_bytes", "max_queue_bytes",
+                          "max_queue_packets"},
                          [port]() -> std::vector<uint64_t> {
                            const SwitchPort::Counters& c = port->counters();
                            return {c.packets_in, c.packets_out, c.bytes_out, c.tail_drops,
-                                   c.byte_limit_drops, c.packet_limit_drops, c.ecn_marked,
-                                   c.max_queue_bytes, c.max_queue_packets};
+                                   c.byte_limit_drops, c.packet_limit_drops, c.dropped_bytes,
+                                   c.ecn_marked, c.ecn_marked_bytes, c.max_queue_bytes,
+                                   c.max_queue_packets};
                          });
     }
     const Switch* raw = sw.get();
@@ -267,8 +273,14 @@ void FabricTopology::ExportQueueGauges(TimeSeriesSampler* sampler) const {
                         [port] { return static_cast<double>(port->queue_packets()); });
       sampler->AddGauge(port->name() + ".ecn_marked",
                         [port] { return static_cast<double>(port->counters().ecn_marked); });
+      sampler->AddGauge(port->name() + ".ecn_marked_bytes", [port] {
+        return static_cast<double>(port->counters().ecn_marked_bytes);
+      });
       sampler->AddGauge(port->name() + ".tail_drops",
                         [port] { return static_cast<double>(port->counters().tail_drops); });
+      sampler->AddGauge(port->name() + ".dropped_bytes", [port] {
+        return static_cast<double>(port->counters().dropped_bytes);
+      });
     }
   }
 }

@@ -128,7 +128,7 @@ Table ImpairmentCountersTable(
 
 Table SwitchPortsTable(const std::vector<std::pair<std::string, SwitchPort::Counters>>& rows) {
   Table table({"port", "in", "out", "bytes_out", "tail_drops", "byte_drops", "pkt_drops",
-               "ecn_marked", "max_q_bytes", "max_q_pkts"});
+               "dropped_B", "ecn_marked", "marked_B", "max_q_bytes", "max_q_pkts"});
   for (const auto& [name, c] : rows) {
     table.Row()
         .Cell(name)
@@ -138,7 +138,9 @@ Table SwitchPortsTable(const std::vector<std::pair<std::string, SwitchPort::Coun
         .Int(static_cast<int64_t>(c.tail_drops))
         .Int(static_cast<int64_t>(c.byte_limit_drops))
         .Int(static_cast<int64_t>(c.packet_limit_drops))
+        .Int(static_cast<int64_t>(c.dropped_bytes))
         .Int(static_cast<int64_t>(c.ecn_marked))
+        .Int(static_cast<int64_t>(c.ecn_marked_bytes))
         .Int(static_cast<int64_t>(c.max_queue_bytes))
         .Int(static_cast<int64_t>(c.max_queue_packets));
   }

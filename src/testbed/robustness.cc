@@ -200,11 +200,16 @@ RobustnessResult RunRobustnessExperiment(const RobustnessConfig& config) {
           }
           break;
         }
-        case HealthState::kLocalOnly: {
+        case HealthState::kLocalOnly:
+        case HealthState::kDiagAssisted: {
           // Peer counters untrusted: estimate from the server's own queues
           // only. Under response batching the local unacked delay inflates,
           // so this keeps the controller honest about the damage even
           // without the remote legs of the combination formula.
+          // kDiagAssisted consumes the same local estimate: the in-network
+          // diagnosis vouches the transport is alive, so freezing would
+          // throw away a usable signal (unreachable here without a diag
+          // provider — the two-host robustness runs never install one).
           if (server_ep != nullptr) {
             const E2eEstimate local =
                 server_ep->estimator().LocalOnlyEstimate(server_ep->queues(), now);
@@ -346,6 +351,8 @@ RobustnessResult RunRobustnessExperiment(const RobustnessConfig& config) {
   result.health_transitions = health.transitions();
   result.time_in_full_ms = health.TimeIn(HealthState::kFull, sim.Now()).ToMicros() / 1e3;
   result.time_in_local_ms = health.TimeIn(HealthState::kLocalOnly, sim.Now()).ToMicros() / 1e3;
+  result.time_in_diag_ms =
+      health.TimeIn(HealthState::kDiagAssisted, sim.Now()).ToMicros() / 1e3;
   result.time_in_static_ms = health.TimeIn(HealthState::kStatic, sim.Now()).ToMicros() / 1e3;
 
   if (first_fault_at.has_value()) {

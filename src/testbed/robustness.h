@@ -109,6 +109,7 @@ struct RobustnessResult {
   std::vector<std::pair<TimePoint, HealthState>> health_transitions;
   double time_in_full_ms = 0;
   double time_in_local_ms = 0;
+  double time_in_diag_ms = 0;  // kDiagAssisted; 0 without a diag provider.
   double time_in_static_ms = 0;
   // First fault start -> first demotion out of kFull at/after it.
   std::optional<double> time_to_detect_ms;

@@ -161,7 +161,106 @@ TEST(EstimatorHealthTest, TimeInStateAccountsOpenSpans) {
 TEST(EstimatorHealthTest, StateNamesAreStable) {
   EXPECT_STREQ(HealthStateName(HealthState::kFull), "full");
   EXPECT_STREQ(HealthStateName(HealthState::kLocalOnly), "local_only");
+  EXPECT_STREQ(HealthStateName(HealthState::kDiagAssisted), "diag_assisted");
   EXPECT_STREQ(HealthStateName(HealthState::kStatic), "static");
+}
+
+TEST(EstimatorHealthTest, FreshDiagSignalCatchesAWouldBeFreezeAsRescue) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  health.SetDiagSignal([](TimePoint) { return true; });
+  FeedHealthy(health, 8, 0);
+  ASSERT_EQ(health.state(), HealthState::kFull);
+  // Freshness path: past static_after the floor is kDiagAssisted, not
+  // kStatic, because the in-network observer vouches for the flow.
+  health.Tick(Ms(18));
+  EXPECT_EQ(health.state(), HealthState::kLocalOnly);
+  health.Tick(Ms(58));
+  EXPECT_EQ(health.state(), HealthState::kDiagAssisted);
+  EXPECT_EQ(health.counters().diag_rescues, 1u);
+  EXPECT_EQ(health.counters().diag_dropouts, 0u);
+}
+
+TEST(EstimatorHealthTest, DiagSignalDropoutFallsToStatic) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  bool fresh = true;
+  health.SetDiagSignal([&fresh](TimePoint) { return fresh; });
+  FeedHealthy(health, 8, 0);
+  health.Tick(Ms(58));
+  ASSERT_EQ(health.state(), HealthState::kDiagAssisted);
+  // The tapped flow goes quiet: the refuge is gone, freeze for real.
+  fresh = false;
+  health.Tick(Ms(60));
+  EXPECT_EQ(health.state(), HealthState::kStatic);
+  EXPECT_EQ(health.counters().diag_dropouts, 1u);
+  // And a returning signal recovers kDiagAssisted from kStatic.
+  fresh = true;
+  health.Tick(Ms(62));
+  EXPECT_EQ(health.state(), HealthState::kDiagAssisted);
+  EXPECT_EQ(health.counters().diag_rescues, 2u);
+}
+
+TEST(EstimatorHealthTest, RejectStreaksAlsoLandOnDiagAssisted) {
+  EstimatorHealth health(FastConfig(), Ms(0));
+  health.SetDiagSignal([](TimePoint) { return true; });
+  FeedHealthy(health, 8, 0);
+  ASSERT_EQ(health.state(), HealthState::kFull);
+  for (int i = 0; i < 3; ++i) {
+    health.OnExchange(Ms(8 + i), WireDeltaVerdict::kNoProgress);
+  }
+  EXPECT_EQ(health.state(), HealthState::kLocalOnly);
+  // The step below kLocalOnly is the diag-gated floor.
+  for (int i = 0; i < 3; ++i) {
+    health.OnExchange(Ms(11 + i), WireDeltaVerdict::kNoProgress);
+  }
+  EXPECT_EQ(health.state(), HealthState::kDiagAssisted);
+  EXPECT_EQ(health.counters().diag_rescues, 1u);
+}
+
+TEST(EstimatorHealthTest, DiagAssistedIsNotATrustRung) {
+  // Promotion out of kDiagAssisted goes straight to kLocalOnly: installing
+  // a diag signal never lengthens the climb back to kFull.
+  EstimatorHealth health(FastConfig(), Ms(0));
+  health.SetDiagSignal([](TimePoint) { return true; });
+  FeedHealthy(health, 8, 0);
+  health.Tick(Ms(58));
+  ASSERT_EQ(health.state(), HealthState::kDiagAssisted);
+  FeedHealthy(health, 4, 60);
+  EXPECT_EQ(health.state(), HealthState::kLocalOnly);
+  FeedHealthy(health, 4, 70);
+  EXPECT_EQ(health.state(), HealthState::kFull);
+}
+
+TEST(EstimatorHealthTest, WithoutDiagSignalChainIsThreeState) {
+  // No signal installed: behavior is byte-for-byte the pre-diag ladder —
+  // kDiagAssisted is unreachable and every floor is kStatic.
+  EstimatorHealth health(FastConfig(), Ms(0));
+  FeedHealthy(health, 8, 0);
+  health.Tick(Ms(58));
+  EXPECT_EQ(health.state(), HealthState::kStatic);
+  EXPECT_EQ(health.counters().diag_rescues, 0u);
+  EXPECT_EQ(health.counters().diag_dropouts, 0u);
+  for (const auto& [when, state] : health.transitions()) {
+    (void)when;
+    EXPECT_NE(state, HealthState::kDiagAssisted);
+  }
+
+  // Same for a stale signal: installed but never fresh.
+  EstimatorHealth stale(FastConfig(), Ms(0));
+  stale.SetDiagSignal([](TimePoint) { return false; });
+  FeedHealthy(stale, 8, 0);
+  stale.Tick(Ms(58));
+  EXPECT_EQ(stale.state(), HealthState::kStatic);
+  EXPECT_EQ(stale.counters().diag_rescues, 0u);
+}
+
+TEST(EstimatorHealthTest, ConnectionLossBypassesTheDiagRefuge) {
+  // A dead metadata *connection* is a hard stop: the diag signal vouches
+  // for the data flow, not for the estimator, so loss still lands kStatic.
+  EstimatorHealth health(FastConfig(), Ms(0));
+  health.SetDiagSignal([](TimePoint) { return true; });
+  FeedHealthy(health, 8, 0);
+  health.OnConnectionLost(Ms(10));
+  EXPECT_EQ(health.state(), HealthState::kStatic);
 }
 
 }  // namespace

@@ -1,0 +1,351 @@
+#include "src/net/fabric/diag/flow_diag.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/tcp/segment.h"
+
+namespace e2e {
+namespace {
+
+// Synthetic segment observations: the diagnoser only reads header fields
+// and the admission event, so tests can feed it directly without a fabric.
+Packet Seg(uint64_t conn, bool from_a, uint32_t seq, uint32_t ack, uint32_t len,
+           uint32_t window, uint16_t flags = kFlagAck) {
+  auto seg = std::make_shared<TcpSegment>();
+  seg->conn_id = conn;
+  seg->from_a = from_a;
+  seg->seq = seq;
+  seg->ack = ack;
+  seg->len = len;
+  seg->window = window;
+  seg->flags = flags;
+  Packet packet;
+  packet.wire_bytes = len + kWireHeaderBytes;
+  packet.payload = std::move(seg);
+  return packet;
+}
+
+// Runs `fn` at `at` sim-time so the diagnoser's Now() reads are exact.
+template <typename Fn>
+void At(Simulator& sim, int64_t at_us, Fn fn) {
+  sim.Schedule(TimePoint::FromNanos(at_us * 1000) - sim.Now(), std::move(fn));
+}
+
+DiagConfig TestConfig() {
+  DiagConfig config;
+  config.epoch = Duration::Millis(1);
+  config.rwnd_fill_frac = 0.85;
+  config.backpressure_frac = 0.5;
+  config.freshness_bound = Duration::Millis(5);
+  return config;
+}
+
+TEST(FlowDiagnoserTest, InfersFlightAndCwndFromSeqAckStream) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  // Three 1000-byte segments out, then an ack covering the first two.
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(7, true, 0, 0, 1000, 64000), {}); });
+  At(sim, 200, [&] { diag.OnSwitchPacket(Seg(7, true, 1000, 0, 1000, 64000), {}); });
+  At(sim, 300, [&] { diag.OnSwitchPacket(Seg(7, true, 2000, 0, 1000, 64000), {}); });
+  At(sim, 400, [&] { diag.OnSwitchPacket(Seg(7, false, 0, 2000, 0, 64000), {}); });
+  sim.Run();
+
+  const auto snap = diag.Peek(7, true);
+  ASSERT_TRUE(snap.valid);
+  EXPECT_EQ(snap.current_flight_bytes, 1000u);  // 3000 sent, 2000 acked.
+  EXPECT_EQ(snap.last_rwnd_bytes, 64000u);
+
+  // Closing the epoch freezes peak flight as the inferred cwnd.
+  const auto verdict = diag.ClosedVerdict(7, true, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(verdict.epoch_end, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(verdict.evidence.max_flight_bytes, 3000u);
+  EXPECT_EQ(verdict.evidence.data_packets, 3u);
+  EXPECT_EQ(diag.Peek(7, true).inferred_cwnd_bytes, 3000u);
+}
+
+TEST(FlowDiagnoserTest, DetectsRetransmissionsByNonAdvancingSeq) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(1, true, 0, 0, 1000, 64000), {}); });
+  At(sim, 200, [&] { diag.OnSwitchPacket(Seg(1, true, 1000, 0, 1000, 64000), {}); });
+  // Same bytes again: does not advance the high-water mark.
+  At(sim, 300, [&] { diag.OnSwitchPacket(Seg(1, true, 0, 0, 1000, 64000), {}); });
+  sim.Run();
+
+  const auto verdict = diag.ClosedVerdict(1, true, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(verdict.limit, FlowLimit::kNetwork);
+  EXPECT_EQ(verdict.evidence.retransmits, 1u);
+  EXPECT_EQ(diag.CountersFor(1, true)->retransmits, 1u);
+}
+
+TEST(FlowDiagnoserTest, TwoHalfRttProbesSumToPathRtt) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  // Forward probe: data passes the switch at 100 us, covering ack returns
+  // at 300 us -> switch->receiver->switch = 200 us.
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(3, true, 0, 0, 1000, 64000), {}); });
+  At(sim, 200, [&] { diag.OnSwitchPacket(Seg(3, true, 1000, 0, 1000, 64000), {}); });
+  At(sim, 300, [&] { diag.OnSwitchPacket(Seg(3, false, 0, 1000, 0, 64000), {}); });
+  // Reverse probe armed by that ack-advance (flight still open); the next
+  // new data it clocks out at 450 us -> switch->sender->switch = 150 us.
+  At(sim, 450, [&] { diag.OnSwitchPacket(Seg(3, true, 2000, 0, 1000, 64000), {}); });
+  sim.Run();
+
+  const auto snap = diag.Peek(3, true);
+  EXPECT_DOUBLE_EQ(snap.srtt_us, 200.0 + 150.0);
+  EXPECT_EQ(diag.CountersFor(3, true)->rtt_samples, 2u);
+}
+
+TEST(FlowDiagnoserTest, KarnSkipsSamplesTaintedByRetransmission) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(4, true, 0, 0, 1000, 64000), {}); });
+  // Retransmit while the forward probe is in flight: the ack at 400 us is
+  // ambiguous (original or retransmission?) and must not produce a sample.
+  At(sim, 250, [&] { diag.OnSwitchPacket(Seg(4, true, 0, 0, 1000, 64000), {}); });
+  At(sim, 400, [&] { diag.OnSwitchPacket(Seg(4, false, 0, 1000, 0, 64000), {}); });
+  sim.Run();
+  EXPECT_EQ(diag.CountersFor(4, true)->rtt_samples, 0u);
+  EXPECT_EQ(diag.Peek(4, true).srtt_us, 0.0);
+}
+
+TEST(FlowDiagnoserTest, ClassifiesSenderLimitedWhenWindowIsOpen) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  // 1000 bytes in flight against a 64 KB advertised window, no evidence of
+  // loss or pressure: the application simply isn't writing more.
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(5, true, 0, 0, 1000, 64000), {}); });
+  At(sim, 300, [&] { diag.OnSwitchPacket(Seg(5, false, 0, 1000, 0, 64000), {}); });
+  sim.Run();
+  const auto verdict = diag.ClosedVerdict(5, true, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(verdict.limit, FlowLimit::kSender);
+}
+
+TEST(FlowDiagnoserTest, ClassifiesReceiverLimitedByRwndFillAndZeroWindow) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  // Flight pinned at the advertised window: 8000 of rwnd 8000 >= 85%.
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(6, false, 0, 0, 0, 8000), {}); });
+  At(sim, 200, [&] { diag.OnSwitchPacket(Seg(6, true, 0, 0, 4000, 64000), {}); });
+  At(sim, 300, [&] { diag.OnSwitchPacket(Seg(6, true, 4000, 0, 4000, 64000), {}); });
+  sim.Run();
+  EXPECT_EQ(diag.ClosedVerdict(6, true, TimePoint::FromNanos(1000000)).limit,
+            FlowLimit::kReceiver);
+
+  // A zero-window ack is receiver-limited evidence on its own.
+  Simulator sim2;
+  FlowDiagnoser diag2(&sim2, TestConfig());
+  At(sim2, 100, [&] { diag2.OnSwitchPacket(Seg(6, true, 0, 0, 1000, 64000), {}); });
+  At(sim2, 300, [&] { diag2.OnSwitchPacket(Seg(6, false, 0, 1000, 0, 0), {}); });
+  sim2.Run();
+  const auto verdict = diag2.ClosedVerdict(6, true, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(verdict.limit, FlowLimit::kReceiver);
+  EXPECT_EQ(verdict.evidence.zero_window_acks, 1u);
+}
+
+TEST(FlowDiagnoserTest, NetworkEvidenceOutranksReceiverPressure) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  // ECE echo + rwnd-pinned flight in the same epoch: loss/marks win.
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(8, true, 0, 0, 8000, 64000), {}); });
+  At(sim, 300, [&] {
+    diag.OnSwitchPacket(Seg(8, false, 0, 0, 0, 8000, kFlagAck | kFlagEce), {});
+  });
+  sim.Run();
+  const auto verdict = diag.ClosedVerdict(8, true, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(verdict.limit, FlowLimit::kNetwork);
+  EXPECT_EQ(verdict.evidence.ece_acks, 1u);
+}
+
+TEST(FlowDiagnoserTest, DropAndMarkEventsAreNetworkEvidence) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  SwitchTapEvent dropped;
+  dropped.dropped = true;
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(9, true, 0, 0, 1000, 64000), dropped); });
+  SwitchTapEvent marked;
+  marked.marked = true;
+  At(sim, 200, [&] { diag.OnSwitchPacket(Seg(10, true, 0, 0, 1000, 64000), marked); });
+  sim.Run();
+  const auto v9 = diag.ClosedVerdict(9, true, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(v9.limit, FlowLimit::kNetwork);
+  EXPECT_EQ(v9.evidence.drops, 1u);
+  const auto v10 = diag.ClosedVerdict(10, true, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(v10.limit, FlowLimit::kNetwork);
+  EXPECT_EQ(v10.evidence.ce_marked, 1u);
+}
+
+TEST(FlowDiagnoserTest, EpochsAlignToAbsoluteGridAndRollLazily) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  At(sim, 500, [&] { diag.OnSwitchPacket(Seg(2, true, 0, 0, 1000, 64000), {}); });
+  // Next observation lands three epochs later: epoch 0 closes with data,
+  // epochs 1 and 2 close idle, all lazily on this packet's arrival.
+  At(sim, 3500, [&] { diag.OnSwitchPacket(Seg(2, true, 1000, 0, 1000, 64000), {}); });
+  sim.Run();
+
+  const auto* counters = diag.CountersFor(2, true);
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->epochs_by_limit[static_cast<size_t>(FlowLimit::kSender)], 1u);
+  EXPECT_EQ(counters->epochs_by_limit[static_cast<size_t>(FlowLimit::kIdle)], 2u);
+
+  // Polling exactly at an epoch boundary closes the epoch ending there.
+  const auto verdict = diag.ClosedVerdict(2, true, TimePoint::FromNanos(4000000));
+  EXPECT_EQ(verdict.epoch_end, TimePoint::FromNanos(4000000));
+  // An unknown flow yields the zero verdict, not a table entry. (The two
+  // tracked flows are the data direction and its implied reverse ack flow.)
+  EXPECT_EQ(diag.ClosedVerdict(99, true, TimePoint::FromNanos(4000000)).epoch_end,
+            TimePoint{});
+  EXPECT_EQ(diag.num_flows(), 2u);
+}
+
+TEST(FlowDiagnoserTest, PortTalliesAttributeEpochsToEgressPort) {
+  Simulator sim;
+  Link::Config fast;
+  fast.bandwidth_bps = 100e9;
+  fast.propagation = Duration::Zero();
+  Link egress(&sim, fast, Rng(1), "e");
+  SwitchPort port(&sim, &egress, SwitchPortConfig{}, "sw.srv0");
+  FlowDiagnoser diag(&sim, TestConfig());
+  SwitchTapEvent event;
+  event.port = &port;
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(11, true, 0, 0, 1000, 64000), event); });
+  sim.Run();
+  diag.ClosedVerdict(11, true, TimePoint::FromNanos(1000000));
+  const auto& tallies = diag.port_tallies();
+  ASSERT_EQ(tallies.count("sw.srv0"), 1u);
+  EXPECT_EQ(tallies.at("sw.srv0").epochs_by_limit[static_cast<size_t>(FlowLimit::kSender)],
+            1u);
+}
+
+TEST(FlowDiagnoserTest, BackpressureOnEgressPortIsNetworkEvidence) {
+  Simulator sim;
+  Link::Config slow;
+  slow.bandwidth_bps = 1e6;  // Packets pile up behind the first.
+  slow.propagation = Duration::Zero();
+  Link egress(&sim, slow, Rng(1), "e");
+  SwitchPortConfig pc;
+  pc.buffer_bytes = 10000;
+  SwitchPort port(&sim, &egress, pc, "p");
+  FlowDiagnoser diag(&sim, TestConfig());
+  // Fill the queue past backpressure_frac * buffer (50% of 10000).
+  At(sim, 100, [&] {
+    for (int i = 0; i < 6; ++i) {
+      Packet p;
+      p.wire_bytes = 1000;
+      port.Enqueue(p);
+    }
+  });
+  SwitchTapEvent event;
+  event.port = &port;
+  At(sim, 200, [&] { diag.OnSwitchPacket(Seg(12, true, 0, 0, 1000, 64000), event); });
+  sim.Run();
+  const auto verdict = diag.ClosedVerdict(12, true, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(verdict.limit, FlowLimit::kNetwork);
+  EXPECT_GE(verdict.evidence.backpressure_packets, 1u);
+}
+
+TEST(FlowDiagnoserTest, FreshnessTracksLastObservation) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(13, true, 0, 0, 1000, 64000), {}); });
+  sim.Run();
+  const TimePoint seen = TimePoint::FromNanos(100 * 1000);
+  EXPECT_TRUE(diag.Fresh(13, true, seen + Duration::Millis(5)));
+  EXPECT_FALSE(diag.Fresh(13, true, seen + Duration::Millis(5) + Duration::Nanos(1)));
+  EXPECT_FALSE(diag.Fresh(14, true, seen));  // Never observed.
+}
+
+TEST(FlowDiagnoserTest, FlowTableCapCountsUntrackedPackets) {
+  Simulator sim;
+  DiagConfig config = TestConfig();
+  config.max_flows = 2;
+  FlowDiagnoser diag(&sim, config);
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(1, true, 0, 0, 1000, 64000), {}); });
+  At(sim, 200, [&] { diag.OnSwitchPacket(Seg(2, true, 0, 0, 1000, 64000), {}); });
+  At(sim, 300, [&] { diag.OnSwitchPacket(Seg(3, true, 0, 0, 1000, 64000), {}); });
+  sim.Run();
+  EXPECT_EQ(diag.num_flows(), 2u);
+  // The third flow's data observation plus its implied reverse-flow ack.
+  EXPECT_GE(diag.untracked_packets(), 1u);
+  EXPECT_FALSE(diag.Peek(3, true).valid);
+}
+
+TEST(FlowDiagnoserTest, NonTcpPacketsAreCountedAndIgnored) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  Packet raw;
+  raw.wire_bytes = 500;
+  At(sim, 100, [&] { diag.OnSwitchPacket(raw, {}); });
+  sim.Run();
+  EXPECT_EQ(diag.non_tcp_packets(), 1u);
+  EXPECT_EQ(diag.num_flows(), 0u);
+}
+
+// The passivity contract at the switch level: an attached diagnoser leaves
+// every forwarded packet's timing and marking identical to an untapped run.
+TEST(FlowDiagnoserTest, TapIsPassiveAtTheSwitch) {
+  struct Arrival {
+    int64_t when_ns;
+    uint64_t id;
+    bool ecn_ce;
+  };
+  auto run = [](bool tapped) {
+    Simulator sim;
+    Link::Config lc;
+    lc.bandwidth_bps = 1e9;
+    lc.propagation = Duration::MicrosF(1.0);
+    Link egress(&sim, lc, Rng(7), "e");
+    std::vector<Arrival> arrivals;
+    struct Sink : PacketSink {
+      Simulator* sim;
+      std::vector<Arrival>* out;
+      void DeliverPacket(Packet packet) override {
+        out->push_back({sim->Now().nanos(), packet.id, packet.ecn_ce});
+      }
+    } sink;
+    sink.sim = &sim;
+    sink.out = &arrivals;
+    egress.SetSink(&sink);
+
+    Switch sw(&sim, "sw");
+    SwitchPortConfig pc;
+    pc.buffer_bytes = 4000;
+    pc.ecn_threshold_bytes = 2000;
+    sw.SetRoute(1, sw.AddPort(&egress, pc, "sw.p"));
+    FlowDiagnoser diag(&sim, DiagConfig{});
+    if (tapped) {
+      sw.SetTap(&diag);
+    }
+    for (int i = 0; i < 6; ++i) {
+      Packet p = Seg(1, true, static_cast<uint32_t>(i) * 1000, 0, 1000, 64000);
+      p.id = static_cast<uint64_t>(i);
+      p.dst_host = 1;
+      sw.DeliverPacket(std::move(p));
+    }
+    sim.Run();
+    return arrivals;
+  };
+  const auto plain = run(false);
+  const auto tapped = run(true);
+  ASSERT_EQ(plain.size(), tapped.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].when_ns, tapped[i].when_ns);
+    EXPECT_EQ(plain[i].id, tapped[i].id);
+    EXPECT_EQ(plain[i].ecn_ce, tapped[i].ecn_ce);
+  }
+}
+
+TEST(FlowDiagnoserTest, LimitNamesAreStable) {
+  EXPECT_STREQ(FlowLimitName(FlowLimit::kIdle), "idle");
+  EXPECT_STREQ(FlowLimitName(FlowLimit::kSender), "sender");
+  EXPECT_STREQ(FlowLimitName(FlowLimit::kNetwork), "network");
+  EXPECT_STREQ(FlowLimitName(FlowLimit::kReceiver), "receiver");
+}
+
+}  // namespace
+}  // namespace e2e

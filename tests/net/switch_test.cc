@@ -141,6 +141,39 @@ TEST(SwitchPortTest, EcnMarksAboveThreshold) {
   EXPECT_TRUE(sink.arrivals[2].ecn_ce);
 }
 
+TEST(SwitchPortTest, MarkedAndDroppedBytesAreDisjointInTheSameEpoch) {
+  // A congestion epoch where marking and dropping overlap: every wire byte
+  // is attributed to exactly one of ecn_marked_bytes / dropped_bytes, so
+  // the two tell marked-and-forwarded apart from never-forwarded.
+  Simulator sim;
+  Link egress(&sim, SlowLink(), Rng(1), "e");
+  RecordingSink sink(&sim);
+  egress.SetSink(&sink);
+  SwitchPortConfig config;
+  config.buffer_bytes = 2500;
+  config.ecn_threshold_bytes = 1500;
+  SwitchPort port(&sim, &egress, config, "p");
+
+  port.Enqueue(Pkt(1, 1000));  // Occupancy 1000: clean.
+  port.Enqueue(Pkt(2, 1000));  // Occupancy 2000 > 1500: marked.
+  port.Enqueue(Pkt(3, 1000));  // Would be 3000 > 2500: dropped, NOT marked.
+  port.Enqueue(Pkt(4, 500));   // Occupancy 2500 > 1500: marked.
+  sim.Run();
+
+  const SwitchPort::Counters& c = port.counters();
+  EXPECT_EQ(c.ecn_marked, 2u);
+  EXPECT_EQ(c.ecn_marked_bytes, 1500u);  // Packets 2 and 4: admitted+marked.
+  EXPECT_EQ(c.tail_drops, 1u);
+  EXPECT_EQ(c.dropped_bytes, 1000u);  // Packet 3 only: never forwarded.
+  EXPECT_EQ(c.bytes_out, 2500u);
+  // Disjoint by construction: marked bytes were all forwarded.
+  EXPECT_EQ(c.ecn_marked_bytes + c.dropped_bytes, 2500u);
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_FALSE(sink.arrivals[0].ecn_ce);
+  EXPECT_TRUE(sink.arrivals[1].ecn_ce);
+  EXPECT_TRUE(sink.arrivals[2].ecn_ce);
+}
+
 TEST(SwitchTest, ForwardsByDestinationHost) {
   Simulator sim;
   Link link_a(&sim, SlowLink(), Rng(1), "a");

@@ -1,0 +1,146 @@
+// Mid-fabric header observation (DESIGN.md §14): the in-switch diagnoser
+// reads seq/ack/rwnd/flags off forwarded segments. These tests prove the
+// switch's vantage is faithful — a segment re-parsed from its wire header
+// mid-fabric yields field-for-field exactly what endpoint parsing yields,
+// including the ECE/CWR ECN bits and zero-window advertisements, so
+// shadow-state inference works from the same facts the endpoints see.
+
+#include <gtest/gtest.h>
+
+#include "src/net/fabric/diag/flow_diag.h"
+#include "src/tcp/segment.h"
+#include "src/tcp/segment_codec.h"
+
+namespace e2e {
+namespace {
+
+// The diagnoser's view of an in-memory segment (mirrors flow_diag.cc).
+TcpSegmentView ViewOf(const TcpSegment& seg) {
+  TcpSegmentView view;
+  view.conn_id = seg.conn_id;
+  view.from_a = seg.from_a;
+  view.seq = seg.seq;
+  view.ack = seg.ack;
+  view.len = seg.len;
+  view.window = seg.window;
+  view.flags = seg.flags;
+  return view;
+}
+
+// Encode at the "sender", decode at the "switch", and check the decoded
+// segment reads identically to the in-memory one the tap observes.
+void ExpectMidFabricParity(const TcpSegment& seg) {
+  const auto encoded = EncodeSegmentHeader(seg);
+  ASSERT_TRUE(encoded.has_value());
+  const auto decoded =
+      DecodeSegmentHeader(encoded->header.data(), encoded->header.size(), encoded->payload_len);
+  ASSERT_TRUE(decoded.has_value());
+  const TcpSegmentView direct = ViewOf(seg);
+  const TcpSegmentView wire = ViewOf(*decoded);
+  EXPECT_EQ(wire.conn_id, direct.conn_id);
+  EXPECT_EQ(wire.from_a, direct.from_a);
+  EXPECT_EQ(wire.seq, direct.seq);
+  EXPECT_EQ(wire.ack, direct.ack);
+  EXPECT_EQ(wire.len, direct.len);
+  EXPECT_EQ(wire.window, direct.window);
+  EXPECT_EQ(wire.flags, direct.flags);
+}
+
+TcpSegment DataSegment() {
+  TcpSegment seg;
+  seg.conn_id = 17;
+  seg.from_a = true;
+  seg.seq = 0x7FFFFE00;  // Near the wrap midpoint: sign-bit territory.
+  seg.ack = 0xFFFFFC00;  // Near the 32-bit wrap.
+  seg.len = 1448;
+  seg.window = 65535;
+  seg.flags = kFlagAck | kFlagPsh;
+  return seg;
+}
+
+TEST(SegmentCodecObserveTest, DataSegmentParsesIdenticallyMidFabric) {
+  ExpectMidFabricParity(DataSegment());
+}
+
+TEST(SegmentCodecObserveTest, PureAckParsesIdenticallyMidFabric) {
+  TcpSegment seg = DataSegment();
+  seg.from_a = false;
+  seg.len = 0;
+  seg.flags = kFlagAck;
+  ExpectMidFabricParity(seg);
+}
+
+TEST(SegmentCodecObserveTest, EceAndCwrBitsSurviveToTheSwitch) {
+  // The diagnoser's ECN evidence: ECE on reverse acks, CWR on forward
+  // data. Each bit must survive the wire alone and combined.
+  for (uint16_t bits :
+       {static_cast<uint16_t>(kFlagEce), static_cast<uint16_t>(kFlagCwr),
+        static_cast<uint16_t>(kFlagEce | kFlagCwr)}) {
+    TcpSegment seg = DataSegment();
+    seg.flags = static_cast<uint16_t>(kFlagAck | bits);
+    ExpectMidFabricParity(seg);
+  }
+}
+
+TEST(SegmentCodecObserveTest, ZeroWindowAdvertisementSurvivesToTheSwitch) {
+  // A zero-window ack is the diagnoser's strongest receiver-limited
+  // evidence; the window field must not be clamped or defaulted anywhere.
+  TcpSegment seg = DataSegment();
+  seg.len = 0;
+  seg.window = 0;
+  seg.flags = kFlagAck;
+  ExpectMidFabricParity(seg);
+}
+
+TEST(SegmentCodecObserveTest, RetransmissionIsVisibleAsNonAdvancingSeq) {
+  // Two encodings of the same stream bytes decode to the same seq/len —
+  // what the diagnoser's retransmit detector keys on. A distinct later
+  // segment decodes with an advancing seq.
+  const TcpSegment first = DataSegment();
+  TcpSegment retrans = first;  // Same bytes, sent again.
+  TcpSegment next = first;
+  next.seq = first.seq + first.len;
+
+  const auto e1 = EncodeSegmentHeader(first);
+  const auto e2 = EncodeSegmentHeader(retrans);
+  const auto e3 = EncodeSegmentHeader(next);
+  ASSERT_TRUE(e1.has_value() && e2.has_value() && e3.has_value());
+  const auto d1 = DecodeSegmentHeader(e1->header.data(), e1->header.size(), e1->payload_len);
+  const auto d2 = DecodeSegmentHeader(e2->header.data(), e2->header.size(), e2->payload_len);
+  const auto d3 = DecodeSegmentHeader(e3->header.data(), e3->header.size(), e3->payload_len);
+  ASSERT_TRUE(d1.has_value() && d2.has_value() && d3.has_value());
+  EXPECT_EQ(d2->seq, d1->seq);
+  EXPECT_EQ(d2->len, d1->len);
+  EXPECT_EQ(d3->seq, d1->seq + d1->len);
+}
+
+TEST(SegmentCodecObserveTest, ViewIsInsensitiveToTheE2eOption) {
+  // The metadata option rides in the options space; its presence must not
+  // shift any of the fields the diagnoser reads. (This is what makes the
+  // diag signal independent: it survives when the option is withheld.)
+  TcpSegment with_option = DataSegment();
+  WirePayload payload;
+  payload.mode = UnitMode::kBytes;
+  payload.unacked = {1, 2, 3};
+  payload.unread = {4, 5, 6};
+  payload.ackdelay = {7, 8, 9};
+  with_option.e2e_option = payload;
+  ExpectMidFabricParity(with_option);
+
+  TcpSegment without = DataSegment();
+  const auto ew = EncodeSegmentHeader(with_option);
+  const auto eo = EncodeSegmentHeader(without);
+  ASSERT_TRUE(ew.has_value() && eo.has_value());
+  const auto dw = DecodeSegmentHeader(ew->header.data(), ew->header.size(), ew->payload_len);
+  const auto dout = DecodeSegmentHeader(eo->header.data(), eo->header.size(), eo->payload_len);
+  ASSERT_TRUE(dw.has_value() && dout.has_value());
+  EXPECT_EQ(dw->seq, dout->seq);
+  EXPECT_EQ(dw->ack, dout->ack);
+  EXPECT_EQ(dw->window, dout->window);
+  EXPECT_EQ(dw->flags, dout->flags);
+  EXPECT_TRUE(dw->e2e_option.has_value());
+  EXPECT_FALSE(dout->e2e_option.has_value());
+}
+
+}  // namespace
+}  // namespace e2e
