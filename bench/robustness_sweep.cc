@@ -13,7 +13,11 @@
 //   * no non-finite sample ever reaches BatchPolicy::Score,
 //   * fault counters match the injected schedule exactly,
 //   * under the metadata-withhold scenario the fallback-enabled run's
-//     regret is strictly lower than the fallback-disabled run's.
+//     regret is strictly lower than the fallback-disabled run's,
+//   * the ack_storm cell (reverse-path blackouts) completes requests with a
+//     p99 at least 2x the no-fault baseline (the storm visibly bites) while
+//     causing zero health demotions (the health chain's metadata feed rides
+//     the clean forward path and must not be shaken by reverse-only loss).
 //
 // Usage: robustness_sweep [--smoke] [--jobs=N] [--trace=trace.json]
 //                         [--series=out.csv] [out.json]
@@ -60,6 +64,9 @@ enum class Scenario {
   kServerStall,    // Periodic 5 ms server freezes (VM preemption / GC).
   kCrash,          // One server crash + restart mid-measurement.
   kMixed,          // Withhold + stalls + crash together.
+  kAckStorm,       // Server->client blackouts (20 ms on / 20 ms off): acks,
+                   // responses, and the server's outbound metadata all share
+                   // the storm; the forward path stays clean.
 };
 
 const char* ScenarioName(Scenario s) {
@@ -76,6 +83,8 @@ const char* ScenarioName(Scenario s) {
       return "crash";
     case Scenario::kMixed:
       return "mixed";
+    case Scenario::kAckStorm:
+      return "ack_storm";
   }
   return "?";
 }
@@ -134,6 +143,28 @@ RobustnessConfig MakeConfig(Scenario scenario, bool fallback, bool smoke) {
                         ms + Duration::MicrosF(measure.ToMicros() * 0.10),
                         Duration::Millis(20));
       break;
+    case Scenario::kAckStorm: {
+      // Not a scripted fault: a link schedule on the reverse direction
+      // only. Wall-clock 20 ms blackouts every 40 ms — deliberately
+      // time-based, not per-packet (a packet-counted burst never ends once
+      // the storm collapses the packet rate). Acks, responses, and the
+      // server's outbound metadata all share the storm while the forward
+      // path stays clean — so the server-side estimator the health chain
+      // monitors keeps receiving the client's payloads (data or the
+      // exchange-timer pure-ack fallback) at full cadence. The cell's
+      // verdict checks both halves: the storm must hammer tail latency,
+      // and must NOT shake the health chain (DESIGN.md §15).
+      LinkScheduleStep storm;
+      storm.loss_probability = 0.999999;  // The loss model requires p < 1.
+      LinkScheduleStep clear;
+      clear.loss_probability = 0.0;
+      int half_cycles = static_cast<int>(measure.ToMicros() / 20000);
+      half_cycles += half_cycles % 2;  // End on a `clear` step.
+      config.topology.s2c_impairment.schedule =
+          LinkSchedule::SquareWave(ms + Duration::Millis(10), Duration::Millis(20),
+                                   half_cycles, storm, clear);
+      break;
+    }
   }
   return config;
 }
@@ -221,10 +252,11 @@ int Main(int argc, char** argv) {
   PrintBanner("Robustness sweep: fault scenario x fallback chain");
 
   const std::vector<Scenario> scenarios =
-      smoke ? std::vector<Scenario>{Scenario::kNone, Scenario::kMetaWithhold, Scenario::kCrash}
+      smoke ? std::vector<Scenario>{Scenario::kNone, Scenario::kMetaWithhold, Scenario::kCrash,
+                                    Scenario::kAckStorm}
             : std::vector<Scenario>{Scenario::kNone, Scenario::kMetaWithhold,
                                     Scenario::kMetaReplay, Scenario::kServerStall,
-                                    Scenario::kCrash, Scenario::kMixed};
+                                    Scenario::kCrash, Scenario::kMixed, Scenario::kAckStorm};
 
   if (smoke) {
     CheckDeterminism(MakeConfig(Scenario::kMetaWithhold, /*fallback=*/true, smoke));
@@ -248,6 +280,7 @@ int Main(int argc, char** argv) {
   Table table({"scenario", "fallback", "kRPS", "meas_us", "p99_us", "est_us", "switches",
                "frozen%", "full_ms", "static_ms", "detect_ms", "recover_ms", "regret"});
   double baseline_score[2] = {0, 0};
+  double baseline_p99[2] = {0, 0};
   std::optional<TraceRecorder> recorder;
   if (trace_path != nullptr) {
     recorder.emplace(/*capacity=*/1 << 18);
@@ -297,6 +330,7 @@ int Main(int argc, char** argv) {
         cell.score = ScoreOf(r, configs[i].slo);
         if (cell.scenario == Scenario::kNone) {
           baseline_score[cell.fallback ? 1 : 0] = cell.score;
+          baseline_p99[cell.fallback ? 1 : 0] = r.measured_p99_us;
         }
         cell.regret = baseline_score[cell.fallback ? 1 : 0] - cell.score;
 
@@ -338,6 +372,39 @@ int Main(int argc, char** argv) {
       std::abort();
     }
   }
+  // The ack-storm verdict has two halves. (1) Survival with visible damage:
+  // 20 ms blackouts must hammer the tail (each stalled response waits out a
+  // blackout, so p99 lands at storm scale, far above baseline) yet never
+  // deadlock the run. (2) Health isolation: the chain it watches is the
+  // server-side estimator, whose inbound metadata rides the *clean* forward
+  // path — the exchange-timer fallback keeps its cadence even when the app
+  // stalls — so a reverse-path-only storm must NOT shake it into demotion.
+  for (const Cell& cell : cells) {
+    if (cell.scenario != Scenario::kAckStorm) {
+      continue;
+    }
+    if (cell.result.requests_completed == 0 || cell.result.achieved_krps <= 0) {
+      std::fprintf(stderr, "FATAL: ack_storm (fallback %s) made no progress\n",
+                   cell.fallback ? "on" : "off");
+      std::abort();
+    }
+    const double base_p99 = baseline_p99[cell.fallback ? 1 : 0];
+    if (base_p99 > 0 && cell.result.measured_p99_us < 2.0 * base_p99) {
+      std::fprintf(stderr,
+                   "FATAL: ack_storm (fallback %s) p99 %.1fus did not degrade vs "
+                   "baseline %.1fus — the storm schedule is not biting\n",
+                   cell.fallback ? "on" : "off", cell.result.measured_p99_us, base_p99);
+      std::abort();
+    }
+    if (cell.fallback && cell.result.health.demotions != 0) {
+      std::fprintf(stderr,
+                   "FATAL: reverse-only storm demoted health %llu times; the "
+                   "forward-path metadata feed should have been untouched\n",
+                   static_cast<unsigned long long>(cell.result.health.demotions));
+      std::abort();
+    }
+  }
+
   std::printf(
       "\nWith the chain enabled the controller rides local-only estimates through\n"
       "metadata outages and freezes on the known-good static policy once health\n"

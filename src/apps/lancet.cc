@@ -24,6 +24,14 @@ void LancetClient::BindSocket(TcpEndpoint* socket) {
   if (config_.use_hints) {
     socket_->SetHintTracker(&hints_);
   }
+  if (config_.detect_dead_peer) {
+    // Re-attached on every reconnect incarnation: a restarted server can
+    // die silently too.
+    socket_->SetDeadPeerCallback([this](const char*) {
+      ++results_.transport_death_detections;
+      OnConnectionLost();
+    });
+  }
 }
 
 void LancetClient::OnConnectionLost() {

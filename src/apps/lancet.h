@@ -56,6 +56,12 @@ class LancetClient {
       double jitter = 0.2;  // Fractional spread around the nominal backoff.
     };
     ReconnectPolicy reconnect;
+    // Self-detect silent peer death from the transport's own dead-peer
+    // declaration (keepalive R2 / rto_give_up — DESIGN.md §15) instead of
+    // relying on a supervisor's OnConnectionLost call. Off by default so
+    // the faults harness's scripted crash choreography is unchanged; the
+    // endpoint's detectors must also be enabled for anything to fire.
+    bool detect_dead_peer = false;
   };
 
   LancetClient(Simulator* sim, TcpEndpoint* socket, const Config& config);
@@ -104,6 +110,7 @@ class LancetClient {
     uint64_t abandoned_on_crash = 0;   // In-flight/pipelined at loss time.
     uint64_t reconnect_attempts = 0;   // Dial-outs tried (incl. failures).
     uint64_t reconnects = 0;           // Successful reconnections.
+    uint64_t transport_death_detections = 0;  // Self-detected via DeadPeerFn.
   };
   const Results& results() const { return results_; }
 

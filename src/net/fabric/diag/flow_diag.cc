@@ -66,6 +66,12 @@ void FlowDiagnoser::OnSwitchPacket(const Packet& packet, const SwitchTapEvent& e
   view.len = static_cast<uint32_t>(seg->len);
   view.window = seg->window;
   view.flags = seg->flags;
+  if (seg->ts.has_value()) {
+    view.has_ts = true;
+    view.tsval = seg->ts->tsval;
+    view.tsecr = seg->ts->tsecr;
+  }
+  view.sack_blocks = static_cast<uint32_t>(seg->sack.size());
 
   // The segment is a *data* observation for the flow sending in its own
   // direction, and an *ack* observation for the opposite flow (every
@@ -159,6 +165,15 @@ void FlowDiagnoser::ObserveData(Flow& flow, const FlowKey& key, const TcpSegment
     flow.probe_fwd_start = now;
     flow.karn_dirty = false;
   }
+
+  // Timestamp probe: armed on any data segment (retransmits included —
+  // the echo identifies this exact transmission, so Karn's rule is
+  // satisfied by construction rather than by skipping).
+  if (seg.has_ts && !flow.ts_probe_active) {
+    flow.ts_probe_active = true;
+    flow.ts_probe_val = seg.tsval;
+    flow.ts_probe_start = now;
+  }
 }
 
 void FlowDiagnoser::ObserveAck(Flow& flow, const FlowKey& key, const TcpSegmentView& seg,
@@ -180,6 +195,20 @@ void FlowDiagnoser::ObserveAck(Flow& flow, const FlowKey& key, const TcpSegmentV
   if ((seg.flags & kFlagEce) != 0) {
     ++flow.epoch.ece_acks;
     ++flow.counters.ece_acks;
+  }
+  if (seg.sack_blocks > 0) {
+    // A SACK block on the reverse path is the receiver reporting a hole:
+    // direct loss/reordering evidence for this flow's data path.
+    ++flow.epoch.sack_acks;
+    flow.epoch.sack_blocks += seg.sack_blocks;
+    ++flow.counters.sack_acks;
+  }
+  if (seg.has_ts && seg.tsecr != 0 && flow.ts_probe_active &&
+      static_cast<int32_t>(seg.tsecr - flow.ts_probe_val) >= 0) {
+    // The echo covers the probed transmission; no karn_dirty guard needed.
+    AddRttSample(flow, &flow.srtt_fwd_us, now - flow.ts_probe_start);
+    ++flow.counters.ts_rtt_samples;
+    flow.ts_probe_active = false;
   }
 
   const bool advanced = !flow.seen_ack || ack_abs > flow.highest_ack;
@@ -227,7 +256,7 @@ FlowLimit FlowDiagnoser::Classify(const Flow& flow) const {
     return FlowLimit::kIdle;
   }
   if (e.retransmits > 0 || e.ece_acks > 0 || e.cwr_data > 0 || e.ce_marked > 0 ||
-      e.drops > 0 || e.backpressure_packets > 0) {
+      e.drops > 0 || e.backpressure_packets > 0 || e.sack_acks > 0) {
     return FlowLimit::kNetwork;
   }
   const uint64_t rwnd = e.min_rwnd_bytes > 0 ? e.min_rwnd_bytes : flow.last_rwnd;

@@ -24,11 +24,16 @@
 // leaves every simulated byte identical to an untapped run; `Peek()` and
 // `Fresh()` are const reads safe to call from TimeSeriesSampler gauges.
 //
+// When the flow negotiates TCP options the diagnoser reads them too:
+// SACK blocks on reverse-direction acks are direct evidence of loss or
+// reordering on the data path (network-limited), and the timestamp echo
+// (TSval -> TSecr) yields forward half-RTT samples that are Karn-safe by
+// construction — the echo identifies the exact transmission, so the probe
+// does not need the karn_dirty retransmission guard.
+//
 // Known blind spots vs Dapper (see DESIGN.md §14): single-switch vantage
-// (no cross-switch aggregation), inference from the simulator's segment
-// headers rather than raw TCP options (no SACK/timestamp parsing), and
-// delayed-ack-bound receivers are only caught when they surface as rwnd
-// pressure or zero-window stalls.
+// (no cross-switch aggregation), and delayed-ack-bound receivers are only
+// caught when they surface as rwnd pressure or zero-window stalls.
 
 #ifndef SRC_NET_FABRIC_DIAG_FLOW_DIAG_H_
 #define SRC_NET_FABRIC_DIAG_FLOW_DIAG_H_
@@ -86,6 +91,8 @@ struct DiagEpochEvidence {
   uint64_t drops = 0;              // Tail-dropped at this switch.
   uint64_t zero_window_acks = 0;
   uint64_t backpressure_packets = 0;
+  uint64_t sack_acks = 0;          // Reverse acks carrying SACK blocks.
+  uint64_t sack_blocks = 0;        // Total blocks across those acks.
   uint64_t max_flight_bytes = 0;   // Peak (highest data end − highest ack).
   uint64_t min_rwnd_bytes = 0;     // Smallest advertised window (0 if none).
 };
@@ -109,7 +116,9 @@ struct FlowDiagCounters {
   uint64_t ce_marked = 0;
   uint64_t drops = 0;
   uint64_t zero_window_acks = 0;
+  uint64_t sack_acks = 0;
   uint64_t rtt_samples = 0;
+  uint64_t ts_rtt_samples = 0;  // Subset of rtt_samples from the ts echo.
 };
 
 // The header fields the switch can observe on one forwarded segment —
@@ -124,6 +133,10 @@ struct TcpSegmentView {
   uint32_t len = 0;
   uint32_t window = 0;
   uint32_t flags = 0;
+  bool has_ts = false;      // RFC 7323 timestamps present.
+  uint32_t tsval = 0;
+  uint32_t tsecr = 0;
+  uint32_t sack_blocks = 0;  // RFC 2018 block count (0 = no SACK option).
 };
 
 class FlowDiagnoser : public SwitchTap {
@@ -198,6 +211,12 @@ class FlowDiagnoser : public SwitchTap {
     uint64_t probe_rev_ack = 0;
     TimePoint probe_rev_start{};
     bool karn_dirty = false;  // Retransmit since the probes were armed.
+    // Timestamp-echo forward probe: Karn-safe (the echo names the exact
+    // transmission), so it keeps sampling through retransmission storms
+    // where the seq/ack probes go quiet.
+    bool ts_probe_active = false;
+    uint32_t ts_probe_val = 0;
+    TimePoint ts_probe_start{};
     double srtt_fwd_us = -1;
     double srtt_rev_us = -1;
 

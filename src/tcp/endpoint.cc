@@ -8,6 +8,7 @@
 
 #include "src/obs/trace.h"
 #include "src/sim/logging.h"
+#include "src/tcp/segment_codec.h"
 #include "src/tcp/sequence.h"
 
 namespace e2e {
@@ -39,10 +40,14 @@ TcpEndpoint::TcpEndpoint(Simulator* sim, Host* host, uint64_t conn_id, bool is_a
       rtt_(config.rtt),
       queues_(sim->Now()),
       estimator_(config.e2e_mode),
-      last_exchange_sent_(sim->Now()) {
+      last_exchange_sent_(sim->Now()),
+      last_rx_(sim->Now()) {
   assert(sim_ != nullptr && host_ != nullptr && costs_ != nullptr);
   if (config_.e2e_exchange_interval > Duration::Zero()) {
     ScheduleExchangeTimer();
+  }
+  if (config_.keepalive.enabled) {
+    ArmKeepaliveTimer(config_.keepalive.idle);
   }
 }
 
@@ -72,6 +77,8 @@ void TcpEndpoint::Shutdown() {
   CancelTimer(persist_timer_);
   CancelTimer(delack_timer_);
   CancelTimer(exchange_timer_);
+  CancelTimer(rack_timer_);
+  CancelTimer(keepalive_timer_);
   force_exchange_ = false;
   hold_for_completion_ = false;
   send_blocked_ = false;
@@ -80,6 +87,7 @@ void TcpEndpoint::Shutdown() {
   estimate_cb_ = nullptr;
   metadata_filter_ = nullptr;
   hint_tracker_ = nullptr;
+  dead_peer_cb_ = nullptr;
 }
 
 bool TcpEndpoint::SendBatch(std::vector<BatchItem> items) {
@@ -242,6 +250,39 @@ std::vector<TcpEndpoint::PlannedPacket> TcpEndpoint::PlanPush(PushReason reason)
   if (dead_) {
     return packets;  // Work submitted before Shutdown() plans nothing.
   }
+
+  // SACK hole repair comes before new data: retransmit lost scoreboard
+  // entries, gated on the RFC 6675 pipe. The first repair is exempt (the
+  // rescue retransmission) so the head hole always moves even when the
+  // pipe estimate is pessimistic; repairs stay ack-clocked because each
+  // PlanPush runs from one ack or timer.
+  if (config_.features.sack && lost_bytes_ > 0) {
+    const uint64_t window = std::min(peer_rwnd_, cc_->window_bytes());
+    bool first_repair = true;
+    for (auto& [start, entry] : scoreboard_) {
+      if (lost_bytes_ == 0) {
+        break;
+      }
+      if (!entry.lost) {
+        continue;
+      }
+      const uint64_t len = entry.end - start;
+      if (!first_repair && PipeBytes() + len > window) {
+        break;
+      }
+      first_repair = false;
+      ++stats_.sack_retransmits;
+      timed_end_.reset();  // Karn: no timed sample across a retransmission.
+      // RecordSent (inside BuildPacketFor) clears entry.lost and re-stamps
+      // its send time, so the pipe re-counts it and RACK can condemn a
+      // lost retransmission again.
+      packets.push_back(BuildPacketFor(start, len, /*is_retransmit=*/true));
+    }
+    if (!packets.empty()) {
+      ArmRtoTimer();
+    }
+  }
+
   while (true) {
     const uint64_t pending = sndq_.tail_offset() - snd_nxt_;
     if (pending == 0) {
@@ -249,7 +290,11 @@ std::vector<TcpEndpoint::PlannedPacket> TcpEndpoint::PlanPush(PushReason reason)
       break;
     }
     const uint64_t window = std::min(peer_rwnd_, cc_->window_bytes());
-    const uint64_t in_flight = snd_nxt_ - sndq_.head_offset();
+    // With a scoreboard, sacked/lost bytes no longer occupy the pipe, so
+    // recovery keeps the link filled instead of stalling on in-flight
+    // accounting that counts delivered-but-unacked data.
+    const uint64_t in_flight =
+        config_.features.sack ? PipeBytes() : snd_nxt_ - sndq_.head_offset();
     const uint64_t window_avail = window > in_flight ? window - in_flight : 0;
     const uint64_t usable = std::min(pending, window_avail);
     if (usable == 0) {
@@ -367,8 +412,45 @@ void TcpEndpoint::StampOutgoing(TcpSegment& seg, bool force_exchange) {
   }
   OnAckSent(rcv_nxt_);
   const Duration interval = config_.e2e_exchange_interval;
-  if (force_exchange || force_exchange_ ||
-      (interval > Duration::Zero() && sim_->Now() - last_exchange_sent_ >= interval)) {
+  bool attach_exchange =
+      force_exchange || force_exchange_ ||
+      (interval > Duration::Zero() && sim_->Now() - last_exchange_sent_ >= interval);
+  if (config_.features.timestamps || config_.features.sack) {
+    // Timestamps, SACK blocks, and the exchange payload compete for the
+    // 40-byte option space; the arbiter decides what this segment carries
+    // and the shed counters record what it could not.
+    std::vector<SackBlock> blocks = BuildSackBlocks();
+    OptionDemand demand;
+    demand.timestamps = config_.features.timestamps;
+    demand.sack_blocks = blocks.size();
+    demand.exchange_due = attach_exchange;
+    // A forced (on-demand / pure-ack fallback) exchange, or one already a
+    // full extra interval late, is overdue: it may evict timestamps.
+    demand.exchange_overdue =
+        force_exchange || force_exchange_ ||
+        (interval > Duration::Zero() && sim_->Now() - last_exchange_sent_ >= 2 * interval);
+    demand.exchange_size =
+        2 + (hint_tracker_ != nullptr ? kWirePayloadMaxSize : kWirePayloadBaseSize);
+    const OptionPlan plan = ArbitrateOptions(demand);
+    if (plan.timestamps) {
+      TsOption ts;
+      ts.tsval = TsClockNow();
+      ts.tsecr = ts_recent_valid_ ? ts_recent_ : 0;
+      seg.ts = ts;
+    }
+    blocks.resize(plan.sack_blocks);
+    stats_.sack_blocks_sent += plan.sack_blocks;
+    seg.sack = std::move(blocks);
+    stats_.sack_blocks_trimmed += plan.sack_blocks_trimmed;
+    if (plan.exchange_deferred) {
+      ++stats_.exchange_deferrals;
+    }
+    if (plan.timestamps_omitted) {
+      ++stats_.ts_omitted;
+    }
+    attach_exchange = plan.exchange;
+  }
+  if (attach_exchange) {
     seg.e2e_option = estimator_.BuildLocalPayload(queues_, hint_tracker_, sim_->Now());
     last_exchange_sent_ = sim_->Now();
     force_exchange_ = false;
@@ -422,6 +504,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t 
       seg->flags |= kFlagPsh;
     }
     stamp(*seg);
+    RecordSent(start, start + take, is_retransmit);
     packet.payload = std::move(seg);
   } else {
     // TSO super-segment: the stack pays one TX cost; the NIC emits the
@@ -438,6 +521,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t 
         seg->flags |= kFlagPsh;
       }
       stamp(*seg);
+      RecordSent(start + off, start + off + slice_len, is_retransmit);
       slice.payload = std::move(seg);
       packet.slices.push_back(std::move(slice));
     }
@@ -463,7 +547,9 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildDataPacket(uint64_t take) {
   const bool is_retransmit = in_recovery_ && start < recovery_point_;
   PlannedPacket planned = BuildPacketFor(start, take, is_retransmit);
   snd_nxt_ += take;
-  if (!is_retransmit && !timed_end_.has_value()) {
+  // With timestamps on, every ack carries a Karn-safe sample (tsecr); the
+  // one-timed-segment machinery is redundant.
+  if (!is_retransmit && !timed_end_.has_value() && !config_.features.timestamps) {
     timed_end_ = snd_nxt_;
     timed_sent_at_ = sim_->Now();
   }
@@ -520,6 +606,20 @@ void TcpEndpoint::HandleSegment(const TcpSegment& seg, bool ecn_ce) {
     return;  // Late segment for a torn-down incarnation: silently dropped.
   }
   ++stats_.segments_received;
+  last_rx_ = sim_->Now();
+  keepalive_unanswered_ = 0;  // Any arrival proves the peer is alive.
+  if (config_.features.timestamps && seg.ts.has_value()) {
+    // RFC 7323 §4.3 ts_recent update: take the TSval only from a segment
+    // that starts at or before our last-sent ack, so a delayed ack echoes
+    // the *earliest* unacked segment and RTTM stays honest.
+    const uint64_t start = UnwrapSeq(seg.seq, rcv_nxt_);
+    if (start <= rcv_wup_ &&
+        (!ts_recent_valid_ ||
+         static_cast<int32_t>(seg.ts->tsval - ts_recent_) >= 0)) {
+      ts_recent_ = seg.ts->tsval;
+      ts_recent_valid_ = true;
+    }
+  }
   if (config_.cc.ecn && (seg.flags & kFlagCwr) != 0) {
     ++stats_.cwr_received;
     if (config_.cc.algorithm != CcAlgorithm::kDctcp) {
@@ -565,6 +665,15 @@ void TcpEndpoint::HandleSegment(const TcpSegment& seg, bool ecn_ce) {
   }
   if (seg.len > 0) {
     ProcessData(seg, ecn_ce);
+  } else if (config_.keepalive.enabled && SeqBefore(seg.seq, WrapSeq(rcv_nxt_))) {
+    // A zero-length segment below the window is a keepalive probe (seq =
+    // snd_nxt - 1): answer with a duplicate ack so the prober's liveness
+    // clock resets. Wire-space comparison, not unwrapped: a peer that has
+    // never sent data probes from seq -1, which only the sign-based test
+    // can place below rcv_nxt = 0 — otherwise its probes go unanswered and
+    // a live peer gets declared dead after R2 silence. Gated on the
+    // feature so baseline runs are unchanged.
+    SubmitPush(&host_->softirq_core(), PushReason::kDupAck);
   }
 }
 
@@ -577,6 +686,12 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
   const uint64_t prev_rwnd = peer_rwnd_;
   peer_rwnd_ = seg.window;
   peer_rwnd_max_ = std::max<uint64_t>(peer_rwnd_max_, seg.window);
+  if (peer_rwnd_ >= config_.mss) {
+    persist_backoff_shift_ = 0;  // Window reopened; probe pacing resets.
+  }
+  // SACK blocks first: they refine the scoreboard the loss detector and
+  // the pipe both reason over, whatever the cumulative ack does.
+  const bool newly_sacked = ApplySackBlocks(seg, una);
   // Any congestion reaction during this ack (ECN echo, fast retransmit, a
   // DCTCP window rollover) is announced to the peer with CWR, which is what
   // Linux does on every cwnd-reduction event when ECN is negotiated.
@@ -589,11 +704,43 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
   }
   if (ack_off > una) {
     dup_acks_ = 0;
+    tlp_out_ = false;         // Forward progress starts a fresh flight.
+    consecutive_rtos_ = 0;    // R2 accounting resets on progress.
+    if (config_.features.sack) {
+      // Trim the scoreboard below the new cumulative ack. Originals
+      // delivered in order advance the RACK delivery frontier exactly like
+      // sacked ones; an entry straddling the ack is split so its unacked
+      // remainder keeps its delivery/loss state.
+      auto it = scoreboard_.begin();
+      while (it != scoreboard_.end() && it->first < ack_off) {
+        const SentSeg entry = it->second;
+        const uint64_t covered = std::min(entry.end, ack_off) - it->first;
+        if (entry.sacked) {
+          sacked_bytes_ -= covered;
+        }
+        if (entry.lost) {
+          lost_bytes_ -= covered;
+        }
+        if (!entry.retransmitted && !entry.sacked) {
+          if (entry.sent_at > rack_time_) {
+            rack_time_ = entry.sent_at;
+          }
+          rack_end_ = std::max(rack_end_, entry.end);
+        }
+        it = scoreboard_.erase(it);
+        if (entry.end > ack_off) {
+          scoreboard_[ack_off] = entry;  // Remainder keeps end and flags.
+          break;
+        }
+      }
+    }
     if (in_recovery_) {
       if (ack_off >= recovery_point_) {
         in_recovery_ = false;  // Full ack: the loss event is repaired.
         rto_recovery_ = false;
-      } else if (!rto_recovery_) {
+        stats_.recovery_us_total +=
+            static_cast<uint64_t>((sim_->Now() - recovery_started_at_).nanos() / 1000);
+      } else if (!rto_recovery_ && !config_.features.sack) {
         // Partial ack (RFC 6582 §3.2): exactly one more hole is exposed at
         // the new head; retransmit it now. Recovery proceeds one hole per
         // RTT, which is what keeps burst losses from stranding the flow
@@ -617,6 +764,18 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
       cc_->OnRttSample(sample, sim_->Now());
       timed_end_.reset();
     }
+    if (config_.features.timestamps && seg.ts.has_value() && seg.ts->tsecr != 0) {
+      // RFC 7323 RTTM: the echoed TSval identifies the exact transmission
+      // this ack answers, so the sample is valid even across retransmits
+      // (where Karn's rule starves the timed-segment estimator above).
+      const uint32_t delta = TsClockNow() - seg.ts->tsecr;
+      if (delta < 0x7FFFFFFF) {
+        const Duration sample = Duration::Micros(delta);
+        rtt_.AddSample(sample);
+        cc_->OnRttSample(sample, sim_->Now());
+        ++stats_.rtt_ts_samples;
+      }
+    }
     rtt_.ResetBackoff();  // Forward progress clears timeout backoff.
     CancelTimer(rto_timer_);
     if (snd_nxt_ > ack_off) {
@@ -628,6 +787,10 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
         writable_cb_();
       }
     }
+  } else if (config_.features.sack) {
+    // With a scoreboard, loss detection is SACK/RACK-driven (below): the
+    // dup-ack counter would misfire on acks whose only news is a SACK
+    // block, and the reordering window subsumes the ==3 heuristic.
   } else if (ack_off == una && snd_nxt_ > una && seg.len == 0 && seg.window <= prev_rwnd) {
     // Duplicate ack for outstanding data: fast retransmit on the third
     // (RFC 5681), once per loss event. A pure ack that GROWS the advertised
@@ -643,6 +806,8 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
       in_recovery_ = true;
       rto_recovery_ = false;
       recovery_point_ = snd_nxt_;
+      recovery_started_at_ = sim_->Now();
+      ++stats_.recovery_events;
       SubmitRetransmit();
     } else if (dup_acks_ % 3 == 0 && in_recovery_ && !rto_recovery_) {
       // The ack stream keeps producing dup acks with no forward progress:
@@ -654,11 +819,15 @@ void TcpEndpoint::ProcessAck(const TcpSegment& seg) {
       SubmitRetransmit();
     }
   }
+  if (config_.features.sack && (newly_sacked || ack_off > una)) {
+    DetectLosses();
+  }
   if (config_.cc.ecn && cc_->decrease_events() > decreases_before) {
     cwr_pending_ = true;
   }
-  // The ack may have released a Nagle hold or opened the peer window.
-  if (snd_nxt_ < sndq_.tail_offset()) {
+  // The ack may have released a Nagle hold, opened the peer window, or
+  // exposed scoreboard holes to repair.
+  if (snd_nxt_ < sndq_.tail_offset() || (config_.features.sack && lost_bytes_ > 0)) {
     SubmitPush(&host_->softirq_core(), PushReason::kAckAdvance);
   }
 }
@@ -683,6 +852,7 @@ void TcpEndpoint::ProcessData(const TcpSegment& seg, bool ecn_ce) {
   if (start > rcv_nxt_) {
     // Out of order: stash and send an immediate duplicate ack.
     ++stats_.ooo_segments;
+    last_ooo_arrival_ = start;
     OooSegment& slot = ooo_[start];
     if (end - start > slot.len) {
       ooo_bytes_ += (end - start) - slot.len;
@@ -697,7 +867,9 @@ void TcpEndpoint::ProcessData(const TcpSegment& seg, bool ecn_ce) {
   }
   if (end <= rcv_nxt_) {
     // Entirely duplicate; re-ack unconditionally — our previous ack for
-    // this data may have been lost.
+    // this data may have been lost. Counted as the receiver-side signal
+    // of a spurious (or ack-loss-repairing) retransmission.
+    ++stats_.dup_segments_received;
     SubmitPush(&host_->softirq_core(), PushReason::kDupAck);
     return;
   }
@@ -821,7 +993,16 @@ void TcpEndpoint::ArmPersistTimer() {
   if (persist_timer_ != kInvalidEventId) {
     return;
   }
-  persist_timer_ = sim_->Schedule(rtt_.rto(), [this] {
+  // Persist probes carry their own exponential backoff (RFC 1122 wants the
+  // interval bounded, not the instantaneous RTO): each unanswered probe
+  // doubles the interval up to persist_max_interval; a reopened window
+  // resets it (ProcessAck).
+  Duration interval = rtt_.rto();
+  for (int i = 0; i < persist_backoff_shift_ && interval < config_.persist_max_interval; ++i) {
+    interval = interval * 2;
+  }
+  interval = std::min(interval, config_.persist_max_interval);
+  persist_timer_ = sim_->Schedule(interval, [this] {
     persist_timer_ = kInvalidEventId;
     if (dead_) {
       return;
@@ -832,6 +1013,10 @@ void TcpEndpoint::ArmPersistTimer() {
       return;  // Recovered in the meantime; normal paths take over.
     }
     ++stats_.persist_probes;
+    if (persist_backoff_shift_ < 24) {
+      ++persist_backoff_shift_;
+      ++stats_.persist_backoffs;
+    }
     // Window probe: one byte past the advertised window. The receiver's
     // (possibly duplicate) ack carries its current window.
     auto planned = std::make_shared<PlannedPacket>();
@@ -841,7 +1026,7 @@ void TcpEndpoint::ArmPersistTimer() {
           return planned->cost + costs_->doorbell;
         },
         [this, planned] { host_->nic().Transmit(std::move(planned->packet)); });
-    ArmPersistTimer();  // Keep probing (with the RTO's backoff pacing).
+    ArmPersistTimer();  // Keep probing on the backed-off schedule.
   });
 }
 
@@ -849,32 +1034,110 @@ void TcpEndpoint::ArmRtoTimer() {
   if (rto_timer_ != kInvalidEventId) {
     return;
   }
-  rto_timer_ = sim_->Schedule(rtt_.rto(), [this] {
+  // RACK mode arms a tail-loss probe ahead of the RTO when the flight is
+  // clean: PTO = 2*SRTT, plus the peer's worst-case delayed ack when the
+  // flight is too small to trigger an immediate ack (RFC 8985 §7.3).
+  Duration delay = rtt_.rto();
+  bool is_tlp = false;
+  if (config_.features.rack && config_.features.sack && !in_recovery_ && !tlp_out_ &&
+      lost_bytes_ == 0 && rtt_.srtt().has_value()) {
+    Duration pto = *rtt_.srtt() * 2;
+    if (snd_nxt_ - sndq_.head_offset() < 2 * static_cast<uint64_t>(config_.mss)) {
+      pto += config_.delack_timeout + Duration::Millis(2);
+    }
+    if (pto < delay) {
+      delay = pto;
+      is_tlp = true;
+    }
+  }
+  rto_timer_ = sim_->Schedule(delay, [this, is_tlp] {
     rto_timer_ = kInvalidEventId;
-    OnRtoFire();
+    if (is_tlp) {
+      OnTlpFire();
+    } else {
+      OnRtoFire();
+    }
   });
+}
+
+void TcpEndpoint::OnTlpFire() {
+  if (dead_ || snd_nxt_ == sndq_.head_offset()) {
+    return;  // Everything got acked in the meantime.
+  }
+  tlp_out_ = true;  // One probe per flight; the next timer is a real RTO.
+  ++stats_.tlp_probes;
+  // RFC 8985: probe with new data when some exists and fits the window
+  // (it doubles as useful transmission); otherwise re-send the tail
+  // segment so its (S)ACK exposes what the scoreboard is missing.
+  const uint64_t pending = sndq_.tail_offset() - snd_nxt_;
+  const uint64_t window = std::min(peer_rwnd_, cc_->window_bytes());
+  if (pending > 0 && PipeBytes() + std::min<uint64_t>(pending, config_.mss) <= window) {
+    SubmitPush(&host_->softirq_core(), PushReason::kAckAdvance);
+  } else if (!scoreboard_.empty()) {
+    const auto tail = scoreboard_.rbegin();
+    const uint64_t start = tail->first;
+    const uint64_t len = tail->second.end - start;
+    timed_end_.reset();  // Karn: the probe is a retransmission.
+    auto planned = std::make_shared<std::optional<PlannedPacket>>();
+    host_->softirq_core().Submit(
+        [this, planned, start, len]() -> Duration {
+          if (dead_ || start < sndq_.head_offset() || start + len > snd_nxt_) {
+            return Duration::Zero();  // Acked while the work was queued.
+          }
+          *planned = BuildPacketFor(start, len, /*is_retransmit=*/true);
+          return (*planned)->cost + costs_->doorbell;
+        },
+        [this, planned] {
+          if (planned->has_value()) {
+            host_->nic().Transmit(std::move((*planned)->packet));
+          }
+        });
+  }
+  ArmRtoTimer();
 }
 
 void TcpEndpoint::OnRtoFire() {
   if (snd_nxt_ == sndq_.head_offset()) {
     return;  // Everything got acked in the meantime.
   }
+  ++stats_.rto_fires;
   rtt_.Backoff();
   cc_->OnRto();
   if (config_.cc.ecn) {
     cwr_pending_ = true;
   }
-  // Everything in flight is suspect. Rewind the send pointer to the head
-  // and let the ordinary cwnd-gated path resend the tail in slow start
-  // (what pre-SACK BSD stacks do): the window doubles each RTT, so a long
-  // consecutive drop run — the slow-start overshoot signature — repairs in
-  // log time instead of one retransmit per timeout. Segments below the
-  // recovery point go out marked as retransmissions.
+  ++consecutive_rtos_;
+  if (config_.rto_give_up > 0 && consecutive_rtos_ >= config_.rto_give_up) {
+    DeclareDeadPeer("rto");
+  }
+  if (!in_recovery_) {
+    recovery_started_at_ = sim_->Now();
+    ++stats_.recovery_events;
+  }
   in_recovery_ = true;
   rto_recovery_ = true;
   recovery_point_ = snd_nxt_;
-  snd_nxt_ = sndq_.head_offset();
   timed_end_.reset();  // Karn's rule: the timed range is being resent.
+  if (config_.features.sack) {
+    // SACK keeps what the receiver already holds: mark everything
+    // outstanding and undelivered lost and let the pipe-gated planning
+    // path repair hole-by-hole in slow start — no go-back-N rewind, no
+    // resending sacked data.
+    for (auto& [start, entry] : scoreboard_) {
+      if (!entry.sacked && !entry.lost) {
+        entry.lost = true;
+        lost_bytes_ += entry.end - start;
+      }
+    }
+  } else {
+    // Everything in flight is suspect. Rewind the send pointer to the head
+    // and let the ordinary cwnd-gated path resend the tail in slow start
+    // (what pre-SACK BSD stacks do): the window doubles each RTT, so a
+    // long consecutive drop run — the slow-start overshoot signature —
+    // repairs in log time instead of one retransmit per timeout. Segments
+    // below the recovery point go out marked as retransmissions.
+    snd_nxt_ = sndq_.head_offset();
+  }
   SubmitPush(&host_->softirq_core(), PushReason::kAckAdvance);
   ArmRtoTimer();
 }
@@ -895,6 +1158,309 @@ void TcpEndpoint::SubmitRetransmit() {
           host_->nic().Transmit(std::move((*planned)->packet));
         }
       });
+}
+
+// ---------------------------------------------------------------------------
+// SACK scoreboard, RACK loss detection, timestamps, dead-peer machinery.
+// ---------------------------------------------------------------------------
+
+uint32_t TcpEndpoint::TsClockNow() const {
+  // Microsecond clock, offset by one so a valid TSval/TSecr is never 0
+  // (0 marks "no echo yet"). The +1 cancels in sender-side deltas.
+  return static_cast<uint32_t>(sim_->Now().nanos() / 1000 + 1);
+}
+
+void TcpEndpoint::RecordSent(uint64_t start, uint64_t end, bool is_retransmit) {
+  if (!config_.features.sack) {
+    return;
+  }
+  auto it = scoreboard_.find(start);
+  if (it != scoreboard_.end() && it->second.end == end) {
+    // Retransmission of an existing entry: re-stamp its send time (so RACK
+    // can condemn a lost retransmission) and return it to the pipe.
+    SentSeg& entry = it->second;
+    entry.sent_at = sim_->Now();
+    entry.sack_floor = std::max(end, highest_sacked_);
+    if (is_retransmit) {
+      entry.retransmitted = true;
+    }
+    if (entry.lost) {
+      entry.lost = false;
+      lost_bytes_ -= end - start;
+    }
+    return;
+  }
+  SentSeg entry;
+  entry.end = end;
+  entry.sent_at = sim_->Now();
+  entry.sack_floor = std::max(end, highest_sacked_);
+  entry.retransmitted = is_retransmit;
+  scoreboard_[start] = entry;
+}
+
+uint64_t TcpEndpoint::PipeBytes() const {
+  const uint64_t outstanding = snd_nxt_ - sndq_.head_offset();
+  const uint64_t delivered_or_lost = sacked_bytes_ + lost_bytes_;
+  return outstanding > delivered_or_lost ? outstanding - delivered_or_lost : 0;
+}
+
+bool TcpEndpoint::ApplySackBlocks(const TcpSegment& seg, uint64_t una) {
+  if (!config_.features.sack || seg.sack.empty()) {
+    return false;
+  }
+  bool newly_sacked = false;
+  for (const SackBlock& block : seg.sack) {
+    const uint64_t start = UnwrapSeq(block.start, una);
+    const uint64_t end = start + static_cast<uint32_t>(block.end - block.start);
+    // Scoreboard entries mirror the wire segments the blocks were built
+    // from, so covered entries align; anything partially covered (stale
+    // block after a resegmenting retransmit) is left unsacked.
+    for (auto it = scoreboard_.lower_bound(start);
+         it != scoreboard_.end() && it->first < end; ++it) {
+      SentSeg& entry = it->second;
+      if (entry.sacked || entry.end > end) {
+        continue;
+      }
+      entry.sacked = true;
+      sacked_bytes_ += entry.end - it->first;
+      highest_sacked_ = std::max(highest_sacked_, entry.end);
+      if (entry.lost) {
+        // The reordering window fired early; the data arrived after all.
+        entry.lost = false;
+        lost_bytes_ -= entry.end - it->first;
+        ++stats_.spurious_loss_reverts;
+      }
+      if (!entry.retransmitted) {
+        // A delivered original advances the RACK frontier: anything sent
+        // reorder-window-earlier and still undelivered is presumed lost.
+        if (entry.sent_at > rack_time_) {
+          rack_time_ = entry.sent_at;
+        }
+        rack_end_ = std::max(rack_end_, entry.end);
+      }
+      newly_sacked = true;
+    }
+  }
+  return newly_sacked;
+}
+
+Duration TcpEndpoint::RackReorderWindow() const {
+  // RFC 8985's starting point: a quarter of the minimum RTT tolerates the
+  // reordering the path has shown room for without stalling detection.
+  if (rtt_.min_rtt().has_value()) {
+    return *rtt_.min_rtt() / 4;
+  }
+  return Duration::Millis(1);
+}
+
+void TcpEndpoint::EnterLossRecovery() {
+  if (in_recovery_) {
+    return;  // Same loss event; no second window reduction (RFC 6582).
+  }
+  cc_->OnDupAckThreshold();
+  if (config_.cc.ecn) {
+    cwr_pending_ = true;
+  }
+  in_recovery_ = true;
+  rto_recovery_ = false;
+  recovery_point_ = snd_nxt_;
+  recovery_started_at_ = sim_->Now();
+  ++stats_.recovery_events;
+}
+
+void TcpEndpoint::DetectLosses() {
+  if (!config_.features.sack || scoreboard_.empty() || rack_end_ == 0) {
+    return;  // Nothing delivered yet: no evidence to reason from.
+  }
+  bool newly_lost = false;
+  if (config_.features.rack) {
+    // RACK (RFC 8985, simplified): a segment sent no later than one the
+    // receiver has since delivered is lost once it has been outstanding
+    // longer than the delivering RTT plus the reordering window. Segments
+    // still inside the window get a timer so reordering that never
+    // resolves is caught without another ack.
+    const Duration timeout = rtt_.srtt().value_or(rtt_.rto()) + RackReorderWindow();
+    const TimePoint now = sim_->Now();
+    Duration min_remaining = Duration::Max();
+    for (auto& [start, entry] : scoreboard_) {
+      if (entry.sacked || entry.lost) {
+        continue;
+      }
+      const bool sent_before_delivered =
+          entry.sent_at < rack_time_ ||
+          (entry.sent_at == rack_time_ && entry.end <= rack_end_);
+      if (!sent_before_delivered) {
+        continue;
+      }
+      const Duration waited = now - entry.sent_at;
+      if (waited >= timeout) {
+        entry.lost = true;
+        lost_bytes_ += entry.end - start;
+        ++stats_.rack_marked_lost;
+        newly_lost = true;
+      } else {
+        min_remaining = std::min(min_remaining, timeout - waited);
+      }
+    }
+    if (min_remaining < Duration::Max()) {
+      ArmRackTimer(min_remaining);
+    }
+  } else {
+    // SACK without RACK: the RFC 6675 dupthresh analogue — an unsacked
+    // segment with three MSS of sacked data above it is lost. The floor is
+    // the sack high-water mark at the segment's last (re)transmission, so a
+    // lost retransmission is condemned again only by evidence that postdates
+    // it (a plain `end`-based rule would also stall forever on re-lost
+    // repairs, leaving the backed-off RTO as the only recourse). Evidence
+    // alone is still not enough for a repair in flight — its sack cannot
+    // arrive sooner than one RTT, so condemning before SRTT has elapsed
+    // just duplicates the repair.
+    const TimePoint now = sim_->Now();
+    const Duration rexmit_guard = rtt_.srtt().value_or(rtt_.rto());
+    for (auto& [start, entry] : scoreboard_) {
+      if (entry.sacked || entry.lost) {
+        continue;
+      }
+      if (entry.retransmitted && now - entry.sent_at < rexmit_guard) {
+        continue;
+      }
+      if (entry.sack_floor + 3 * static_cast<uint64_t>(config_.mss) <= highest_sacked_) {
+        entry.lost = true;
+        lost_bytes_ += entry.end - start;
+        newly_lost = true;
+      }
+    }
+  }
+  if (newly_lost) {
+    EnterLossRecovery();
+  }
+}
+
+void TcpEndpoint::ArmRackTimer(Duration delay) {
+  if (rack_timer_ != kInvalidEventId) {
+    return;  // The pending check re-evaluates and re-arms as needed.
+  }
+  rack_timer_ = sim_->Schedule(delay, [this] {
+    rack_timer_ = kInvalidEventId;
+    if (dead_) {
+      return;
+    }
+    DetectLosses();
+    if (lost_bytes_ > 0) {
+      SubmitPush(&host_->softirq_core(), PushReason::kAckAdvance);
+    }
+  });
+}
+
+std::vector<SackBlock> TcpEndpoint::BuildSackBlocks() const {
+  std::vector<SackBlock> blocks;
+  if (!config_.features.sack || ooo_.empty()) {
+    return blocks;
+  }
+  // Merge the stash into maximal contiguous ranges (ascending).
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  for (const auto& [start, seg] : ooo_) {
+    const uint64_t end = start + seg.len;
+    if (!ranges.empty() && start <= ranges.back().second) {
+      ranges.back().second = std::max(ranges.back().second, end);
+    } else {
+      ranges.emplace_back(start, end);
+    }
+  }
+  // RFC 2018: the block containing the most recent arrival goes first (it
+  // is the one the sender has not seen yet); the rest follow in order and
+  // the arbiter trims from the tail.
+  size_t freshest = 0;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (last_ooo_arrival_ >= ranges[i].first && last_ooo_arrival_ < ranges[i].second) {
+      freshest = i;
+      break;
+    }
+  }
+  blocks.reserve(std::min(ranges.size(), kMaxSackBlocks));
+  blocks.push_back(SackBlock{WrapSeq(ranges[freshest].first), WrapSeq(ranges[freshest].second)});
+  for (size_t i = 0; i < ranges.size() && blocks.size() < kMaxSackBlocks; ++i) {
+    if (i == freshest) {
+      continue;
+    }
+    blocks.push_back(SackBlock{WrapSeq(ranges[i].first), WrapSeq(ranges[i].second)});
+  }
+  return blocks;
+}
+
+void TcpEndpoint::ArmKeepaliveTimer(Duration delay) {
+  if (keepalive_timer_ != kInvalidEventId) {
+    return;
+  }
+  keepalive_timer_ = sim_->Schedule(delay, [this] {
+    keepalive_timer_ = kInvalidEventId;
+    OnKeepaliveFire();
+  });
+}
+
+void TcpEndpoint::OnKeepaliveFire() {
+  if (dead_ || dead_peer_declared_) {
+    return;
+  }
+  const Duration idle_for = sim_->Now() - last_rx_;
+  if (idle_for < config_.keepalive.idle) {
+    ArmKeepaliveTimer(config_.keepalive.idle - idle_for);
+    return;
+  }
+  if (keepalive_unanswered_ >= config_.keepalive.probes) {
+    DeclareDeadPeer("keepalive");  // R2: the probe budget ran out.
+    return;
+  }
+  if (snd_nxt_ > sndq_.head_offset()) {
+    // Data in flight: the RTO/R2 machinery owns liveness; check back.
+    ArmKeepaliveTimer(config_.keepalive.interval);
+    return;
+  }
+  ++keepalive_unanswered_;
+  ++stats_.keepalive_probes;
+  // Probe below the window (seq = snd_nxt - 1, zero length): the peer
+  // answers any such segment with a duplicate ack. With nothing ever sent
+  // the subtraction underflows and WrapSeq lands on 0xFFFFFFFF — still one
+  // below the peer's rcv_nxt in wire space, so pure receivers can probe too.
+  const uint64_t probe_seq = snd_nxt_ - 1;
+  auto planned = std::make_shared<PlannedPacket>();
+  host_->softirq_core().Submit(
+      [this, planned, probe_seq]() -> Duration {
+        auto seg = std::make_shared<TcpSegment>();
+        seg->seq = WrapSeq(probe_seq);
+        seg->len = 0;
+        StampOutgoing(*seg, false);
+        Packet packet;
+        packet.id = next_packet_id_++;
+        packet.wire_bytes = kWireHeaderBytes;
+        packet.dst_host = peer_host_;
+        packet.payload = std::move(seg);
+        ++stats_.pure_acks_sent;
+        planned->packet = std::move(packet);
+        planned->cost = costs_->pure_ack_tx;
+        return planned->cost + costs_->doorbell;
+      },
+      [this, planned] { host_->nic().Transmit(std::move(planned->packet)); });
+  ArmKeepaliveTimer(config_.keepalive.interval);
+}
+
+void TcpEndpoint::DeclareDeadPeer(const char* reason) {
+  if (dead_peer_declared_) {
+    return;
+  }
+  dead_peer_declared_ = true;
+  ++stats_.dead_peer_declarations;
+  if (TraceRecorder* tr = TraceIf(TraceCategory::kEstimator)) {
+    TraceEvent e;
+    e.time = sim_->Now();
+    e.category = TraceCategory::kEstimator;
+    e.name = "dead_peer";
+    e.track = EndpointTrack(tr, conn_id_, is_a_);
+    tr->Record(e);
+  }
+  if (dead_peer_cb_) {
+    dead_peer_cb_(reason);
+  }
 }
 
 void TcpEndpoint::ScheduleExchangeTimer() {

@@ -44,6 +44,13 @@ class TcpEndpoint {
   using ReadableFn = std::function<void()>;
   using WritableFn = std::function<void()>;
   using EstimateFn = std::function<void(const ConnectionEstimator&)>;
+  // Invoked once when this endpoint gives up on the peer: either the
+  // keepalive probe budget (R2) ran out on an idle connection, or
+  // `rto_give_up` consecutive timeouts made no forward progress. `reason`
+  // is "keepalive" or "rto". The endpoint itself keeps running (the
+  // application decides whether to close), but the signal is what lets
+  // Lancet distinguish "slow" from "gone".
+  using DeadPeerFn = std::function<void(const char* reason)>;
   // Fault hook on the metadata receive path: maps one arriving peer payload
   // to the payloads actually delivered to the estimator — {} withholds it,
   // {p} passes it through, {p, p} duplicates, {stale} replays an old one.
@@ -114,6 +121,8 @@ class TcpEndpoint {
   void SetEstimateCallback(EstimateFn fn) { estimate_cb_ = std::move(fn); }
   // Installs/clears (nullptr) the metadata fault filter (testbed/faults).
   void SetMetadataFilter(MetadataFilterFn fn) { metadata_filter_ = std::move(fn); }
+  // Dead-peer declaration hook (keepalive R2 / rto_give_up; see DeadPeerFn).
+  void SetDeadPeerCallback(DeadPeerFn fn) { dead_peer_cb_ = std::move(fn); }
 
   // Kills this endpoint: cancels every timer, drops callbacks, and turns
   // all entry points into no-ops. Models the socket side of a process
@@ -186,6 +195,27 @@ class TcpEndpoint {
     uint64_t exchanges_sent = 0;
     uint64_t exchanges_received = 0;
     uint64_t send_buffer_full = 0;
+    // Loss recovery (SACK / RACK / TLP; zero with the features off).
+    uint64_t rtt_ts_samples = 0;      // Karn-safe timestamp RTT samples taken.
+    uint64_t sack_blocks_sent = 0;    // Blocks actually emitted on acks.
+    uint64_t sack_retransmits = 0;    // Hole repairs driven by the scoreboard.
+    uint64_t rack_marked_lost = 0;    // Segments the reordering window condemned.
+    uint64_t spurious_loss_reverts = 0;  // Lost-marked segments later sacked.
+    uint64_t tlp_probes = 0;          // Tail-loss probes sent.
+    uint64_t rto_fires = 0;           // Retransmission timeouts that fired.
+    uint64_t recovery_events = 0;     // Loss-recovery episodes entered.
+    uint64_t recovery_us_total = 0;   // Time spent inside recovery episodes.
+    uint64_t dup_segments_received = 0;  // Fully-duplicate data arrivals (the
+                                         // receiver-side spurious-retransmit
+                                         // signal).
+    // Option-space arbitration sheds (see ArbitrateOptions).
+    uint64_t sack_blocks_trimmed = 0;
+    uint64_t exchange_deferrals = 0;
+    uint64_t ts_omitted = 0;
+    // Dead-peer machinery.
+    uint64_t keepalive_probes = 0;
+    uint64_t dead_peer_declarations = 0;
+    uint64_t persist_backoffs = 0;    // Persist interval doublings applied.
     // ECN round trip (all zero unless config.cc.ecn is on).
     uint64_t ce_received = 0;     // CE-marked data segments that arrived.
     uint64_t ece_sent = 0;        // Acks we sent carrying the ECE echo.
@@ -237,6 +267,29 @@ class TcpEndpoint {
 
   bool MaySendSmallNow(uint64_t pending, PushReason reason);
   uint64_t EffectiveCorkLimit() const;
+
+  // ---- SACK scoreboard / RACK / TLP (config_.features) ----
+
+  // Records one wire segment [start, end) in the scoreboard (SACK on).
+  void RecordSent(uint64_t start, uint64_t end, bool is_retransmit);
+  // Applies the ack's SACK blocks; returns true if anything was newly sacked.
+  bool ApplySackBlocks(const TcpSegment& seg, uint64_t una);
+  // Marks scoreboard entries lost (RACK reordering window, or the 3-MSS
+  // SACK rule without RACK) and enters recovery on a new loss event.
+  void DetectLosses();
+  void EnterLossRecovery();
+  // Outstanding-and-undelivered bytes (RFC 6675 pipe).
+  uint64_t PipeBytes() const;
+  // Receiver: SACK blocks describing ooo_, most recent arrival first.
+  std::vector<SackBlock> BuildSackBlocks() const;
+  // Sender's microsecond timestamp clock (never returns 0).
+  uint32_t TsClockNow() const;
+  Duration RackReorderWindow() const;
+  void OnTlpFire();
+  void ArmRackTimer(Duration delay);
+  void ArmKeepaliveTimer(Duration delay);
+  void OnKeepaliveFire();
+  void DeclareDeadPeer(const char* reason);
 
   void ProcessAck(const TcpSegment& seg);
   void ProcessData(const TcpSegment& seg, bool ecn_ce);
@@ -296,6 +349,53 @@ class TcpEndpoint {
   // must not inject extra one-MSS retransmits on top of it.
   bool rto_recovery_ = false;
   bool hold_for_completion_ = false;  // Auto-cork armed.
+  TimePoint recovery_started_at_;     // Feeds Stats::recovery_us_total.
+
+  // SACK scoreboard (populated only when config_.features.sack): one entry
+  // per wire segment still outstanding, keyed by start offset. Entries are
+  // trimmed/split by cumulative acks and carry the delivery/loss state the
+  // RFC 6675 pipe and RACK reason over.
+  struct SentSeg {
+    uint64_t end = 0;
+    TimePoint sent_at;          // Most recent (re)transmission time.
+    // Sack high-water mark at the last (re)transmission: the 6675-style
+    // dupthresh rule needs 3 MSS of sack evidence *newer* than the send it
+    // judges, or a freshly retransmitted hole re-marks itself instantly.
+    uint64_t sack_floor = 0;
+    bool retransmitted = false;
+    bool sacked = false;
+    bool lost = false;          // Marked lost and not yet retransmitted.
+  };
+  std::map<uint64_t, SentSeg> scoreboard_;
+  uint64_t sacked_bytes_ = 0;
+  uint64_t lost_bytes_ = 0;
+  uint64_t highest_sacked_ = 0;  // Highest sacked end offset.
+  // RACK: send time / end offset of the most recently *delivered* segment
+  // that was never retransmitted (delivery order vs send order exposes
+  // losses without dup-ack counting).
+  TimePoint rack_time_;
+  uint64_t rack_end_ = 0;
+  EventId rack_timer_ = kInvalidEventId;  // Reordering-window re-check.
+  bool tlp_out_ = false;  // One tail-loss probe per flight.
+  int consecutive_rtos_ = 0;  // R2 give-up accounting (rto_give_up).
+
+  // RFC 7323 receiver state: the TSval to echo (ts_recent), per the
+  // "earliest unacked segment" update rule that keeps RTTM honest under
+  // delayed acks.
+  uint32_t ts_recent_ = 0;
+  bool ts_recent_valid_ = false;
+
+  // Dead-peer detection.
+  EventId keepalive_timer_ = kInvalidEventId;
+  TimePoint last_rx_;
+  int keepalive_unanswered_ = 0;
+  bool dead_peer_declared_ = false;
+  DeadPeerFn dead_peer_cb_;
+
+  // Zero-window persist backoff: the probe interval doubles per unanswered
+  // probe (capped at config_.persist_max_interval) instead of re-firing at
+  // the instantaneous RTO.
+  int persist_backoff_shift_ = 0;
 
   // ---- Receive side ----
   ByteStreamQueue rcvq_;  // head = app read position, tail = rcv_nxt.
@@ -307,6 +407,9 @@ class TcpEndpoint {
   };
   std::map<uint64_t, OooSegment> ooo_;  // Keyed by start offset.
   uint64_t ooo_bytes_ = 0;
+  // Start offset of the most recent out-of-order arrival: RFC 2018 wants
+  // the SACK block containing it listed first.
+  uint64_t last_ooo_arrival_ = 0;
   EventId delack_timer_ = kInvalidEventId;
   std::deque<uint64_t> unacked_rx_boundaries_;  // Syscall-unit ackdelay queue.
   // ECN receiver state. Classic ECN (RFC 3168) latches the echo until the

@@ -8,6 +8,9 @@ RttEstimator::RttEstimator() : RttEstimator(Config{}) {}
 
 void RttEstimator::AddSample(Duration rtt) {
   ++samples_;
+  if (!min_rtt_.has_value() || rtt < *min_rtt_) {
+    min_rtt_ = rtt;
+  }
   if (!srtt_.has_value()) {
     // RFC 6298 initialization.
     srtt_ = rtt;

@@ -40,11 +40,15 @@ class RttEstimator {
   Duration rto() const { return rto_; }
   std::optional<Duration> srtt() const { return srtt_; }
   Duration rttvar() const { return rttvar_; }
+  // Smallest sample ever seen — the propagation-delay floor RACK sizes its
+  // reordering window from (RFC 8985 uses min_rtt/4).
+  std::optional<Duration> min_rtt() const { return min_rtt_; }
   int64_t samples() const { return samples_; }
 
  private:
   Config config_;
   std::optional<Duration> srtt_;
+  std::optional<Duration> min_rtt_;
   Duration rttvar_;
   Duration rto_;
   Duration base_rto_;  // RTO without timeout backoff.

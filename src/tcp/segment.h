@@ -22,6 +22,24 @@ enum TcpFlags : uint16_t {
   kFlagCwr = 1 << 3,
 };
 
+// RFC 7323 timestamps option: TSval is the sender's microsecond clock
+// (mod 2^32), TSecr echoes the peer's most recent in-window TSval.
+struct TsOption {
+  uint32_t tsval = 0;
+  uint32_t tsecr = 0;
+
+  bool operator==(const TsOption&) const = default;
+};
+
+// One RFC 2018 SACK block: wire (wrapped) sequence range [start, end) the
+// receiver holds above the cumulative ack.
+struct SackBlock {
+  uint32_t start = 0;
+  uint32_t end = 0;
+
+  bool operator==(const SackBlock&) const = default;
+};
+
 struct TcpSegment : public PacketPayload {
   // Connection demultiplexing key (one per endpoint pair).
   uint64_t conn_id = 0;
@@ -44,6 +62,15 @@ struct TcpSegment : public PacketPayload {
 
   // The end-to-end metadata exchange option (paper §3.2/§5), when attached.
   std::optional<WirePayload> e2e_option;
+
+  // RFC 7323 timestamps, when the feature is on and the option-space
+  // arbiter admitted them (see ArbitrateOptions in segment_codec.h).
+  std::optional<TsOption> ts;
+
+  // RFC 2018 SACK blocks (first = the block containing the most recently
+  // received segment, per the RFC's generation rule), possibly trimmed by
+  // the option-space arbiter.
+  std::vector<SackBlock> sack;
 
   bool is_retransmit = false;
 

@@ -45,8 +45,28 @@ std::optional<EncodedSegment> EncodeSegmentHeader(const TcpSegment& seg, bool al
   EncodedSegment out;
   out.payload_len = seg.len;
 
-  // Options area first, to know the data offset.
+  // Options area first, to know the data offset. Emission order matches
+  // common real-stack layouts: timestamps, then SACK, then the
+  // experimental exchange option.
   std::vector<uint8_t> options;
+  if (seg.ts.has_value()) {
+    options.push_back(kTcpOptNop);
+    options.push_back(kTcpOptNop);
+    options.push_back(kTcpOptTimestamp);
+    options.push_back(10);
+    PutU32(options, seg.ts->tsval);
+    PutU32(options, seg.ts->tsecr);
+  }
+  if (!seg.sack.empty()) {
+    options.push_back(kTcpOptNop);
+    options.push_back(kTcpOptNop);
+    options.push_back(kTcpOptSack);
+    options.push_back(static_cast<uint8_t>(2 + 8 * seg.sack.size()));
+    for (const SackBlock& block : seg.sack) {
+      PutU32(options, block.start);
+      PutU32(options, block.end);
+    }
+  }
   if (seg.e2e_option.has_value()) {
     const size_t option_size = E2eOptionSize(*seg.e2e_option);
     if (option_size > kTcpMaxOptionBytes && !allow_oversize) {
@@ -155,6 +175,27 @@ std::optional<TcpSegment> DecodeSegmentHeader(const uint8_t* data, size_t len,
     if (option_len < 2 || pos + option_len > header_len) {
       return std::nullopt;
     }
+    if (kind == kTcpOptTimestamp) {
+      if (option_len != 10) {
+        return std::nullopt;
+      }
+      TsOption ts;
+      ts.tsval = GetU32(data + pos + 2);
+      ts.tsecr = GetU32(data + pos + 6);
+      seg.ts = ts;
+    }
+    if (kind == kTcpOptSack) {
+      if (option_len < 10 || (option_len - 2) % 8 != 0) {
+        return std::nullopt;
+      }
+      const size_t blocks = (option_len - 2) / 8;
+      for (size_t i = 0; i < blocks; ++i) {
+        SackBlock block;
+        block.start = GetU32(data + pos + 2 + 8 * i);
+        block.end = GetU32(data + pos + 6 + 8 * i);
+        seg.sack.push_back(block);
+      }
+    }
     if (kind == kE2eOptionKind) {
       std::optional<WirePayload> payload = DecodePayload(data + pos + 2, option_len - 2);
       if (!payload.has_value()) {
@@ -165,6 +206,53 @@ std::optional<TcpSegment> DecodeSegmentHeader(const uint8_t* data, size_t len,
     pos += option_len;
   }
   return seg;
+}
+
+OptionPlan ArbitrateOptions(const OptionDemand& demand) {
+  OptionPlan plan;
+  size_t budget = kTcpMaxOptionBytes;
+
+  // Timestamps first: smallest footprint, and every segment benefits
+  // (per-ack RTT samples feed SRTT and the RACK reordering window).
+  if (demand.timestamps) {
+    plan.timestamps = true;
+    budget -= kTimestampOptionBytes;
+  }
+
+  // The exchange rides along only when it fits in what is left. An overdue
+  // exchange evicts timestamps for this one segment (the estimator-health
+  // freshness clock is a harder deadline than one RTT sample).
+  if (demand.exchange_due) {
+    if (demand.exchange_size <= budget) {
+      plan.exchange = true;
+      budget -= demand.exchange_size;
+    } else if (demand.exchange_overdue) {
+      plan.exchange = true;
+      if (plan.timestamps) {
+        plan.timestamps = false;
+        plan.timestamps_omitted = true;
+      }
+      // An oversize (hint-bearing) payload leaves no room at all; the codec
+      // models it with its EDO-style escape hatch.
+      budget = kTcpMaxOptionBytes > demand.exchange_size
+                   ? kTcpMaxOptionBytes - demand.exchange_size
+                   : 0;
+    } else {
+      plan.exchange_deferred = true;
+    }
+  }
+
+  // SACK blocks absorb the remainder, trimmed from the tail (the first
+  // block is the freshest per RFC 2018's generation rule).
+  if (demand.sack_blocks > 0) {
+    const size_t max_fit = budget >= 12 ? std::min((budget - 4) / 8, kMaxSackBlocks) : 0;
+    plan.sack_blocks = std::min(demand.sack_blocks, max_fit);
+    plan.sack_blocks_trimmed = demand.sack_blocks - plan.sack_blocks;
+    budget -= SackOptionBytes(plan.sack_blocks);
+  }
+
+  plan.bytes_used = kTcpMaxOptionBytes - budget;
+  return plan;
 }
 
 }  // namespace e2e

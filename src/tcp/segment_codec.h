@@ -1,16 +1,24 @@
 // Byte-level encoding of TCP segment headers, including the end-to-end
-// metadata exchange as a real TCP option (paper §5, "Metadata Exchange").
+// metadata exchange as a real TCP option (paper §5, "Metadata Exchange"),
+// RFC 7323 timestamps, and RFC 2018 SACK blocks.
 //
 // The simulator moves segments as objects, but the wire format matters for
 // the paper's feasibility argument: a standard TCP header has at most 40
 // bytes of option space (data offset is 4 bits: 15*4 - 20). The base
 // exchange payload — 2 header bytes + three 3-tuples of 4-byte counters —
-// is 38 bytes; wrapped in a kind/length TLV it lands at exactly 40 bytes,
-// i.e. it fits, but only when no other options (e.g. timestamps) are
-// present. A hint-bearing payload (52 bytes with TLV) does NOT fit; a real
-// deployment would lower the exchange frequency, alternate hint/queue
-// payloads, or use extended options. The codec enforces the limit unless
-// explicitly told to model an oversize/experimental encoding.
+// is 38 bytes; wrapped in a kind/length TLV it lands at exactly 40 bytes.
+// It therefore fits ONLY on a segment carrying no other option: once
+// timestamps (12 bytes with alignment NOPs) and SACK blocks (4 + 8n bytes)
+// are negotiated, the three demands compete for the same 40 bytes and the
+// exchange no longer "just fits". ArbitrateOptions below implements the
+// graceful-degradation policy: SACK blocks are trimmed first, then the
+// exchange is deferred to a later segment (lowering the effective exchange
+// frequency), and only an overdue exchange may evict timestamps for one
+// segment. Every shed decision is counted so the estimator-health layer
+// can see exchange starvation coming. A hint-bearing payload (52 bytes
+// with TLV) never fits; a real deployment would use extended options. The
+// codec enforces the limit unless explicitly told to model an
+// oversize/experimental encoding.
 
 #ifndef SRC_TCP_SEGMENT_CODEC_H_
 #define SRC_TCP_SEGMENT_CODEC_H_
@@ -25,16 +33,31 @@ namespace e2e {
 
 // Experimental option kind (RFC 4727 reserves 253 for experiments).
 inline constexpr uint8_t kE2eOptionKind = 253;
+// IANA-assigned kinds for the standard options we model.
+inline constexpr uint8_t kTcpOptNop = 1;
+inline constexpr uint8_t kTcpOptSack = 5;
+inline constexpr uint8_t kTcpOptTimestamp = 8;
 inline constexpr size_t kTcpBaseHeaderBytes = 20;
 inline constexpr size_t kTcpMaxOptionBytes = 40;
+
+// Wire cost of the timestamps option: 2 alignment NOPs + kind + len +
+// TSval + TSecr (the classic 12-byte layout every real stack emits).
+inline constexpr size_t kTimestampOptionBytes = 12;
+
+// Wire cost of n SACK blocks: 2 alignment NOPs + kind + len + 8n.
+inline constexpr size_t SackOptionBytes(size_t n) { return n == 0 ? 0 : 4 + 8 * n; }
+
+// Most blocks that ever fit: 4 alone, 3 alongside timestamps.
+inline constexpr size_t kMaxSackBlocks = 4;
 
 struct EncodedSegment {
   std::vector<uint8_t> header;  // Base header + padded options.
   uint32_t payload_len = 0;     // Virtual payload bytes (not materialized).
 };
 
-// Encodes the header of `seg`. Fails (nullopt) when the e2e option would
-// exceed the 40-byte option space and `allow_oversize` is false.
+// Encodes the header of `seg`. Fails (nullopt) when the combined options
+// would exceed the 40-byte option space and `allow_oversize` is false.
+// Callers that respect ArbitrateOptions never hit the limit.
 std::optional<EncodedSegment> EncodeSegmentHeader(const TcpSegment& seg,
                                                   bool allow_oversize = false);
 
@@ -46,6 +69,46 @@ std::optional<TcpSegment> DecodeSegmentHeader(const uint8_t* data, size_t len,
 
 // Size the e2e option (TLV included) would occupy for a given payload.
 size_t E2eOptionSize(const WirePayload& payload);
+
+// ---------------------------------------------------------------------------
+// Option-space arbitration.
+// ---------------------------------------------------------------------------
+
+// What one outgoing segment would like to carry.
+struct OptionDemand {
+  bool timestamps = false;
+  size_t sack_blocks = 0;    // Blocks the receiver wants to advertise.
+  bool exchange_due = false;  // An e2e exchange is pending.
+  // Starvation guard: the pending exchange is overdue (deferred past the
+  // configured slack), so it may evict timestamps for this one segment.
+  bool exchange_overdue = false;
+  size_t exchange_size = 0;   // E2eOptionSize of the pending payload.
+};
+
+// What the segment actually carries, plus the shed accounting.
+struct OptionPlan {
+  bool timestamps = false;
+  size_t sack_blocks = 0;
+  bool exchange = false;
+  // Shed decisions made for this segment:
+  size_t sack_blocks_trimmed = 0;  // Demanded blocks that did not fit.
+  bool exchange_deferred = false;  // Exchange pending but pushed to later.
+  bool timestamps_omitted = false;  // Timestamps evicted by an overdue exchange.
+
+  size_t bytes_used = 0;  // Total option bytes consumed (<= 40).
+};
+
+// Sheds in a defined priority order when everything cannot fit:
+//   1. timestamps are kept (smallest footprint, feeds RTT/RACK every
+//      segment) — unless rule 3 fires;
+//   2. SACK blocks are trimmed to the space left after timestamps and the
+//      exchange (the first block carries the freshest information, so
+//      trimming from the tail degrades gracefully);
+//   3. the exchange is deferred when it cannot fit — lowering the
+//      effective exchange frequency — until it is overdue, at which point
+//      it evicts timestamps (and any SACK blocks) for one segment so the
+//      estimator is starved by at most the configured slack.
+OptionPlan ArbitrateOptions(const OptionDemand& demand);
 
 }  // namespace e2e
 

@@ -13,6 +13,38 @@
 
 namespace e2e {
 
+// TCP option / loss-recovery feature selection. Everything defaults off so
+// the baseline stack (cumulative-ack NewReno + RTO rewind) is unchanged;
+// drivers opt in per-cell. `rack` requires `sack` (the scoreboard supplies
+// the per-segment delivery state RACK reasons over); `timestamps` is
+// independent but recommended with RACK (Karn-safe RTT under retransmits).
+struct TcpFeatureConfig {
+  // RFC 7323 timestamps: TSval/TSecr on every segment (subject to the
+  // option-space arbiter), giving one Karn-safe RTT sample per ack.
+  bool timestamps = false;
+  // RFC 2018 SACK generation (receiver) + RFC 6675 scoreboard (sender):
+  // holes are retransmitted individually; an RTO marks outstanding data
+  // lost and repairs it hole-by-hole instead of rewinding the send pointer.
+  bool sack = false;
+  // RACK-style time-based loss marking (RFC 8985, simplified): a segment is
+  // lost once a segment sent sufficiently later was delivered, replacing
+  // the dup-ack==3 heuristic. Implies a tail-loss probe (TLP) so a lost
+  // tail is probed after ~2*SRTT instead of waiting out a backed-off RTO.
+  bool rack = false;
+};
+
+// Dead-peer detection: idle keepalives with an R2-style give-up threshold
+// (RFC 1122 §4.2.3.6). Defaults are sim-scale, not the kernel's 2 hours.
+struct KeepaliveConfig {
+  bool enabled = false;
+  // Probe when nothing has arrived from the peer for this long.
+  Duration idle = Duration::Millis(500);
+  // Spacing of successive unanswered probes.
+  Duration interval = Duration::Millis(100);
+  // Unanswered probes before the peer is declared dead (R2).
+  int probes = 5;
+};
+
 struct TcpConfig {
   uint32_t mss = 1448;  // 1500 MTU minus IP/TCP headers + timestamps.
   uint64_t sndbuf_bytes = 4 * 1024 * 1024;
@@ -43,6 +75,22 @@ struct TcpConfig {
   uint32_t tso_max_bytes = 65536;
 
   RttEstimator::Config rtt;
+
+  // Option / recovery features (timestamps, SACK, RACK+TLP) and dead-peer
+  // keepalives; see the structs above. All off by default.
+  TcpFeatureConfig features;
+  KeepaliveConfig keepalive;
+
+  // Zero-window persist probes back off exponentially from the current RTO
+  // (doubling per unanswered probe) up to this cap; forward progress or a
+  // reopened window resets the backoff. RFC 1122 wants the interval bounded
+  // by 60 s; the sim default is tighter so tests stay fast.
+  Duration persist_max_interval = Duration::Seconds(1);
+
+  // Retransmission give-up (R2, RFC 1122 §4.2.3.5): after this many
+  // consecutive RTO firings with no forward progress the peer is declared
+  // dead (DeadPeerFn). 0 disables (the seed behavior: retry forever).
+  int rto_give_up = 0;
 
   // Congestion control (the `mss` field is overridden with this config's
   // mss when the endpoint is constructed). `cc.algorithm` selects

@@ -1,0 +1,115 @@
+// Loss-recovery experiment: one client->server transfer over an impaired
+// two-host path, graded on goodput, recovery latency, spurious
+// retransmissions, RTT-estimation quality, and estimator-health dwell
+// times. One run = one (feature set, congestion control, workload,
+// impairment) point of bench/recovery_sweep's grid.
+//
+// The driver owns an EstimatorHealth fed from the *client's* estimate
+// callback: the client is the data sender, so its outbound segments are
+// where timestamps + SACK + the e2e exchange compete for option space —
+// the health dwell times surface what the option-space arbiter's shed
+// decisions cost the estimator under loss storms (DESIGN.md §15).
+
+#ifndef SRC_TESTBED_RECOVERY_H_
+#define SRC_TESTBED_RECOVERY_H_
+
+#include <cstdint>
+
+#include "src/core/health.h"
+#include "src/net/impair/impairment.h"
+#include "src/sim/time.h"
+#include "src/tcp/cc/congestion_control.h"
+#include "src/tcp/tcp_config.h"
+
+namespace e2e {
+
+enum class RecoveryWorkload {
+  // Saturating transfer: the client keeps the send buffer full; goodput
+  // and recovery latency are the interesting outputs.
+  kBulk = 0,
+  // Paced sub-MSS sends that engage the receiver's delayed acks: the
+  // RTT-estimation A/B (timestamps on vs off) runs on this shape.
+  kPacedSmall = 1,
+};
+
+struct RecoveryConfig {
+  // Applied to both endpoints (features are "negotiated" by symmetry).
+  TcpFeatureConfig features;
+  CcAlgorithm cc = CcAlgorithm::kReno;
+  RecoveryWorkload workload = RecoveryWorkload::kBulk;
+
+  // Per-direction impairments: c2s is the data path, s2c the ack path.
+  ImpairmentConfig c2s_impairment;
+  ImpairmentConfig s2c_impairment;
+
+  // Path shape. Modest bandwidth so loss recovery (not the 100 Gbps
+  // default link) is the bottleneck under study.
+  double link_bps = 1e9;
+  Duration propagation = Duration::Micros(50);
+
+  Duration run = Duration::Millis(500);
+  uint64_t bulk_chunk = 64 * 1024;
+  Duration paced_interval = Duration::Millis(5);
+  uint32_t paced_bytes = 600;
+
+  // E2e metadata exchange cadence (zero disables, e.g. for the pure
+  // RTT-estimation cells).
+  Duration exchange_interval = Duration::Millis(1);
+
+  // Estimator-health chain fed from the client's exchange verdicts.
+  HealthConfig health;
+  Duration health_tick = Duration::Millis(1);
+
+  uint64_t seed = 1;
+};
+
+struct RecoveryResult {
+  // Delivery.
+  uint64_t bytes_delivered = 0;
+  double goodput_mbps = 0;
+
+  // Sender-side recovery behavior (client stats).
+  uint64_t retransmits = 0;
+  uint64_t sack_retransmits = 0;
+  uint64_t rack_marked_lost = 0;
+  uint64_t spurious_loss_reverts = 0;
+  uint64_t tlp_probes = 0;
+  uint64_t rto_fires = 0;
+  uint64_t recovery_events = 0;
+  double recovery_mean_us = 0;  // Mean loss-recovery episode length.
+  // Receiver-side spurious-retransmit signal: data that had already been
+  // delivered arriving again.
+  uint64_t dup_segments_received = 0;
+
+  // RTT estimation quality (client estimator).
+  double srtt_us = 0;
+  double min_rtt_us = 0;
+  int64_t rtt_samples = 0;
+  uint64_t rtt_ts_samples = 0;
+
+  // Option-space arbitration, summed over both endpoints.
+  uint64_t sack_blocks_sent = 0;
+  uint64_t sack_blocks_trimmed = 0;
+  uint64_t exchange_deferrals = 0;
+  uint64_t ts_omitted = 0;
+  uint64_t exchanges_sent = 0;
+  uint64_t exchanges_received = 0;
+
+  // Impairment ground truth (chain counters; zero when a direction is
+  // unimpaired).
+  uint64_t c2s_dropped = 0;
+  uint64_t s2c_dropped = 0;
+
+  // Estimator-health dwell times over the run.
+  double time_in_full_ms = 0;
+  double time_in_local_ms = 0;
+  double time_in_diag_ms = 0;
+  double time_in_static_ms = 0;
+  uint64_t health_demotions = 0;
+};
+
+RecoveryResult RunRecoveryExperiment(const RecoveryConfig& config);
+
+}  // namespace e2e
+
+#endif  // SRC_TESTBED_RECOVERY_H_

@@ -113,6 +113,61 @@ TEST(FlowDiagnoserTest, KarnSkipsSamplesTaintedByRetransmission) {
   EXPECT_EQ(diag.Peek(4, true).srtt_us, 0.0);
 }
 
+// Like Seg, but decorated with recovery options (timestamps / SACK).
+Packet SegOpts(uint64_t conn, bool from_a, uint32_t seq, uint32_t ack, uint32_t len,
+               uint32_t window, std::optional<TsOption> ts,
+               std::vector<SackBlock> sack = {}) {
+  Packet packet = Seg(conn, from_a, seq, ack, len, window);
+  auto* seg = static_cast<TcpSegment*>(packet.payload.get());
+  seg->ts = ts;
+  seg->sack = std::move(sack);
+  return packet;
+}
+
+TEST(FlowDiagnoserTest, SackBearingAcksAreNetworkEvidence) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  At(sim, 100, [&] { diag.OnSwitchPacket(Seg(20, true, 0, 0, 1000, 64000), {}); });
+  At(sim, 200, [&] { diag.OnSwitchPacket(Seg(20, true, 1000, 0, 1000, 64000), {}); });
+  // The receiver acks nothing but advertises [1000, 2000) as a SACK block:
+  // the hole at [0, 1000) is direct forward-loss evidence at the switch —
+  // available even before any retransmission passes.
+  At(sim, 300, [&] {
+    diag.OnSwitchPacket(
+        SegOpts(20, false, 0, 0, 0, 64000, std::nullopt, {SackBlock{1000, 2000}}), {});
+  });
+  sim.Run();
+  const auto verdict = diag.ClosedVerdict(20, true, TimePoint::FromNanos(1000000));
+  EXPECT_EQ(verdict.limit, FlowLimit::kNetwork);
+  EXPECT_EQ(verdict.evidence.sack_acks, 1u);
+  EXPECT_EQ(verdict.evidence.sack_blocks, 1u);
+  EXPECT_EQ(diag.CountersFor(20, true)->sack_acks, 1u);
+}
+
+TEST(FlowDiagnoserTest, TimestampEchoMeasuresThroughKarnAmbiguity) {
+  Simulator sim;
+  FlowDiagnoser diag(&sim, TestConfig());
+  // Data at 100 us arms both the plain forward probe and the ts probe.
+  At(sim, 100, [&] {
+    diag.OnSwitchPacket(SegOpts(22, true, 0, 0, 1000, 64000, TsOption{1000, 0}), {});
+  });
+  // A retransmission taints the plain probe (Karn: the covering ack is
+  // ambiguous), but the echo names the exact transmission it answers.
+  At(sim, 250, [&] {
+    diag.OnSwitchPacket(SegOpts(22, true, 0, 0, 1000, 64000, TsOption{1150, 0}), {});
+  });
+  At(sim, 400, [&] {
+    diag.OnSwitchPacket(SegOpts(22, false, 0, 1000, 0, 64000, TsOption{5, 1000}), {});
+  });
+  sim.Run();
+  const auto* counters = diag.CountersFor(22, true);
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->ts_rtt_samples, 1u);
+  EXPECT_EQ(counters->rtt_samples, 1u);  // The ts sample; the plain probe skipped.
+  // Probe armed at 100 us, echo observed at 400 us: one forward half-RTT.
+  EXPECT_DOUBLE_EQ(diag.Peek(22, true).srtt_us, 300.0);
+}
+
 TEST(FlowDiagnoserTest, ClassifiesSenderLimitedWhenWindowIsOpen) {
   Simulator sim;
   FlowDiagnoser diag(&sim, TestConfig());

@@ -1,0 +1,148 @@
+// Dead-peer detection (DESIGN.md §15): idle keepalives with an R1/R2-style
+// give-up, and the rto_give_up path for peers that die with data in
+// flight. The DeadPeerFn signal is what lets the faults harness (and
+// Lancet) distinguish "slow" from "gone".
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/lancet.h"
+#include "src/apps/redis_server.h"
+#include "src/testbed/experiment.h"
+#include "src/testbed/topology.h"
+
+namespace e2e {
+namespace {
+
+MessageRecord Rec(uint64_t id) {
+  MessageRecord record;
+  record.id = id;
+  return record;
+}
+
+TcpConfig BaseConfig() {
+  TcpConfig tcp;
+  tcp.nodelay = true;
+  tcp.e2e_exchange_interval = Duration::Zero();
+  return tcp;
+}
+
+TEST(KeepaliveTest, DeclaresDeadPeerAfterUnansweredProbes) {
+  TwoHostTopology topo;
+  TcpConfig tcp = BaseConfig();
+  tcp.keepalive.enabled = true;
+  tcp.keepalive.idle = Duration::Millis(50);
+  tcp.keepalive.interval = Duration::Millis(20);
+  tcp.keepalive.probes = 3;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  std::string reason;
+  conn.a->SetDeadPeerCallback([&](const char* r) { reason = r; });
+
+  // A little traffic proves the connection; the 100 ms settle covers the
+  // receiver's delayed ack, so nothing is in flight when the peer crashes
+  // (with data unacked, liveness belongs to the RTO ladder instead).
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(1000, Rec(1)); });
+  topo.sim().RunFor(Duration::Millis(100));
+  ASSERT_EQ(conn.b->ReadableBytes(), 1000u);
+  conn.b->Shutdown();
+
+  topo.sim().RunFor(Duration::Seconds(1));
+  EXPECT_GE(conn.a->stats().keepalive_probes, 3u);
+  EXPECT_EQ(conn.a->stats().dead_peer_declarations, 1u);
+  EXPECT_EQ(reason, "keepalive");
+}
+
+TEST(KeepaliveTest, LivePeerAnswersProbesNoDeclaration) {
+  TwoHostTopology topo;
+  TcpConfig tcp = BaseConfig();
+  tcp.keepalive.enabled = true;
+  tcp.keepalive.idle = Duration::Millis(50);
+  tcp.keepalive.interval = Duration::Millis(20);
+  tcp.keepalive.probes = 3;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(1000, Rec(1)); });
+  // A long idle stretch with both endpoints alive: probes flow, each
+  // answered with a duplicate ack that resets the liveness clock.
+  topo.sim().RunFor(Duration::Seconds(2));
+  EXPECT_GE(conn.a->stats().keepalive_probes, 1u);
+  EXPECT_EQ(conn.a->stats().dead_peer_declarations, 0u);
+  EXPECT_EQ(conn.b->stats().dead_peer_declarations, 0u);
+}
+
+TEST(KeepaliveTest, RtoGiveUpDeclaresDeadPeerWithDataInFlight) {
+  TwoHostTopology topo;
+  TcpConfig tcp = BaseConfig();
+  tcp.rto_give_up = 4;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  std::string reason;
+  conn.a->SetDeadPeerCallback([&](const char* r) { reason = r; });
+
+  // The peer dies before the send: every transmission goes unacked, so
+  // liveness is owned by the RTO ladder, not keepalives.
+  conn.b->Shutdown();
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(5000, Rec(1)); });
+  topo.sim().RunFor(Duration::Seconds(10));
+
+  EXPECT_GE(conn.a->stats().rto_fires, 4u);
+  EXPECT_EQ(conn.a->stats().dead_peer_declarations, 1u);
+  EXPECT_EQ(reason, "rto");
+}
+
+TEST(KeepaliveTest, SeedBehaviorRetriesForever) {
+  // rto_give_up = 0 (the default) preserves the seed stack's semantics:
+  // a dead peer is retried indefinitely and nothing is ever declared.
+  TwoHostTopology topo;
+  TcpConfig tcp = BaseConfig();
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  conn.b->Shutdown();
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(5000, Rec(1)); });
+  topo.sim().RunFor(Duration::Seconds(10));
+
+  EXPECT_GT(conn.a->stats().rto_fires, 0u);
+  EXPECT_EQ(conn.a->stats().dead_peer_declarations, 0u);
+  EXPECT_EQ(conn.a->stats().keepalive_probes, 0u);
+}
+
+TEST(KeepaliveTest, LancetSelfDetectsSilentServerDeath) {
+  // The end-to-end payoff of DeadPeerFn: the load generator learns the
+  // server is gone from the transport itself — no supervisor calls
+  // OnConnectionLost — and stops treating "slow" as "alive".
+  TwoHostTopology topo(RedisExperimentConfig::DefaultRedisTopology());
+  TcpConfig client_tcp = RedisExperimentConfig::DefaultClientTcp();
+  client_tcp.rto_give_up = 4;
+  ConnectedPair conn =
+      topo.Connect(1, client_tcp, RedisExperimentConfig::DefaultServerTcp());
+  RedisServerApp server(&topo.sim(), conn.b, RedisServerApp::Config{});
+
+  LancetClient::Config cfg;
+  cfg.rate_rps = 5000;
+  cfg.warmup = Duration::Millis(10);
+  cfg.measure = Duration::Millis(5000);
+  cfg.seed = 8;
+  cfg.detect_dead_peer = true;
+  LancetClient client(&topo.sim(), conn.a, cfg);
+  client.Start();
+
+  topo.sim().RunFor(Duration::Millis(50));
+  EXPECT_GT(client.results().completed, 0u);
+  conn.b->Shutdown();  // Silent: the harness tells the client nothing.
+
+  // Four backed-off RTOs (~3 s) later the endpoint declares the peer dead
+  // and the client disconnects; arrivals after that fail fast, open-loop.
+  topo.sim().RunFor(Duration::Seconds(10));
+  EXPECT_EQ(client.results().transport_death_detections, 1u);
+  EXPECT_FALSE(client.connected());
+  EXPECT_GT(client.results().failed_disconnected, 0u);
+}
+
+}  // namespace
+}  // namespace e2e

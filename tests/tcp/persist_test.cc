@@ -76,6 +76,33 @@ TEST(PersistTest, SurvivesLostWindowUpdates) {
   EXPECT_EQ(total, 30000u);
 }
 
+TEST(PersistTest, LongZeroWindowBacksOffProbeRate) {
+  // A receiver that never reads must not be probed at a constant rate: the
+  // interval doubles per unanswered probe (persist_backoffs counts the
+  // doublings) up to persist_max_interval. At the 200 ms RTO floor a
+  // constant-rate prober would fire ~100 times in 20 s; the backed-off
+  // schedule ramps 200→400→800 ms and then sits at the 1 s cap.
+  TwoHostTopology topo;
+  TcpConfig sender;
+  sender.nodelay = true;
+  sender.e2e_exchange_interval = Duration::Zero();
+  TcpConfig receiver = sender;
+  receiver.rcvbuf_bytes = 2000;
+  ConnectedPair conn = topo.Connect(1, sender, receiver);
+
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(10000, Rec(1)); });
+  const Duration run = Duration::Seconds(20);
+  topo.sim().RunFor(run);
+
+  const uint64_t constant_rate_bound =
+      static_cast<uint64_t>(run.nanos() / conn.a->rtt().rto().nanos());
+  EXPECT_GE(conn.a->stats().persist_probes, 5u);  // Still probing, not dead.
+  EXPECT_LT(conn.a->stats().persist_probes, constant_rate_bound / 2);
+  EXPECT_LE(conn.a->stats().persist_probes, 25u);  // Ramp + ~18 at the cap.
+  EXPECT_GE(conn.a->stats().persist_backoffs, 3u);
+}
+
 TEST(PersistTest, NoProbesWhenWindowNeverCloses) {
   TwoHostTopology topo;
   TcpConfig tcp;

@@ -24,6 +24,12 @@ TcpSegmentView ViewOf(const TcpSegment& seg) {
   view.len = seg.len;
   view.window = seg.window;
   view.flags = seg.flags;
+  if (seg.ts.has_value()) {
+    view.has_ts = true;
+    view.tsval = seg.ts->tsval;
+    view.tsecr = seg.ts->tsecr;
+  }
+  view.sack_blocks = static_cast<uint32_t>(seg.sack.size());
   return view;
 }
 
@@ -44,6 +50,10 @@ void ExpectMidFabricParity(const TcpSegment& seg) {
   EXPECT_EQ(wire.len, direct.len);
   EXPECT_EQ(wire.window, direct.window);
   EXPECT_EQ(wire.flags, direct.flags);
+  EXPECT_EQ(wire.has_ts, direct.has_ts);
+  EXPECT_EQ(wire.tsval, direct.tsval);
+  EXPECT_EQ(wire.tsecr, direct.tsecr);
+  EXPECT_EQ(wire.sack_blocks, direct.sack_blocks);
 }
 
 TcpSegment DataSegment() {
@@ -140,6 +150,61 @@ TEST(SegmentCodecObserveTest, ViewIsInsensitiveToTheE2eOption) {
   EXPECT_EQ(dw->flags, dout->flags);
   EXPECT_TRUE(dw->e2e_option.has_value());
   EXPECT_FALSE(dout->e2e_option.has_value());
+}
+
+TEST(SegmentCodecObserveTest, TimestampEchoSurvivesToTheSwitch) {
+  // The diagnoser's forward-RTT probe pairs a data segment's TSval with
+  // the TSecr echoed on a later reverse ack; both values must read
+  // identically mid-fabric or the probe measures a different transmission
+  // than the endpoints timed.
+  TcpSegment data = DataSegment();
+  data.ts = TsOption{0xCAFE0001, 0};
+  ExpectMidFabricParity(data);
+
+  TcpSegment ack = DataSegment();
+  ack.from_a = false;
+  ack.len = 0;
+  ack.flags = kFlagAck;
+  ack.ts = TsOption{0x00000007, 0xCAFE0001};
+  ExpectMidFabricParity(ack);
+}
+
+TEST(SegmentCodecObserveTest, SackBlocksAreCountableMidFabric) {
+  // Sack-bearing reverse acks are the diagnoser's direct forward-loss
+  // evidence; the block count must survive re-parsing from wire bytes.
+  for (size_t blocks = 1; blocks <= 3; ++blocks) {
+    TcpSegment ack = DataSegment();
+    ack.from_a = false;
+    ack.len = 0;
+    ack.flags = kFlagAck;
+    ack.ts = TsOption{0x00000007, 0xCAFE0001};
+    for (size_t i = 0; i < blocks; ++i) {
+      const uint32_t base = ack.ack + 3000 * static_cast<uint32_t>(i + 1);
+      ack.sack.push_back(SackBlock{base, base + 1448});
+    }
+    ExpectMidFabricParity(ack);
+  }
+}
+
+TEST(SegmentCodecObserveTest, ViewIsInsensitiveToTsAndSackOptions) {
+  // As with the e2e option: recovery options ride in the option space and
+  // must not shift the core fields the shadow-state inference reads.
+  TcpSegment plain = DataSegment();
+  TcpSegment decorated = DataSegment();
+  decorated.ts = TsOption{42, 7};
+  decorated.sack.push_back(SackBlock{decorated.ack + 5000, decorated.ack + 6448});
+
+  const auto ep = EncodeSegmentHeader(plain);
+  const auto ed = EncodeSegmentHeader(decorated);
+  ASSERT_TRUE(ep.has_value() && ed.has_value());
+  const auto dp = DecodeSegmentHeader(ep->header.data(), ep->header.size(), ep->payload_len);
+  const auto dd = DecodeSegmentHeader(ed->header.data(), ed->header.size(), ed->payload_len);
+  ASSERT_TRUE(dp.has_value() && dd.has_value());
+  EXPECT_EQ(dd->seq, dp->seq);
+  EXPECT_EQ(dd->ack, dp->ack);
+  EXPECT_EQ(dd->window, dp->window);
+  EXPECT_EQ(dd->flags, dp->flags);
+  EXPECT_EQ(dd->len, dp->len);
 }
 
 }  // namespace

@@ -153,5 +153,170 @@ TEST(SegmentCodecTest, BothDirectionsDistinguishedByPortBit) {
   EXPECT_EQ(decoded->conn_id, 42u);
 }
 
+// ---------------------------------------------------------------------------
+// Option-combination round trips (timestamps / SACK / e2e exchange).
+// ---------------------------------------------------------------------------
+
+TcpSegment WithTs(TcpSegment seg) {
+  seg.ts = TsOption{0xA1B2C3D4, 0x00000001};
+  return seg;
+}
+
+TcpSegment WithSack(TcpSegment seg, size_t blocks) {
+  for (size_t i = 0; i < blocks; ++i) {
+    const uint32_t base = seg.ack + 3000 * static_cast<uint32_t>(i + 1);
+    seg.sack.push_back(SackBlock{base, base + 1448});
+  }
+  return seg;
+}
+
+void ExpectOptionsRoundTrip(const TcpSegment& original) {
+  const auto encoded = EncodeSegmentHeader(original);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_LE(encoded->header.size(), kTcpBaseHeaderBytes + kTcpMaxOptionBytes);
+  EXPECT_EQ(encoded->header.size() % 4, 0u);
+  const auto decoded =
+      DecodeSegmentHeader(encoded->header.data(), encoded->header.size(), original.len);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ts, original.ts);
+  EXPECT_EQ(decoded->sack, original.sack);
+  EXPECT_EQ(decoded->e2e_option, original.e2e_option);
+  EXPECT_EQ(decoded->seq, original.seq);
+  EXPECT_EQ(decoded->ack, original.ack);
+  EXPECT_EQ(decoded->window, original.window);
+}
+
+TEST(SegmentCodecTest, TimestampsAloneRoundTrip) {
+  ExpectOptionsRoundTrip(WithTs(SampleSegment(false, false)));
+}
+
+TEST(SegmentCodecTest, SackAloneRoundTripsUpToFourBlocks) {
+  for (size_t blocks = 1; blocks <= kMaxSackBlocks; ++blocks) {
+    ExpectOptionsRoundTrip(WithSack(SampleSegment(false, false), blocks));
+  }
+}
+
+TEST(SegmentCodecTest, TimestampsPlusSackRoundTrip) {
+  // 12 + SackOptionBytes(n) for n <= 3 fits; ArbitrateOptions never asks
+  // for more alongside timestamps.
+  for (size_t blocks = 1; blocks <= 3; ++blocks) {
+    ExpectOptionsRoundTrip(WithSack(WithTs(SampleSegment(false, false)), blocks));
+  }
+}
+
+TEST(SegmentCodecTest, ExchangeAloneRoundTrips) {
+  ExpectOptionsRoundTrip(SampleSegment(true, false));
+}
+
+TEST(SegmentCodecTest, AllThreeOptionsOnlyFitOversize) {
+  // The base exchange is exactly 40 bytes, so ts + SACK + exchange can
+  // never share a standard header — the arbiter guarantees callers never
+  // ask. The oversize escape hatch still round-trips all three for the
+  // experimental/EDO modelling path.
+  const TcpSegment seg = WithSack(WithTs(SampleSegment(true, false)), 1);
+  EXPECT_FALSE(EncodeSegmentHeader(seg).has_value());
+  const auto oversize = EncodeSegmentHeader(seg, /*allow_oversize=*/true);
+  ASSERT_TRUE(oversize.has_value());
+  const auto decoded =
+      DecodeSegmentHeader(oversize->header.data(), oversize->header.size(), seg.len);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ts, seg.ts);
+  EXPECT_EQ(decoded->sack, seg.sack);
+  EXPECT_EQ(decoded->e2e_option, seg.e2e_option);
+}
+
+TEST(SegmentCodecTest, TimestampsPlusThreeSackBlocksFillOptionSpaceExactly) {
+  // The other exact-fit boundary: 12 (ts) + 4 + 8*3 (SACK) == 40. One more
+  // block would burst the header; the encoder must neither pad past 60
+  // bytes nor reject the exact fit.
+  const TcpSegment seg = WithSack(WithTs(SampleSegment(false, false)), 3);
+  EXPECT_EQ(kTimestampOptionBytes + SackOptionBytes(3), kTcpMaxOptionBytes);
+  const auto encoded = EncodeSegmentHeader(seg);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(encoded->header.size(), kTcpBaseHeaderBytes + kTcpMaxOptionBytes);
+  ExpectOptionsRoundTrip(seg);
+
+  const TcpSegment burst = WithSack(WithTs(SampleSegment(false, false)), 4);
+  EXPECT_FALSE(EncodeSegmentHeader(burst).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Option-space arbitration: the shed priority order.
+// ---------------------------------------------------------------------------
+
+TEST(ArbitrateOptionsTest, EverythingFitsNothingShed) {
+  OptionDemand demand;
+  demand.timestamps = true;
+  demand.sack_blocks = 2;
+  const OptionPlan plan = ArbitrateOptions(demand);
+  EXPECT_TRUE(plan.timestamps);
+  EXPECT_EQ(plan.sack_blocks, 2u);
+  EXPECT_EQ(plan.sack_blocks_trimmed, 0u);
+  EXPECT_FALSE(plan.exchange_deferred);
+  EXPECT_FALSE(plan.timestamps_omitted);
+  EXPECT_EQ(plan.bytes_used, kTimestampOptionBytes + SackOptionBytes(2));
+}
+
+TEST(ArbitrateOptionsTest, SackBlocksTrimFirst) {
+  // Rule 2: with timestamps present only 3 of 4 demanded blocks fit; the
+  // tail block (stalest information) is shed and counted.
+  OptionDemand demand;
+  demand.timestamps = true;
+  demand.sack_blocks = 4;
+  const OptionPlan plan = ArbitrateOptions(demand);
+  EXPECT_TRUE(plan.timestamps);
+  EXPECT_EQ(plan.sack_blocks, 3u);
+  EXPECT_EQ(plan.sack_blocks_trimmed, 1u);
+  EXPECT_EQ(plan.bytes_used, kTcpMaxOptionBytes);
+}
+
+TEST(ArbitrateOptionsTest, ExchangeDefersBeforeEvictingTimestamps) {
+  // Rule 3 first half: a due-but-not-overdue exchange that cannot share
+  // the header is pushed to a later segment; timestamps stay.
+  OptionDemand demand;
+  demand.timestamps = true;
+  demand.exchange_due = true;
+  demand.exchange_size = kTcpMaxOptionBytes;  // The base payload: 40 bytes.
+  const OptionPlan plan = ArbitrateOptions(demand);
+  EXPECT_TRUE(plan.timestamps);
+  EXPECT_FALSE(plan.exchange);
+  EXPECT_TRUE(plan.exchange_deferred);
+  EXPECT_FALSE(plan.timestamps_omitted);
+}
+
+TEST(ArbitrateOptionsTest, OverdueExchangeEvictsTimestampsAndSack) {
+  // Rule 3 second half: once overdue, the exchange wins the whole option
+  // space for one segment; both sheds are visible to the caller.
+  OptionDemand demand;
+  demand.timestamps = true;
+  demand.sack_blocks = 2;
+  demand.exchange_due = true;
+  demand.exchange_overdue = true;
+  demand.exchange_size = kTcpMaxOptionBytes;
+  const OptionPlan plan = ArbitrateOptions(demand);
+  EXPECT_TRUE(plan.exchange);
+  EXPECT_FALSE(plan.timestamps);
+  EXPECT_TRUE(plan.timestamps_omitted);
+  EXPECT_EQ(plan.sack_blocks, 0u);
+  EXPECT_EQ(plan.sack_blocks_trimmed, 2u);
+  EXPECT_FALSE(plan.exchange_deferred);
+  EXPECT_EQ(plan.bytes_used, kTcpMaxOptionBytes);
+}
+
+TEST(ArbitrateOptionsTest, SmallExchangeSharesWithTimestamps) {
+  // A hypothetical trimmed exchange (< 28 bytes) coexists with
+  // timestamps; nothing is shed. Guards the arbiter against hardcoding
+  // "exchange == 40 bytes".
+  OptionDemand demand;
+  demand.timestamps = true;
+  demand.exchange_due = true;
+  demand.exchange_size = 20;
+  const OptionPlan plan = ArbitrateOptions(demand);
+  EXPECT_TRUE(plan.timestamps);
+  EXPECT_TRUE(plan.exchange);
+  EXPECT_FALSE(plan.exchange_deferred);
+  EXPECT_EQ(plan.bytes_used, kTimestampOptionBytes + 20);
+}
+
 }  // namespace
 }  // namespace e2e
