@@ -12,7 +12,8 @@
 // controller — governs small-window behavior: the estimator-interaction
 // cell the congestion-control subsystem unlocks.
 //
-// Usage: buffer_sizing_sweep [--smoke] [--jobs=N] [--series=out.csv] [out.json]
+// Usage: buffer_sizing_sweep [--smoke] [--jobs=N] [--shards=N] [--series=out.csv]
+//        [out.json]
 //   --smoke   small grid + short windows (CI determinism check); also runs
 //             the first cell twice and aborts on any divergence.
 //   --jobs=N  run independent cells on N workers (0 = all cores). Commits
@@ -60,8 +61,9 @@ struct FleetCell {
 };
 
 BufferSizingConfig MakeConfig(const char* scenario, CcAlgorithm algorithm, int flows,
-                              size_t buffer_bytes, bool smoke) {
+                              size_t buffer_bytes, bool smoke, int shards) {
   BufferSizingConfig config;
+  config.shards = shards;
   config.shape = std::strcmp(scenario, "dumbbell") == 0 ? FabricShape::kDumbbell
                                                         : FabricShape::kStar;
   config.num_flows = flows;
@@ -94,9 +96,11 @@ size_t BufferFor(const char* rule, const char* scenario, int flows) {
   return static_cast<size_t>(bdp);
 }
 
-FleetExperimentConfig MakeFleetConfig(CcAlgorithm algorithm, bool nagle_on, bool smoke) {
+FleetExperimentConfig MakeFleetConfig(CcAlgorithm algorithm, bool nagle_on, bool smoke,
+                                      int shards) {
   FleetExperimentConfig config;
   config.fabric = FleetExperimentConfig::DefaultFleetFabric(8);
+  config.fabric.shards = shards;
   config.fabric.server_port.buffer_bytes = 32 * 1024;
   config.fabric.server_port.ecn_threshold_bytes = 8 * 1024;
   config.total_rate_rps = 20000;
@@ -148,6 +152,7 @@ bool WriteSeries(const BufferSizingConfig& config, const char* path) {
     fabric.server_port.ecn_threshold_bytes = config.ecn_threshold_bytes;
   }
   fabric.seed = config.seed;
+  fabric.shards = config.shards;
   FabricTopology topo(fabric);
 
   TcpConfig tcp;
@@ -171,6 +176,8 @@ bool WriteSeries(const BufferSizingConfig& config, const char* path) {
       }
     };
     src->SetWritableCallback(pump);
+    // Match RunBufferSizing: the initial fill runs in the client's shard.
+    DomainScope in_client(&topo.sim(), topo.client_host(i).domain());
     topo.sim().Schedule(Duration::Zero(), pump);
   }
 
@@ -185,14 +192,16 @@ bool WriteSeries(const BufferSizingConfig& config, const char* path) {
 int Main(int argc, char** argv) {
   bool smoke = false;
   int jobs = 1;
+  int shards = 0;
   const char* json_path = nullptr;
   const char* series_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    bool jobs_ok = true;
+    bool flag_ok = true;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
-    } else if (ParseJobsFlag(argv[i], &jobs, &jobs_ok)) {
-      if (!jobs_ok) {
+    } else if (ParseJobsFlag(argv[i], &jobs, &flag_ok) ||
+               ParseShardsFlag(argv[i], &shards, &flag_ok)) {
+      if (!flag_ok) {
         std::fprintf(stderr, "invalid %s\n", argv[i]);
         return 1;
       }
@@ -224,7 +233,7 @@ int Main(int argc, char** argv) {
           cell.algorithm = algorithm;
           cell.flows = flows;
           cell.config = MakeConfig(scenario, algorithm, flows,
-                                   BufferFor(rule, scenario, flows), smoke);
+                                   BufferFor(rule, scenario, flows), smoke, shards);
           cells.push_back(cell);
         }
       }
@@ -277,7 +286,7 @@ int Main(int argc, char** argv) {
       FleetCell cell;
       cell.algorithm = algorithm;
       cell.nagle_on = nagle_on;
-      cell.config = MakeFleetConfig(algorithm, nagle_on, smoke);
+      cell.config = MakeFleetConfig(algorithm, nagle_on, smoke, shards);
       fleet_cells.push_back(cell);
     }
   }

@@ -11,7 +11,7 @@
 // estimated vs measured latency, the server port's occupancy high-water
 // mark, tail drops, ECN marks, and retransmits.
 //
-// Usage: fleet_sweep [--smoke] [--jobs=N] [--trace=trace.json] [out.json]
+// Usage: fleet_sweep [--smoke] [--jobs=N] [--shards=N] [--trace=trace.json] [out.json]
 //   --trace= record the first cell with the sim-time tracer and write
 //            Chrome trace-event JSON there (DESIGN.md §11). Passive: stdout
 //            and out.json are unchanged by tracing.
@@ -20,6 +20,10 @@
 //   --jobs=N run the independent cells on N worker threads (0 = all cores).
 //            Results commit in cell order, so stdout and out.json are
 //            byte-identical to --jobs=1 (DESIGN.md §12; CI compares them).
+//   --shards=N partition each cell's simulation into per-host/per-switch
+//            domains run by N workers (DESIGN.md §16). 0 (default) keeps
+//            the classic engine; output is byte-identical for every N >= 1
+//            (ctest label `shard` compares --shards=1 vs --shards=4).
 //
 // JSON is rendered with fixed-width formatting only: two runs with the same
 // seed are byte-identical (the determinism contract; see DESIGN.md §9).
@@ -47,9 +51,10 @@ struct Cell {
   FleetExperimentResult result;
 };
 
-FleetExperimentConfig MakeConfig(int num_clients, size_t buffer_bytes, bool smoke) {
+FleetExperimentConfig MakeConfig(int num_clients, size_t buffer_bytes, bool smoke, int shards) {
   FleetExperimentConfig config;
   config.fabric = FleetExperimentConfig::DefaultFleetFabric(num_clients);
+  config.fabric.shards = shards;
   config.fabric.server_port.buffer_bytes = buffer_bytes;
   // Mark early so the ECN counters show where marking would act.
   config.fabric.server_port.ecn_threshold_bytes = buffer_bytes / 4;
@@ -86,14 +91,16 @@ void CheckDeterminism(const FleetExperimentConfig& config) {
 int Main(int argc, char** argv) {
   bool smoke = false;
   int jobs = 1;
+  int shards = 0;
   const char* json_path = nullptr;
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    bool jobs_ok = true;
+    bool flag_ok = true;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
-    } else if (ParseJobsFlag(argv[i], &jobs, &jobs_ok)) {
-      if (!jobs_ok) {
+    } else if (ParseJobsFlag(argv[i], &jobs, &flag_ok) ||
+               ParseShardsFlag(argv[i], &shards, &flag_ok)) {
+      if (!flag_ok) {
         std::fprintf(stderr, "invalid %s\n", argv[i]);
         return 1;
       }
@@ -112,7 +119,7 @@ int Main(int argc, char** argv) {
                                             : std::vector<size_t>{64 * 1024, 512 * 1024, 0};
 
   if (smoke) {
-    CheckDeterminism(MakeConfig(fleet_sizes.front(), buffers.front(), smoke));
+    CheckDeterminism(MakeConfig(fleet_sizes.front(), buffers.front(), smoke, shards));
   }
 
   // --trace captures the first (smallest) cell: one client keeps the packet
@@ -144,7 +151,8 @@ int Main(int argc, char** argv) {
         Cell& cell = cells[i];
         // Thread-local binding: only cell 0 records, whatever thread runs it.
         ScopedTrace bind(i == 0 && recorder.has_value() ? &*recorder : nullptr);
-        cell.result = RunFleetExperiment(MakeConfig(cell.num_clients, cell.buffer_bytes, smoke));
+        cell.result =
+            RunFleetExperiment(MakeConfig(cell.num_clients, cell.buffer_bytes, smoke, shards));
       },
       [&](size_t i) {
         const Cell& cell = cells[i];

@@ -180,7 +180,7 @@ void BM_EventQueueScheduleCancelPop(benchmark::State& state) {
   for (auto _ : state) {
     t += 2;
     q.Push(TimePoint::FromNanos(t), [&sum, ballast] { sum += ballast[0]; });
-    const EventId doomed =
+    const auto doomed =
         q.Push(TimePoint::FromNanos(t + 1), [&sum, ballast] { sum += ballast[0]; });
     q.Cancel(doomed);
     q.Pop().cb();

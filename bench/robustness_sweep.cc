@@ -19,7 +19,7 @@
 //     causing zero health demotions (the health chain's metadata feed rides
 //     the clean forward path and must not be shaken by reverse-only loss).
 //
-// Usage: robustness_sweep [--smoke] [--jobs=N] [--trace=trace.json]
+// Usage: robustness_sweep [--smoke] [--jobs=N] [--shards=N] [--trace=trace.json]
 //                         [--series=out.csv] [out.json]
 //   --smoke   short windows (CI); also runs the first cell twice and aborts
 //             on any divergence.
@@ -89,8 +89,9 @@ const char* ScenarioName(Scenario s) {
   return "?";
 }
 
-RobustnessConfig MakeConfig(Scenario scenario, bool fallback, bool smoke) {
+RobustnessConfig MakeConfig(Scenario scenario, bool fallback, bool smoke, int shards) {
   RobustnessConfig config;
+  config.topology.shards = shards;  // Inert on the two-host (kDirect) cell.
   config.seed = kSeed;
   config.fallback_enabled = fallback;
   config.rate_rps = 20000;
@@ -228,15 +229,17 @@ void CheckDeterminism(const RobustnessConfig& config) {
 int Main(int argc, char** argv) {
   bool smoke = false;
   int jobs = 1;
+  int shards = 0;
   const char* json_path = nullptr;
   const char* trace_path = nullptr;
   const char* series_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    bool jobs_ok = true;
+    bool flag_ok = true;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
-    } else if (ParseJobsFlag(argv[i], &jobs, &jobs_ok)) {
-      if (!jobs_ok) {
+    } else if (ParseJobsFlag(argv[i], &jobs, &flag_ok) ||
+               ParseShardsFlag(argv[i], &shards, &flag_ok)) {
+      if (!flag_ok) {
         std::fprintf(stderr, "invalid %s\n", argv[i]);
         return 1;
       }
@@ -259,7 +262,7 @@ int Main(int argc, char** argv) {
                                     Scenario::kCrash, Scenario::kMixed, Scenario::kAckStorm};
 
   if (smoke) {
-    CheckDeterminism(MakeConfig(Scenario::kMetaWithhold, /*fallback=*/true, smoke));
+    CheckDeterminism(MakeConfig(Scenario::kMetaWithhold, /*fallback=*/true, smoke, shards));
   }
 
   // Build the cell grid up front: each cell is an independent deterministic
@@ -299,7 +302,7 @@ int Main(int argc, char** argv) {
       cells.size(),
       [&](size_t i) {
         Cell& cell = cells[i];
-        RobustnessConfig config = MakeConfig(cell.scenario, cell.fallback, smoke);
+        RobustnessConfig config = MakeConfig(cell.scenario, cell.fallback, smoke, shards);
         const bool observed_cell = is_observed(cell);
         if (observed_cell && series_path != nullptr) {
           config.series_interval = Duration::Millis(1);

@@ -5,7 +5,10 @@
 namespace e2e {
 namespace {
 
-EndpointAverages AvgsOf(const WirePayload& prev, const WirePayload& cur) {
+// Both helpers accept any type exposing unacked/unread/ackdelay counters —
+// the wire-side WirePayload and the estimator's PackedSnapshot slots alike.
+template <typename Prev, typename Cur>
+EndpointAverages AvgsOf(const Prev& prev, const Cur& cur) {
   return EndpointAverages{
       WireGetAvgs(prev.unacked, cur.unacked),
       WireGetAvgs(prev.unread, cur.unread),
@@ -15,7 +18,8 @@ EndpointAverages AvgsOf(const WirePayload& prev, const WirePayload& cur) {
 
 // Worst verdict across the three queues of a payload delta. All three share
 // one snapshot clock, so a wrap violation on any queue condemns the pair.
-WireDeltaVerdict CheckPayloadDelta(const WirePayload& prev, const WirePayload& cur) {
+template <typename Prev, typename Cur>
+WireDeltaVerdict CheckPayloadDelta(const Prev& prev, const Cur& cur) {
   WireDeltaVerdict worst = WireDeltaVerdict::kOk;
   const auto severity = [](WireDeltaVerdict v) {
     switch (v) {
@@ -49,6 +53,19 @@ bool Rejects(WireDeltaVerdict v) {
 
 }  // namespace
 
+ConnectionEstimator::PackedSnapshot ConnectionEstimator::Pack(const WirePayload& payload) {
+  PackedSnapshot packed;
+  packed.unacked = payload.unacked;
+  packed.unread = payload.unread;
+  packed.ackdelay = payload.ackdelay;
+  packed.present = 1;
+  if (payload.hint.has_value()) {
+    packed.hint = *payload.hint;
+    packed.has_hint = 1;
+  }
+  return packed;
+}
+
 WirePayload ConnectionEstimator::BuildLocalPayload(EndpointQueues& queues, HintTracker* hint,
                                                    TimePoint now) {
   const EndpointSnapshot snap = queues.SnapshotAll(mode_, now);
@@ -66,8 +83,8 @@ WirePayload ConnectionEstimator::BuildLocalPayload(EndpointQueues& queues, HintT
 bool ConnectionEstimator::OnRemotePayload(const WirePayload& remote, EndpointQueues& queues,
                                           HintTracker* hint, TimePoint now) {
   ++exchanges_;
-  if (remote_cur_.has_value()) {
-    last_verdict_ = CheckPayloadDelta(*remote_cur_, remote);
+  if (remote_cur_.present) {
+    last_verdict_ = CheckPayloadDelta(remote_cur_, remote);
     if (Rejects(last_verdict_)) {
       ++rejected_payloads_;
       return false;
@@ -77,20 +94,20 @@ bool ConnectionEstimator::OnRemotePayload(const WirePayload& remote, EndpointQue
   }
   last_update_ = now;
   local_prev_ = local_cur_;
-  local_cur_ = BuildLocalPayload(queues, hint, now);
+  local_cur_ = Pack(BuildLocalPayload(queues, hint, now));
   remote_prev_ = remote_cur_;
-  remote_cur_ = remote;
-  if (!local_prev_ || !remote_prev_) {
+  remote_cur_ = Pack(remote);
+  if (!local_prev_.present || !remote_prev_.present) {
     return true;
   }
-  const EndpointAverages local_avgs = AvgsOf(*local_prev_, *local_cur_);
-  const EndpointAverages remote_avgs = AvgsOf(*remote_prev_, *remote_cur_);
+  const EndpointAverages local_avgs = AvgsOf(local_prev_, local_cur_);
+  const EndpointAverages remote_avgs = AvgsOf(remote_prev_, remote_cur_);
   estimate_ = EstimateEndToEnd(local_avgs, remote_avgs);
   if (estimate_.latency.has_value()) {
     last_valid_ = estimate_;
   }
-  if (remote_prev_->hint && remote_cur_->hint) {
-    const QueueAverages hint_avgs = WireGetAvgs(*remote_prev_->hint, *remote_cur_->hint);
+  if (remote_prev_.has_hint && remote_cur_.has_hint) {
+    const QueueAverages hint_avgs = WireGetAvgs(remote_prev_.hint, remote_cur_.hint);
     if (hint_avgs.delay.has_value()) {
       hint_latency_ = hint_avgs.delay;
       hint_throughput_ = hint_avgs.throughput;
@@ -101,12 +118,12 @@ bool ConnectionEstimator::OnRemotePayload(const WirePayload& remote, EndpointQue
 
 E2eEstimate ConnectionEstimator::LocalOnlyEstimate(EndpointQueues& queues, TimePoint now) {
   local_only_prev_ = local_only_cur_;
-  local_only_cur_ = BuildLocalPayload(queues, /*hint=*/nullptr, now);
+  local_only_cur_ = Pack(BuildLocalPayload(queues, /*hint=*/nullptr, now));
   E2eEstimate est;
-  if (!local_only_prev_.has_value()) {
+  if (!local_only_prev_.present) {
     return est;
   }
-  const EndpointAverages avgs = AvgsOf(*local_only_prev_, *local_only_cur_);
+  const EndpointAverages avgs = AvgsOf(local_only_prev_, local_only_cur_);
   if (!avgs.unacked.delay.has_value()) {
     return est;
   }
@@ -117,12 +134,12 @@ E2eEstimate ConnectionEstimator::LocalOnlyEstimate(EndpointQueues& queues, TimeP
 }
 
 void ConnectionEstimator::Reset() {
-  local_prev_.reset();
-  local_cur_.reset();
-  remote_prev_.reset();
-  remote_cur_.reset();
-  local_only_prev_.reset();
-  local_only_cur_.reset();
+  local_prev_.Clear();
+  local_cur_.Clear();
+  remote_prev_.Clear();
+  remote_cur_.Clear();
+  local_only_prev_.Clear();
+  local_only_cur_.Clear();
   estimate_ = E2eEstimate{};
   last_valid_.reset();
   hint_latency_.reset();

@@ -80,15 +80,34 @@ class ConnectionEstimator {
   void Reset();
 
  private:
+  // Packed snapshot slot (state dieting for 100k+-connection fleets): the
+  // three queue counters plus the optional hint stored flat, with presence
+  // tracked by two bits instead of per-slot std::optional wrappers. Compared
+  // to std::optional<WirePayload> this also drops the per-slot copy of the
+  // unit mode (redundant with mode_) and the hint's own optional engaged
+  // flag — six slots per connection make the padding add up.
+  struct PackedSnapshot {
+    WireCounters unacked;
+    WireCounters unread;
+    WireCounters ackdelay;
+    WireCounters hint;  // Meaningful only when has_hint.
+    uint8_t present : 1;
+    uint8_t has_hint : 1;
+
+    PackedSnapshot() : present(0), has_hint(0) {}
+    void Clear() { present = 0; has_hint = 0; }
+  };
+  static PackedSnapshot Pack(const WirePayload& payload);
+
   UnitMode mode_;
-  std::optional<WirePayload> local_prev_;
-  std::optional<WirePayload> local_cur_;
-  std::optional<WirePayload> remote_prev_;
-  std::optional<WirePayload> remote_cur_;
+  PackedSnapshot local_prev_;
+  PackedSnapshot local_cur_;
+  PackedSnapshot remote_prev_;
+  PackedSnapshot remote_cur_;
   // Independent pair for LocalOnlyEstimate (tick-cadence, not exchange-
   // aligned; must advance while exchanges are absent).
-  std::optional<WirePayload> local_only_prev_;
-  std::optional<WirePayload> local_only_cur_;
+  PackedSnapshot local_only_prev_;
+  PackedSnapshot local_only_cur_;
   E2eEstimate estimate_;
   std::optional<E2eEstimate> last_valid_;
   std::optional<Duration> hint_latency_;

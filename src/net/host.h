@@ -36,8 +36,15 @@ class Host {
   CpuCore& softirq_core() { return softirq_core_; }
   Nic& nic() { return nic_; }
 
+  // The simulation shard this host's event processing belongs to (0 = the
+  // global domain, i.e. an unpartitioned run). Set by the topology builder;
+  // drivers wrap host-poking setup in DomainScope(sim, host.domain()).
+  uint32_t domain() const { return domain_; }
+  void set_domain(uint32_t domain) { domain_ = domain; }
+
  private:
   uint32_t id_;
+  uint32_t domain_ = 0;
   std::string name_;
   CpuCore app_core_;
   CpuCore softirq_core_;

@@ -81,8 +81,12 @@ TimePoint Link::Send(Packet packet) {
     tr->Record(e);
   }
 
+  // Delivery fires in the receiver's domain. For an unpartitioned run (or a
+  // link whose endpoints share a shard) this is a plain local push; for a
+  // cross-shard link the engine buffers it for the epoch barrier, which is
+  // safe because propagation >= the simulator's lookahead window.
   const TimePoint arrival = tx_end + config_.propagation;
-  sim_->ScheduleAt(arrival, [this, packet = std::move(packet)]() mutable {
+  sim_->ScheduleCrossAt(dst_domain_, arrival, [this, packet = std::move(packet)]() mutable {
     if (sink_ != nullptr) {
       sink_->DeliverPacket(std::move(packet));
     }

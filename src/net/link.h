@@ -35,6 +35,12 @@ class Link {
 
   void SetSink(PacketSink* sink) { sink_ = sink; }
 
+  // The simulation domain delivery fires in — the receiving component's
+  // shard. 0 (the default) keeps delivery in the global domain, which is
+  // exactly the pre-sharding behavior for unpartitioned runs.
+  void set_dst_domain(uint32_t domain) { dst_domain_ = domain; }
+  uint32_t dst_domain() const { return dst_domain_; }
+
   // Starts (or queues) serialization of `packet`; returns the time at which
   // the last bit leaves the sender (used by the NIC for TX completions).
   TimePoint Send(Packet packet);
@@ -61,6 +67,7 @@ class Link {
   IidLossModel loss_;
   std::string name_;
   PacketSink* sink_ = nullptr;
+  uint32_t dst_domain_ = 0;
   TimePoint tx_available_;  // When the wire frees up.
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;

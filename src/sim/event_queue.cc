@@ -17,7 +17,7 @@ EventId EventQueue::Push(TimePoint when, Callback cb) {
   }
   Slot& s = slots_[slot];
   s.cb = std::move(cb);
-  heap_.push_back(HeapItem{when, next_seq_++, slot, s.generation});
+  heap_.push_back(HeapItem{when, next_seq_++, s.generation, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
   return MakeId(slot, s.generation);
@@ -34,9 +34,8 @@ bool EventQueue::Cancel(EventId id) {
   if (id == kInvalidEventId) {
     return false;
   }
-  const uint32_t slot = static_cast<uint32_t>((id & 0xffffffffu) - 1);
-  const uint32_t generation = static_cast<uint32_t>(id >> 32);
-  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+  const uint32_t slot = id.slot - 1;
+  if (slot >= slots_.size() || slots_[slot].generation != id.generation) {
     return false;  // Already fired, already canceled, or never issued.
   }
   FreeSlot(slot);
@@ -44,6 +43,13 @@ bool EventQueue::Cancel(EventId id) {
   --live_;
   // The heap record stays behind; SkipStale() discards it when it surfaces.
   return true;
+}
+
+void EventQueue::SetSlotGenerationForTest(uint32_t slot, uint64_t generation) {
+  assert(slot < slots_.size());
+  // Only free slots may be re-stamped; a live event's id must keep matching.
+  assert(std::find(free_slots_.begin(), free_slots_.end(), slot) != free_slots_.end());
+  slots_[slot].generation = generation;
 }
 
 void EventQueue::SkipStale() {

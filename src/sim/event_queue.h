@@ -6,10 +6,10 @@
 // Storage is a slot store, not a hash map: each live event owns one slot in a
 // freelist-backed vector that holds the callback inline (InlineCallback), and
 // the binary heap orders {when, seq, slot, generation} records. An EventId
-// packs (generation, slot); Cancel() is an O(1) generation check that frees
-// the slot immediately, leaving the heap record behind as a stale entry that
-// Pop()/NextTime() discard lazily (a freed slot's generation is bumped, so a
-// stale record — or a stale id — can never match a reused slot). The
+// carries (generation, slot + 1); Cancel() is an O(1) generation check that
+// frees the slot immediately, leaving the heap record behind as a stale entry
+// that Pop()/NextTime() discard lazily (a freed slot's generation is bumped,
+// so a stale record — or a stale id — can never match a reused slot). The
 // schedule/pop path therefore does no hashing and, for callbacks that fit
 // InlineCallback's buffer, no allocation beyond amortized vector growth.
 //
@@ -32,10 +32,23 @@
 
 namespace e2e {
 
-// Identifies a scheduled event for cancellation: (generation << 32) |
-// (slot + 1). Id 0 is never issued.
-using EventId = uint64_t;
-inline constexpr EventId kInvalidEventId = 0;
+// Identifies a scheduled event for cancellation. The generation counter is a
+// full 64 bits: a stale id can never alias a recycled slot, no matter how
+// many times the slot turns over (the old packed-uint64 layout truncated the
+// generation to 32 bits, so an id held across 2^32 reuses of one slot could
+// cancel an unrelated event). `slot` stores index + 1 so the all-zero value
+// is never issued and serves as the invalid id.
+struct EventId {
+  uint64_t generation = 0;
+  uint32_t slot = 0;    // Slot index + 1; 0 marks the invalid id.
+  uint32_t domain = 0;  // Owning domain; stamped by the Simulator for routing.
+
+  friend constexpr bool operator==(const EventId& a, const EventId& b) {
+    return a.generation == b.generation && a.slot == b.slot && a.domain == b.domain;
+  }
+  friend constexpr bool operator!=(const EventId& a, const EventId& b) { return !(a == b); }
+};
+inline constexpr EventId kInvalidEventId{};
 
 class EventQueue {
  public:
@@ -66,20 +79,28 @@ class EventQueue {
   // Number of live events currently pending. O(1), const.
   size_t size() const { return live_; }
 
+  // Sequence number the next Push() will be stamped with. Exposed so the
+  // sharded simulator can order cross-domain deliveries deterministically.
+  uint64_t next_seq() const { return next_seq_; }
+
+  // Test-only: overwrite a free slot's generation counter to exercise the
+  // wraparound regression (e.g. the old 32-bit truncation boundary). The slot
+  // must exist and must not hold a live event.
+  void SetSlotGenerationForTest(uint32_t slot, uint64_t generation);
+
  private:
   struct Slot {
     Callback cb;
     // Matches the generation in outstanding EventIds/heap records while the
     // slot is live; bumped on every free so stale references never match.
-    // (Wraps after 2^32 reuses of one slot — out of reach for simulation
-    // runs, which top out around 10^9 events total.)
-    uint32_t generation = 0;
+    // 64-bit: cannot wrap within any physically possible run.
+    uint64_t generation = 1;
   };
   struct HeapItem {
     TimePoint when;
     uint64_t seq;  // Insertion order; breaks ties deterministically.
+    uint64_t generation;
     uint32_t slot;
-    uint32_t generation;
   };
   struct Later {
     bool operator()(const HeapItem& a, const HeapItem& b) const {
@@ -90,8 +111,8 @@ class EventQueue {
     }
   };
 
-  static EventId MakeId(uint32_t slot, uint32_t generation) {
-    return (static_cast<EventId>(generation) << 32) | (static_cast<EventId>(slot) + 1);
+  static EventId MakeId(uint32_t slot, uint64_t generation) {
+    return EventId{generation, slot + 1};
   }
 
   // Destroys the slot's callback, bumps its generation, and returns it to

@@ -25,7 +25,8 @@ uint32_t EndpointTrack(TraceRecorder* tr, uint64_t conn_id, bool is_a) {
 }  // namespace
 
 TcpEndpoint::TcpEndpoint(Simulator* sim, Host* host, uint64_t conn_id, bool is_a,
-                         const TcpConfig& config, const StackCosts* costs)
+                         const TcpConfig& config, const StackCosts* costs,
+                         std::pmr::memory_resource* mem)
     : sim_(sim),
       host_(host),
       conn_id_(conn_id),
@@ -38,10 +39,12 @@ TcpEndpoint::TcpEndpoint(Simulator* sim, Host* host, uint64_t conn_id, bool is_a
         return cc;
       }())),
       rtt_(config.rtt),
+      scoreboard_(mem),
+      last_rx_(sim->Now()),
+      ooo_(mem),
       queues_(sim->Now()),
       estimator_(config.e2e_mode),
-      last_exchange_sent_(sim->Now()),
-      last_rx_(sim->Now()) {
+      last_exchange_sent_(sim->Now()) {
   assert(sim_ != nullptr && host_ != nullptr && costs_ != nullptr);
   if (config_.e2e_exchange_interval > Duration::Zero()) {
     ScheduleExchangeTimer();
@@ -1018,14 +1021,24 @@ void TcpEndpoint::ArmPersistTimer() {
       ++stats_.persist_backoffs;
     }
     // Window probe: one byte past the advertised window. The receiver's
-    // (possibly duplicate) ack carries its current window.
-    auto planned = std::make_shared<PlannedPacket>();
+    // (possibly duplicate) ack carries its current window. Both halves of
+    // the CPU work may run after CloseEndpoint parks this endpoint in the
+    // graveyard (already-queued work items keep running), so each re-checks
+    // dead_ before touching send state or the NIC.
+    auto planned = std::make_shared<std::optional<PlannedPacket>>();
     host_->softirq_core().Submit(
         [this, planned]() -> Duration {
+          if (dead_) {
+            return Duration::Zero();
+          }
           *planned = BuildDataPacket(1);
-          return planned->cost + costs_->doorbell;
+          return (*planned)->cost + costs_->doorbell;
         },
-        [this, planned] { host_->nic().Transmit(std::move(planned->packet)); });
+        [this, planned] {
+          if (planned->has_value() && !dead_) {
+            host_->nic().Transmit(std::move((*planned)->packet));
+          }
+        });
     ArmPersistTimer();  // Keep probing on the backed-off schedule.
   });
 }
@@ -1088,7 +1101,7 @@ void TcpEndpoint::OnTlpFire() {
           return (*planned)->cost + costs_->doorbell;
         },
         [this, planned] {
-          if (planned->has_value()) {
+          if (planned->has_value() && !dead_) {
             host_->nic().Transmit(std::move((*planned)->packet));
           }
         });
@@ -1097,8 +1110,8 @@ void TcpEndpoint::OnTlpFire() {
 }
 
 void TcpEndpoint::OnRtoFire() {
-  if (snd_nxt_ == sndq_.head_offset()) {
-    return;  // Everything got acked in the meantime.
+  if (dead_ || snd_nxt_ == sndq_.head_offset()) {
+    return;  // Closed, or everything got acked in the meantime.
   }
   ++stats_.rto_fires;
   rtt_.Backoff();
@@ -1109,6 +1122,13 @@ void TcpEndpoint::OnRtoFire() {
   ++consecutive_rtos_;
   if (config_.rto_give_up > 0 && consecutive_rtos_ >= config_.rto_give_up) {
     DeclareDeadPeer("rto");
+    if (dead_) {
+      // The dead-peer callback may close this endpoint synchronously
+      // (TcpStack::CloseEndpoint -> Shutdown). Continuing would mutate a
+      // zombie's scoreboard, queue CPU work for it, and re-arm the RTO
+      // timer Shutdown just canceled.
+      return;
+    }
   }
   if (!in_recovery_) {
     recovery_started_at_ = sim_->Now();
@@ -1423,9 +1443,14 @@ void TcpEndpoint::OnKeepaliveFire() {
   // the subtraction underflows and WrapSeq lands on 0xFFFFFFFF — still one
   // below the peer's rcv_nxt in wire space, so pure receivers can probe too.
   const uint64_t probe_seq = snd_nxt_ - 1;
-  auto planned = std::make_shared<PlannedPacket>();
+  // Like the persist probe, the queued CPU work may outlive the endpoint's
+  // close (graveyard): re-check dead_ in both halves.
+  auto planned = std::make_shared<std::optional<PlannedPacket>>();
   host_->softirq_core().Submit(
       [this, planned, probe_seq]() -> Duration {
+        if (dead_) {
+          return Duration::Zero();
+        }
         auto seg = std::make_shared<TcpSegment>();
         seg->seq = WrapSeq(probe_seq);
         seg->len = 0;
@@ -1436,11 +1461,17 @@ void TcpEndpoint::OnKeepaliveFire() {
         packet.dst_host = peer_host_;
         packet.payload = std::move(seg);
         ++stats_.pure_acks_sent;
-        planned->packet = std::move(packet);
-        planned->cost = costs_->pure_ack_tx;
-        return planned->cost + costs_->doorbell;
+        PlannedPacket p;
+        p.packet = std::move(packet);
+        p.cost = costs_->pure_ack_tx;
+        *planned = std::move(p);
+        return (*planned)->cost + costs_->doorbell;
       },
-      [this, planned] { host_->nic().Transmit(std::move(planned->packet)); });
+      [this, planned] {
+        if (planned->has_value() && !dead_) {
+          host_->nic().Transmit(std::move((*planned)->packet));
+        }
+      });
   ArmKeepaliveTimer(config_.keepalive.interval);
 }
 

@@ -21,11 +21,13 @@ TcpStack::TcpStack(Simulator* sim, Host* host, const StackCosts& costs)
 }
 
 TcpEndpoint* TcpStack::CreateEndpoint(uint64_t conn_id, bool is_a, const TcpConfig& config) {
-  auto endpoint = std::make_unique<TcpEndpoint>(sim_, host_, conn_id, is_a, config, &costs_);
-  TcpEndpoint* raw = endpoint.get();
+  // The endpoint ctor arms timers (exchange, keepalive); on a sharded run
+  // those must land in the host's own shard queue, not the global one.
+  DomainScope in_host_domain(sim_, host_->domain());
+  TcpEndpoint* raw = arena_.New(sim_, host_, conn_id, is_a, config, &costs_, &endpoint_mem_);
   const uint64_t key = KeyFor(conn_id, is_a);
   assert(endpoints_.find(key) == endpoints_.end());
-  endpoints_.emplace(key, std::move(endpoint));
+  endpoints_.emplace(key, raw);
   endpoint_list_.push_back(raw);
   return raw;
 }
@@ -36,11 +38,11 @@ void TcpStack::CloseEndpoint(uint64_t conn_id, bool is_a) {
   if (it == endpoints_.end()) {
     return;
   }
-  TcpEndpoint* raw = it->second.get();
+  TcpEndpoint* raw = it->second;
   raw->Shutdown();
   endpoint_list_.erase(std::remove(endpoint_list_.begin(), endpoint_list_.end(), raw),
                        endpoint_list_.end());
-  graveyard_.push_back(std::move(it->second));
+  // The arena retains the zombie's allocation until the stack dies.
   endpoints_.erase(it);
   ++endpoints_closed_;
 }

@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <unordered_map>
 #include <vector>
 
 #include "src/net/host.h"
+#include "src/sim/arena.h"
 #include "src/sim/simulator.h"
 #include "src/tcp/endpoint.h"
 #include "src/tcp/tcp_config.h"
@@ -22,16 +24,18 @@ class TcpStack {
   TcpStack(Simulator* sim, Host* host, const StackCosts& costs);
 
   // Creates an endpoint for `conn_id`. `is_a` distinguishes the two sides
-  // of a connection; see ConnectPair. The endpoint is owned by the stack.
+  // of a connection; see ConnectPair. The endpoint lives in the stack's
+  // arena: one bump allocation per endpoint, stable address, destroyed with
+  // the stack.
   TcpEndpoint* CreateEndpoint(uint64_t conn_id, bool is_a, const TcpConfig& config);
 
-  // Tears down one endpoint (process crash / close): Shutdown()s it,
+  // Tears down one endpoint (process crash / close): Shutdown()s it and
   // removes it from segment demux and TX-completion fan-out — late
   // segments count as unknown_segments, the RST-less drop a dead port
-  // gives — and parks the object in a graveyard. The graveyard keeps the
-  // allocation alive because already-queued CPU work items and in-flight
-  // packets may still reference it; see TcpEndpoint::Shutdown(). Frees the
-  // (conn_id, is_a) key for a replacement incarnation. No-op when absent.
+  // gives. The arena keeps the zombie's allocation alive because
+  // already-queued CPU work items and in-flight packets may still
+  // reference it; see TcpEndpoint::Shutdown(). Frees the (conn_id, is_a)
+  // key for a replacement incarnation. No-op when absent.
   void CloseEndpoint(uint64_t conn_id, bool is_a);
 
   uint64_t endpoints_closed() const { return endpoints_closed_; }
@@ -51,9 +55,17 @@ class TcpStack {
   Simulator* sim_;
   Host* host_;
   StackCosts costs_;
-  std::unordered_map<uint64_t, std::unique_ptr<TcpEndpoint>> endpoints_;
+  // Pool behind every endpoint's per-segment maps (scoreboard/OOO). A host
+  // lives in one shard domain, so the unsynchronized resource is never
+  // touched concurrently. Declared before the arena: endpoints deallocate
+  // into it as the arena destroys them.
+  std::pmr::unsynchronized_pool_resource endpoint_mem_;
+  // All endpoints this stack ever created, open or closed (the arena never
+  // frees individually — closed endpoints are the graveyard). The map and
+  // list only track the *open* ones.
+  ObjectArena<TcpEndpoint> arena_;
+  std::unordered_map<uint64_t, TcpEndpoint*> endpoints_;
   std::vector<TcpEndpoint*> endpoint_list_;
-  std::vector<std::unique_ptr<TcpEndpoint>> graveyard_;  // Closed, still referenced.
   uint64_t unknown_segments_ = 0;
   uint64_t gro_merged_ = 0;
   uint64_t endpoints_closed_ = 0;

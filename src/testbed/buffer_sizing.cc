@@ -54,6 +54,7 @@ BufferSizingResult RunBufferSizing(const BufferSizingConfig& config) {
     fabric.server_port.ecn_threshold_bytes = config.ecn_threshold_bytes;
   }
   fabric.seed = config.seed;
+  fabric.shards = config.shards;
 
   FabricTopology topo(fabric);
   Simulator& sim = topo.sim();
@@ -86,6 +87,9 @@ BufferSizingResult RunBufferSizing(const BufferSizingConfig& config) {
       }
     };
     src->SetWritableCallback(pump);
+    // The initial fill (and the CPU work Send() prices) belongs to the
+    // client's shard, not the global domain.
+    DomainScope in_client(&sim, topo.client_host(i).domain());
     sim.Schedule(Duration::Zero(), pump);
   }
 

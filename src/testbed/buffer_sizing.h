@@ -59,6 +59,10 @@ struct BufferSizingConfig {
   Duration measure = Duration::Millis(80);
   Duration sample_interval = Duration::Micros(50);  // Queue/cwnd sampling.
   uint64_t seed = 7;
+
+  // Passed through to FabricConfig::shards (0 = classic engine; >= 1 runs
+  // domain-partitioned, bit-identical across values >= 1).
+  int shards = 0;
 };
 
 struct BufferSizingResult {

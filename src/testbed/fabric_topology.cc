@@ -41,11 +41,50 @@ FabricTopology::FabricTopology(const FabricConfig& config) : config_(config) {
   assert(config_.num_clients >= 1 && config_.num_servers >= 1);
   client_at_.resize(config_.num_clients);
   server_at_.resize(config_.num_servers);
+  // Domain layout for sharded runs: one domain per host and per switch, in
+  // a fixed order (clients, servers, switches), so the layout — and with it
+  // the execution order — depends only on the topology, never on the worker
+  // count. kDirect has no fabric hop to use as the lookahead window and
+  // keeps the classic single-domain engine regardless of `shards`.
+  sharded_ = config_.shards >= 1 && config_.shape != FabricShape::kDirect;
+  if (sharded_) {
+    for (int i = 0; i < config_.num_clients; ++i) {
+      client_domains_.push_back(sim_.AddDomain());
+    }
+    for (int i = 0; i < config_.num_servers; ++i) {
+      server_domains_.push_back(sim_.AddDomain());
+    }
+    const int num_switches = config_.shape == FabricShape::kDumbbell ? 2 : 1;
+    for (int s = 0; s < num_switches; ++s) {
+      switch_domains_.push_back(sim_.AddDomain());
+    }
+    sim_.SetWorkers(config_.shards);
+  }
   if (config_.shape == FabricShape::kDirect) {
     assert(config_.num_clients == 1 && config_.num_servers == 1);
     BuildDirect();
   } else {
     BuildSwitched();
+  }
+  if (sharded_) {
+    // The conservative lookahead: every cross-domain handoff is a link
+    // traversal, so the minimum propagation across the fabric bounds how
+    // far any domain may safely run ahead of the others. Link schedules can
+    // rewrite propagation mid-run, so scripted values count toward the
+    // minimum too.
+    Duration lookahead = Duration::Max();
+    for (const auto& link : links_) {
+      lookahead = std::min(lookahead, link->propagation());
+    }
+    for (const ImpairmentConfig* impair : {&config_.c2s_impairment, &config_.s2c_impairment}) {
+      for (const LinkScheduleStep& step : impair->schedule.steps) {
+        if (step.propagation.has_value()) {
+          lookahead = std::min(lookahead, *step.propagation);
+        }
+      }
+    }
+    assert(lookahead > Duration::Zero());
+    sim_.SetLookahead(lookahead);
   }
   for (int i = 0; i < config_.num_clients; ++i) {
     client_stacks_.push_back(
@@ -113,29 +152,37 @@ void FabricTopology::BuildSwitched() {
 
   // Attach one side's hosts to `sw`: uplink into the switch, a dedicated
   // output port + downlink back, and a forwarding entry for the host id.
+  // On sharded runs each link's delivery domain is its receiver's: the
+  // uplink fires in the switch's shard, the downlink in the host's.
   const auto attach = [&](Switch* sw, const FabricHostSpec& spec, const char* side, int index,
                           int count, uint32_t host_id, const SwitchPortConfig& port_config,
-                          std::vector<std::unique_ptr<Host>>* hosts, HostAttachment* at) {
+                          std::vector<std::unique_ptr<Host>>* hosts, HostAttachment* at,
+                          uint32_t host_domain, uint32_t sw_domain) {
     const std::string name = HostName(side, index, count);
     at->uplink =
         MakeLink(config_.edge_link, DeriveSeed(seed, kFabricSeedUplink, host_id), name + ".up");
     at->uplink->SetSink(sw);
+    at->uplink->set_dst_domain(sw_domain);
     at->downlink = MakeLink(config_.edge_link, DeriveSeed(seed, kFabricSeedDownlink, host_id),
                             name + ".down");
+    at->downlink->set_dst_domain(host_domain);
     const size_t port = sw->AddPort(at->downlink, port_config, sw->name() + "." + name);
     sw->SetRoute(host_id, port);
     hosts->push_back(std::make_unique<Host>(&sim_, at->uplink, spec.nic, name, host_id));
+    hosts->back()->set_domain(host_domain);
   };
 
+  const uint32_t left_domain = sharded_ ? switch_domains_.front() : 0;
+  const uint32_t right_domain = sharded_ ? switch_domains_.back() : 0;
   for (int i = 0; i < config_.num_clients; ++i) {
     const uint32_t id = static_cast<uint32_t>(i + 1);
     attach(left, config_.client, "client", i, config_.num_clients, id, config_.client_port,
-           &client_hosts_, &client_at_[i]);
+           &client_hosts_, &client_at_[i], sharded_ ? client_domains_[i] : 0, left_domain);
   }
   for (int i = 0; i < config_.num_servers; ++i) {
     const uint32_t id = static_cast<uint32_t>(config_.num_clients + i + 1);
     attach(right, config_.server, "server", i, config_.num_servers, id, config_.server_port,
-           &server_hosts_, &server_at_[i]);
+           &server_hosts_, &server_at_[i], sharded_ ? server_domains_[i] : 0, right_domain);
   }
 
   if (dumbbell) {
@@ -144,7 +191,9 @@ void FabricTopology::BuildSwitched() {
     Link* l2r = MakeLink(config_.trunk_link, DeriveSeed(seed, kFabricSeedTrunk, 0), "trunk.l2r");
     Link* r2l = MakeLink(config_.trunk_link, DeriveSeed(seed, kFabricSeedTrunk, 1), "trunk.r2l");
     l2r->SetSink(right);
+    l2r->set_dst_domain(right_domain);
     r2l->SetSink(left);
+    r2l->set_dst_domain(left_domain);
     const size_t left_trunk = left->AddPort(l2r, config_.trunk_port, "swL.trunk");
     const size_t right_trunk = right->AddPort(r2l, config_.trunk_port, "swR.trunk");
     for (int i = 0; i < config_.num_servers; ++i) {

@@ -110,6 +110,15 @@ struct FabricConfig {
 
   uint64_t seed = 42;
 
+  // Within-cell parallel DES (DESIGN.md §16). 0 = the classic
+  // single-threaded engine, untouched. >= 1 partitions the simulation into
+  // one domain per host plus one per switch and runs barrier epochs with
+  // `shards` worker threads; results are bit-identical for every value
+  // >= 1 (the domain layout is fixed — workers only change which thread
+  // executes which domain). The kDirect shape has no fabric to cut across,
+  // so it stays single-domain (and output-identical to shards == 0).
+  int shards = 0;
+
   FabricConfig() {
     edge_link.bandwidth_bps = 100e9;  // 100 Gbps ConnectX-5 class.
     edge_link.propagation = Duration::MicrosF(1.5);
@@ -184,7 +193,6 @@ class FabricTopology {
   // counters — the congestion signals the buffer-sizing study plots.
   void ExportQueueGauges(TimeSeriesSampler* sampler) const;
 
- private:
   struct HostAttachment {
     Link* uplink = nullptr;          // host -> fabric (the host's TX link).
     Link* downlink = nullptr;        // fabric -> host (final hop).
@@ -192,6 +200,15 @@ class FabricTopology {
     std::unique_ptr<LinkScheduler> rx_scheduler;
   };
 
+  // True when the fabric runs domain-partitioned (shards >= 1 on a switched
+  // shape).
+  bool sharded() const { return sharded_; }
+  // The domain owning switch `i`'s event processing (0 when unsharded).
+  uint32_t switch_domain(size_t i) const {
+    return sharded_ ? switch_domains_.at(i) : 0;
+  }
+
+ private:
   Link* MakeLink(const Link::Config& link_config, uint64_t seed, std::string name);
   // Wires `downlink` -> (impairment chain?) -> the host NIC, plus the link
   // scheduler, per the per-direction impairment config.
@@ -210,6 +227,10 @@ class FabricTopology {
   std::vector<std::unique_ptr<TcpStack>> server_stacks_;
   std::vector<HostAttachment> client_at_;
   std::vector<HostAttachment> server_at_;
+  bool sharded_ = false;
+  std::vector<uint32_t> client_domains_;
+  std::vector<uint32_t> server_domains_;
+  std::vector<uint32_t> switch_domains_;
 };
 
 }  // namespace e2e

@@ -1,6 +1,7 @@
 #include "src/testbed/fleet.h"
 
 #include <cassert>
+#include <chrono>
 #include <memory>
 
 #include "src/apps/lancet.h"
@@ -22,14 +23,18 @@ FabricConfig FleetExperimentConfig::DefaultFleetFabric(int num_clients) {
 
 FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
   const int n = config.fabric.num_clients;
-  assert(n >= 1);
-  assert(config.fabric.num_servers == 1);
+  const int m = config.fabric.num_servers;
+  assert(n >= 1 && m >= 1);
   assert(!config.client_profiles.empty());
+  // collect_interval == 0 runs lean: no collectors, no online sampling.
+  const bool lean = config.collect_interval == Duration::Zero();
 
   FabricTopology topo(config.fabric);
   Simulator& sim = topo.sim();
   CounterRegistry registry;
-  topo.ExportCounters(&registry);
+  if (!lean) {
+    topo.ExportCounters(&registry);
+  }
 
   TcpConfig client_tcp = RedisExperimentConfig::DefaultClientTcp();
   TcpConfig server_tcp = RedisExperimentConfig::DefaultServerTcp();
@@ -46,6 +51,7 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
     std::unique_ptr<LancetClient> client;
     std::unique_ptr<CounterCollector> collector;
     int profile = 0;
+    int server_index = 0;
   };
   std::vector<PerConnection> connections(static_cast<size_t>(n));
 
@@ -55,7 +61,9 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
     if (!config.client_cc.empty()) {
       conn_client_tcp.cc.algorithm = config.client_cc[i % config.client_cc.size()];
     }
-    pc.conn = topo.Connect(i, 0, static_cast<uint64_t>(i + 1), conn_client_tcp, server_tcp);
+    pc.server_index = i % m;
+    pc.conn = topo.Connect(i, pc.server_index, static_cast<uint64_t>(i + 1), conn_client_tcp,
+                           server_tcp);
     pc.profile = i % static_cast<int>(config.client_profiles.size());
 
     RedisServerApp::Config server_config;
@@ -80,13 +88,15 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
     client_config.pipeline_depth = config.pipeline_depth;
     pc.client = std::make_unique<LancetClient>(&sim, pc.conn.a, client_config);
 
-    pc.collector = std::make_unique<CounterCollector>(&sim, pc.conn.a, pc.conn.b,
-                                                      &pc.client->hints(),
-                                                      config.collect_interval);
-    if (i == 0) {
-      // Fabric-wide state is sampled once, alongside connection 0.
-      pc.collector->AttachImpairments(topo.c2s_impairment(0), topo.s2c_impairment(0));
-      pc.collector->AttachRegistry(&registry);
+    if (!lean) {
+      pc.collector = std::make_unique<CounterCollector>(&sim, pc.conn.a, pc.conn.b,
+                                                        &pc.client->hints(),
+                                                        config.collect_interval);
+      if (i == 0) {
+        // Fabric-wide state is sampled once, alongside connection 0.
+        pc.collector->AttachImpairments(topo.c2s_impairment(0), topo.s2c_impairment(0));
+        pc.collector->AttachRegistry(&registry);
+      }
     }
   }
 
@@ -124,11 +134,15 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
     if (toggle != nullptr) {
       const bool on = toggle->OnTick(sim.Now(), sample);
       for (PerConnection& pc : connections) {
+        // The control tick is a global event; endpoint pokes that flush (and
+        // so schedule CPU work) must land in the endpoint's own shard.
+        DomainScope in_server(&sim, topo.server_host(pc.server_index).domain());
         pc.conn.b->SetNoDelay(!on);
       }
     } else if (aimd != nullptr) {
       const double limit = aimd->OnTick(sim.Now(), sample);
       for (PerConnection& pc : connections) {
+        DomainScope in_server(&sim, topo.server_host(pc.server_index).domain());
         pc.conn.b->SetNoDelay(false);
         pc.conn.b->SetCorkLimit(static_cast<uint32_t>(limit));
       }
@@ -148,10 +162,18 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
     }
     sim.Schedule(config.collect_interval, online_tick);
   };
-  sim.Schedule(config.collect_interval, online_tick);
+  if (!lean) {
+    sim.Schedule(config.collect_interval, online_tick);
+  }
 
-  for (PerConnection& pc : connections) {
-    pc.collector->Start(run_end);
+  for (int i = 0; i < n; ++i) {
+    PerConnection& pc = connections[i];
+    if (!lean) {
+      pc.collector->Start(run_end);
+    }
+    // The first arrival (and the open-loop clock behind it) belongs to the
+    // client's shard.
+    DomainScope in_client(&sim, topo.client_host(i).domain());
     pc.client->Start();
   }
 
@@ -161,8 +183,10 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
   };
   const auto take_busy = [&] {
     BusySnapshot snap;
-    snap.server_app = topo.server_host(0).app_core().busy_time();
-    snap.server_softirq = topo.server_host(0).softirq_core().busy_time();
+    for (int s = 0; s < m; ++s) {
+      snap.server_app += topo.server_host(s).app_core().busy_time();
+      snap.server_softirq += topo.server_host(s).softirq_core().busy_time();
+    }
     for (int i = 0; i < n; ++i) {
       snap.client_app.push_back(topo.client_host(i).app_core().busy_time());
     }
@@ -173,11 +197,16 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
   BusySnapshot at_end{};
   sim.ScheduleAt(measure_end, [&] { at_end = take_busy(); });
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  const uint64_t events_before = sim.events_fired();
   sim.RunUntil(run_end);
+  const auto wall_end = std::chrono::steady_clock::now();
 
   // ---- Collect results ----
   FleetExperimentResult result;
   result.offered_krps = config.total_rate_rps / 1e3;
+  result.events_fired = sim.events_fired() - events_before;
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
 
   RunningStats latency_us;
   LogHistogram latency_hist{0.1, 1e9, 100};
@@ -198,11 +227,13 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
     cr.requests_completed = lancet.measured;
     cr.retransmits = pc.conn.a->stats().retransmits + pc.conn.b->stats().retransmits;
 
-    const E2eEstimate est =
-        pc.collector->EstimateWindow(UnitMode::kBytes, measure_start, measure_end);
-    estimates.push_back(est);
-    if (est.latency.has_value()) {
-      cr.est_bytes_us = est.latency->ToMicros();
+    if (!lean) {
+      const E2eEstimate est =
+          pc.collector->EstimateWindow(UnitMode::kBytes, measure_start, measure_end);
+      estimates.push_back(est);
+      if (est.latency.has_value()) {
+        cr.est_bytes_us = est.latency->ToMicros();
+      }
     }
 
     result.achieved_krps += cr.achieved_krps;
@@ -223,9 +254,10 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
   }
 
   const double window_sec = config.measure.ToSeconds();
-  result.server_app_util = (at_end.server_app - at_start.server_app).ToSeconds() / window_sec;
+  result.server_app_util =
+      (at_end.server_app - at_start.server_app).ToSeconds() / window_sec / m;
   result.server_softirq_util =
-      (at_end.server_softirq - at_start.server_softirq).ToSeconds() / window_sec;
+      (at_end.server_softirq - at_start.server_softirq).ToSeconds() / window_sec / m;
   double client_util_sum = 0;
   for (int i = 0; i < n; ++i) {
     client_util_sum +=
@@ -251,15 +283,17 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
     }
   }
 
-  const CounterRegistry::Values window =
-      connections[0].collector->RegistryWindow(measure_start, measure_end);
-  for (size_t e = 0; e < window.size(); ++e) {
-    FleetExperimentResult::EntityCounters counters;
-    const std::vector<std::string>& names = registry.counter_names(e);
-    for (size_t c = 0; c < names.size(); ++c) {
-      counters.emplace_back(names[c], window[e][c]);
+  if (!lean) {
+    const CounterRegistry::Values window =
+        connections[0].collector->RegistryWindow(measure_start, measure_end);
+    for (size_t e = 0; e < window.size(); ++e) {
+      FleetExperimentResult::EntityCounters counters;
+      const std::vector<std::string>& names = registry.counter_names(e);
+      for (size_t c = 0; c < names.size(); ++c) {
+        counters.emplace_back(names[c], window[e][c]);
+      }
+      result.fabric_window.emplace_back(registry.entity_name(e), std::move(counters));
     }
-    result.fabric_window.emplace_back(registry.entity_name(e), std::move(counters));
   }
   return result;
 }

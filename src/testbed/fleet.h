@@ -37,7 +37,9 @@ inline constexpr uint64_t kFleetSeedWorkload = 16;  // index = client host id.
 inline constexpr uint64_t kFleetSeedControl = 17;   // index = 0.
 
 struct FleetExperimentConfig {
-  // Topology; num_clients is the fleet size. Must have exactly one server.
+  // Topology; num_clients is the fleet size. Connection i lands on server
+  // i % num_servers (with one server — the default — exactly the historical
+  // single-server wiring).
   FabricConfig fabric = DefaultFleetFabric(4);
 
   double total_rate_rps = 40000;  // Split evenly across clients.
@@ -62,6 +64,10 @@ struct FleetExperimentConfig {
   Duration warmup = Duration::Millis(100);
   Duration measure = Duration::Millis(400);
   Duration drain = Duration::Millis(50);
+  // Zero runs *lean*: no per-connection collectors, no online-estimate
+  // sampling, no fabric counter window — the mode the 100k+-connection
+  // scaling cells use, where per-connection observers would dominate both
+  // memory and event count. Offline estimate fields stay empty.
   Duration collect_interval = Duration::Millis(1);
   uint64_t seed = 1;
   bool prefill_store = true;
@@ -133,10 +139,16 @@ struct FleetExperimentResult {
   uint64_t server_port_max_queue_bytes = 0;
   uint64_t server_port_max_queue_packets = 0;
 
-  // CPU utilization over the window, [0, 1].
+  // CPU utilization over the window, [0, 1]. Server figures average across
+  // server hosts (one server: exactly that host).
   double server_app_util = 0;
   double server_softirq_util = 0;
   double mean_client_app_util = 0;  // Averaged across client hosts.
+
+  // Engine cost of the run: simulator events executed and coordinator wall
+  // time, for events/sec scaling curves (bench/engine_perf).
+  uint64_t events_fired = 0;
+  double wall_seconds = 0;
 
   std::vector<FleetConnectionResult> connections;
 

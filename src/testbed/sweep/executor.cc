@@ -85,4 +85,23 @@ bool ParseJobsFlag(const char* arg, int* jobs, bool* ok) {
   return true;
 }
 
+bool ParseShardsFlag(const char* arg, int* shards, bool* ok) {
+  constexpr const char* kPrefix = "--shards=";
+  const size_t prefix_len = std::strlen(kPrefix);
+  if (std::strncmp(arg, kPrefix, prefix_len) != 0) {
+    return false;
+  }
+  const char* value = arg + prefix_len;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value, &end, 10);
+  if (*value == '\0' || end == nullptr || *end != '\0' || errno != 0 || parsed < 0) {
+    *ok = false;
+    return true;
+  }
+  *shards = static_cast<int>(parsed);
+  *ok = true;
+  return true;
+}
+
 }  // namespace e2e

@@ -55,6 +55,12 @@ class SweepExecutor {
 // callers can reject the flag; *ok reports whether N parsed cleanly.
 bool ParseJobsFlag(const char* arg, int* jobs, bool* ok);
 
+// Parses a `--shards=N` argument (same contract as ParseJobsFlag). N = 0
+// selects the classic single-domain engine; N >= 1 runs the cell's
+// simulation domain-partitioned with N worker threads — output must be
+// byte-identical for every N >= 1 (ctest label `shard` compares them).
+bool ParseShardsFlag(const char* arg, int* shards, bool* ok);
+
 }  // namespace e2e
 
 #endif  // SRC_TESTBED_SWEEP_EXECUTOR_H_

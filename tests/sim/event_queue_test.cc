@@ -134,6 +134,40 @@ TEST(EventQueueTest, GenerationSurvivesHeavySlotReuse) {
   EXPECT_TRUE(queue.Empty());
 }
 
+// Regression for the 32-bit generation truncation: under the old packed
+// layout an id whose generation differed from the slot's by an exact
+// multiple of 2^32 compared equal after truncation, so a stale id held
+// across 2^32 slot reuses could cancel an unrelated event. Force a slot's
+// generation across the wrap boundary and check the stale id stays dead.
+TEST(EventQueueTest, StaleIdStaysDeadAcrossGenerationWrapBoundary) {
+  EventQueue queue;
+  const EventId stale = queue.Push(At(1), [] {});
+  ASSERT_EQ(stale.slot, 1u);       // Slot index 0, stored as index + 1.
+  ASSERT_EQ(stale.generation, 1u);  // First incarnation.
+  ASSERT_TRUE(queue.Cancel(stale));  // Slot 0 is free again.
+
+  // Simulate 2^32 reuses of slot 0: its next incarnation's generation is
+  // congruent to the stale id's modulo 2^32 (1 + 2^32), which the old
+  // truncated compare could not tell apart from 1.
+  queue.SetSlotGenerationForTest(0, (1ull << 32) + 1);
+
+  int fired = 0;
+  const EventId reused = queue.Push(At(2), [&] { ++fired; });
+  ASSERT_EQ(reused.slot, stale.slot);  // Same slot, new incarnation.
+  EXPECT_EQ(reused.generation, (1ull << 32) + 1);
+  EXPECT_NE(stale, reused);
+
+  EXPECT_FALSE(queue.Cancel(stale));  // Must not kill the new event.
+  EXPECT_EQ(queue.size(), 1u);
+  queue.Pop().cb();
+  EXPECT_EQ(fired, 1);  // The reused-slot event still fires.
+
+  // And the live id from the wrapped incarnation cancels normally.
+  const EventId after = queue.Push(At(3), [] {});
+  EXPECT_TRUE(queue.Cancel(after));
+  EXPECT_TRUE(queue.Empty());
+}
+
 // Callbacks only need to be movable: a move-only capture must survive the
 // Push → slot → Pop round trip (InlineCallback, not std::function).
 TEST(EventQueueTest, MoveOnlyCallbackCapture) {

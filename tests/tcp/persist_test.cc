@@ -103,6 +103,45 @@ TEST(PersistTest, LongZeroWindowBacksOffProbeRate) {
   EXPECT_GE(conn.a->stats().persist_backoffs, 3u);
 }
 
+// Close-during-persist-backoff: the endpoint closes while a persist probe's
+// CPU work sits queued behind a stalled softirq core. When the work drains,
+// it must notice the zombie (graveyard-parked endpoint) instead of building
+// and transmitting a probe with it, and the canceled persist timer must not
+// schedule any further probes.
+TEST(PersistTest, CloseDuringPersistBackoffFiresNothingOnZombie) {
+  TwoHostTopology topo;
+  TcpConfig sender;
+  sender.nodelay = true;
+  sender.e2e_exchange_interval = Duration::Zero();
+  TcpConfig receiver = sender;
+  receiver.rcvbuf_bytes = 2000;
+  ConnectedPair conn = topo.Connect(1, sender, receiver);
+
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(10000, Rec(1)); });
+  // Get well into the backed-off schedule (interval at the 1 s cap).
+  topo.sim().RunFor(Duration::Seconds(4));
+  ASSERT_GE(conn.a->stats().persist_probes, 2u);
+  ASSERT_GE(conn.a->stats().persist_backoffs, 3u);
+
+  // Freeze the softirq core across the next probe interval: the persist
+  // timer fires into the stall, so its Submit()ed work is still queued when
+  // the endpoint closes underneath it 1.5 s in.
+  topo.client_host().softirq_core().Stall(Duration::Seconds(2));
+  uint64_t probes_at_close = 0;
+  uint64_t packets_at_close = 0;
+  topo.sim().Schedule(Duration::Millis(1500), [&] {
+    probes_at_close = conn.a->stats().persist_probes;
+    packets_at_close = conn.a->stats().wire_packets_sent;
+    topo.client_stack().CloseEndpoint(1, /*is_a=*/true);
+  });
+  topo.sim().RunFor(Duration::Seconds(4));  // Stall drains, then 2 s idle.
+
+  ASSERT_GE(probes_at_close, 3u);  // A probe did fire into the stall.
+  EXPECT_EQ(conn.a->stats().persist_probes, probes_at_close);
+  EXPECT_EQ(conn.a->stats().wire_packets_sent, packets_at_close);
+}
+
 TEST(PersistTest, NoProbesWhenWindowNeverCloses) {
   TwoHostTopology topo;
   TcpConfig tcp;

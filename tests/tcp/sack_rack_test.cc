@@ -130,5 +130,55 @@ TEST(SackRackTest, TailLossIsProbedNotTimedOut) {
   EXPECT_GT(conn.a->stats().tlp_probes, 0u);
 }
 
+// Close-during-TLP: a tail segment is deterministically blackholed so a
+// tail-loss probe arms; the softirq core is stalled across the PTO window so
+// the probe's CPU work sits queued while the endpoint closes. The drained
+// work must notice the zombie instead of retransmitting with it, and the
+// re-armed RTO (canceled by Shutdown) must never fire post-close.
+TEST(SackRackTest, CloseDuringTlpFiresNothingOnZombie) {
+  TopologyConfig topo_config;
+  LinkScheduleStep blackhole;
+  blackhole.at = TimePoint::Zero() + Duration::Millis(100);
+  blackhole.loss_probability = 0.999999;  // The model requires p < 1.
+  topo_config.c2s_impairment.schedule.Add(blackhole);
+  TwoHostTopology topo(topo_config);
+  TcpConfig tcp = BaseConfig();
+  tcp.features.sack = true;
+  tcp.features.rack = true;
+  tcp.features.timestamps = true;
+  ConnectedPair conn = topo.Connect(1, tcp, tcp);
+
+  // Warm-up on the clean link establishes SRTT, so the doomed send arms the
+  // RTO in TLP mode (PTO = 2*SRTT + delayed-ack allowance, ~42 ms here).
+  topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                            [&] { conn.a->Send(5000, Rec(1)); });
+  topo.sim().RunFor(Duration::Millis(100));
+  ASSERT_EQ(conn.b->ReadableBytes(), 5000u);
+
+  // The doomed tail segment goes into the blackhole at 110 ms; the PTO
+  // fires at ~152 ms, inside the 120-320 ms stall, queueing the probe's
+  // CPU work. The endpoint closes at 300 ms with that work still pending.
+  topo.sim().Schedule(Duration::Millis(10), [&] {
+    topo.client_host().app_core().SubmitFixed(Duration::Nanos(100),
+                                              [&] { conn.a->Send(600, Rec(2)); });
+  });
+  topo.sim().Schedule(Duration::Millis(20), [&] {
+    topo.client_host().softirq_core().Stall(Duration::Millis(200));
+  });
+  uint64_t packets_at_close = 0;
+  uint64_t retransmits_at_close = 0;
+  topo.sim().Schedule(Duration::Millis(200), [&] {
+    EXPECT_GE(conn.a->stats().tlp_probes, 1u);  // The PTO fired into the stall.
+    packets_at_close = conn.a->stats().wire_packets_sent;
+    retransmits_at_close = conn.a->stats().retransmits;
+    topo.client_stack().CloseEndpoint(1, /*is_a=*/true);
+  });
+  topo.sim().RunFor(Duration::Seconds(2));
+
+  EXPECT_EQ(conn.a->stats().wire_packets_sent, packets_at_close);
+  EXPECT_EQ(conn.a->stats().retransmits, retransmits_at_close);
+  EXPECT_EQ(conn.a->stats().rto_fires, 0u);  // Canceled at close; never fired.
+}
+
 }  // namespace
 }  // namespace e2e
