@@ -1,6 +1,7 @@
 // Buffer-sizing study: {BDP, BDP/sqrt(n), BDP/4} x {Reno, CUBIC, DCTCP} x
-// n flows, on a dumbbell trunk and an incast star (DESIGN.md §13,
-// EXPERIMENTS.md). Reproduces the qualitative result of Spang et al.,
+// n flows, on a dumbbell trunk, an incast star, and a 2:1-oversubscribed
+// leaf-spine core (DESIGN.md §13, §17; EXPERIMENTS.md). Reproduces the
+// qualitative result of Spang et al.,
 // "Updating the Theory of Buffer Sizing": drop-tail Reno needs a BDP of
 // buffer to stay at full utilization (and pays the standing-queue delay for
 // it), BDP/sqrt(n) suffices as n grows, and DCTCP with a shallow ECN
@@ -43,7 +44,7 @@ namespace {
 constexpr uint64_t kSeed = 2311;
 
 struct Cell {
-  const char* scenario;     // "dumbbell" | "incast"
+  const char* scenario;     // "dumbbell" | "incast" | "leafspine"
   const char* buffer_rule;  // "bdp" | "bdp_sqrt_n" | "bdp_4"
   CcAlgorithm algorithm;
   int flows;
@@ -60,12 +61,30 @@ struct FleetCell {
   FleetExperimentResult result;
 };
 
+// The leaf-spine scenario's per-spine trunk rate: the client rack's
+// host-facing capacity (`flows` clients at the 100 Gbps edge rate), halved
+// for a 2:1-oversubscribed core, split across the spines. Scaling with the
+// flow count keeps the oversubscription ratio — the thing the scenario is
+// about — constant across grid rows.
+double LeafSpineTrunkBps(int flows, int spines) {
+  return static_cast<double>(flows) * 100e9 / 2.0 / static_cast<double>(spines);
+}
+
 BufferSizingConfig MakeConfig(const char* scenario, CcAlgorithm algorithm, int flows,
                               size_t buffer_bytes, bool smoke, int shards) {
   BufferSizingConfig config;
   config.shards = shards;
-  config.shape = std::strcmp(scenario, "dumbbell") == 0 ? FabricShape::kDumbbell
-                                                        : FabricShape::kStar;
+  if (std::strcmp(scenario, "dumbbell") == 0) {
+    config.shape = FabricShape::kDumbbell;
+  } else if (std::strcmp(scenario, "leafspine") == 0) {
+    config.shape = FabricShape::kLeafSpine;
+    config.bottleneck_bps = LeafSpineTrunkBps(flows, config.num_spines);
+    // Datacenter-scale trunks: a ~26 us RTT (vs the dumbbell's stretched
+    // ~110 us) keeps the per-port BDP in the dozens-of-segments regime.
+    config.trunk_propagation = Duration::Micros(5);
+  } else {
+    config.shape = FabricShape::kStar;
+  }
   config.num_flows = flows;
   config.algorithm = algorithm;
   // DCTCP runs over a shallow marking threshold (RFC 8257's K); the
@@ -83,9 +102,17 @@ BufferSizingConfig MakeConfig(const char* scenario, CcAlgorithm algorithm, int f
 
 size_t BufferFor(const char* rule, const char* scenario, int flows) {
   BufferSizingConfig probe;
-  probe.shape = std::strcmp(scenario, "dumbbell") == 0 ? FabricShape::kDumbbell
-                                                       : FabricShape::kStar;
-  const double rate = probe.shape == FabricShape::kDumbbell ? probe.bottleneck_bps : 100e9;
+  double rate = 100e9;
+  if (std::strcmp(scenario, "dumbbell") == 0) {
+    probe.shape = FabricShape::kDumbbell;
+    rate = probe.bottleneck_bps;
+  } else if (std::strcmp(scenario, "leafspine") == 0) {
+    probe.shape = FabricShape::kLeafSpine;
+    probe.trunk_propagation = Duration::Micros(5);  // Match MakeConfig.
+    rate = LeafSpineTrunkBps(flows, probe.num_spines);  // Per uplink port.
+  } else {
+    probe.shape = FabricShape::kStar;
+  }
   const uint64_t bdp = BdpBytes(rate, BufferSizingBaseRtt(probe));
   if (std::strcmp(rule, "bdp_sqrt_n") == 0) {
     return static_cast<size_t>(static_cast<double>(bdp) / std::sqrt(static_cast<double>(flows)));
@@ -143,6 +170,12 @@ bool WriteSeries(const BufferSizingConfig& config, const char* path) {
   FabricConfig fabric;
   if (config.shape == FabricShape::kDumbbell) {
     fabric = FabricConfig::Dumbbell(config.num_flows, 1, config.bottleneck_bps);
+    fabric.trunk_link.propagation = config.trunk_propagation;
+    fabric.trunk_port.buffer_bytes = config.buffer_bytes;
+    fabric.trunk_port.ecn_threshold_bytes = config.ecn_threshold_bytes;
+  } else if (config.shape == FabricShape::kLeafSpine) {
+    fabric = FabricConfig::LeafSpine(config.num_flows, 1, /*leaves=*/2, config.num_spines,
+                                     config.bottleneck_bps);
     fabric.trunk_link.propagation = config.trunk_propagation;
     fabric.trunk_port.buffer_bytes = config.buffer_bytes;
     fabric.trunk_port.ecn_threshold_bytes = config.ecn_threshold_bytes;
@@ -214,7 +247,7 @@ int Main(int argc, char** argv) {
 
   PrintBanner("Buffer sizing: rule x congestion control x flows (cc subsystem)");
 
-  const std::vector<const char*> scenarios = {"dumbbell", "incast"};
+  const std::vector<const char*> scenarios = {"dumbbell", "incast", "leafspine"};
   const std::vector<const char*> rules =
       smoke ? std::vector<const char*>{"bdp", "bdp_sqrt_n"}
             : std::vector<const char*>{"bdp", "bdp_sqrt_n", "bdp_4"};
@@ -350,6 +383,7 @@ int Main(int argc, char** argv) {
     json.KV("buffer_bytes", static_cast<uint64_t>(cell.config.buffer_bytes));
     json.KV("ecn_threshold_bytes", static_cast<uint64_t>(cell.config.ecn_threshold_bytes));
     json.KV("goodput_gbps", r.aggregate_goodput_bps / 1e9, 3);
+    json.KV("cross_rack_goodput_gbps", r.cross_rack_goodput_bps / 1e9, 3);
     json.KV("utilization", r.bottleneck_utilization, 4);
     json.KV("mean_queue_bytes", r.mean_queue_bytes, 1);
     json.KV("p99_queue_bytes", r.p99_queue_bytes, 1);

@@ -11,10 +11,15 @@
 // estimated vs measured latency, the server port's occupancy high-water
 // mark, tail drops, ECN marks, and retransmits.
 //
-// Usage: fleet_sweep [--smoke] [--jobs=N] [--shards=N] [--trace=trace.json] [out.json]
+// Usage: fleet_sweep [--smoke] [--jobs=N] [--shards=N] [--leafspine]
+//                    [--trace=trace.json] [--series=out.csv] [out.json]
 //   --trace= record the first cell with the sim-time tracer and write
 //            Chrome trace-event JSON there (DESIGN.md §11). Passive: stdout
 //            and out.json are unchanged by tracing.
+//   --series= sample the first cell's fleet gauges every 1 ms and write the
+//            aligned series there (CSV, or JSON with a .json suffix).
+//            Passive like --trace: sampling is read-only, so the main
+//            outputs stay byte-identical.
 //   --smoke  small grid + short windows (CI determinism check); also runs
 //            the first cell twice and aborts on any divergence.
 //   --jobs=N run the independent cells on N worker threads (0 = all cores).
@@ -24,6 +29,10 @@
 //            domains run by N workers (DESIGN.md §16). 0 (default) keeps
 //            the classic engine; output is byte-identical for every N >= 1
 //            (ctest label `shard` compares --shards=1 vs --shards=4).
+//   --leafspine run every cell on a 2-leaf x 2-spine Clos fabric
+//            (DESIGN.md §17) with two servers instead of the single-switch
+//            star: half the connections cross racks and ECMP-hash over the
+//            spines, and sharded runs get a domain per switch.
 //
 // JSON is rendered with fixed-width formatting only: two runs with the same
 // seed are byte-identical (the determinism contract; see DESIGN.md §9).
@@ -51,9 +60,21 @@ struct Cell {
   FleetExperimentResult result;
 };
 
-FleetExperimentConfig MakeConfig(int num_clients, size_t buffer_bytes, bool smoke, int shards) {
+FleetExperimentConfig MakeConfig(int num_clients, size_t buffer_bytes, bool smoke, int shards,
+                                 bool leafspine) {
   FleetExperimentConfig config;
   config.fabric = FleetExperimentConfig::DefaultFleetFabric(num_clients);
+  if (leafspine) {
+    // Same edge calibration, Clos core: hosts round-robin over two racks,
+    // so with two servers half the connections stay rack-local and half
+    // cross a spine. The server-port buffer under sweep still applies to
+    // the hosts' leaf downlinks.
+    config.fabric.shape = FabricShape::kLeafSpine;
+    config.fabric.num_leaves = 2;
+    config.fabric.num_spines = 2;
+    config.fabric.num_servers = 2;
+    config.fabric.trunk_link.bandwidth_bps = 100e9;
+  }
   config.fabric.shards = shards;
   config.fabric.server_port.buffer_bytes = buffer_bytes;
   // Mark early so the ECN counters show where marking would act.
@@ -90,14 +111,18 @@ void CheckDeterminism(const FleetExperimentConfig& config) {
 
 int Main(int argc, char** argv) {
   bool smoke = false;
+  bool leafspine = false;
   int jobs = 1;
   int shards = 0;
   const char* json_path = nullptr;
   const char* trace_path = nullptr;
+  const char* series_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     bool flag_ok = true;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--leafspine") == 0) {
+      leafspine = true;
     } else if (ParseJobsFlag(argv[i], &jobs, &flag_ok) ||
                ParseShardsFlag(argv[i], &shards, &flag_ok)) {
       if (!flag_ok) {
@@ -106,12 +131,15 @@ int Main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--series=", 9) == 0) {
+      series_path = argv[i] + 9;
     } else {
       json_path = argv[i];
     }
   }
 
-  PrintBanner("Fleet sweep: clients x server-port buffer (star fabric)");
+  PrintBanner(leafspine ? "Fleet sweep: clients x server-port buffer (leaf-spine fabric)"
+                        : "Fleet sweep: clients x server-port buffer (star fabric)");
 
   const std::vector<int> fleet_sizes =
       smoke ? std::vector<int>{1, 4, 8} : std::vector<int>{1, 4, 16, 64, 256};
@@ -119,7 +147,7 @@ int Main(int argc, char** argv) {
                                             : std::vector<size_t>{64 * 1024, 512 * 1024, 0};
 
   if (smoke) {
-    CheckDeterminism(MakeConfig(fleet_sizes.front(), buffers.front(), smoke, shards));
+    CheckDeterminism(MakeConfig(fleet_sizes.front(), buffers.front(), smoke, shards, leafspine));
   }
 
   // --trace captures the first (smallest) cell: one client keeps the packet
@@ -151,8 +179,8 @@ int Main(int argc, char** argv) {
         Cell& cell = cells[i];
         // Thread-local binding: only cell 0 records, whatever thread runs it.
         ScopedTrace bind(i == 0 && recorder.has_value() ? &*recorder : nullptr);
-        cell.result =
-            RunFleetExperiment(MakeConfig(cell.num_clients, cell.buffer_bytes, smoke, shards));
+        cell.result = RunFleetExperiment(
+            MakeConfig(cell.num_clients, cell.buffer_bytes, smoke, shards, leafspine));
       },
       [&](size_t i) {
         const Cell& cell = cells[i];
@@ -203,6 +231,23 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(recorder->overwritten()), trace_path);
   }
 
+  if (series_path != nullptr) {
+    // Sampling is read-only, but the sampler's own ticks count as engine
+    // events and nudge the queue-occupancy stats the JSON reports — so the
+    // series comes from a dedicated same-seed re-run of the first cell and
+    // the main outputs stay byte-identical with and without --series.
+    FleetExperimentConfig config =
+        MakeConfig(cells.front().num_clients, cells.front().buffer_bytes, smoke, shards,
+                   leafspine);
+    config.series_interval = Duration::Millis(1);
+    const FleetExperimentResult observed = RunFleetExperiment(config);
+    if (observed.series == nullptr || !observed.series->WriteFile(series_path)) {
+      std::fprintf(stderr, "cannot write %s\n", series_path);
+      return 1;
+    }
+    std::fprintf(stderr, "series: %zu samples -> %s\n", observed.series->num_rows(), series_path);
+  }
+
   FILE* json_out = stdout;
   if (json_path != nullptr) {
     json_out = std::fopen(json_path, "w");
@@ -216,6 +261,7 @@ int Main(int argc, char** argv) {
   json.KV("bench", std::string("fleet_sweep"));
   json.KV("seed", kSeed);
   json.KV("smoke", static_cast<uint64_t>(smoke ? 1 : 0));
+  json.KV("fabric", std::string(leafspine ? "leafspine" : "star"));
   json.KV("unit_mode", std::string("bytes"));
   json.Key("cells").BeginArray();
   for (const Cell& cell : cells) {
@@ -253,6 +299,9 @@ int Main(int argc, char** argv) {
     json.KV("forwarding_misses", r.forwarding_misses);
     json.KV("server_port_max_queue_bytes", r.server_port_max_queue_bytes);
     json.KV("server_port_max_queue_packets", r.server_port_max_queue_packets);
+    json.KV("queue_peak_max", r.queue_peak_max);
+    json.KV("queue_peak_mean", r.queue_peak_mean, 1);
+    json.KV("queue_domains", r.queue_domains);
     json.KV("server_app_util", r.server_app_util, 4);
     json.KV("server_softirq_util", r.server_softirq_util, 4);
     json.KV("mean_client_app_util", r.mean_client_app_util, 4);

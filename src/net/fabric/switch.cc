@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/sim/logging.h"
+#include "src/sim/random.h"
 
 namespace e2e {
 
@@ -97,8 +98,39 @@ SwitchPort* Switch::RouteFor(uint32_t dst_host) {
   return it == routes_.end() ? nullptr : ports_[it->second].get();
 }
 
+void Switch::AddEcmpMember(size_t port, uint64_t member_key) {
+  assert(port < ports_.size());
+  ecmp_members_.push_back(EcmpMember{port, member_key});
+}
+
+SwitchPort* Switch::EcmpRouteFor(uint32_t src_host, uint32_t dst_host) {
+  if (ecmp_members_.empty()) {
+    return nullptr;
+  }
+  // Rendezvous (highest-random-weight) hashing: score every member with a
+  // keyed SplitMix64 mix of the flow key and keep the argmax. Ties break to
+  // the earlier member, but with 64-bit scores they are effectively
+  // impossible. O(members) per miss — spine fan-outs are single digits.
+  size_t best = 0;
+  uint64_t best_score = DeriveSeed(ecmp_members_[0].key, src_host, dst_host);
+  for (size_t i = 1; i < ecmp_members_.size(); ++i) {
+    const uint64_t score = DeriveSeed(ecmp_members_[i].key, src_host, dst_host);
+    if (score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return ports_[ecmp_members_[best].port].get();
+}
+
 void Switch::DeliverPacket(Packet packet) {
   SwitchPort* out = RouteFor(packet.dst_host);
+  if (out == nullptr) {
+    out = EcmpRouteFor(packet.src_host, packet.dst_host);
+    if (out != nullptr) {
+      ++ecmp_forwards_;
+    }
+  }
   if (out == nullptr) {
     ++forwarding_misses_;
     E2E_DEBUG(sim_->Now(), "switch", "%s: no route for host %u, dropping packet %lu",

@@ -15,13 +15,26 @@
 // `cc.ecn` enabled the mark is echoed back as ECE and drives the sender's
 // congestion controller (src/tcp/cc/); otherwise only the counters see it.
 //
-// Forwarding-table misses are counted and dropped (there is no flooding:
-// every simulated host is registered by the topology builder, so a miss is
-// a wiring bug or an unaddressed packet).
+// Multi-path: a switch may carry one ECMP group — an ordered list of
+// (port, member key) entries — consulted when the forwarding table has no
+// exact entry for the destination. Selection is highest-random-weight
+// (rendezvous) hashing: the member whose keyed SplitMix64 hash of the flow
+// key (src_host, dst_host) scores highest wins. That gives per-flow path
+// pinning (every packet of a flow takes one port, so a single-path flow can
+// never reorder inside the fabric) and minimal disruption (adding a member
+// only moves the flows that now score highest on the new member — existing
+// streams keep their paths). Leaf switches in a leaf-spine fabric use this
+// for their uplinks; see src/testbed/fabric_topology.*.
 //
-// Determinism: the switch does no random draws; all deferred work goes
-// through the simulator event queue, and the forwarding table is only ever
-// point-queried (no iteration), so runs replay byte-identically.
+// Forwarding-table misses (no exact route and no ECMP group) are counted
+// and dropped (there is no flooding: every simulated host is registered by
+// the topology builder, so a miss is a wiring bug or an unaddressed
+// packet).
+//
+// Determinism: the switch does no random draws — ECMP hashing is a pure
+// function of the flow key and the configured member keys; all deferred
+// work goes through the simulator event queue, and the forwarding table is
+// only ever point-queried (no iteration), so runs replay byte-identically.
 
 #ifndef SRC_NET_FABRIC_SWITCH_H_
 #define SRC_NET_FABRIC_SWITCH_H_
@@ -132,6 +145,23 @@ class Switch : public PacketSink {
   // Routes packets addressed to `dst_host` out of port `port`.
   void SetRoute(uint32_t dst_host, size_t port);
 
+  // Adds `port` to the switch's ECMP group with the given member key (a
+  // keyed-hash seed, typically DeriveSeed(topology seed, ecmp domain, member
+  // index) so it is stable across construction order). Packets with no
+  // exact route are forwarded out of the member that wins rendezvous
+  // hashing on the packet's (src_host, dst_host) flow key.
+  void AddEcmpMember(size_t port, uint64_t member_key);
+
+  // The ECMP member `flow (src_host, dst_host)` pins to, or nullptr when
+  // the group is empty. Pure function of the flow key and member keys.
+  SwitchPort* EcmpRouteFor(uint32_t src_host, uint32_t dst_host);
+
+  size_t ecmp_group_size() const { return ecmp_members_.size(); }
+
+  // Packets forwarded via the ECMP group (route-table misses that hashed to
+  // a member instead of dropping).
+  uint64_t ecmp_forwards() const { return ecmp_forwards_; }
+
   // PacketSink: ingress from any attached link.
   void DeliverPacket(Packet packet) override;
 
@@ -150,11 +180,18 @@ class Switch : public PacketSink {
   SwitchTap* tap() { return tap_; }
 
  private:
+  struct EcmpMember {
+    size_t port;
+    uint64_t key;
+  };
+
   Simulator* sim_;
   std::string name_;
   std::vector<std::unique_ptr<SwitchPort>> ports_;
   std::unordered_map<uint32_t, size_t> routes_;  // Point-queried only.
+  std::vector<EcmpMember> ecmp_members_;
   uint64_t forwarding_misses_ = 0;
+  uint64_t ecmp_forwards_ = 0;
   SwitchTap* tap_ = nullptr;
 };
 

@@ -30,6 +30,12 @@ struct Packet {
   // fabrics (src/net/fabric) forward on it; point-to-point links ignore it.
   // 0 means "unaddressed" and never matches a forwarding-table entry.
   uint32_t dst_host = 0;
+  // Source host id, stamped by the sending TCP endpoint alongside dst_host.
+  // Multi-path fabrics hash (src_host, dst_host) — the flow key — to pick an
+  // ECMP member deterministically, pinning every packet of a flow to one
+  // path. 0 means "unknown"; such packets still forward (they hash like any
+  // other value) but all share one ECMP path.
+  uint32_t src_host = 0;
   // Set by the impairment engine's corruption stage: the packet keeps its
   // size (it occupies the wire and reaches the receiver) but the receiving
   // NIC's checksum validation drops it on arrival.

@@ -6,6 +6,55 @@
 
 namespace e2e {
 
+namespace {
+// 4-ary layout: children of node i are 4i+1 .. 4i+4, parent is (i-1)/4.
+constexpr size_t kArity = 4;
+}  // namespace
+
+void EventQueue::SiftHoleUp(size_t index, const HeapItem& item) {
+  while (index > 0) {
+    const size_t parent = (index - 1) / kArity;
+    if (!Before(item, heap_[parent])) {
+      break;
+    }
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = item;
+}
+
+void EventQueue::RemoveTop() {
+  const HeapItem last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  // Sift the former last record down from the root: promote the smallest
+  // child into the hole until `last` fits. The four children are contiguous,
+  // so one level costs at most two cache lines.
+  size_t index = 0;
+  for (;;) {
+    const size_t first = index * kArity + 1;
+    if (first >= n) {
+      break;
+    }
+    size_t best = first;
+    const size_t end = std::min(first + kArity, n);
+    for (size_t c = first + 1; c < end; ++c) {
+      if (Before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Before(heap_[best], last)) {
+      break;
+    }
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  heap_[index] = last;
+}
+
 EventId EventQueue::Push(TimePoint when, Callback cb) {
   uint32_t slot;
   if (!free_slots_.empty()) {
@@ -17,9 +66,13 @@ EventId EventQueue::Push(TimePoint when, Callback cb) {
   }
   Slot& s = slots_[slot];
   s.cb = std::move(cb);
-  heap_.push_back(HeapItem{when, next_seq_++, s.generation, slot});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapItem item{when, next_seq_++, s.generation, slot};
+  heap_.push_back(item);  // Placeholder; SiftHoleUp fills the real position.
+  SiftHoleUp(heap_.size() - 1, item);
   ++live_;
+  if (live_ > max_live_) {
+    max_live_ = live_;
+  }
   return MakeId(slot, s.generation);
 }
 
@@ -54,8 +107,7 @@ void EventQueue::SetSlotGenerationForTest(uint32_t slot, uint64_t generation) {
 
 void EventQueue::SkipStale() {
   while (!heap_.empty() && heap_.front().generation != slots_[heap_.front().slot].generation) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    RemoveTop();
   }
 }
 
@@ -71,8 +123,7 @@ EventQueue::Entry EventQueue::Pop() {
   SkipStale();
   assert(!heap_.empty());
   const HeapItem item = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
+  RemoveTop();
   Slot& s = slots_[item.slot];
   assert(s.generation == item.generation);
   Entry entry{item.when, MakeId(item.slot, item.generation), std::move(s.cb)};

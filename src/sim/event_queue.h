@@ -5,13 +5,27 @@
 //
 // Storage is a slot store, not a hash map: each live event owns one slot in a
 // freelist-backed vector that holds the callback inline (InlineCallback), and
-// the binary heap orders {when, seq, slot, generation} records. An EventId
-// carries (generation, slot + 1); Cancel() is an O(1) generation check that
-// frees the slot immediately, leaving the heap record behind as a stale entry
-// that Pop()/NextTime() discard lazily (a freed slot's generation is bumped,
-// so a stale record — or a stale id — can never match a reused slot). The
-// schedule/pop path therefore does no hashing and, for callbacks that fit
-// InlineCallback's buffer, no allocation beyond amortized vector growth.
+// a 4-ary implicit heap orders {when, seq, slot, generation} records. An
+// EventId carries (generation, slot + 1); Cancel() is an O(1) generation
+// check that frees the slot immediately, leaving the heap record behind as a
+// stale entry that Pop()/NextTime() discard lazily (a freed slot's generation
+// is bumped, so a stale record — or a stale id — can never match a reused
+// slot). The schedule/pop path therefore does no hashing and, for callbacks
+// that fit InlineCallback's buffer, no allocation beyond amortized vector
+// growth.
+//
+// The heap is 4-ary rather than binary: sift-down — the Pop() hot path —
+// visits half as many levels, and the four children of a node share one or
+// two cache lines (32-byte records), which is what puts schedule/pop ahead
+// of the legacy map-backed queue, not just cancel. The (when, seq) comparator
+// is a strict total order (seq is unique), so pop order is identical to any
+// other correct heap — arity is invisible to determinism.
+//
+// Storage lives behind std::pmr: a queue can be bound to an arena
+// (ArenaMemoryResource in src/sim/arena.h) so a simulator domain's slots,
+// heap records, and freelist occupy domain-owned chunks instead of the
+// global heap. The default constructor uses the default pmr resource and
+// behaves exactly as before.
 //
 // Complexity (n = live + stale heap records):
 //   Push      O(log n); allocation-free once vectors reach steady capacity.
@@ -25,6 +39,7 @@
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "src/sim/callback.h"
@@ -53,6 +68,15 @@ inline constexpr EventId kInvalidEventId{};
 class EventQueue {
  public:
   using Callback = InlineCallback;
+
+  // Default: storage on the default pmr resource (the global heap).
+  EventQueue() : EventQueue(std::pmr::get_default_resource()) {}
+
+  // Storage (slots, heap records, freelist) allocated from `mr`. The
+  // resource must outlive the queue; the queue never deallocates piecemeal,
+  // so a bump arena is the intended resource.
+  explicit EventQueue(std::pmr::memory_resource* mr)
+      : heap_(mr), slots_(mr), free_slots_(mr) {}
 
   // Schedules `cb` to fire at `when`. Returns an id usable with Cancel().
   EventId Push(TimePoint when, Callback cb);
@@ -83,6 +107,10 @@ class EventQueue {
   // sharded simulator can order cross-domain deliveries deterministically.
   uint64_t next_seq() const { return next_seq_; }
 
+  // High-water mark of live events over the queue's lifetime — the
+  // per-domain occupancy statistic engine_perf commits to BENCH_engine.json.
+  uint64_t max_live() const { return max_live_; }
+
   // Test-only: overwrite a free slot's generation counter to exercise the
   // wraparound regression (e.g. the old 32-bit truncation boundary). The slot
   // must exist and must not hold a live event.
@@ -102,14 +130,13 @@ class EventQueue {
     uint64_t generation;
     uint32_t slot;
   };
-  struct Later {
-    bool operator()(const HeapItem& a, const HeapItem& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+  // Strict total order: (when, seq) ascending; seq is unique per queue.
+  static bool Before(const HeapItem& a, const HeapItem& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
     }
-  };
+    return a.seq < b.seq;
+  }
 
   static EventId MakeId(uint32_t slot, uint64_t generation) {
     return EventId{generation, slot + 1};
@@ -122,10 +149,16 @@ class EventQueue {
   // Drops stale (canceled) records from the head of the heap.
   void SkipStale();
 
-  std::vector<HeapItem> heap_;  // Binary heap via std::push_heap/pop_heap.
-  std::vector<Slot> slots_;
-  std::vector<uint32_t> free_slots_;
+  // 4-ary heap primitives. SiftHoleUp places `item` starting from the hole
+  // at `index`; RemoveTop fills the root from the last record.
+  void SiftHoleUp(size_t index, const HeapItem& item);
+  void RemoveTop();
+
+  std::pmr::vector<HeapItem> heap_;  // 4-ary implicit min-heap, root at 0.
+  std::pmr::vector<Slot> slots_;
+  std::pmr::vector<uint32_t> free_slots_;
   size_t live_ = 0;
+  uint64_t max_live_ = 0;
   uint64_t next_seq_ = 0;
 };
 

@@ -20,10 +20,13 @@ namespace {
 constexpr int kBarrierSpins = 1024;
 }  // namespace
 
-Simulator::Domain::Domain(uint32_t id_in) : id(id_in) {}
+Simulator::Domain::Domain(uint32_t id_in)
+    : id(id_in),
+      arena(std::make_unique<ArenaMemoryResource>()),
+      queue(arena.get()),
+      outbox(arena.get()) {}
 Simulator::Domain::~Domain() = default;
 Simulator::Domain::Domain(Domain&&) noexcept = default;
-Simulator::Domain& Simulator::Domain::operator=(Domain&&) noexcept = default;
 
 Simulator::Simulator() {
   domains_.emplace_back(0);
@@ -169,6 +172,19 @@ size_t Simulator::pending_events() const {
   return total;
 }
 
+Simulator::QueueOccupancy Simulator::queue_occupancy() const {
+  QueueOccupancy occ;
+  occ.domains = domains_.size();
+  uint64_t sum = 0;
+  for (const Domain& d : domains_) {
+    const uint64_t peak = d.queue.max_live();
+    occ.peak_max = std::max(occ.peak_max, peak);
+    sum += peak;
+  }
+  occ.peak_mean = occ.domains == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(occ.domains);
+  return occ;
+}
+
 // ---------------------------------------------------------------------------
 // Parallel engine.
 // ---------------------------------------------------------------------------
@@ -180,22 +196,19 @@ uint64_t Simulator::RunSharded(TimePoint deadline, bool clamp) {
   SetUpDomainTraces();
   StartWorkers();
   const uint32_t n = num_domains();
+  worker_lanes_.resize(static_cast<size_t>(active_workers_));
   // t_dom — the earliest pending shard event — is maintained incrementally:
   // after each epoch it is the min of the per-worker minima plus the
-  // earliest barrier delivery. A full scan happens only on entry and after
-  // global events (which may push into any shard queue directly).
+  // earliest barrier delivery. The lane heaps are rebuilt (a full scan) only
+  // on entry and after global events, which may push into any shard queue
+  // directly; every other epoch touches only domains that actually have
+  // work.
   bool rescan_domains = true;
   TimePoint t_dom = TimePoint::Max();
   for (;;) {
     if (rescan_domains) {
       rescan_domains = false;
-      t_dom = TimePoint::Max();
-      for (uint32_t d = 1; d < n; ++d) {
-        Domain& dom = domains_[d];
-        if (!dom.queue.Empty()) {
-          t_dom = std::min(t_dom, dom.queue.NextTime());
-        }
-      }
+      t_dom = RebuildLanes();
     }
     const TimePoint t_g = root_->queue.Empty() ? TimePoint::Max() : root_->queue.NextTime();
     if (t_g == TimePoint::Max() && t_dom == TimePoint::Max()) {
@@ -232,7 +245,6 @@ uint64_t Simulator::RunSharded(TimePoint deadline, bool clamp) {
       end = deadline + Duration::Nanos(1);
     }
     epoch_end_excl_ = end;
-    worker_lanes_.resize(static_cast<size_t>(active_workers_));
     if (active_workers_ > 1) {
       outstanding_.store(active_workers_ - 1, std::memory_order_relaxed);
       {
@@ -273,18 +285,49 @@ uint64_t Simulator::RunSharded(TimePoint deadline, bool clamp) {
   return events_fired() - fired_before;
 }
 
+void Simulator::LanePush(WorkerLane& lane, LaneEntry entry) {
+  lane.heap.push_back(entry);
+  std::push_heap(lane.heap.begin(), lane.heap.end(),
+                 [](const LaneEntry& a, const LaneEntry& b) { return a.when > b.when; });
+}
+
+TimePoint Simulator::RebuildLanes() {
+  for (WorkerLane& lane : worker_lanes_) {
+    lane.heap.clear();
+  }
+  TimePoint t_dom = TimePoint::Max();
+  const uint32_t n = num_domains();
+  for (uint32_t d = 1; d < n; ++d) {
+    Domain& dom = domains_[d];
+    if (!dom.queue.Empty()) {
+      const TimePoint next = dom.queue.NextTime();
+      t_dom = std::min(t_dom, next);
+      LanePush(worker_lanes_[static_cast<size_t>(LaneFor(d))], LaneEntry{next, d});
+    }
+  }
+  return t_dom;
+}
+
 void Simulator::RunEpochShare(int worker_id) {
   const TimePoint end = epoch_end_excl_;
-  const uint32_t n = num_domains();
   sim_internal::ExecContext& ctx = sim_internal::g_exec;
   const sim_internal::ExecContext saved = ctx;
   WorkerLane& lane = worker_lanes_[static_cast<size_t>(worker_id)];
-  lane.min_next = TimePoint::Max();
-  for (uint32_t d = 1 + static_cast<uint32_t>(worker_id); d < n;
-       d += static_cast<uint32_t>(active_workers_)) {
-    Domain& dom = domains_[d];
-    if (!dom.queue.Empty() && dom.queue.NextTime() < end) {
-      ctx = sim_internal::ExecContext{this, &dom, d, /*parallel=*/true};
+  auto later = [](const LaneEntry& a, const LaneEntry& b) { return a.when > b.when; };
+  // Drain the lane heap: only domains with an entry before the epoch end are
+  // touched. A popped entry is acted on only if it still matches the
+  // domain's NextTime — a mismatch means the domain already ran (or was
+  // re-armed) under a fresher entry that is also in the heap.
+  while (!lane.heap.empty() && lane.heap.front().when < end) {
+    const LaneEntry top = lane.heap.front();
+    std::pop_heap(lane.heap.begin(), lane.heap.end(), later);
+    lane.heap.pop_back();
+    Domain& dom = domains_[top.domain];
+    if (dom.queue.Empty() || dom.queue.NextTime() != top.when) {
+      continue;  // Stale entry.
+    }
+    ctx = sim_internal::ExecContext{this, &dom, top.domain, /*parallel=*/true};
+    {
       ScopedTrace bind_trace(trace_sharded_ ? dom.trace.get() : nullptr);
       while (!dom.queue.Empty()) {
         if (dom.queue.NextTime() >= end) {
@@ -296,19 +339,32 @@ void Simulator::RunEpochShare(int worker_id) {
         ++dom.events_fired;
         entry.cb();
       }
-      ctx = saved;
-      if (!dom.outbox.empty()) {
-        // Drain into the worker lane now, while this thread still owns the
-        // domain: the coordinator then merges `active_workers_` lanes, not
-        // every domain's outbox.
-        lane.outbox.insert(lane.outbox.end(), std::make_move_iterator(dom.outbox.begin()),
-                           std::make_move_iterator(dom.outbox.end()));
-        dom.outbox.clear();
-      }
+    }
+    ctx = saved;
+    if (!dom.outbox.empty()) {
+      // Drain into the worker lane now, while this thread still owns the
+      // domain: the coordinator then merges `active_workers_` lanes, not
+      // every domain's outbox.
+      lane.outbox.insert(lane.outbox.end(), std::make_move_iterator(dom.outbox.begin()),
+                         std::make_move_iterator(dom.outbox.end()));
+      dom.outbox.clear();
     }
     if (!dom.queue.Empty()) {
-      lane.min_next = std::min(lane.min_next, dom.queue.NextTime());
+      LanePush(lane, LaneEntry{dom.queue.NextTime(), top.domain});
     }
+  }
+  // The validated heap top is the worker's contribution to the next epoch
+  // bound; stale leftovers surfacing here are discarded for good.
+  lane.min_next = TimePoint::Max();
+  while (!lane.heap.empty()) {
+    const LaneEntry top = lane.heap.front();
+    Domain& dom = domains_[top.domain];
+    if (!dom.queue.Empty() && dom.queue.NextTime() == top.when) {
+      lane.min_next = top.when;
+      break;
+    }
+    std::pop_heap(lane.heap.begin(), lane.heap.end(), later);
+    lane.heap.pop_back();
   }
 }
 
@@ -336,11 +392,23 @@ TimePoint Simulator::FlushMailboxes() {
     }
     return a.src_seq < b.src_seq;
   });
+  ++flush_round_;
   for (CrossMsg& m : flush_buf_) {
+    Domain& dst = domains_[m.dst_domain];
+    dst.queue.Push(m.when, std::move(m.cb));
     if (m.dst_domain != 0) {
       flushed_min = std::min(flushed_min, m.when);
+      // Re-arm the destination's lane entry so an idle domain wakes up. The
+      // buffer is sorted by `when`, so the first delivery per destination is
+      // its minimum; flush_stamp dedupes the rest of this round. The pushed
+      // time may exceed the queue's true NextTime (an older event is still
+      // pending) — then the older valid entry wins and this one goes stale.
+      if (dst.flush_stamp != flush_round_) {
+        dst.flush_stamp = flush_round_;
+        LanePush(worker_lanes_[static_cast<size_t>(LaneFor(m.dst_domain))],
+                 LaneEntry{m.when, m.dst_domain});
+      }
     }
-    domains_[m.dst_domain].queue.Push(m.when, std::move(m.cb));
   }
   flush_buf_.clear();
   return flushed_min;

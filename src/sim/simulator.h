@@ -42,10 +42,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <memory_resource>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/sim/arena.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/time.h"
 
@@ -163,6 +165,17 @@ class Simulator {
     return ctx.sim == this ? ctx.domain_id : 0;
   }
 
+  // Aggregate per-domain event-queue occupancy (lifetime high-water of live
+  // events per domain): the max and mean across all domains. Reported by
+  // engine_perf's fleet cell so queue pressure per shard is visible in
+  // BENCH_engine.json.
+  struct QueueOccupancy {
+    uint64_t peak_max = 0;   // Largest per-domain high-water.
+    double peak_mean = 0.0;  // Mean per-domain high-water.
+    uint64_t domains = 0;    // Domains aggregated (all, including global).
+  };
+  QueueOccupancy queue_occupancy() const;
+
  private:
   friend class DomainScope;
 
@@ -178,17 +191,27 @@ class Simulator {
 
   // One shard: its own clock, event queue, outbox, and trace recorder.
   // Padded to a cache line so workers on distinct domains never false-share.
+  // The arena backs the queue's slot store and the outbox, so a domain's
+  // hot-path allocations stay in chunks only its owning worker touches;
+  // declaration order matters (arena must outlive — i.e. precede — both).
   struct alignas(64) Domain {
     explicit Domain(uint32_t id_in);  // Out of line: TraceRecorder is incomplete here.
     ~Domain();
     Domain(Domain&&) noexcept;
-    Domain& operator=(Domain&&) noexcept;
+    // No move assignment: the pmr members would keep the destination's
+    // arena, silently mixing two domains' storage. Domains are only ever
+    // emplaced into the deque.
+    Domain& operator=(Domain&&) = delete;
     uint32_t id;
     TimePoint now;
+    std::unique_ptr<ArenaMemoryResource> arena;
     EventQueue queue;
     uint64_t events_fired = 0;
     uint64_t next_cross_seq = 0;
-    std::vector<CrossMsg> outbox;
+    // Last FlushMailboxes round that re-armed this domain's lane entry;
+    // dedupes lane pushes when one barrier delivers many messages here.
+    uint64_t flush_stamp = 0;
+    std::pmr::vector<CrossMsg> outbox;
     std::unique_ptr<TraceRecorder> trace;
   };
 
@@ -207,12 +230,15 @@ class Simulator {
   // after the last event.
   uint64_t RunSharded(TimePoint deadline, bool clamp);
 
-  // Runs worker `worker_id`'s share of the current epoch: each owned domain
-  // executes events strictly before `epoch_end_excl_`, with the domain's
-  // trace recorder bound. Records the minimum next-event time across the
-  // worker's domains — and the cross-domain messages they emitted — in
-  // worker_lanes_[worker_id], so the between-epoch coordinator work is
-  // O(workers), never O(domains).
+  // Runs worker `worker_id`'s share of the current epoch by draining the
+  // worker's lane heap: every owned domain with a pending event before
+  // `epoch_end_excl_` executes (with its trace recorder bound), and a fresh
+  // lane entry is pushed for each domain that still has work. Records the
+  // minimum next-event time across the worker's domains — and the
+  // cross-domain messages they emitted — in worker_lanes_[worker_id]. An
+  // epoch therefore costs O(active domains · log heap), never O(all
+  // domains): at 100k+ mostly idle domains that is the difference between a
+  // shard curve that scales and one that drowns in empty-queue scans.
   void RunEpochShare(int worker_id);
 
   // Merges every worker lane's outbox into the destination queues in
@@ -246,17 +272,39 @@ class Simulator {
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   int active_workers_ = 1;  // min(workers_, shard domains) for this run.
-  // Per-worker epoch results, written only by the owning worker (padded so
-  // lanes never false-share): the minimum next-event time over its domains,
-  // and the cross-domain messages those domains emitted. Aggregating per
-  // worker keeps every between-epoch coordinator step O(workers), not
-  // O(domains) — the difference between scaling and serializing at 100k+
-  // domains.
+  // Per-worker epoch state (padded so lanes never false-share): the minimum
+  // next-event time over the worker's domains, the cross-domain messages
+  // those domains emitted, and the worker's lane heap — a lazy min-heap of
+  // (next event time, domain) entries for the domains this worker owns. An
+  // entry is valid iff its time equals the domain's current NextTime();
+  // anything else is a leftover from an earlier push and is discarded when
+  // it surfaces. New entries are pushed by the owning worker after a domain
+  // runs, and by the coordinator (between epochs, so never concurrently)
+  // when a barrier flush delivers into a domain or a global event forces a
+  // full rebuild. The invariant — every non-empty domain has an entry at its
+  // exact NextTime — holds because every path that can lower a domain's
+  // NextTime ends in one of those pushes.
+  struct LaneEntry {
+    TimePoint when;
+    uint32_t domain;
+  };
   struct alignas(64) WorkerLane {
     TimePoint min_next;
     std::vector<CrossMsg> outbox;
+    std::vector<LaneEntry> heap;  // Binary min-heap by `when`, lazy entries.
   };
   std::vector<WorkerLane> worker_lanes_;
+  // Which worker owns domain `d` (> 0): the round-robin striping shared by
+  // the lane heaps and the epoch workers.
+  int LaneFor(uint32_t domain) const {
+    return static_cast<int>((domain - 1) % static_cast<uint32_t>(active_workers_));
+  }
+  static void LanePush(WorkerLane& lane, LaneEntry entry);
+  // Rebuilds every lane heap from scratch and returns the earliest pending
+  // shard event time. Used on run entry and after global events, which may
+  // touch any queue directly.
+  TimePoint RebuildLanes();
+  uint64_t flush_round_ = 0;  // Monotone id for Domain::flush_stamp dedupe.
   bool trace_sharded_ = false;
   TraceRecorder* run_trace_ = nullptr;  // Caller's recorder during a run.
   std::vector<CrossMsg> flush_buf_;

@@ -480,6 +480,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t 
   packet.id = next_packet_id_++;
   packet.wire_bytes = take + kWireHeaderBytes;
   packet.dst_host = peer_host_;
+  packet.src_host = local_host_;
 
   auto make_segment = [&](uint64_t seg_start, uint64_t seg_len) {
     auto seg = std::make_shared<TcpSegment>();
@@ -519,6 +520,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPacketFor(uint64_t start, uint64_t 
       slice.id = next_packet_id_++;
       slice.wire_bytes = slice_len + kWireHeaderBytes;
       slice.dst_host = peer_host_;
+      slice.src_host = local_host_;
       auto seg = make_segment(start + off, slice_len);
       if (off + slice_len == take && start + take == sndq_.tail_offset()) {
         seg->flags |= kFlagPsh;
@@ -581,6 +583,7 @@ TcpEndpoint::PlannedPacket TcpEndpoint::BuildPureAck(bool force_exchange) {
   packet.id = next_packet_id_++;
   packet.wire_bytes = kWireHeaderBytes;
   packet.dst_host = peer_host_;
+  packet.src_host = local_host_;
   packet.payload = std::move(seg);
   ++stats_.pure_acks_sent;
   PlannedPacket planned;
@@ -1459,6 +1462,7 @@ void TcpEndpoint::OnKeepaliveFire() {
         packet.id = next_packet_id_++;
         packet.wire_bytes = kWireHeaderBytes;
         packet.dst_host = peer_host_;
+        packet.src_host = local_host_;
         packet.payload = std::move(seg);
         ++stats_.pure_acks_sent;
         PlannedPacket p;

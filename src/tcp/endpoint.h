@@ -163,6 +163,13 @@ class TcpEndpoint {
   void SetPeerHost(uint32_t id) { peer_host_ = id; }
   uint32_t peer_host() const { return peer_host_; }
 
+  // Sets the local host address stamped as the source on every outgoing
+  // wire packet. Together with the destination it forms the flow key a
+  // multi-path fabric hashes for ECMP path pinning (ConnectPair wires this
+  // automatically; 0 on point-to-point paths).
+  void SetLocalHost(uint32_t id) { local_host_ = id; }
+  uint32_t local_host() const { return local_host_; }
+
   // ---- Introspection ----
 
   EndpointQueues& queues() { return queues_; }
@@ -322,6 +329,7 @@ class TcpEndpoint {
   uint64_t conn_id_;
   bool is_a_;
   uint32_t peer_host_ = 0;
+  uint32_t local_host_ = 0;
   TcpConfig config_;
   const StackCosts* costs_;
   std::optional<uint32_t> cork_limit_override_;

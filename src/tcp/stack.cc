@@ -101,6 +101,8 @@ ConnectedPair ConnectPair(TcpStack& stack_a, TcpStack& stack_b, uint64_t conn_id
   pair.b->InitPeerWindow(config_a.rcvbuf_bytes);
   pair.a->SetPeerHost(stack_b.host()->id());
   pair.b->SetPeerHost(stack_a.host()->id());
+  pair.a->SetLocalHost(stack_a.host()->id());
+  pair.b->SetLocalHost(stack_b.host()->id());
   return pair;
 }
 

@@ -8,18 +8,33 @@
 namespace e2e {
 namespace {
 
-// The shared bottleneck: the client-side switch's trunk port on a
-// dumbbell, else the server's downlink port (incast star).
-SwitchPort* FindBottleneck(FabricTopology* topo) {
+// The shared bottleneck port set. Dumbbell: the client-side switch's trunk
+// port. Leaf-spine: the client rack's ECMP uplink ports — every flow
+// crosses them (clients pinned to one rack, servers to the other), and
+// per-flow spine pinning makes them the queueing point of the
+// oversubscribed core. Star: the server's downlink port.
+std::vector<SwitchPort*> FindBottlenecks(FabricTopology* topo) {
+  std::vector<SwitchPort*> ports;
+  if (topo->num_leaves() > 0) {
+    Switch& client_rack = *topo->client_switch();
+    for (size_t p = 0; p < client_rack.num_ports(); ++p) {
+      if (client_rack.port(p).name().find(".up") != std::string::npos) {
+        ports.push_back(&client_rack.port(p));
+      }
+    }
+    return ports;
+  }
   Switch* client_sw = topo->client_switch();
   if (client_sw != nullptr) {
     for (size_t p = 0; p < client_sw->num_ports(); ++p) {
       if (client_sw->port(p).name().find("trunk") != std::string::npos) {
-        return &client_sw->port(p);
+        ports.push_back(&client_sw->port(p));
+        return ports;
       }
     }
   }
-  return topo->server_switch()->RouteFor(topo->server_host(0).id());
+  ports.push_back(topo->server_switch()->RouteFor(topo->server_host(0).id()));
+  return ports;
 }
 
 }  // namespace
@@ -30,10 +45,13 @@ uint64_t BdpBytes(double bottleneck_bps, Duration rtt) {
 
 Duration BufferSizingBaseRtt(const BufferSizingConfig& config) {
   // Two 1.5 us edge hops each way (FabricConfig's default), plus the trunk
-  // on the dumbbell. Serialization at these rates is negligible next to it.
+  // on the dumbbell (one hop) or the leaf-spine core (leaf->spine->leaf,
+  // two hops). Serialization at these rates is negligible next to it.
   Duration one_way = Duration::MicrosF(3.0);
   if (config.shape == FabricShape::kDumbbell) {
     one_way += config.trunk_propagation;
+  } else if (config.shape == FabricShape::kLeafSpine) {
+    one_way += config.trunk_propagation * 2;
   }
   return one_way * 2;
 }
@@ -45,6 +63,17 @@ BufferSizingResult RunBufferSizing(const BufferSizingConfig& config) {
   FabricConfig fabric;
   if (config.shape == FabricShape::kDumbbell) {
     fabric = FabricConfig::Dumbbell(n, 1, config.bottleneck_bps);
+    fabric.trunk_link.propagation = config.trunk_propagation;
+    fabric.trunk_port.buffer_bytes = config.buffer_bytes;
+    fabric.trunk_port.ecn_threshold_bytes = config.ecn_threshold_bytes;
+  } else if (config.shape == FabricShape::kLeafSpine) {
+    // One server per flow so the receive capacity (n x 100G edges) always
+    // exceeds the core — the client rack's uplinks stay the unique
+    // bottleneck instead of a single server's edge port.
+    fabric = FabricConfig::LeafSpine(n, n, /*leaves=*/2, config.num_spines,
+                                     config.bottleneck_bps);
+    fabric.client_leaf_pin = 1;
+    fabric.server_leaf_pin = 0;
     fabric.trunk_link.propagation = config.trunk_propagation;
     fabric.trunk_port.buffer_bytes = config.buffer_bytes;
     fabric.trunk_port.ecn_threshold_bytes = config.ecn_threshold_bytes;
@@ -76,7 +105,8 @@ BufferSizingResult RunBufferSizing(const BufferSizingConfig& config) {
   std::vector<ConnectedPair> conns(static_cast<size_t>(n));
   std::vector<uint64_t> rx_bytes(static_cast<size_t>(n), 0);  // App reads.
   for (int i = 0; i < n; ++i) {
-    conns[i] = topo.Connect(i, 0, static_cast<uint64_t>(i + 1), client_tcp, server_tcp);
+    const int server_idx = config.shape == FabricShape::kLeafSpine ? i : 0;
+    conns[i] = topo.Connect(i, server_idx, static_cast<uint64_t>(i + 1), client_tcp, server_tcp);
     TcpEndpoint* src = conns[i].a;
     TcpEndpoint* dst = conns[i].b;
     dst->SetReadableCallback([dst, &rx_bytes, i] { rx_bytes[i] += dst->Recv().bytes; });
@@ -93,8 +123,8 @@ BufferSizingResult RunBufferSizing(const BufferSizingConfig& config) {
     sim.Schedule(Duration::Zero(), pump);
   }
 
-  SwitchPort* bottleneck = FindBottleneck(&topo);
-  assert(bottleneck != nullptr);
+  const std::vector<SwitchPort*> bottlenecks = FindBottlenecks(&topo);
+  assert(!bottlenecks.empty() && bottlenecks.front() != nullptr);
 
   const TimePoint measure_start = sim.Now() + config.warmup;
   const TimePoint measure_end = measure_start + config.measure;
@@ -104,7 +134,10 @@ BufferSizingResult RunBufferSizing(const BufferSizingConfig& config) {
   RunningStats cwnd_stats;
   std::function<void()> sample_tick = [&] {
     if (sim.Now() >= measure_start && sim.Now() < measure_end) {
-      const double q = static_cast<double>(bottleneck->queue_bytes());
+      double q = 0;
+      for (const SwitchPort* port : bottlenecks) {
+        q += static_cast<double>(port->queue_bytes());
+      }
       queue_hist.Add(q);
       queue_stats.Add(q);
       for (int i = 0; i < n; ++i) {
@@ -133,13 +166,24 @@ BufferSizingResult RunBufferSizing(const BufferSizingConfig& config) {
         static_cast<double>(rx_at_end[i] - rx_at_start[i]) * 8.0 / window_sec;
     result.flow_goodput_bps.push_back(bps);
     result.aggregate_goodput_bps += bps;
+    if (config.shape == FabricShape::kLeafSpine && topo.client_leaf(i) != topo.server_leaf(i)) {
+      result.cross_rack_goodput_bps += bps;
+    }
     sum += bps;
     sum_sq += bps * bps;
   }
-  const double bottleneck_bps = config.shape == FabricShape::kDumbbell
-                                    ? config.bottleneck_bps
-                                    : fabric.edge_link.bandwidth_bps;
-  result.bottleneck_utilization = result.aggregate_goodput_bps / bottleneck_bps;
+  // Aggregate capacity of the bottleneck port set: the trunk rate on the
+  // dumbbell, all spine uplinks on the leaf-spine, the edge rate on the
+  // star — and only traffic that crosses it counts toward utilization.
+  double bottleneck_bps = fabric.edge_link.bandwidth_bps;
+  double crossing_goodput_bps = result.aggregate_goodput_bps;
+  if (config.shape == FabricShape::kDumbbell) {
+    bottleneck_bps = config.bottleneck_bps;
+  } else if (config.shape == FabricShape::kLeafSpine) {
+    bottleneck_bps = config.bottleneck_bps * static_cast<double>(config.num_spines);
+    crossing_goodput_bps = result.cross_rack_goodput_bps;
+  }
+  result.bottleneck_utilization = crossing_goodput_bps / bottleneck_bps;
   result.jain_fairness = sum_sq > 0 ? sum * sum / (n * sum_sq) : 0;
 
   result.mean_queue_bytes = queue_stats.mean();
@@ -149,8 +193,10 @@ BufferSizingResult RunBufferSizing(const BufferSizingConfig& config) {
   result.mean_queue_delay_us = result.mean_queue_bytes * drain_us_per_byte;
   result.p99_queue_delay_us = result.p99_queue_bytes * drain_us_per_byte;
 
-  result.drops = bottleneck->counters().tail_drops;
-  result.ecn_marked = bottleneck->counters().ecn_marked;
+  for (const SwitchPort* port : bottlenecks) {
+    result.drops += port->counters().tail_drops;
+    result.ecn_marked += port->counters().ecn_marked;
+  }
 
   for (int i = 0; i < n; ++i) {
     const TcpEndpoint::Stats& client = conns[i].a->stats();

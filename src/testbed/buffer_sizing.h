@@ -3,10 +3,11 @@
 // ECN/DCTCP per Spang et al., "Updating the Theory of Buffer Sizing".
 //
 // n long-lived bulk flows (each client pours data as fast as its windows
-// allow) share one bottleneck — the trunk port of a dumbbell, or the
-// server's downlink port of an incast star — whose buffer, ECN threshold,
-// and congestion-control algorithm the sweep varies. The driver reports
-// what the theory is about: bottleneck utilization, time-sampled queue
+// allow) share one bottleneck — the trunk port of a dumbbell, the server's
+// downlink port of an incast star, or the remote rack's ECMP uplink ports
+// of an oversubscribed leaf-spine — whose buffer, ECN threshold, and
+// congestion-control algorithm the sweep varies. The driver reports what
+// the theory is about: bottleneck utilization, time-sampled queue
 // occupancy (mean / p99, and the queueing *delay* those bytes represent at
 // the bottleneck rate), drop and mark counts, the ECN round trip
 // (CE -> ECE -> decrease -> CWR), and Jain fairness across flows.
@@ -30,10 +31,18 @@
 namespace e2e {
 
 struct BufferSizingConfig {
-  // kDumbbell: n clients, 1 server, bottleneck = the shared trunk.
-  // kStar:     incast — bottleneck = the server's downlink port.
+  // kDumbbell:  n clients, 1 server, bottleneck = the shared trunk.
+  // kStar:      incast — bottleneck = the server's downlink port.
+  // kLeafSpine: 2 leaves x `num_spines` spines; all n clients pinned to
+  //             leaf 1, one server per flow pinned to leaf 0, so every
+  //             flow crosses the core and the receive capacity (n edge
+  //             ports) can never bind before it. The bottleneck is the
+  //             client rack's ECMP uplink ports. `bottleneck_bps` is the
+  //             per-spine trunk rate — size the core below the rack's
+  //             aggregate edge rate for an oversubscribed fabric.
   FabricShape shape = FabricShape::kDumbbell;
   int num_flows = 4;
+  int num_spines = 2;  // kLeafSpine only (leaves fixed at 2).
 
   CcAlgorithm algorithm = CcAlgorithm::kReno;
   bool ecn = false;  // Endpoint-side CE echo (pair with ecn_threshold_bytes).
@@ -43,8 +52,9 @@ struct BufferSizingConfig {
   size_t buffer_bytes = 128 * 1024;
   size_t ecn_threshold_bytes = 0;
 
-  // Dumbbell trunk rate; the star's bottleneck runs at the 100 Gbps edge
-  // rate instead (incast needs the fan-in, not a slow pipe).
+  // Dumbbell trunk rate, or the per-spine leaf-spine trunk rate; the
+  // star's bottleneck runs at the 100 Gbps edge rate instead (incast needs
+  // the fan-in, not a slow pipe).
   double bottleneck_bps = 10e9;
   // One-way trunk propagation. The default stretches the dumbbell RTT to
   // ~110 us end to end so a BDP (~10G * 110us = ~137 KB) is several dozen
@@ -68,7 +78,12 @@ struct BufferSizingConfig {
 struct BufferSizingResult {
   // Goodput = bytes the server application read during the measure window.
   double aggregate_goodput_bps = 0;
-  double bottleneck_utilization = 0;  // Goodput / bottleneck rate.
+  // Goodput that crossed the bottleneck, over its aggregate capacity. On
+  // the leaf-spine that is cross-rack goodput (all of it, with the pinned
+  // placement — the accounting still excludes any rack-local flow so a
+  // future mixed scenario can't inflate core utilization).
+  double bottleneck_utilization = 0;
+  double cross_rack_goodput_bps = 0;  // kLeafSpine only, else 0.
   std::vector<double> flow_goodput_bps;
   double jain_fairness = 0;  // (sum x)^2 / (n * sum x^2), 1 = perfectly fair.
 

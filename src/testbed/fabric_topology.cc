@@ -37,15 +37,29 @@ FabricConfig FabricConfig::Dumbbell(int clients, int servers, double trunk_bps) 
   return config;
 }
 
+FabricConfig FabricConfig::LeafSpine(int clients, int servers, int leaves, int spines,
+                                     double trunk_bps) {
+  FabricConfig config;
+  config.shape = FabricShape::kLeafSpine;
+  config.num_clients = clients;
+  config.num_servers = servers;
+  config.num_leaves = leaves;
+  config.num_spines = spines;
+  config.trunk_link.bandwidth_bps = trunk_bps;
+  return config;
+}
+
 FabricTopology::FabricTopology(const FabricConfig& config) : config_(config) {
   assert(config_.num_clients >= 1 && config_.num_servers >= 1);
+  assert(!IsLeafSpine() || (config_.num_leaves >= 1 && config_.num_spines >= 1));
   client_at_.resize(config_.num_clients);
   server_at_.resize(config_.num_servers);
   // Domain layout for sharded runs: one domain per host and per switch, in
-  // a fixed order (clients, servers, switches), so the layout — and with it
-  // the execution order — depends only on the topology, never on the worker
-  // count. kDirect has no fabric hop to use as the lookahead window and
-  // keeps the classic single-domain engine regardless of `shards`.
+  // a fixed order (clients, servers, switches; leaves before spines), so
+  // the layout — and with it the execution order — depends only on the
+  // topology, never on the worker count. kDirect has no fabric hop to use
+  // as the lookahead window and keeps the classic single-domain engine
+  // regardless of `shards`.
   sharded_ = config_.shards >= 1 && config_.shape != FabricShape::kDirect;
   if (sharded_) {
     for (int i = 0; i < config_.num_clients; ++i) {
@@ -54,7 +68,12 @@ FabricTopology::FabricTopology(const FabricConfig& config) : config_(config) {
     for (int i = 0; i < config_.num_servers; ++i) {
       server_domains_.push_back(sim_.AddDomain());
     }
-    const int num_switches = config_.shape == FabricShape::kDumbbell ? 2 : 1;
+    int num_switches = 1;
+    if (config_.shape == FabricShape::kDumbbell) {
+      num_switches = 2;
+    } else if (IsLeafSpine()) {
+      num_switches = config_.num_leaves + config_.num_spines;
+    }
     for (int s = 0; s < num_switches; ++s) {
       switch_domains_.push_back(sim_.AddDomain());
     }
@@ -63,6 +82,8 @@ FabricTopology::FabricTopology(const FabricConfig& config) : config_(config) {
   if (config_.shape == FabricShape::kDirect) {
     assert(config_.num_clients == 1 && config_.num_servers == 1);
     BuildDirect();
+  } else if (IsLeafSpine()) {
+    BuildLeafSpine();
   } else {
     BuildSwitched();
   }
@@ -139,6 +160,47 @@ void FabricTopology::BuildDirect() {
                "s2c");
 }
 
+// Attach one host to `sw`: uplink into the switch, a dedicated output port +
+// downlink back, and a forwarding entry for the host id. On sharded runs
+// each link's delivery domain is its receiver's: the uplink fires in the
+// switch's shard, the downlink in the host's.
+void FabricTopology::AttachHost(Switch* sw, const FabricHostSpec& spec, const char* side,
+                                int index, int count, uint32_t host_id,
+                                const SwitchPortConfig& port_config,
+                                std::vector<std::unique_ptr<Host>>* hosts, HostAttachment* at,
+                                uint32_t host_domain, uint32_t sw_domain) {
+  const uint64_t seed = config_.seed;
+  const std::string name = HostName(side, index, count);
+  at->uplink =
+      MakeLink(config_.edge_link, DeriveSeed(seed, kFabricSeedUplink, host_id), name + ".up");
+  at->uplink->SetSink(sw);
+  at->uplink->set_dst_domain(sw_domain);
+  at->downlink = MakeLink(config_.edge_link, DeriveSeed(seed, kFabricSeedDownlink, host_id),
+                          name + ".down");
+  at->downlink->set_dst_domain(host_domain);
+  const size_t port = sw->AddPort(at->downlink, port_config, sw->name() + "." + name);
+  sw->SetRoute(host_id, port);
+  hosts->push_back(std::make_unique<Host>(&sim_, at->uplink, spec.nic, name, host_id));
+  hosts->back()->set_domain(host_domain);
+}
+
+void FabricTopology::FinishAllRxPaths() {
+  // RX impairment paths install on the final (switch -> host) hop.
+  const uint64_t seed = config_.seed;
+  for (int i = 0; i < config_.num_servers; ++i) {
+    const uint32_t id = static_cast<uint32_t>(config_.num_clients + i + 1);
+    FinishRxPath(&server_at_[i], server_hosts_[i].get(), config_.c2s_impairment,
+                 DeriveSeed(seed, kFabricSeedC2sImpair, id),
+                 "c2s." + server_hosts_[i]->name());
+  }
+  for (int i = 0; i < config_.num_clients; ++i) {
+    const uint32_t id = static_cast<uint32_t>(i + 1);
+    FinishRxPath(&client_at_[i], client_hosts_[i].get(), config_.s2c_impairment,
+                 DeriveSeed(seed, kFabricSeedS2cImpair, id),
+                 "s2c." + client_hosts_[i]->name());
+  }
+}
+
 void FabricTopology::BuildSwitched() {
   const uint64_t seed = config_.seed;
   const bool dumbbell = config_.shape == FabricShape::kDumbbell;
@@ -149,40 +211,20 @@ void FabricTopology::BuildSwitched() {
     switches_.push_back(std::make_unique<Switch>(&sim_, "swR"));
     right = switches_.back().get();
   }
-
-  // Attach one side's hosts to `sw`: uplink into the switch, a dedicated
-  // output port + downlink back, and a forwarding entry for the host id.
-  // On sharded runs each link's delivery domain is its receiver's: the
-  // uplink fires in the switch's shard, the downlink in the host's.
-  const auto attach = [&](Switch* sw, const FabricHostSpec& spec, const char* side, int index,
-                          int count, uint32_t host_id, const SwitchPortConfig& port_config,
-                          std::vector<std::unique_ptr<Host>>* hosts, HostAttachment* at,
-                          uint32_t host_domain, uint32_t sw_domain) {
-    const std::string name = HostName(side, index, count);
-    at->uplink =
-        MakeLink(config_.edge_link, DeriveSeed(seed, kFabricSeedUplink, host_id), name + ".up");
-    at->uplink->SetSink(sw);
-    at->uplink->set_dst_domain(sw_domain);
-    at->downlink = MakeLink(config_.edge_link, DeriveSeed(seed, kFabricSeedDownlink, host_id),
-                            name + ".down");
-    at->downlink->set_dst_domain(host_domain);
-    const size_t port = sw->AddPort(at->downlink, port_config, sw->name() + "." + name);
-    sw->SetRoute(host_id, port);
-    hosts->push_back(std::make_unique<Host>(&sim_, at->uplink, spec.nic, name, host_id));
-    hosts->back()->set_domain(host_domain);
-  };
+  client_switch_idx_ = 0;
+  server_switch_idx_ = switches_.size() - 1;
 
   const uint32_t left_domain = sharded_ ? switch_domains_.front() : 0;
   const uint32_t right_domain = sharded_ ? switch_domains_.back() : 0;
   for (int i = 0; i < config_.num_clients; ++i) {
     const uint32_t id = static_cast<uint32_t>(i + 1);
-    attach(left, config_.client, "client", i, config_.num_clients, id, config_.client_port,
-           &client_hosts_, &client_at_[i], sharded_ ? client_domains_[i] : 0, left_domain);
+    AttachHost(left, config_.client, "client", i, config_.num_clients, id, config_.client_port,
+               &client_hosts_, &client_at_[i], sharded_ ? client_domains_[i] : 0, left_domain);
   }
   for (int i = 0; i < config_.num_servers; ++i) {
     const uint32_t id = static_cast<uint32_t>(config_.num_clients + i + 1);
-    attach(right, config_.server, "server", i, config_.num_servers, id, config_.server_port,
-           &server_hosts_, &server_at_[i], sharded_ ? server_domains_[i] : 0, right_domain);
+    AttachHost(right, config_.server, "server", i, config_.num_servers, id, config_.server_port,
+               &server_hosts_, &server_at_[i], sharded_ ? server_domains_[i] : 0, right_domain);
   }
 
   if (dumbbell) {
@@ -204,19 +246,85 @@ void FabricTopology::BuildSwitched() {
     }
   }
 
-  // RX impairment paths install on the final (switch -> host) hop.
-  for (int i = 0; i < config_.num_servers; ++i) {
-    const uint32_t id = static_cast<uint32_t>(config_.num_clients + i + 1);
-    FinishRxPath(&server_at_[i], server_hosts_[i].get(), config_.c2s_impairment,
-                 DeriveSeed(seed, kFabricSeedC2sImpair, id),
-                 "c2s." + server_hosts_[i]->name());
+  FinishAllRxPaths();
+}
+
+void FabricTopology::BuildLeafSpine() {
+  const uint64_t seed = config_.seed;
+  const int leaves = config_.num_leaves;
+  const int spines = config_.num_spines;
+  for (int l = 0; l < leaves; ++l) {
+    switches_.push_back(std::make_unique<Switch>(&sim_, "leaf" + std::to_string(l)));
   }
+  for (int s = 0; s < spines; ++s) {
+    switches_.push_back(std::make_unique<Switch>(&sim_, "spine" + std::to_string(s)));
+  }
+  // client_switch()/server_switch() name the leaf of host 0 on each side
+  // (both leaf 0 under round-robin placement, the pinned rack otherwise).
+  client_switch_idx_ = static_cast<size_t>(client_leaf(0));
+  server_switch_idx_ = static_cast<size_t>(server_leaf(0));
+  const auto leaf_domain = [&](int l) { return sharded_ ? switch_domains_[l] : 0; };
+  const auto spine_domain = [&](int s) { return sharded_ ? switch_domains_[leaves + s] : 0; };
+
+  // Hosts round-robin over the racks; the leaf routes its local hosts
+  // directly (AttachHost installs the route).
   for (int i = 0; i < config_.num_clients; ++i) {
     const uint32_t id = static_cast<uint32_t>(i + 1);
-    FinishRxPath(&client_at_[i], client_hosts_[i].get(), config_.s2c_impairment,
-                 DeriveSeed(seed, kFabricSeedS2cImpair, id),
-                 "s2c." + client_hosts_[i]->name());
+    const int l = client_leaf(i);
+    AttachHost(switches_[l].get(), config_.client, "client", i, config_.num_clients, id,
+               config_.client_port, &client_hosts_, &client_at_[i],
+               sharded_ ? client_domains_[i] : 0, leaf_domain(l));
   }
+  for (int i = 0; i < config_.num_servers; ++i) {
+    const uint32_t id = static_cast<uint32_t>(config_.num_clients + i + 1);
+    const int l = server_leaf(i);
+    AttachHost(switches_[l].get(), config_.server, "server", i, config_.num_servers, id,
+               config_.server_port, &server_hosts_, &server_at_[i],
+               sharded_ ? server_domains_[i] : 0, leaf_domain(l));
+  }
+
+  // Full bipartite leaf<->spine mesh: one link per direction per pair. The
+  // leaf side of each pair joins the leaf's ECMP uplink group — remote
+  // destinations have no exact route on a leaf, so they rendezvous-hash
+  // across the spines. The spine side gets an exact route to every host on
+  // that leaf. Member keys are derived from the spine index alone
+  // (kFabricSeedEcmp), so a spine hashes identically at every leaf and
+  // adding a leaf or spine never re-keys existing members.
+  for (int l = 0; l < leaves; ++l) {
+    Switch* leaf = switches_[l].get();
+    for (int s = 0; s < spines; ++s) {
+      Switch* spine = switches_[leaves + s].get();
+      const uint64_t pair_index = (static_cast<uint64_t>(l) << 16) | static_cast<uint64_t>(s);
+      const std::string ls = std::to_string(l);
+      const std::string ss = std::to_string(s);
+      Link* up = MakeLink(config_.trunk_link, DeriveSeed(seed, kFabricSeedLeafSpineUp, pair_index),
+                          "leaf" + ls + ".up" + ss);
+      up->SetSink(spine);
+      up->set_dst_domain(spine_domain(s));
+      Link* down =
+          MakeLink(config_.trunk_link, DeriveSeed(seed, kFabricSeedLeafSpineDown, pair_index),
+                   "spine" + ss + ".down" + ls);
+      down->SetSink(leaf);
+      down->set_dst_domain(leaf_domain(l));
+      const size_t up_port =
+          leaf->AddPort(up, config_.trunk_port, "leaf" + ls + ".up" + ss);
+      leaf->AddEcmpMember(up_port, DeriveSeed(seed, kFabricSeedEcmp, s));
+      const size_t down_port =
+          spine->AddPort(down, config_.trunk_port, "spine" + ss + ".down" + ls);
+      for (int i = 0; i < config_.num_clients; ++i) {
+        if (client_leaf(i) == l) {
+          spine->SetRoute(static_cast<uint32_t>(i + 1), down_port);
+        }
+      }
+      for (int i = 0; i < config_.num_servers; ++i) {
+        if (server_leaf(i) == l) {
+          spine->SetRoute(static_cast<uint32_t>(config_.num_clients + i + 1), down_port);
+        }
+      }
+    }
+  }
+
+  FinishAllRxPaths();
 }
 
 Link& FabricTopology::c2s_final_link(int si) { return *server_at_.at(si).downlink; }

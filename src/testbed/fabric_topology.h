@@ -24,6 +24,22 @@
 //              switches joined by a single trunk link per direction whose
 //              port models the classic shared bottleneck.
 //
+//   kLeafSpine          [ spine0 ]   [ spine1 ]  ...
+//                        /   |   +---+   |   +--+
+//                   [ leaf0 ] [ leaf1 ] [ leaf2 ] ...
+//                     |  |      |  |      |  |
+//                    hosts     hosts     hosts
+//              A 2-tier Clos: `num_leaves` racks, each host attached to
+//              leaf (index % num_leaves), every leaf connected to every
+//              spine by one trunk link per direction. A leaf routes its
+//              local hosts directly and sends everything else through its
+//              ECMP uplink group — rendezvous-hashed on the packet's
+//              (src_host, dst_host) flow key, so each flow pins to one
+//              spine (no intra-flow reordering) and adding a spine never
+//              re-paths existing flows. Each leaf and each spine is its own
+//              simulator domain, so cross-rack traffic parallelizes across
+//              switch domains instead of funnelling through one.
+//
 // Impairments compose exactly as on the two-host topology: the c2s chain
 // installs between the final hop and each *server* NIC, the s2c chain
 // between the final hop and each *client* NIC; link schedules apply to the
@@ -41,6 +57,12 @@
 //   domain kFabricSeedC2sImpair  index = host id   (chain before server NIC)
 //   domain kFabricSeedS2cImpair  index = host id   (chain before client NIC)
 //   domain kFabricSeedTrunk      index = 0 (left->right), 1 (right->left)
+//   domain kFabricSeedLeafSpineUp    index = leaf << 16 | spine (leaf -> spine)
+//   domain kFabricSeedLeafSpineDown  index = leaf << 16 | spine (spine -> leaf)
+//   domain kFabricSeedEcmp       index = spine — the ECMP member key, the
+//                                same on every leaf, so a spine's hash
+//                                identity is global and stable under
+//                                leaf/spine additions
 //
 // Host ids are 1..N for clients and N+1..N+M for servers (0 = unaddressed).
 // Exception: the kDirect shape keeps TwoHostTopology's original constants
@@ -73,11 +95,15 @@ inline constexpr uint64_t kFabricSeedDownlink = 2;
 inline constexpr uint64_t kFabricSeedC2sImpair = 3;
 inline constexpr uint64_t kFabricSeedS2cImpair = 4;
 inline constexpr uint64_t kFabricSeedTrunk = 5;
+inline constexpr uint64_t kFabricSeedLeafSpineUp = 6;
+inline constexpr uint64_t kFabricSeedLeafSpineDown = 7;
+inline constexpr uint64_t kFabricSeedEcmp = 8;
 
 enum class FabricShape {
-  kDirect,    // 1 client, 1 server, no switch (TwoHostTopology wiring).
-  kStar,      // One switch, every host on its own port.
-  kDumbbell,  // Two switches joined by a trunk bottleneck.
+  kDirect,     // 1 client, 1 server, no switch (TwoHostTopology wiring).
+  kStar,       // One switch, every host on its own port.
+  kDumbbell,   // Two switches joined by a trunk bottleneck.
+  kLeafSpine,  // 2-tier Clos: leaves (racks) x spines, ECMP uplinks.
 };
 
 // Per-side host parameters, applied to every host on that side.
@@ -93,12 +119,26 @@ struct FabricConfig {
   FabricHostSpec client;
   FabricHostSpec server;
 
+  // Leaf-spine fan-out (kLeafSpine only): hosts spread round-robin over
+  // `num_leaves` racks; every leaf links to every spine.
+  int num_leaves = 2;
+  int num_spines = 2;
+  // Rack placement overrides (kLeafSpine only): when >= 0, every host on
+  // that side lands on the given leaf instead of round-robin. Pinning the
+  // sides to different racks builds the classic oversubscribed-core
+  // scenario — all traffic crosses the client rack's ECMP uplinks.
+  int client_leaf_pin = -1;
+  int server_leaf_pin = -1;
+
   // Host <-> switch hops, both directions (also the kDirect link config).
   Link::Config edge_link;
-  // Dumbbell trunk hops (both directions).
+  // Inter-switch hops, both directions: the dumbbell trunk pair, or every
+  // leaf<->spine link on kLeafSpine.
   Link::Config trunk_link;
 
-  // Switch output buffers, by what the port faces.
+  // Switch output buffers, by what the port faces. trunk_port covers every
+  // inter-switch port: the dumbbell trunk pair, and on kLeafSpine both the
+  // leaf->spine uplink ports and the spine->leaf downlink ports.
   SwitchPortConfig client_port;
   SwitchPortConfig server_port;
   SwitchPortConfig trunk_port;
@@ -132,6 +172,10 @@ struct FabricConfig {
   static FabricConfig Incast(int clients, size_t server_buffer_bytes);
   // Clients and servers on separate switches, trunk at `trunk_bps`.
   static FabricConfig Dumbbell(int clients, int servers, double trunk_bps);
+  // 2-tier Clos: hosts round-robin over `leaves` racks, every leaf linked
+  // to every spine at `trunk_bps` per link, ECMP across spines.
+  static FabricConfig LeafSpine(int clients, int servers, int leaves, int spines,
+                                double trunk_bps = 100e9);
 };
 
 class FabricTopology {
@@ -156,12 +200,31 @@ class FabricTopology {
                        server_config);
   }
 
-  // The switch clients attach to / servers attach to. Same object on kStar,
-  // distinct on kDumbbell, null on kDirect.
-  Switch* client_switch() { return switches_.empty() ? nullptr : switches_.front().get(); }
-  Switch* server_switch() { return switches_.empty() ? nullptr : switches_.back().get(); }
+  // The switch client 0 / server 0 attaches to. Same object on kStar,
+  // distinct on kDumbbell, the host's leaf on kLeafSpine, null on kDirect.
+  Switch* client_switch() {
+    return switches_.empty() ? nullptr : switches_[client_switch_idx_].get();
+  }
+  Switch* server_switch() {
+    return switches_.empty() ? nullptr : switches_[server_switch_idx_].get();
+  }
   size_t num_switches() const { return switches_.size(); }
   Switch& fabric_switch(size_t i) { return *switches_.at(i); }
+
+  // kLeafSpine accessors (0 / null outside that shape). Leaves occupy
+  // switches_[0 .. num_leaves), spines the tail.
+  int num_leaves() const { return IsLeafSpine() ? config_.num_leaves : 0; }
+  int num_spines() const { return IsLeafSpine() ? config_.num_spines : 0; }
+  Switch& leaf_switch(int l) { return *switches_.at(l); }
+  Switch& spine_switch(int s) { return *switches_.at(config_.num_leaves + s); }
+  // The rack (leaf index) a host lives on: the side's pin if set, else
+  // round-robin.
+  int client_leaf(int ci) const {
+    return config_.client_leaf_pin >= 0 ? config_.client_leaf_pin : ci % config_.num_leaves;
+  }
+  int server_leaf(int si) const {
+    return config_.server_leaf_pin >= 0 ? config_.server_leaf_pin : si % config_.num_leaves;
+  }
 
   // Final-hop links: what a server receives requests on / a client receives
   // responses on. On kDirect these are the two direct links; on switched
@@ -214,8 +277,18 @@ class FabricTopology {
   // scheduler, per the per-direction impairment config.
   void FinishRxPath(HostAttachment* at, Host* host, const ImpairmentConfig& impair,
                     uint64_t impair_seed, const std::string& label);
+  // Attaches one host to `sw`: uplink into the switch, a dedicated output
+  // port + downlink back, and a forwarding entry for the host id.
+  void AttachHost(Switch* sw, const FabricHostSpec& spec, const char* side, int index, int count,
+                  uint32_t host_id, const SwitchPortConfig& port_config,
+                  std::vector<std::unique_ptr<Host>>* hosts, HostAttachment* at,
+                  uint32_t host_domain, uint32_t sw_domain);
   void BuildDirect();
   void BuildSwitched();
+  void BuildLeafSpine();
+  // Installs the per-direction RX impairment chains on every final hop.
+  void FinishAllRxPaths();
+  bool IsLeafSpine() const { return config_.shape == FabricShape::kLeafSpine; }
 
   FabricConfig config_;
   Simulator sim_;
@@ -231,6 +304,9 @@ class FabricTopology {
   std::vector<uint32_t> client_domains_;
   std::vector<uint32_t> server_domains_;
   std::vector<uint32_t> switch_domains_;
+  // Indices into switches_ backing client_switch()/server_switch().
+  size_t client_switch_idx_ = 0;
+  size_t server_switch_idx_ = 0;
 };
 
 }  // namespace e2e

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <memory>
+#include <optional>
 
 #include "src/apps/lancet.h"
 #include "src/apps/redis_server.h"
@@ -197,6 +198,29 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
   BusySnapshot at_end{};
   sim.ScheduleAt(measure_end, [&] { at_end = take_busy(); });
 
+  // Optional aligned time-series. Sampling runs as global events, so every
+  // domain's clock is synced when the gauges read cross-domain state.
+  std::optional<TimeSeriesSampler> sampler;
+  if (config.series_interval > Duration::Zero()) {
+    sampler.emplace(&sim, config.series_interval);
+    sampler->AddGauge("requests_completed", [&connections] {
+      double total = 0;
+      for (const PerConnection& pc : connections) {
+        total += static_cast<double>(pc.client->results().completed);
+      }
+      return total;
+    });
+    sampler->AddGauge("switch_tail_drops",
+                      [&topo] { return static_cast<double>(topo.total_switch_drops()); });
+    const SwitchPort* bottleneck =
+        topo.num_switches() > 0 ? topo.server_switch()->RouteFor(topo.server_host(0).id())
+                                : nullptr;
+    sampler->AddGauge("server_port_queue_bytes", [bottleneck] {
+      return bottleneck != nullptr ? static_cast<double>(bottleneck->queue_bytes()) : 0.0;
+    });
+    sampler->Start(run_end);
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
   const uint64_t events_before = sim.events_fired();
   sim.RunUntil(run_end);
@@ -207,6 +231,13 @@ FleetExperimentResult RunFleetExperiment(const FleetExperimentConfig& config) {
   result.offered_krps = config.total_rate_rps / 1e3;
   result.events_fired = sim.events_fired() - events_before;
   result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  const Simulator::QueueOccupancy occupancy = sim.queue_occupancy();
+  result.queue_peak_max = occupancy.peak_max;
+  result.queue_peak_mean = occupancy.peak_mean;
+  result.queue_domains = occupancy.domains;
+  if (sampler.has_value()) {
+    result.series = std::make_shared<const TimeSeries>(sampler->TakeSeries());
+  }
 
   RunningStats latency_us;
   LogHistogram latency_hist{0.1, 1e9, 100};

@@ -17,6 +17,7 @@
 #define SRC_TESTBED_FLEET_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -26,6 +27,7 @@
 #include "src/apps/workload.h"
 #include "src/core/aimd.h"
 #include "src/core/controller.h"
+#include "src/obs/timeseries.h"
 #include "src/testbed/experiment.h"
 #include "src/testbed/fabric_topology.h"
 
@@ -84,6 +86,14 @@ struct FleetExperimentConfig {
   // Connections whose last accepted exchange is older than this drop out
   // of the fleet-aggregate estimate instead of freezing it (aggregator.h).
   Duration aggregator_staleness = Duration::Millis(10);
+
+  // > 0 samples fleet gauges (completed requests, switch drops, bottleneck
+  // queue depth) every `series_interval` and the result carries the aligned
+  // series. Sampling is read-only, so attaching it never changes what a
+  // same-seed run computes — but the sampler's own events do shift engine
+  // event counts, so callers comparing raw output bytes re-run with the
+  // series rather than folding it into the main pass (bench/fleet_sweep).
+  Duration series_interval = Duration::Zero();
 
   // A star fabric with the DESIGN.md §5 stack calibration (same per-segment
   // costs as RedisExperimentConfig::DefaultRedisTopology; the two 1.5 µs
@@ -149,6 +159,17 @@ struct FleetExperimentResult {
   // time, for events/sec scaling curves (bench/engine_perf).
   uint64_t events_fired = 0;
   double wall_seconds = 0;
+
+  // Per-domain event-queue occupancy high-water marks (Simulator
+  // ::queue_occupancy): max and mean of each domain's peak live-event
+  // count, plus the domain count. On classic (unsharded) runs this is the
+  // single global queue's peak.
+  uint64_t queue_peak_max = 0;
+  double queue_peak_mean = 0;
+  uint64_t queue_domains = 0;
+
+  // Aligned gauge samples; non-null iff config.series_interval > 0.
+  std::shared_ptr<const TimeSeries> series;
 
   std::vector<FleetConnectionResult> connections;
 

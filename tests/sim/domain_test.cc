@@ -189,6 +189,83 @@ TEST(DomainTest, RunUntilClampsEveryDomainClock) {
   }
 }
 
+TEST(DomainTest, IdleDomainReactivatesOnCrossMessageAndGlobalPoke) {
+  // Lane-heap stress: a domain that drains to empty leaves the per-worker
+  // lane heaps, and must re-enter them when (a) a cross message lands in
+  // it and (b) a global event schedules into it. Identical logs across
+  // worker counts prove the reactivation path is deterministic.
+  auto run = [](int workers) {
+    Simulator sim;
+    sim.SetLookahead(Duration::Micros(1));
+    const uint32_t busy = sim.AddDomain();
+    const uint32_t idle = sim.AddDomain();
+    sim.SetWorkers(workers);
+    std::vector<std::string> busy_log;
+    std::vector<std::string> idle_log;
+    // Ticker, plus one cross message into the empty domain mid-run. Lives
+    // at this scope so the by-reference captures outlive sim.Run().
+    std::function<void(int)> tick = [&](int n) {
+      busy_log.push_back(Entry("t" + std::to_string(n), sim.Now()));
+      if (n == 5) {
+        sim.ScheduleCrossAt(idle, sim.Now() + Duration::Micros(1),
+                            [&] { idle_log.push_back(Entry("cross", sim.Now())); });
+      }
+      if (n < 12) {
+        sim.Schedule(Duration::Micros(2), [&tick, n] { tick(n + 1); });
+      }
+    };
+    {
+      DomainScope scope(&sim, busy);
+      sim.Schedule(Duration::Micros(1), [&tick] { tick(1); });
+    }
+    // Global event after the cross delivery has long drained: the idle
+    // domain is empty again and must wake a second time.
+    sim.Schedule(Duration::Micros(20), [&sim, &idle_log, idle] {
+      DomainScope scope(&sim, idle);
+      sim.Schedule(Duration::Micros(1), [&] { idle_log.push_back(Entry("poke", sim.Now())); });
+    });
+    sim.Run();
+    EXPECT_EQ(idle_log.size(), 2u) << "workers=" << workers;
+    busy_log.insert(busy_log.end(), idle_log.begin(), idle_log.end());
+    return busy_log;
+  };
+  const std::vector<std::string> one = run(1);
+  ASSERT_EQ(one.size(), 14u);
+  for (int workers : {2, 4, 8}) {
+    EXPECT_EQ(run(workers), one) << "workers=" << workers;
+  }
+}
+
+TEST(DomainTest, CancelingADomainHeadFromAGlobalEventRescans) {
+  // A global event cancels the earliest pending event of a shard. The lane
+  // entry for that event goes stale; the engine must rescan and still fire
+  // the shard's later event at its exact time (not stall, not fire the
+  // canceled one).
+  for (int workers : {1, 2, 4}) {
+    Simulator sim;
+    sim.SetLookahead(Duration::Micros(1));
+    const uint32_t shard = sim.AddDomain();
+    sim.SetWorkers(workers);
+    bool doomed_fired = false;
+    std::vector<std::string> log;
+    EventId doomed;
+    {
+      DomainScope scope(&sim, shard);
+      doomed = sim.Schedule(Duration::Micros(10), [&] { doomed_fired = true; });
+      sim.Schedule(Duration::Micros(12), [&] { log.push_back(Entry("later", sim.Now())); });
+    }
+    sim.Schedule(Duration::Micros(5), [&] {
+      DomainScope scope(&sim, shard);
+      EXPECT_TRUE(sim.Cancel(doomed));
+    });
+    sim.Run();
+    EXPECT_FALSE(doomed_fired) << "workers=" << workers;
+    EXPECT_EQ(log, (std::vector<std::string>{Entry("later", TimePoint::Zero() +
+                                                               Duration::Micros(12))}))
+        << "workers=" << workers;
+  }
+}
+
 TEST(DomainTest, EventsFiredAndPendingAggregateAllDomains) {
   Simulator sim;
   sim.SetLookahead(Duration::Micros(1));

@@ -113,6 +113,101 @@ TEST(FabricTopologyTest, ExportCountersCoversEveryComponent) {
   }
 }
 
+TEST(FabricTopologyTest, LeafSpineLayoutAndLocalDelivery) {
+  // 4 clients + 2 servers over 2 leaves x 2 spines: hosts round-robin over
+  // the racks, switches are leaves-then-spines.
+  FabricTopology topo(FabricConfig::LeafSpine(4, 2, 2, 2));
+  ASSERT_EQ(topo.num_switches(), 4u);
+  EXPECT_EQ(topo.num_leaves(), 2);
+  EXPECT_EQ(topo.num_spines(), 2);
+  EXPECT_EQ(topo.leaf_switch(0).name(), "leaf0");
+  EXPECT_EQ(topo.leaf_switch(1).name(), "leaf1");
+  EXPECT_EQ(topo.spine_switch(0).name(), "spine0");
+  EXPECT_EQ(topo.spine_switch(1).name(), "spine1");
+  EXPECT_EQ(topo.client_leaf(0), 0);
+  EXPECT_EQ(topo.client_leaf(1), 1);
+  EXPECT_EQ(topo.server_leaf(0), 0);
+  EXPECT_EQ(topo.server_leaf(1), 1);
+  // Each leaf: 2 clients + 1 server + 2 uplinks = 5 ports; each spine: one
+  // down-port per leaf.
+  EXPECT_EQ(topo.leaf_switch(0).num_ports(), 5u);
+  EXPECT_EQ(topo.spine_switch(0).num_ports(), 2u);
+  EXPECT_EQ(topo.leaf_switch(0).ecmp_group_size(), 2u);
+
+  // Rack-local: client0 -> server0, both on leaf 0 — no spine hop.
+  ConnectedPair local = topo.Connect(0, 0, 1, NoDelayTcp(), NoDelayTcp());
+  topo.client_host(0).app_core().SubmitFixed(Duration::Micros(1),
+                                             [&] { local.a->Send(400, Rec(1)); });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(local.b->Recv().bytes, 400u);
+  EXPECT_EQ(topo.total_forwarding_misses(), 0u);
+  EXPECT_EQ(topo.spine_switch(0).ecmp_forwards() + topo.spine_switch(1).ecmp_forwards(), 0u);
+}
+
+TEST(FabricTopologyTest, LeafSpineCrossRackDelivery) {
+  // client1 lives on leaf 1, server0 on leaf 0: both directions must cross
+  // the spine layer via the leaves' ECMP uplink groups.
+  FabricTopology topo(FabricConfig::LeafSpine(4, 2, 2, 2));
+  ConnectedPair conn = topo.Connect(1, 0, 7, NoDelayTcp(), NoDelayTcp());
+  topo.client_host(1).app_core().SubmitFixed(Duration::Micros(1),
+                                             [&] { conn.a->Send(1000, Rec(2)); });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(conn.b->Recv().bytes, 1000u);
+  EXPECT_EQ(topo.total_forwarding_misses(), 0u);
+  EXPECT_EQ(topo.total_switch_drops(), 0u);
+  // The request crossed leaf1's uplink group and some spine's down-port to
+  // leaf 0; acks crossed back the other way.
+  EXPECT_GT(topo.leaf_switch(1).ecmp_forwards(), 0u);
+  EXPECT_GT(topo.leaf_switch(0).ecmp_forwards(), 0u);
+  uint64_t spine_packets = 0;
+  for (int s = 0; s < topo.num_spines(); ++s) {
+    for (size_t p = 0; p < topo.spine_switch(s).num_ports(); ++p) {
+      spine_packets += topo.spine_switch(s).port(p).counters().packets_out;
+    }
+  }
+  EXPECT_GT(spine_packets, 0u);
+
+  // Response path.
+  topo.server_host(0).app_core().SubmitFixed(Duration::Micros(1),
+                                             [&] { conn.b->Send(500, Rec(3)); });
+  topo.sim().RunFor(Duration::Millis(5));
+  EXPECT_EQ(conn.a->Recv().bytes, 500u);
+  EXPECT_EQ(topo.total_forwarding_misses(), 0u);
+}
+
+TEST(FabricTopologyTest, LeafSpineBulkCrossRackSustainsThroughput) {
+  // A windowed bulk transfer across the core: if ECMP re-paths packets
+  // mid-flow or a route is missing, retransmissions crater goodput. Trunk
+  // buffers are provisioned above the send window so the path itself is
+  // lossless — this is a path-stability test, not a buffer-sizing one
+  // (src/testbed/buffer_sizing.cc owns the shallow-buffer regime).
+  FabricConfig config = FabricConfig::LeafSpine(2, 1, 2, 2, /*trunk_bps=*/50e9);
+  config.trunk_port.buffer_bytes = 8 * 1024 * 1024;
+  FabricTopology topo(config);
+  ASSERT_EQ(topo.client_leaf(1), 1);
+  ASSERT_EQ(topo.server_leaf(0), 0);
+  TcpConfig tcp = NoDelayTcp();
+  tcp.sndbuf_bytes = 4 * 1024 * 1024;
+  tcp.rcvbuf_bytes = 4 * 1024 * 1024;
+  ConnectedPair conn = topo.Connect(1, 0, 1, tcp, tcp);
+  uint64_t received = 0;
+  conn.b->SetReadableCallback([&] { received += conn.b->Recv().bytes; });
+  auto pump = [&] {
+    while (conn.a->Send(64 * 1024, MessageRecord{})) {
+    }
+  };
+  conn.a->SetWritableCallback(pump);
+  topo.sim().Schedule(Duration::Zero(), pump);
+  topo.sim().RunFor(Duration::Millis(20));
+  // 20 ms at 50 Gbps is 125 MB of headroom; a healthy flow moves at least
+  // tens of MB. Retransmits should be rare on an uncongested path.
+  EXPECT_GT(received, 20u * 1024 * 1024)
+      << "cross-rack bulk flow starved; retransmits=" << conn.a->stats().retransmits;
+  EXPECT_LT(conn.a->stats().retransmits, 100u);
+  EXPECT_EQ(topo.total_forwarding_misses(), 0u);
+  EXPECT_EQ(topo.total_switch_drops(), 0u);
+}
+
 TEST(FabricTopologyTest, KeyedSeedsAreOrderFreeAndDistinct) {
   // Same key, same stream; any coordinate change yields a different stream.
   EXPECT_EQ(DeriveSeed(42, kFabricSeedUplink, 1), DeriveSeed(42, kFabricSeedUplink, 1));
